@@ -1,0 +1,244 @@
+//! Criterion benchmarks for every experiment of `EXPERIMENTS.md`.
+//!
+//! Each group's name carries the experiment id (E1, E2, …) so bench
+//! output lines up with the experiment index in `DESIGN.md`.
+//!
+//! ```text
+//! cargo bench -p hiding-lcp-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hiding_lcp_bench as workloads;
+use hiding_lcp_certs::edge3::{Edge3Decoder, Edge3Prover};
+use hiding_lcp_certs::{degree_one, even_cycle, revealing, shatter, watermelon};
+use hiding_lcp_core::decoder::run;
+use hiding_lcp_core::extract::Extractor;
+use hiding_lcp_core::instance::Instance;
+use hiding_lcp_core::lower::{refute, search_cycle_decoders};
+use hiding_lcp_core::prover::Prover;
+use hiding_lcp_core::ramsey::monochromatic_subset;
+use hiding_lcp_core::realize::{find_plan, realize};
+use hiding_lcp_core::view::IdMode;
+use hiding_lcp_core::walks::expansion_walk;
+use hiding_lcp_graph::algo::bipartite;
+use hiding_lcp_graph::classes::forgetful;
+use hiding_lcp_graph::generators;
+use std::hint::black_box;
+
+/// E1: the r-forgetfulness checker (Fig. 1 / Lemma 2.1 machinery).
+fn e1_forgetful(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1-forgetful");
+    let torus = generators::torus(6, 6);
+    g.bench_function("torus6x6-r1", |b| {
+        b.iter(|| black_box(forgetful::is_r_forgetful(black_box(&torus), 1)))
+    });
+    let cycle = generators::cycle(12);
+    g.bench_function("cycle12-r2", |b| {
+        b.iter(|| black_box(forgetful::is_r_forgetful(black_box(&cycle), 2)))
+    });
+    g.finish();
+}
+
+/// E2/E3/E5/E6: neighborhood-graph construction + odd-cycle hunt for each
+/// hiding LCP (Figs. 3–6 and the Theorem 1.3/1.4 witnesses).
+fn nbhd_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2-E6-nbhd");
+    g.sample_size(20);
+    g.bench_function("E2-degree-one", |b| {
+        b.iter(|| black_box(workloads::degree_one_nbhd().odd_cycle()))
+    });
+    g.bench_function("E3-even-cycle", |b| {
+        b.iter(|| black_box(workloads::even_cycle_nbhd().odd_cycle()))
+    });
+    g.bench_function("E5-shatter", |b| {
+        b.iter(|| black_box(workloads::shatter_nbhd().odd_cycle()))
+    });
+    g.bench_function("E6-watermelon", |b| {
+        b.iter(|| black_box(workloads::watermelon_nbhd().odd_cycle()))
+    });
+    g.finish();
+}
+
+/// E2/E3 scaling series: neighborhood-graph construction cost as the
+/// instance size grows.
+fn nbhd_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E2-E3-nbhd-scaling");
+    for n in [4usize, 8, 16, 32] {
+        g.bench_function(format!("even-cycle-n{n}"), |b| {
+            b.iter(|| {
+                let nbhd = hiding_lcp_core::nbhd::NbhdGraph::build(
+                    &even_cycle::EvenCycleDecoder,
+                    IdMode::Anonymous,
+                    workloads::even_cycle_universe_sized(n),
+                    bipartite::is_bipartite,
+                );
+                black_box(nbhd.view_count())
+            })
+        });
+        g.bench_function(format!("degree-one-p{n}"), |b| {
+            b.iter(|| {
+                let nbhd = hiding_lcp_core::nbhd::NbhdGraph::build(
+                    &degree_one::DegreeOneDecoder,
+                    IdMode::Anonymous,
+                    workloads::degree_one_universe_sized(n),
+                    bipartite::is_bipartite,
+                );
+                black_box(nbhd.odd_cycle())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// E7: the exhaustive Lemma 3.1 sweep and the Lemma 3.2 extractor.
+fn e7_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7-extraction");
+    g.sample_size(10);
+    g.bench_function("exhaustive-nbhd-n3", |b| {
+        b.iter(|| black_box(workloads::revealing_nbhd(3).view_count()))
+    });
+    let nbhd = workloads::revealing_nbhd(3);
+    g.bench_function("extractor-build", |b| {
+        b.iter_batched(
+            || nbhd.clone(),
+            |n| black_box(Extractor::from_nbhd(n, 2)),
+            BatchSize::SmallInput,
+        )
+    });
+    let extractor = Extractor::from_nbhd(workloads::revealing_nbhd(3), 2).expect("colorable");
+    let inst = Instance::canonical(generators::cycle(6));
+    let labeling = revealing::RevealingProver::new(2).certify(&inst).unwrap();
+    let li = inst.with_labeling(labeling);
+    g.bench_function("extract-all-c6", |b| {
+        b.iter(|| black_box(extractor.extract_all(black_box(&li))))
+    });
+    g.finish();
+}
+
+/// E8: the Lemma 5.1 realizability machinery on a single instance.
+fn e8_gbad(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E8-gbad");
+    let inst = Instance::canonical(generators::cycle(8));
+    let labeling = hiding_lcp_core::label::Labeling::empty(8);
+    let views: Vec<_> = (0..8)
+        .map(|v| inst.view(&labeling, v, 1, IdMode::Full))
+        .collect();
+    g.bench_function("find-plan+realize-c8", |b| {
+        b.iter(|| {
+            let plan = find_plan(black_box(&views), &[]).expect("self-realizable");
+            black_box(realize(&plan).expect("merges"))
+        })
+    });
+    g.finish();
+}
+
+/// E9: the Theorem 1.5 refutation pipeline on the cheating decoder, and
+/// the Lemma 5.4 expansion walk it builds on.
+fn e9_refute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9-refute");
+    g.sample_size(20);
+    g.bench_function("edge3-pipeline", |b| {
+        b.iter(|| {
+            let universe: Vec<_> = [generators::path(2), generators::hypercube(3)]
+                .into_iter()
+                .filter_map(|graph| {
+                    let inst = Instance::canonical(graph);
+                    let labeling = Edge3Prover.certify(&inst)?;
+                    Some(inst.with_labeling(labeling))
+                })
+                .collect();
+            let k4 = Instance::canonical(generators::complete(4));
+            let k4_labeling = Edge3Prover.certify(&k4).unwrap();
+            black_box(refute(
+                &Edge3Decoder,
+                universe,
+                IdMode::Anonymous,
+                bipartite::is_bipartite,
+                &[(k4, vec![k4_labeling])],
+            ))
+        })
+    });
+    let torus = Instance::canonical(generators::torus(6, 6))
+        .with_labeling(hiding_lcp_core::label::Labeling::empty(36));
+    g.bench_function("lemma-5-4-expansion-torus", |b| {
+        b.iter(|| black_box(expansion_walk(black_box(&torus), 0, 1, 1)))
+    });
+    g.finish();
+}
+
+/// E10: the finite Ramsey search of Lemma 6.1.
+fn e10_ramsey(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E10-ramsey");
+    let universe: Vec<u64> = (1..=16).collect();
+    g.bench_function("parity-pairs-16-to-8", |b| {
+        b.iter(|| {
+            black_box(monochromatic_subset(
+                black_box(&universe),
+                2,
+                8,
+                |p| (p[0] + p[1]) % 2,
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// E11: the exhaustive 64-decoder search of Theorem 1.2 on cycles.
+fn e11_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E11-exhaustive");
+    g.sample_size(10);
+    g.bench_function("cycle-decoders-c4", |b| {
+        b.iter(|| black_box(search_cycle_decoders(&[4], &[3, 4, 5])))
+    });
+    g.finish();
+}
+
+/// E12: honest certificate generation cost per LCP (the sizes themselves
+/// are tabulated by the `repro` binary).
+fn e12_certify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E12-certify");
+    let path64 = Instance::canonical(generators::path(64));
+    g.bench_function("degree-one-n64", |b| {
+        b.iter(|| black_box(degree_one::DegreeOneProver.certify(black_box(&path64))))
+    });
+    let cycle64 = Instance::canonical(generators::cycle(64));
+    g.bench_function("even-cycle-n64", |b| {
+        b.iter(|| black_box(even_cycle::EvenCycleProver.certify(black_box(&cycle64))))
+    });
+    g.bench_function("shatter-n64", |b| {
+        b.iter(|| black_box(shatter::ShatterProver.certify(black_box(&path64))))
+    });
+    let melon = Instance::canonical(generators::watermelon(&[4; 16]));
+    g.bench_function("watermelon-n50", |b| {
+        b.iter(|| black_box(watermelon::WatermelonProver.certify(black_box(&melon))))
+    });
+    g.finish();
+}
+
+/// E13: verification throughput (full decoder rounds) per LCP and size.
+fn e13_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E13-verify");
+    for n in [32usize, 128] {
+        for (name, decoder, li) in workloads::throughput_workloads(n) {
+            g.bench_function(format!("{name}-n{n}"), |b| {
+                b.iter(|| black_box(run(decoder.as_ref(), black_box(&li))))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    e1_forgetful,
+    nbhd_benches,
+    nbhd_scaling,
+    e7_extraction,
+    e8_gbad,
+    e9_refute,
+    e10_ramsey,
+    e11_search,
+    e12_certify,
+    e13_throughput
+);
+criterion_main!(benches);

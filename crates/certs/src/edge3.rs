@@ -1,0 +1,292 @@
+//! A deliberately *cheating* decoder for the Theorem 1.5 pipeline
+//! (experiment E9): accepts any locally-proper 3-edge-coloring on
+//! subcubic views.
+//!
+//! This is the natural 3-color generalization of the Lemma 4.2 scheme —
+//! and exactly the kind of decoder Theorem 1.5 rules out: it is *hiding*
+//! (a single 1-edge-colored `K₂` already puts a self-loop into
+//! `V(D, ·)`), it is complete on 3-edge-colorable bipartite graphs, but it
+//! is **not strongly sound**: `K₄` is 3-edge-colorable, so all four nodes
+//! of a properly edge-colored `K₄` accept while inducing an odd cycle.
+
+use hiding_lcp_core::decoder::{Decoder, Verdict};
+use hiding_lcp_core::instance::Instance;
+use hiding_lcp_core::label::{Certificate, Labeling};
+use hiding_lcp_core::prover::Prover;
+use hiding_lcp_core::view::{IdMode, View};
+
+/// A decoded edge-3-coloring certificate: per port `1..=d` (`d ≤ 3`) the
+/// far-end port and a color in `{0, 1, 2}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Edge3Label {
+    /// `(far_port, color)` for each port, in port order.
+    pub entries: Vec<(u8, u8)>,
+}
+
+impl Edge3Label {
+    /// Decodes; `None` if malformed (more than 3 entries, ports outside
+    /// `1..=3`, colors outside `0..=2`, or repeated colors).
+    pub fn decode(cert: &Certificate) -> Option<Edge3Label> {
+        let b = cert.bytes();
+        let d = usize::from(*b.first()?);
+        if d > 3 || b.len() != 1 + 2 * d {
+            return None;
+        }
+        let entries: Vec<(u8, u8)> = b[1..].chunks(2).map(|c| (c[0], c[1])).collect();
+        let valid = entries
+            .iter()
+            .all(|&(p, c)| (1..=3).contains(&p) && c <= 2);
+        let mut colors: Vec<u8> = entries.iter().map(|&(_, c)| c).collect();
+        colors.sort_unstable();
+        colors.dedup();
+        (valid && colors.len() == entries.len()).then_some(Edge3Label { entries })
+    }
+
+    /// Encodes to a certificate.
+    pub fn encode(&self) -> Certificate {
+        let mut bytes = vec![u8::try_from(self.entries.len()).expect("<= 3 entries")];
+        for &(p, c) in &self.entries {
+            bytes.push(p);
+            bytes.push(c);
+        }
+        Certificate::from_bytes(bytes)
+    }
+}
+
+/// The cheating edge-3-coloring decoder (anonymous, one round).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Edge3Decoder;
+
+impl Decoder for Edge3Decoder {
+    fn name(&self) -> String {
+        "edge-3-coloring (cheating)".into()
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn id_mode(&self) -> IdMode {
+        IdMode::Anonymous
+    }
+    fn decide(&self, view: &View) -> Verdict {
+        let d = view.center_degree();
+        if d > 3 || d == 0 {
+            return Verdict::Reject;
+        }
+        let Some(mine) = Edge3Label::decode(view.center_label()) else {
+            return Verdict::Reject;
+        };
+        if mine.entries.len() != d {
+            return Verdict::Reject;
+        }
+        for arc in view.center_arcs() {
+            let (far_port, color) = mine.entries[usize::from(arc.port_here) - 1];
+            if u16::from(far_port) != arc.port_there {
+                return Verdict::Reject;
+            }
+            let Some(nbr) = Edge3Label::decode(&view.node(arc.to).label) else {
+                return Verdict::Reject;
+            };
+            let Some(&(np, nc)) = nbr.entries.get(usize::from(arc.port_there) - 1) else {
+                return Verdict::Reject;
+            };
+            if u16::from(np) != arc.port_here || nc != color {
+                return Verdict::Reject;
+            }
+        }
+        Verdict::Accept
+    }
+}
+
+/// An honest prover: greedy proper 3-edge-coloring (exists on every
+/// subcubic graph we use; declines when the greedy search fails).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Edge3Prover;
+
+impl Prover for Edge3Prover {
+    fn name(&self) -> String {
+        "edge-3-coloring (cheating)".into()
+    }
+    fn certify(&self, instance: &Instance) -> Option<Labeling> {
+        let g = instance.graph();
+        if g.max_degree().unwrap_or(0) > 3 || g.min_degree().unwrap_or(0) == 0 {
+            return None;
+        }
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        let mut colors = vec![usize::MAX; edges.len()];
+        if !color_edges(&edges, 0, &mut colors) {
+            return None;
+        }
+        let color_of: std::collections::HashMap<(usize, usize), u8> = edges
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &(u, v))| {
+                let c = colors[i] as u8;
+                [((u, v), c), ((v, u), c)]
+            })
+            .collect();
+        let labels = g
+            .nodes()
+            .map(|v| {
+                let entries = (1..=g.degree(v) as u16)
+                    .map(|p| {
+                        let w = instance.ports().neighbor_at(v, p);
+                        (instance.ports().port_to(w, v) as u8, color_of[&(v, w)])
+                    })
+                    .collect();
+                Edge3Label { entries }.encode()
+            })
+            .collect();
+        Some(labels)
+    }
+}
+
+/// Backtracking proper 3-edge-coloring.
+fn color_edges(edges: &[(usize, usize)], idx: usize, colors: &mut Vec<usize>) -> bool {
+    if idx == edges.len() {
+        return true;
+    }
+    let (u, v) = edges[idx];
+    'next: for c in 0..3 {
+        for (j, &(a, b)) in edges[..idx].iter().enumerate() {
+            if colors[j] == c && (a == u || a == v || b == u || b == v) {
+                continue 'next;
+            }
+        }
+        colors[idx] = c;
+        if color_edges(edges, idx + 1, colors) {
+            return true;
+        }
+        colors[idx] = usize::MAX;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiding_lcp_core::decoder::accepts_all;
+    use hiding_lcp_core::language::KCol;
+    use hiding_lcp_core::lower::{refute, RefutationOutcome};
+    use hiding_lcp_core::nbhd::NbhdGraph;
+    use hiding_lcp_core::properties::strong;
+    use hiding_lcp_graph::algo::bipartite;
+    use hiding_lcp_graph::generators;
+
+    #[test]
+    fn accepts_proper_edge_colorings() {
+        for g in [
+            generators::path(2),
+            generators::cycle(6),
+            generators::complete_bipartite(3, 3),
+            generators::hypercube(3),
+            generators::complete(4),
+        ] {
+            let inst = Instance::canonical(g);
+            let labeling = Edge3Prover.certify(&inst).expect("3-edge-colorable");
+            assert!(accepts_all(&Edge3Decoder, &inst.with_labeling(labeling)));
+        }
+    }
+
+    #[test]
+    fn k4_breaks_strong_soundness() {
+        // The decoder is NOT strong: a properly edge-colored K4 is
+        // unanimously accepted but induces odd cycles.
+        let two_col = KCol::new(2);
+        let inst = Instance::canonical(generators::complete(4));
+        let labeling = Edge3Prover.certify(&inst).unwrap();
+        let violation = strong::strong_holds_for(&Edge3Decoder, &two_col, &inst, &labeling)
+            .expect_err("K4 accepted in full");
+        assert_eq!(violation.accepting, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn hiding_via_single_edge_self_loop() {
+        // K2 with a 1-edge-coloring: both endpoints share the anonymous
+        // view — a self-loop in V(D, ·).
+        let inst = Instance::canonical(generators::path(2));
+        let labeling = Edge3Prover.certify(&inst).unwrap();
+        let nbhd = NbhdGraph::build(
+            &Edge3Decoder,
+            IdMode::Anonymous,
+            vec![inst.with_labeling(labeling)],
+            bipartite::is_bipartite,
+        );
+        assert_eq!(nbhd.odd_cycle(), Some(vec![0]));
+    }
+
+    #[test]
+    fn theorem_1_5_refutation_pipeline() {
+        // The full E9 drive: hiding witness + strong-soundness violation.
+        let universe: Vec<_> = [
+            generators::path(2),
+            generators::complete_bipartite(3, 3),
+            generators::hypercube(3),
+        ]
+        .into_iter()
+        .filter_map(|g| {
+            let inst = Instance::canonical(g);
+            let labeling = Edge3Prover.certify(&inst)?;
+            Some(inst.with_labeling(labeling))
+        })
+        .collect();
+        let k4 = Instance::canonical(generators::complete(4));
+        let k4_labeling = Edge3Prover.certify(&k4).unwrap();
+        let outcome = refute(
+            &Edge3Decoder,
+            universe,
+            IdMode::Anonymous,
+            bipartite::is_bipartite,
+            &[(k4, vec![k4_labeling])],
+        );
+        let RefutationOutcome::Refuted(refutation) = outcome else {
+            panic!("expected a refutation, got {outcome:?}");
+        };
+        assert_eq!(refutation.odd_walk.len() % 2, 1);
+        assert!(!refutation.via_realization, "found through the adversarial route");
+        assert!(!bipartite::is_bipartite(
+            refutation.violation_instance.graph()
+        ));
+    }
+
+    #[test]
+    fn rejects_color_repetition_and_degree_overflow() {
+        // Repeated colors are malformed.
+        let bad = Edge3Label {
+            entries: vec![(1, 0), (2, 0)],
+        };
+        assert_eq!(Edge3Label::decode(&bad.encode()), None);
+        // Degree-4 nodes always reject.
+        let inst = Instance::canonical(generators::star(4));
+        let labeling = Labeling::uniform(5, Edge3Label { entries: vec![(1, 0)] }.encode());
+        let verdicts =
+            hiding_lcp_core::decoder::run(&Edge3Decoder, &inst.with_labeling(labeling));
+        assert!(!verdicts[0].is_accept());
+    }
+
+    #[test]
+    fn koenig_guarantees_random_cubic_bipartite_instances() {
+        // König's edge-coloring theorem: every bipartite d-regular graph
+        // is d-edge-colorable, so the prover must succeed on every random
+        // cubic bipartite instance — and the decoder must accept.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2718);
+        for seed in 0..10u64 {
+            let g = generators::random_bipartite_regular(4 + (seed as usize % 3), 3, &mut rng);
+            let inst = Instance::canonical(g);
+            let labeling = Edge3Prover
+                .certify(&inst)
+                .expect("König: bipartite cubic graphs are 3-edge-colorable");
+            assert!(accepts_all(&Edge3Decoder, &inst.with_labeling(labeling)));
+        }
+    }
+
+    #[test]
+    fn prover_declines_non_subcubic_or_uncolorable() {
+        assert!(Edge3Prover.certify(&Instance::canonical(generators::star(4))).is_none());
+        // K4 minus nothing is colorable; the Petersen graph is famously
+        // NOT 3-edge-colorable (class 2).
+        assert!(Edge3Prover.certify(&Instance::canonical(generators::petersen())).is_none());
+        assert!(Edge3Prover.certify(&Instance::canonical(generators::complete(4))).is_some());
+    }
+}

@@ -1,0 +1,397 @@
+//! The Lemma 4.2 LCP: strong and hiding certification of 2-colorability on
+//! even cycles by revealing a proper 2-*edge*-coloring.
+//!
+//! Each node's certificate describes its two incident edges: for the edge
+//! behind port `i ∈ {1, 2}` it records the pair of ports
+//! `(prt(v, e), prt(w, e))` identifying the edge at both endpoints, plus
+//! the edge's color. A node accepts iff its certificate matches the ports
+//! it actually sees, its two edge colors differ, and both neighbors'
+//! certificates agree on the shared edges. An even cycle is 2-colorable
+//! iff it is 2-edge-colorable, but the edge coloring reveals the node
+//! coloring *nowhere* — the paper's strongest hiding phenomenon.
+
+use hiding_lcp_core::decoder::{Decoder, Verdict};
+use hiding_lcp_core::instance::Instance;
+use hiding_lcp_core::label::{Certificate, Labeling};
+use hiding_lcp_core::prover::Prover;
+use hiding_lcp_core::view::{IdMode, View};
+use hiding_lcp_graph::classes::simple::is_even_cycle;
+
+/// One edge entry of a Lemma 4.2 certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeEntry {
+    /// `prt(v, e)` — the port at the certificate's owner.
+    pub port_self: u8,
+    /// `prt(w, e)` — the port at the other endpoint.
+    pub port_other: u8,
+    /// The edge color.
+    pub color: u8,
+}
+
+/// A decoded Lemma 4.2 certificate: one entry per port, in port order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CycleLabel {
+    /// Entries for ports 1 and 2.
+    pub entries: [EdgeEntry; 2],
+}
+
+impl CycleLabel {
+    /// Decodes a certificate; `None` if not a *valid labeling* in the
+    /// lemma's sense (wrong length, ports outside `{1, 2}`, colors outside
+    /// `{0, 1}`, or entries not describing ports 1 and 2 in order).
+    pub fn decode(cert: &Certificate) -> Option<CycleLabel> {
+        let b = cert.bytes();
+        if b.len() != 6 {
+            return None;
+        }
+        let entry = |chunk: &[u8]| -> Option<EdgeEntry> {
+            let (ps, po, c) = (chunk[0], chunk[1], chunk[2]);
+            ((1..=2).contains(&ps) && (1..=2).contains(&po) && c <= 1).then_some(EdgeEntry {
+                port_self: ps,
+                port_other: po,
+                color: c,
+            })
+        };
+        let e1 = entry(&b[0..3])?;
+        let e2 = entry(&b[3..6])?;
+        (e1.port_self == 1 && e2.port_self == 2).then_some(CycleLabel { entries: [e1, e2] })
+    }
+
+    /// Encodes to a 6-byte certificate.
+    pub fn encode(&self) -> Certificate {
+        let mut bytes = Vec::with_capacity(6);
+        for e in &self.entries {
+            bytes.extend_from_slice(&[e.port_self, e.port_other, e.color]);
+        }
+        Certificate::from_bytes(bytes)
+    }
+
+    /// The entry for the given 1-based port.
+    pub fn entry(&self, port: u8) -> Option<EdgeEntry> {
+        self.entries.iter().copied().find(|e| e.port_self == port)
+    }
+}
+
+/// The one-round anonymous decoder of Lemma 4.2.
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_certs::even_cycle::{EvenCycleDecoder, EvenCycleProver};
+/// use hiding_lcp_core::decoder::accepts_all;
+/// use hiding_lcp_core::instance::Instance;
+/// use hiding_lcp_core::prover::Prover;
+/// use hiding_lcp_graph::generators;
+///
+/// let instance = Instance::canonical(generators::cycle(8));
+/// let labeling = EvenCycleProver.certify(&instance).expect("even cycle");
+/// assert!(accepts_all(&EvenCycleDecoder, &instance.with_labeling(labeling)));
+/// // Odd cycles are declined by the prover outright.
+/// assert!(EvenCycleProver.certify(&Instance::canonical(generators::cycle(7))).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvenCycleDecoder;
+
+impl Decoder for EvenCycleDecoder {
+    fn name(&self) -> String {
+        "even-cycle edge-coloring (Lemma 4.2)".into()
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn id_mode(&self) -> IdMode {
+        IdMode::Anonymous
+    }
+    fn decide(&self, view: &View) -> Verdict {
+        // Only degree-2 nodes can carry a valid cycle certificate.
+        if view.center_degree() != 2 {
+            return Verdict::Reject;
+        }
+        let Some(mine) = CycleLabel::decode(view.center_label()) else {
+            return Verdict::Reject;
+        };
+        if mine.entries[0].color == mine.entries[1].color {
+            return Verdict::Reject;
+        }
+        for arc in view.center_arcs() {
+            let Some(my_entry) = mine.entry(arc.port_here as u8) else {
+                return Verdict::Reject;
+            };
+            // The certificate must name the true port pair of the edge.
+            if u16::from(my_entry.port_other) != arc.port_there {
+                return Verdict::Reject;
+            }
+            // The neighbor's entry for this edge must point back with the
+            // same color.
+            let Some(nbr) = CycleLabel::decode(&view.node(arc.to).label) else {
+                return Verdict::Reject;
+            };
+            let Some(nbr_entry) = nbr.entry(arc.port_there as u8) else {
+                return Verdict::Reject;
+            };
+            if u16::from(nbr_entry.port_other) != arc.port_here
+                || nbr_entry.color != my_entry.color
+            {
+                return Verdict::Reject;
+            }
+        }
+        Verdict::Accept
+    }
+}
+
+/// The Lemma 4.2 prover: walks the (even) cycle alternating edge colors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvenCycleProver;
+
+impl Prover for EvenCycleProver {
+    fn name(&self) -> String {
+        "even-cycle edge-coloring (Lemma 4.2)".into()
+    }
+    fn certify(&self, instance: &Instance) -> Option<Labeling> {
+        certify_with_polarity(instance, 0)
+    }
+}
+
+/// The prover with a chosen color for the cycle edge leaving node 0 —
+/// both polarities are accepting, and mixing them in a neighborhood-graph
+/// universe exhibits the Figs. 5/6 hiding witness.
+pub fn certify_with_polarity(instance: &Instance, first_color: u8) -> Option<Labeling> {
+    let g = instance.graph();
+    if !is_even_cycle(g) {
+        return None;
+    }
+    // Trace the cycle from node 0 and color edges alternately.
+    let mut edge_color: std::collections::HashMap<(usize, usize), u8> =
+        std::collections::HashMap::new();
+    let mut prev = 0usize;
+    let mut cur = g.neighbors(0)[0];
+    let mut color = first_color & 1;
+    edge_color.insert((0, cur), color);
+    edge_color.insert((cur, 0), color);
+    while cur != 0 {
+        let next = *g
+            .neighbors(cur)
+            .iter()
+            .find(|&&w| w != prev)
+            .expect("cycle nodes have two neighbors");
+        color ^= 1;
+        edge_color.insert((cur, next), color);
+        edge_color.insert((next, cur), color);
+        prev = cur;
+        cur = next;
+    }
+    let labels = g
+        .nodes()
+        .map(|v| {
+            let entries: Vec<EdgeEntry> = (1..=2u16)
+                .map(|p| {
+                    let w = instance.ports().neighbor_at(v, p);
+                    EdgeEntry {
+                        port_self: p as u8,
+                        port_other: instance.ports().port_to(w, v) as u8,
+                        color: edge_color[&(v, w)],
+                    }
+                })
+                .collect();
+            CycleLabel {
+                entries: [entries[0], entries[1]],
+            }
+            .encode()
+        })
+        .collect();
+    Some(labels)
+}
+
+/// The adversarial alphabet: every well-formed label (ports in `{1, 2}`,
+/// colors in `{0, 1}`) plus one malformed certificate — 17 letters.
+pub fn adversary_alphabet() -> Vec<Certificate> {
+    let mut out = Vec::new();
+    for po1 in 1..=2u8 {
+        for c1 in 0..=1u8 {
+            for po2 in 1..=2u8 {
+                for c2 in 0..=1u8 {
+                    out.push(
+                        CycleLabel {
+                            entries: [
+                                EdgeEntry {
+                                    port_self: 1,
+                                    port_other: po1,
+                                    color: c1,
+                                },
+                                EdgeEntry {
+                                    port_self: 2,
+                                    port_other: po2,
+                                    color: c2,
+                                },
+                            ],
+                        }
+                        .encode(),
+                    );
+                }
+            }
+        }
+    }
+    out.push(Certificate::from_byte(9));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiding_lcp_core::decoder::accepts_all;
+    use hiding_lcp_core::language::KCol;
+    use hiding_lcp_core::nbhd::NbhdGraph;
+    use hiding_lcp_core::properties::{completeness, strong};
+    use hiding_lcp_graph::algo::bipartite;
+    use hiding_lcp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_on_even_cycles_under_any_ports() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut instances = Vec::new();
+        for n in [4usize, 6, 8, 12, 30] {
+            instances.push(Instance::canonical(generators::cycle(n)));
+            instances.push(Instance::random(generators::cycle(n), &mut rng));
+        }
+        let report =
+            completeness::check_completeness(&EvenCycleDecoder, &EvenCycleProver, instances);
+        assert!(report.all_passed(), "{:?}", report.failures);
+        assert_eq!(report.max_certificate_bits, 48, "constant-size certificates");
+    }
+
+    #[test]
+    fn both_polarities_are_accepted() {
+        let inst = Instance::canonical(generators::cycle(6));
+        for polarity in [0, 1] {
+            let labeling = certify_with_polarity(&inst, polarity).unwrap();
+            assert!(accepts_all(
+                &EvenCycleDecoder,
+                &inst.clone().with_labeling(labeling)
+            ));
+        }
+    }
+
+    #[test]
+    fn declines_outside_the_promise() {
+        assert!(EvenCycleProver
+            .certify(&Instance::canonical(generators::cycle(5)))
+            .is_none());
+        assert!(EvenCycleProver
+            .certify(&Instance::canonical(generators::path(6)))
+            .is_none());
+        assert!(EvenCycleProver
+            .certify(&Instance::canonical(generators::theta(2, 2, 2)))
+            .is_none());
+    }
+
+    #[test]
+    fn strong_soundness_exhaustive_on_triangles() {
+        let two_col = KCol::new(2);
+        let alphabet = adversary_alphabet();
+        let c3 = Instance::canonical(generators::cycle(3));
+        let checked =
+            strong::check_strong_exhaustive(&EvenCycleDecoder, &two_col, &c3, &alphabet)
+                .expect("strongly sound on C3");
+        assert_eq!(checked, 17usize.pow(3));
+    }
+
+    #[test]
+    fn strong_soundness_random_on_larger_no_instances() {
+        let two_col = KCol::new(2);
+        let alphabet = adversary_alphabet();
+        let mut rng = StdRng::seed_from_u64(23);
+        for g in [
+            generators::cycle(5),
+            generators::cycle(7),
+            generators::complete(4),
+            generators::petersen(),
+            generators::watermelon(&[2, 3]),
+        ] {
+            let inst = Instance::canonical(g);
+            assert!(strong::check_strong_random(
+                &EvenCycleDecoder,
+                &two_col,
+                &inst,
+                &alphabet,
+                2_000,
+                &mut rng
+            )
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn hiding_via_port_symmetric_self_loop() {
+        // Universe: C4 under every port assignment, both edge-coloring
+        // polarities. Some port assignment makes two adjacent nodes'
+        // anonymous views identical — a self-loop in V(D, ·), the
+        // strongest possible hiding witness (the 2-edge-coloring reveals
+        // the 2-coloring *nowhere*).
+        let g = generators::cycle(4);
+        let mut universe = Vec::new();
+        for ports in hiding_lcp_graph::ports::all_port_assignments(&g, 100) {
+            let inst = Instance::new(
+                g.clone(),
+                ports,
+                hiding_lcp_graph::IdAssignment::canonical(4),
+            )
+            .unwrap();
+            for polarity in [0, 1] {
+                if let Some(labeling) = certify_with_polarity(&inst, polarity) {
+                    universe.push(inst.clone().with_labeling(labeling));
+                }
+            }
+        }
+        let nbhd = NbhdGraph::build(&EvenCycleDecoder, IdMode::Anonymous, universe, |g| {
+            bipartite::is_bipartite(g) && is_even_cycle(g)
+        });
+        let odd = nbhd.odd_cycle().expect("Lemma 4.2's decoder must hide");
+        assert_eq!(odd.len() % 2, 1);
+        assert!(
+            !nbhd.self_loop_views().is_empty(),
+            "the hiding witness is a self-loop: identical adjacent views"
+        );
+    }
+
+    #[test]
+    fn rejects_color_clash_and_port_lies() {
+        let inst = Instance::canonical(generators::cycle(4));
+        let honest = certify_with_polarity(&inst, 0).unwrap();
+        // Same color on both entries at node 0.
+        let mut clash = honest.clone();
+        let mut lbl = CycleLabel::decode(clash.label(0)).unwrap();
+        lbl.entries[1].color = lbl.entries[0].color;
+        clash.set(0, lbl.encode());
+        let verdicts =
+            hiding_lcp_core::decoder::run(&EvenCycleDecoder, &inst.clone().with_labeling(clash));
+        assert!(!verdicts[0].is_accept());
+        // Lying about the neighbor's port.
+        let mut lie = honest.clone();
+        let mut lbl = CycleLabel::decode(lie.label(0)).unwrap();
+        lbl.entries[0].port_other ^= 3; // 1 <-> 2
+        lie.set(0, lbl.encode());
+        let verdicts =
+            hiding_lcp_core::decoder::run(&EvenCycleDecoder, &inst.with_labeling(lie));
+        assert!(!verdicts[0].is_accept());
+    }
+
+    #[test]
+    fn codec_roundtrip_and_validation() {
+        let lbl = CycleLabel {
+            entries: [
+                EdgeEntry { port_self: 1, port_other: 2, color: 0 },
+                EdgeEntry { port_self: 2, port_other: 1, color: 1 },
+            ],
+        };
+        assert_eq!(CycleLabel::decode(&lbl.encode()), Some(lbl));
+        assert_eq!(CycleLabel::decode(&Certificate::from_byte(0)), None);
+        // Entries out of order.
+        let bytes = vec![2, 1, 0, 1, 1, 1];
+        assert_eq!(CycleLabel::decode(&Certificate::from_bytes(bytes)), None);
+        // Port 3 invalid.
+        let bytes = vec![1, 3, 0, 2, 1, 1];
+        assert_eq!(CycleLabel::decode(&Certificate::from_bytes(bytes)), None);
+    }
+}

@@ -1,0 +1,40 @@
+//! The concrete LCPs of *"Strong and Hiding Distributed Certification of
+//! k-Coloring"* (Modanese, Montealegre, Ríos-Wilson; PODC 2025), plus
+//! baselines and adversaries.
+//!
+//! Each module packages one LCP as a typed label codec, a
+//! [`Prover`](hiding_lcp_core::prover::Prover) implementing the paper's
+//! completeness construction, and a
+//! [`Decoder`](hiding_lcp_core::decoder::Decoder) transcribing the paper's
+//! accept/reject rules:
+//!
+//! * [`revealing`] — the trivial `⌈log k⌉`-bit color-revealing LCP the
+//!   paper contrasts with (complete, strongly sound, **not** hiding);
+//! * [`degree_one`] — Lemma 4.1: hide the 2-coloring at a degree-one node
+//!   using labels `{0, 1, ⊥, ⊤}` (anonymous, constant size);
+//! * [`even_cycle`] — Lemma 4.2: reveal a 2-*edge*-coloring of an even
+//!   cycle through port pairs, hiding the 2-coloring *everywhere*
+//!   (anonymous, constant size);
+//! * [`union`] — Theorem 1.1: the tagged combination of the two for the
+//!   class H₁ ∪ H₂;
+//! * [`shatter`] — Theorem 1.3: graphs with a shatter point,
+//!   `O(min{Δ², n} + log n)`-bit certificates;
+//! * [`watermelon`] — Theorem 1.4: watermelon graphs, `O(log n)`-bit
+//!   certificates;
+//! * [`edge3`] — a deliberately *non-strong* "cheating" decoder (accepts
+//!   locally-proper 3-edge-colorings) driving the Theorem 1.5 refutation
+//!   pipeline of experiment E9;
+//! * [`universal`] — the Section 1.1 universal adjacency-matrix LCP
+//!   (O(n²) bits, maximally non-hiding baseline);
+//! * [`adversary`] — structured malicious provers shared by the soundness
+//!   experiments.
+
+pub mod adversary;
+pub mod degree_one;
+pub mod edge3;
+pub mod even_cycle;
+pub mod revealing;
+pub mod shatter;
+pub mod union;
+pub mod universal;
+pub mod watermelon;

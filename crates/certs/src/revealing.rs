@@ -1,0 +1,155 @@
+//! The trivial color-revealing LCP for k-coloring (paper, Section 1):
+//! "give each node its color in a proper k-coloring" with `⌈log k⌉`-bit
+//! certificates. Complete, strongly sound — and *not* hiding, which is the
+//! paper's entire point of departure.
+
+use hiding_lcp_core::decoder::{Decoder, Verdict};
+use hiding_lcp_core::instance::Instance;
+use hiding_lcp_core::label::{Certificate, Labeling};
+use hiding_lcp_core::prover::Prover;
+use hiding_lcp_core::view::{IdMode, View};
+use hiding_lcp_graph::algo::coloring;
+
+/// The one-round anonymous decoder: accept iff the own certificate is a
+/// color `< k` differing from every visible neighbor's.
+#[derive(Debug, Clone, Copy)]
+pub struct RevealingDecoder {
+    k: usize,
+}
+
+impl RevealingDecoder {
+    /// The k-coloring revealing decoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or above 255 (colors are one byte).
+    pub fn new(k: usize) -> Self {
+        assert!((1..=255).contains(&k), "k must be in 1..=255");
+        RevealingDecoder { k }
+    }
+
+    fn color(&self, cert: &Certificate) -> Option<u8> {
+        match cert.bytes() {
+            [c] if usize::from(*c) < self.k => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+impl Decoder for RevealingDecoder {
+    fn name(&self) -> String {
+        format!("revealing-{}col", self.k)
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn id_mode(&self) -> IdMode {
+        IdMode::Anonymous
+    }
+    fn decide(&self, view: &View) -> Verdict {
+        let Some(mine) = self.color(view.center_label()) else {
+            return Verdict::Reject;
+        };
+        Verdict::from(view.center_arcs().iter().all(|arc| {
+            self.color(&view.node(arc.to).label)
+                .is_some_and(|c| c != mine)
+        }))
+    }
+}
+
+/// The honest prover: hands out the lexicographically first proper
+/// k-coloring.
+#[derive(Debug, Clone, Copy)]
+pub struct RevealingProver {
+    k: usize,
+}
+
+impl RevealingProver {
+    /// A prover matching [`RevealingDecoder::new`] with the same `k`.
+    pub fn new(k: usize) -> Self {
+        RevealingProver { k }
+    }
+}
+
+impl Prover for RevealingProver {
+    fn name(&self) -> String {
+        format!("revealing-{}col", self.k)
+    }
+    fn certify(&self, instance: &Instance) -> Option<Labeling> {
+        let colors = coloring::lex_first_coloring(instance.graph(), self.k)?;
+        Some(colors.iter().map(|&c| Certificate::from_byte(c as u8)).collect())
+    }
+}
+
+/// The certificate alphabet for adversarial sweeps: every color byte plus
+/// one out-of-range byte.
+pub fn adversary_alphabet(k: usize) -> Vec<Certificate> {
+    (0..=k).map(|c| Certificate::from_byte(c as u8)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiding_lcp_core::decoder::accepts_all;
+    use hiding_lcp_core::language::KCol;
+    use hiding_lcp_core::properties::{completeness, strong};
+    use hiding_lcp_graph::generators;
+
+    #[test]
+    fn complete_on_bipartite_graphs() {
+        let decoder = RevealingDecoder::new(2);
+        let prover = RevealingProver::new(2);
+        let instances = [
+            Instance::canonical(generators::cycle(8)),
+            Instance::canonical(generators::grid(3, 4)),
+            Instance::canonical(generators::balanced_tree(2, 3)),
+            Instance::canonical(generators::hypercube(3)),
+        ];
+        let report = completeness::check_completeness(&decoder, &prover, instances);
+        assert!(report.all_passed());
+        assert_eq!(report.max_certificate_bits, 8);
+    }
+
+    #[test]
+    fn three_coloring_variant() {
+        let decoder = RevealingDecoder::new(3);
+        let prover = RevealingProver::new(3);
+        let inst = Instance::canonical(generators::petersen());
+        let labeling = prover.certify(&inst).expect("Petersen is 3-colorable");
+        assert!(accepts_all(&decoder, &inst.with_labeling(labeling)));
+        assert!(RevealingProver::new(2)
+            .certify(&Instance::canonical(generators::petersen()))
+            .is_none());
+    }
+
+    #[test]
+    fn strongly_sound_exhaustively_on_small_graphs() {
+        let decoder = RevealingDecoder::new(2);
+        let two_col = KCol::new(2);
+        let alphabet = adversary_alphabet(2);
+        for g in [generators::cycle(3), generators::cycle(5), generators::complete(4)] {
+            let inst = Instance::canonical(g);
+            assert!(
+                strong::check_strong_exhaustive(&decoder, &two_col, &inst, &alphabet).is_ok()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_certificates() {
+        let decoder = RevealingDecoder::new(2);
+        let inst = Instance::canonical(generators::path(2));
+        let bad = Labeling::new(vec![
+            Certificate::from_byte(2), // out of palette
+            Certificate::from_byte(0),
+        ]);
+        let verdicts = hiding_lcp_core::decoder::run(&decoder, &inst.with_labeling(bad));
+        assert!(!verdicts[0].is_accept());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn zero_palette_rejected() {
+        let _ = RevealingDecoder::new(0);
+    }
+}

@@ -1,0 +1,605 @@
+//! The Theorem 1.3 LCP: strong and hiding certification of 2-colorability
+//! on graphs admitting a *shatter point* (a node `v` with `G − N[v]`
+//! disconnected), with `O(min{Δ², n} + log n)`-bit certificates.
+//!
+//! The prover names the shatter point (type 0), its neighborhood (type 1,
+//! carrying the vector of colors the neighborhood sees in each component
+//! of `G − N[v]`), and everyone else (type 2, carrying its component
+//! number and color). The shatter point and its neighborhood receive **no
+//! color** — the coloring is hidden there — and Lemma 7.1 guarantees the
+//! local checks imply bipartiteness.
+
+use hiding_lcp_core::decoder::{Decoder, Verdict};
+use hiding_lcp_core::instance::{Instance, LabeledInstance};
+use hiding_lcp_core::label::{Certificate, Labeling};
+use hiding_lcp_core::prover::Prover;
+use hiding_lcp_core::view::{IdMode, View};
+use hiding_lcp_graph::algo::bipartite;
+use hiding_lcp_graph::classes::shatter;
+use hiding_lcp_graph::{IdAssignment, PortAssignment};
+
+/// The number of bytes needed to encode identifiers below `bound` — the
+/// certificate schemes embed identifiers at this minimal width, which is
+/// what makes their sizes `Θ(log n)` rather than a fixed machine width.
+pub fn id_width(bound: u64) -> usize {
+    let bits = 64 - bound.leading_zeros() as usize;
+    bits.div_ceil(8).max(1)
+}
+
+fn encode_id(bytes: &mut Vec<u8>, id: u64, width: usize) {
+    bytes.extend_from_slice(&id.to_be_bytes()[8 - width..]);
+}
+
+fn decode_id(bytes: &[u8], off: usize, width: usize) -> Option<u64> {
+    let slice = bytes.get(off..off + width)?;
+    let mut out = 0u64;
+    for &b in slice {
+        out = out << 8 | u64::from(b);
+    }
+    Some(out)
+}
+
+/// A decoded Theorem 1.3 certificate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ShatterLabel {
+    /// Type 0: "I am the shatter point"; carries its own identifier.
+    Point {
+        /// The claimed identifier of the shatter point.
+        id: u64,
+    },
+    /// Type 1: "I neighbor the shatter point"; carries the shatter
+    /// point's identifier and the per-component colors seen by `N(v)`.
+    Neighborhood {
+        /// The claimed identifier of the shatter point.
+        id: u64,
+        /// `colors[i]` = the color every `N(v)`-adjacent node of component
+        /// `i` carries.
+        colors: Vec<u8>,
+    },
+    /// Type 2: "I live in component `component` of `G − N[v]` with color
+    /// `color`".
+    Component {
+        /// The claimed identifier of the shatter point.
+        id: u64,
+        /// 0-based component number.
+        component: u8,
+        /// The node's color in the component's 2-coloring.
+        color: u8,
+    },
+}
+
+impl ShatterLabel {
+    /// Decodes a certificate whose identifiers are `width` bytes wide;
+    /// `None` if malformed.
+    pub fn decode(cert: &Certificate, width: usize) -> Option<ShatterLabel> {
+        let b = cert.bytes();
+        let tag = *b.first()?;
+        match tag {
+            0 => {
+                if b.len() != 1 + width {
+                    return None;
+                }
+                Some(ShatterLabel::Point { id: decode_id(b, 1, width)? })
+            }
+            1 => {
+                let id = decode_id(b, 1, width)?;
+                let k = usize::from(*b.get(1 + width)?);
+                let colors = b.get(2 + width..2 + width + k)?.to_vec();
+                (b.len() == 2 + width + k && colors.iter().all(|&c| c <= 1))
+                    .then_some(ShatterLabel::Neighborhood { id, colors })
+            }
+            2 => {
+                let id = decode_id(b, 1, width)?;
+                let component = *b.get(1 + width)?;
+                let color = *b.get(2 + width)?;
+                (b.len() == 3 + width && color <= 1).then_some(ShatterLabel::Component {
+                    id,
+                    component,
+                    color,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Encodes to a certificate with `width`-byte identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an identifier does not fit in `width` bytes.
+    pub fn encode(&self, width: usize) -> Certificate {
+        assert!(
+            self.claimed_id() < 1u64.checked_shl(8 * width as u32).unwrap_or(u64::MAX)
+                || width >= 8,
+            "identifier too wide for the certificate"
+        );
+        let mut bytes = Vec::new();
+        match self {
+            ShatterLabel::Point { id } => {
+                bytes.push(0);
+                encode_id(&mut bytes, *id, width);
+            }
+            ShatterLabel::Neighborhood { id, colors } => {
+                bytes.push(1);
+                encode_id(&mut bytes, *id, width);
+                bytes.push(u8::try_from(colors.len()).expect("at most 255 components"));
+                bytes.extend_from_slice(colors);
+            }
+            ShatterLabel::Component { id, component, color } => {
+                bytes.push(2);
+                encode_id(&mut bytes, *id, width);
+                bytes.push(*component);
+                bytes.push(*color);
+            }
+        }
+        Certificate::from_bytes(bytes)
+    }
+
+    /// The claimed shatter-point identifier.
+    pub fn claimed_id(&self) -> u64 {
+        match self {
+            ShatterLabel::Point { id }
+            | ShatterLabel::Neighborhood { id, .. }
+            | ShatterLabel::Component { id, .. } => *id,
+        }
+    }
+}
+
+/// The one-round decoder of Theorem 1.3 (identifier-reading).
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_certs::shatter::{ShatterDecoder, ShatterProver};
+/// use hiding_lcp_core::decoder::accepts_all;
+/// use hiding_lcp_core::instance::Instance;
+/// use hiding_lcp_core::prover::Prover;
+/// use hiding_lcp_graph::generators;
+///
+/// // The interior of a long path is a shatter point.
+/// let instance = Instance::canonical(generators::path(8));
+/// let labeling = ShatterProver.certify(&instance).expect("P8 shatters");
+/// assert!(accepts_all(&ShatterDecoder, &instance.with_labeling(labeling)));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShatterDecoder;
+
+impl Decoder for ShatterDecoder {
+    fn name(&self) -> String {
+        "shatter point (Theorem 1.3)".into()
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn id_mode(&self) -> IdMode {
+        IdMode::Full
+    }
+    fn decide(&self, view: &View) -> Verdict {
+        let width = id_width(view.id_bound());
+        let Some(mine) = ShatterLabel::decode(view.center_label(), width) else {
+            return Verdict::Reject;
+        };
+        let neighbors: Option<Vec<ShatterLabel>> = view
+            .center_arcs()
+            .iter()
+            .map(|arc| ShatterLabel::decode(&view.node(arc.to).label, width))
+            .collect();
+        let Some(neighbors) = neighbors else {
+            return Verdict::Reject;
+        };
+        let my_id = view.center_id().expect("Full id mode");
+        let accept = match &mine {
+            // Rule 1: the shatter point checks its own identifier and that
+            // all neighbors are type 1 with identical content naming it.
+            ShatterLabel::Point { id } => {
+                *id == my_id
+                    && neighbors.iter().all(|w| {
+                        matches!(w, ShatterLabel::Neighborhood { id: wid, .. } if *wid == my_id)
+                    })
+                    && neighbors.windows(2).all(|pair| pair[0] == pair[1])
+            }
+            // Rule 2: a neighborhood node.
+            ShatterLabel::Neighborhood { id, colors } => {
+                // (a) no type-1 neighbor.
+                let no_type1 = neighbors
+                    .iter()
+                    .all(|w| !matches!(w, ShatterLabel::Neighborhood { .. }));
+                // (b) exactly one type-0 neighbor, naming the same point.
+                let points: Vec<&ShatterLabel> = neighbors
+                    .iter()
+                    .filter(|w| matches!(w, ShatterLabel::Point { .. }))
+                    .collect();
+                let one_point =
+                    points.len() == 1 && points[0].claimed_id() == *id;
+                // (c) type-2 neighbors agree with the colors vector.
+                let comps_ok = neighbors.iter().all(|w| match w {
+                    ShatterLabel::Component { id: wid, component, color } => {
+                        *wid == *id
+                            && colors.get(usize::from(*component)) == Some(color)
+                    }
+                    _ => true,
+                });
+                no_type1 && one_point && comps_ok
+            }
+            // Rule 3: a component node.
+            ShatterLabel::Component { id, component, color } => {
+                neighbors.iter().all(|w| match w {
+                    // (a) no type-0 neighbor.
+                    ShatterLabel::Point { .. } => false,
+                    // (b) type-1 neighbors name the same point and expect
+                    // my color in my component.
+                    ShatterLabel::Neighborhood { id: wid, colors } => {
+                        *wid == *id && colors.get(usize::from(*component)) == Some(color)
+                    }
+                    // (c) type-2 neighbors share point and component but
+                    // not color.
+                    ShatterLabel::Component { id: wid, component: wc, color: wx } => {
+                        *wid == *id && *wc == *component && *wx != *color
+                    }
+                })
+            }
+        };
+        Verdict::from(accept)
+    }
+}
+
+/// The Theorem 1.3 prover, hiding the coloring at the smallest shatter
+/// point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShatterProver;
+
+impl Prover for ShatterProver {
+    fn name(&self) -> String {
+        "shatter point (Theorem 1.3)".into()
+    }
+    fn certify(&self, instance: &Instance) -> Option<Labeling> {
+        let point = *shatter::shatter_points(instance.graph()).first()?;
+        certify_at(instance, point)
+    }
+}
+
+/// The completeness construction at a prescribed shatter point. Returns
+/// `None` if `point` does not shatter the graph or the graph is not
+/// bipartite.
+pub fn certify_at(instance: &Instance, point: usize) -> Option<Labeling> {
+    let g = instance.graph();
+    if !bipartite::is_bipartite(g) {
+        return None;
+    }
+    let decomposition = shatter::decompose_at(g, point)?;
+    let point_id = instance.ids().id(point);
+    let width = id_width(instance.ids().bound());
+    let mut labels = Labeling::empty(g.node_count());
+    labels.set(point, ShatterLabel::Point { id: point_id }.encode(width));
+    // Per-component 2-colorings and the colors vector.
+    let mut colors = vec![0u8; decomposition.components.len()];
+    let mut node_color: Vec<Option<u8>> = vec![None; g.node_count()];
+    for (i, comp) in decomposition.components.iter().enumerate() {
+        let (sub, map) = g.induced(comp);
+        let sides = bipartite::bipartition(&sub).ok()?;
+        for (new, &old) in map.iter().enumerate() {
+            node_color[old] = Some(sides[new]);
+        }
+        // The color the neighborhood sees: any component node adjacent to
+        // N(v); Lemma 7.1(3) makes the choice consistent.
+        let seen = map.iter().enumerate().find(|(_, &old)| {
+            g.neighbors(old)
+                .iter()
+                .any(|w| decomposition.neighborhood.contains(w))
+        });
+        colors[i] = match seen {
+            Some((new, _)) => sides[new],
+            None => 0,
+        };
+    }
+    let nbhd_label = ShatterLabel::Neighborhood {
+        id: point_id,
+        colors,
+    }
+    .encode(width);
+    for &u in &decomposition.neighborhood {
+        labels.set(u, nbhd_label.clone());
+    }
+    for (i, comp) in decomposition.components.iter().enumerate() {
+        for &u in comp {
+            labels.set(
+                u,
+                ShatterLabel::Component {
+                    id: point_id,
+                    component: u8::try_from(i).ok()?,
+                    color: node_color[u].expect("component node colored"),
+                }
+                .encode(width),
+            );
+        }
+    }
+    Some(labels)
+}
+
+/// The hiding witness of Theorem 1.3's proof: the two labeled paths `P₁`
+/// (8 nodes) and `P₂` (7 nodes) sharing identifiers, ports and the views
+/// of their extremal nodes `w₃` and `z₂`, which sit at odd distance in
+/// `P₁` and even distance in `P₂` — forcing an odd closed walk in
+/// `V(D, 8)`.
+pub fn hiding_witness_instances() -> Vec<LabeledInstance> {
+    let width = id_width(64);
+    let idv = 5u64; // identifier of the shatter point v
+    let lbl_point = ShatterLabel::Point { id: idv };
+    let nbhd = |colors: Vec<u8>| ShatterLabel::Neighborhood { id: idv, colors };
+    let comp = |component: u8, color: u8| ShatterLabel::Component {
+        id: idv,
+        component,
+        color,
+    };
+    // P1: w3 w2 w1 u1 v u2 z1 z2 with ids 1..8.
+    let p1 = {
+        let g = hiding_lcp_graph::generators::path(8);
+        let ports = PortAssignment::canonical(&g);
+        let ids = IdAssignment::from_ids((1..=8).collect(), 64).expect("injective");
+        let inst = Instance::new(g, ports, ids).expect("valid");
+        let labels = Labeling::new(
+            [
+                comp(0, 0),        // w3
+                comp(0, 1),        // w2
+                comp(0, 0),        // w1
+                nbhd(vec![0, 0]),  // u1
+                lbl_point.clone(), // v
+                nbhd(vec![0, 0]),  // u2
+                comp(1, 0),        // z1
+                comp(1, 1),        // z2
+            ]
+            .iter()
+            .map(|l| l.encode(width))
+            .collect(),
+        );
+        inst.with_labeling(labels)
+    };
+    // P2: w3 w2 u1 v u2 z1 z2 with ids 1,2,4,5,6,7,8 (w1 removed).
+    let p2 = {
+        let g = hiding_lcp_graph::generators::path(7);
+        let ports = PortAssignment::canonical(&g);
+        let ids =
+            IdAssignment::from_ids(vec![1, 2, 4, 5, 6, 7, 8], 64).expect("injective");
+        let inst = Instance::new(g, ports, ids).expect("valid");
+        let labels = Labeling::new(
+            [
+                comp(0, 0),        // w3
+                comp(0, 1),        // w2
+                nbhd(vec![1, 0]),  // u1
+                lbl_point,         // v
+                nbhd(vec![1, 0]),  // u2
+                comp(1, 0),        // z1
+                comp(1, 1),        // z2
+            ]
+            .iter()
+            .map(|l| l.encode(width))
+            .collect(),
+        );
+        inst.with_labeling(labels)
+    };
+    vec![p1, p2]
+}
+
+/// Structured adversarial labelings used by the soundness experiments.
+pub fn adversary_labelings(instance: &Instance) -> Vec<Labeling> {
+    let g = instance.graph();
+    let n = g.node_count();
+    let width = id_width(instance.ids().bound());
+    let mut out = Vec::new();
+    // Everyone claims to be the shatter point.
+    out.push(
+        g.nodes()
+            .map(|v| ShatterLabel::Point { id: instance.ids().id(v) }.encode(width))
+            .collect(),
+    );
+    // One arbitrary "point" with everyone else a monochromatic component.
+    for color in 0..=1u8 {
+        let point_id = instance.ids().id(0);
+        let mut labels = Labeling::empty(n);
+        labels.set(0, ShatterLabel::Point { id: point_id }.encode(width));
+        for v in 1..n {
+            labels.set(
+                v,
+                ShatterLabel::Component { id: point_id, component: 0, color }.encode(width),
+            );
+        }
+        out.push(labels);
+    }
+    // Two-colored single component with no point at all.
+    for polarity in 0..=1u8 {
+        let point_id = instance.ids().bound(); // a non-existent identifier
+        out.push(
+            g.nodes()
+                .map(|v| {
+                    ShatterLabel::Component {
+                        id: point_id,
+                        component: 0,
+                        color: (v as u8 + polarity) % 2,
+                    }
+                    .encode(width)
+                })
+                .collect(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiding_lcp_core::decoder::{accepts_all, run};
+    use hiding_lcp_core::language::KCol;
+    use hiding_lcp_core::nbhd::NbhdGraph;
+    use hiding_lcp_core::properties::{completeness, strong};
+    use hiding_lcp_graph::{generators, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spider() -> Graph {
+        Graph::from_edges(
+            10,
+            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (0, 7), (7, 8), (8, 9)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn complete_on_shatter_point_graphs() {
+        let instances = [
+            Instance::canonical(generators::path(8)),
+            Instance::canonical(spider()),
+            Instance::canonical(generators::caterpillar(5, 1)),
+            Instance::canonical(generators::grid(1, 9)),
+        ];
+        let report = completeness::check_completeness(&ShatterDecoder, &ShatterProver, instances);
+        assert!(report.all_passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn every_shatter_point_choice_works() {
+        let inst = Instance::canonical(generators::path(8));
+        for point in shatter::shatter_points(inst.graph()) {
+            let labeling = certify_at(&inst, point).expect("valid shatter point");
+            assert!(accepts_all(&ShatterDecoder, &inst.clone().with_labeling(labeling)));
+        }
+    }
+
+    #[test]
+    fn declines_without_shatter_point_or_bipartiteness() {
+        assert!(ShatterProver.certify(&Instance::canonical(generators::cycle(8))).is_none());
+        assert!(ShatterProver
+            .certify(&Instance::canonical(generators::pendant_path(5, 3)))
+            .is_none(), "shatter point exists but C5 is odd");
+    }
+
+    #[test]
+    fn certificate_size_scales_with_components_plus_log_n() {
+        // k components -> 2 + width + k bytes on type-1 nodes; the spider
+        // has 10 nodes, bound 100, so identifiers take 1 byte.
+        let inst = Instance::canonical(spider());
+        let labeling = ShatterProver.certify(&inst).unwrap();
+        assert_eq!(labeling.max_bits(), (2 + 1 + 3) * 8);
+    }
+
+    #[test]
+    fn strong_soundness_structured_and_random() {
+        let two_col = KCol::new(2);
+        let mut rng = StdRng::seed_from_u64(31);
+        for g in [
+            generators::cycle(3),
+            generators::cycle(5),
+            generators::pendant_path(5, 3),
+            generators::complete(4),
+            generators::path(8),
+        ] {
+            let inst = Instance::canonical(g);
+            for labeling in adversary_labelings(&inst) {
+                assert!(
+                    strong::strong_holds_for(&ShatterDecoder, &two_col, &inst, &labeling).is_ok()
+                );
+            }
+            // Random adversaries over honest letter material.
+            let alphabet: Vec<Certificate> = adversary_labelings(&inst)
+                .iter()
+                .flat_map(|l| l.as_slice().to_vec())
+                .collect();
+            assert!(strong::check_strong_random(
+                &ShatterDecoder,
+                &two_col,
+                &inst,
+                &alphabet,
+                800,
+                &mut rng
+            )
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn hiding_witness_instances_are_accepted_and_yield_an_odd_walk() {
+        let witnesses = hiding_witness_instances();
+        for li in &witnesses {
+            assert!(
+                accepts_all(&ShatterDecoder, li),
+                "the proof's instances are unanimously accepted"
+            );
+        }
+        // The proof's view coincidences: w3 (node 0) and z2 (last node)
+        // have identical views in P1 and P2.
+        let (p1, p2) = (&witnesses[0], &witnesses[1]);
+        assert_eq!(
+            p1.view(0, 1, IdMode::Full),
+            p2.view(0, 1, IdMode::Full),
+            "w3's views coincide"
+        );
+        assert_eq!(
+            p1.view(7, 1, IdMode::Full),
+            p2.view(6, 1, IdMode::Full),
+            "z2's views coincide"
+        );
+        // Lemma 3.2: V(D, 8) contains an odd closed walk.
+        let nbhd = NbhdGraph::build(&ShatterDecoder, IdMode::Full, witnesses, |g| {
+            bipartite::is_bipartite(g)
+        });
+        let odd = nbhd.odd_cycle().expect("Theorem 1.3's decoder hides");
+        assert_eq!(odd.len() % 2, 1);
+    }
+
+    #[test]
+    fn rejects_forged_points_and_wrong_vectors() {
+        let inst = Instance::canonical(generators::path(8));
+        let honest = ShatterProver.certify(&inst).unwrap();
+        // Forge: point claims a wrong identifier.
+        let point = shatter::shatter_points(inst.graph())[0];
+        let mut forged = honest.clone();
+        let width = id_width(inst.ids().bound());
+        forged.set(point, ShatterLabel::Point { id: 63 }.encode(width));
+        let verdicts = run(&ShatterDecoder, &inst.clone().with_labeling(forged));
+        assert!(!verdicts[point].is_accept());
+        // Forge: flip one component node's color.
+        let comp_node = 0;
+        let mut flipped = honest.clone();
+        let ShatterLabel::Component { id, component, color } =
+            ShatterLabel::decode(honest.label(comp_node), width).unwrap()
+        else {
+            panic!("node 0 is a component node");
+        };
+        flipped.set(
+            comp_node,
+            ShatterLabel::Component { id, component, color: color ^ 1 }.encode(width),
+        );
+        let verdicts = run(&ShatterDecoder, &inst.with_labeling(flipped));
+        assert!(verdicts.iter().any(|v| !v.is_accept()));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for width in [1usize, 2, 4, 8] {
+            for label in [
+                ShatterLabel::Point { id: 42 },
+                ShatterLabel::Neighborhood { id: 7, colors: vec![0, 1, 1] },
+                ShatterLabel::Component { id: 9, component: 2, color: 1 },
+            ] {
+                assert_eq!(ShatterLabel::decode(&label.encode(width), width), Some(label));
+            }
+        }
+        assert_eq!(ShatterLabel::decode(&Certificate::from_byte(5), 1), None);
+        assert_eq!(ShatterLabel::decode(&Certificate::empty(), 1), None);
+        // Colors above 1 are malformed.
+        let bad = ShatterLabel::Neighborhood { id: 1, colors: vec![2] }.encode(1);
+        assert_eq!(ShatterLabel::decode(&bad, 1), None);
+        // Width-dependent ids: a 2-byte id round-trips only at width 2.
+        let wide = ShatterLabel::Point { id: 300 }.encode(2);
+        assert_eq!(ShatterLabel::decode(&wide, 2), Some(ShatterLabel::Point { id: 300 }));
+        assert_eq!(ShatterLabel::decode(&wide, 1), None);
+    }
+
+    #[test]
+    fn id_width_scaling() {
+        assert_eq!(id_width(1), 1);
+        assert_eq!(id_width(255), 1);
+        assert_eq!(id_width(256), 2);
+        assert_eq!(id_width(1 << 16), 3);
+        assert_eq!(id_width(u64::MAX), 8);
+    }
+}

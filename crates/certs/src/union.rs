@@ -1,0 +1,250 @@
+//! The Theorem 1.1 LCP: the union of the Lemma 4.1 (minimum degree one)
+//! and Lemma 4.2 (even cycle) schemes for the class H₁ ∪ H₂.
+//!
+//! Certificates carry a one-byte routing tag followed by the sub-scheme
+//! payload. A node accepts iff every visible certificate (its own and all
+//! neighbors') carries its own tag and the tagged sub-decoder accepts the
+//! payload view. Strong soundness composes: accepting nodes of different
+//! tags are never adjacent, and each tag class induces a bipartite
+//! subgraph by the sub-scheme's strong soundness.
+
+use crate::degree_one::{DegreeOneDecoder, DegreeOneProver};
+use crate::even_cycle::{EvenCycleDecoder, EvenCycleProver};
+use hiding_lcp_core::decoder::{Decoder, Verdict};
+use hiding_lcp_core::instance::Instance;
+use hiding_lcp_core::label::{Certificate, Labeling};
+use hiding_lcp_core::prover::Prover;
+use hiding_lcp_core::view::{IdMode, View};
+use hiding_lcp_graph::algo::components::connected_components;
+
+/// Routing tag for the degree-one scheme.
+pub const TAG_DEGREE_ONE: u8 = 1;
+/// Routing tag for the even-cycle scheme.
+pub const TAG_EVEN_CYCLE: u8 = 2;
+
+/// Prefixes a payload certificate with a tag byte.
+pub fn tag_certificate(tag: u8, payload: &Certificate) -> Certificate {
+    let mut bytes = Vec::with_capacity(1 + payload.bytes().len());
+    bytes.push(tag);
+    bytes.extend_from_slice(payload.bytes());
+    Certificate::from_bytes(bytes)
+}
+
+fn split(cert: &Certificate) -> Option<(u8, Certificate)> {
+    let bytes = cert.bytes();
+    let (&tag, rest) = bytes.split_first()?;
+    Some((tag, Certificate::from_bytes(rest.to_vec())))
+}
+
+/// The Theorem 1.1 union decoder (anonymous, one round, constant size).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnionDecoder;
+
+impl Decoder for UnionDecoder {
+    fn name(&self) -> String {
+        "union H1 ∪ H2 (Theorem 1.1)".into()
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn id_mode(&self) -> IdMode {
+        IdMode::Anonymous
+    }
+    fn decide(&self, view: &View) -> Verdict {
+        let Some((tag, _)) = split(view.center_label()) else {
+            return Verdict::Reject;
+        };
+        if tag != TAG_DEGREE_ONE && tag != TAG_EVEN_CYCLE {
+            return Verdict::Reject;
+        }
+        // Everyone in sight must carry my tag.
+        for arc in view.center_arcs() {
+            match split(&view.node(arc.to).label) {
+                Some((t, _)) if t == tag => {}
+                _ => return Verdict::Reject,
+            }
+        }
+        // Delegate to the tagged sub-decoder on the untagged view.
+        let payload_view = view.map_labels(|cert| {
+            split(cert)
+                .map(|(_, payload)| payload)
+                .unwrap_or_else(Certificate::empty)
+        });
+        match tag {
+            TAG_DEGREE_ONE => DegreeOneDecoder.decide(&payload_view),
+            _ => EvenCycleDecoder.decide(&payload_view),
+        }
+    }
+}
+
+/// The Theorem 1.1 prover: per connected component, the even-cycle scheme
+/// on even-cycle components and the degree-one scheme elsewhere.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnionProver;
+
+impl Prover for UnionProver {
+    fn name(&self) -> String {
+        "union H1 ∪ H2 (Theorem 1.1)".into()
+    }
+    fn certify(&self, instance: &Instance) -> Option<Labeling> {
+        let g = instance.graph();
+        let mut labels = Labeling::empty(g.node_count());
+        for comp in connected_components(g) {
+            // Build the component as a standalone instance (ports and ids
+            // restricted), certify it, then copy labels back.
+            let (sub, map) = g.induced(&comp);
+            let sub_ports = instance.ports().restrict(&sub, &map);
+            let sub_ids = instance.ids().restrict(&map);
+            let sub_inst = Instance::new(sub, sub_ports, sub_ids)?;
+            let (tag, sub_labels) =
+                if hiding_lcp_graph::classes::simple::is_even_cycle(sub_inst.graph()) {
+                    (TAG_EVEN_CYCLE, EvenCycleProver.certify(&sub_inst)?)
+                } else if sub_inst.graph().node_count() == 1 {
+                    // Isolated node: degenerate min-degree case; certify as
+                    // a colored singleton under the degree-one scheme.
+                    (
+                        TAG_DEGREE_ONE,
+                        Labeling::uniform(1, crate::degree_one::Letter::Zero.encode()),
+                    )
+                } else {
+                    (TAG_DEGREE_ONE, DegreeOneProver.certify(&sub_inst)?)
+                };
+            for (new, &old) in map.iter().enumerate() {
+                labels.set(old, tag_certificate(tag, sub_labels.label(new)));
+            }
+        }
+        Some(labels)
+    }
+}
+
+/// The union adversarial alphabet: both sub-alphabets under both tags,
+/// plus untagged garbage.
+pub fn adversary_alphabet() -> Vec<Certificate> {
+    let mut out = Vec::new();
+    for payload in crate::degree_one::adversary_alphabet() {
+        out.push(tag_certificate(TAG_DEGREE_ONE, &payload));
+        out.push(tag_certificate(TAG_EVEN_CYCLE, &payload));
+    }
+    for payload in crate::even_cycle::adversary_alphabet() {
+        out.push(tag_certificate(TAG_EVEN_CYCLE, &payload));
+    }
+    out.push(Certificate::empty());
+    out.push(Certificate::from_byte(7));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiding_lcp_core::decoder::accepts_all;
+    use hiding_lcp_core::language::KCol;
+    use hiding_lcp_core::properties::{completeness, strong};
+    use hiding_lcp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mixed_instance() -> Instance {
+        // A pendant tree ⊎ C6 ⊎ P5 ⊎ C4: squarely in H1 ∪ H2.
+        let g = generators::caterpillar(3, 1)
+            .disjoint_union(&generators::cycle(6))
+            .disjoint_union(&generators::path(5))
+            .disjoint_union(&generators::cycle(4));
+        Instance::canonical(g)
+    }
+
+    #[test]
+    fn complete_on_the_union_class() {
+        let instances = [
+            mixed_instance(),
+            Instance::canonical(generators::cycle(8)),
+            Instance::canonical(generators::path(6)),
+            Instance::canonical(generators::star(4)),
+        ];
+        let report = completeness::check_completeness(&UnionDecoder, &UnionProver, instances);
+        assert!(report.all_passed(), "{:?}", report.failures);
+        // One tag byte + the 6-byte cycle payload.
+        assert_eq!(report.max_certificate_bits, 56);
+    }
+
+    #[test]
+    fn declines_outside_the_union_class() {
+        for g in [
+            generators::cycle(5),                 // odd cycle
+            generators::torus(3, 4),              // min degree 4, not a cycle
+            generators::theta(2, 2, 2),           // min degree 2, not a cycle
+            generators::pendant_path(5, 2),       // pendant but odd cycle inside
+        ] {
+            assert!(
+                UnionProver.certify(&Instance::canonical(g)).is_none(),
+                "prover must decline non-members"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_tag_edges_reject() {
+        // Tag a 2-colored P2 with different tags at its endpoints.
+        let inst = Instance::canonical(generators::path(2));
+        let labeling = Labeling::new(vec![
+            tag_certificate(TAG_DEGREE_ONE, &crate::degree_one::Letter::Zero.encode()),
+            tag_certificate(TAG_EVEN_CYCLE, &crate::degree_one::Letter::One.encode()),
+        ]);
+        let verdicts =
+            hiding_lcp_core::decoder::run(&UnionDecoder, &inst.with_labeling(labeling));
+        assert!(verdicts.iter().all(|v| !v.is_accept()));
+    }
+
+    #[test]
+    fn strong_soundness_random_mixed() {
+        let two_col = KCol::new(2);
+        let alphabet = adversary_alphabet();
+        let mut rng = StdRng::seed_from_u64(17);
+        for g in [
+            generators::cycle(3),
+            generators::cycle(5).disjoint_union(&generators::path(3)),
+            generators::pendant_path(3, 2),
+            generators::complete(4),
+        ] {
+            let inst = Instance::canonical(g);
+            assert!(strong::check_strong_random(
+                &UnionDecoder,
+                &two_col,
+                &inst,
+                &alphabet,
+                1_500,
+                &mut rng
+            )
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn strong_soundness_exhaustive_on_triangle_with_tags() {
+        // Exhaustive over the *degree-one* side of the alphabet (5 letters
+        // x 2 tags + garbage = manageable) on C3.
+        let two_col = KCol::new(2);
+        let mut alphabet = Vec::new();
+        for payload in crate::degree_one::adversary_alphabet() {
+            alphabet.push(tag_certificate(TAG_DEGREE_ONE, &payload));
+        }
+        alphabet.push(Certificate::from_byte(7));
+        let c3 = Instance::canonical(generators::cycle(3));
+        assert!(
+            strong::check_strong_exhaustive(&UnionDecoder, &two_col, &c3, &alphabet).is_ok()
+        );
+    }
+
+    #[test]
+    fn accepts_each_component_under_its_own_scheme() {
+        let inst = mixed_instance();
+        let labeling = UnionProver.certify(&inst).unwrap();
+        let li = inst.with_labeling(labeling);
+        assert!(accepts_all(&UnionDecoder, &li));
+        // The C6 component got the cycle tag; the caterpillar the
+        // degree-one tag.
+        let caterpillar_node = 0;
+        let cycle_node = 6; // first node of the C6 component
+        assert_eq!(li.labeling().label(caterpillar_node).bytes()[0], TAG_DEGREE_ONE);
+        assert_eq!(li.labeling().label(cycle_node).bytes()[0], TAG_EVEN_CYCLE);
+    }
+}

@@ -1,0 +1,379 @@
+//! The universal LCP (paper, Section 1.1): "every Turing-computable graph
+//! property admits an LCP with certificates of size O(n²): simply provide
+//! the entire adjacency matrix of the input graph to every vertex, along
+//! with their corresponding node identifiers."
+//!
+//! Instantiated here for 2-colorability. Every node receives the claimed
+//! graph (identifier list + adjacency bitmap) and checks that (a) the
+//! claim is bipartite, (b) its own row matches its true neighborhood, and
+//! (c) every neighbor carries the identical certificate. Soundness is the
+//! classic argument: matching rows make the real graph an induced
+//! subgraph of the (bipartite) claim; strong soundness follows because
+//! adjacent accepting nodes share one claim per component.
+//!
+//! The universal LCP is the anti-hiding extreme: each node sees the whole
+//! graph, so the lexicographically-first-coloring rule extracts a proper
+//! 2-coloring at every node ([`UniversalExtractor`]), and `V(D, ·)` is
+//! 2-colorable over any universe. The paper's hiding program asks how much
+//! of this omniscience certification can *avoid*.
+
+use hiding_lcp_core::decoder::{Decoder, Verdict};
+use hiding_lcp_core::instance::{Instance, LabeledInstance};
+use hiding_lcp_core::label::{Certificate, Labeling};
+use hiding_lcp_core::prover::Prover;
+use hiding_lcp_core::view::{IdMode, View};
+use hiding_lcp_graph::algo::{bipartite, coloring};
+use hiding_lcp_graph::Graph;
+
+/// The decoded universal certificate: a claimed graph with identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphClaim {
+    /// The claimed nodes' identifiers, in index order (strictly
+    /// increasing, which also canonicalizes the encoding).
+    pub ids: Vec<u64>,
+    /// The claimed adjacency, row-major upper triangle.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl GraphClaim {
+    /// Builds the claim describing `instance`'s graph.
+    pub fn of(instance: &Instance) -> GraphClaim {
+        // Sort nodes by identifier for a canonical encoding.
+        let g = instance.graph();
+        let mut order: Vec<usize> = g.nodes().collect();
+        order.sort_by_key(|&v| instance.ids().id(v));
+        let mut pos = vec![0usize; g.node_count()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v] = i;
+        }
+        let ids = order.iter().map(|&v| instance.ids().id(v)).collect();
+        let mut edges: Vec<(usize, usize)> = g
+            .edges()
+            .map(|(u, v)| {
+                let (a, b) = (pos[u], pos[v]);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        edges.sort_unstable();
+        GraphClaim { ids, edges }
+    }
+
+    /// The claimed graph.
+    pub fn graph(&self) -> Graph {
+        Graph::from_edges(self.ids.len(), &self.edges).expect("claims store valid edges")
+    }
+
+    /// The claimed index of identifier `id`.
+    pub fn index_of(&self, id: u64) -> Option<usize> {
+        self.ids.binary_search(&id).ok()
+    }
+
+    /// The claimed neighbor identifiers of `id`, sorted.
+    pub fn neighbors_of(&self, id: u64) -> Option<Vec<u64>> {
+        let me = self.index_of(id)?;
+        let mut out: Vec<u64> = self
+            .edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == me {
+                    Some(self.ids[b])
+                } else if b == me {
+                    Some(self.ids[a])
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        Some(out)
+    }
+
+    /// Encodes: `[n (2 bytes)] [ids: n × 8 bytes] [bitmap: ⌈n²/8⌉ bytes]`
+    /// — the O(n²) certificate of Section 1.1.
+    pub fn encode(&self) -> Certificate {
+        let n = self.ids.len();
+        let mut bytes = Vec::with_capacity(2 + 8 * n + (n * n).div_ceil(8));
+        bytes.extend_from_slice(&(n as u16).to_be_bytes());
+        for id in &self.ids {
+            bytes.extend_from_slice(&id.to_be_bytes());
+        }
+        let mut bitmap = vec![0u8; (n * n).div_ceil(8)];
+        for &(a, b) in &self.edges {
+            for idx in [a * n + b, b * n + a] {
+                bitmap[idx / 8] |= 1 << (idx % 8);
+            }
+        }
+        bytes.extend_from_slice(&bitmap);
+        Certificate::from_bytes(bytes)
+    }
+
+    /// Decodes; `None` if malformed (wrong length, unsorted or repeated
+    /// identifiers, asymmetric bitmap, or diagonal entries).
+    pub fn decode(cert: &Certificate) -> Option<GraphClaim> {
+        let b = cert.bytes();
+        let n = usize::from(u16::from_be_bytes([*b.first()?, *b.get(1)?]));
+        let expected = 2 + 8 * n + (n * n).div_ceil(8);
+        if b.len() != expected {
+            return None;
+        }
+        let ids: Vec<u64> = (0..n)
+            .map(|i| {
+                let off = 2 + 8 * i;
+                u64::from_be_bytes(b[off..off + 8].try_into().expect("8 bytes"))
+            })
+            .collect();
+        if !ids.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        let bitmap = &b[2 + 8 * n..];
+        let bit = |idx: usize| bitmap[idx / 8] >> (idx % 8) & 1 == 1;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            if bit(a * n + a) {
+                return None; // loop
+            }
+            for c in (a + 1)..n {
+                if bit(a * n + c) != bit(c * n + a) {
+                    return None; // asymmetric
+                }
+                if bit(a * n + c) {
+                    edges.push((a, c));
+                }
+            }
+        }
+        Some(GraphClaim { ids, edges })
+    }
+}
+
+/// The universal one-round decoder for 2-colorability.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniversalDecoder;
+
+impl Decoder for UniversalDecoder {
+    fn name(&self) -> String {
+        "universal adjacency-matrix (Section 1.1)".into()
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn id_mode(&self) -> IdMode {
+        IdMode::Full
+    }
+    fn decide(&self, view: &View) -> Verdict {
+        let Some(claim) = GraphClaim::decode(view.center_label()) else {
+            return Verdict::Reject;
+        };
+        // (a) the claim is bipartite.
+        if !bipartite::is_bipartite(&claim.graph()) {
+            return Verdict::Reject;
+        }
+        // (b) my claimed row matches my true neighborhood.
+        let my_id = view.center_id().expect("Full id mode");
+        let Some(claimed) = claim.neighbors_of(my_id) else {
+            return Verdict::Reject;
+        };
+        let mut actual: Vec<u64> = view
+            .center_arcs()
+            .iter()
+            .map(|arc| view.node(arc.to).id.expect("Full id mode"))
+            .collect();
+        actual.sort_unstable();
+        if claimed != actual {
+            return Verdict::Reject;
+        }
+        // (c) every neighbor carries the identical certificate.
+        Verdict::from(
+            view.center_arcs()
+                .iter()
+                .all(|arc| view.node(arc.to).label == *view.center_label()),
+        )
+    }
+}
+
+/// The universal prover: hands every node the true graph.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniversalProver;
+
+impl Prover for UniversalProver {
+    fn name(&self) -> String {
+        "universal adjacency-matrix (Section 1.1)".into()
+    }
+    fn certify(&self, instance: &Instance) -> Option<Labeling> {
+        if !bipartite::is_bipartite(instance.graph()) {
+            return None;
+        }
+        let cert = GraphClaim::of(instance).encode();
+        Some(Labeling::uniform(instance.graph().node_count(), cert))
+    }
+}
+
+/// The anti-hiding witness: every node recomputes the lexicographically
+/// first 2-coloring of the claimed graph and outputs its own color — a
+/// one-round decoder that extracts a proper coloring from every accepted
+/// universal certificate assignment. The universal LCP is therefore *not*
+/// hiding, in the strongest possible way.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniversalExtractor;
+
+impl UniversalExtractor {
+    /// One node's extraction.
+    pub fn extract(&self, view: &View) -> Option<usize> {
+        let claim = GraphClaim::decode(view.center_label())?;
+        let my_id = view.center_id()?;
+        let me = claim.index_of(my_id)?;
+        let colors = coloring::lex_first_coloring(&claim.graph(), 2)?;
+        Some(colors[me])
+    }
+
+    /// Runs the extraction at every node; a `None` means that node failed.
+    pub fn extract_all(&self, li: &LabeledInstance) -> Vec<Option<usize>> {
+        li.graph()
+            .nodes()
+            .map(|v| self.extract(&li.view(v, 1, IdMode::Full)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiding_lcp_core::decoder::{accepts_all, run};
+    use hiding_lcp_core::language::KCol;
+    use hiding_lcp_core::nbhd::NbhdGraph;
+    use hiding_lcp_core::properties::{completeness, strong};
+    use hiding_lcp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_on_bipartite_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let instances = vec![
+            Instance::canonical(generators::cycle(6)),
+            Instance::canonical(generators::grid(3, 3)),
+            Instance::random(generators::hypercube(3), &mut rng),
+            Instance::canonical(generators::path(5)),
+        ];
+        let report =
+            completeness::check_completeness(&UniversalDecoder, &UniversalProver, instances);
+        assert!(report.all_passed(), "{:?}", report.failures);
+        // O(n²) bits: for n = 9 (grid3x3): 2 + 72 + ceil(81/8) = 85 bytes.
+        assert_eq!(report.max_certificate_bits, (2 + 72 + 11) * 8);
+    }
+
+    #[test]
+    fn rejects_non_bipartite_claims_and_row_lies() {
+        let inst = Instance::canonical(generators::cycle(5));
+        assert!(UniversalProver.certify(&inst).is_none());
+        // Hand the C5 its own (non-bipartite) claim: everyone rejects.
+        let cert = GraphClaim::of(&inst).encode();
+        let li = inst.clone().with_labeling(Labeling::uniform(5, cert));
+        assert!(run(&UniversalDecoder, &li).iter().all(|v| !v.is_accept()));
+        // Hand the C5 a bipartite FALSE claim (a C4): nodes whose rows
+        // happen to match (ids 2 and 3 see {1,3} / {2,4} in both graphs)
+        // may accept, but soundness only needs one rejection — and the
+        // accepting set stays bipartite (strong soundness).
+        let c4 = Instance::canonical(generators::cycle(4));
+        let lie = GraphClaim::of(&c4).encode();
+        let li = inst.clone().with_labeling(Labeling::uniform(5, lie.clone()));
+        let verdicts = run(&UniversalDecoder, &li);
+        assert!(verdicts.iter().any(|v| !v.is_accept()), "someone rejects");
+        let two_col = hiding_lcp_core::language::KCol::new(2);
+        assert!(hiding_lcp_core::properties::strong::strong_holds_for(
+            &UniversalDecoder,
+            &two_col,
+            &inst,
+            &Labeling::uniform(5, lie)
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn strong_soundness_under_mixed_claims() {
+        // Different components may carry different claims; adjacent
+        // accepting nodes must share one, so the accepting set stays
+        // bipartite. Random mixtures of honest claims on a no-instance.
+        let two_col = KCol::new(2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let donor_a = GraphClaim::of(&Instance::canonical(generators::cycle(4))).encode();
+        let donor_b = GraphClaim::of(&Instance::canonical(generators::path(5))).encode();
+        for g in [generators::cycle(5), generators::complete(4), generators::petersen()] {
+            let inst = Instance::canonical(g);
+            let honest_self = GraphClaim::of(&inst).encode();
+            let alphabet = vec![
+                donor_a.clone(),
+                donor_b.clone(),
+                honest_self,
+                Certificate::from_byte(3),
+            ];
+            assert!(strong::check_strong_random(
+                &UniversalDecoder,
+                &two_col,
+                &inst,
+                &alphabet,
+                1_500,
+                &mut rng
+            )
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn extractor_defeats_the_universal_lcp() {
+        // On every accepted instance, the extractor outputs a proper
+        // 2-coloring at EVERY node: maximal leakage.
+        let two_col = KCol::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for g in [
+            generators::cycle(8),
+            generators::grid(2, 4),
+            generators::balanced_tree(2, 3),
+        ] {
+            let inst = Instance::random(g, &mut rng);
+            let labeling = UniversalProver.certify(&inst).unwrap();
+            let li = inst.with_labeling(labeling);
+            assert!(accepts_all(&UniversalDecoder, &li));
+            let outputs = UniversalExtractor.extract_all(&li);
+            assert!(two_col.is_extracted_witness(li.graph(), &outputs));
+        }
+    }
+
+    #[test]
+    fn neighborhood_graph_is_two_colorable() {
+        // Lemma 3.2 confirmation: V(D, ·) over honest universal instances
+        // is 2-colorable, so no hiding.
+        let universe: Vec<LabeledInstance> = [
+            generators::cycle(4),
+            generators::cycle(6),
+            generators::path(5),
+            generators::star(3),
+        ]
+        .into_iter()
+        .map(|g| {
+            let inst = Instance::canonical(g);
+            let labeling = UniversalProver.certify(&inst).unwrap();
+            inst.with_labeling(labeling)
+        })
+        .collect();
+        let nbhd = NbhdGraph::build(&UniversalDecoder, IdMode::Full, universe, |g| {
+            bipartite::is_bipartite(g)
+        });
+        assert!(nbhd.view_count() > 0);
+        assert!(nbhd.k_colorable(2), "universal certification cannot hide");
+        assert_eq!(nbhd.chromatic_number(), Some(2));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let inst = Instance::canonical(generators::theta(2, 2, 3));
+        let claim = GraphClaim::of(&inst);
+        assert_eq!(GraphClaim::decode(&claim.encode()), Some(claim.clone()));
+        assert_eq!(claim.graph().edge_count(), inst.graph().edge_count());
+        assert_eq!(GraphClaim::decode(&Certificate::from_byte(0)), None);
+        assert_eq!(GraphClaim::decode(&Certificate::empty()), None);
+        // Unsorted identifiers are malformed.
+        let mut bad = claim.clone();
+        bad.ids.reverse();
+        assert_eq!(GraphClaim::decode(&bad.encode()), None);
+    }
+}

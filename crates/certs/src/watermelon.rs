@@ -1,0 +1,560 @@
+//! The Theorem 1.4 LCP: strong and hiding certification of 2-colorability
+//! on watermelon graphs with `O(log n)`-bit certificates.
+//!
+//! Every node learns the identifiers of the two endpoints; path nodes
+//! additionally carry their path's number and, per incident edge, the
+//! far-end port and an edge color. The decoder checks a proper
+//! 2-edge-coloring along each path and monochromatic edge bundles at the
+//! endpoints, which pins all path lengths to one parity — exactly
+//! bipartiteness of a watermelon — without assigning any node a color.
+//!
+//! One transcription note: the paper's rule 3(c) indexes the neighbor's
+//! certificate by the *claimed* far port `p_i^u`. We additionally check
+//! that the claim matches the true port `prt(w_i, e)` visible in the view;
+//! without this binding, three identical certificates on a triangle
+//! cross-reference each other's other edges and rule 3(c) is fooled (our
+//! strong-soundness sweep found this concretely). The check is available
+//! to the one-round verifier and evidently intended.
+
+use hiding_lcp_core::decoder::{Decoder, Verdict};
+use hiding_lcp_core::instance::{Instance, LabeledInstance};
+use hiding_lcp_core::label::{Certificate, Labeling};
+use hiding_lcp_core::prover::Prover;
+use hiding_lcp_core::view::{IdMode, View};
+use crate::shatter::id_width;
+use hiding_lcp_graph::classes::watermelon as wm;
+use hiding_lcp_graph::IdAssignment;
+
+/// A decoded Theorem 1.4 certificate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MelonLabel {
+    /// Type 1: an endpoint; carries both endpoint identifiers in
+    /// increasing order.
+    Endpoint {
+        /// The smaller endpoint identifier.
+        id1: u64,
+        /// The larger endpoint identifier.
+        id2: u64,
+    },
+    /// Type 2: an internal path node.
+    PathNode {
+        /// The smaller endpoint identifier.
+        id1: u64,
+        /// The larger endpoint identifier.
+        id2: u64,
+        /// The path's unique number.
+        path: u16,
+        /// Per-port data: `(far_port, color)` for the edges at ports 1
+        /// and 2.
+        edges: [(u8, u8); 2],
+    },
+}
+
+impl MelonLabel {
+    /// Decodes a certificate whose identifiers are `width` bytes wide;
+    /// `None` if malformed (including `id1 ≥ id2` or equal edge colors on
+    /// a path node).
+    pub fn decode(cert: &Certificate, width: usize) -> Option<MelonLabel> {
+        let b = cert.bytes();
+        let tag = *b.first()?;
+        let id = |off: usize| -> Option<u64> {
+            let slice = b.get(off..off + width)?;
+            let mut out = 0u64;
+            for &byte in slice {
+                out = out << 8 | u64::from(byte);
+            }
+            Some(out)
+        };
+        match tag {
+            1 => {
+                if b.len() != 1 + 2 * width {
+                    return None;
+                }
+                let (id1, id2) = (id(1)?, id(1 + width)?);
+                (id1 < id2).then_some(MelonLabel::Endpoint { id1, id2 })
+            }
+            2 => {
+                if b.len() != 7 + 2 * width {
+                    return None;
+                }
+                let (id1, id2) = (id(1)?, id(1 + width)?);
+                let o = 1 + 2 * width;
+                let path = u16::from_be_bytes([b[o], b[o + 1]]);
+                let edges = [(b[o + 2], b[o + 3]), (b[o + 4], b[o + 5])];
+                // The far end of an edge may be an endpoint of degree k,
+                // so far ports range over 1..=255 while colors are bits.
+                let ports_ok = edges.iter().all(|&(p, c)| p >= 1 && c <= 1);
+                (id1 < id2 && ports_ok && edges[0].1 != edges[1].1).then_some(
+                    MelonLabel::PathNode { id1, id2, path, edges },
+                )
+            }
+            _ => None,
+        }
+    }
+
+    /// Encodes to a certificate with `width`-byte identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an identifier does not fit in `width` bytes.
+    pub fn encode(&self, width: usize) -> Certificate {
+        let cap = 1u64.checked_shl(8 * width as u32).unwrap_or(u64::MAX);
+        let (a, b) = self.endpoint_ids();
+        assert!(width >= 8 || (a < cap && b < cap), "identifier too wide");
+        let push_id = |bytes: &mut Vec<u8>, id: u64| {
+            bytes.extend_from_slice(&id.to_be_bytes()[8 - width..]);
+        };
+        let mut bytes = Vec::new();
+        match self {
+            MelonLabel::Endpoint { id1, id2 } => {
+                bytes.push(1);
+                push_id(&mut bytes, *id1);
+                push_id(&mut bytes, *id2);
+            }
+            MelonLabel::PathNode { id1, id2, path, edges } => {
+                bytes.push(2);
+                push_id(&mut bytes, *id1);
+                push_id(&mut bytes, *id2);
+                bytes.extend_from_slice(&path.to_be_bytes());
+                for &(p, c) in edges {
+                    bytes.push(p);
+                    bytes.push(c);
+                }
+            }
+        }
+        Certificate::from_bytes(bytes)
+    }
+
+    fn endpoint_ids(&self) -> (u64, u64) {
+        match self {
+            MelonLabel::Endpoint { id1, id2 } => (*id1, *id2),
+            MelonLabel::PathNode { id1, id2, .. } => (*id1, *id2),
+        }
+    }
+}
+
+/// The one-round decoder of Theorem 1.4 (identifier-reading).
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_certs::watermelon::{WatermelonDecoder, WatermelonProver};
+/// use hiding_lcp_core::decoder::accepts_all;
+/// use hiding_lcp_core::instance::Instance;
+/// use hiding_lcp_core::prover::Prover;
+/// use hiding_lcp_graph::generators;
+///
+/// // Three slices of even length: bipartite, hence certifiable.
+/// let instance = Instance::canonical(generators::watermelon(&[2, 4, 6]));
+/// let labeling = WatermelonProver.certify(&instance).expect("uniform parity");
+/// assert!(accepts_all(&WatermelonDecoder, &instance.with_labeling(labeling)));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WatermelonDecoder;
+
+impl Decoder for WatermelonDecoder {
+    fn name(&self) -> String {
+        "watermelon (Theorem 1.4)".into()
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn id_mode(&self) -> IdMode {
+        IdMode::Full
+    }
+    fn decide(&self, view: &View) -> Verdict {
+        let width = id_width(view.id_bound());
+        let Some(mine) = MelonLabel::decode(view.center_label(), width) else {
+            return Verdict::Reject;
+        };
+        let my_id = view.center_id().expect("Full id mode");
+        let neighbors: Option<Vec<MelonLabel>> = view
+            .center_arcs()
+            .iter()
+            .map(|arc| MelonLabel::decode(&view.node(arc.to).label, width))
+            .collect();
+        let Some(neighbors) = neighbors else {
+            return Verdict::Reject;
+        };
+        // Condition 1: everyone in sight agrees on the endpoints.
+        if neighbors.iter().any(|w| w.endpoint_ids() != mine.endpoint_ids()) {
+            return Verdict::Reject;
+        }
+        let accept = match &mine {
+            MelonLabel::Endpoint { id1, id2 } => {
+                // 2(a): I am one of the endpoints.
+                if my_id != *id1 && my_id != *id2 {
+                    return Verdict::Reject;
+                }
+                let mut paths = Vec::new();
+                let mut colors = Vec::new();
+                for (arc, w) in view.center_arcs().iter().zip(&neighbors) {
+                    // 2(b): neighbors are path nodes whose entry behind
+                    // the shared edge points back at my port.
+                    let MelonLabel::PathNode { path, edges, .. } = w else {
+                        return Verdict::Reject;
+                    };
+                    let j = usize::from(arc.port_there) - 1;
+                    if j >= 2 {
+                        return Verdict::Reject;
+                    }
+                    let (far_port, color) = edges[j];
+                    if u16::from(far_port) != arc.port_here {
+                        return Verdict::Reject;
+                    }
+                    paths.push(*path);
+                    colors.push(color);
+                }
+                // 2(c): distinct path numbers; 2(d): monochromatic bundle.
+                let mut sorted = paths.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                sorted.len() == paths.len() && colors.windows(2).all(|w| w[0] == w[1])
+            }
+            MelonLabel::PathNode { id1, id2, path, edges } => {
+                // 3(a): exactly two neighbors, via ports 1 and 2.
+                if view.center_degree() != 2 {
+                    return Verdict::Reject;
+                }
+                for (arc, w) in view.center_arcs().iter().zip(&neighbors) {
+                    let i = usize::from(arc.port_here) - 1;
+                    let (far_port, color) = edges[i];
+                    // The recorded far port must be the edge's true port
+                    // at the neighbor (visible in the view). Without this
+                    // binding, a triangle of identical certificates can
+                    // cross-reference each other's *other* edges and fool
+                    // rule 3(c) — see the strong-soundness tests.
+                    if u16::from(far_port) != arc.port_there {
+                        return Verdict::Reject;
+                    }
+                    match w {
+                        // 3(b): path ends at one of the endpoints.
+                        MelonLabel::Endpoint { .. } => {
+                            let wid = view.node(arc.to).id.expect("Full id mode");
+                            if wid != *id1 && wid != *id2 {
+                                return Verdict::Reject;
+                            }
+                        }
+                        // 3(c): interior consistency along the path.
+                        MelonLabel::PathNode {
+                            path: wpath,
+                            edges: wedges,
+                            ..
+                        } => {
+                            if wpath != path {
+                                return Verdict::Reject;
+                            }
+                            let j = usize::from(far_port) - 1;
+                            let Some(&(wp, wc)) = wedges.get(j) else {
+                                return Verdict::Reject;
+                            };
+                            if u16::from(wp) != arc.port_here || wc != color {
+                                return Verdict::Reject;
+                            }
+                        }
+                    }
+                }
+                true
+            }
+        };
+        Verdict::from(accept)
+    }
+}
+
+/// The Theorem 1.4 prover.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WatermelonProver;
+
+impl Prover for WatermelonProver {
+    fn name(&self) -> String {
+        "watermelon (Theorem 1.4)".into()
+    }
+    fn certify(&self, instance: &Instance) -> Option<Labeling> {
+        certify_with_polarity(instance, 0)
+    }
+}
+
+/// The completeness construction with a chosen color for the edges at
+/// `v₁` (both polarities are accepting on bipartite watermelons).
+pub fn certify_with_polarity(instance: &Instance, polarity: u8) -> Option<Labeling> {
+    let g = instance.graph();
+    let melon = wm::decompose(g)?;
+    if !melon.is_bipartite() {
+        return None;
+    }
+    let (v1, v2) = melon.endpoints;
+    let width = id_width(instance.ids().bound());
+    let (id1, id2) = {
+        let a = instance.ids().id(v1);
+        let b = instance.ids().id(v2);
+        (a.min(b), a.max(b))
+    };
+    let mut labels = Labeling::empty(g.node_count());
+    let endpoint = MelonLabel::Endpoint { id1, id2 }.encode(width);
+    labels.set(v1, endpoint.clone());
+    labels.set(v2, endpoint);
+    // Color each path's edges alternately starting with `polarity` at v1.
+    let mut edge_color: std::collections::HashMap<(usize, usize), u8> =
+        std::collections::HashMap::new();
+    for path in &melon.paths {
+        let mut color = polarity & 1;
+        for pair in path.windows(2) {
+            edge_color.insert((pair[0], pair[1]), color);
+            edge_color.insert((pair[1], pair[0]), color);
+            color ^= 1;
+        }
+    }
+    for (pi, path) in melon.paths.iter().enumerate() {
+        for &u in &path[1..path.len() - 1] {
+            let entry = |port: u16| {
+                let w = instance.ports().neighbor_at(u, port);
+                (
+                    instance.ports().port_to(w, u) as u8,
+                    edge_color[&(u, w)],
+                )
+            };
+            labels.set(
+                u,
+                MelonLabel::PathNode {
+                    id1,
+                    id2,
+                    path: u16::try_from(pi).ok()?,
+                    edges: [entry(1), entry(2)],
+                }
+                .encode(width),
+            );
+        }
+    }
+    Some(labels)
+}
+
+/// The hiding-witness universe from Theorem 1.4's proof: the path `P₈`
+/// (a one-slice watermelon) under the identity identifier assignment and
+/// the middle-block swap `id₂(u_i) = 9 − i` for `i ∈ {3..6}`, across every
+/// port assignment and both edge-coloring polarities. The swap makes two
+/// nodes share views across the instances while sitting at distances of
+/// different parity — an odd closed walk in `V(D, 8)`.
+pub fn hiding_witness_universe() -> Vec<LabeledInstance> {
+    let g = hiding_lcp_graph::generators::path(8);
+    let id_sets: [Vec<u64>; 2] = [
+        (1..=8).collect(),
+        vec![1, 2, 6, 5, 4, 3, 7, 8],
+    ];
+    let mut out = Vec::new();
+    for ports in hiding_lcp_graph::ports::all_port_assignments(&g, 1_000) {
+        for ids in &id_sets {
+            let inst = Instance::new(
+                g.clone(),
+                ports.clone(),
+                IdAssignment::from_ids(ids.clone(), 64).expect("injective"),
+            )
+            .expect("valid instance");
+            for polarity in [0, 1] {
+                if let Some(labeling) = certify_with_polarity(&inst, polarity) {
+                    out.push(inst.clone().with_labeling(labeling));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Structured adversarial labelings for the soundness experiments:
+/// parity-mixed path colorings and forged endpoint claims.
+pub fn adversary_labelings(instance: &Instance) -> Vec<Labeling> {
+    let g = instance.graph();
+    let n = g.node_count();
+    let ports = instance.ports();
+    let mut out = Vec::new();
+    if n < 2 {
+        return out;
+    }
+    let width = id_width(instance.ids().bound());
+    let id1 = instance.ids().id(0).min(instance.ids().id(1));
+    let id2 = instance.ids().id(0).max(instance.ids().id(1));
+    // Everyone claims endpoint.
+    out.push(Labeling::uniform(n, MelonLabel::Endpoint { id1, id2 }.encode(width)));
+    // Degree-2 nodes carry arbitrary-polarity path labels; others claim
+    // endpoint — a parity-scrambling adversary.
+    for polarity in 0..=1u8 {
+        let mut labels = Labeling::empty(n);
+        for v in g.nodes() {
+            if g.degree(v) == 2 {
+                let entry = |port: u16| {
+                    let w = ports.neighbor_at(v, port);
+                    (ports.port_to(w, v) as u8, (polarity + port as u8) % 2)
+                };
+                labels.set(
+                    v,
+                    MelonLabel::PathNode {
+                        id1,
+                        id2,
+                        path: 0,
+                        edges: [entry(1), entry(2)],
+                    }
+                    .encode(width),
+                );
+            } else {
+                labels.set(v, MelonLabel::Endpoint { id1, id2 }.encode(width));
+            }
+        }
+        out.push(labels);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiding_lcp_core::decoder::accepts_all;
+    use hiding_lcp_core::language::KCol;
+    use hiding_lcp_core::nbhd::NbhdGraph;
+    use hiding_lcp_core::properties::{completeness, strong};
+    use hiding_lcp_graph::algo::bipartite;
+    use hiding_lcp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn complete_on_bipartite_watermelons() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut instances = vec![
+            Instance::canonical(generators::watermelon(&[2, 2])),
+            Instance::canonical(generators::watermelon(&[2, 4, 6])),
+            Instance::canonical(generators::watermelon(&[3, 3, 5])),
+            Instance::canonical(generators::watermelon(&[5; 6])),
+            Instance::canonical(generators::path(8)),
+            Instance::canonical(generators::cycle(10)),
+        ];
+        instances.push(Instance::random(generators::watermelon(&[2, 4]), &mut rng));
+        let report =
+            completeness::check_completeness(&WatermelonDecoder, &WatermelonProver, instances);
+        assert!(report.all_passed(), "{:?}", report.failures);
+        // O(log n): identifiers take 2 bytes at these bounds (n^2 <= 2^16),
+        // so path-node certificates occupy 7 + 2*2 bytes.
+        assert_eq!(report.max_certificate_bits, (7 + 4) * 8);
+    }
+
+    #[test]
+    fn both_polarities_are_accepted() {
+        let inst = Instance::canonical(generators::watermelon(&[2, 4]));
+        for polarity in [0, 1] {
+            let labeling = certify_with_polarity(&inst, polarity).unwrap();
+            assert!(accepts_all(
+                &WatermelonDecoder,
+                &inst.clone().with_labeling(labeling)
+            ));
+        }
+    }
+
+    #[test]
+    fn declines_outside_the_promise() {
+        assert!(WatermelonProver
+            .certify(&Instance::canonical(generators::watermelon(&[2, 3])))
+            .is_none(), "mixed parity is not bipartite");
+        assert!(WatermelonProver
+            .certify(&Instance::canonical(generators::star(3)))
+            .is_none());
+        assert!(WatermelonProver
+            .certify(&Instance::canonical(generators::grid(3, 3)))
+            .is_none());
+    }
+
+    #[test]
+    fn strong_soundness_structured_and_random() {
+        let two_col = KCol::new(2);
+        let mut rng = StdRng::seed_from_u64(47);
+        for g in [
+            generators::cycle(5),
+            generators::watermelon(&[2, 3]),
+            generators::watermelon(&[3, 3, 4]),
+            generators::complete(4),
+            generators::cycle(3),
+        ] {
+            let inst = Instance::canonical(g);
+            for labeling in adversary_labelings(&inst) {
+                assert!(strong::strong_holds_for(&WatermelonDecoder, &two_col, &inst, &labeling)
+                    .is_ok());
+            }
+            let alphabet: Vec<Certificate> = adversary_labelings(&inst)
+                .iter()
+                .flat_map(|l| l.as_slice().to_vec())
+                .collect();
+            assert!(strong::check_strong_random(
+                &WatermelonDecoder,
+                &two_col,
+                &inst,
+                &alphabet,
+                800,
+                &mut rng
+            )
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn hiding_via_the_id_swap_universe() {
+        let universe = hiding_witness_universe();
+        assert!(!universe.is_empty());
+        for li in &universe {
+            assert!(accepts_all(&WatermelonDecoder, li));
+        }
+        let nbhd = NbhdGraph::build(&WatermelonDecoder, IdMode::Full, universe, |g| {
+            bipartite::is_bipartite(g)
+        });
+        let odd = nbhd.odd_cycle().expect("Theorem 1.4's decoder hides");
+        assert_eq!(odd.len() % 2, 1);
+    }
+
+    #[test]
+    fn rejects_parity_breaking_forgeries() {
+        // A watermelon with paths of lengths 2 and 3 (an odd C5): try the
+        // honest labeling of each path independently — the endpoint bundle
+        // check must catch the parity clash.
+        let inst = Instance::canonical(generators::watermelon(&[2, 3]));
+        let g = inst.graph().clone();
+        let melon = wm::decompose(&g).unwrap();
+        assert!(!melon.is_bipartite());
+        // Hand-build: alternate colors along both paths from v1.
+        let mut labels = adversary_labelings(&inst).remove(1);
+        let (v1, v2) = melon.endpoints;
+        let width = id_width(inst.ids().bound());
+        let id1 = inst.ids().id(v1).min(inst.ids().id(v2));
+        let id2 = inst.ids().id(v1).max(inst.ids().id(v2));
+        labels.set(v1, MelonLabel::Endpoint { id1, id2 }.encode(width));
+        labels.set(v2, MelonLabel::Endpoint { id1, id2 }.encode(width));
+        let verdicts =
+            hiding_lcp_core::decoder::run(&WatermelonDecoder, &inst.with_labeling(labels));
+        assert!(verdicts.iter().any(|v| !v.is_accept()));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for width in [1usize, 2, 8] {
+            for label in [
+                MelonLabel::Endpoint { id1: 3, id2: 9 },
+                MelonLabel::PathNode {
+                    id1: 1,
+                    id2: 8,
+                    path: 300,
+                    edges: [(1, 0), (2, 1)],
+                },
+            ] {
+                assert_eq!(MelonLabel::decode(&label.encode(width), width), Some(label));
+            }
+        }
+        // id1 >= id2 is malformed.
+        let bad = MelonLabel::Endpoint { id1: 9, id2: 3 }.encode(1);
+        assert_eq!(MelonLabel::decode(&bad, 1), None);
+        // Equal edge colors malformed.
+        let bad = MelonLabel::PathNode {
+            id1: 1,
+            id2: 2,
+            path: 0,
+            edges: [(1, 1), (2, 1)],
+        }
+        .encode(1);
+        assert_eq!(MelonLabel::decode(&bad, 1), None);
+        assert_eq!(MelonLabel::decode(&Certificate::empty(), 1), None);
+    }
+}

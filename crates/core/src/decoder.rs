@@ -1,0 +1,255 @@
+//! r-round binary decoders and distributed execution (paper, Section 2.2).
+
+use crate::instance::LabeledInstance;
+use crate::view::{IdMode, View};
+use std::fmt;
+
+/// The output of a binary decoder at one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The node accepts (output 1).
+    Accept,
+    /// The node rejects (output 0).
+    Reject,
+}
+
+impl Verdict {
+    /// `true` iff this is [`Verdict::Accept`].
+    pub fn is_accept(self) -> bool {
+        self == Verdict::Accept
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Accept => "accept",
+            Verdict::Reject => "reject",
+        })
+    }
+}
+
+impl From<bool> for Verdict {
+    fn from(accept: bool) -> Self {
+        if accept {
+            Verdict::Accept
+        } else {
+            Verdict::Reject
+        }
+    }
+}
+
+/// An r-round binary decoder: a computable map from radius-r views to
+/// accept/reject.
+///
+/// The [`IdMode`] declares the decoder's identifier sensitivity; the
+/// runtime canonicalizes views accordingly before calling
+/// [`Decoder::decide`], which *enforces* (rather than merely asserts)
+/// anonymity and order-invariance: an anonymous decoder literally cannot
+/// read identifiers because its views carry none.
+pub trait Decoder {
+    /// A short human-readable name, used in reports and experiment tables.
+    fn name(&self) -> String;
+
+    /// The verification radius `r`.
+    fn radius(&self) -> usize;
+
+    /// The identifier sensitivity; views are canonicalized to this mode
+    /// before [`Decoder::decide`] sees them.
+    fn id_mode(&self) -> IdMode;
+
+    /// The node-local decision.
+    fn decide(&self, view: &View) -> Verdict;
+}
+
+impl<T: Decoder + ?Sized> Decoder for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn radius(&self) -> usize {
+        (**self).radius()
+    }
+    fn id_mode(&self) -> IdMode {
+        (**self).id_mode()
+    }
+    fn decide(&self, view: &View) -> Verdict {
+        (**self).decide(view)
+    }
+}
+
+impl<T: Decoder + ?Sized> Decoder for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn radius(&self) -> usize {
+        (**self).radius()
+    }
+    fn id_mode(&self) -> IdMode {
+        (**self).id_mode()
+    }
+    fn decide(&self, view: &View) -> Verdict {
+        (**self).decide(view)
+    }
+}
+
+/// Runs `decoder` at every node of `li`, returning per-node verdicts.
+pub fn run<D: Decoder + ?Sized>(decoder: &D, li: &LabeledInstance) -> Vec<Verdict> {
+    let r = decoder.radius();
+    let mode = decoder.id_mode();
+    li.graph()
+        .nodes()
+        .map(|v| decoder.decide(&li.view(v, r, mode)))
+        .collect()
+}
+
+/// Whether every node accepts.
+pub fn accepts_all<D: Decoder + ?Sized>(decoder: &D, li: &LabeledInstance) -> bool {
+    run(decoder, li).iter().all(|v| v.is_accept())
+}
+
+/// The set of accepting nodes, sorted.
+pub fn accepting_set<D: Decoder + ?Sized>(decoder: &D, li: &LabeledInstance) -> Vec<usize> {
+    run(decoder, li)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(v, verdict)| verdict.is_accept().then_some(v))
+        .collect()
+}
+
+/// A decoder defined by an explicit decision table over views, with a
+/// default verdict for unknown views. The exhaustive decoder search of
+/// Theorem 1.2 (module [`crate::lower`]) enumerates these.
+#[derive(Debug, Clone)]
+pub struct TableDecoder {
+    name: String,
+    radius: usize,
+    id_mode: IdMode,
+    accepting: std::collections::HashSet<View>,
+    default: Verdict,
+}
+
+impl TableDecoder {
+    /// Builds a table decoder that accepts exactly the given views (plus
+    /// `default` elsewhere).
+    pub fn new(
+        name: impl Into<String>,
+        radius: usize,
+        id_mode: IdMode,
+        accepting: impl IntoIterator<Item = View>,
+        default: Verdict,
+    ) -> Self {
+        TableDecoder {
+            name: name.into(),
+            radius,
+            id_mode,
+            accepting: accepting.into_iter().collect(),
+            default,
+        }
+    }
+
+    /// The number of explicitly accepted views.
+    pub fn accepting_count(&self) -> usize {
+        self.accepting.len()
+    }
+}
+
+impl Decoder for TableDecoder {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn radius(&self) -> usize {
+        self.radius
+    }
+    fn id_mode(&self) -> IdMode {
+        self.id_mode
+    }
+    fn decide(&self, view: &View) -> Verdict {
+        if self.accepting.contains(view) {
+            Verdict::Accept
+        } else {
+            self.default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::label::{Certificate, Labeling};
+    use hiding_lcp_graph::generators;
+
+    /// Accepts iff the node's certificate differs from all neighbors'.
+    struct LocalDiff;
+    impl Decoder for LocalDiff {
+        fn name(&self) -> String {
+            "local-diff".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, view: &View) -> Verdict {
+            let mine = view.center_label();
+            Verdict::from(
+                view.center_arcs()
+                    .iter()
+                    .all(|arc| view.node(arc.to).label != *mine),
+            )
+        }
+    }
+
+    #[test]
+    fn run_reports_per_node_verdicts() {
+        let inst = Instance::canonical(generators::path(3));
+        let good = Labeling::new(vec![
+            Certificate::from_byte(0),
+            Certificate::from_byte(1),
+            Certificate::from_byte(0),
+        ]);
+        let li = inst.clone().with_labeling(good);
+        assert!(accepts_all(&LocalDiff, &li));
+        assert_eq!(accepting_set(&LocalDiff, &li), vec![0, 1, 2]);
+
+        let bad = Labeling::uniform(3, Certificate::from_byte(0));
+        let li = inst.with_labeling(bad);
+        let verdicts = run(&LocalDiff, &li);
+        assert!(verdicts.iter().all(|v| !v.is_accept()));
+        assert!(accepting_set(&LocalDiff, &li).is_empty());
+    }
+
+    #[test]
+    fn verdict_conversions() {
+        assert!(Verdict::from(true).is_accept());
+        assert!(!Verdict::from(false).is_accept());
+        assert_eq!(Verdict::Accept.to_string(), "accept");
+    }
+
+    #[test]
+    fn table_decoder_accepts_listed_views() {
+        let inst = Instance::canonical(generators::path(2));
+        let li = inst.with_labeling(Labeling::empty(2));
+        let view0 = li.view(0, 1, IdMode::Anonymous);
+        let dec = TableDecoder::new("t", 1, IdMode::Anonymous, [view0], Verdict::Reject);
+        assert_eq!(dec.accepting_count(), 1);
+        let verdicts = run(&dec, &li);
+        // Both endpoints of P2 have the same anonymous view, so both
+        // accept.
+        assert!(verdicts.iter().all(|v| v.is_accept()));
+    }
+
+    #[test]
+    fn decoder_works_through_references_and_boxes() {
+        let dec: Box<dyn Decoder> = Box::new(LocalDiff);
+        let inst = Instance::canonical(generators::path(2));
+        let li = inst.with_labeling(Labeling::new(vec![
+            Certificate::from_byte(0),
+            Certificate::from_byte(1),
+        ]));
+        assert!(accepts_all(&dec, &li));
+        assert!(accepts_all(&&LocalDiff, &li));
+        assert_eq!(dec.name(), "local-diff");
+    }
+}

@@ -1,0 +1,103 @@
+//! Enumeration of instance variants: identifier and port assignments.
+//!
+//! Lemma 3.1 quantifies over *every* port and identifier assignment. For
+//! anonymous decoders the canonical assignment suffices (their views carry
+//! neither), but order-invariant and general decoders can react to them,
+//! so neighborhood-graph universes should mix several variants. This
+//! module produces them deterministically from a seed.
+
+use crate::instance::Instance;
+use hiding_lcp_graph::{Graph, IdAssignment, PortAssignment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The canonical identifier assignment plus `extra` seeded random ones
+/// (all injective into the default bound).
+pub fn id_variants(n: usize, extra: usize, seed: u64) -> Vec<IdAssignment> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![IdAssignment::canonical(n)];
+    let bound = hiding_lcp_graph::ids::default_bound(n);
+    for _ in 0..extra {
+        out.push(IdAssignment::random(n, bound, &mut rng));
+    }
+    out
+}
+
+/// The canonical port assignment plus `extra` seeded random ones.
+pub fn port_variants(g: &Graph, extra: usize, seed: u64) -> Vec<PortAssignment> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![PortAssignment::canonical(g)];
+    for _ in 0..extra {
+        out.push(PortAssignment::random(g, &mut rng));
+    }
+    out
+}
+
+/// The cartesian product of id and port variants over one graph.
+pub fn instance_variants(
+    g: &Graph,
+    extra_ids: usize,
+    extra_ports: usize,
+    seed: u64,
+) -> Vec<Instance> {
+    let ids = id_variants(g.node_count(), extra_ids, seed);
+    let ports = port_variants(g, extra_ports, seed.wrapping_add(1));
+    let mut out = Vec::with_capacity(ids.len() * ports.len());
+    for id in &ids {
+        for prt in &ports {
+            out.push(
+                Instance::new(g.clone(), prt.clone(), id.clone())
+                    .expect("variants fit the graph"),
+            );
+        }
+    }
+    out
+}
+
+/// Instance variants over a whole graph family.
+pub fn family_variants(
+    graphs: impl IntoIterator<Item = Graph>,
+    extra_ids: usize,
+    extra_ports: usize,
+    seed: u64,
+) -> Vec<Instance> {
+    graphs
+        .into_iter()
+        .enumerate()
+        .flat_map(|(i, g)| instance_variants(&g, extra_ids, extra_ports, seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiding_lcp_graph::generators;
+
+    #[test]
+    fn variant_counts() {
+        let g = generators::cycle(5);
+        assert_eq!(instance_variants(&g, 0, 0, 1).len(), 1);
+        assert_eq!(instance_variants(&g, 2, 1, 1).len(), 6);
+        let fam = family_variants([generators::path(3), generators::cycle(4)], 1, 1, 7);
+        assert_eq!(fam.len(), 8);
+    }
+
+    #[test]
+    fn variants_are_deterministic() {
+        let g = generators::cycle(6);
+        let a = instance_variants(&g, 2, 2, 42);
+        let b = instance_variants(&g, 2, 2, 42);
+        assert_eq!(a, b);
+        let c = instance_variants(&g, 2, 2, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_variants_are_valid() {
+        let g = generators::grid(2, 3);
+        for inst in instance_variants(&g, 3, 3, 9) {
+            assert!(inst.ports().is_valid_for(inst.graph()));
+            assert_eq!(inst.ids().node_count(), 6);
+        }
+    }
+}

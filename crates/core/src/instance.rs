@@ -1,0 +1,197 @@
+//! Instances `(G, prt, Id)` and labeled instances `(G, prt, Id, ℓ)`
+//! (paper, Sections 2.2 and 3).
+
+use crate::label::Labeling;
+use crate::view::{IdMode, View};
+use hiding_lcp_graph::{Graph, IdAssignment, PortAssignment};
+use rand::Rng;
+
+/// A port- and identifier-assigned graph — everything a distributed
+/// verifier runs on except the certificates.
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_core::instance::Instance;
+/// use hiding_lcp_graph::generators;
+///
+/// let inst = Instance::canonical(generators::cycle(4));
+/// assert_eq!(inst.ids().id(0), 1);
+/// assert_eq!(inst.ports().degree(0), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    graph: Graph,
+    ports: PortAssignment,
+    ids: IdAssignment,
+}
+
+impl Instance {
+    /// Builds an instance, validating that the assignments fit the graph.
+    ///
+    /// Returns `None` on arity mismatch or invalid port assignment.
+    pub fn new(graph: Graph, ports: PortAssignment, ids: IdAssignment) -> Option<Self> {
+        if ids.node_count() != graph.node_count() || !ports.is_valid_for(&graph) {
+            return None;
+        }
+        Some(Instance { graph, ports, ids })
+    }
+
+    /// The canonical instance: sorted-neighbor ports and identifiers
+    /// `v + 1`.
+    pub fn canonical(graph: Graph) -> Self {
+        let ports = PortAssignment::canonical(&graph);
+        let ids = IdAssignment::canonical(graph.node_count());
+        Instance { graph, ports, ids }
+    }
+
+    /// A canonical-port instance with explicit identifiers.
+    ///
+    /// Returns `None` if `ids` does not fit the graph.
+    pub fn with_ids(graph: Graph, ids: IdAssignment) -> Option<Self> {
+        if ids.node_count() != graph.node_count() {
+            return None;
+        }
+        let ports = PortAssignment::canonical(&graph);
+        Some(Instance { graph, ports, ids })
+    }
+
+    /// A uniformly random port and identifier assignment over `graph`.
+    pub fn random<R: Rng + ?Sized>(graph: Graph, rng: &mut R) -> Self {
+        let ports = PortAssignment::random(&graph, rng);
+        let n = graph.node_count();
+        let ids = IdAssignment::random(n, hiding_lcp_graph::ids::default_bound(n), rng);
+        Instance { graph, ports, ids }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The port assignment.
+    pub fn ports(&self) -> &PortAssignment {
+        &self.ports
+    }
+
+    /// The identifier assignment.
+    pub fn ids(&self) -> &IdAssignment {
+        &self.ids
+    }
+
+    /// Attaches a labeling, producing a labeled instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labeling covers a different number of nodes.
+    pub fn with_labeling(self, labeling: Labeling) -> LabeledInstance {
+        LabeledInstance::new(self, labeling)
+    }
+
+    /// The radius-`radius` view of node `v` under `labeling`, canonicalized
+    /// for `id_mode`. See [`View::extract`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or the labeling does not fit.
+    pub fn view(&self, labeling: &Labeling, v: usize, radius: usize, id_mode: IdMode) -> View {
+        View::extract(self, labeling, v, radius, id_mode)
+    }
+
+    /// Replaces the identifier assignment (used by the Lemma 5.2 / 6.2
+    /// remapping machinery).
+    ///
+    /// Returns `None` if `ids` does not fit the graph.
+    pub fn replace_ids(&self, ids: IdAssignment) -> Option<Instance> {
+        Instance::new(self.graph.clone(), self.ports.clone(), ids)
+    }
+}
+
+/// An instance together with a labeling — the object a decoder inspects.
+///
+/// The paper calls an all-accepted `(G, prt, Id, ℓ)` with `G` a
+/// yes-instance a *labeled yes-instance* (Section 3); here the type merely
+/// couples the data, and acceptance is checked by
+/// [`crate::decoder::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledInstance {
+    instance: Instance,
+    labeling: Labeling,
+}
+
+impl LabeledInstance {
+    /// Couples an instance with a labeling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labeling covers a different number of nodes.
+    pub fn new(instance: Instance, labeling: Labeling) -> Self {
+        assert_eq!(
+            labeling.node_count(),
+            instance.graph().node_count(),
+            "labeling must cover every node"
+        );
+        LabeledInstance { instance, labeling }
+    }
+
+    /// The instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.instance.graph()
+    }
+
+    /// The labeling.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// The radius-`radius` view of `v`, canonicalized for `id_mode`.
+    pub fn view(&self, v: usize, radius: usize, id_mode: IdMode) -> View {
+        self.instance.view(&self.labeling, v, radius, id_mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Certificate;
+    use hiding_lcp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        let g = generators::path(3);
+        let ids_bad = IdAssignment::canonical(2);
+        assert!(Instance::with_ids(g.clone(), ids_bad).is_none());
+        let ports_other = PortAssignment::canonical(&generators::path(4));
+        assert!(Instance::new(g, ports_other, IdAssignment::canonical(3)).is_none());
+    }
+
+    #[test]
+    fn random_instances_are_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst = Instance::random(generators::grid(3, 3), &mut rng);
+        assert!(inst.ports().is_valid_for(inst.graph()));
+        assert_eq!(inst.ids().node_count(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn labeled_instance_arity_checked() {
+        let inst = Instance::canonical(generators::path(3));
+        let _ = inst.with_labeling(Labeling::empty(2));
+    }
+
+    #[test]
+    fn labeled_instance_accessors() {
+        let inst = Instance::canonical(generators::path(2));
+        let li = inst.with_labeling(Labeling::uniform(2, Certificate::from_byte(7)));
+        assert_eq!(li.graph().node_count(), 2);
+        assert_eq!(li.labeling().label(1).bytes(), &[7]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Certificates and labelings (paper, Section 2.2).
+//!
+//! A labeling `ℓ : V(G) → {0, 1}^c` assigns each node a certificate. We
+//! represent certificates as byte strings and account for their size in
+//! bits, so the paper's `O(1)` / `O(log n)` / `O(min{Δ², n} + log n)`
+//! certificate-size claims can be measured (experiment E12).
+
+use std::fmt;
+
+/// A certificate: the byte string a prover hands to one node.
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_core::label::Certificate;
+/// let c = Certificate::from_bytes(vec![0b1010_0001]);
+/// assert_eq!(c.bit_len(), 8);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Certificate(Vec<u8>);
+
+impl Certificate {
+    /// The empty certificate.
+    pub fn empty() -> Self {
+        Certificate(Vec::new())
+    }
+
+    /// A certificate from raw bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Certificate(bytes)
+    }
+
+    /// A one-byte certificate — handy for constant-size label alphabets.
+    pub fn from_byte(b: u8) -> Self {
+        Certificate(vec![b])
+    }
+
+    /// A certificate encoding a `u64` big-endian with leading zero bytes
+    /// trimmed (so small identifiers stay small).
+    pub fn from_u64(x: u64) -> Self {
+        let bytes = x.to_be_bytes();
+        let first = bytes.iter().position(|&b| b != 0).unwrap_or(7);
+        Certificate(bytes[first..].to_vec())
+    }
+
+    /// The raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// The certificate size in bits (8 per byte; the codecs in
+    /// `hiding-lcp-certs` use byte-aligned encodings).
+    pub fn bit_len(&self) -> usize {
+        self.0.len() * 8
+    }
+
+    /// Whether this is the empty certificate.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Certificate(")?;
+        for (i, b) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<u8>> for Certificate {
+    fn from(bytes: Vec<u8>) -> Self {
+        Certificate(bytes)
+    }
+}
+
+/// A labeling: one certificate per node, indexed by node.
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_core::label::{Certificate, Labeling};
+/// let l = Labeling::uniform(3, Certificate::from_byte(1));
+/// assert_eq!(l.node_count(), 3);
+/// assert_eq!(l.max_bits(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Labeling(Vec<Certificate>);
+
+impl Labeling {
+    /// A labeling from explicit per-node certificates.
+    pub fn new(labels: Vec<Certificate>) -> Self {
+        Labeling(labels)
+    }
+
+    /// The same certificate for every one of `n` nodes.
+    pub fn uniform(n: usize, cert: Certificate) -> Self {
+        Labeling(vec![cert; n])
+    }
+
+    /// An all-empty labeling for `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Labeling(vec![Certificate::empty(); n])
+    }
+
+    /// The number of labeled nodes.
+    pub fn node_count(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The certificate of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: usize) -> &Certificate {
+        &self.0[v]
+    }
+
+    /// Replaces the certificate of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set(&mut self, v: usize, cert: Certificate) {
+        self.0[v] = cert;
+    }
+
+    /// The labels as a slice.
+    pub fn as_slice(&self) -> &[Certificate] {
+        &self.0
+    }
+
+    /// The maximum certificate size in bits — the labeling's `f(n)`.
+    pub fn max_bits(&self) -> usize {
+        self.0.iter().map(Certificate::bit_len).max().unwrap_or(0)
+    }
+
+    /// Restricts to the nodes listed in `old_of_new` (the map returned by
+    /// [`hiding_lcp_graph::Graph::induced`]).
+    pub fn restrict(&self, old_of_new: &[usize]) -> Labeling {
+        Labeling(old_of_new.iter().map(|&v| self.0[v].clone()).collect())
+    }
+}
+
+impl FromIterator<Certificate> for Labeling {
+    fn from_iter<I: IntoIterator<Item = Certificate>>(iter: I) -> Self {
+        Labeling(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_encoding_trims_leading_zeros() {
+        assert_eq!(Certificate::from_u64(0).bytes(), &[0]);
+        assert_eq!(Certificate::from_u64(5).bytes(), &[5]);
+        assert_eq!(Certificate::from_u64(256).bytes(), &[1, 0]);
+        assert_eq!(Certificate::from_u64(u64::MAX).bit_len(), 64);
+    }
+
+    #[test]
+    fn bit_accounting() {
+        let l = Labeling::new(vec![
+            Certificate::empty(),
+            Certificate::from_byte(3),
+            Certificate::from_bytes(vec![1, 2, 3]),
+        ]);
+        assert_eq!(l.max_bits(), 24);
+        assert_eq!(Labeling::empty(4).max_bits(), 0);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut l = Labeling::empty(2);
+        l.set(1, Certificate::from_byte(9));
+        assert_eq!(l.label(1).bytes(), &[9]);
+        assert!(l.label(0).is_empty());
+    }
+
+    #[test]
+    fn restrict_reorders() {
+        let l = Labeling::new(vec![
+            Certificate::from_byte(0),
+            Certificate::from_byte(1),
+            Certificate::from_byte(2),
+        ]);
+        let r = l.restrict(&[2, 0]);
+        assert_eq!(r.label(0).bytes(), &[2]);
+        assert_eq!(r.label(1).bytes(), &[0]);
+    }
+
+    #[test]
+    fn debug_format_is_nonempty() {
+        assert_eq!(format!("{:?}", Certificate::empty()), "Certificate()");
+        assert_eq!(format!("{:?}", Certificate::from_byte(255)), "Certificate(ff)");
+    }
+}

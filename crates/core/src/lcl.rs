@@ -1,0 +1,228 @@
+//! The motivating LCL problem Π of Section 1: *3-coloring under the
+//! presence of a certificate of 2-colorability*.
+//!
+//! Given an arbitrary input graph whose nodes carry certificates of some
+//! strong LCP `D` for 2-col, the nodes must output colors in `{0, 1, 2}`
+//! such that the subgraph induced by the `D`-accepting nodes is properly
+//! colored (nodes in invalid regions may output anything). Strong
+//! soundness is exactly what makes Π well-posed on arbitrary graphs: the
+//! accepting region is always 2-colorable, so a capable algorithm (the
+//! paper's online-LOCAL side) can 3-color it, while the hiding property is
+//! what should defeat weaker models (the paper's SLOCAL side).
+//!
+//! What is mechanized here:
+//!
+//! * [`PiProblem`] — the problem definition and output verifier;
+//! * [`PiProblem::solve_by_bipartition`] — a global solver standing in
+//!   for the online-LOCAL 3-coloring algorithm of Akbari et al. (see the
+//!   substitution note in `DESIGN.md`): it 2-colors each accepting
+//!   component, which strong soundness guarantees is possible;
+//! * [`view_rule_counterexample`] — the hiding side, made concrete: any
+//!   *view-based rule* (a purely local, one-shot output function — the
+//!   LOCAL-model baseline) is defeated whenever `V(D, ·)` has a
+//!   self-loop, because two adjacent accepting nodes then present the
+//!   same view and must receive the same color. The function digs the
+//!   witnessing adjacent pair out of the neighborhood graph.
+
+use crate::decoder::{accepting_set, Decoder};
+use crate::instance::LabeledInstance;
+use crate::nbhd::NbhdGraph;
+use hiding_lcp_graph::algo::bipartite;
+
+/// The LCL problem Π for a fixed certificate scheme `D`.
+#[derive(Debug, Clone)]
+pub struct PiProblem<D> {
+    decoder: D,
+}
+
+impl<D: Decoder> PiProblem<D> {
+    /// Wraps the certificate scheme.
+    pub fn new(decoder: D) -> Self {
+        PiProblem { decoder }
+    }
+
+    /// The underlying decoder.
+    pub fn decoder(&self) -> &D {
+        &self.decoder
+    }
+
+    /// Whether `outputs` solves Π on `li`: one color `< 3` per node, and
+    /// the restriction to the `D`-accepting nodes is a proper coloring of
+    /// the induced subgraph.
+    pub fn is_valid_output(&self, li: &LabeledInstance, outputs: &[usize]) -> bool {
+        if outputs.len() != li.graph().node_count() || outputs.iter().any(|&c| c >= 3) {
+            return false;
+        }
+        let accepting = accepting_set(&self.decoder, li);
+        let g = li.graph();
+        for (i, &u) in accepting.iter().enumerate() {
+            for &v in &accepting[i + 1..] {
+                if g.has_edge(u, v) && outputs[u] == outputs[v] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Solves Π by 2-coloring each accepting component — possible on
+    /// *every* input, even adversarially labeled non-bipartite ones,
+    /// precisely because `D` is strongly sound. Returns `None` if the
+    /// accepting set is not 2-colorable, which would witness a
+    /// strong-soundness violation of `D`.
+    pub fn solve_by_bipartition(&self, li: &LabeledInstance) -> Option<Vec<usize>> {
+        let accepting = accepting_set(&self.decoder, li);
+        let (induced, map) = li.graph().induced(&accepting);
+        let sides = bipartite::bipartition(&induced).ok()?;
+        let mut outputs = vec![2usize; li.graph().node_count()];
+        for (new, &old) in map.iter().enumerate() {
+            outputs[old] = usize::from(sides[new]);
+        }
+        Some(outputs)
+    }
+}
+
+/// The concrete defeat of view-based rules: if `V(D, ·)` contains a
+/// self-loop, its witnessing instance has two **adjacent accepting nodes
+/// with identical views**, so every function from views to colors gives
+/// them equal colors and fails Π there. Returns the instance index and
+/// the adjacent pair, or `None` if no self-loop was recorded.
+pub fn view_rule_counterexample(nbhd: &NbhdGraph) -> Option<(usize, (usize, usize))> {
+    let view = *nbhd.self_loop_views().first()?;
+    nbhd.self_loop_witness(view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{run, Verdict};
+    use crate::instance::Instance;
+    use crate::label::{Certificate, Labeling};
+    use crate::view::{IdMode, View};
+    use hiding_lcp_graph::generators;
+
+    /// The revealing 2-coloring acceptor (strongly sound).
+    #[derive(Clone)]
+    struct LocalDiff;
+    impl Decoder for LocalDiff {
+        fn name(&self) -> String {
+            "local-diff".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, view: &View) -> Verdict {
+            let mine = view.center_label();
+            Verdict::from(
+                view.center_arcs()
+                    .iter()
+                    .all(|arc| view.node(arc.to).label != *mine),
+            )
+        }
+    }
+
+    fn pi() -> PiProblem<LocalDiff> {
+        PiProblem::new(LocalDiff)
+    }
+
+    #[test]
+    fn solves_on_fully_valid_instances() {
+        let inst = Instance::canonical(generators::cycle(6));
+        let labels = (0..6).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+        let li = inst.with_labeling(labels);
+        let outputs = pi().solve_by_bipartition(&li).expect("strongly sound");
+        assert!(pi().is_valid_output(&li, &outputs));
+    }
+
+    #[test]
+    fn solves_on_partially_valid_instances() {
+        // An odd cycle with garbage certificates: some nodes reject, the
+        // accepting remainder is a union of paths — and the solver colors
+        // it properly while rejected nodes get the wildcard color.
+        let inst = Instance::canonical(generators::cycle(7));
+        let labels = Labeling::uniform(7, Certificate::from_byte(0));
+        let li = inst.with_labeling(labels);
+        let verdicts = run(&LocalDiff, &li);
+        assert!(verdicts.iter().all(|v| !v.is_accept()), "all-equal labels reject");
+        let outputs = pi().solve_by_bipartition(&li).expect("vacuous");
+        assert!(pi().is_valid_output(&li, &outputs));
+
+        // Half-proper labels: a nontrivial accepting subset.
+        let labels = Labeling::new(
+            [0u8, 1, 0, 1, 0, 0, 0]
+                .into_iter()
+                .map(Certificate::from_byte)
+                .collect(),
+        );
+        let li = Instance::canonical(generators::cycle(7)).with_labeling(labels);
+        let accepting = accepting_set(&LocalDiff, &li);
+        assert!(!accepting.is_empty() && accepting.len() < 7);
+        let outputs = pi().solve_by_bipartition(&li).expect("paths are bipartite");
+        assert!(pi().is_valid_output(&li, &outputs));
+    }
+
+    #[test]
+    fn rejects_bad_outputs() {
+        let inst = Instance::canonical(generators::path(3));
+        let labels = Labeling::new(
+            [0u8, 1, 0].into_iter().map(Certificate::from_byte).collect(),
+        );
+        let li = inst.with_labeling(labels);
+        assert!(!pi().is_valid_output(&li, &[0, 0, 1]), "adjacent accepting equal");
+        assert!(!pi().is_valid_output(&li, &[0, 1]), "wrong arity");
+        assert!(!pi().is_valid_output(&li, &[0, 3, 1]), "palette overflow");
+        assert!(pi().is_valid_output(&li, &[0, 1, 0]));
+    }
+
+    #[test]
+    fn self_loops_defeat_view_rules() {
+        // Accept-everything over an unlabeled C4 has a self-loop; the
+        // witness pair is adjacent and shares a view, so no view-based
+        // rule can 3-color it properly.
+        struct YesMan;
+        impl Decoder for YesMan {
+            fn name(&self) -> String {
+                "yes-man".into()
+            }
+            fn radius(&self) -> usize {
+                1
+            }
+            fn id_mode(&self) -> IdMode {
+                IdMode::Anonymous
+            }
+            fn decide(&self, _view: &View) -> Verdict {
+                Verdict::Accept
+            }
+        }
+        let g = generators::cycle(4);
+        let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+        let inst =
+            Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
+        let li = inst.with_labeling(Labeling::empty(4));
+        let nbhd = NbhdGraph::build(&YesMan, IdMode::Anonymous, vec![li], |g| {
+            bipartite::is_bipartite(g)
+        });
+        let (inst_idx, (u, v)) = view_rule_counterexample(&nbhd).expect("self-loop exists");
+        let witness = &nbhd.instances()[inst_idx];
+        assert!(witness.graph().has_edge(u, v));
+        assert_eq!(
+            witness.view(u, 1, IdMode::Anonymous),
+            witness.view(v, 1, IdMode::Anonymous),
+            "identical adjacent views: every view rule ties them"
+        );
+    }
+
+    #[test]
+    fn no_self_loop_means_no_counterexample() {
+        let inst = Instance::canonical(generators::cycle(4));
+        let labels = (0..4).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+        let li = inst.with_labeling(labels);
+        let nbhd = NbhdGraph::build(&LocalDiff, IdMode::Anonymous, vec![li], |g| {
+            bipartite::is_bipartite(g)
+        });
+        assert!(view_rule_counterexample(&nbhd).is_none());
+    }
+}

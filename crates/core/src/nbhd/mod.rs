@@ -1,0 +1,585 @@
+//! The accepting neighborhood graph `V(D, n)` (paper, Section 3).
+//!
+//! `AViews(D, n)` is the set of views accepted by `D` somewhere in a
+//! labeled yes-instance; `V(D, n)` connects two accepting views iff they
+//! are *yes-instance-compatible* (they occur at the two endpoints of an
+//! edge of some labeled yes-instance). Lemma 3.1 constructs `V(D, n)` by
+//! iterating over labeled yes-instances; [`NbhdGraph::build`] is that
+//! algorithm over a caller-supplied instance universe, and
+//! [`sources`] produces the universes (exhaustive for small n, or the
+//! paper's seeded figures).
+//!
+//! Lemma 3.2 then characterizes hiding: `D` hides a k-coloring iff
+//! `V(D, n)` is not k-colorable — i.e. iff [`NbhdGraph::odd_cycle`]
+//! succeeds (for k = 2) or [`NbhdGraph::k_colorable`] fails.
+
+pub mod sources;
+
+use crate::decoder::{run, Decoder};
+use crate::instance::LabeledInstance;
+use crate::view::{IdMode, View};
+use hiding_lcp_graph::algo::{bipartite, coloring};
+use hiding_lcp_graph::Graph;
+use std::collections::{BTreeSet, HashMap};
+
+/// The accepting neighborhood graph, with full provenance: every view and
+/// every edge remembers a witnessing instance.
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_core::nbhd::NbhdGraph;
+/// use hiding_lcp_core::decoder::{Decoder, Verdict};
+/// use hiding_lcp_core::instance::Instance;
+/// use hiding_lcp_core::label::Labeling;
+/// use hiding_lcp_core::view::{IdMode, View};
+/// use hiding_lcp_graph::generators;
+///
+/// struct AcceptAll;
+/// impl Decoder for AcceptAll {
+///     fn name(&self) -> String { "accept-all".into() }
+///     fn radius(&self) -> usize { 1 }
+///     fn id_mode(&self) -> IdMode { IdMode::Full }
+///     fn decide(&self, _v: &View) -> Verdict { Verdict::Accept }
+/// }
+///
+/// let li = Instance::canonical(generators::path(3)).with_labeling(Labeling::empty(3));
+/// let nbhd = NbhdGraph::build(&AcceptAll, IdMode::Full, vec![li], |g| {
+///     hiding_lcp_graph::algo::bipartite::is_bipartite(g)
+/// });
+/// assert_eq!(nbhd.view_count(), 3);
+/// assert_eq!(nbhd.edge_count(), 2);
+/// assert!(nbhd.odd_cycle().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NbhdGraph {
+    radius: usize,
+    id_mode: IdMode,
+    views: Vec<View>,
+    index: HashMap<View, usize>,
+    adj: Vec<BTreeSet<usize>>,
+    /// For each view: (instance index, node) where it was accepted.
+    view_witness: Vec<(usize, usize)>,
+    /// For each edge (a < b): (instance index, edge endpoints) realizing
+    /// yes-instance compatibility.
+    edge_witness: HashMap<(usize, usize), (usize, (usize, usize))>,
+    /// Views that are yes-instance-compatible **with themselves**: two
+    /// adjacent nodes of a yes-instance share this exact view. A self-loop
+    /// makes `V(D, n)` non-k-colorable for every k (an extractor would
+    /// have to give one view two different colors), so by Lemma 3.2 it
+    /// immediately certifies hiding.
+    self_loops: HashMap<usize, (usize, (usize, usize))>,
+    /// The retained labeled yes-instances.
+    instances: Vec<LabeledInstance>,
+}
+
+impl NbhdGraph {
+    /// Lemma 3.1: constructs `V(D, ·)` over the given instance universe.
+    ///
+    /// * Only instances whose graph satisfies `is_yes` participate
+    ///   (labeled **yes**-instances; for `2-col` pass bipartiteness or the
+    ///   promise class H, per Section 2.5).
+    /// * Views are canonicalized with `id_mode` — the identifier
+    ///   sensitivity of the *extractor class* being reasoned about, which
+    ///   for an anonymous LCP is [`IdMode::Anonymous`] (the hiding
+    ///   definition quantifies over anonymous decoders `D'`) and for the
+    ///   general model is [`IdMode::Full`].
+    /// * Acceptance is decided by `decoder` on views canonicalized to the
+    ///   decoder's **own** id mode, independent of `id_mode`.
+    pub fn build<D, F>(
+        decoder: &D,
+        id_mode: IdMode,
+        instances: Vec<LabeledInstance>,
+        is_yes: F,
+    ) -> Self
+    where
+        D: Decoder + ?Sized,
+        F: Fn(&Graph) -> bool,
+    {
+        let mut nbhd = NbhdGraph::empty(decoder.radius(), id_mode);
+        nbhd.extend(decoder, instances, is_yes);
+        nbhd
+    }
+
+    /// An empty neighborhood graph, ready for [`NbhdGraph::extend`].
+    pub fn empty(radius: usize, id_mode: IdMode) -> Self {
+        NbhdGraph {
+            radius,
+            id_mode,
+            views: Vec::new(),
+            index: HashMap::new(),
+            adj: Vec::new(),
+            view_witness: Vec::new(),
+            edge_witness: HashMap::new(),
+            self_loops: HashMap::new(),
+            instances: Vec::new(),
+        }
+    }
+
+    /// Incrementally grows the universe (the monotone step of Lemma 3.1:
+    /// AViews and the compatibility relation only ever grow with n). New
+    /// instances are filtered by `is_yes`; accepting views are added; and
+    /// the compatibility edges are refreshed over **all** retained
+    /// instances, because a newly accepted view can activate an edge of an
+    /// older instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decoder.radius()` differs from the graph's radius.
+    pub fn extend<D, F>(&mut self, decoder: &D, instances: Vec<LabeledInstance>, is_yes: F)
+    where
+        D: Decoder + ?Sized,
+        F: Fn(&Graph) -> bool,
+    {
+        assert_eq!(decoder.radius(), self.radius, "radius mismatch");
+        let first_new = self.instances.len();
+        self.instances
+            .extend(instances.into_iter().filter(|li| is_yes(li.graph())));
+        // Pass 1 over the new instances: accepting views.
+        for inst_idx in first_new..self.instances.len() {
+            let li = &self.instances[inst_idx];
+            let verdicts = run(decoder, li);
+            for v in li.graph().nodes() {
+                if !verdicts[v].is_accept() {
+                    continue;
+                }
+                let view = li.view(v, self.radius, self.id_mode);
+                if !self.index.contains_key(&view) {
+                    let idx = self.views.len();
+                    self.index.insert(view.clone(), idx);
+                    self.views.push(view);
+                    self.adj.push(BTreeSet::new());
+                    self.view_witness.push((inst_idx, v));
+                }
+            }
+        }
+        // Pass 2 over ALL instances: yes-instance-compatibility edges.
+        // Note the definition only requires both endpoint views to lie in
+        // AViews — the witnessing nodes need not accept in the witnessing
+        // instance, and older instances can contribute fresh edges once
+        // new views exist.
+        for inst_idx in 0..self.instances.len() {
+            let li = self.instances[inst_idx].clone();
+            for (u, v) in li.graph().edges() {
+                let a = self.index.get(&li.view(u, self.radius, self.id_mode)).copied();
+                let b = self.index.get(&li.view(v, self.radius, self.id_mode)).copied();
+                if let (Some(a), Some(b)) = (a, b) {
+                    if a == b {
+                        self.self_loops.entry(a).or_insert((inst_idx, (u, v)));
+                    } else {
+                        self.adj[a].insert(b);
+                        self.adj[b].insert(a);
+                        self.edge_witness
+                            .entry((a.min(b), a.max(b)))
+                            .or_insert((inst_idx, (u, v)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The verification radius `r`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// The identifier mode views were canonicalized with.
+    pub fn id_mode(&self) -> IdMode {
+        self.id_mode
+    }
+
+    /// Number of accepting views (nodes of `V(D, n)`).
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Number of compatibility edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_witness.len()
+    }
+
+    /// The view at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn view(&self, i: usize) -> &View {
+        &self.views[i]
+    }
+
+    /// All views in insertion (deterministic) order.
+    pub fn views(&self) -> &[View] {
+        &self.views
+    }
+
+    /// The index of a view, if present.
+    pub fn index_of(&self, view: &View) -> Option<usize> {
+        self.index.get(view).copied()
+    }
+
+    /// Neighbors of view `i`, sorted.
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[i].iter().copied()
+    }
+
+    /// Whether views `a` and `b` are yes-instance-compatible.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj.get(a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// The retained labeled yes-instances.
+    pub fn instances(&self) -> &[LabeledInstance] {
+        &self.instances
+    }
+
+    /// The instance+node where view `i` was first accepted.
+    pub fn view_witness(&self, i: usize) -> (usize, usize) {
+        self.view_witness[i]
+    }
+
+    /// The instance and graph edge witnessing compatibility of `{a, b}`.
+    pub fn edge_witness(&self, a: usize, b: usize) -> Option<(usize, (usize, usize))> {
+        self.edge_witness.get(&(a.min(b), a.max(b))).copied()
+    }
+
+    /// Views that are compatible with themselves, sorted.
+    pub fn self_loop_views(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.self_loops.keys().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The witness of a self-loop at view `i`.
+    pub fn self_loop_witness(&self, i: usize) -> Option<(usize, (usize, usize))> {
+        self.self_loops.get(&i).copied()
+    }
+
+    /// `V(D, n)` as a plain loop-free [`Graph`] (same node indexing);
+    /// self-loops are reported separately via [`Self::self_loop_views`].
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.views.len());
+        for &(a, b) in self.edge_witness.keys() {
+            g.add_edge(a, b).expect("edge witnesses are valid");
+        }
+        g
+    }
+
+    /// An odd closed walk in `V(D, n)`, if one exists — by Lemma 3.2 this
+    /// certifies that the decoder hides a 2-coloring (w.r.t. the explored
+    /// universe). A self-loop counts as an odd closed walk of length 1.
+    pub fn odd_cycle(&self) -> Option<Vec<usize>> {
+        if let Some(&i) = self.self_loops.keys().min() {
+            return Some(vec![i]);
+        }
+        bipartite::bipartition(&self.to_graph()).err()
+    }
+
+    /// Whether `V(D, n)` is k-colorable. For an exhaustive universe,
+    /// `true` means the decoder is **not** hiding (Lemma 3.2 constructs an
+    /// extractor; see [`crate::extract`]). Any self-loop makes the graph
+    /// non-colorable for every k.
+    pub fn k_colorable(&self, k: usize) -> bool {
+        self.self_loops.is_empty() && coloring::is_k_colorable(&self.to_graph(), k)
+    }
+
+    /// The lexicographically first proper k-coloring of `V(D, n)` in view
+    /// insertion order — the deterministic coloring `c` from the proof of
+    /// Lemma 3.2. `None` if not k-colorable (in particular whenever a
+    /// self-loop exists).
+    pub fn lex_coloring(&self, k: usize) -> Option<Vec<usize>> {
+        if !self.self_loops.is_empty() {
+            return None;
+        }
+        coloring::lex_first_coloring(&self.to_graph(), k)
+    }
+
+    /// Renders `V(D, ·)` in Graphviz DOT format, one node per view with
+    /// its [`View::describe`] text — used to regenerate the paper's
+    /// Figs. 4 and 6. Self-loop views are annotated.
+    pub fn to_dot(&self) -> String {
+        let labels: Vec<String> = self
+            .views
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let mark = if self.self_loops.contains_key(&i) {
+                    " [self-loop]"
+                } else {
+                    ""
+                };
+                format!("{}{}", v.describe(), mark)
+            })
+            .collect();
+        hiding_lcp_graph::dot::to_dot(&self.to_graph(), Some(&labels))
+    }
+
+    /// The chromatic number of `V(D, ·)`, or `None` when a self-loop makes
+    /// it infinite.
+    ///
+    /// By the contrapositive of Lemma 3.2 this is the decoder's *hiding
+    /// spectrum*: a K-coloring can be extracted iff `χ(V(D, ·)) ≤ K`, so
+    /// the decoder hides exactly the K-colorings with `K < χ`. The paper's
+    /// promise-free-separation program (Section 1) needs a bipartiteness
+    /// certificate that hides a **3**-coloring, i.e. `χ(V) > 3`; a
+    /// self-loop (as in Lemma 4.2's scheme) hides every `K`.
+    pub fn chromatic_number(&self) -> Option<usize> {
+        if !self.self_loops.is_empty() {
+            return None;
+        }
+        Some(coloring::chromatic_number(&self.to_graph()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{TableDecoder, Verdict};
+    use crate::instance::Instance;
+    use crate::label::{Certificate, Labeling};
+    use hiding_lcp_graph::generators;
+
+    /// Accepts iff the node's certificate differs from all neighbors'
+    /// (the revealing 2-coloring LCP, anonymously).
+    struct LocalDiff;
+    impl Decoder for LocalDiff {
+        fn name(&self) -> String {
+            "local-diff".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, view: &View) -> Verdict {
+            let mine = view.center_label();
+            Verdict::from(
+                view.center_arcs()
+                    .iter()
+                    .all(|arc| view.node(arc.to).label != *mine),
+            )
+        }
+    }
+
+    /// A 2-colored cycle with rotation-symmetric ports, so anonymous views
+    /// depend only on the center's color.
+    fn two_colored_cycle(n: usize) -> LabeledInstance {
+        let g = generators::cycle(n);
+        let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+        let inst =
+            Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(n)).unwrap();
+        let labels = (0..n).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+        inst.with_labeling(labels)
+    }
+
+    #[test]
+    fn revealing_lcp_has_bipartite_nbhd() {
+        let instances = vec![two_colored_cycle(4), two_colored_cycle(6)];
+        let nbhd = NbhdGraph::build(&LocalDiff, IdMode::Anonymous, instances, |g| {
+            bipartite::is_bipartite(g)
+        });
+        // Anonymous views on a 2-colored cycle: label 0 with two 1s, or
+        // label 1 with two 0s — exactly two views, one edge.
+        assert_eq!(nbhd.view_count(), 2);
+        assert_eq!(nbhd.edge_count(), 1);
+        assert!(nbhd.odd_cycle().is_none());
+        assert!(nbhd.k_colorable(2));
+        assert_eq!(nbhd.lex_coloring(2), Some(vec![0, 1]));
+    }
+
+    #[test]
+    fn no_instances_are_filtered_out() {
+        let odd = {
+            let inst = Instance::canonical(generators::cycle(5));
+            inst.with_labeling(Labeling::uniform(5, Certificate::from_byte(0)))
+        };
+        let nbhd =
+            NbhdGraph::build(&LocalDiff, IdMode::Anonymous, vec![odd], |g| {
+                bipartite::is_bipartite(g)
+            });
+        assert_eq!(nbhd.view_count(), 0);
+        assert_eq!(nbhd.instances().len(), 0);
+    }
+
+    #[test]
+    fn rejecting_nodes_contribute_no_views() {
+        // A half-bad labeling of C6: nodes 0..3 properly colored, rest
+        // constant. Only properly-separated nodes accept.
+        let inst = Instance::canonical(generators::cycle(6));
+        let labels = Labeling::new(vec![
+            Certificate::from_byte(0),
+            Certificate::from_byte(1),
+            Certificate::from_byte(0),
+            Certificate::from_byte(1),
+            Certificate::from_byte(1),
+            Certificate::from_byte(1),
+        ]);
+        let li = inst.with_labeling(labels);
+        let nbhd = NbhdGraph::build(&LocalDiff, IdMode::Anonymous, vec![li], |g| {
+            bipartite::is_bipartite(g)
+        });
+        // Accepting nodes: 0 (nbrs 1, 1), 1 (nbrs 0,0), 2 (nbrs 1,1),
+        // 3 (nbrs 0, 1)? node 3 has neighbors 2 (label 0) and 4 (label 1)
+        // = label 1 equals neighbor 4 -> reject. Node 5: label 1,
+        // neighbors 4 (1) and 0 (0) -> reject. Node 4: label 1, nbrs 1,1
+        // -> reject.
+        assert!(nbhd.view_count() >= 2);
+        let g = nbhd.to_graph();
+        assert!(bipartite::is_bipartite(&g));
+        // Provenance round-trips.
+        for i in 0..nbhd.view_count() {
+            let (inst_idx, node) = nbhd.view_witness(i);
+            let li = &nbhd.instances()[inst_idx];
+            assert_eq!(li.view(node, 1, IdMode::Anonymous), *nbhd.view(i));
+        }
+    }
+
+    #[test]
+    fn identical_adjacent_views_form_self_loops() {
+        // Accept-everything on an unlabeled C4: anonymously all four views
+        // coincide, so the single view is compatible with itself.
+        struct YesMan;
+        impl Decoder for YesMan {
+            fn name(&self) -> String {
+                "yes-man".into()
+            }
+            fn radius(&self) -> usize {
+                1
+            }
+            fn id_mode(&self) -> IdMode {
+                IdMode::Anonymous
+            }
+            fn decide(&self, _view: &View) -> Verdict {
+                Verdict::Accept
+            }
+        }
+        let g = generators::cycle(4);
+        let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+        let inst =
+            Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
+        let li = inst.with_labeling(Labeling::empty(4));
+        let nbhd = NbhdGraph::build(&YesMan, IdMode::Anonymous, vec![li], |g| {
+            bipartite::is_bipartite(g)
+        });
+        assert_eq!(nbhd.view_count(), 1);
+        assert_eq!(nbhd.self_loop_views(), vec![0]);
+        assert!(nbhd.self_loop_witness(0).is_some());
+        assert_eq!(nbhd.odd_cycle(), Some(vec![0]));
+        assert!(!nbhd.k_colorable(7), "self-loops defeat every palette");
+        assert_eq!(nbhd.lex_coloring(2), None);
+    }
+
+    #[test]
+    fn dot_export_renders_views_and_marks_self_loops() {
+        struct YesMan2;
+        impl Decoder for YesMan2 {
+            fn name(&self) -> String {
+                "yes".into()
+            }
+            fn radius(&self) -> usize {
+                1
+            }
+            fn id_mode(&self) -> IdMode {
+                IdMode::Anonymous
+            }
+            fn decide(&self, _v: &View) -> Verdict {
+                Verdict::Accept
+            }
+        }
+        let g = generators::cycle(4);
+        let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+        let inst =
+            Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
+        let li = inst.with_labeling(Labeling::empty(4));
+        let nbhd = NbhdGraph::build(&YesMan2, IdMode::Anonymous, vec![li], |g| {
+            bipartite::is_bipartite(g)
+        });
+        let dot = nbhd.to_dot();
+        assert!(dot.starts_with("graph {"));
+        assert!(dot.contains("[self-loop]"));
+    }
+
+    #[test]
+    fn incremental_extension_matches_batch_build() {
+        let universe = vec![two_colored_cycle(4), two_colored_cycle(6), two_colored_cycle(8)];
+        let batch = NbhdGraph::build(&LocalDiff, IdMode::Anonymous, universe.clone(), |g| {
+            bipartite::is_bipartite(g)
+        });
+        let mut incremental = NbhdGraph::empty(1, IdMode::Anonymous);
+        for li in universe {
+            incremental.extend(&LocalDiff, vec![li], bipartite::is_bipartite);
+        }
+        assert_eq!(incremental.view_count(), batch.view_count());
+        assert_eq!(incremental.edge_count(), batch.edge_count());
+        assert_eq!(incremental.self_loop_views(), batch.self_loop_views());
+        for i in 0..batch.view_count() {
+            let j = incremental.index_of(batch.view(i)).expect("same views");
+            let batch_nbrs: Vec<_> = batch
+                .neighbors(i)
+                .map(|x| batch.view(x).clone())
+                .collect();
+            for nbr in batch_nbrs {
+                let jn = incremental.index_of(&nbr).unwrap();
+                assert!(incremental.has_edge(j, jn));
+            }
+        }
+    }
+
+    #[test]
+    fn extension_activates_old_instances_edges() {
+        // An instance where only one endpoint of an edge accepts: the edge
+        // is absent until a later instance makes the other view accepting.
+        // LocalDiff on P2 labeled (0, 0): both reject; labeled (0, 1):
+        // both accept. Use a custom decoder accepting only label 1 -- so
+        // P2 (1, 0) has exactly one accepting node, and only after a
+        // second instance (1, 1)... LocalDiff suffices with a subtler
+        // setup; keep it simple with TableDecoder.
+        let inst = Instance::canonical(generators::path(2));
+        let li_a = inst.clone().with_labeling(Labeling::new(vec![
+            Certificate::from_byte(0),
+            Certificate::from_byte(1),
+        ]));
+        let view_of_zero = li_a.view(0, 1, IdMode::Anonymous);
+        let view_of_one = li_a.view(1, 1, IdMode::Anonymous);
+        // A decoder that initially accepts only node 0's view.
+        let only_zero = TableDecoder::new(
+            "only-zero",
+            1,
+            IdMode::Anonymous,
+            [view_of_zero.clone()],
+            Verdict::Reject,
+        );
+        let mut nbhd = NbhdGraph::empty(1, IdMode::Anonymous);
+        nbhd.extend(&only_zero, vec![li_a.clone()], |_| true);
+        assert_eq!(nbhd.view_count(), 1);
+        assert_eq!(nbhd.edge_count(), 0, "partner view not accepting yet");
+        // Extend with a decoder accepting both views (simulating a richer
+        // acceptance set): the OLD instance's edge must now appear.
+        let both = TableDecoder::new(
+            "both",
+            1,
+            IdMode::Anonymous,
+            [view_of_zero, view_of_one],
+            Verdict::Reject,
+        );
+        nbhd.extend(&both, vec![li_a], |_| true);
+        assert_eq!(nbhd.view_count(), 2);
+        assert_eq!(nbhd.edge_count(), 1, "old edge activated by the new view");
+    }
+
+    #[test]
+    fn edge_witnesses_are_recorded() {
+        let nbhd = NbhdGraph::build(
+            &LocalDiff,
+            IdMode::Anonymous,
+            vec![two_colored_cycle(4)],
+            bipartite::is_bipartite,
+        );
+        assert_eq!(nbhd.view_count(), 2);
+        assert!(nbhd.has_edge(0, 1));
+        let (inst_idx, (u, v)) = nbhd.edge_witness(0, 1).unwrap();
+        assert_eq!(inst_idx, 0);
+        assert!(nbhd.instances()[0].graph().has_edge(u, v));
+        assert!(nbhd.edge_witness(0, 5).is_none());
+    }
+}

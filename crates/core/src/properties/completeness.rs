@@ -1,0 +1,173 @@
+//! Completeness: on every yes-instance there is a labeling accepted by all
+//! nodes (paper, Section 2.2).
+
+use crate::decoder::{run, Decoder};
+use crate::instance::Instance;
+use crate::prover::Prover;
+
+/// The outcome of a completeness check over a batch of instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletenessReport {
+    /// Number of instances on which the prover produced a labeling and all
+    /// nodes accepted.
+    pub passed: usize,
+    /// Instances that failed, with the reason.
+    pub failures: Vec<CompletenessFailure>,
+    /// The largest certificate (in bits) the prover used across all
+    /// passing instances.
+    pub max_certificate_bits: usize,
+}
+
+impl CompletenessReport {
+    /// Whether every instance passed.
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Why one instance failed the completeness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletenessFailure {
+    /// The prover declined to certify (returned `None`).
+    ProverDeclined {
+        /// Index of the instance in the checked batch.
+        instance: usize,
+    },
+    /// Some node rejected the prover's labeling.
+    NodeRejected {
+        /// Index of the instance in the checked batch.
+        instance: usize,
+        /// The rejecting node.
+        node: usize,
+    },
+}
+
+/// Checks completeness of `(prover, decoder)` on each instance.
+///
+/// The caller is responsible for passing only instances whose graphs lie
+/// in the LCP's promise class (completeness quantifies over yes-instances
+/// only).
+pub fn check_completeness<D, P, I>(decoder: &D, prover: &P, instances: I) -> CompletenessReport
+where
+    D: Decoder + ?Sized,
+    P: Prover + ?Sized,
+    I: IntoIterator<Item = Instance>,
+{
+    let mut report = CompletenessReport {
+        passed: 0,
+        failures: Vec::new(),
+        max_certificate_bits: 0,
+    };
+    for (idx, instance) in instances.into_iter().enumerate() {
+        let Some(labeling) = prover.certify(&instance) else {
+            report
+                .failures
+                .push(CompletenessFailure::ProverDeclined { instance: idx });
+            continue;
+        };
+        let bits = labeling.max_bits();
+        let li = instance.with_labeling(labeling);
+        let verdicts = run(decoder, &li);
+        match verdicts.iter().position(|v| !v.is_accept()) {
+            Some(node) => report.failures.push(CompletenessFailure::NodeRejected {
+                instance: idx,
+                node,
+            }),
+            None => {
+                report.passed += 1;
+                report.max_certificate_bits = report.max_certificate_bits.max(bits);
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Verdict;
+    use crate::label::{Certificate, Labeling};
+    use crate::view::{IdMode, View};
+    use hiding_lcp_graph::generators;
+
+    /// Accepts iff the node's certificate differs from all neighbors'.
+    struct LocalDiff;
+    impl Decoder for LocalDiff {
+        fn name(&self) -> String {
+            "local-diff".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, view: &View) -> Verdict {
+            let mine = view.center_label();
+            Verdict::from(
+                view.center_arcs()
+                    .iter()
+                    .all(|arc| view.node(arc.to).label != *mine),
+            )
+        }
+    }
+
+    /// Certifies bipartite graphs by revealing a 2-coloring.
+    struct BipartiteProver;
+    impl Prover for BipartiteProver {
+        fn name(&self) -> String {
+            "bipartite".into()
+        }
+        fn certify(&self, instance: &Instance) -> Option<Labeling> {
+            let sides = hiding_lcp_graph::algo::bipartite::bipartition(instance.graph()).ok()?;
+            Some(sides.iter().map(|&s| Certificate::from_byte(s)).collect())
+        }
+    }
+
+    #[test]
+    fn complete_on_bipartite_instances() {
+        let instances = [
+            Instance::canonical(generators::cycle(6)),
+            Instance::canonical(generators::path(5)),
+            Instance::canonical(generators::grid(3, 4)),
+        ];
+        let report = check_completeness(&LocalDiff, &BipartiteProver, instances);
+        assert!(report.all_passed());
+        assert_eq!(report.passed, 3);
+        assert_eq!(report.max_certificate_bits, 8);
+    }
+
+    #[test]
+    fn prover_decline_is_reported() {
+        let instances = [Instance::canonical(generators::cycle(5))];
+        let report = check_completeness(&LocalDiff, &BipartiteProver, instances);
+        assert!(!report.all_passed());
+        assert_eq!(
+            report.failures,
+            vec![CompletenessFailure::ProverDeclined { instance: 0 }]
+        );
+    }
+
+    #[test]
+    fn node_rejection_is_reported() {
+        // A prover handing out a constant labeling fails local-diff.
+        struct ConstantProver;
+        impl Prover for ConstantProver {
+            fn name(&self) -> String {
+                "constant".into()
+            }
+            fn certify(&self, instance: &Instance) -> Option<Labeling> {
+                Some(Labeling::uniform(
+                    instance.graph().node_count(),
+                    Certificate::from_byte(0),
+                ))
+            }
+        }
+        let instances = [Instance::canonical(generators::path(3))];
+        let report = check_completeness(&LocalDiff, &ConstantProver, instances);
+        assert_eq!(
+            report.failures,
+            vec![CompletenessFailure::NodeRejected { instance: 0, node: 0 }]
+        );
+    }
+}

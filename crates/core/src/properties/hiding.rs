@@ -1,0 +1,176 @@
+//! The hiding property, checked through the Lemma 3.2 characterization.
+//!
+//! `D` hides a k-coloring iff `V(D, n)` is not k-colorable for some `n`.
+//! Over a *partial* instance universe the check is one-sided:
+//!
+//! * a non-k-colorable `V(D, ·)` (odd closed walk for k = 2) is already
+//!   conclusive — the views involved exist, so no decoder can color them
+//!   consistently: **hiding**;
+//! * a k-colorable `V(D, ·)` is conclusive only when the universe is the
+//!   full Lemma 3.1 sweep for the size bound in question: **not hiding
+//!   (at this n)**, and [`crate::extract`] actually builds the extractor.
+
+use crate::nbhd::NbhdGraph;
+
+/// How thoroughly the instance universe behind a neighborhood graph
+/// covered the Lemma 3.1 iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UniverseCoverage {
+    /// Every labeled yes-instance up to the stated size bound was fed in;
+    /// a colorable `V(D, n)` then genuinely refutes hiding at this `n`.
+    Exhaustive,
+    /// Only selected instances were fed in; colorability is inconclusive.
+    Partial,
+}
+
+/// The outcome of a hiding check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HidingVerdict {
+    /// `V(D, ·)` contains an odd closed walk (length 1 = self-loop):
+    /// the decoder hides a 2-coloring. Conclusive even over a partial
+    /// universe.
+    Hiding {
+        /// The odd closed walk, as view indices into the checked
+        /// [`NbhdGraph`].
+        odd_walk: Vec<usize>,
+    },
+    /// `V(D, ·)` is k-colorable over an exhaustive universe: the decoder
+    /// is **not** hiding at this size bound; the coloring is the
+    /// extractor's table.
+    NotHiding {
+        /// The lexicographically-first proper coloring of the views.
+        coloring: Vec<usize>,
+    },
+    /// `V(D, ·)` is k-colorable but the universe was partial: no
+    /// conclusion.
+    Inconclusive,
+}
+
+impl HidingVerdict {
+    /// Whether hiding was certified.
+    pub fn is_hiding(&self) -> bool {
+        matches!(self, HidingVerdict::Hiding { .. })
+    }
+}
+
+/// Applies Lemma 3.2 to a built neighborhood graph.
+///
+/// `k` is the number of colors of the certified language (2 throughout the
+/// paper's main results).
+pub fn check_hiding(nbhd: &NbhdGraph, k: usize, coverage: UniverseCoverage) -> HidingVerdict {
+    if k == 2 {
+        if let Some(odd_walk) = nbhd.odd_cycle() {
+            return HidingVerdict::Hiding { odd_walk };
+        }
+    } else if !nbhd.k_colorable(k) {
+        // For k > 2 we have no compact witness object; report the whole
+        // view set as the "walk".
+        return HidingVerdict::Hiding {
+            odd_walk: (0..nbhd.view_count()).collect(),
+        };
+    }
+    match coverage {
+        UniverseCoverage::Exhaustive => match nbhd.lex_coloring(k) {
+            Some(coloring) => HidingVerdict::NotHiding { coloring },
+            None => HidingVerdict::Hiding {
+                odd_walk: (0..nbhd.view_count()).collect(),
+            },
+        },
+        UniverseCoverage::Partial => HidingVerdict::Inconclusive,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{Decoder, Verdict};
+    use crate::instance::Instance;
+    use crate::label::{Certificate, Labeling};
+    use crate::view::{IdMode, View};
+    use hiding_lcp_graph::algo::bipartite;
+    use hiding_lcp_graph::generators;
+
+    /// Accepts everything.
+    struct YesMan;
+    impl Decoder for YesMan {
+        fn name(&self) -> String {
+            "yes-man".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, _view: &View) -> Verdict {
+            Verdict::Accept
+        }
+    }
+
+    /// Accepts iff the node's certificate differs from all neighbors'.
+    struct LocalDiff;
+    impl Decoder for LocalDiff {
+        fn name(&self) -> String {
+            "local-diff".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, view: &View) -> Verdict {
+            let mine = view.center_label();
+            Verdict::from(
+                view.center_arcs()
+                    .iter()
+                    .all(|arc| view.node(arc.to).label != *mine),
+            )
+        }
+    }
+
+    #[test]
+    fn yes_man_is_trivially_hiding() {
+        // Accept-everything reveals nothing: its neighborhood graph over
+        // unlabeled C4 has a self-loop.
+        let li = Instance::canonical(generators::cycle(4)).with_labeling(Labeling::empty(4));
+        let nbhd = crate::nbhd::NbhdGraph::build(&YesMan, IdMode::Anonymous, vec![li], |g| {
+            bipartite::is_bipartite(g)
+        });
+        let verdict = check_hiding(&nbhd, 2, UniverseCoverage::Partial);
+        assert!(verdict.is_hiding());
+        assert_eq!(verdict, HidingVerdict::Hiding { odd_walk: vec![0] });
+    }
+
+    #[test]
+    fn revealing_lcp_is_not_hiding_over_exhaustive_universe() {
+        let alphabet = vec![Certificate::from_byte(0), Certificate::from_byte(1)];
+        let universe = crate::nbhd::sources::exhaustive_universe(4, &alphabet);
+        let nbhd = crate::nbhd::NbhdGraph::build(&LocalDiff, IdMode::Anonymous, universe, |g| {
+            bipartite::is_bipartite(g)
+        });
+        let verdict = check_hiding(&nbhd, 2, UniverseCoverage::Exhaustive);
+        match verdict {
+            HidingVerdict::NotHiding { coloring } => {
+                assert_eq!(coloring.len(), nbhd.view_count());
+            }
+            other => panic!("revealing LCP must not hide: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_universe_without_odd_walk_is_inconclusive() {
+        let li = {
+            let inst = Instance::canonical(generators::cycle(4));
+            let labels = (0..4).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+            inst.with_labeling(labels)
+        };
+        let nbhd = crate::nbhd::NbhdGraph::build(&LocalDiff, IdMode::Anonymous, vec![li], |g| {
+            bipartite::is_bipartite(g)
+        });
+        assert_eq!(
+            check_hiding(&nbhd, 2, UniverseCoverage::Partial),
+            HidingVerdict::Inconclusive
+        );
+    }
+}

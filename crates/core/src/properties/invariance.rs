@@ -1,0 +1,195 @@
+//! Empirical anonymity and order-invariance checks (paper, Section 2.2).
+//!
+//! Because the runtime canonicalizes views to the decoder's declared
+//! [`IdMode`](crate::view::IdMode), a decoder *cannot* depend on more
+//! identifier information than declared. These checks run the other
+//! direction: they certify that a decoder's observable behavior on a given
+//! instance really is invariant under identifier permutations
+//! (anonymity) or order-preserving remappings (order-invariance), which is
+//! what the Lemma 6.2 reduction relies on.
+
+use crate::decoder::{run, Decoder};
+use crate::instance::{Instance, LabeledInstance};
+use crate::label::Labeling;
+use hiding_lcp_graph::IdAssignment;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A detected dependence on identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvarianceViolation {
+    /// The identifier assignment that changed some verdict.
+    pub ids: IdAssignment,
+    /// The node whose verdict changed.
+    pub node: usize,
+}
+
+/// Checks that `decoder`'s verdicts on `(instance, labeling)` are
+/// unchanged under `samples` random identifier **permutations** (the
+/// anonymity condition of Section 2.2).
+pub fn check_anonymous<D: Decoder + ?Sized, R: Rng + ?Sized>(
+    decoder: &D,
+    instance: &Instance,
+    labeling: &Labeling,
+    samples: usize,
+    rng: &mut R,
+) -> Result<(), InvarianceViolation> {
+    let base = run(
+        decoder,
+        &LabeledInstance::new(instance.clone(), labeling.clone()),
+    );
+    let _n = instance.graph().node_count();
+    for _ in 0..samples {
+        let mut perm: Vec<u64> = instance.ids().as_slice().to_vec();
+        perm.shuffle(rng);
+        let ids = IdAssignment::from_ids(perm, instance.ids().bound())
+            .expect("permutation stays injective and bounded");
+        compare_under(decoder, instance, labeling, &base, ids)?;
+    }
+    Ok(())
+}
+
+/// Checks that `decoder`'s verdicts are unchanged under `samples` random
+/// **order-preserving** identifier remappings (the order-invariance
+/// condition of Section 2.2).
+pub fn check_order_invariant<D: Decoder + ?Sized, R: Rng + ?Sized>(
+    decoder: &D,
+    instance: &Instance,
+    labeling: &Labeling,
+    samples: usize,
+    rng: &mut R,
+) -> Result<(), InvarianceViolation> {
+    let base = run(
+        decoder,
+        &LabeledInstance::new(instance.clone(), labeling.clone()),
+    );
+    for _ in 0..samples {
+        // Random strictly increasing map: add strictly positive random
+        // gaps in rank order.
+        let mut sorted: Vec<u64> = instance.ids().as_slice().to_vec();
+        sorted.sort_unstable();
+        let mut image = Vec::with_capacity(sorted.len());
+        let mut next = 0u64;
+        for _ in &sorted {
+            next += rng.random_range(1..=3u64);
+            image.push(next);
+        }
+        let remap = |id: u64| {
+            let rank = sorted.binary_search(&id).expect("id present");
+            image[rank]
+        };
+        let ids = instance.ids().remap_order_preserving(remap);
+        compare_under(decoder, instance, labeling, &base, ids)?;
+    }
+    Ok(())
+}
+
+fn compare_under<D: Decoder + ?Sized>(
+    decoder: &D,
+    instance: &Instance,
+    labeling: &Labeling,
+    base: &[crate::decoder::Verdict],
+    ids: IdAssignment,
+) -> Result<(), InvarianceViolation> {
+    let alt = instance
+        .replace_ids(ids.clone())
+        .expect("remapped ids fit the graph");
+    let verdicts = run(decoder, &LabeledInstance::new(alt, labeling.clone()));
+    if let Some(node) = (0..base.len()).find(|&v| base[v] != verdicts[v]) {
+        return Err(InvarianceViolation { ids, node });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Verdict;
+    use crate::view::{IdMode, View};
+    use hiding_lcp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Accepts iff the center has the numerically largest id it can see —
+    /// order-invariant but not anonymous.
+    struct LocalMax;
+    impl Decoder for LocalMax {
+        fn name(&self) -> String {
+            "local-max".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Full
+        }
+        fn decide(&self, view: &View) -> Verdict {
+            let me = view.center_id().expect("full mode");
+            Verdict::from(
+                view.center_arcs()
+                    .iter()
+                    .all(|arc| view.node(arc.to).id.expect("full mode") < me),
+            )
+        }
+    }
+
+    /// Accepts iff the center's id is even — not even order-invariant.
+    struct EvenId;
+    impl Decoder for EvenId {
+        fn name(&self) -> String {
+            "even-id".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Full
+        }
+        fn decide(&self, view: &View) -> Verdict {
+            Verdict::from(view.center_id().expect("full mode").is_multiple_of(2))
+        }
+    }
+
+    #[test]
+    fn local_max_is_order_invariant_but_not_anonymous() {
+        let inst = Instance::canonical(generators::path(4));
+        let labeling = Labeling::empty(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(check_order_invariant(&LocalMax, &inst, &labeling, 20, &mut rng).is_ok());
+        assert!(check_anonymous(&LocalMax, &inst, &labeling, 50, &mut rng).is_err());
+    }
+
+    #[test]
+    fn even_id_is_not_order_invariant() {
+        let inst = Instance::canonical(generators::path(4));
+        let labeling = Labeling::empty(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let violation = check_order_invariant(&EvenId, &inst, &labeling, 50, &mut rng)
+            .expect_err("parity of ids is not order-invariant");
+        assert!(violation.node < 4);
+    }
+
+    #[test]
+    fn anonymous_decoders_pass_by_construction() {
+        struct ConstAccept;
+        impl Decoder for ConstAccept {
+            fn name(&self) -> String {
+                "const".into()
+            }
+            fn radius(&self) -> usize {
+                1
+            }
+            fn id_mode(&self) -> IdMode {
+                IdMode::Anonymous
+            }
+            fn decide(&self, _view: &View) -> Verdict {
+                Verdict::Accept
+            }
+        }
+        let inst = Instance::canonical(generators::cycle(5));
+        let labeling = Labeling::empty(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(check_anonymous(&ConstAccept, &inst, &labeling, 20, &mut rng).is_ok());
+        assert!(check_order_invariant(&ConstAccept, &inst, &labeling, 20, &mut rng).is_ok());
+    }
+}

@@ -1,0 +1,28 @@
+//! Executable checkers for the LCP correctness properties
+//! (paper, Sections 2.2–2.4).
+//!
+//! Each checker returns a witness-carrying report rather than a bare
+//! boolean, so failures are diagnosable and successes auditable:
+//!
+//! * [`completeness`] — on every promised yes-instance the prover's
+//!   labeling makes all nodes accept;
+//! * [`soundness`] — on no-instances every labeling is rejected somewhere
+//!   (exhaustive over an alphabet, or randomized);
+//! * [`strong`] — on *every* instance and every labeling, the accepting
+//!   set induces a graph in `G(L)` (strong promise soundness,
+//!   Sections 2.3/2.5);
+//! * [`hiding`] — via the accepting neighborhood graph characterization of
+//!   Lemma 3.2 (see [`crate::nbhd`] and [`crate::extract`]);
+//! * [`invariance`] — empirical anonymity / order-invariance checks;
+//! * [`quantified`] — the quantified-hiding lower bound (what fraction of
+//!   nodes can NO decoder color) the paper proposes as future work;
+//! * [`erasure`] — erasure sensitivity, contrasting with the resilient
+//!   labeling schemes of the related-work section.
+
+pub mod completeness;
+pub mod erasure;
+pub mod hiding;
+pub mod invariance;
+pub mod quantified;
+pub mod soundness;
+pub mod strong;

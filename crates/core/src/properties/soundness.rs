@@ -1,0 +1,176 @@
+//! Soundness: on no-instances every labeling is rejected by at least one
+//! node (paper, Section 2.2).
+
+use crate::decoder::{accepts_all, Decoder};
+use crate::instance::Instance;
+use crate::label::{Certificate, Labeling};
+use crate::prover::{all_labelings, random_labeling};
+use rand::Rng;
+
+/// A soundness violation: a labeling of a no-instance accepted by every
+/// node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SoundnessViolation {
+    /// The unanimously accepted labeling.
+    pub labeling: Labeling,
+}
+
+/// Exhaustively checks soundness of `decoder` on the (no-instance)
+/// `instance` over all labelings from `alphabet`.
+///
+/// Returns the first violation found, or `Ok(checked)` with the number of
+/// labelings examined. The caller must ensure `instance` is a genuine
+/// no-instance (e.g. non-bipartite for 2-col); this function only hunts
+/// for unanimous acceptance.
+pub fn check_soundness_exhaustive<D: Decoder + ?Sized>(
+    decoder: &D,
+    instance: &Instance,
+    alphabet: &[Certificate],
+) -> Result<usize, SoundnessViolation> {
+    let n = instance.graph().node_count();
+    let mut checked = 0;
+    for labeling in all_labelings(n, alphabet) {
+        checked += 1;
+        let li = instance.clone().with_labeling(labeling);
+        if accepts_all(decoder, &li) {
+            return Err(SoundnessViolation {
+                labeling: li.labeling().clone(),
+            });
+        }
+    }
+    Ok(checked)
+}
+
+/// Randomized soundness check: `samples` uniformly random labelings over
+/// `alphabet`.
+///
+/// # Panics
+///
+/// Panics if `alphabet` is empty.
+pub fn check_soundness_random<D: Decoder + ?Sized, R: Rng + ?Sized>(
+    decoder: &D,
+    instance: &Instance,
+    alphabet: &[Certificate],
+    samples: usize,
+    rng: &mut R,
+) -> Result<usize, SoundnessViolation> {
+    let n = instance.graph().node_count();
+    for _ in 0..samples {
+        let labeling = random_labeling(n, alphabet, rng);
+        let li = instance.clone().with_labeling(labeling);
+        if accepts_all(decoder, &li) {
+            return Err(SoundnessViolation {
+                labeling: li.labeling().clone(),
+            });
+        }
+    }
+    Ok(samples)
+}
+
+/// Checks a batch of explicit labelings (e.g. structured adversaries from
+/// `hiding-lcp-certs`).
+pub fn check_soundness_labelings<'a, D: Decoder + ?Sized>(
+    decoder: &D,
+    instance: &Instance,
+    labelings: impl IntoIterator<Item = &'a Labeling>,
+) -> Result<usize, SoundnessViolation> {
+    let mut checked = 0;
+    for labeling in labelings {
+        checked += 1;
+        let li = instance.clone().with_labeling(labeling.clone());
+        if accepts_all(decoder, &li) {
+            return Err(SoundnessViolation {
+                labeling: labeling.clone(),
+            });
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Verdict;
+    use crate::view::{IdMode, View};
+    use hiding_lcp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Accepts iff the node's certificate differs from all neighbors'.
+    struct LocalDiff;
+    impl Decoder for LocalDiff {
+        fn name(&self) -> String {
+            "local-diff".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, view: &View) -> Verdict {
+            let mine = view.center_label();
+            Verdict::from(
+                view.center_arcs()
+                    .iter()
+                    .all(|arc| view.node(arc.to).label != *mine),
+            )
+        }
+    }
+
+    /// Accepts everything.
+    struct YesMan;
+    impl Decoder for YesMan {
+        fn name(&self) -> String {
+            "yes-man".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, _view: &View) -> Verdict {
+            Verdict::Accept
+        }
+    }
+
+    fn bits() -> Vec<Certificate> {
+        vec![Certificate::from_byte(0), Certificate::from_byte(1)]
+    }
+
+    #[test]
+    fn local_diff_is_sound_on_odd_cycles_with_two_labels() {
+        // With a 2-letter alphabet, local-diff accepts exactly the proper
+        // 2-colorings, and C5 has none.
+        let c5 = Instance::canonical(generators::cycle(5));
+        let checked = check_soundness_exhaustive(&LocalDiff, &c5, &bits()).expect("sound");
+        assert_eq!(checked, 32);
+    }
+
+    #[test]
+    fn yes_man_is_unsound() {
+        let c3 = Instance::canonical(generators::cycle(3));
+        let violation = check_soundness_exhaustive(&YesMan, &c3, &bits()).expect_err("unsound");
+        assert_eq!(violation.labeling.node_count(), 3);
+    }
+
+    #[test]
+    fn randomized_check_finds_easy_violations() {
+        let c3 = Instance::canonical(generators::cycle(3));
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(check_soundness_random(&YesMan, &c3, &bits(), 10, &mut rng).is_err());
+        assert!(check_soundness_random(&LocalDiff, &c3, &bits(), 50, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn explicit_labelings_check() {
+        let c3 = Instance::canonical(generators::cycle(3));
+        let ls = [Labeling::uniform(3, Certificate::from_byte(0))];
+        assert_eq!(
+            check_soundness_labelings(&LocalDiff, &c3, ls.iter()),
+            Ok(1)
+        );
+        assert!(check_soundness_labelings(&YesMan, &c3, ls.iter()).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Strong (promise) soundness: for every instance and every labeling, the
+//! subgraph induced by the accepting nodes lies in `G(L)`
+//! (paper, Sections 2.3 and 2.5).
+
+use crate::decoder::{accepting_set, Decoder};
+use crate::instance::Instance;
+use crate::label::{Certificate, Labeling};
+use crate::language::KCol;
+use crate::prover::{all_labelings, random_labeling};
+use rand::Rng;
+
+/// A strong-soundness violation: the accepting set induces a non-member of
+/// `G(L)` — for 2-col, a subgraph containing an odd cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrongViolation {
+    /// The offending labeling.
+    pub labeling: Labeling,
+    /// The accepting nodes (original indices, sorted).
+    pub accepting: Vec<usize>,
+}
+
+/// Checks whether one labeled instance satisfies the strong condition:
+/// the accepting set must induce a graph in `G(k-col)`.
+pub fn strong_holds_for<D: Decoder + ?Sized>(
+    decoder: &D,
+    language: &KCol,
+    instance: &Instance,
+    labeling: &Labeling,
+) -> Result<(), StrongViolation> {
+    let li = instance.clone().with_labeling(labeling.clone());
+    let accepting = accepting_set(decoder, &li);
+    let (induced, _) = instance.graph().induced(&accepting);
+    if language.is_yes_graph(&induced) {
+        Ok(())
+    } else {
+        Err(StrongViolation {
+            labeling: labeling.clone(),
+            accepting,
+        })
+    }
+}
+
+/// Exhaustive strong-soundness check over all labelings from `alphabet`.
+/// Unlike plain soundness, strong soundness quantifies over **every**
+/// graph, so callers should feed both yes- and no-instances.
+pub fn check_strong_exhaustive<D: Decoder + ?Sized>(
+    decoder: &D,
+    language: &KCol,
+    instance: &Instance,
+    alphabet: &[Certificate],
+) -> Result<usize, StrongViolation> {
+    let n = instance.graph().node_count();
+    let mut checked = 0;
+    for labeling in all_labelings(n, alphabet) {
+        checked += 1;
+        strong_holds_for(decoder, language, instance, &labeling)?;
+    }
+    Ok(checked)
+}
+
+/// Randomized strong-soundness check.
+///
+/// # Panics
+///
+/// Panics if `alphabet` is empty.
+pub fn check_strong_random<D: Decoder + ?Sized, R: Rng + ?Sized>(
+    decoder: &D,
+    language: &KCol,
+    instance: &Instance,
+    alphabet: &[Certificate],
+    samples: usize,
+    rng: &mut R,
+) -> Result<usize, StrongViolation> {
+    let n = instance.graph().node_count();
+    for _ in 0..samples {
+        let labeling = random_labeling(n, alphabet, rng);
+        strong_holds_for(decoder, language, instance, &labeling)?;
+    }
+    Ok(samples)
+}
+
+/// Checks a batch of explicit labelings.
+pub fn check_strong_labelings<'a, D: Decoder + ?Sized>(
+    decoder: &D,
+    language: &KCol,
+    instance: &Instance,
+    labelings: impl IntoIterator<Item = &'a Labeling>,
+) -> Result<usize, StrongViolation> {
+    let mut checked = 0;
+    for labeling in labelings {
+        checked += 1;
+        strong_holds_for(decoder, language, instance, labeling)?;
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Verdict;
+    use crate::view::{IdMode, View};
+    use hiding_lcp_graph::generators;
+
+    /// Accepts iff the node's certificate differs from all neighbors'.
+    struct LocalDiff;
+    impl Decoder for LocalDiff {
+        fn name(&self) -> String {
+            "local-diff".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, view: &View) -> Verdict {
+            let mine = view.center_label();
+            Verdict::from(
+                view.center_arcs()
+                    .iter()
+                    .all(|arc| view.node(arc.to).label != *mine),
+            )
+        }
+    }
+
+    /// Accepts everything — violates strong soundness on any odd cycle.
+    struct YesMan;
+    impl Decoder for YesMan {
+        fn name(&self) -> String {
+            "yes-man".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, _view: &View) -> Verdict {
+            Verdict::Accept
+        }
+    }
+
+    fn bits() -> Vec<Certificate> {
+        vec![Certificate::from_byte(0), Certificate::from_byte(1)]
+    }
+
+    #[test]
+    fn local_diff_is_strong_with_binary_alphabet() {
+        // Accepting nodes of local-diff under a 2-letter alphabet carry a
+        // locally proper 2-coloring, so the accepting set is bipartite.
+        let two_col = KCol::new(2);
+        for g in [generators::cycle(5), generators::complete(4), generators::cycle(6)] {
+            let inst = Instance::canonical(g);
+            assert!(check_strong_exhaustive(&LocalDiff, &two_col, &inst, &bits()).is_ok());
+        }
+    }
+
+    #[test]
+    fn yes_man_violates_strong_soundness() {
+        let two_col = KCol::new(2);
+        let c3 = Instance::canonical(generators::cycle(3));
+        let violation =
+            check_strong_exhaustive(&YesMan, &two_col, &c3, &bits()).expect_err("violated");
+        assert_eq!(violation.accepting, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn strong_holds_for_single_labeling() {
+        let two_col = KCol::new(2);
+        let c3 = Instance::canonical(generators::cycle(3));
+        let l = Labeling::uniform(3, Certificate::from_byte(0));
+        assert!(strong_holds_for(&LocalDiff, &two_col, &c3, &l).is_ok());
+        assert!(strong_holds_for(&YesMan, &two_col, &c3, &l).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Provers and adversarial labelers.
+//!
+//! The paper's prover is an all-powerful entity that, on a yes-instance,
+//! chooses certificates making every node accept (completeness). The
+//! soundness quantifiers ("for every labeling ℓ") are realized here by
+//! exhaustive enumeration over a finite certificate alphabet and by random
+//! adversarial sampling — see `DESIGN.md` for the substitution note.
+
+use crate::instance::Instance;
+use crate::label::{Certificate, Labeling};
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+/// A prover for one LCP: produces an accepting labeling on the instances
+/// it supports.
+pub trait Prover {
+    /// A short human-readable name.
+    fn name(&self) -> String;
+
+    /// A labeling intended to make every node accept, or `None` when the
+    /// instance is outside the prover's promise class (or a no-instance).
+    fn certify(&self, instance: &Instance) -> Option<Labeling>;
+}
+
+impl<T: Prover + ?Sized> Prover for &T {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn certify(&self, instance: &Instance) -> Option<Labeling> {
+        (**self).certify(instance)
+    }
+}
+
+impl<T: Prover + ?Sized> Prover for Box<T> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn certify(&self, instance: &Instance) -> Option<Labeling> {
+        (**self).certify(instance)
+    }
+}
+
+/// Iterates over **all** labelings of `n` nodes with certificates drawn
+/// from `alphabet` — the exhaustive adversary (`|alphabet|^n` labelings).
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_core::prover::all_labelings;
+/// use hiding_lcp_core::label::Certificate;
+/// let alphabet = vec![Certificate::from_byte(0), Certificate::from_byte(1)];
+/// assert_eq!(all_labelings(3, &alphabet).count(), 8);
+/// ```
+pub fn all_labelings<'a>(
+    n: usize,
+    alphabet: &'a [Certificate],
+) -> impl Iterator<Item = Labeling> + 'a {
+    AllLabelings {
+        n,
+        alphabet,
+        indices: vec![0; n],
+        done: alphabet.is_empty() && n > 0,
+    }
+}
+
+struct AllLabelings<'a> {
+    n: usize,
+    alphabet: &'a [Certificate],
+    indices: Vec<usize>,
+    done: bool,
+}
+
+impl Iterator for AllLabelings<'_> {
+    type Item = Labeling;
+
+    fn next(&mut self) -> Option<Labeling> {
+        if self.done {
+            return None;
+        }
+        let labeling = self
+            .indices
+            .iter()
+            .map(|&i| self.alphabet[i].clone())
+            .collect();
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            if pos == self.n {
+                self.done = true;
+                break;
+            }
+            self.indices[pos] += 1;
+            if self.indices[pos] < self.alphabet.len() {
+                break;
+            }
+            self.indices[pos] = 0;
+            pos += 1;
+        }
+        Some(labeling)
+    }
+}
+
+/// A uniformly random labeling over `alphabet`.
+///
+/// # Panics
+///
+/// Panics if `alphabet` is empty.
+pub fn random_labeling<R: Rng + ?Sized>(
+    n: usize,
+    alphabet: &[Certificate],
+    rng: &mut R,
+) -> Labeling {
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    (0..n)
+        .map(|_| alphabet.choose(rng).expect("non-empty").clone())
+        .collect()
+}
+
+/// Mutates `base` by replacing the certificates of `flips` random nodes
+/// with random alphabet entries — a structured adversary that perturbs an
+/// honest proof.
+///
+/// # Panics
+///
+/// Panics if `alphabet` is empty or `base` covers no nodes while
+/// `flips > 0`.
+pub fn perturb_labeling<R: Rng + ?Sized>(
+    base: &Labeling,
+    alphabet: &[Certificate],
+    flips: usize,
+    rng: &mut R,
+) -> Labeling {
+    assert!(!alphabet.is_empty(), "alphabet must be non-empty");
+    let n = base.node_count();
+    assert!(n > 0 || flips == 0, "cannot flip labels of an empty labeling");
+    let mut out = base.clone();
+    for _ in 0..flips {
+        let v = rng.random_range(0..n);
+        out.set(v, alphabet.choose(rng).expect("non-empty").clone());
+    }
+    out
+}
+
+/// A prover wrapper that always answers with a fixed labeling — useful in
+/// tests and for seeding neighborhood-graph construction with the paper's
+/// hand-built instances (Figs. 3 and 5).
+#[derive(Debug, Clone)]
+pub struct FixedProver {
+    labeling: Labeling,
+}
+
+impl FixedProver {
+    /// Wraps the labeling.
+    pub fn new(labeling: Labeling) -> Self {
+        FixedProver { labeling }
+    }
+}
+
+impl Prover for FixedProver {
+    fn name(&self) -> String {
+        "fixed".into()
+    }
+    fn certify(&self, instance: &Instance) -> Option<Labeling> {
+        (instance.graph().node_count() == self.labeling.node_count())
+            .then(|| self.labeling.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hiding_lcp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bits() -> Vec<Certificate> {
+        vec![Certificate::from_byte(0), Certificate::from_byte(1)]
+    }
+
+    #[test]
+    fn exhaustive_labelings_cover_everything() {
+        let all: Vec<Labeling> = all_labelings(2, &bits()).collect();
+        assert_eq!(all.len(), 4);
+        let mut dedup = all.clone();
+        dedup.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4, "all labelings distinct");
+    }
+
+    #[test]
+    fn exhaustive_labelings_edge_cases() {
+        assert_eq!(all_labelings(0, &bits()).count(), 1, "empty product");
+        assert_eq!(all_labelings(3, &[]).count(), 0, "empty alphabet");
+        assert_eq!(all_labelings(0, &[]).count(), 1);
+        let single = vec![Certificate::from_byte(7)];
+        assert_eq!(all_labelings(4, &single).count(), 1);
+    }
+
+    #[test]
+    fn random_and_perturbed_labelings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = random_labeling(10, &bits(), &mut rng);
+        assert_eq!(l.node_count(), 10);
+        let p = perturb_labeling(&l, &bits(), 3, &mut rng);
+        assert_eq!(p.node_count(), 10);
+    }
+
+    #[test]
+    fn fixed_prover_checks_arity() {
+        let l = Labeling::uniform(3, Certificate::from_byte(1));
+        let prover = FixedProver::new(l);
+        assert!(prover.certify(&Instance::canonical(generators::path(3))).is_some());
+        assert!(prover.certify(&Instance::canonical(generators::path(4))).is_none());
+    }
+}

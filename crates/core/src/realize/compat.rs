@@ -1,0 +1,140 @@
+//! View compatibility (paper, Section 5.1, Fig. 7).
+//!
+//! A node `u` of view `μ₁` is *compatible* with view `μ₂` when:
+//!
+//! 1. `u` carries the same identifier as the center of `μ₂`; and
+//! 2. for every node `w₁` of `μ₁` at distance strictly less than `r` from
+//!    `μ₁`'s center, if `μ₂` has a node `w₂` with the same identifier at
+//!    distance strictly less than `r` from `μ₂`'s center, then `w₁` and
+//!    `w₂` have identical radius-1 views (ports, identifiers and labels).
+//!
+//! (The paper's condition 2 reads "dist(v₁, w₂) < r", evidently a typo for
+//! the distance from `μ₂`'s own center `v₂`, which is what Fig. 7
+//! illustrates and what the `G_bad` construction needs.)
+
+use crate::view::View;
+
+/// Whether node `u` (a canonical index into `mu1`) is compatible with
+/// `mu2`, per Section 5.1.
+///
+/// # Panics
+///
+/// Panics if the views have different radii, are not in
+/// [`crate::view::IdMode::Full`], or `u` is out of range.
+pub fn node_compatible(mu1: &View, u: usize, mu2: &View) -> bool {
+    assert_eq!(mu1.radius(), mu2.radius(), "views must share a radius");
+    assert_eq!(
+        mu1.id_mode(),
+        crate::view::IdMode::Full,
+        "compatibility is defined on identifier-carrying views"
+    );
+    assert_eq!(mu2.id_mode(), crate::view::IdMode::Full);
+    let r = mu1.radius();
+    // Condition 1: u carries mu2's center identifier.
+    if mu1.node(u).id != mu2.center_id() {
+        return false;
+    }
+    // Condition 2: interior nodes with shared identifiers agree on their
+    // radius-1 surroundings.
+    for w1 in 0..mu1.node_count() {
+        if mu1.node(w1).dist >= r {
+            continue;
+        }
+        let id = mu1.node(w1).id.expect("Full mode nodes carry ids");
+        if let Some(w2) = mu2.node_with_id(id) {
+            if mu2.node(w2).dist < r && mu1.sub_view1(w1) != mu2.sub_view1(w2) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::label::Labeling;
+    use crate::view::IdMode;
+    use hiding_lcp_graph::{generators, Graph, IdAssignment};
+
+    fn view_of(graph: Graph, ids: Vec<u64>, node: usize, r: usize) -> View {
+        let bound = ids.iter().copied().max().unwrap_or(1).max(8);
+        let inst =
+            Instance::with_ids(graph, IdAssignment::from_ids(ids, bound).unwrap()).unwrap();
+        let n = inst.graph().node_count();
+        inst.view(&Labeling::empty(n), node, r, IdMode::Full)
+    }
+
+    #[test]
+    fn same_instance_views_are_mutually_compatible() {
+        // In one instance, view(u)'s node with id j is always compatible
+        // with view(j) — they come from the same ground truth.
+        let inst = Instance::canonical(generators::cycle(6));
+        let labels = Labeling::empty(6);
+        for r in [1usize, 2] {
+            for u in 0..6 {
+                let mu1 = inst.view(&labels, u, r, IdMode::Full);
+                for w in 0..mu1.node_count() {
+                    let id = mu1.node(w).id.unwrap();
+                    let origin = inst.ids().node_with_id(id).unwrap();
+                    let mu2 = inst.view(&labels, origin, r, IdMode::Full);
+                    assert!(
+                        node_compatible(&mu1, w, &mu2),
+                        "r={r}, u={u}, w={w} should be compatible"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn center_id_mismatch_is_incompatible() {
+        let mu1 = view_of(generators::path(3), vec![1, 2, 3], 0, 1);
+        let mu2 = view_of(generators::path(3), vec![4, 5, 6], 1, 1);
+        // mu1's node with id 2 vs mu2 centered at 5: ids differ.
+        let u = mu1.node_with_id(2).unwrap();
+        assert!(!node_compatible(&mu1, u, &mu2));
+    }
+
+    #[test]
+    fn interior_disagreement_is_incompatible() {
+        // r = 2. mu1: path 1-2-3 viewed from node id 1; node id 2 is
+        // interior (dist 1 < 2) with neighbors {1, 3}.
+        let mu1 = view_of(generators::path(3), vec![1, 2, 3], 0, 2);
+        // mu2: path 1-2-4 viewed from its center id 2; here id 2's
+        // radius-1 view has neighbors {1, 4} — disagrees.
+        let mu2 = view_of(generators::path(3), vec![1, 2, 4], 1, 2);
+        let u = mu1.node_with_id(2).unwrap();
+        assert!(!node_compatible(&mu1, u, &mu2));
+        // But a matching mu2' with neighbors {1, 3} is compatible.
+        let mu2_good = view_of(generators::path(3), vec![1, 2, 3], 1, 2);
+        assert!(node_compatible(&mu1, u, &mu2_good));
+    }
+
+    #[test]
+    fn boundary_nodes_are_not_constrained() {
+        // Paper, Fig. 7: nodes at distance exactly r in mu1 may look
+        // completely different in mu2. r = 1: mu1 = star center 1 with
+        // leaves 2,3; its leaf 2 (dist 1 = r) has degree 1 in mu1. mu2 =
+        // view centered at 2 where 2 has many neighbors including 1.
+        let mu1 = view_of(generators::star(2), vec![1, 2, 3], 0, 1);
+        let mu2 = view_of(generators::star(3), vec![2, 1, 7, 8], 0, 1);
+        let u = mu1.node_with_id(2).unwrap();
+        assert!(
+            node_compatible(&mu1, u, &mu2),
+            "dist-r nodes impose no interior constraints beyond... center id"
+        );
+        // Only the center of mu1 itself is interior; it does not occur in
+        // mu2 with dist < r? It does: id 1 at dist 1 = r in mu2 — again
+        // unconstrained.
+    }
+
+    #[test]
+    #[should_panic(expected = "share a radius")]
+    fn radius_mismatch_panics() {
+        let mu1 = view_of(generators::path(2), vec![1, 2], 0, 1);
+        let mu2 = view_of(generators::path(2), vec![2, 3], 0, 2);
+        let _ = node_compatible(&mu1, 1, &mu2);
+    }
+}

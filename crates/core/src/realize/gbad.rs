@@ -1,0 +1,368 @@
+//! The `G_bad` merge-by-identifier construction (paper, Lemma 5.1).
+//!
+//! Given a realization plan `{μ_i}`, `G_bad` is obtained by taking the
+//! disjoint union of the `μ_i` and identifying nodes with equal
+//! identifiers; edges, ports and labels are inherited from the views
+//! (consistency is guaranteed by compatibility — and *checked* here, so a
+//! bad plan is reported rather than silently realized).
+//!
+//! One model detail the one-page proof glosses over: a node that only ever
+//! appears on the *boundary* (distance exactly r) of plan views may have
+//! partial port information — say its only known edge uses port 3. A valid
+//! port assignment requires ports `1..=d(v)`, so we attach fresh *dummy
+//! pendant neighbors* to fill the missing lower ports. Dummies are
+//! invisible to every plan view: a node with a port gap is never interior
+//! to any view (interior nodes expose all their edges, hence complete
+//! ports), so it sits at distance ≥ r from every center and its new edges
+//! are beyond every realized view's horizon. Dummy verdicts are
+//! irrelevant to strong-soundness violations, which only need the
+//! realized subgraph's nodes to accept.
+
+use crate::instance::{Instance, LabeledInstance};
+use crate::label::{Certificate, Labeling};
+use crate::realize::realizable::RealizationPlan;
+use crate::view::View;
+use hiding_lcp_graph::{Graph, IdAssignment, PortAssignment};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a plan could not be merged into a consistent instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RealizeError {
+    /// The plan contains no views.
+    EmptyPlan,
+    /// Two views claim different ports for the same directed edge.
+    PortConflict {
+        /// The node whose port is contested.
+        id: u64,
+        /// The neighbor on the contested edge.
+        other: u64,
+        /// The two claimed port numbers.
+        ports: (u16, u16),
+    },
+    /// Two views claim different labels for one identifier.
+    LabelConflict {
+        /// The doubly-labeled identifier.
+        id: u64,
+    },
+    /// One node claims the same port for two different edges.
+    PortReused {
+        /// The offending node.
+        id: u64,
+        /// The reused port number.
+        port: u16,
+    },
+}
+
+impl fmt::Display for RealizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RealizeError::EmptyPlan => write!(f, "realization plan is empty"),
+            RealizeError::PortConflict { id, other, ports } => write!(
+                f,
+                "views disagree on prt({id}, {{{id},{other}}}): {} vs {}",
+                ports.0, ports.1
+            ),
+            RealizeError::LabelConflict { id } => {
+                write!(f, "views disagree on the label of {id}")
+            }
+            RealizeError::PortReused { id, port } => {
+                write!(f, "node {id} uses port {port} for two edges")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RealizeError {}
+
+/// The realized `G_bad` with its bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Realization {
+    /// The merged labeled instance.
+    pub labeled: LabeledInstance,
+    /// Graph node index of each original identifier.
+    pub node_of_id: BTreeMap<u64, usize>,
+    /// The dummy pendant nodes added to complete port assignments.
+    pub dummy_nodes: Vec<usize>,
+}
+
+impl Realization {
+    /// Checks that the realized instance reproduces `mu` exactly at the
+    /// node carrying `mu`'s center identifier: the extracted view equals
+    /// `mu`.
+    pub fn reproduces(&self, mu: &View) -> bool {
+        let Some(center) = mu.center_id() else {
+            return false;
+        };
+        let Some(&node) = self.node_of_id.get(&center) else {
+            return false;
+        };
+        self.labeled.view(node, mu.radius(), mu.id_mode()) == *mu
+    }
+}
+
+/// Lemma 5.1: merges the plan's views into `G_bad`.
+pub fn realize(plan: &RealizationPlan) -> Result<Realization, RealizeError> {
+    if plan.mu.is_empty() {
+        return Err(RealizeError::EmptyPlan);
+    }
+    // Claims gathered from every view: labels per id, ports per directed
+    // id pair, edges.
+    let mut labels: BTreeMap<u64, Certificate> = BTreeMap::new();
+    let mut ports: BTreeMap<(u64, u64), u16> = BTreeMap::new();
+    let mut bound = 0u64;
+    for mu in plan.mu.values() {
+        bound = bound.max(mu.id_bound());
+        for a in 0..mu.node_count() {
+            let id_a = mu.node(a).id.expect("Full id mode");
+            bound = bound.max(id_a);
+            match labels.get(&id_a) {
+                None => {
+                    labels.insert(id_a, mu.node(a).label.clone());
+                }
+                Some(prev) if *prev == mu.node(a).label => {}
+                Some(_) => return Err(RealizeError::LabelConflict { id: id_a }),
+            }
+            for arc in &mu.node(a).arcs {
+                let id_b = mu.node(arc.to).id.expect("Full id mode");
+                // Both endpoints' ports travel with every visible edge.
+                for (from, to, port) in
+                    [(id_a, id_b, arc.port_here), (id_b, id_a, arc.port_there)]
+                {
+                    match ports.get(&(from, to)) {
+                        None => {
+                            ports.insert((from, to), port);
+                        }
+                        Some(&prev) if prev == port => {}
+                        Some(&prev) => {
+                            return Err(RealizeError::PortConflict {
+                                id: from,
+                                other: to,
+                                ports: (prev, port),
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Per-node port tables; detect port reuse.
+    let mut port_table: BTreeMap<u64, BTreeMap<u16, u64>> = BTreeMap::new();
+    for (&(a, b), &p) in &ports {
+        let entry = port_table.entry(a).or_default();
+        if let Some(&prev_b) = entry.get(&p) {
+            if prev_b != b {
+                return Err(RealizeError::PortReused { id: a, port: p });
+            }
+        }
+        entry.insert(p, b);
+    }
+    // Dense indexing of real identifiers.
+    let real_ids: Vec<u64> = labels.keys().copied().collect();
+    let mut node_of_id: BTreeMap<u64, usize> = real_ids
+        .iter()
+        .enumerate()
+        .map(|(idx, &id)| (id, idx))
+        .collect();
+    // Dummy pendants to fill port gaps.
+    let mut next_dummy_id = real_ids.iter().copied().max().unwrap_or(0) + 1;
+    let mut all_ids = real_ids.clone();
+    let mut dummy_nodes = Vec::new();
+    let mut dummy_edges: Vec<(u64, u64)> = Vec::new(); // (owner, dummy)
+    for (&id, table) in &mut port_table {
+        let max_port = table.keys().copied().max().unwrap_or(0);
+        for p in 1..=max_port {
+            if let std::collections::btree_map::Entry::Vacant(e) = table.entry(p) {
+                let dummy = next_dummy_id;
+                next_dummy_id += 1;
+                e.insert(dummy);
+                dummy_edges.push((id, dummy));
+                node_of_id.insert(dummy, all_ids.len());
+                dummy_nodes.push(all_ids.len());
+                all_ids.push(dummy);
+            }
+        }
+    }
+    // Dummy identifiers (if any were created) may exceed the bound.
+    bound = bound.max(all_ids.iter().copied().max().unwrap_or(0));
+    // Assemble the graph.
+    let n = all_ids.len();
+    let mut graph = Graph::new(n);
+    for &(a, b) in ports.keys() {
+        let (na, nb) = (node_of_id[&a], node_of_id[&b]);
+        if na < nb {
+            graph.add_edge(na, nb).expect("merged edges are valid");
+        } else if !graph.has_edge(na, nb) {
+            graph.add_edge(nb, na).expect("merged edges are valid");
+        }
+    }
+    for &(owner, dummy) in &dummy_edges {
+        graph
+            .add_edge(node_of_id[&owner], node_of_id[&dummy])
+            .expect("dummy edges are valid");
+    }
+    // Port order per node: claimed ports in numeric order, then dummies
+    // already inserted into the tables; dummy nodes themselves get the
+    // single port 1 to their owner.
+    let mut order: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (&id, table) in &port_table {
+        order[node_of_id[&id]] = table.values().map(|b| node_of_id[b]).collect();
+    }
+    for &(owner, dummy) in &dummy_edges {
+        order[node_of_id[&dummy]] = vec![node_of_id[&owner]];
+    }
+    let Some(port_assignment) = PortAssignment::from_order(&graph, order) else {
+        // Port numbers have gaps even after dummy insertion — can only
+        // happen through inconsistent claims surviving earlier checks.
+        return Err(RealizeError::EmptyPlan);
+    };
+    let ids = IdAssignment::from_ids(all_ids.clone(), bound)
+        .expect("merged identifiers are injective");
+    let labeling = Labeling::new(
+        all_ids
+            .iter()
+            .map(|id| labels.get(id).cloned().unwrap_or_default())
+            .collect(),
+    );
+    let instance =
+        Instance::new(graph, port_assignment, ids).expect("merged assignments fit");
+    Ok(Realization {
+        labeled: instance.with_labeling(labeling),
+        node_of_id,
+        dummy_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realize::realizable::find_plan;
+    use crate::view::IdMode;
+    use hiding_lcp_graph::generators;
+
+    fn views_of(instance: &Instance, r: usize) -> Vec<View> {
+        let labels = Labeling::empty(instance.graph().node_count());
+        instance
+            .graph()
+            .nodes()
+            .map(|v| instance.view(&labels, v, r, IdMode::Full))
+            .collect()
+    }
+
+    #[test]
+    fn single_instance_roundtrip() {
+        // Realizing the full view set of one instance reconstructs it.
+        for (g, r) in [
+            (generators::cycle(6), 1usize),
+            (generators::path(5), 2),
+            (generators::grid(2, 3), 1),
+        ] {
+            let inst = Instance::canonical(g);
+            let views = views_of(&inst, r);
+            let plan = find_plan(&views, &[]).expect("self-realizable");
+            let realization = realize(&plan).expect("merge succeeds");
+            assert!(realization.dummy_nodes.is_empty(), "no boundary gaps");
+            assert_eq!(
+                realization.labeled.graph().node_count(),
+                inst.graph().node_count()
+            );
+            assert_eq!(
+                realization.labeled.graph().edge_count(),
+                inst.graph().edge_count()
+            );
+            for mu in &views {
+                assert!(realization.reproduces(mu), "view mismatch at r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_plans_reuse_pool_references() {
+        // Realize only the center view of a path 1-2-3-4-5 (r = 1,
+        // centered at id 3), with the instance's other views as the
+        // reference pool. The merge reconstructs the whole path.
+        let inst = Instance::canonical(generators::path(5));
+        let views = views_of(&inst, 1);
+        let plan = find_plan(&[views[2].clone()], &views).expect("pool supplies references");
+        let realization = realize(&plan).expect("merge succeeds");
+        assert!(realization.reproduces(&views[2]));
+        assert!(realization.dummy_nodes.is_empty(), "canonical ports leave no gaps");
+    }
+
+    #[test]
+    fn boundary_port_gaps_grow_dummies() {
+        // P6 where node 4 (id 5) reaches node 3 (id 4) through port 2:
+        // realizing H = {view(node 2)} pulls in μ_4 = view(node 3), whose
+        // boundary node id 5 exposes only its port-2 edge. The merge must
+        // attach a dummy pendant on id 5's port 1 to keep the port
+        // assignment valid.
+        use hiding_lcp_graph::PortAssignment;
+        let g = generators::path(6);
+        let order = vec![
+            vec![1],
+            vec![0, 2],
+            vec![1, 3],
+            vec![2, 4],
+            vec![5, 3], // port 1 -> node 5, port 2 -> node 3
+            vec![4],
+        ];
+        let prt = PortAssignment::from_order(&g, order).unwrap();
+        let inst = Instance::new(g, prt, hiding_lcp_graph::IdAssignment::canonical(6)).unwrap();
+        let views = views_of(&inst, 1);
+        let plan = find_plan(&[views[2].clone()], &views).expect("pool supplies references");
+        let realization = realize(&plan).expect("merge succeeds");
+        assert!(realization.reproduces(&views[2]));
+        assert_eq!(realization.dummy_nodes.len(), 1, "id 5's port 1 gap");
+        let d = realization.dummy_nodes[0];
+        assert_eq!(realization.labeled.graph().degree(d), 1);
+        let id5_node = realization.node_of_id[&5];
+        assert!(realization.labeled.graph().has_edge(id5_node, d));
+    }
+
+    #[test]
+    fn label_conflicts_are_reported() {
+        use crate::realize::realizable::RealizationPlan;
+        let inst = Instance::canonical(generators::path(2));
+        let l0 = Labeling::uniform(2, Certificate::from_byte(0));
+        let l1 = Labeling::uniform(2, Certificate::from_byte(1));
+        let a = inst.view(&l0, 0, 1, IdMode::Full);
+        let b = inst.view(&l1, 1, 1, IdMode::Full);
+        let mut plan = RealizationPlan::default();
+        plan.mu.insert(1, a);
+        plan.mu.insert(2, b);
+        assert!(matches!(
+            realize(&plan),
+            Err(RealizeError::LabelConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn port_conflicts_are_reported() {
+        use crate::realize::realizable::RealizationPlan;
+        use hiding_lcp_graph::{IdAssignment, PortAssignment};
+        // Two views of the star 1-{2,3} with different port assignments at
+        // the center.
+        let g = generators::star(2);
+        let ids = IdAssignment::from_ids(vec![1, 2, 3], 9).unwrap();
+        let p_a = PortAssignment::from_order(&g, vec![vec![1, 2], vec![0], vec![0]]).unwrap();
+        let p_b = PortAssignment::from_order(&g, vec![vec![2, 1], vec![0], vec![0]]).unwrap();
+        let ia = Instance::new(g.clone(), p_a, ids.clone()).unwrap();
+        let ib = Instance::new(g, p_b, ids).unwrap();
+        let labels = Labeling::empty(3);
+        let mut plan = RealizationPlan::default();
+        plan.mu.insert(1, ia.view(&labels, 0, 1, IdMode::Full));
+        plan.mu.insert(2, ib.view(&labels, 1, 1, IdMode::Full));
+        assert!(matches!(
+            realize(&plan),
+            Err(RealizeError::PortConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_plan_is_an_error() {
+        assert!(matches!(
+            realize(&RealizationPlan::default()),
+            Err(RealizeError::EmptyPlan)
+        ));
+    }
+}

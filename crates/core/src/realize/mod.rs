@@ -1,0 +1,27 @@
+//! Realizability of subgraphs of the accepting neighborhood graph
+//! (paper, Section 5.1).
+//!
+//! Given a subgraph `H` of `V(D, n)`, when can it be *realized* — turned
+//! into a concrete instance `G_bad` containing an isomorphic copy of `H`
+//! whose nodes are all accepted by `D`? The paper's answer:
+//!
+//! * [`compat`] — the node/view *compatibility* relation (views agree on
+//!   the radius-1 surroundings of shared interior identifiers);
+//! * [`realizable`] — (component-wise) realizability: each identifier `i`
+//!   appearing in `H` needs a reference view `μ_i` centered at `i` that
+//!   every occurrence of `i` is compatible with; plus the Lemma 5.2
+//!   identifier-block remapping that upgrades component-wise realizability
+//!   to plain realizability for order-invariant decoders;
+//! * [`gbad`] — the Lemma 5.1 merge-by-identifier construction of
+//!   `G_bad`.
+
+pub mod compat;
+pub mod gbad;
+pub mod realizable;
+
+pub use compat::node_compatible;
+pub use gbad::{realize, Realization, RealizeError};
+pub use realizable::{
+    check_realizable, find_plan, ids_in_views, make_component_ids_unique, s_i_indices,
+    RealizationPlan,
+};

@@ -1,0 +1,318 @@
+//! (Component-wise) realizability of view subgraphs (paper, Section 5.1)
+//! and the Lemma 5.2 identifier-block remapping.
+
+use crate::realize::compat::node_compatible;
+use crate::view::View;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The reference views `μ_i` of the realizability definition: for each
+/// identifier `i` appearing in `H`, a view centered at `i` that every
+/// occurrence of `i` in `H` is compatible with.
+#[derive(Debug, Clone, Default)]
+pub struct RealizationPlan {
+    /// `μ_i` keyed by identifier `i`.
+    pub mu: BTreeMap<u64, View>,
+}
+
+/// All identifiers appearing in any of the views.
+pub fn ids_in_views<'a>(views: impl IntoIterator<Item = &'a View>) -> BTreeSet<u64> {
+    let mut out = BTreeSet::new();
+    for v in views {
+        for node in v.nodes() {
+            out.insert(node.id.expect("realizability requires Full id mode"));
+        }
+    }
+    out
+}
+
+/// `S(i)`: the indices (into `views`) of the views in which identifier `i`
+/// appears.
+pub fn s_i_indices(views: &[View], i: u64) -> Vec<usize> {
+    views
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.node_with_id(i).is_some())
+        .map(|(idx, _)| idx)
+        .collect()
+}
+
+/// Why a realizability check failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Unrealizable {
+    /// No reference view `μ_i` was supplied (or found) for identifier `i`.
+    MissingReference {
+        /// The uncovered identifier.
+        id: u64,
+    },
+    /// A supplied reference view is not centered at `i`.
+    MiscenteredReference {
+        /// The identifier whose reference is miscentered.
+        id: u64,
+    },
+    /// The occurrence of `i` in the view at this index is incompatible
+    /// with `μ_i`.
+    Incompatible {
+        /// The identifier in question.
+        id: u64,
+        /// Index into the checked view list.
+        view: usize,
+    },
+    /// Two views of `H` share a center identifier but differ — the plan's
+    /// forced choice of `μ_i` for center identifiers is contradictory.
+    CenterClash {
+        /// The doubly-used center identifier.
+        id: u64,
+    },
+}
+
+/// Checks realizability of the view set `views` (the nodes of a candidate
+/// subgraph `H` of `V(D, n)`) under `plan`.
+///
+/// Per the observation in Lemma 5.1, for identifiers that are centers of
+/// views in `H` the reference view is forced to be that very view; this is
+/// verified too.
+pub fn check_realizable(views: &[View], plan: &RealizationPlan) -> Result<(), Unrealizable> {
+    // Forced center references.
+    let mut centers: BTreeMap<u64, &View> = BTreeMap::new();
+    for v in views {
+        let c = v.center_id().expect("Full id mode");
+        if let Some(prev) = centers.insert(c, v) {
+            if prev != v {
+                return Err(Unrealizable::CenterClash { id: c });
+            }
+        }
+    }
+    for (id, forced) in &centers {
+        match plan.mu.get(id) {
+            Some(mu) if mu == *forced => {}
+            _ => {
+                // The plan must contain exactly the view of H for center
+                // identifiers.
+                return Err(Unrealizable::MissingReference { id: *id });
+            }
+        }
+    }
+    for i in ids_in_views(views) {
+        let Some(mu_i) = plan.mu.get(&i) else {
+            return Err(Unrealizable::MissingReference { id: i });
+        };
+        if mu_i.center_id() != Some(i) {
+            return Err(Unrealizable::MiscenteredReference { id: i });
+        }
+        for idx in s_i_indices(views, i) {
+            let u = views[idx].node_with_id(i).expect("i appears in S(i)");
+            if !node_compatible(&views[idx], u, mu_i) {
+                return Err(Unrealizable::Incompatible { id: i, view: idx });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Searches `pool` (plus `views` themselves) for a plan making `views`
+/// realizable: for every identifier the first candidate view centered at
+/// it that is compatible with all of `S(i)`.
+///
+/// Returns the plan, or the first identifier for which no candidate works.
+pub fn find_plan(views: &[View], pool: &[View]) -> Result<RealizationPlan, Unrealizable> {
+    let mut plan = RealizationPlan::default();
+    // Center identifiers are forced.
+    for v in views {
+        let c = v.center_id().expect("Full id mode");
+        if let Some(prev) = plan.mu.insert(c, v.clone()) {
+            if prev != *v {
+                return Err(Unrealizable::CenterClash { id: c });
+            }
+        }
+    }
+    for i in ids_in_views(views) {
+        if plan.mu.contains_key(&i) {
+            continue;
+        }
+        let occurrences = s_i_indices(views, i);
+        let candidate = pool
+            .iter()
+            .filter(|mu| mu.center_id() == Some(i))
+            .find(|mu| {
+                occurrences.iter().all(|&idx| {
+                    let u = views[idx].node_with_id(i).expect("i appears");
+                    node_compatible(&views[idx], u, mu)
+                })
+            });
+        match candidate {
+            Some(mu) => {
+                plan.mu.insert(i, mu.clone());
+            }
+            None => return Err(Unrealizable::MissingReference { id: i }),
+        }
+    }
+    // Validate the forced center choices too.
+    check_realizable(views, &plan)?;
+    Ok(plan)
+}
+
+/// Lemma 5.2's identifier-block remapping: given the views of `H` and a
+/// partition of the occurrences of each identifier into *components*
+/// (`component_of(i, view_index)`), replaces identifier `i` in component
+/// `c` by the fresh identifier `(i − 1)·|V(H)| + c + 1` from the block
+/// `I_i = [(i−1)|V(H)| + 1, i|V(H)|]`.
+///
+/// The blocks preserve relative identifier order (`i < j` implies every
+/// member of `I_i` precedes every member of `I_j`), so an order-invariant
+/// decoder's verdicts are unchanged — exactly the paper's argument. The
+/// largest identifier produced is `Δ^r |V(H)|²`-bounded as in the lemma.
+///
+/// # Panics
+///
+/// Panics if `component_of` returns a component number `≥ |V(H)|` (the
+/// lemma's observation that `S(i)` has at most `|V(H)|` components), or if
+/// the remapping merges identifiers inside one view.
+pub fn make_component_ids_unique<F>(views: &[View], component_of: F) -> Vec<View>
+where
+    F: Fn(u64, usize) -> usize,
+{
+    let block = views.len() as u64;
+    views
+        .iter()
+        .enumerate()
+        .map(|(idx, v)| {
+            v.remap_ids(|i| {
+                let c = component_of(i, idx) as u64;
+                assert!(c < block, "S(i) has at most |V(H)| components");
+                (i - 1) * block + c + 1
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::label::Labeling;
+    use crate::view::IdMode;
+    use hiding_lcp_graph::{generators, IdAssignment};
+
+    fn path_views(ids: Vec<u64>, r: usize) -> Vec<View> {
+        let n = ids.len();
+        let bound = 64;
+        let inst = Instance::with_ids(
+            generators::path(n),
+            IdAssignment::from_ids(ids, bound).unwrap(),
+        )
+        .unwrap();
+        let labels = Labeling::empty(n);
+        (0..n).map(|v| inst.view(&labels, v, r, IdMode::Full)).collect()
+    }
+
+    #[test]
+    fn single_instance_subgraph_is_realizable() {
+        let views = path_views(vec![1, 2, 3, 4], 1);
+        let plan = find_plan(&views, &[]).expect("one instance realizes itself");
+        assert_eq!(plan.mu.len(), 4);
+        assert!(check_realizable(&views, &plan).is_ok());
+    }
+
+    #[test]
+    fn conflicting_roles_are_unrealizable() {
+        // Two views both centered at id 2 but with different neighbor
+        // sets: H cannot contain both.
+        let a = path_views(vec![1, 2, 3], 1); // 2 adjacent to {1, 3}
+        let b = path_views(vec![4, 2, 5], 1); // 2 adjacent to {4, 5}
+        let views = vec![a[1].clone(), b[1].clone()];
+        assert!(matches!(
+            find_plan(&views, &[]),
+            Err(Unrealizable::CenterClash { id: 2 })
+        ));
+    }
+
+    #[test]
+    fn missing_reference_is_detected() {
+        // H = a single view; its neighbor identifiers need references,
+        // which the empty pool cannot supply... except the observation
+        // that non-center ids also demand μ_i. Here id 1 and id 3 appear
+        // only as neighbors.
+        let views = vec![path_views(vec![1, 2, 3], 1)[1].clone()];
+        let err = find_plan(&views, &[]).expect_err("no references for 1 and 3");
+        assert_eq!(err, Unrealizable::MissingReference { id: 1 });
+        // Supplying the sibling views as a pool fixes it.
+        let pool = path_views(vec![1, 2, 3], 1);
+        assert!(find_plan(&views, &pool).is_ok());
+    }
+
+    #[test]
+    fn incompatible_pool_candidates_are_rejected() {
+        // H = center view of path 1-2-3 (r = 2, so neighbors are
+        // interior). A pool view centered at 1 from a different world
+        // (1 adjacent to 9) is incompatible.
+        let views = vec![path_views(vec![1, 2, 3], 2)[1].clone()];
+        let bad_pool = path_views(vec![2, 1, 9], 2); // 1 adjacent to {2, 9}
+        let err = find_plan(&views, &[bad_pool[1].clone()]).expect_err("wrong neighborhood");
+        assert_eq!(err, Unrealizable::MissingReference { id: 1 });
+        let good_pool = path_views(vec![1, 2, 3], 2);
+        assert!(find_plan(&views, &good_pool).is_ok());
+    }
+
+    #[test]
+    fn check_realizable_flags_incompatibility() {
+        let views = vec![path_views(vec![1, 2, 3], 2)[1].clone()];
+        let mut plan = RealizationPlan::default();
+        plan.mu.insert(2, views[0].clone());
+        let other = path_views(vec![2, 1, 9], 2);
+        plan.mu.insert(1, other[1].clone()); // centered at 1, wrong world
+        let good = path_views(vec![1, 2, 3], 2);
+        plan.mu.insert(3, good[2].clone());
+        assert_eq!(
+            check_realizable(&views, &plan),
+            Err(Unrealizable::Incompatible { id: 1, view: 0 })
+        );
+    }
+
+    #[test]
+    fn miscentered_reference_is_flagged() {
+        let views = vec![path_views(vec![1, 2], 1)[0].clone()];
+        let mut plan = RealizationPlan::default();
+        plan.mu.insert(1, views[0].clone());
+        // Reference for id 2 centered at 1 — miscentered.
+        plan.mu.insert(2, views[0].clone());
+        assert_eq!(
+            check_realizable(&views, &plan),
+            Err(Unrealizable::MiscenteredReference { id: 2 })
+        );
+    }
+
+    #[test]
+    fn lemma_5_2_remapping_preserves_order_and_splits_roles() {
+        // Two conflicting center-2 views (as above) become realizable
+        // after giving each occurrence of id 2 its own block member.
+        let a = path_views(vec![1, 2, 3], 1);
+        let b = path_views(vec![4, 2, 5], 1);
+        let views = vec![a[1].clone(), b[1].clone()];
+        // Component: occurrences in view 0 -> component 0, view 1 -> 1.
+        let remapped = make_component_ids_unique(&views, |_i, idx| idx);
+        let c0 = remapped[0].center_id().unwrap();
+        let c1 = remapped[1].center_id().unwrap();
+        assert_ne!(c0, c1, "blocks split the shared identifier");
+        // Order preservation: original 1 < 2 < 3 < 4 < 5; every image of i
+        // lies in the block I_i = [(i-1)·2 + 1, i·2], so blocks (and hence
+        // relative order) are respected, and the largest image is 5·2.
+        let all = ids_in_views(&remapped);
+        assert!(*all.iter().max().unwrap() <= 10, "within the I_i blocks");
+        assert_eq!(remapped[0].center_id(), Some(3)); // 2 -> block I_2, member 1
+        assert_eq!(remapped[1].center_id(), Some(4)); // 2 -> block I_2, member 2
+        // The two views no longer clash on centers.
+        assert!(matches!(
+            find_plan(&remapped, &[]),
+            Err(Unrealizable::MissingReference { .. })
+        ));
+    }
+
+    #[test]
+    fn s_i_and_ids_helpers() {
+        let views = path_views(vec![1, 2, 3], 1);
+        assert_eq!(ids_in_views(&views), BTreeSet::from([1, 2, 3]));
+        assert_eq!(s_i_indices(&views, 2), vec![0, 1, 2]);
+        assert_eq!(s_i_indices(&views, 3), vec![1, 2]);
+        assert_eq!(s_i_indices(&views, 9), Vec::<usize>::new());
+    }
+}

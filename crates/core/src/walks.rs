@@ -1,0 +1,411 @@
+//! Walk manipulations in the accepting neighborhood graph
+//! (paper, Section 5.2).
+//!
+//! * [`lift_walk`] — lifts a node walk of a labeled instance to the view
+//!   walk it traces in `V(D, n)`;
+//! * [`is_non_backtracking`] — the paper's non-backtracking condition on
+//!   view walks (predecessor and successor center identifiers differ);
+//! * [`find_far_node`] — the node `v_{μ'}` of Lemma 5.4 whose radius-r
+//!   ball avoids `N^r(u) ∪ N^r(v)`;
+//! * [`expansion_walk`] — the closed walk `W_e` of Lemma 5.4: take the
+//!   edge `u → v`, escape along an r-forgetful path, travel to the far
+//!   node, and return to `u` without backtracking;
+//! * [`repair_walk`] — the Lemma 5.5 odd-walk replacement for an edge
+//!   whose endpoints would make a cycle backtrack: `(v_> v) P_{vu} C_u
+//!   P_{uv}` through a second cycle.
+
+use crate::instance::LabeledInstance;
+use crate::nbhd::NbhdGraph;
+use hiding_lcp_graph::algo::{bfs, cycles, paths};
+use hiding_lcp_graph::classes::forgetful;
+
+/// Lifts the node walk `nodes` of `nbhd.instances()[instance_idx]` to view
+/// indices in `V(D, n)`. Returns `None` if some node's view is not an
+/// accepting view of the neighborhood graph.
+pub fn lift_walk(nbhd: &NbhdGraph, instance_idx: usize, nodes: &[usize]) -> Option<Vec<usize>> {
+    let li = nbhd.instances().get(instance_idx)?;
+    nodes
+        .iter()
+        .map(|&v| nbhd.index_of(&li.view(v, nbhd.radius(), nbhd.id_mode())))
+        .collect()
+}
+
+/// The paper's non-backtracking condition on a closed view walk: for every
+/// view, the predecessor's and successor's center identifiers differ.
+/// Also verifies that consecutive views are adjacent in `V(D, n)`.
+///
+/// The walk is interpreted cyclically (`walk[0]` follows `walk.last()`);
+/// it must have at least 3 views.
+pub fn is_non_backtracking(nbhd: &NbhdGraph, walk: &[usize]) -> bool {
+    let m = walk.len();
+    if m < 3 {
+        return false;
+    }
+    for i in 0..m {
+        let prev = walk[(i + m - 1) % m];
+        let next = walk[(i + 1) % m];
+        if !nbhd.has_edge(walk[i], next) {
+            return false;
+        }
+        let id_prev = nbhd.view(prev).center_id();
+        let id_next = nbhd.view(next).center_id();
+        if id_prev.is_none() || id_prev == id_next {
+            return false;
+        }
+    }
+    true
+}
+
+/// Finds a node `z` with `N^r(z)` disjoint from `N^r(u) ∪ N^r(v)` — the
+/// far view `μ'` of Lemma 5.4. (Exists whenever the diameter is at least
+/// `2r + 1`-ish; Lemma 2.1 guarantees it on r-forgetful yes-instances.)
+pub fn find_far_node(
+    g: &hiding_lcp_graph::Graph,
+    u: usize,
+    v: usize,
+    r: usize,
+) -> Option<usize> {
+    let du = bfs::distances(g, u);
+    let dv = bfs::distances(g, v);
+    // N^r(z) ∩ N^r(u) = ∅ iff dist(z, u) > 2r.
+    g.nodes().find(|&z| du[z] > 2 * r && dv[z] > 2 * r)
+}
+
+/// The closed walk `W_e` of Lemma 5.4 for the edge `u → v` of the
+/// yes-instance `li`: starts at `u`, crosses to `v`, follows an
+/// r-forgetful escape path away from `u`'s ball, continues (without
+/// backtracking) to a far node `z`, and returns to `u` arriving through a
+/// neighbor other than `v`, so that the closed walk is non-backtracking
+/// even at the seam. Returned without repeating the initial `u`.
+///
+/// Requires `li` to be r-forgetful around `(v, u)` with minimum degree
+/// ≥ 2; returns `None` when any ingredient is missing.
+pub fn expansion_walk(li: &LabeledInstance, u: usize, v: usize, r: usize) -> Option<Vec<usize>> {
+    let g = li.graph();
+    if !g.has_edge(u, v) || g.min_degree().unwrap_or(0) < 2 {
+        return None;
+    }
+    let apsp = bfs::all_pairs(g);
+    // Step 3 of the paper's procedure: the escape path P from v avoiding
+    // everything u sees.
+    let escape = forgetful::escape_path(g, &apsp, v, u, r)?;
+    // Far node z (the center of μ').
+    let z = find_far_node(g, u, v, r)?;
+    // Walk so far: u, v, escape[1..].
+    let mut walk = vec![u];
+    walk.extend_from_slice(&escape);
+    // Step 4: continue non-backtracking to z (if not already there).
+    if *walk.last().expect("non-empty") != z {
+        let last_edge = (walk[walk.len() - 2], walk[walk.len() - 1]);
+        let leg = paths::nb_walk_from_edge(g, last_edge, z, paths::Parity::Any)?;
+        walk.extend_from_slice(&leg[2..]);
+    }
+    // Step 5: return to u through some neighbor y ≠ v, keeping the seam
+    // non-backtracking (predecessor of u is y ≠ v = successor of u).
+    let last_edge = (walk[walk.len() - 2], walk[walk.len() - 1]);
+    let closing = g
+        .neighbors(u)
+        .iter()
+        .filter(|&&y| y != v)
+        .find_map(|&y| paths::nb_walk_from_edge_to_edge(g, last_edge, (y, u), paths::Parity::Any))?;
+    walk.extend_from_slice(&closing[2..]);
+    // Drop the final u: closed walks are stored without the repetition.
+    walk.pop();
+    Some(walk)
+}
+
+/// The odd walk of Lemma 5.5 replacing the edge `v_> → v` when a cycle
+/// would backtrack at `v`: deletes the edge, finds a cycle `C` in `v`'s
+/// component of the remaining graph, and forms `(v_> v) · P_{vC} · C ·
+/// P_{Cv}` — a walk from `v_>` to `v` of odd length whose first step
+/// enters `v` and whose last step arrives at `v` from the path to `C`
+/// (hence not from `v_>`).
+///
+/// Returns the node sequence starting at `v_>` and ending at `v`, or
+/// `None` when `v`'s component of `G − v_>v` is acyclic.
+pub fn repair_walk(li: &LabeledInstance, v_gt: usize, v: usize) -> Option<Vec<usize>> {
+    let g = li.graph();
+    if !g.has_edge(v_gt, v) {
+        return None;
+    }
+    let mut pruned = g.clone();
+    pruned.remove_edge(v_gt, v).expect("edge exists");
+    let cycle = cycles::cycle_in_component_of(&pruned, v)?;
+    // u: a cycle node at minimal distance from v in the pruned graph.
+    let dist = bfs::distances(&pruned, v);
+    let &u = cycle
+        .iter()
+        .min_by_key(|&&x| dist[x])
+        .expect("cycles are non-empty");
+    let p_vu = paths::shortest_path(&pruned, v, u)?;
+    // The closed traversal of the cycle starting and ending at u.
+    let start = cycle.iter().position(|&x| x == u).expect("u on cycle");
+    let mut c_u: Vec<usize> = cycle[start..].iter().chain(&cycle[..start]).copied().collect();
+    c_u.push(u);
+    // Assemble (v_> v) P_vu C_u P_uv.
+    let mut walk = vec![v_gt];
+    walk.extend_from_slice(&p_vu); // v ... u
+    walk.extend_from_slice(&c_u[1..]); // around the cycle back to u
+    walk.extend(p_vu.iter().rev().skip(1)); // u ... v
+    Some(walk)
+}
+
+/// The Lemma 5.5 driver at the neighborhood-graph level: replaces the
+/// single compatibility edge `{a, b}` of `V(D, ·)` by an **odd**
+/// non-backtracking lifted walk from `a` to `b`, routed through a second
+/// cycle of the edge's witness instance (via [`repair_walk`]).
+///
+/// Returns the view walk (starting at `a`, ending at `b`, inclusive), or
+/// `None` when `{a, b}` is not an edge, the witness instance loses all
+/// cycles after deleting the realizing edge, or some intermediate node's
+/// view is not an accepting view of `nbhd`.
+pub fn repair_edge(nbhd: &NbhdGraph, a: usize, b: usize) -> Option<Vec<usize>> {
+    let (inst_idx, (u, v)) = nbhd.edge_witness(a, b)?;
+    let li = &nbhd.instances()[inst_idx];
+    // Orient the witness nodes to the requested view order.
+    let view_u = li.view(u, nbhd.radius(), nbhd.id_mode());
+    let (from, to) = if nbhd.index_of(&view_u) == Some(a) {
+        (u, v)
+    } else {
+        (v, u)
+    };
+    let node_walk = repair_walk(li, from, to)?;
+    let lifted = lift_walk(nbhd, inst_idx, &node_walk)?;
+    // Sanity: endpoints and parity (odd edge count).
+    (lifted.first().copied() == Some(a)
+        && lifted.last().copied() == Some(b)
+        && lifted.len() % 2 == 0)
+        .then_some(lifted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::{Decoder, Verdict};
+    use crate::instance::Instance;
+    use crate::label::Labeling;
+    use crate::view::{IdMode, View};
+    use hiding_lcp_graph::algo::bipartite;
+    use hiding_lcp_graph::generators;
+
+    struct YesMan;
+    impl Decoder for YesMan {
+        fn name(&self) -> String {
+            "yes-man".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Full
+        }
+        fn decide(&self, _view: &View) -> Verdict {
+            Verdict::Accept
+        }
+    }
+
+    fn torus_instance() -> LabeledInstance {
+        let g = generators::torus(6, 6);
+        let n = g.node_count();
+        Instance::canonical(g).with_labeling(Labeling::empty(n))
+    }
+
+    fn assert_closed_walk(g: &hiding_lcp_graph::Graph, walk: &[usize]) {
+        assert!(walk.len() >= 3);
+        for i in 0..walk.len() {
+            let a = walk[i];
+            let b = walk[(i + 1) % walk.len()];
+            assert!(g.has_edge(a, b), "walk edge {a}-{b} missing");
+        }
+        for i in 0..walk.len() {
+            let prev = walk[(i + walk.len() - 1) % walk.len()];
+            let next = walk[(i + 1) % walk.len()];
+            assert_ne!(prev, next, "walk backtracks at position {i}");
+        }
+    }
+
+    #[test]
+    fn expansion_walk_on_torus() {
+        let li = torus_instance();
+        let g = li.graph();
+        let walk = expansion_walk(&li, 0, 1, 1).expect("torus is 1-forgetful");
+        assert_closed_walk(g, &walk);
+        assert_eq!(walk[0], 0);
+        assert_eq!(walk[1], 1);
+        // Even: the torus(6,6) is bipartite, so every closed walk is even.
+        assert_eq!(walk.len() % 2, 0);
+        // The far node constraint: some walk node is > 2r from both u, v.
+        let du = bfs::distances(g, 0);
+        assert!(walk.iter().any(|&x| du[x] > 2));
+    }
+
+    #[test]
+    fn expansion_walk_lifts_to_nbhd_and_is_non_backtracking() {
+        let li = torus_instance();
+        let walk = expansion_walk(&li, 0, 1, 1).unwrap();
+        let nbhd = NbhdGraph::build(&YesMan, IdMode::Full, vec![li], |g| {
+            bipartite::is_bipartite(g)
+        });
+        let lifted = lift_walk(&nbhd, 0, &walk).expect("all views accepted");
+        assert!(is_non_backtracking(&nbhd, &lifted));
+    }
+
+    #[test]
+    fn expansion_walk_requires_ingredients() {
+        // C4 is not 1-forgetful and too small for a far node.
+        let c4 = Instance::canonical(generators::cycle(4)).with_labeling(Labeling::empty(4));
+        assert_eq!(expansion_walk(&c4, 0, 1, 1), None);
+        // A path has minimum degree 1.
+        let p = Instance::canonical(generators::path(9)).with_labeling(Labeling::empty(9));
+        assert_eq!(expansion_walk(&p, 3, 4, 1), None);
+    }
+
+    #[test]
+    fn repair_walk_goes_through_a_second_cycle() {
+        // Theta(2,2,4): after deleting (v_>, v) there is still a cycle.
+        let g = generators::theta(2, 2, 4);
+        let li = Instance::canonical(g.clone()).with_labeling(Labeling::empty(g.node_count()));
+        let v_gt = 0;
+        let v = g.neighbors(0)[0];
+        let walk = repair_walk(&li, v_gt, v).expect("theta keeps a cycle");
+        assert_eq!(walk[0], v_gt);
+        assert_eq!(*walk.last().unwrap(), v);
+        assert_eq!(walk.len() % 2, 0, "odd edge count = even node count");
+        for w in walk.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+        for w in walk.windows(3) {
+            assert_ne!(w[0], w[2], "repair walk never backtracks");
+        }
+    }
+
+    #[test]
+    fn repair_walk_needs_a_cycle() {
+        let g = generators::cycle(6);
+        let li = Instance::canonical(g).with_labeling(Labeling::empty(6));
+        // Deleting one edge of a plain cycle leaves a tree.
+        assert_eq!(repair_walk(&li, 0, 1), None);
+    }
+
+    #[test]
+    fn repair_edge_lifts_the_lemma_5_5_walk() {
+        use hiding_lcp_graph::{Graph, IdAssignment};
+        // Scenario from the Lemma 5.5 proof shape: instance A realizes a
+        // backtracking-prone edge (ids 1-2 alone), instance B realizes the
+        // same edge alongside a second cycle (a C4 hanging off node 1).
+        // Both instances share the identifier bound so views deduplicate.
+        let a = Instance::with_ids(
+            hiding_lcp_graph::generators::path(2),
+            IdAssignment::from_ids(vec![1, 2], 64).unwrap(),
+        )
+        .unwrap()
+        .with_labeling(Labeling::empty(2));
+        let b_graph = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2)],
+        )
+        .unwrap(); // 0=id2, 1=id1, 2=id3 ... with the C4 = 2-3-4-5.
+        let b = Instance::new(
+            b_graph,
+            hiding_lcp_graph::PortAssignment::canonical(
+                &Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2)]).unwrap(),
+            ),
+            IdAssignment::from_ids(vec![2, 1, 3, 4, 5, 6], 64).unwrap(),
+        )
+        .unwrap()
+        .with_labeling(Labeling::empty(6));
+        let nbhd = NbhdGraph::build(&YesMan, IdMode::Full, vec![a, b], |g| {
+            bipartite::is_bipartite(g)
+        });
+        // The views of the id-2 node coincide across A and B (single
+        // neighbor id 1, matching ports) while the id-1 views differ.
+        let mu2 = (0..nbhd.view_count())
+            .find(|&i| nbhd.view(i).center_id() == Some(2))
+            .expect("id-2 view");
+        let mu1b = (0..nbhd.view_count())
+            .find(|&i| {
+                nbhd.view(i).center_id() == Some(1) && nbhd.view(i).center_degree() == 2
+            })
+            .expect("id-1 view from B");
+        assert!(nbhd.has_edge(mu2, mu1b));
+        // The motivating defect: the closed 3-walk (μ_1A, μ2, μ_1B) is
+        // backtracking — its predecessor/successor center ids coincide.
+        let mu1a = (0..nbhd.view_count())
+            .find(|&i| {
+                nbhd.view(i).center_id() == Some(1) && nbhd.view(i).center_degree() == 1
+            })
+            .expect("id-1 view from A");
+        assert_eq!(
+            nbhd.view(mu1a).center_id(),
+            nbhd.view(mu1b).center_id(),
+            "same center id on both sides of μ2"
+        );
+        assert!(
+            !is_non_backtracking(&nbhd, &[mu1a, mu2, mu1b]),
+            "the 3-walk through μ2 backtracks"
+        );
+        // Lemma 5.5: replace the edge by an odd detour through B's C4.
+        let walk = repair_edge(&nbhd, mu2, mu1b).expect("B keeps a cycle");
+        assert_eq!(walk.first().copied(), Some(mu2));
+        assert_eq!(walk.last().copied(), Some(mu1b));
+        assert_eq!((walk.len() - 1) % 2, 1, "odd edge count");
+        // Internally non-backtracking: consecutive center ids never
+        // repeat two apart.
+        for w in walk.windows(3) {
+            assert_ne!(
+                nbhd.view(w[0]).center_id(),
+                nbhd.view(w[2]).center_id(),
+                "repair walk backtracks"
+            );
+        }
+        // Consecutive views are nbhd edges.
+        for w in walk.windows(2) {
+            assert!(nbhd.has_edge(w[0], w[1]));
+        }
+        // And the degenerate direction: an edge whose witness loses all
+        // cycles (the A-only P2 world) yields no repair.
+        let nbhd_a = NbhdGraph::build(
+            &YesMan,
+            IdMode::Full,
+            vec![Instance::canonical(hiding_lcp_graph::generators::path(2))
+                .with_labeling(Labeling::empty(2))],
+            bipartite::is_bipartite,
+        );
+        assert_eq!(repair_edge(&nbhd_a, 0, 1), None);
+    }
+
+    #[test]
+    fn lift_fails_on_rejected_views() {
+        struct NoMan;
+        impl Decoder for NoMan {
+            fn name(&self) -> String {
+                "no-man".into()
+            }
+            fn radius(&self) -> usize {
+                1
+            }
+            fn id_mode(&self) -> IdMode {
+                IdMode::Full
+            }
+            fn decide(&self, _view: &View) -> Verdict {
+                Verdict::Reject
+            }
+        }
+        let li = Instance::canonical(generators::cycle(4)).with_labeling(Labeling::empty(4));
+        let nbhd = NbhdGraph::build(&NoMan, IdMode::Full, vec![li], |g| {
+            bipartite::is_bipartite(g)
+        });
+        assert_eq!(nbhd.view_count(), 0);
+        assert_eq!(lift_walk(&nbhd, 0, &[0, 1]), None);
+    }
+
+    #[test]
+    fn far_node_detection() {
+        let g = generators::torus(6, 6);
+        let z = find_far_node(&g, 0, 1, 1).expect("torus is wide");
+        let du = bfs::distances(&g, 0);
+        let dv = bfs::distances(&g, 1);
+        assert!(du[z] > 2 && dv[z] > 2);
+        assert_eq!(find_far_node(&generators::cycle(5), 0, 1, 1), None);
+    }
+}

@@ -1,0 +1,119 @@
+//! Breadth-first search: distances, balls, eccentricities, diameter.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Marker for unreachable nodes in distance vectors.
+pub const UNREACHABLE: usize = usize::MAX;
+
+/// BFS distances from `src`; unreachable nodes get [`UNREACHABLE`].
+///
+/// # Panics
+///
+/// Panics if `src` is out of range.
+pub fn distances(g: &Graph, src: usize) -> Vec<usize> {
+    assert!(src < g.node_count(), "source {src} out of range");
+    let mut dist = vec![UNREACHABLE; g.node_count()];
+    dist[src] = 0;
+    let mut queue = VecDeque::from([src]);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if dist[u] == UNREACHABLE {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// The distance between `u` and `v`, or `None` if disconnected.
+pub fn distance(g: &Graph, u: usize, v: usize) -> Option<usize> {
+    let d = distances(g, u)[v];
+    (d != UNREACHABLE).then_some(d)
+}
+
+/// The ball `N^r(v)`: all nodes at distance at most `r` from `v`, sorted.
+pub fn ball(g: &Graph, v: usize, r: usize) -> Vec<usize> {
+    let dist = distances(g, v);
+    let mut nodes: Vec<usize> = g.nodes().filter(|&u| dist[u] <= r).collect();
+    nodes.sort_unstable();
+    nodes
+}
+
+/// All-pairs distances as a matrix (`n` BFS runs).
+pub fn all_pairs(g: &Graph) -> Vec<Vec<usize>> {
+    g.nodes().map(|v| distances(g, v)).collect()
+}
+
+/// The eccentricity of `v`, or `None` if some node is unreachable from `v`.
+pub fn eccentricity(g: &Graph, v: usize) -> Option<usize> {
+    let dist = distances(g, v);
+    let max = dist.iter().copied().max().unwrap_or(0);
+    (max != UNREACHABLE).then_some(max)
+}
+
+/// The diameter, or `None` if the graph is disconnected or empty.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if g.node_count() == 0 {
+        return None;
+    }
+    g.nodes()
+        .map(|v| eccentricity(g, v))
+        .collect::<Option<Vec<_>>>()
+        .map(|e| e.into_iter().max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_distances() {
+        let p = generators::path(5);
+        assert_eq!(distances(&p, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(distances(&p, 2), vec![2, 1, 0, 1, 2]);
+        assert_eq!(distance(&p, 0, 4), Some(4));
+    }
+
+    #[test]
+    fn disconnected_distances() {
+        let g = generators::path(2).disjoint_union(&generators::path(2));
+        assert_eq!(distance(&g, 0, 3), None);
+        assert_eq!(distances(&g, 0)[2], UNREACHABLE);
+        assert_eq!(eccentricity(&g, 0), None);
+        assert_eq!(diameter(&g), None);
+    }
+
+    #[test]
+    fn balls() {
+        let c = generators::cycle(6);
+        assert_eq!(ball(&c, 0, 0), vec![0]);
+        assert_eq!(ball(&c, 0, 1), vec![0, 1, 5]);
+        assert_eq!(ball(&c, 0, 2), vec![0, 1, 2, 4, 5]);
+        assert_eq!(ball(&c, 0, 3).len(), 6);
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter(&generators::path(5)), Some(4));
+        assert_eq!(diameter(&generators::cycle(6)), Some(3));
+        assert_eq!(diameter(&generators::complete(4)), Some(1));
+        assert_eq!(diameter(&generators::grid(3, 3)), Some(4));
+        assert_eq!(diameter(&generators::petersen()), Some(2));
+        assert_eq!(diameter(&Graph::new(0)), None);
+        assert_eq!(diameter(&Graph::new(1)), Some(0));
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric() {
+        let g = generators::grid(2, 3);
+        let d = all_pairs(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(d[u][v], d[v][u]);
+            }
+        }
+    }
+}

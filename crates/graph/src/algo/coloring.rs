@@ -1,0 +1,121 @@
+//! Proper k-colorings: validation, exact search, lexicographically-first
+//! colorings and chromatic numbers.
+//!
+//! The extraction decoder of Lemma 3.2 colors the accepting neighborhood
+//! graph with "the lexicographically first coloring … where nodes are
+//! ordered as they appear in the output of A"; [`lex_first_coloring`] is
+//! exactly that deterministic choice.
+
+use crate::graph::Graph;
+
+/// Whether `colors` is a proper coloring of `g` with palette `0..k`.
+///
+/// Returns `false` if `colors` has the wrong length or uses a color `≥ k`.
+pub fn is_proper_coloring(g: &Graph, colors: &[usize], k: usize) -> bool {
+    colors.len() == g.node_count()
+        && colors.iter().all(|&c| c < k)
+        && g.edges().all(|(u, v)| colors[u] != colors[v])
+}
+
+/// The lexicographically first proper k-coloring of `g` in node order, or
+/// `None` if `g` is not k-colorable.
+///
+/// "Lexicographically first" compares the color vectors
+/// `(c(0), c(1), …, c(n-1))` entrywise; the backtracking search below
+/// returns exactly that minimum because it always tries smaller colors
+/// first.
+pub fn lex_first_coloring(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let n = g.node_count();
+    let mut colors = vec![usize::MAX; n];
+    if color_from(g, k, 0, &mut colors) {
+        Some(colors)
+    } else {
+        None
+    }
+}
+
+fn color_from(g: &Graph, k: usize, v: usize, colors: &mut Vec<usize>) -> bool {
+    if v == g.node_count() {
+        return true;
+    }
+    'next_color: for c in 0..k {
+        for &u in g.neighbors(v) {
+            if u < v && colors[u] == c {
+                continue 'next_color;
+            }
+        }
+        colors[v] = c;
+        if color_from(g, k, v + 1, colors) {
+            return true;
+        }
+        colors[v] = usize::MAX;
+    }
+    false
+}
+
+/// Whether `g` is k-colorable, i.e. `g ∈ G(k-col)`.
+pub fn is_k_colorable(g: &Graph, k: usize) -> bool {
+    lex_first_coloring(g, k).is_some()
+}
+
+/// The chromatic number of `g` (0 for the empty graph).
+pub fn chromatic_number(g: &Graph) -> usize {
+    if g.node_count() == 0 {
+        return 0;
+    }
+    let ub = g.max_degree().unwrap_or(0) + 1;
+    (1..=ub)
+        .find(|&k| is_k_colorable(g, k))
+        .expect("Δ + 1 colors always suffice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn validation() {
+        let c4 = generators::cycle(4);
+        assert!(is_proper_coloring(&c4, &[0, 1, 0, 1], 2));
+        assert!(!is_proper_coloring(&c4, &[0, 1, 0, 0], 2));
+        assert!(!is_proper_coloring(&c4, &[0, 1, 0], 2), "wrong length");
+        assert!(!is_proper_coloring(&c4, &[0, 2, 0, 2], 2), "palette overflow");
+    }
+
+    #[test]
+    fn lex_first_is_minimal() {
+        let p4 = generators::path(4);
+        assert_eq!(lex_first_coloring(&p4, 2), Some(vec![0, 1, 0, 1]));
+        // With 3 colors the lex-first coloring still uses the smallest.
+        assert_eq!(lex_first_coloring(&p4, 3), Some(vec![0, 1, 0, 1]));
+        let k3 = generators::complete(3);
+        assert_eq!(lex_first_coloring(&k3, 3), Some(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn colorability() {
+        assert!(is_k_colorable(&generators::cycle(6), 2));
+        assert!(!is_k_colorable(&generators::cycle(5), 2));
+        assert!(is_k_colorable(&generators::cycle(5), 3));
+        assert!(!is_k_colorable(&generators::complete(4), 3));
+        assert!(is_k_colorable(&Graph::new(3), 1));
+        assert!(!is_k_colorable(&generators::path(2), 1));
+    }
+
+    #[test]
+    fn chromatic_numbers() {
+        assert_eq!(chromatic_number(&Graph::new(0)), 0);
+        assert_eq!(chromatic_number(&Graph::new(4)), 1);
+        assert_eq!(chromatic_number(&generators::path(5)), 2);
+        assert_eq!(chromatic_number(&generators::cycle(7)), 3);
+        assert_eq!(chromatic_number(&generators::complete(5)), 5);
+        assert_eq!(chromatic_number(&generators::petersen()), 3);
+        assert_eq!(chromatic_number(&generators::grid(3, 3)), 2);
+    }
+
+    #[test]
+    fn lex_first_fails_gracefully() {
+        assert_eq!(lex_first_coloring(&generators::complete(4), 3), None);
+    }
+}

@@ -1,0 +1,87 @@
+//! Connected components.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// The connected components, each a sorted node list; components are
+/// ordered by their smallest node.
+pub fn connected_components(g: &Graph) -> Vec<Vec<usize>> {
+    let mut seen = vec![false; g.node_count()];
+    let mut comps = Vec::new();
+    for start in g.nodes() {
+        if seen[start] {
+            continue;
+        }
+        let mut comp = vec![start];
+        seen[start] = true;
+        let mut queue = VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    comp.push(u);
+                    queue.push_back(u);
+                }
+            }
+        }
+        comp.sort_unstable();
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Whether the graph is connected (the empty graph is considered
+/// connected).
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).len() <= 1
+}
+
+/// The component containing `v`, sorted.
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+pub fn component_of(g: &Graph, v: usize) -> Vec<usize> {
+    assert!(v < g.node_count(), "node {v} out of range");
+    connected_components(g)
+        .into_iter()
+        .find(|c| c.binary_search(&v).is_ok())
+        .expect("every node lies in a component")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn single_component() {
+        let comps = connected_components(&generators::cycle(5));
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![0, 1, 2, 3, 4]);
+        assert!(is_connected(&generators::cycle(5)));
+    }
+
+    #[test]
+    fn multiple_components() {
+        let g = generators::path(3).disjoint_union(&generators::complete(2));
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4]]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let g = Graph::new(3);
+        assert_eq!(connected_components(&g).len(), 3);
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+    }
+
+    #[test]
+    fn component_of_node() {
+        let g = generators::path(2).disjoint_union(&generators::path(3));
+        assert_eq!(component_of(&g, 3), vec![2, 3, 4]);
+        assert_eq!(component_of(&g, 0), vec![0, 1]);
+    }
+}

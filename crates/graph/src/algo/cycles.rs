@@ -1,0 +1,147 @@
+//! Cycle structure: girth, cycle-space dimension, cycle finding.
+//!
+//! Lemma 5.5 of the paper needs, inside a yes-instance, "a cycle C in the
+//! same component as v" after deleting an edge, and Theorem 1.5 assumes the
+//! instances contain "more than one cycle" — i.e. cycle-space dimension at
+//! least 2. These routines provide those ingredients.
+
+use crate::algo::components::connected_components;
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// The dimension of the cycle space: `m − n + c` where `c` is the number of
+/// connected components. Zero exactly for forests.
+pub fn cycle_space_dimension(g: &Graph) -> usize {
+    g.edge_count() + connected_components(g).len() - g.node_count()
+}
+
+/// Whether `g` contains at least two (independent) cycles.
+pub fn has_two_independent_cycles(g: &Graph) -> bool {
+    cycle_space_dimension(g) >= 2
+}
+
+/// The girth (length of a shortest cycle), or `None` for forests.
+pub fn girth(g: &Graph) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    // For every start node, BFS; a non-tree edge at depths (d1, d2) closes
+    // a cycle of length d1 + d2 + 1 through the root. The minimum over all
+    // roots is the girth.
+    for root in g.nodes() {
+        let mut dist = vec![usize::MAX; g.node_count()];
+        let mut parent = vec![usize::MAX; g.node_count()];
+        dist[root] = 0;
+        let mut queue = VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if dist[u] == usize::MAX {
+                    dist[u] = dist[v] + 1;
+                    parent[u] = v;
+                    queue.push_back(u);
+                } else if parent[v] != u {
+                    let len = dist[v] + dist[u] + 1;
+                    if best.is_none_or(|b| len < b) {
+                        best = Some(len);
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Some cycle in the component of `start`, as a node sequence without the
+/// closing repetition, or `None` if that component is a tree.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn cycle_in_component_of(g: &Graph, start: usize) -> Option<Vec<usize>> {
+    assert!(start < g.node_count(), "node {start} out of range");
+    // BFS from `start`; the first non-tree edge found closes a cycle.
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut parent = vec![usize::MAX; g.node_count()];
+    dist[start] = 0;
+    let mut queue = VecDeque::from([start]);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.neighbors(v) {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                parent[u] = v;
+                queue.push_back(u);
+            } else if parent[v] != u && parent[u] != v {
+                return Some(close_cycle(&parent, v, u));
+            }
+        }
+    }
+    None
+}
+
+/// Builds the cycle closed by non-tree edge `{v, u}` from BFS parents.
+fn close_cycle(parent: &[usize], v: usize, u: usize) -> Vec<usize> {
+    let path_to_root = |mut x: usize| {
+        let mut path = vec![x];
+        while parent[x] != usize::MAX {
+            x = parent[x];
+            path.push(x);
+        }
+        path
+    };
+    let pv = path_to_root(v);
+    let pu = path_to_root(u);
+    let mut i = pv.len();
+    let mut j = pu.len();
+    while i > 0 && j > 0 && pv[i - 1] == pu[j - 1] {
+        i -= 1;
+        j -= 1;
+    }
+    let mut cycle: Vec<usize> = pv[..=i].to_vec();
+    cycle.extend(pu[..j].iter().rev());
+    cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cycle_space() {
+        assert_eq!(cycle_space_dimension(&generators::path(5)), 0);
+        assert_eq!(cycle_space_dimension(&generators::cycle(5)), 1);
+        assert_eq!(cycle_space_dimension(&generators::theta(2, 2, 2)), 2);
+        assert_eq!(cycle_space_dimension(&generators::complete(4)), 3);
+        assert!(!has_two_independent_cycles(&generators::cycle(8)));
+        assert!(has_two_independent_cycles(&generators::grid(3, 3)));
+    }
+
+    #[test]
+    fn girths() {
+        assert_eq!(girth(&generators::path(6)), None);
+        assert_eq!(girth(&generators::cycle(7)), Some(7));
+        assert_eq!(girth(&generators::complete(4)), Some(3));
+        assert_eq!(girth(&generators::petersen()), Some(5));
+        assert_eq!(girth(&generators::grid(3, 3)), Some(4));
+        assert_eq!(girth(&generators::theta(2, 2, 4)), Some(4));
+    }
+
+    #[test]
+    fn finds_cycles_in_the_right_component() {
+        let g = generators::path(3).disjoint_union(&generators::cycle(4));
+        assert_eq!(cycle_in_component_of(&g, 0), None);
+        let cycle = cycle_in_component_of(&g, 4).expect("C4 component has a cycle");
+        assert!(cycle.len() >= 3);
+        for i in 0..cycle.len() {
+            assert!(g.has_edge(cycle[i], cycle[(i + 1) % cycle.len()]));
+        }
+        let mut dedup = cycle.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), cycle.len());
+    }
+
+    #[test]
+    fn tree_has_no_cycle() {
+        assert_eq!(cycle_in_component_of(&generators::star(4), 0), None);
+        assert_eq!(cycle_in_component_of(&generators::balanced_tree(2, 3), 5), None);
+    }
+}

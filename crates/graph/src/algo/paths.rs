@@ -1,0 +1,407 @@
+//! Shortest paths and shortest *non-backtracking* walks.
+//!
+//! A walk is non-backtracking if it never immediately reverses an edge.
+//! The walk manipulations of Section 5.2 of the paper (Lemmas 5.4 and 5.5)
+//! construct closed non-backtracking walks through prescribed nodes, which
+//! reduces to shortest-path search in the *line digraph*: states are
+//! directed edges `(u → v)` with transitions `(u → v) ⇝ (v → w)` for
+//! `w ≠ u`. Parity-annotated states additionally track walk length mod 2,
+//! which lets callers demand odd or even connecting walks.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// A shortest path from `u` to `v` as a node sequence (inclusive), or
+/// `None` if disconnected.
+///
+/// # Panics
+///
+/// Panics if `u` or `v` is out of range.
+pub fn shortest_path(g: &Graph, u: usize, v: usize) -> Option<Vec<usize>> {
+    shortest_path_avoiding(g, u, v, &[])
+}
+
+/// A shortest path from `u` to `v` whose *internal* nodes avoid `banned`
+/// (endpoints are allowed to appear in `banned`), or `None`.
+///
+/// # Panics
+///
+/// Panics if `u` or `v` is out of range.
+pub fn shortest_path_avoiding(
+    g: &Graph,
+    u: usize,
+    v: usize,
+    banned: &[usize],
+) -> Option<Vec<usize>> {
+    let n = g.node_count();
+    assert!(u < n && v < n, "endpoint out of range");
+    if u == v {
+        return Some(vec![u]);
+    }
+    let mut blocked = vec![false; n];
+    for &b in banned {
+        blocked[b] = true;
+    }
+    blocked[u] = false;
+    blocked[v] = false;
+    let mut parent = vec![usize::MAX; n];
+    let mut seen = vec![false; n];
+    seen[u] = true;
+    let mut queue = VecDeque::from([u]);
+    while let Some(x) = queue.pop_front() {
+        for &y in g.neighbors(x) {
+            if seen[y] || blocked[y] {
+                continue;
+            }
+            seen[y] = true;
+            parent[y] = x;
+            if y == v {
+                let mut path = vec![v];
+                let mut cur = v;
+                while parent[cur] != usize::MAX {
+                    cur = parent[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(y);
+        }
+    }
+    None
+}
+
+/// Required parity of a walk length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Parity {
+    /// Any length.
+    Any,
+    /// Even length.
+    Even,
+    /// Odd length.
+    Odd,
+}
+
+impl Parity {
+    fn admits(self, len: usize) -> bool {
+        match self {
+            Parity::Any => true,
+            Parity::Even => len.is_multiple_of(2),
+            Parity::Odd => len % 2 == 1,
+        }
+    }
+}
+
+/// A shortest non-backtracking walk that *starts with the directed edge*
+/// `first = (a, b)`, ends at `target`, and has total length (edge count)
+/// of the requested parity. Returns the walk as a node sequence starting
+/// `a, b, …, target`, or `None` if no such walk exists.
+///
+/// The walk may revisit nodes (it is a walk, not a path) but never
+/// immediately reverses an edge — exactly the "non-backtracking" condition
+/// of Section 5.2.
+///
+/// # Panics
+///
+/// Panics if `first` is not an edge of `g` or `target` is out of range.
+pub fn nb_walk_from_edge(
+    g: &Graph,
+    first: (usize, usize),
+    target: usize,
+    parity: Parity,
+) -> Option<Vec<usize>> {
+    let (a, b) = first;
+    assert!(g.has_edge(a, b), "({a}, {b}) is not an edge");
+    assert!(target < g.node_count(), "target {target} out of range");
+    if b == target && parity.admits(1) {
+        return Some(vec![a, b]);
+    }
+    // BFS over states (directed edge index, parity of length so far).
+    // Directed edge (u, v) is encoded as (u, port index of v in adj(u)).
+    let n = g.node_count();
+    let offsets: Vec<usize> = {
+        let mut acc = 0;
+        let mut out = Vec::with_capacity(n + 1);
+        out.push(0);
+        for v in g.nodes() {
+            acc += g.degree(v);
+            out.push(acc);
+        }
+        out
+    };
+    let encode = |u: usize, v: usize| -> usize {
+        let pos = g
+            .neighbors(u)
+            .binary_search(&v)
+            .expect("directed edge endpoints adjacent");
+        2 * (offsets[u] + pos)
+    };
+    let state_count = 2 * offsets[n];
+    let mut prev = vec![usize::MAX; state_count];
+    let start = encode(a, b) + 1; // length 1 => parity 1
+    prev[start] = start; // sentinel: start points at itself
+    let mut queue = VecDeque::from([start]);
+    let decode_head = |state: usize| -> (usize, usize) {
+        let edge = state / 2;
+        // Find u with offsets[u] <= edge < offsets[u + 1].
+        let u = offsets.partition_point(|&o| o <= edge) - 1;
+        let v = g.neighbors(u)[edge - offsets[u]];
+        (u, v)
+    };
+    let mut goal = None;
+    'bfs: while let Some(state) = queue.pop_front() {
+        let (u, v) = decode_head(state);
+        let par = state & 1;
+        if v == target && parity.admits(par) {
+            goal = Some(state);
+            break 'bfs;
+        }
+        for &w in g.neighbors(v) {
+            if w == u {
+                continue; // backtracking
+            }
+            let next = encode(v, w) ^ (state & 1) ^ 1;
+            if prev[next] == usize::MAX {
+                prev[next] = state;
+                queue.push_back(next);
+            }
+        }
+    }
+    let goal = goal?;
+    // Reconstruct.
+    let mut walk_rev = Vec::new();
+    let mut state = goal;
+    loop {
+        let (u, v) = decode_head(state);
+        walk_rev.push(v);
+        if state == start {
+            walk_rev.push(u);
+            break;
+        }
+        state = prev[state];
+    }
+    walk_rev.reverse();
+    Some(walk_rev)
+}
+
+/// A shortest non-backtracking walk that starts with the directed edge
+/// `first` and **ends by traversing the directed edge** `last`, with total
+/// length of the requested parity. Returns the node sequence, or `None`.
+///
+/// This is the primitive behind the closed-walk constructions of
+/// Lemma 5.4: to close a walk at `u` without backtracking, route to the
+/// directed edge `(y, u)` for a suitable neighbor `y`.
+///
+/// # Panics
+///
+/// Panics if `first` or `last` is not an edge of `g`.
+pub fn nb_walk_from_edge_to_edge(
+    g: &Graph,
+    first: (usize, usize),
+    last: (usize, usize),
+    parity: Parity,
+) -> Option<Vec<usize>> {
+    let (a, b) = first;
+    let (y, t) = last;
+    assert!(g.has_edge(a, b), "({a}, {b}) is not an edge");
+    assert!(g.has_edge(y, t), "({y}, {t}) is not an edge");
+    if (a, b) == (y, t) && parity.admits(1) {
+        return Some(vec![a, b]);
+    }
+    // Reuse nb_walk_from_edge's search by BFS over (directed edge, parity)
+    // states with the goal being the exact state (y -> t).
+    let n = g.node_count();
+    let offsets: Vec<usize> = {
+        let mut acc = 0;
+        let mut out = Vec::with_capacity(n + 1);
+        out.push(0);
+        for v in g.nodes() {
+            acc += g.degree(v);
+            out.push(acc);
+        }
+        out
+    };
+    let encode = |u: usize, v: usize| -> usize {
+        let pos = g
+            .neighbors(u)
+            .binary_search(&v)
+            .expect("directed edge endpoints adjacent");
+        2 * (offsets[u] + pos)
+    };
+    let state_count = 2 * offsets[n];
+    let mut prev = vec![usize::MAX; state_count];
+    let start = encode(a, b) + 1;
+    prev[start] = start;
+    let mut queue = std::collections::VecDeque::from([start]);
+    let decode_head = |state: usize| -> (usize, usize) {
+        let edge = state / 2;
+        let u = offsets.partition_point(|&o| o <= edge) - 1;
+        let v = g.neighbors(u)[edge - offsets[u]];
+        (u, v)
+    };
+    let goal_edge = encode(y, t);
+    let mut goal = None;
+    'bfs: while let Some(state) = queue.pop_front() {
+        if state & !1 == goal_edge && parity.admits(state & 1) {
+            goal = Some(state);
+            break 'bfs;
+        }
+        let (u, v) = decode_head(state);
+        for &w in g.neighbors(v) {
+            if w == u {
+                continue;
+            }
+            let next = encode(v, w) ^ (state & 1) ^ 1;
+            if prev[next] == usize::MAX {
+                prev[next] = state;
+                queue.push_back(next);
+            }
+        }
+    }
+    let goal = goal?;
+    let mut walk_rev = Vec::new();
+    let mut state = goal;
+    loop {
+        let (u, v) = decode_head(state);
+        walk_rev.push(v);
+        if state == start {
+            walk_rev.push(u);
+            break;
+        }
+        state = prev[state];
+    }
+    walk_rev.reverse();
+    Some(walk_rev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn assert_nb_walk(g: &Graph, walk: &[usize]) {
+        assert!(walk.len() >= 2);
+        for w in walk.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "missing edge {w:?}");
+        }
+        for w in walk.windows(3) {
+            assert_ne!(w[0], w[2], "backtracking at {w:?}");
+        }
+    }
+
+    #[test]
+    fn shortest_paths() {
+        let g = generators::grid(3, 3);
+        let p = shortest_path(&g, 0, 8).unwrap();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p[0], 0);
+        assert_eq!(p[4], 8);
+        assert_eq!(shortest_path(&g, 4, 4), Some(vec![4]));
+    }
+
+    #[test]
+    fn shortest_path_respects_bans() {
+        // C6: going from 0 to 3 avoiding 1 and 2 must go the long way.
+        let c = generators::cycle(6);
+        let p = shortest_path_avoiding(&c, 0, 3, &[1, 2]).unwrap();
+        assert_eq!(p, vec![0, 5, 4, 3]);
+        assert_eq!(shortest_path_avoiding(&c, 0, 3, &[1, 5]), None);
+        // Banned endpoints are ignored.
+        assert!(shortest_path_avoiding(&c, 0, 3, &[0, 3, 2]).is_some());
+    }
+
+    #[test]
+    fn disconnected_path_is_none() {
+        let g = generators::path(2).disjoint_union(&generators::path(2));
+        assert_eq!(shortest_path(&g, 0, 3), None);
+    }
+
+    #[test]
+    fn nb_walk_basic() {
+        let c = generators::cycle(5);
+        // Start 0 -> 1, reach 0 again: must go all the way around.
+        let w = nb_walk_from_edge(&c, (0, 1), 0, Parity::Any).unwrap();
+        assert_eq!(w, vec![0, 1, 2, 3, 4, 0]);
+        assert_nb_walk(&c, &w);
+    }
+
+    #[test]
+    fn nb_walk_parity() {
+        let g = generators::theta(2, 2, 3);
+        // Theta(2,2,3) contains both even and odd closed walks.
+        for parity in [Parity::Even, Parity::Odd] {
+            let w = nb_walk_from_edge(&g, (0, g.neighbors(0)[0]), 0, parity).unwrap();
+            assert_nb_walk(&g, &w);
+            let expected_even = matches!(parity, Parity::Even);
+            assert_eq!((w.len() - 1).is_multiple_of(2), expected_even);
+            assert_eq!(*w.last().unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn nb_walk_impossible_in_tree() {
+        // In a star, any non-backtracking walk from the center dead-ends at
+        // a leaf; it can never return to the center.
+        let s = generators::star(3);
+        assert_eq!(nb_walk_from_edge(&s, (0, 1), 0, Parity::Any), None);
+    }
+
+    #[test]
+    fn nb_walk_odd_impossible_in_bipartite() {
+        let c = generators::cycle(6);
+        assert!(nb_walk_from_edge(&c, (0, 1), 0, Parity::Even).is_some());
+        assert_eq!(nb_walk_from_edge(&c, (0, 1), 0, Parity::Odd), None);
+    }
+
+    #[test]
+    fn nb_walk_to_edge_controls_the_arrival_direction() {
+        // Close a walk at node 0 of a theta graph arriving via a
+        // prescribed neighbor.
+        let g = generators::theta(2, 2, 3);
+        let first = (0usize, g.neighbors(0)[0]);
+        for &y in &g.neighbors(0)[1..] {
+            let w = nb_walk_from_edge_to_edge(&g, first, (y, 0), Parity::Any)
+                .expect("theta is rich enough");
+            assert_nb_walk(&g, &w);
+            assert_eq!(w[0], 0);
+            assert_eq!(*w.last().unwrap(), 0);
+            assert_eq!(w[w.len() - 2], y, "arrives through y");
+        }
+    }
+
+    #[test]
+    fn nb_walk_to_edge_degenerate_single_step() {
+        let p = generators::path(3);
+        assert_eq!(
+            nb_walk_from_edge_to_edge(&p, (0, 1), (0, 1), Parity::Odd),
+            Some(vec![0, 1])
+        );
+        assert_eq!(
+            nb_walk_from_edge_to_edge(&p, (0, 1), (1, 0), Parity::Any),
+            None,
+            "cannot reverse immediately in a path"
+        );
+    }
+
+    #[test]
+    fn nb_walk_to_edge_parity() {
+        let g = generators::theta(2, 2, 3);
+        let first = (0usize, g.neighbors(0)[0]);
+        let y = g.neighbors(0)[1];
+        for parity in [Parity::Even, Parity::Odd] {
+            let w = nb_walk_from_edge_to_edge(&g, first, (y, 0), parity).expect("both parities");
+            let expected_even = matches!(parity, Parity::Even);
+            assert_eq!((w.len() - 1).is_multiple_of(2), expected_even);
+        }
+    }
+
+    #[test]
+    fn nb_walk_length_one() {
+        let p = generators::path(3);
+        assert_eq!(
+            nb_walk_from_edge(&p, (0, 1), 1, Parity::Odd),
+            Some(vec![0, 1])
+        );
+        assert_eq!(nb_walk_from_edge(&p, (0, 1), 1, Parity::Even), None);
+    }
+}

@@ -1,0 +1,87 @@
+//! The class `B(Δ, r)` of Section 6: bounded-degree graphs containing at
+//! least one connected r-forgetful member that is not a cycle and has
+//! minimum degree ≥ 2 — the stage on which Theorem 1.2 (constant-size
+//! certificates, general identifiers) plays out.
+
+use crate::algo::components::is_connected;
+use crate::classes::{forgetful, simple};
+use crate::graph::Graph;
+
+/// Whether `g` respects the degree bound of `B(Δ, r)`.
+pub fn respects_degree_bound(g: &Graph, delta: usize) -> bool {
+    g.max_degree().unwrap_or(0) <= delta
+}
+
+/// Whether `g` is a *qualifying member* for `B(Δ, r)`: connected,
+/// r-forgetful, not a cycle, minimum degree ≥ 2, and within the degree
+/// bound. A class containing such a member (and otherwise staying under
+/// the degree bound) satisfies the hypotheses of Theorem 1.2.
+pub fn is_qualifying_member(g: &Graph, delta: usize, r: usize) -> bool {
+    respects_degree_bound(g, delta)
+        && is_connected(g)
+        && !simple::is_cycle(g)
+        && g.min_degree().unwrap_or(0) >= 2
+        && forgetful::is_r_forgetful(g, r)
+}
+
+/// Whether a finite family qualifies as (a fragment of) `B(Δ, r)`: every
+/// member respects the degree bound and at least one is a qualifying
+/// member.
+pub fn family_qualifies<'a>(
+    family: impl IntoIterator<Item = &'a Graph>,
+    delta: usize,
+    r: usize,
+) -> bool {
+    let mut any_qualifying = false;
+    for g in family {
+        if !respects_degree_bound(g, delta) {
+            return false;
+        }
+        if !any_qualifying && is_qualifying_member(g, delta, r) {
+            any_qualifying = true;
+        }
+    }
+    any_qualifying
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn tori_qualify() {
+        // The torus is 4-regular, connected, 1-forgetful, not a cycle and
+        // has minimum degree 4 — the canonical Theorem 1.2 witness.
+        assert!(is_qualifying_member(&generators::torus(6, 6), 4, 1));
+        assert!(is_qualifying_member(&generators::torus(10, 10), 4, 2));
+    }
+
+    #[test]
+    fn exclusions_hold() {
+        // Cycles are excluded even when r-forgetful...
+        assert!(!is_qualifying_member(&generators::cycle(10), 2, 1));
+        // ...pendant graphs fail the min-degree requirement...
+        assert!(!is_qualifying_member(&generators::pendant_path(8, 2), 3, 1));
+        // ...dense graphs fail forgetfulness...
+        assert!(!is_qualifying_member(&generators::complete(4), 3, 1));
+        // ...and the degree bound is enforced.
+        assert!(!is_qualifying_member(&generators::torus(6, 6), 3, 1));
+    }
+
+    #[test]
+    fn family_membership() {
+        let family = [
+            generators::cycle(6),
+            generators::torus(6, 6),
+            generators::grid(3, 3),
+        ];
+        assert!(family_qualifies(family.iter(), 4, 1));
+        // Without the torus, nothing qualifies at Δ = 4, r = 1.
+        let family = [generators::cycle(6), generators::grid(3, 3)];
+        assert!(!family_qualifies(family.iter(), 4, 1));
+        // A single over-degree member disqualifies the family.
+        let family = [generators::torus(6, 6), generators::star(9)];
+        assert!(!family_qualifies(family.iter(), 4, 1));
+    }
+}

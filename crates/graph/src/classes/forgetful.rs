@@ -1,0 +1,200 @@
+//! The *r-forgetful* property (paper, Section 1.3).
+//!
+//! A graph is r-forgetful if, whenever a walk arrives at `v` coming from
+//! its neighbor `u`, it can "escape" along a path `P = (v₀ = v, …, v_r)`
+//! that moves monotonically away from everything `u` can see.
+//!
+//! # Interpretation note
+//!
+//! The paper's literal condition — for every `w ∈ N^r(u)` the distance
+//! `dist(v_i, w)` is monotonically increasing in `i` — cannot hold for
+//! `r ≥ 2`: the path's own second node `v₁` lies in `N^r(u)` (it is at
+//! distance ≤ 2 from `u`) and `dist(v₁, v₁) = 0 < dist(v₀, v₁) = 1`. We
+//! therefore implement the evidently intended reading: distances to every
+//! `w ∈ N^r(u)` **not on the path itself** increase strictly along `P`,
+//! and the path avoids `u`. Under this reading sufficiently large tori and
+//! long cycles are r-forgetful, Lemma 2.1 (`diam(G) ≥ 2r + 1`) holds on
+//! every instance we test, and the escape paths are exactly what Lemma 5.4
+//! consumes. Finite grids fail at their corners (the escape neighbor of a
+//! corner approaches the diagonal node of `N^r(u)`) and finite trees fail
+//! at their leaves — the paper's "grids and trees" claim evidently refers
+//! to the unbounded versions. See `DESIGN.md` for the full discussion.
+
+use crate::algo::bfs;
+use crate::graph::Graph;
+
+/// An escape path of length `r` for the arrival `u → v`: a simple path
+/// `P = (v₀ = v, …, v_r)` avoiding `u` such that the distance from every
+/// `w ∈ N^r(u)` not on `P` strictly increases along `P`. Returns `None` if
+/// no such path exists.
+///
+/// `apsp` must be the all-pairs distance matrix of `g`
+/// (see [`bfs::all_pairs`]).
+///
+/// # Panics
+///
+/// Panics if `u` and `v` are not adjacent or `apsp` has the wrong shape.
+pub fn escape_path(
+    g: &Graph,
+    apsp: &[Vec<usize>],
+    v: usize,
+    u: usize,
+    r: usize,
+) -> Option<Vec<usize>> {
+    assert!(g.has_edge(u, v), "{u} and {v} must be adjacent");
+    assert_eq!(apsp.len(), g.node_count(), "apsp shape mismatch");
+    let ball_u = bfs::ball(g, u, r);
+    let mut path = vec![v];
+    if extend_escape(g, apsp, u, &ball_u, r, &mut path) {
+        Some(path)
+    } else {
+        None
+    }
+}
+
+/// DFS extension of a candidate escape path. Because the monotonicity
+/// exemption covers nodes anywhere on the *final* path, candidate paths are
+/// fully validated only once complete; the DFS merely enumerates simple
+/// paths avoiding `u`.
+fn extend_escape(
+    g: &Graph,
+    apsp: &[Vec<usize>],
+    u: usize,
+    ball_u: &[usize],
+    r: usize,
+    path: &mut Vec<usize>,
+) -> bool {
+    if path.len() == r + 1 {
+        return validate_escape(apsp, ball_u, path);
+    }
+    let tail = *path.last().expect("path starts non-empty");
+    for &next in g.neighbors(tail) {
+        if next == u || path.contains(&next) {
+            continue;
+        }
+        path.push(next);
+        if extend_escape(g, apsp, u, ball_u, r, path) {
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Checks strict distance increase along `path` for every `w ∈ ball_u` not
+/// on `path`.
+fn validate_escape(apsp: &[Vec<usize>], ball_u: &[usize], path: &[usize]) -> bool {
+    for &w in ball_u {
+        if path.contains(&w) {
+            continue;
+        }
+        for step in path.windows(2) {
+            let before = apsp[step[0]][w];
+            let after = apsp[step[1]][w];
+            if after <= before {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `g` is r-forgetful: every ordered adjacent pair `(u, v)` admits
+/// an [`escape_path`].
+///
+/// The empty graph and edgeless graphs are vacuously r-forgetful.
+pub fn is_r_forgetful(g: &Graph, r: usize) -> bool {
+    let apsp = bfs::all_pairs(g);
+    for v in g.nodes() {
+        for &u in g.neighbors(v) {
+            if escape_path(g, &apsp, v, u, r).is_none() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::bfs::diameter;
+    use crate::generators;
+
+    #[test]
+    fn long_even_cycles_are_forgetful() {
+        assert!(is_r_forgetful(&generators::cycle(6), 1));
+        assert!(is_r_forgetful(&generators::cycle(10), 2));
+        assert!(is_r_forgetful(&generators::cycle(14), 3));
+    }
+
+    #[test]
+    fn short_cycles_are_not_forgetful() {
+        assert!(!is_r_forgetful(&generators::cycle(4), 1));
+        assert!(!is_r_forgetful(&generators::cycle(5), 1));
+        assert!(!is_r_forgetful(&generators::cycle(8), 2));
+    }
+
+    #[test]
+    fn tori_are_forgetful() {
+        assert!(is_r_forgetful(&generators::torus(6, 6), 1));
+        assert!(is_r_forgetful(&generators::torus(7, 7), 1));
+        assert!(is_r_forgetful(&generators::torus(10, 10), 2));
+    }
+
+    #[test]
+    fn finite_grids_fail_at_corners() {
+        // The corner's single escape neighbor moves toward the diagonal
+        // node of N^1(u); see the module docs.
+        assert!(!is_r_forgetful(&generators::grid(4, 4), 1));
+        let g = generators::grid(6, 6);
+        let apsp = crate::algo::bfs::all_pairs(&g);
+        assert!(escape_path(&g, &apsp, 0, 1, 1).is_none(), "corner cannot escape");
+    }
+
+    #[test]
+    fn dense_graphs_are_not_forgetful() {
+        assert!(!is_r_forgetful(&generators::complete(4), 1));
+        assert!(!is_r_forgetful(&generators::petersen(), 1), "diameter 2 < 3");
+    }
+
+    #[test]
+    fn leaves_break_forgetfulness() {
+        // A leaf cannot escape its only neighbor.
+        assert!(!is_r_forgetful(&generators::path(10), 1));
+        assert!(!is_r_forgetful(&generators::star(4), 1));
+    }
+
+    #[test]
+    fn lemma_2_1_diameter_bound() {
+        // Every r-forgetful graph we can certify has diameter >= 2r + 1.
+        let candidates = [
+            (generators::cycle(6), 1usize),
+            (generators::cycle(10), 2),
+            (generators::torus(6, 6), 1),
+            (generators::torus(7, 7), 1),
+            (generators::torus(10, 10), 2),
+        ];
+        for (g, r) in candidates {
+            assert!(is_r_forgetful(&g, r));
+            assert!(
+                diameter(&g).unwrap() > 2 * r,
+                "Lemma 2.1 violated for r = {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn escape_path_shape() {
+        let g = generators::torus(10, 10);
+        let apsp = crate::algo::bfs::all_pairs(&g);
+        // Node 22 = (2, 2); arrive from 21 = (2, 1).
+        let p = escape_path(&g, &apsp, 22, 21, 2).expect("torus escape exists");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], 22);
+        assert!(!p.contains(&21));
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Recognizers for the graph classes the paper's theorems quantify over.
+//!
+//! * [`simple`] — minimum-degree-one graphs (class H₁ of Theorem 1.1) and
+//!   even cycles (class H₂);
+//! * [`forgetful`] — the *r-forgetful* property of Section 1.3, including
+//!   the escape paths that Lemma 5.4 reuses;
+//! * [`shatter`] — shatter points (Section 7.1);
+//! * [`watermelon`] — watermelon decomposition (Section 7.2);
+//! * [`bdelta`] — the class B(Δ, r) of Section 6 (Theorem 1.2's stage).
+
+pub mod bdelta;
+pub mod forgetful;
+pub mod shatter;
+pub mod simple;
+pub mod watermelon;

@@ -1,0 +1,185 @@
+//! Shatter points (paper, Section 7.1).
+//!
+//! A node `v` is a *shatter point* of `G` if `G − N[v]` is disconnected
+//! (has at least two connected components). Theorem 1.3 gives a strong and
+//! hiding LCP for 2-coloring on graphs admitting a shatter point, and
+//! Lemma 7.1 characterizes bipartiteness around one.
+
+use crate::algo::components::connected_components;
+use crate::graph::Graph;
+
+/// The decomposition of `G` around a shatter point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShatterDecomposition {
+    /// The shatter point `v`.
+    pub point: usize,
+    /// The neighbors `N(v)`, sorted.
+    pub neighborhood: Vec<usize>,
+    /// The connected components of `G − N[v]`, each sorted, ordered by
+    /// smallest node; always at least two.
+    pub components: Vec<Vec<usize>>,
+}
+
+/// The components of `G − N[v]` (possibly fewer than two).
+pub fn components_without_closed_neighborhood(g: &Graph, v: usize) -> Vec<Vec<usize>> {
+    let closed: Vec<usize> = std::iter::once(v).chain(g.neighbors(v).iter().copied()).collect();
+    let rest: Vec<usize> = g.nodes().filter(|u| !closed.contains(u)).collect();
+    let (sub, map) = g.induced(&rest);
+    connected_components(&sub)
+        .into_iter()
+        .map(|comp| {
+            let mut orig: Vec<usize> = comp.into_iter().map(|u| map[u]).collect();
+            orig.sort_unstable();
+            orig
+        })
+        .collect()
+}
+
+/// Whether `v` is a shatter point of `g`.
+pub fn is_shatter_point(g: &Graph, v: usize) -> bool {
+    components_without_closed_neighborhood(g, v).len() >= 2
+}
+
+/// All shatter points of `g`, sorted.
+pub fn shatter_points(g: &Graph) -> Vec<usize> {
+    g.nodes().filter(|&v| is_shatter_point(g, v)).collect()
+}
+
+/// The decomposition around the smallest shatter point, or `None` if `g`
+/// has none.
+pub fn decompose(g: &Graph) -> Option<ShatterDecomposition> {
+    decompose_at(g, *shatter_points(g).first()?)
+}
+
+/// The decomposition around a prescribed shatter point, or `None` if `v`
+/// is not one.
+pub fn decompose_at(g: &Graph, v: usize) -> Option<ShatterDecomposition> {
+    let components = components_without_closed_neighborhood(g, v);
+    (components.len() >= 2).then(|| ShatterDecomposition {
+        point: v,
+        neighborhood: g.neighbors(v).to_vec(),
+        components,
+    })
+}
+
+/// Lemma 7.1: with `v` any node and `C₁, …, C_k` the components of
+/// `G − N[v]`, `G` is bipartite iff (1) `N(v)` is independent, (2) every
+/// `G[C_i]` is bipartite, and (3) the nodes of `N²(v)` in each `C_i` lie in
+/// only one side of `G[C_i]`.
+///
+/// This function checks the three conditions directly (it does *not* call
+/// the global bipartiteness test), so tests can compare it against
+/// [`crate::algo::bipartite::is_bipartite`].
+pub fn lemma_7_1_conditions(g: &Graph, v: usize) -> bool {
+    // (1) N(v) independent.
+    let nv = g.neighbors(v);
+    for (i, &a) in nv.iter().enumerate() {
+        for &b in &nv[i + 1..] {
+            if g.has_edge(a, b) {
+                return false;
+            }
+        }
+    }
+    for comp in components_without_closed_neighborhood(g, v) {
+        let (sub, map) = g.induced(&comp);
+        // (2) G[C_i] bipartite.
+        let Ok(sides) = crate::algo::bipartite::bipartition(&sub) else {
+            return false;
+        };
+        // (3) all neighbors-of-N(v) inside C_i lie in one side.
+        let mut touched: Option<u8> = None;
+        for (new, &old) in map.iter().enumerate() {
+            let adjacent_to_nv = g.neighbors(old).iter().any(|w| nv.contains(w));
+            if adjacent_to_nv {
+                match touched {
+                    None => touched = Some(sides[new]),
+                    Some(side) if side != sides[new] => return false,
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::bipartite::is_bipartite;
+    use crate::generators;
+
+    #[test]
+    fn paths_have_shatter_points() {
+        // P8 = the hiding witness of Theorem 1.3: middle nodes shatter it.
+        let p8 = generators::path(8);
+        let pts = shatter_points(&p8);
+        assert!(pts.contains(&3));
+        assert!(pts.contains(&4));
+        assert!(!pts.contains(&0), "an endpoint leaves one component");
+    }
+
+    #[test]
+    fn cycles_and_thetas_have_no_shatter_points_but_spiders_do() {
+        assert!(shatter_points(&generators::cycle(8)).is_empty());
+        assert!(shatter_points(&generators::complete(4)).is_empty());
+        // Thetas stay connected through the opposite hub.
+        assert!(shatter_points(&generators::theta(4, 4, 4)).is_empty());
+        // A spider (three legs of length 3 from a center) shatters at the
+        // center: removing N[center] leaves three 2-node tails.
+        let spider = Graph::from_edges(
+            10,
+            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (0, 7), (7, 8), (8, 9)],
+        )
+        .unwrap();
+        assert!(is_shatter_point(&spider, 0));
+        let d = decompose_at(&spider, 0).unwrap();
+        assert_eq!(d.components.len(), 3);
+    }
+
+    #[test]
+    fn decomposition_shape() {
+        let p8 = generators::path(8);
+        let d = decompose_at(&p8, 4).unwrap();
+        assert_eq!(d.point, 4);
+        assert_eq!(d.neighborhood, vec![3, 5]);
+        assert_eq!(d.components, vec![vec![0, 1, 2], vec![6, 7]]);
+        assert!(decompose_at(&p8, 0).is_none());
+    }
+
+    #[test]
+    fn lemma_7_1_matches_global_bipartiteness() {
+        // Lemma 7.1 is stated for an arbitrary node v: the three local
+        // conditions at ANY v are equivalent to bipartiteness of G.
+        let candidates = [
+            generators::path(8),
+            generators::theta(4, 4, 4),
+            generators::theta(3, 3, 4), // odd + even paths -> odd cycle
+            generators::theta(3, 3, 3),
+            generators::caterpillar(5, 1),
+            generators::pendant_path(5, 3), // C5 with a tail: non-bipartite
+            generators::pendant_path(6, 3), // C6 with a tail: bipartite
+            generators::grid(3, 3),
+            generators::petersen(),
+        ];
+        for g in candidates {
+            let bip = is_bipartite(&g);
+            for v in g.nodes() {
+                assert_eq!(
+                    lemma_7_1_conditions(&g, v),
+                    bip,
+                    "Lemma 7.1 mismatch at {v} in {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pendant_path_shatter_point() {
+        // C5 with a 3-node tail: the first tail node shatters the graph
+        // into the opened cycle and the tail remainder.
+        let g = generators::pendant_path(5, 3);
+        let first_tail = 5;
+        assert!(is_shatter_point(&g, first_tail));
+        assert!(!lemma_7_1_conditions(&g, first_tail), "C5 is not bipartite");
+    }
+}

@@ -1,0 +1,73 @@
+//! The classes H₁ (minimum degree one) and H₂ (even cycles) of Theorem 1.1.
+
+use crate::algo::components::is_connected;
+use crate::graph::Graph;
+
+/// Whether `δ(G) = 1` — class H₁ of Theorem 1.1. The empty graph is not in
+/// H₁.
+pub fn has_min_degree_one(g: &Graph) -> bool {
+    g.min_degree() == Some(1)
+}
+
+/// Whether `g` is a cycle (connected and 2-regular).
+pub fn is_cycle(g: &Graph) -> bool {
+    g.node_count() >= 3
+        && g.min_degree() == Some(2)
+        && g.max_degree() == Some(2)
+        && is_connected(g)
+}
+
+/// Whether `g` is an even cycle — class H₂ of Theorem 1.1.
+pub fn is_even_cycle(g: &Graph) -> bool {
+    is_cycle(g) && g.node_count().is_multiple_of(2)
+}
+
+/// Whether every connected component of `g` lies in H₁ ∪ H₂: minimum
+/// degree one or an even cycle. This is the promise class of Theorem 1.1
+/// ("a union of both").
+pub fn is_theorem_1_1_instance(g: &Graph) -> bool {
+    crate::algo::components::connected_components(g)
+        .into_iter()
+        .all(|comp| {
+            let (sub, _) = g.induced(&comp);
+            has_min_degree_one(&sub) || is_even_cycle(&sub) || sub.node_count() == 1
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn min_degree_one_class() {
+        assert!(has_min_degree_one(&generators::path(4)));
+        assert!(has_min_degree_one(&generators::star(3)));
+        assert!(has_min_degree_one(&generators::pendant_path(4, 1)));
+        assert!(!has_min_degree_one(&generators::cycle(4)));
+        assert!(!has_min_degree_one(&Graph::new(0)));
+        assert!(!has_min_degree_one(&Graph::new(2)), "isolated nodes have degree 0");
+    }
+
+    #[test]
+    fn cycle_recognition() {
+        assert!(is_cycle(&generators::cycle(5)));
+        assert!(is_even_cycle(&generators::cycle(6)));
+        assert!(!is_even_cycle(&generators::cycle(5)));
+        assert!(!is_cycle(&generators::path(5)));
+        // Two disjoint triangles are 2-regular but not connected.
+        let two = generators::cycle(3).disjoint_union(&generators::cycle(3));
+        assert!(!is_cycle(&two));
+    }
+
+    #[test]
+    fn union_class() {
+        let mix = generators::path(3).disjoint_union(&generators::cycle(6));
+        assert!(is_theorem_1_1_instance(&mix));
+        let bad = generators::path(3).disjoint_union(&generators::cycle(5));
+        assert!(!is_theorem_1_1_instance(&bad), "odd cycle component");
+        let torus = generators::torus(3, 3);
+        assert!(!is_theorem_1_1_instance(&torus));
+        assert!(is_theorem_1_1_instance(&Graph::new(1)), "singleton allowed");
+    }
+}

@@ -1,0 +1,200 @@
+//! Watermelon graphs (paper, Section 7.2).
+//!
+//! A watermelon graph is defined by two endpoints `v₁, v₂` and a collection
+//! of internally-disjoint paths of length ≥ 2 joining them. Theorem 1.4
+//! gives a strong and hiding one-round LCP with `O(log n)` certificates on
+//! this class; a watermelon is bipartite iff all its path lengths share a
+//! parity.
+
+use crate::graph::Graph;
+
+/// A watermelon decomposition: the two endpoints plus each path listed as
+/// the node sequence `v₁, internal…, v₂`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Watermelon {
+    /// The endpoints `(v₁, v₂)`.
+    pub endpoints: (usize, usize),
+    /// The paths, each starting at `v₁` and ending at `v₂`, ordered by
+    /// their first internal node.
+    pub paths: Vec<Vec<usize>>,
+}
+
+impl Watermelon {
+    /// The length (edge count) of each path.
+    pub fn path_lengths(&self) -> Vec<usize> {
+        self.paths.iter().map(|p| p.len() - 1).collect()
+    }
+
+    /// A watermelon is bipartite iff all path lengths have equal parity.
+    pub fn is_bipartite(&self) -> bool {
+        let lens = self.path_lengths();
+        lens.windows(2).all(|w| w[0] % 2 == w[1] % 2)
+    }
+}
+
+/// Attempts to decompose `g` as a watermelon with the given endpoints.
+///
+/// Requirements checked: `v₁ ≠ v₂`, the endpoints are non-adjacent (paths
+/// have length ≥ 2), every other node has degree exactly 2, and following
+/// each port of `v₁` traces a path of internal degree-2 nodes that ends at
+/// `v₂`, covering the whole graph.
+pub fn decompose_with_endpoints(g: &Graph, v1: usize, v2: usize) -> Option<Watermelon> {
+    let n = g.node_count();
+    if v1 >= n || v2 >= n || v1 == v2 || g.has_edge(v1, v2) {
+        return None;
+    }
+    if g.degree(v1) != g.degree(v2) || g.degree(v1) == 0 {
+        return None;
+    }
+    for v in g.nodes() {
+        if v != v1 && v != v2 && g.degree(v) != 2 {
+            return None;
+        }
+    }
+    let mut used = vec![false; n];
+    used[v1] = true;
+    used[v2] = true;
+    let mut paths = Vec::new();
+    for &first in g.neighbors(v1) {
+        let mut path = vec![v1];
+        let mut prev = v1;
+        let mut cur = first;
+        loop {
+            if cur == v2 {
+                path.push(v2);
+                break;
+            }
+            if cur == v1 || used[cur] {
+                return None; // path loops back or reuses a node
+            }
+            used[cur] = true;
+            path.push(cur);
+            let next = *g
+                .neighbors(cur)
+                .iter()
+                .find(|&&w| w != prev)
+                .expect("internal nodes have degree 2");
+            prev = cur;
+            cur = next;
+        }
+        if path.len() < 3 {
+            return None; // length < 2
+        }
+        paths.push(path);
+    }
+    // Every node must be covered (graph connected through the paths).
+    if used.iter().any(|&u| !u) {
+        return None;
+    }
+    Some(Watermelon {
+        endpoints: (v1, v2),
+        paths,
+    })
+}
+
+/// Attempts to recognize `g` as a watermelon graph, trying all endpoint
+/// choices consistent with the degree sequence.
+///
+/// Cycles are watermelons for many endpoint pairs; the smallest valid pair
+/// is chosen.
+pub fn decompose(g: &Graph) -> Option<Watermelon> {
+    let non_deg2: Vec<usize> = g.nodes().filter(|&v| g.degree(v) != 2).collect();
+    match non_deg2.len() {
+        0 => {
+            // 2-regular: a cycle (if connected). Any two non-adjacent nodes
+            // work as endpoints; pick 0 and the first valid partner.
+            (1..g.node_count())
+                .filter(|&v| !g.has_edge(0, v))
+                .find_map(|v| decompose_with_endpoints(g, 0, v))
+        }
+        2 => decompose_with_endpoints(g, non_deg2[0], non_deg2[1]),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::bipartite;
+    use crate::generators;
+
+    #[test]
+    fn generated_watermelons_decompose() {
+        for lens in [vec![2, 2], vec![2, 3, 4], vec![5, 5, 5, 5]] {
+            let g = generators::watermelon(&lens);
+            let w = decompose(&g).expect("generated watermelon decomposes");
+            assert_eq!(w.endpoints, (0, 1));
+            let mut got = w.path_lengths();
+            got.sort_unstable();
+            let mut want = lens.clone();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn parity_criterion_matches_bipartiteness() {
+        for lens in [
+            vec![2, 2],
+            vec![2, 3],
+            vec![3, 3, 3],
+            vec![2, 4, 6],
+            vec![3, 4],
+            vec![2, 2, 2, 3],
+        ] {
+            let g = generators::watermelon(&lens);
+            let w = decompose(&g).expect("decomposes");
+            assert_eq!(
+                w.is_bipartite(),
+                bipartite::is_bipartite(&g),
+                "parity criterion failed for {lens:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycles_are_watermelons() {
+        let c6 = generators::cycle(6);
+        let w = decompose(&c6).expect("a cycle is a two-path watermelon");
+        assert_eq!(w.paths.len(), 2);
+        assert_eq!(w.path_lengths().iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn paths_are_single_slice_watermelons() {
+        // The definition allows k = 1: a path of length >= 2 is a
+        // watermelon whose endpoints are its two leaves.
+        let w = decompose(&generators::path(5)).expect("P5 is a 1-path watermelon");
+        assert_eq!(w.paths.len(), 1);
+        assert_eq!(w.path_lengths(), vec![4]);
+        // P2 has adjacent endpoints (length 1 < 2): not a watermelon.
+        assert!(decompose(&generators::path(2)).is_none());
+    }
+
+    #[test]
+    fn non_watermelons_are_rejected() {
+        assert!(decompose(&generators::complete(4)).is_none());
+        assert!(decompose(&generators::star(3)).is_none());
+        assert!(decompose(&generators::grid(3, 3)).is_none());
+        // Two disjoint cycles: 2-regular but disconnected.
+        let two = generators::cycle(4).disjoint_union(&generators::cycle(4));
+        assert!(decompose(&two).is_none());
+    }
+
+    #[test]
+    fn triangle_is_not_a_watermelon() {
+        // C3: every pair of nodes is adjacent, so no endpoint pair works.
+        assert!(decompose(&generators::cycle(3)).is_none());
+    }
+
+    #[test]
+    fn explicit_endpoints_validation() {
+        let g = generators::watermelon(&[2, 4]);
+        assert!(decompose_with_endpoints(&g, 0, 1).is_some());
+        // Wrong endpoints: internal nodes have degree 2 as well (cycle), so
+        // some pairs still decompose, but adjacent pairs never do.
+        let adjacent_pair = g.neighbors(0)[0];
+        assert!(decompose_with_endpoints(&g, 0, adjacent_pair).is_none());
+        assert!(decompose_with_endpoints(&g, 0, 0).is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! Graphviz (DOT) export, used to regenerate the paper's figures.
+
+use crate::graph::Graph;
+use std::fmt::Write;
+
+/// Renders `g` in DOT format. `labels`, if given, must have one entry per
+/// node and is placed in each node's label alongside its index.
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_graph::{dot, generators};
+/// let s = dot::to_dot(&generators::path(3), Some(&["a".into(), "b".into(), "c".into()]));
+/// assert!(s.contains("graph {"));
+/// assert!(s.contains("0 -- 1"));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `labels` is given with the wrong length.
+pub fn to_dot(g: &Graph, labels: Option<&[String]>) -> String {
+    if let Some(l) = labels {
+        assert_eq!(l.len(), g.node_count(), "one label per node required");
+    }
+    let mut out = String::from("graph {\n");
+    for v in g.nodes() {
+        match labels {
+            Some(l) => {
+                let _ = writeln!(out, "  {v} [label=\"{}: {}\"];", v, escape(&l[v]));
+            }
+            None => {
+                let _ = writeln!(out, "  {v};");
+            }
+        }
+    }
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "  {u} -- {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn renders_edges_and_labels() {
+        let g = generators::cycle(3);
+        let labels = vec!["x".to_string(), "y\"z".to_string(), "w".to_string()];
+        let dot = to_dot(&g, Some(&labels));
+        assert!(dot.contains("1 [label=\"1: y\\\"z\"];"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.contains("0 -- 2;"));
+        assert!(dot.starts_with("graph {"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn renders_without_labels() {
+        let dot = to_dot(&generators::path(2), None);
+        assert!(dot.contains("  0;"));
+        assert!(dot.contains("0 -- 1;"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per node")]
+    fn rejects_wrong_label_count() {
+        let _ = to_dot(&generators::path(3), Some(&["a".into()]));
+    }
+}

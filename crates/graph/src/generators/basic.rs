@@ -1,0 +1,127 @@
+//! Paths, cycles, stars, complete and complete bipartite graphs.
+
+use crate::graph::Graph;
+
+/// The path `P_n` on `n` nodes `0 - 1 - … - (n-1)`.
+///
+/// # Example
+///
+/// ```
+/// let p = hiding_lcp_graph::generators::path(4);
+/// assert_eq!(p.edge_count(), 3);
+/// assert_eq!(p.degree(0), 1);
+/// assert_eq!(p.degree(1), 2);
+/// ```
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(v - 1, v).expect("path edges are valid");
+    }
+    g
+}
+
+/// The cycle `C_n` on `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes, got {n}");
+    let mut g = path(n);
+    g.add_edge(n - 1, 0).expect("closing edge is valid");
+    g
+}
+
+/// The star `K_{1,leaves}`: node `0` is the center, nodes `1..=leaves` are
+/// leaves.
+pub fn star(leaves: usize) -> Graph {
+    let mut g = Graph::new(leaves + 1);
+    for v in 1..=leaves {
+        g.add_edge(0, v).expect("star edges are valid");
+    }
+    g
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v).expect("complete-graph edges are valid");
+        }
+    }
+    g
+}
+
+/// The complete bipartite graph `K_{a,b}` with parts `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            g.add_edge(u, v).expect("bipartite edges are valid");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let p = path(5);
+        assert_eq!(p.node_count(), 5);
+        assert_eq!(p.edge_count(), 4);
+        assert_eq!(p.min_degree(), Some(1));
+        assert_eq!(p.max_degree(), Some(2));
+        assert!(p.has_edge(2, 3));
+        assert!(!p.has_edge(0, 4));
+    }
+
+    #[test]
+    fn path_degenerate_cases() {
+        assert_eq!(path(0).node_count(), 0);
+        assert_eq!(path(1).edge_count(), 0);
+        assert_eq!(path(2).edge_count(), 1);
+    }
+
+    #[test]
+    fn cycle_is_two_regular() {
+        let c = cycle(6);
+        assert_eq!(c.edge_count(), 6);
+        assert_eq!(c.min_degree(), Some(2));
+        assert_eq!(c.max_degree(), Some(2));
+        assert!(c.has_edge(5, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn cycle_rejects_tiny() {
+        let _ = cycle(2);
+    }
+
+    #[test]
+    fn star_degrees() {
+        let s = star(4);
+        assert_eq!(s.degree(0), 4);
+        for leaf in 1..=4 {
+            assert_eq!(s.degree(leaf), 1);
+        }
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(5).edge_count(), 10);
+        assert_eq!(complete(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn complete_bipartite_shape() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.edge_count(), 6);
+        assert!(!g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 3));
+        assert!(g.has_edge(1, 4));
+    }
+}

@@ -1,0 +1,88 @@
+//! Exhaustive enumeration of small connected graphs up to isomorphism.
+//!
+//! Lemma 3.1 of the paper computes the accepting neighborhood graph by
+//! iterating "over all possible labeled yes-instances (G, prt, Id, ℓ) such
+//! that G is of size at most n". This module supplies the graph part of
+//! that iteration for small `n`.
+
+use crate::algo::components;
+use crate::canon;
+use crate::graph::Graph;
+use std::collections::HashSet;
+
+/// All connected graphs on exactly `n` nodes, one representative per
+/// isomorphism class, in a deterministic order.
+///
+/// Counts for `n = 1..=7`: 1, 1, 2, 6, 21, 112, 853 (OEIS A001349).
+///
+/// # Panics
+///
+/// Panics if `n > 8` (the enumeration is exponential; larger sizes are a
+/// bug in the caller).
+pub fn connected_graphs_on(n: usize) -> Vec<Graph> {
+    assert!(n <= 8, "exhaustive enumeration limited to n <= 8, got {n}");
+    if n == 0 {
+        return Vec::new();
+    }
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect();
+    let mut seen: HashSet<Vec<u64>> = HashSet::new();
+    let mut out = Vec::new();
+    for mask in 0u64..(1u64 << pairs.len()) {
+        let edges: Vec<(usize, usize)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &e)| e)
+            .collect();
+        // Quick connectivity lower bound: a connected graph needs n-1 edges.
+        if edges.len() + 1 < n {
+            continue;
+        }
+        let g = Graph::from_edges(n, &edges).expect("enumerated edges are valid");
+        if components::connected_components(&g).len() != 1 {
+            continue;
+        }
+        let key = canon::canonical_key(&g);
+        if seen.insert(key) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// All connected graphs with between 1 and `max_n` nodes, one per
+/// isomorphism class.
+pub fn connected_graphs_up_to(max_n: usize) -> Vec<Graph> {
+    (1..=max_n).flat_map(connected_graphs_on).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_counts() {
+        assert_eq!(connected_graphs_on(1).len(), 1);
+        assert_eq!(connected_graphs_on(2).len(), 1);
+        assert_eq!(connected_graphs_on(3).len(), 2);
+        assert_eq!(connected_graphs_on(4).len(), 6);
+        assert_eq!(connected_graphs_on(5).len(), 21);
+    }
+
+    #[test]
+    fn cumulative_count() {
+        assert_eq!(connected_graphs_up_to(4).len(), 1 + 1 + 2 + 6);
+    }
+
+    #[test]
+    fn representatives_are_pairwise_non_isomorphic() {
+        let graphs = connected_graphs_on(4);
+        for (i, a) in graphs.iter().enumerate() {
+            for b in &graphs[i + 1..] {
+                assert!(!canon::are_isomorphic(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Grids, tori and hypercubes — the canonical r-forgetful families.
+//!
+//! The paper singles out "(regular) grids and trees" as r-forgetful
+//! (Section 1.3); grids are also the SLOCAL 3-coloring lower-bound family
+//! of Akbari et al. cited in the introduction.
+
+use crate::graph::Graph;
+
+/// The `rows × cols` grid; node `(r, c)` has index `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1).expect("grid edges are valid");
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols).expect("grid edges are valid");
+            }
+        }
+    }
+    g
+}
+
+/// The `rows × cols` torus (grid with wrap-around edges).
+///
+/// # Panics
+///
+/// Panics if either dimension is below 3 (wrap-around would create
+/// multi-edges or loops).
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+    let mut g = grid(rows, cols);
+    for r in 0..rows {
+        g.add_edge(r * cols, r * cols + cols - 1)
+            .expect("torus row wrap edges are valid");
+    }
+    for c in 0..cols {
+        g.add_edge(c, (rows - 1) * cols + c)
+            .expect("torus column wrap edges are valid");
+    }
+    g
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes; nodes adjacent iff
+/// their indices differ in exactly one bit.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                g.add_edge(v, u).expect("hypercube edges are valid");
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // m = rows*(cols-1) + cols*(rows-1) = 3*3 + 4*2 = 17.
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // edge
+        assert_eq!(g.degree(5), 4); // interior
+    }
+
+    #[test]
+    fn degenerate_grids() {
+        assert_eq!(grid(1, 5).edge_count(), 4); // a path
+        assert_eq!(grid(0, 3).node_count(), 0);
+    }
+
+    #[test]
+    fn torus_is_four_regular() {
+        let t = torus(3, 4);
+        assert_eq!(t.edge_count(), 24);
+        for v in t.nodes() {
+            assert_eq!(t.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn hypercube_is_d_regular() {
+        let q3 = hypercube(3);
+        assert_eq!(q3.node_count(), 8);
+        assert_eq!(q3.edge_count(), 12);
+        for v in q3.nodes() {
+            assert_eq!(q3.degree(v), 3);
+        }
+        assert!(q3.has_edge(0b000, 0b100));
+        assert!(!q3.has_edge(0b000, 0b110));
+    }
+}

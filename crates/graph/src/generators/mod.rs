@@ -1,0 +1,31 @@
+//! Generators for every graph family used in the paper.
+//!
+//! * [`path`], [`cycle`], [`star`], [`complete`], [`complete_bipartite`] —
+//!   basic families (Figs. 3, 5, and the hiding witnesses of Theorems 1.3
+//!   and 1.4 are all paths and cycles);
+//! * [`grid`], [`torus`], [`hypercube`] — the r-forgetful families of
+//!   Section 1.3;
+//! * [`balanced_tree`], [`random_tree`], [`caterpillar`] — trees (every
+//!   tree has minimum degree one, i.e. lies in the class H₁ of Theorem 1.1);
+//! * [`watermelon`], [`theta`] — the watermelon graphs of Theorem 1.4;
+//! * [`with_pendant`], [`pendant_path`] — min-degree-one graphs (class H₁);
+//! * [`gnp`], [`random_bipartite`], [`random_even_subdivision`] — random
+//!   instances for property-based testing;
+//! * [`petersen`] — a classic non-bipartite 3-regular no-instance;
+//! * [`connected_graphs_up_to`] — exhaustive enumeration of all connected
+//!   graphs on at most `k` nodes up to isomorphism (the "iterate over all
+//!   possible yes-instances" step of Lemma 3.1).
+
+mod basic;
+mod enumerate;
+mod grids;
+mod random;
+mod special;
+mod trees;
+
+pub use basic::{complete, complete_bipartite, cycle, path, star};
+pub use enumerate::{connected_graphs_on, connected_graphs_up_to};
+pub use grids::{grid, hypercube, torus};
+pub use random::{gnp, random_bipartite, random_bipartite_regular, random_even_subdivision, random_regular};
+pub use special::{pendant_path, petersen, theta, watermelon, with_pendant};
+pub use trees::{balanced_tree, caterpillar, random_tree};

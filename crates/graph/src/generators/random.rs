@@ -1,0 +1,181 @@
+//! Random graph generators for property-based and adversarial testing.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v).expect("gnp edges are valid");
+            }
+        }
+    }
+    g
+}
+
+/// A random bipartite graph with parts `0..a` and `a..a+b`, each cross edge
+/// present independently with probability `p`. Always a yes-instance of
+/// 2-col.
+pub fn random_bipartite<R: Rng + ?Sized>(a: usize, b: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new(a + b);
+    for u in 0..a {
+        for v in a..(a + b) {
+            if rng.random_bool(p.clamp(0.0, 1.0)) {
+                g.add_edge(u, v).expect("bipartite edges are valid");
+            }
+        }
+    }
+    g
+}
+
+/// Subdivides every edge of `base` into a path of a random *even* length in
+/// `{2, 4}`. The result is always bipartite (every original odd cycle
+/// becomes even) yet has the coarse shape of `base` — a convenient source
+/// of structurally varied yes-instances with minimum degree ≥ δ(base).
+pub fn random_even_subdivision<R: Rng + ?Sized>(base: &Graph, rng: &mut R) -> Graph {
+    let mut g = Graph::new(base.node_count());
+    for (u, v) in base.edges() {
+        let segments = if rng.random_bool(0.5) { 2 } else { 4 };
+        let mut prev = u;
+        for _ in 0..(segments - 1) {
+            let mid = g.add_isolated_nodes(1);
+            g.add_edge(prev, mid).expect("subdivision edges are valid");
+            prev = mid;
+        }
+        g.add_edge(prev, v).expect("subdivision edges are valid");
+    }
+    g
+}
+
+/// A random d-regular graph on `n` nodes via the configuration model with
+/// rejection (retry until simple). Requires `n·d` even and `d < n`.
+///
+/// # Panics
+///
+/// Panics on infeasible parameters or if 1000 attempts all produce
+/// multi-edges/loops (practically unreachable for the small sizes this
+/// library targets).
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(d < n, "degree must be below n");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
+    'attempt: for _ in 0..1000 {
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        rand::seq::SliceRandom::shuffle(&mut stubs[..], rng);
+        let mut g = Graph::new(n);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || g.has_edge(u, v) {
+                continue 'attempt;
+            }
+            g.add_edge(u, v).expect("validated above");
+        }
+        return g;
+    }
+    panic!("failed to sample a simple {d}-regular graph on {n} nodes");
+}
+
+/// A random bipartite d-regular graph with parts `0..half` and
+/// `half..2·half`, built from `d` random perfect matchings (retried until
+/// they are pairwise disjoint). Always a yes-instance of 2-col; with
+/// `d = 3` these are the random cubic bipartite workloads of the
+/// edge-3-coloring experiments.
+///
+/// # Panics
+///
+/// Panics on `d > half` or after 1000 failed attempts.
+pub fn random_bipartite_regular<R: Rng + ?Sized>(half: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(d <= half, "degree must be at most the part size");
+    'attempt: for _ in 0..1000 {
+        let mut g = Graph::new(2 * half);
+        for _ in 0..d {
+            let mut perm: Vec<usize> = (0..half).collect();
+            rand::seq::SliceRandom::shuffle(&mut perm[..], rng);
+            for (i, &j) in perm.iter().enumerate() {
+                if g.has_edge(i, half + j) {
+                    continue 'attempt;
+                }
+                g.add_edge(i, half + j).expect("cross edges are valid");
+            }
+        }
+        return g;
+    }
+    panic!("failed to sample a bipartite {d}-regular graph");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::bipartite;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnp(6, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(6, 1.0, &mut rng).edge_count(), 15);
+    }
+
+    #[test]
+    fn random_bipartite_is_bipartite() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let g = random_bipartite(4, 5, 0.6, &mut rng);
+            assert!(bipartite::bipartition(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for (n, d) in [(8usize, 3usize), (10, 4), (6, 1)] {
+            let g = random_regular(n, d, &mut rng);
+            assert_eq!(g.node_count(), n);
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), d, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn random_regular_rejects_odd_product() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    fn random_bipartite_regular_shape() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for (half, d) in [(4usize, 3usize), (6, 2), (5, 1)] {
+            let g = random_bipartite_regular(half, d, &mut rng);
+            assert_eq!(g.node_count(), 2 * half);
+            assert!(bipartite::is_bipartite(&g));
+            for v in g.nodes() {
+                assert_eq!(g.degree(v), d);
+            }
+            // All edges cross the parts.
+            for (u, v) in g.edges() {
+                assert!(u < half && v >= half);
+            }
+        }
+    }
+
+    #[test]
+    fn even_subdivision_is_bipartite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for base in [generators::complete(4), generators::petersen()] {
+            for _ in 0..10 {
+                let g = random_even_subdivision(&base, &mut rng);
+                assert!(bipartite::bipartition(&g).is_ok());
+                assert!(g.min_degree().unwrap() >= 2);
+            }
+        }
+    }
+}
+
+

@@ -1,0 +1,162 @@
+//! Watermelon graphs, theta graphs, pendant attachments and the Petersen
+//! graph.
+
+use crate::graph::Graph;
+
+/// A *watermelon graph* (paper, Section 7.2): two endpoints `v₁ = 0` and
+/// `v₂ = 1` joined by `path_lens.len()` internally-disjoint paths, the
+/// `i`-th of length `path_lens[i]` (number of edges).
+///
+/// Internal nodes of path `i` are numbered consecutively after those of
+/// path `i - 1`, starting at index 2.
+///
+/// # Panics
+///
+/// Panics if any path length is below 2 (the paper requires length ≥ 2 so
+/// the paths are internally non-empty and the endpoints are non-adjacent)
+/// or if no path is given.
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_graph::generators::watermelon;
+/// // Two paths of lengths 2 and 4 form a 6-cycle.
+/// let w = watermelon(&[2, 4]);
+/// assert_eq!(w.node_count(), 6);
+/// assert_eq!(w.degree(0), 2);
+/// ```
+pub fn watermelon(path_lens: &[usize]) -> Graph {
+    assert!(!path_lens.is_empty(), "a watermelon needs at least one path");
+    assert!(
+        path_lens.iter().all(|&l| l >= 2),
+        "watermelon paths must have length >= 2, got {path_lens:?}"
+    );
+    let internal: usize = path_lens.iter().map(|&l| l - 1).sum();
+    let mut g = Graph::new(2 + internal);
+    let mut next = 2usize;
+    for &len in path_lens {
+        let mut prev = 0usize; // v1
+        for _ in 0..(len - 1) {
+            g.add_edge(prev, next).expect("watermelon edges are valid");
+            prev = next;
+            next += 1;
+        }
+        g.add_edge(prev, 1).expect("watermelon edges are valid");
+    }
+    g
+}
+
+/// The theta graph `Θ(a, b, c)`: a watermelon with exactly three paths.
+pub fn theta(a: usize, b: usize, c: usize) -> Graph {
+    watermelon(&[a, b, c])
+}
+
+/// Attaches a pendant (degree-one) node to `v`, returning the new graph and
+/// the index of the pendant. This moves any graph into the class H₁ of
+/// Theorem 1.1 (minimum degree one).
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+pub fn with_pendant(g: &Graph, v: usize) -> (Graph, usize) {
+    assert!(v < g.node_count(), "node {v} out of range");
+    let mut h = g.clone();
+    let pendant = h.add_isolated_nodes(1);
+    h.add_edge(v, pendant).expect("pendant edge is valid");
+    (h, pendant)
+}
+
+/// A cycle `C_len` with a pendant path of `tail` extra nodes attached to
+/// cycle node 0 — the smallest interesting members of H₁ that still
+/// contain a cycle. With an odd `len` this is a canonical *no*-instance
+/// whose only rejection must happen on the cycle.
+pub fn pendant_path(len: usize, tail: usize) -> Graph {
+    let mut g = super::basic::cycle(len);
+    let first = g.add_isolated_nodes(tail);
+    let mut prev = 0usize;
+    for t in 0..tail {
+        g.add_edge(prev, first + t).expect("tail edges are valid");
+        prev = first + t;
+    }
+    g
+}
+
+/// The Petersen graph: 3-regular, girth 5, non-bipartite — a classic
+/// no-instance for 2-coloring with minimum degree ≥ 2.
+pub fn petersen() -> Graph {
+    let mut g = Graph::new(10);
+    for v in 0..5 {
+        g.add_edge(v, (v + 1) % 5).expect("outer cycle");
+        g.add_edge(v, v + 5).expect("spokes");
+        g.add_edge(v + 5, (v + 2) % 5 + 5).expect("inner pentagram");
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::bipartite;
+
+    #[test]
+    fn watermelon_degrees() {
+        let w = watermelon(&[2, 3, 4]);
+        assert_eq!(w.node_count(), 2 + 1 + 2 + 3);
+        assert_eq!(w.degree(0), 3);
+        assert_eq!(w.degree(1), 3);
+        for v in 2..w.node_count() {
+            assert_eq!(w.degree(v), 2);
+        }
+        assert_eq!(w.edge_count(), 2 + 3 + 4);
+    }
+
+    #[test]
+    fn watermelon_parity_controls_bipartiteness() {
+        // All paths even -> bipartite; mixed parity -> odd cycle.
+        assert!(bipartite::bipartition(&watermelon(&[2, 4])).is_ok());
+        assert!(bipartite::bipartition(&watermelon(&[2, 3])).is_err());
+        assert!(bipartite::bipartition(&watermelon(&[3, 5, 7])).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "length >= 2")]
+    fn watermelon_rejects_short_paths() {
+        let _ = watermelon(&[1, 3]);
+    }
+
+    #[test]
+    fn theta_is_three_path_watermelon() {
+        let t = theta(2, 2, 2);
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.degree(0), 3);
+    }
+
+    #[test]
+    fn pendant_attaches_leaf() {
+        let c = super::super::basic::cycle(5);
+        let (g, p) = with_pendant(&c, 3);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.degree(p), 1);
+        assert!(g.has_edge(3, p));
+        assert_eq!(g.min_degree(), Some(1));
+    }
+
+    #[test]
+    fn pendant_path_shape() {
+        let g = pendant_path(4, 2);
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.min_degree(), Some(1));
+    }
+
+    #[test]
+    fn petersen_properties() {
+        let p = petersen();
+        assert_eq!(p.node_count(), 10);
+        assert_eq!(p.edge_count(), 15);
+        for v in p.nodes() {
+            assert_eq!(p.degree(v), 3);
+        }
+        assert!(bipartite::bipartition(&p).is_err());
+    }
+}

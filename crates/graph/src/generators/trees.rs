@@ -1,0 +1,134 @@
+//! Tree generators. Every tree on ≥ 2 nodes has minimum degree one, so
+//! trees populate the class H₁ of Theorem 1.1.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// The complete `arity`-ary tree of the given `depth` (depth 0 is a single
+/// root). Node 0 is the root; children are laid out breadth-first.
+pub fn balanced_tree(arity: usize, depth: usize) -> Graph {
+    assert!(arity >= 1, "arity must be positive");
+    let mut total = 1usize;
+    let mut level = 1usize;
+    for _ in 0..depth {
+        level *= arity;
+        total += level;
+    }
+    let mut g = Graph::new(total);
+    // Children of node v are arity*v + 1 ..= arity*v + arity.
+    for v in 0..total {
+        for c in 1..=arity {
+            let child = arity * v + c;
+            if child < total {
+                g.add_edge(v, child).expect("tree edges are valid");
+            }
+        }
+    }
+    g
+}
+
+/// A uniformly random labeled tree on `n` nodes via a random Prüfer
+/// sequence.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    if n <= 1 {
+        return Graph::new(n);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).expect("K2 is valid");
+    }
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.random_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut g = Graph::new(n);
+    // Repeatedly attach the smallest leaf to the next Prüfer entry.
+    let mut leaves: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = degree
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d == 1)
+        .map(|(v, _)| std::cmp::Reverse(v))
+        .collect();
+    for &v in &prufer {
+        let std::cmp::Reverse(leaf) = leaves.pop().expect("Prüfer decoding always has a leaf");
+        g.add_edge(leaf, v).expect("Prüfer edges are valid");
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            leaves.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(a) = leaves.pop().expect("two leaves remain");
+    let std::cmp::Reverse(b) = leaves.pop().expect("two leaves remain");
+    g.add_edge(a, b).expect("final Prüfer edge is valid");
+    g
+}
+
+/// A caterpillar: a spine path on `spine` nodes with `legs` pendant leaves
+/// attached to every spine node. Spine nodes come first.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut g = Graph::new(n);
+    for v in 1..spine {
+        g.add_edge(v - 1, v).expect("spine edges are valid");
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            g.add_edge(s, spine + s * legs + l)
+                .expect("leg edges are valid");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::components;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn balanced_tree_counts() {
+        let t = balanced_tree(2, 3);
+        assert_eq!(t.node_count(), 15);
+        assert_eq!(t.edge_count(), 14);
+        assert_eq!(t.degree(0), 2);
+        assert_eq!(t.degree(14), 1);
+    }
+
+    #[test]
+    fn balanced_tree_depth_zero() {
+        let t = balanced_tree(3, 0);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.edge_count(), 0);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 2, 3, 10, 40] {
+            let t = random_tree(n, &mut rng);
+            assert_eq!(t.node_count(), n);
+            assert_eq!(t.edge_count(), n.saturating_sub(1));
+            let expected_components = usize::from(n > 0);
+            assert_eq!(components::connected_components(&t).len(), expected_components);
+        }
+    }
+
+    #[test]
+    fn random_trees_vary() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_tree(12, &mut rng);
+        let b = random_tree(12, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let c = caterpillar(3, 2);
+        assert_eq!(c.node_count(), 9);
+        assert_eq!(c.edge_count(), 8);
+        assert_eq!(c.degree(1), 4); // middle spine: 2 spine + 2 legs
+        assert_eq!(c.min_degree(), Some(1));
+    }
+}

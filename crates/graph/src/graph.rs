@@ -1,0 +1,419 @@
+//! The core simple undirected [`Graph`] type.
+//!
+//! Nodes are dense indices `0..n`. Neighbor lists are kept sorted so that
+//! adjacency queries are `O(log d)` and iteration order is deterministic —
+//! determinism matters throughout the workspace because canonical view
+//! encodings and "lexicographically first" colorings (Lemma 3.2 of the
+//! paper) must be reproducible.
+
+use std::fmt;
+
+/// Error returned by fallible [`Graph`] mutations.
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_graph::{Graph, GraphError};
+/// let mut g = Graph::new(2);
+/// assert_eq!(g.add_edge(0, 5), Err(GraphError::NodeOutOfRange { node: 5, n: 2 }));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphError {
+    /// A node index was `>= n`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// The edge is already present.
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// Self-loops are not representable.
+    ///
+    /// The paper permits loops in principle (Section 2) but never uses them:
+    /// a graph with a loop is never k-colorable, so it is a trivial
+    /// no-instance for every language studied here.
+    SelfLoop {
+        /// The node at which the loop was attempted.
+        node: usize,
+    },
+    /// The edge is not present (returned by [`Graph::remove_edge`]).
+    MissingEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::DuplicateEdge { u, v } => write!(f, "edge {{{u}, {v}}} already present"),
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} not supported"),
+            GraphError::MissingEdge { u, v } => write!(f, "edge {{{u}, {v}}} not present"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A finite simple undirected graph with nodes `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_graph::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert!(g.has_edge(0, 3));
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Graph {
+    adj: Vec<Vec<usize>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates an edgeless graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph on `n` nodes from an edge list.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GraphError`] produced by [`Graph::add_edge`].
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// The number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterator over node indices `0..n`.
+    pub fn nodes(&self) -> std::ops::Range<usize> {
+        0..self.adj.len()
+    }
+
+    /// Iterator over edges as pairs `(u, v)` with `u < v`, in lexicographic
+    /// order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .iter()
+            .enumerate()
+            .flat_map(|(u, nbrs)| nbrs.iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+    }
+
+    /// Adds the edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on out-of-range endpoints, self-loops and duplicate edges.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        let n = self.adj.len();
+        for node in [u, v] {
+            if node >= n {
+                return Err(GraphError::NodeOutOfRange { node, n });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        match self.adj[u].binary_search(&v) {
+            Ok(_) => return Err(GraphError::DuplicateEdge { u, v }),
+            Err(pos) => self.adj[u].insert(pos, v),
+        }
+        let pos = self.adj[v].binary_search(&u).unwrap_err();
+        self.adj[v].insert(pos, u);
+        self.num_edges += 1;
+        Ok(())
+    }
+
+    /// Removes the edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the edge is absent or an endpoint is out of range.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        let n = self.adj.len();
+        for node in [u, v] {
+            if node >= n {
+                return Err(GraphError::NodeOutOfRange { node, n });
+            }
+        }
+        match self.adj[u].binary_search(&v) {
+            Ok(pos) => {
+                self.adj[u].remove(pos);
+            }
+            Err(_) => return Err(GraphError::MissingEdge { u, v }),
+        }
+        let pos = self.adj[v]
+            .binary_search(&u)
+            .expect("adjacency lists out of sync");
+        self.adj[v].remove(pos);
+        self.num_edges -= 1;
+        Ok(())
+    }
+
+    /// Whether the edge `{u, v}` is present. Out-of-range queries return
+    /// `false`.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj
+            .get(u)
+            .is_some_and(|nbrs| nbrs.binary_search(&v).is_ok())
+    }
+
+    /// The sorted neighbor list of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// The degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The minimum degree `δ(G)`, or `None` for the empty graph.
+    pub fn min_degree(&self) -> Option<usize> {
+        self.adj.iter().map(Vec::len).min()
+    }
+
+    /// The maximum degree `Δ(G)`, or `None` for the empty graph.
+    pub fn max_degree(&self) -> Option<usize> {
+        self.adj.iter().map(Vec::len).max()
+    }
+
+    /// Appends `count` isolated nodes, returning the index of the first new
+    /// node.
+    ///
+    /// This is the `G ∪ W` padding operation from the proof of Lemma 6.2 in
+    /// the paper (extending an instance with an independent set of fresh
+    /// nodes to enlarge the identifier space).
+    pub fn add_isolated_nodes(&mut self, count: usize) -> usize {
+        let first = self.adj.len();
+        self.adj.extend(std::iter::repeat_with(Vec::new).take(count));
+        first
+    }
+
+    /// The subgraph induced by `keep` (duplicates ignored), together with
+    /// the map from new indices to the original ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `keep` is out of range.
+    pub fn induced(&self, keep: &[usize]) -> (Graph, Vec<usize>) {
+        let mut old_of_new: Vec<usize> = keep.to_vec();
+        old_of_new.sort_unstable();
+        old_of_new.dedup();
+        let mut new_of_old = vec![usize::MAX; self.adj.len()];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old] = new;
+        }
+        let mut g = Graph::new(old_of_new.len());
+        for (new_u, &old_u) in old_of_new.iter().enumerate() {
+            for &old_v in &self.adj[old_u] {
+                let new_v = new_of_old[old_v];
+                if new_v != usize::MAX && new_u < new_v {
+                    g.add_edge(new_u, new_v)
+                        .expect("induced subgraph edges are valid");
+                }
+            }
+        }
+        (g, old_of_new)
+    }
+
+    /// Disjoint union `G ⊎ H`; nodes of `other` are shifted by
+    /// `self.node_count()`.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let offset = self.adj.len();
+        let mut g = self.clone();
+        g.adj.extend(
+            other
+                .adj
+                .iter()
+                .map(|nbrs| nbrs.iter().map(|&v| v + offset).collect::<Vec<_>>()),
+        );
+        g.num_edges += other.num_edges;
+        g
+    }
+
+    /// The adjacency matrix packed row-major into a bit vector of `u64`
+    /// words; used by [`crate::canon`] for canonical forms.
+    pub fn adjacency_bits(&self) -> Vec<u64> {
+        let n = self.adj.len();
+        let mut bits = vec![0u64; (n * n).div_ceil(64)];
+        for (u, v) in self.edges() {
+            for (a, b) in [(u, v), (v, u)] {
+                let idx = a * n + b;
+                bits[idx / 64] |= 1 << (idx % 64);
+            }
+        }
+        bits
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph(n={}, m={}, edges={:?})",
+            self.node_count(),
+            self.edge_count(),
+            self.edges().collect::<Vec<_>>()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.min_degree(), None);
+        assert_eq!(g.max_degree(), None);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(4);
+        g.add_edge(2, 0).unwrap();
+        g.add_edge(0, 1).unwrap();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(1, 2));
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        let mut g = Graph::new(3);
+        assert_eq!(g.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 }));
+        assert_eq!(
+            g.add_edge(0, 3),
+            Err(GraphError::NodeOutOfRange { node: 3, n: 3 })
+        );
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        g.remove_edge(1, 0).unwrap();
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(
+            g.remove_edge(0, 1),
+            Err(GraphError::MissingEdge { u: 0, v: 1 })
+        );
+    }
+
+    #[test]
+    fn edges_iterator_is_sorted_and_complete() {
+        let g = Graph::from_edges(4, &[(3, 0), (1, 2), (0, 1)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        // Square 0-1-2-3-0 plus chord 0-2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let (h, map) = g.induced(&[0, 2, 3]);
+        assert_eq!(map, vec![0, 2, 3]);
+        assert_eq!(h.node_count(), 3);
+        // Edges among {0,2,3}: {0,2}, {2,3}, {3,0} -> triangle.
+        assert_eq!(h.edge_count(), 3);
+        assert!(h.has_edge(0, 1) && h.has_edge(1, 2) && h.has_edge(0, 2));
+    }
+
+    #[test]
+    fn induced_ignores_duplicates() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let (h, map) = g.induced(&[1, 0, 1]);
+        assert_eq!(map, vec![0, 1]);
+        assert_eq!(h.edge_count(), 1);
+    }
+
+    #[test]
+    fn disjoint_union_shifts_indices() {
+        let a = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let b = Graph::from_edges(3, &[(0, 2)]).unwrap();
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.node_count(), 5);
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(2, 4));
+        assert!(!u.has_edge(1, 2));
+    }
+
+    #[test]
+    fn isolated_node_padding() {
+        let mut g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let first = g.add_isolated_nodes(3);
+        assert_eq!(first, 2);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn adjacency_bits_symmetry() {
+        let g = Graph::from_edges(3, &[(0, 2)]).unwrap();
+        let bits = g.adjacency_bits();
+        let get = |a: usize, b: usize| bits[(a * 3 + b) / 64] >> ((a * 3 + b) % 64) & 1;
+        assert_eq!(get(0, 2), 1);
+        assert_eq!(get(2, 0), 1);
+        assert_eq!(get(0, 1), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Identifier assignments `Id : V → [N]`, `N = poly(n)` (paper, Section 2.2).
+//!
+//! Identifiers are injective and bounded by a polynomial in the number of
+//! nodes. The bound `N` is known to the nodes (the paper encodes it in the
+//! certificate length); we carry it explicitly so that decoders and the
+//! Lemma 5.2 identifier-remapping machinery can respect the budget.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Default polynomial bound `N = max(8, n^2)` used by convenience
+/// constructors; large enough for the `Δ^r |V(H)|^2 ≤ N` slack required by
+/// Lemma 5.2 in the small instances we realize.
+pub fn default_bound(n: usize) -> u64 {
+    (n as u64 * n as u64).max(8)
+}
+
+/// An injective identifier assignment for a graph on `n` nodes.
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_graph::IdAssignment;
+///
+/// let ids = IdAssignment::canonical(4);
+/// assert_eq!(ids.id(0), 1);
+/// assert_eq!(ids.id(3), 4);
+/// assert!(ids.bound() >= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IdAssignment {
+    ids: Vec<u64>,
+    bound: u64,
+}
+
+impl IdAssignment {
+    /// The canonical assignment `Id(v) = v + 1` with the default bound.
+    pub fn canonical(n: usize) -> Self {
+        IdAssignment {
+            ids: (1..=n as u64).collect(),
+            bound: default_bound(n),
+        }
+    }
+
+    /// Builds an assignment from explicit identifiers.
+    ///
+    /// Returns `None` if the identifiers are not injective, not all in
+    /// `1..=bound`, or `ids` is empty while `bound` is zero.
+    pub fn from_ids(ids: Vec<u64>, bound: u64) -> Option<Self> {
+        let mut seen = ids.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        if seen.len() != ids.len() {
+            return None;
+        }
+        if ids.iter().any(|&i| i == 0 || i > bound) {
+            return None;
+        }
+        Some(IdAssignment { ids, bound })
+    }
+
+    /// A uniformly random injective assignment into `1..=bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound < n as u64`.
+    pub fn random<R: Rng + ?Sized>(n: usize, bound: u64, rng: &mut R) -> Self {
+        assert!(bound >= n as u64, "bound {bound} too small for {n} nodes");
+        // For small bounds sample by shuffling; for large bounds use
+        // rejection sampling.
+        if bound <= 4 * n as u64 {
+            let mut pool: Vec<u64> = (1..=bound).collect();
+            pool.shuffle(rng);
+            pool.truncate(n);
+            IdAssignment { ids: pool, bound }
+        } else {
+            let mut ids = Vec::with_capacity(n);
+            while ids.len() < n {
+                let candidate = rng.random_range(1..=bound);
+                if !ids.contains(&candidate) {
+                    ids.push(candidate);
+                }
+            }
+            IdAssignment { ids, bound }
+        }
+    }
+
+    /// The identifier of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn id(&self, v: usize) -> u64 {
+        self.ids[v]
+    }
+
+    /// The node with identifier `id`, if any.
+    pub fn node_with_id(&self, id: u64) -> Option<usize> {
+        self.ids.iter().position(|&i| i == id)
+    }
+
+    /// The bound `N`; every identifier lies in `1..=N`.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// The number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The identifiers as a slice, indexed by node.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Applies an order-preserving remapping `f` to every identifier,
+    /// keeping the original `bound` unless the image exceeds it, in which
+    /// case the bound is raised to the maximum image value.
+    ///
+    /// This is the primitive behind Lemma 5.2 and Lemma 6.2 of the paper:
+    /// order-invariant decoders are insensitive to such remappings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not strictly increasing on the identifiers present
+    /// (which would merge or reorder nodes).
+    pub fn remap_order_preserving<F: Fn(u64) -> u64>(&self, f: F) -> IdAssignment {
+        let mut pairs: Vec<(u64, u64)> = self.ids.iter().map(|&i| (i, f(i))).collect();
+        pairs.sort_unstable();
+        for w in pairs.windows(2) {
+            assert!(
+                w[0].1 < w[1].1,
+                "remapping is not strictly increasing: {:?} -> {:?}, {:?} -> {:?}",
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+        let ids: Vec<u64> = self.ids.iter().map(|&i| f(i)).collect();
+        let bound = self.bound.max(ids.iter().copied().max().unwrap_or(0));
+        IdAssignment { ids, bound }
+    }
+
+    /// Restricts to the nodes listed in `old_of_new` (the map returned by
+    /// [`crate::Graph::induced`]).
+    pub fn restrict(&self, old_of_new: &[usize]) -> IdAssignment {
+        IdAssignment {
+            ids: old_of_new.iter().map(|&v| self.ids[v]).collect(),
+            bound: self.bound,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn canonical_ids() {
+        let ids = IdAssignment::canonical(5);
+        assert_eq!(ids.as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(ids.node_with_id(3), Some(2));
+        assert_eq!(ids.node_with_id(99), None);
+    }
+
+    #[test]
+    fn from_ids_validation() {
+        assert!(IdAssignment::from_ids(vec![2, 5, 1], 8).is_some());
+        assert!(IdAssignment::from_ids(vec![2, 2, 1], 8).is_none(), "duplicate");
+        assert!(IdAssignment::from_ids(vec![0, 1], 8).is_none(), "zero id");
+        assert!(IdAssignment::from_ids(vec![9, 1], 8).is_none(), "above bound");
+    }
+
+    #[test]
+    fn random_is_injective_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for bound in [10u64, 1000u64] {
+            let ids = IdAssignment::random(10, bound, &mut rng);
+            let mut sorted = ids.as_slice().to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10);
+            assert!(sorted.iter().all(|&i| (1..=bound).contains(&i)));
+        }
+    }
+
+    #[test]
+    fn remap_preserves_order() {
+        let ids = IdAssignment::from_ids(vec![3, 1, 7], 8).unwrap();
+        let remapped = ids.remap_order_preserving(|i| i * 10);
+        assert_eq!(remapped.as_slice(), &[30, 10, 70]);
+        assert_eq!(remapped.bound(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly increasing")]
+    fn remap_rejects_collisions() {
+        let ids = IdAssignment::from_ids(vec![3, 1, 7], 8).unwrap();
+        let _ = ids.remap_order_preserving(|_| 5);
+    }
+
+    #[test]
+    fn restrict_follows_node_map() {
+        let ids = IdAssignment::from_ids(vec![4, 2, 6, 8], 10).unwrap();
+        let sub = ids.restrict(&[2, 0]);
+        assert_eq!(sub.as_slice(), &[6, 4]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Graph substrate for the `hiding-lcp` workspace.
+//!
+//! This crate implements, from scratch, everything the paper
+//! *"Strong and Hiding Distributed Certification of k-Coloring"*
+//! (Modanese, Montealegre, Ríos-Wilson; PODC 2025) assumes about graphs:
+//!
+//! * simple undirected [`Graph`]s with adjacency queries, induced subgraphs
+//!   and disjoint unions ([`graph`]);
+//! * *port assignments* `prt : V × E → [Δ]` exactly as in Section 2.2 of the
+//!   paper ([`ports`]);
+//! * *identifier assignments* `Id : V → [N]` with `N = poly(n)` ([`ids`]);
+//! * generators for every graph family the paper evaluates on — paths,
+//!   cycles, stars, grids, tori, trees, watermelon graphs, pendant
+//!   (min-degree-1) graphs, theta graphs and exhaustive small-graph
+//!   enumeration ([`generators`]);
+//! * classic graph algorithms: BFS distances, connected components,
+//!   bipartiteness with odd-cycle certificates, exact k-coloring, diameter,
+//!   girth, non-backtracking walks ([`algo`]);
+//! * recognizers for the paper's graph classes: minimum degree one, even
+//!   cycles, *r-forgetful* graphs (Section 1.3), graphs with a *shatter
+//!   point* (Section 7.1) and *watermelon* graphs (Section 7.2)
+//!   ([`classes`]);
+//! * canonical forms / isomorphism testing for small graphs ([`canon`]) and
+//!   Graphviz export ([`dot`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hiding_lcp_graph::generators;
+//! use hiding_lcp_graph::algo::bipartite;
+//!
+//! let c6 = generators::cycle(6);
+//! assert!(bipartite::bipartition(&c6).is_ok());
+//! let c5 = generators::cycle(5);
+//! assert!(bipartite::bipartition(&c5).is_err());
+//! ```
+
+pub mod algo;
+pub mod canon;
+pub mod classes;
+pub mod dot;
+pub mod generators;
+pub mod graph;
+pub mod ids;
+pub mod ports;
+
+pub use graph::{Graph, GraphError};
+pub use ids::IdAssignment;
+pub use ports::PortAssignment;

@@ -1,0 +1,315 @@
+//! Port assignments `prt : V × E → [Δ(G)]` (paper, Section 2.2).
+//!
+//! A port assignment gives every node a private numbering `1..=d(v)` of its
+//! incident edges. One-round LCPs such as the even-cycle construction of
+//! Lemma 4.2 certify *edges* by naming the pair of ports
+//! `prt(u, e) prt(v, e)` that identifies the edge at both of its endpoints.
+
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A port assignment for a fixed graph.
+///
+/// Internally, `order[v]` lists the neighbors of `v`; the neighbor stored at
+/// position `p - 1` is reached through port `p`.
+///
+/// # Example
+///
+/// ```
+/// use hiding_lcp_graph::{generators, PortAssignment};
+///
+/// let c4 = generators::cycle(4);
+/// let prt = PortAssignment::canonical(&c4);
+/// // Node 0 of a cycle has neighbors 1 and 3; canonical ports number them
+/// // in sorted order.
+/// assert_eq!(prt.neighbor_at(0, 1), 1);
+/// assert_eq!(prt.neighbor_at(0, 2), 3);
+/// assert_eq!(prt.port_to(0, 3), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PortAssignment {
+    order: Vec<Vec<usize>>,
+}
+
+impl PortAssignment {
+    /// The canonical port assignment: each node numbers its neighbors in
+    /// increasing order of node index.
+    pub fn canonical(g: &Graph) -> Self {
+        PortAssignment {
+            order: g.nodes().map(|v| g.neighbors(v).to_vec()).collect(),
+        }
+    }
+
+    /// A uniformly random port assignment.
+    pub fn random<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Self {
+        let mut order: Vec<Vec<usize>> = g.nodes().map(|v| g.neighbors(v).to_vec()).collect();
+        for nbrs in &mut order {
+            nbrs.shuffle(rng);
+        }
+        PortAssignment { order }
+    }
+
+    /// Builds a port assignment from explicit per-node neighbor orderings.
+    ///
+    /// Returns `None` if `order` is not a valid port assignment for `g`
+    /// (wrong arity, unknown neighbor, or repeated neighbor).
+    pub fn from_order(g: &Graph, order: Vec<Vec<usize>>) -> Option<Self> {
+        if order.len() != g.node_count() {
+            return None;
+        }
+        for v in g.nodes() {
+            if order[v].len() != g.degree(v) {
+                return None;
+            }
+            let mut seen = order[v].clone();
+            seen.sort_unstable();
+            if seen != g.neighbors(v) {
+                return None;
+            }
+        }
+        Some(PortAssignment { order })
+    }
+
+    /// The number of nodes this assignment covers.
+    pub fn node_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// The neighbor of `v` reached through port `p` (ports are 1-based, as
+    /// in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `p` is not in `1..=d(v)`.
+    pub fn neighbor_at(&self, v: usize, p: u16) -> usize {
+        self.order[v][usize::from(p) - 1]
+    }
+
+    /// The port through which `v` reaches its neighbor `u`, i.e.
+    /// `prt(v, {v, u})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not a neighbor of `v`.
+    pub fn port_to(&self, v: usize, u: usize) -> u16 {
+        let pos = self.order[v]
+            .iter()
+            .position(|&w| w == u)
+            .unwrap_or_else(|| panic!("{u} is not a neighbor of {v}"));
+        u16::try_from(pos + 1).expect("degrees fit in u16")
+    }
+
+    /// The degree of `v` according to this assignment.
+    pub fn degree(&self, v: usize) -> usize {
+        self.order[v].len()
+    }
+
+    /// Checks validity against `g`: ports `1..=d(v)` are a bijection onto
+    /// the neighbors of `v` (conditions (1) and (2) of Section 2.2).
+    pub fn is_valid_for(&self, g: &Graph) -> bool {
+        Self::from_order(g, self.order.clone()).is_some()
+    }
+
+    /// Restricts the assignment to an induced subgraph described by
+    /// `old_of_new` (the map returned by [`Graph::induced`]), dropping ports
+    /// of edges that leave the subgraph and renumbering the surviving ports
+    /// `1..` in their original relative order.
+    ///
+    /// This implements `prt|_{N^r(v)}` for view construction: the *relative*
+    /// order of surviving ports is preserved, which is all a view can
+    /// canonically rely on.
+    pub fn restrict(&self, sub: &Graph, old_of_new: &[usize]) -> PortAssignment {
+        let mut new_of_old = vec![usize::MAX; self.order.len()];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            new_of_old[old] = new;
+        }
+        let order = old_of_new
+            .iter()
+            .enumerate()
+            .map(|(new_v, &old_v)| {
+                self.order[old_v]
+                    .iter()
+                    .map(|&old_u| new_of_old[old_u])
+                    .filter(|&new_u| new_u != usize::MAX && sub.has_edge(new_v, new_u))
+                    .collect()
+            })
+            .collect();
+        PortAssignment { order }
+    }
+}
+
+/// All port assignments of `g` — the full quantifier of the paper's
+/// Lemma 3.1. There are `∏_v d(v)!` of them.
+///
+/// # Panics
+///
+/// Panics if the count would exceed `limit` (guard against accidental
+/// explosions; pass `usize::MAX` to disable).
+pub fn all_port_assignments(g: &Graph, limit: usize) -> Vec<PortAssignment> {
+    let mut count: usize = 1;
+    for v in g.nodes() {
+        let fact: usize = (1..=g.degree(v)).product();
+        count = count.saturating_mul(fact);
+        assert!(
+            count <= limit,
+            "graph admits more than {limit} port assignments"
+        );
+    }
+    // Per-node permutations, combined by odometer.
+    let per_node: Vec<Vec<Vec<usize>>> = g
+        .nodes()
+        .map(|v| permutations(g.neighbors(v)))
+        .collect();
+    let mut indices = vec![0usize; g.node_count()];
+    let mut out = Vec::with_capacity(count);
+    loop {
+        let order: Vec<Vec<usize>> = indices
+            .iter()
+            .enumerate()
+            .map(|(v, &i)| per_node[v][i].clone())
+            .collect();
+        out.push(PortAssignment { order });
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            if pos == indices.len() {
+                return out;
+            }
+            indices[pos] += 1;
+            if indices[pos] < per_node[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// The rotation-symmetric port assignment of the cycle `0-1-…-(n-1)-0`:
+/// every node reaches its successor through port 1 and its predecessor
+/// through port 2. Useful for building the paper's symmetric cycle
+/// instances (Fig. 5).
+///
+/// # Panics
+///
+/// Panics if `g` is not the canonical cycle produced by
+/// [`crate::generators::cycle`].
+pub fn cycle_symmetric(g: &Graph) -> PortAssignment {
+    let n = g.node_count();
+    assert!(n >= 3 && g.edge_count() == n, "expects a canonical cycle");
+    let order: Vec<Vec<usize>> = (0..n).map(|v| vec![(v + 1) % n, (v + n - 1) % n]).collect();
+    PortAssignment::from_order(g, order).expect("canonical cycle adjacency")
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, x);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_assignments_counts() {
+        assert_eq!(all_port_assignments(&generators::path(3), 100).len(), 2);
+        assert_eq!(all_port_assignments(&generators::cycle(4), 100).len(), 16);
+        assert_eq!(all_port_assignments(&generators::star(3), 100).len(), 6);
+        // All distinct and valid.
+        let g = generators::cycle(4);
+        let all = all_port_assignments(&g, 100);
+        for p in &all {
+            assert!(p.is_valid_for(&g));
+        }
+        let mut dedup = all.clone();
+        dedup.sort_by_key(|p| format!("{p:?}"));
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than")]
+    fn all_assignments_guard() {
+        let _ = all_port_assignments(&generators::complete(5), 100);
+    }
+
+    #[test]
+    fn symmetric_cycle_ports() {
+        let g = generators::cycle(5);
+        let prt = cycle_symmetric(&g);
+        assert!(prt.is_valid_for(&g));
+        for v in 0..5 {
+            assert_eq!(prt.neighbor_at(v, 1), (v + 1) % 5);
+            assert_eq!(prt.neighbor_at(v, 2), (v + 4) % 5);
+        }
+    }
+
+    #[test]
+    fn canonical_is_valid() {
+        let g = generators::complete(5);
+        let prt = PortAssignment::canonical(&g);
+        assert!(prt.is_valid_for(&g));
+        for v in g.nodes() {
+            for p in 1..=g.degree(v) as u16 {
+                let u = prt.neighbor_at(v, p);
+                assert_eq!(prt.port_to(v, u), p);
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_valid_and_varies() {
+        let g = generators::complete(6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = PortAssignment::random(&g, &mut rng);
+        let b = PortAssignment::random(&g, &mut rng);
+        assert!(a.is_valid_for(&g));
+        assert!(b.is_valid_for(&g));
+        assert_ne!(a, b, "two random assignments on K6 should differ");
+    }
+
+    #[test]
+    fn from_order_rejects_bad_assignments() {
+        let g = generators::path(3); // edges 0-1, 1-2
+        assert!(PortAssignment::from_order(&g, vec![vec![1], vec![0, 2], vec![1]]).is_some());
+        // Wrong arity at node 1.
+        assert!(PortAssignment::from_order(&g, vec![vec![1], vec![0], vec![1]]).is_none());
+        // Repeated neighbor.
+        assert!(PortAssignment::from_order(&g, vec![vec![1], vec![0, 0], vec![1]]).is_none());
+        // Not a neighbor.
+        assert!(PortAssignment::from_order(&g, vec![vec![2], vec![0, 2], vec![1]]).is_none());
+        // Wrong length.
+        assert!(PortAssignment::from_order(&g, vec![vec![1], vec![0, 2]]).is_none());
+    }
+
+    #[test]
+    fn restrict_preserves_relative_order() {
+        // Star with center 0 and leaves 1..=3; ports at 0 reversed: 3, 2, 1.
+        let g = generators::star(3);
+        let prt =
+            PortAssignment::from_order(&g, vec![vec![3, 2, 1], vec![0], vec![0], vec![0]]).unwrap();
+        // Keep center plus leaves 1 and 3.
+        let (sub, map) = g.induced(&[0, 1, 3]);
+        let sub_prt = prt.restrict(&sub, &map);
+        assert!(sub_prt.is_valid_for(&sub));
+        // Surviving neighbors of the center in original port order: 3 then 1.
+        let new_of = |old: usize| map.iter().position(|&o| o == old).unwrap();
+        assert_eq!(sub_prt.neighbor_at(new_of(0), 1), new_of(3));
+        assert_eq!(sub_prt.neighbor_at(new_of(0), 2), new_of(1));
+    }
+}

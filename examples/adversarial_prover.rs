@@ -1,0 +1,143 @@
+//! Adversarial prover campaign: attack every LCP in the workspace with
+//! structured and random forgeries on no-instances and verify that the
+//! accepting set always stays 2-colorable (strong soundness,
+//! Sections 2.3/2.5 of the paper).
+//!
+//! ```text
+//! cargo run --release --example adversarial_prover
+//! ```
+
+use hiding_lcp::certs::{degree_one, even_cycle, shatter, union, watermelon};
+use hiding_lcp::core::decoder::Decoder;
+use hiding_lcp::core::instance::Instance;
+use hiding_lcp::core::label::{Certificate, Labeling};
+use hiding_lcp::core::language::KCol;
+use hiding_lcp::core::properties::strong;
+use hiding_lcp::graph::generators;
+use hiding_lcp::graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn no_instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("C3", generators::cycle(3)),
+        ("C5", generators::cycle(5)),
+        ("C7", generators::cycle(7)),
+        ("K4", generators::complete(4)),
+        ("Petersen", generators::petersen()),
+        ("C5 + pendant tail", generators::pendant_path(5, 2)),
+        ("odd watermelon", generators::watermelon(&[2, 3, 4])),
+        ("C3 ⊎ P4", generators::cycle(3).disjoint_union(&generators::path(4))),
+    ]
+}
+
+fn campaign<D: Decoder>(
+    decoder: &D,
+    structured: impl Fn(&Instance) -> Vec<Labeling>,
+    alphabet: &[Certificate],
+    samples: usize,
+) {
+    let two_col = KCol::new(2);
+    let mut rng = StdRng::seed_from_u64(2025);
+    let mut structured_total = 0usize;
+    let mut random_total = 0usize;
+    for (name, g) in no_instances() {
+        let inst = Instance::canonical(g);
+        for labeling in structured(&inst) {
+            structured_total += 1;
+            if let Err(violation) = strong::strong_holds_for(decoder, &two_col, &inst, &labeling)
+            {
+                panic!(
+                    "{}: STRONG SOUNDNESS VIOLATED on {name}: accepting set {:?}",
+                    decoder.name(),
+                    violation.accepting
+                );
+            }
+        }
+        if !alphabet.is_empty() {
+            strong::check_strong_random(decoder, &two_col, &inst, alphabet, samples, &mut rng)
+                .unwrap_or_else(|v| {
+                    panic!(
+                        "{}: STRONG SOUNDNESS VIOLATED on {name}: accepting set {:?}",
+                        decoder.name(),
+                        v.accepting
+                    )
+                });
+            random_total += samples;
+        }
+    }
+    println!(
+        "{:<40} {:>6} structured + {:>6} random forgeries: all safe",
+        decoder.name(),
+        structured_total,
+        random_total
+    );
+}
+
+fn main() {
+    println!("strong-soundness campaign over {} no-instances\n", no_instances().len());
+
+    campaign(
+        &degree_one::DegreeOneDecoder,
+        |inst| {
+            // Grafted honest labelings from donor instances.
+            hiding_lcp::certs::adversary::battery(
+                &degree_one::DegreeOneProver,
+                inst,
+                &[
+                    Instance::canonical(generators::path(6)),
+                    Instance::canonical(generators::star(4)),
+                ],
+                &degree_one::adversary_alphabet(),
+            )
+        },
+        &degree_one::adversary_alphabet(),
+        3_000,
+    );
+
+    campaign(
+        &even_cycle::EvenCycleDecoder,
+        |inst| {
+            hiding_lcp::certs::adversary::battery(
+                &even_cycle::EvenCycleProver,
+                inst,
+                &[Instance::canonical(generators::cycle(6))],
+                &even_cycle::adversary_alphabet(),
+            )
+        },
+        &even_cycle::adversary_alphabet(),
+        3_000,
+    );
+
+    campaign(
+        &union::UnionDecoder,
+        |inst| {
+            hiding_lcp::certs::adversary::battery(
+                &union::UnionProver,
+                inst,
+                &[Instance::canonical(
+                    generators::path(4).disjoint_union(&generators::cycle(4)),
+                )],
+                &union::adversary_alphabet(),
+            )
+        },
+        &union::adversary_alphabet(),
+        2_000,
+    );
+
+    campaign(
+        &shatter::ShatterDecoder,
+        shatter::adversary_labelings,
+        &[],
+        0,
+    );
+
+    campaign(
+        &watermelon::WatermelonDecoder,
+        watermelon::adversary_labelings,
+        &[],
+        0,
+    );
+
+    println!("\nadversarial campaign: OK");
+}

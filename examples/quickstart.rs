@@ -1,0 +1,57 @@
+//! Quickstart: certify 2-colorability of a tree while *hiding* the
+//! coloring at a leaf (Lemma 4.1), then watch the decoder shoot down a
+//! forgery.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hiding_lcp::certs::degree_one::{adversary_alphabet, DegreeOneDecoder, DegreeOneProver};
+use hiding_lcp::core::decoder::run;
+use hiding_lcp::core::instance::Instance;
+use hiding_lcp::core::language::KCol;
+use hiding_lcp::core::properties::strong;
+use hiding_lcp::core::prover::Prover;
+use hiding_lcp::graph::generators;
+
+fn main() {
+    // 1. An instance: a binary tree with ports and identifiers.
+    let tree = generators::balanced_tree(2, 3);
+    println!(
+        "instance: balanced binary tree, n = {}, m = {}",
+        tree.node_count(),
+        tree.edge_count()
+    );
+    let instance = Instance::canonical(tree);
+
+    // 2. The prover hands out certificates from {0, 1, ⊥, ⊤}: a proper
+    //    2-coloring everywhere except one pendant node.
+    let labeling = DegreeOneProver
+        .certify(&instance)
+        .expect("trees have minimum degree one and are bipartite");
+    println!(
+        "prover: {} ({} bits per certificate)",
+        DegreeOneProver.name(),
+        labeling.max_bits()
+    );
+
+    // 3. Every node runs the one-round verifier on its local view.
+    let li = instance.clone().with_labeling(labeling);
+    let verdicts = run(&DegreeOneDecoder, &li);
+    let accepted = verdicts.iter().filter(|v| v.is_accept()).count();
+    println!("verdicts: {accepted}/{} accept", verdicts.len());
+    assert!(verdicts.iter().all(|v| v.is_accept()));
+
+    // 4. A malicious prover cannot sneak an odd cycle past the verifier:
+    //    on ANY graph, the accepting set induces a bipartite subgraph
+    //    (strong soundness). Try a pendant odd cycle with every labeling
+    //    over the four-letter alphabet.
+    let trap = Instance::canonical(generators::pendant_path(3, 1));
+    let two_col = KCol::new(2);
+    let checked =
+        strong::check_strong_exhaustive(&DegreeOneDecoder, &two_col, &trap, &adversary_alphabet())
+            .expect("strong soundness holds");
+    println!("strong soundness: {checked} adversarial labelings on C3+tail, all safe");
+
+    println!("quickstart: OK");
+}

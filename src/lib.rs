@@ -1,0 +1,45 @@
+//! `hiding-lcp`: a Rust reproduction of *"Strong and Hiding Distributed
+//! Certification of k-Coloring"* (Modanese, Montealegre, Ríos-Wilson;
+//! PODC 2025).
+//!
+//! This facade crate re-exports the three workspace layers:
+//!
+//! * [`graph`] — the graph substrate: simple graphs, port and identifier
+//!   assignments, generators, algorithms, and the paper's graph-class
+//!   recognizers (r-forgetful, shatter points, watermelons, …);
+//! * [`core`] — the LCP framework: views, decoders, provers, property
+//!   checkers, the accepting neighborhood graph `V(D, n)`, the Lemma 3.2
+//!   extraction decoder, the Section 5 realizability machinery, the
+//!   Section 6 Ramsey reduction, and the Theorem 1.2/1.5 lower-bound
+//!   drivers;
+//! * [`certs`] — the paper's concrete LCPs (Lemmas 4.1/4.2, Theorems
+//!   1.1/1.3/1.4), the revealing baseline, and the cheating
+//!   edge-3-coloring decoder.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hiding_lcp::certs::degree_one::{DegreeOneDecoder, DegreeOneProver};
+//! use hiding_lcp::core::decoder::accepts_all;
+//! use hiding_lcp::core::instance::Instance;
+//! use hiding_lcp::core::prover::Prover;
+//! use hiding_lcp::graph::generators;
+//!
+//! // Certify 2-colorability of a tree while hiding the coloring at a leaf.
+//! let instance = Instance::canonical(generators::balanced_tree(2, 3));
+//! let labeling = DegreeOneProver.certify(&instance).expect("trees are in H1");
+//! assert!(accepts_all(&DegreeOneDecoder, &instance.with_labeling(labeling)));
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! paper-to-module inventory, and `EXPERIMENTS.md` for the regenerated
+//! results. The `repro` binary prints every experiment:
+//!
+//! ```text
+//! cargo run --release --bin repro          # all experiments
+//! cargo run --release --bin repro -- E2    # one experiment
+//! ```
+
+pub use hiding_lcp_certs as certs;
+pub use hiding_lcp_core as core;
+pub use hiding_lcp_graph as graph;

@@ -1,0 +1,104 @@
+//! The LCL problem Π (Section 1) end to end with the paper's real LCPs:
+//! solvable on arbitrary inputs thanks to strong soundness; unsolvable by
+//! view-based rules against the even-cycle scheme (the self-loop defeat).
+
+use hiding_lcp::certs::{degree_one, even_cycle};
+use hiding_lcp::core::instance::Instance;
+use hiding_lcp::core::lcl::{view_rule_counterexample, PiProblem};
+use hiding_lcp::core::prover::{random_labeling, Prover};
+use hiding_lcp::core::view::IdMode;
+use hiding_lcp::graph::generators;
+use hiding_lcp_bench as workloads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn pi_is_solvable_with_degree_one_certificates_on_anything() {
+    let pi = PiProblem::new(degree_one::DegreeOneDecoder);
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut solved = 0;
+    let graphs = [
+        generators::path(12),
+        generators::cycle(9),
+        generators::petersen(),
+        generators::complete(5),
+        generators::pendant_path(7, 3),
+        generators::watermelon(&[2, 3, 4]),
+    ];
+    for g in graphs {
+        let inst = Instance::canonical(g);
+        // Honest certificates where possible, junk everywhere.
+        let candidates: Vec<_> = std::iter::once(
+            degree_one::DegreeOneProver
+                .certify(&inst)
+                .unwrap_or_else(|| {
+                    random_labeling(
+                        inst.graph().node_count(),
+                        &degree_one::adversary_alphabet(),
+                        &mut rng,
+                    )
+                }),
+        )
+        .chain((0..20).map(|_| {
+            random_labeling(
+                inst.graph().node_count(),
+                &degree_one::adversary_alphabet(),
+                &mut rng,
+            )
+        }))
+        .collect();
+        for labeling in candidates {
+            let li = inst.clone().with_labeling(labeling);
+            let outputs = pi.solve_by_bipartition(&li).expect("strong soundness");
+            assert!(pi.is_valid_output(&li, &outputs));
+            solved += 1;
+        }
+    }
+    assert_eq!(solved, 6 * 21);
+}
+
+#[test]
+fn pi_with_even_cycle_certificates_defeats_view_rules() {
+    // The even-cycle scheme's witness universe has a self-loop: a pair of
+    // adjacent accepting nodes with identical views. Any fixed function
+    // from views to colors ties them — demonstrated by actually running
+    // three candidate "rules".
+    let nbhd = workloads::even_cycle_nbhd();
+    let (idx, (u, v)) = view_rule_counterexample(&nbhd).expect("self-loop exists");
+    let li = &nbhd.instances()[idx];
+    assert!(li.graph().has_edge(u, v));
+    let pi = PiProblem::new(even_cycle::EvenCycleDecoder);
+
+    // Rule 1: hash the view's debug string. Rule 2: first color byte seen.
+    // Rule 3: constant. All are view functions; all must fail at {u, v}.
+    type Rule = Box<dyn Fn(&hiding_lcp::core::view::View) -> usize>;
+    let rules: Vec<Rule> = vec![
+        Box::new(|view| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            view.hash(&mut h);
+            (h.finish() % 3) as usize
+        }),
+        Box::new(|view| usize::from(view.center_label().bytes().first().copied().unwrap_or(0)) % 3),
+        Box::new(|_| 0),
+    ];
+    for (ri, rule) in rules.iter().enumerate() {
+        let outputs: Vec<usize> = li
+            .graph()
+            .nodes()
+            .map(|w| rule(&li.view(w, 1, IdMode::Anonymous)))
+            .collect();
+        assert_eq!(
+            outputs[u], outputs[v],
+            "rule {ri}: identical views force identical colors"
+        );
+        assert!(
+            !pi.is_valid_output(li, &outputs),
+            "rule {ri} must fail Π on the witness instance"
+        );
+    }
+
+    // The non-local solver succeeds on the very same instance.
+    let outputs = pi.solve_by_bipartition(li).expect("strongly sound");
+    assert!(pi.is_valid_output(li, &outputs));
+}

@@ -1,0 +1,344 @@
+//! Property-based tests (proptest) over randomly generated graphs,
+//! labelings and assignments, spanning all three crates.
+
+use hiding_lcp::certs::{degree_one, even_cycle, revealing, shatter, watermelon};
+use hiding_lcp::core::decoder::{accepts_all, run, Decoder};
+use hiding_lcp::core::instance::Instance;
+use hiding_lcp::core::label::Labeling;
+use hiding_lcp::core::language::KCol;
+use hiding_lcp::core::properties::strong;
+use hiding_lcp::core::prover::{random_labeling, Prover};
+use hiding_lcp::core::view::IdMode;
+use hiding_lcp::graph::algo::{bipartite, coloring};
+use hiding_lcp::graph::{generators, Graph, IdAssignment};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random connected-ish graph from a seed: a random tree plus a few
+/// random extra edges.
+fn seeded_graph(seed: u64, n: usize, extra: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = generators::random_tree(n, &mut rng);
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < extra && attempts < 50 {
+        attempts += 1;
+        let u = rand::Rng::random_range(&mut rng, 0..n);
+        let v = rand::Rng::random_range(&mut rng, 0..n);
+        if u != v && !g.has_edge(u, v) {
+            g.add_edge(u, v).unwrap();
+            added += 1;
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bipartiteness ⟺ 2-colorability ⟺ no odd-cycle certificate.
+    #[test]
+    fn bipartite_iff_two_colorable(seed in 0u64..5_000, n in 2usize..14, extra in 0usize..5) {
+        let g = seeded_graph(seed, n, extra);
+        let bip = bipartite::bipartition(&g);
+        prop_assert_eq!(bip.is_ok(), coloring::is_k_colorable(&g, 2));
+        match bip {
+            Ok(sides) => {
+                for (u, v) in g.edges() {
+                    prop_assert_ne!(sides[u], sides[v]);
+                }
+            }
+            Err(cycle) => {
+                prop_assert_eq!(cycle.len() % 2, 1);
+                for i in 0..cycle.len() {
+                    prop_assert!(g.has_edge(cycle[i], cycle[(i + 1) % cycle.len()]));
+                }
+            }
+        }
+    }
+
+    /// Anonymous views are invariant under identifier permutations.
+    #[test]
+    fn anonymous_views_ignore_ids(seed in 0u64..5_000, n in 2usize..10) {
+        let g = seeded_graph(seed, n, 2);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let a = Instance::random(g.clone(), &mut rng);
+        let b = Instance::new(
+            g.clone(),
+            a.ports().clone(),
+            IdAssignment::random(n, 4 * n as u64 + 8, &mut rng),
+        ).unwrap();
+        let labeling = random_labeling(
+            n,
+            &degree_one::adversary_alphabet(),
+            &mut rng,
+        );
+        for v in g.nodes() {
+            prop_assert_eq!(
+                a.view(&labeling, v, 1, IdMode::Anonymous),
+                b.view(&labeling, v, 1, IdMode::Anonymous)
+            );
+        }
+    }
+
+    /// Order-only views are invariant under order-preserving remappings.
+    #[test]
+    fn order_views_respect_order(seed in 0u64..5_000, n in 2usize..10, r in 1usize..3) {
+        let g = seeded_graph(seed, n, 2);
+        let inst = Instance::canonical(g.clone());
+        let stretched = inst
+            .replace_ids(inst.ids().remap_order_preserving(|i| i * 7 + 3))
+            .unwrap();
+        let labeling = Labeling::empty(n);
+        for v in g.nodes() {
+            prop_assert_eq!(
+                inst.view(&labeling, v, r, IdMode::OrderOnly),
+                stretched.view(&labeling, v, r, IdMode::OrderOnly)
+            );
+        }
+    }
+
+    /// The revealing prover's output is always unanimously accepted on
+    /// bipartite graphs, and the decoder's accepting set is always
+    /// 2-colorable under random labels — on ANY graph.
+    #[test]
+    fn revealing_lcp_invariants(seed in 0u64..5_000, n in 2usize..12, extra in 0usize..4) {
+        let g = seeded_graph(seed, n, extra);
+        let inst = Instance::canonical(g.clone());
+        let decoder = revealing::RevealingDecoder::new(2);
+        if let Some(labeling) = revealing::RevealingProver::new(2).certify(&inst) {
+            prop_assert!(bipartite::is_bipartite(&g));
+            prop_assert!(accepts_all(&decoder, &inst.clone().with_labeling(labeling)));
+        } else {
+            prop_assert!(!bipartite::is_bipartite(&g));
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let two_col = KCol::new(2);
+        let labeling = random_labeling(n, &revealing::adversary_alphabet(2), &mut rng);
+        prop_assert!(strong::strong_holds_for(&decoder, &two_col, &inst, &labeling).is_ok());
+    }
+
+    /// Degree-one LCP: prover accepted on every bipartite min-degree-one
+    /// graph; strong soundness under random 4-letter labels on any graph.
+    #[test]
+    fn degree_one_invariants(seed in 0u64..5_000, n in 2usize..12, extra in 0usize..4) {
+        let g = seeded_graph(seed, n, extra);
+        let inst = Instance::canonical(g.clone());
+        match degree_one::DegreeOneProver.certify(&inst) {
+            Some(labeling) => {
+                prop_assert!(bipartite::is_bipartite(&g));
+                prop_assert!(g.min_degree() == Some(1));
+                prop_assert!(accepts_all(
+                    &degree_one::DegreeOneDecoder,
+                    &inst.clone().with_labeling(labeling)
+                ));
+            }
+            None => prop_assert!(
+                !bipartite::is_bipartite(&g) || g.min_degree() != Some(1)
+            ),
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x99);
+        let two_col = KCol::new(2);
+        for _ in 0..8 {
+            let labeling = random_labeling(n, &degree_one::adversary_alphabet(), &mut rng);
+            prop_assert!(strong::strong_holds_for(
+                &degree_one::DegreeOneDecoder, &two_col, &inst, &labeling
+            ).is_ok());
+        }
+    }
+
+    /// Even-cycle LCP under arbitrary ports: complete on even cycles,
+    /// rejecting somewhere on odd cycles even for honest-looking labels.
+    #[test]
+    fn even_cycle_invariants(n in 3usize..16, seed in 0u64..5_000) {
+        let g = generators::cycle(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = Instance::random(g, &mut rng);
+        match even_cycle::EvenCycleProver.certify(&inst) {
+            Some(labeling) => {
+                prop_assert_eq!(n % 2, 0);
+                prop_assert!(accepts_all(
+                    &even_cycle::EvenCycleDecoder,
+                    &inst.clone().with_labeling(labeling)
+                ));
+            }
+            None => prop_assert_eq!(n % 2, 1),
+        }
+        let two_col = KCol::new(2);
+        for _ in 0..8 {
+            let labeling =
+                random_labeling(n, &even_cycle::adversary_alphabet(), &mut rng);
+            prop_assert!(strong::strong_holds_for(
+                &even_cycle::EvenCycleDecoder, &two_col, &inst, &labeling
+            ).is_ok());
+        }
+    }
+
+    /// Watermelon LCP: the prover accepts exactly the uniform-parity
+    /// profiles, and honest certificates verify under random ports/ids.
+    #[test]
+    fn watermelon_invariants(
+        profile in proptest::collection::vec(2usize..6, 1..5),
+        seed in 0u64..5_000,
+    ) {
+        let g = generators::watermelon(&profile);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = Instance::random(g, &mut rng);
+        let uniform_parity = profile.windows(2).all(|w| w[0] % 2 == w[1] % 2);
+        match watermelon::WatermelonProver.certify(&inst) {
+            Some(labeling) => {
+                prop_assert!(uniform_parity);
+                prop_assert!(accepts_all(
+                    &watermelon::WatermelonDecoder,
+                    &inst.with_labeling(labeling)
+                ));
+            }
+            None => prop_assert!(!uniform_parity),
+        }
+    }
+
+    /// Shatter LCP: honest certificates verify on caterpillars of any
+    /// shape under random identifiers.
+    #[test]
+    fn shatter_invariants(spine in 5usize..10, legs in 0usize..3, seed in 0u64..5_000) {
+        let g = generators::caterpillar(spine, legs);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = Instance::random(g, &mut rng);
+        let labeling = shatter::ShatterProver
+            .certify(&inst)
+            .expect("caterpillars with spine >= 5 shatter");
+        prop_assert!(accepts_all(&shatter::ShatterDecoder, &inst.with_labeling(labeling)));
+    }
+
+    /// Decoder verdicts agree between a decoder and itself run through a
+    /// trait object (exercises the blanket impls).
+    #[test]
+    fn trait_object_transparency(seed in 0u64..5_000, n in 2usize..8) {
+        let g = seeded_graph(seed, n, 1);
+        let inst = Instance::canonical(g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labeling = random_labeling(n, &degree_one::adversary_alphabet(), &mut rng);
+        let li = inst.with_labeling(labeling);
+        let boxed: Box<dyn Decoder> = Box::new(degree_one::DegreeOneDecoder);
+        prop_assert_eq!(run(&degree_one::DegreeOneDecoder, &li), run(&boxed, &li));
+    }
+}
+
+/// Caterpillars with spine ≥ 5 indeed always have a shatter point (used
+/// by the proptest above) — spine 4 with no legs is P4, which does not.
+#[test]
+fn caterpillar_shatter_sanity() {
+    assert!(hiding_lcp::graph::classes::shatter::shatter_points(
+        &generators::caterpillar(4, 0)
+    )
+    .is_empty());
+    for spine in 5..10 {
+        for legs in 0..3 {
+            let g = generators::caterpillar(spine, legs);
+            assert!(
+                !hiding_lcp::graph::classes::shatter::shatter_points(&g).is_empty(),
+                "spine={spine} legs={legs}"
+            );
+        }
+    }
+}
+
+/// Random port assignments never change an anonymous decoder's acceptance
+/// of prover-labeled even cycles (the labels embed the ports).
+#[test]
+fn even_cycle_all_ports_consistency() {
+    let g = generators::cycle(6);
+    for ports in hiding_lcp::graph::ports::all_port_assignments(&g, 100) {
+        let inst = Instance::new(g.clone(), ports, IdAssignment::canonical(6)).unwrap();
+        let labeling = even_cycle::EvenCycleProver.certify(&inst).unwrap();
+        assert!(accepts_all(
+            &even_cycle::EvenCycleDecoder,
+            &inst.with_labeling(labeling)
+        ));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 5.1 round trip on random trees: realizing the full view set
+    /// of an instance reproduces every view exactly.
+    #[test]
+    fn realize_roundtrip_on_random_trees(seed in 0u64..5_000, n in 2usize..10, r in 1usize..3) {
+        use hiding_lcp::core::label::Labeling;
+        use hiding_lcp::core::realize::{find_plan, realize};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng);
+        let inst = Instance::random(g, &mut rng);
+        let labeling = Labeling::empty(n);
+        let views: Vec<_> = (0..n).map(|v| inst.view(&labeling, v, r, IdMode::Full)).collect();
+        let plan = find_plan(&views, &[]).expect("single instances self-realize");
+        let realization = realize(&plan).expect("merge succeeds");
+        for mu in &views {
+            prop_assert!(realization.reproduces(mu));
+        }
+        prop_assert_eq!(
+            realization.labeled.graph().edge_count(),
+            inst.graph().edge_count()
+        );
+    }
+
+    /// The message-passing simulation agrees with omniscient view
+    /// extraction on random graphs, all radii and id modes.
+    #[test]
+    fn network_simulation_matches_extraction(seed in 0u64..5_000, n in 2usize..9, extra in 0usize..4) {
+        use hiding_lcp::core::network::simulate_views;
+        let g = seeded_graph(seed, n, extra);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5a5a);
+        let inst = Instance::random(g.clone(), &mut rng);
+        let labeling = random_labeling(n, &degree_one::adversary_alphabet(), &mut rng);
+        let li = inst.with_labeling(labeling);
+        for radius in 0..3usize {
+            for mode in [IdMode::Full, IdMode::OrderOnly, IdMode::Anonymous] {
+                let simulated = simulate_views(&li, radius, mode);
+                for v in g.nodes() {
+                    prop_assert_eq!(&simulated[v], &li.view(v, radius, mode));
+                }
+            }
+        }
+    }
+
+    /// The distributed verifier run agrees with the centralized one for
+    /// every LCP on honest instances.
+    #[test]
+    fn distributed_verification_agrees(seed in 0u64..5_000) {
+        use hiding_lcp::core::network::run_distributed;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inst = Instance::random(generators::path(7), &mut rng);
+        let labeling = degree_one::DegreeOneProver.certify(&inst).expect("paths");
+        let li = inst.with_labeling(labeling);
+        prop_assert_eq!(
+            run_distributed(&degree_one::DegreeOneDecoder, &li),
+            run(&degree_one::DegreeOneDecoder, &li)
+        );
+        let inst = Instance::random(generators::cycle(8), &mut rng);
+        let labeling = even_cycle::EvenCycleProver.certify(&inst).expect("even cycle");
+        let li = inst.with_labeling(labeling);
+        prop_assert_eq!(
+            run_distributed(&even_cycle::EvenCycleDecoder, &li),
+            run(&even_cycle::EvenCycleDecoder, &li)
+        );
+    }
+
+    /// Canonical keys are invariant under random relabelings (graph
+    /// isomorphism smoke test).
+    #[test]
+    fn canonical_keys_are_relabeling_invariant(seed in 0u64..5_000, n in 1usize..8) {
+        use hiding_lcp::graph::canon;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = seeded_graph(seed, n, 2);
+        // Random permutation of node indices.
+        let mut perm: Vec<usize> = (0..n).collect();
+        rand::seq::SliceRandom::shuffle(&mut perm[..], &mut rng);
+        let edges: Vec<(usize, usize)> = g.edges().map(|(u, v)| (perm[u], perm[v])).collect();
+        let h = Graph::from_edges(n, &edges).unwrap();
+        prop_assert_eq!(canon::canonical_key(&g), canon::canonical_key(&h));
+        prop_assert!(canon::are_isomorphic(&g, &h));
+    }
+}

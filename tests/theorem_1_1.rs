@@ -1,0 +1,166 @@
+//! End-to-end verification of Theorem 1.1: the degree-one (Lemma 4.1),
+//! even-cycle (Lemma 4.2) and union LCPs are simultaneously complete,
+//! strongly sound and hiding on their promise classes, anonymously, with
+//! constant-size certificates.
+
+use hiding_lcp::certs::{degree_one, even_cycle, union};
+use hiding_lcp::core::decoder::Decoder;
+use hiding_lcp::core::instance::Instance;
+use hiding_lcp::core::label::Labeling;
+use hiding_lcp::core::language::KCol;
+use hiding_lcp::core::properties::{completeness, invariance, strong};
+use hiding_lcp::core::prover::Prover;
+use hiding_lcp::graph::generators;
+use hiding_lcp_bench as workloads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn degree_one_full_dossier() {
+    // Completeness across the promise class at several scales.
+    let instances: Vec<Instance> = vec![
+        Instance::canonical(generators::path(2)),
+        Instance::canonical(generators::path(50)),
+        Instance::canonical(generators::star(12)),
+        Instance::canonical(generators::caterpillar(10, 3)),
+        Instance::canonical(generators::balanced_tree(3, 3)),
+        Instance::canonical(generators::pendant_path(8, 4)),
+        Instance::canonical(generators::with_pendant(&generators::hypercube(3), 0).0),
+    ];
+    let report = completeness::check_completeness(
+        &degree_one::DegreeOneDecoder,
+        &degree_one::DegreeOneProver,
+        instances,
+    );
+    assert!(report.all_passed(), "{:?}", report.failures);
+    assert_eq!(report.max_certificate_bits, 8, "O(1) certificates");
+
+    // Strong soundness: exhaustive on small no-instances and yes-instances.
+    let two_col = KCol::new(2);
+    let alphabet = degree_one::adversary_alphabet();
+    for g in [
+        generators::cycle(3),
+        generators::pendant_path(3, 2),
+        generators::path(5),
+        generators::complete(4),
+    ] {
+        let inst = Instance::canonical(g);
+        strong::check_strong_exhaustive(&degree_one::DegreeOneDecoder, &two_col, &inst, &alphabet)
+            .expect("strongly sound");
+    }
+
+    // Hiding via Lemma 3.2 (odd closed walk in V(D, ·)).
+    assert!(workloads::degree_one_nbhd().odd_cycle().is_some());
+
+    // Anonymity: declared and observed.
+    assert_eq!(
+        degree_one::DegreeOneDecoder.id_mode(),
+        hiding_lcp::core::view::IdMode::Anonymous
+    );
+    let inst = Instance::canonical(generators::path(6));
+    let labeling = degree_one::DegreeOneProver.certify(&inst).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    invariance::check_anonymous(&degree_one::DegreeOneDecoder, &inst, &labeling, 25, &mut rng)
+        .expect("anonymous by construction");
+}
+
+#[test]
+fn even_cycle_full_dossier() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let instances: Vec<Instance> = [4usize, 6, 8, 20, 100]
+        .into_iter()
+        .flat_map(|n| {
+            vec![
+                Instance::canonical(generators::cycle(n)),
+                Instance::random(generators::cycle(n), &mut rng),
+            ]
+        })
+        .collect();
+    let report = completeness::check_completeness(
+        &even_cycle::EvenCycleDecoder,
+        &even_cycle::EvenCycleProver,
+        instances,
+    );
+    assert!(report.all_passed(), "{:?}", report.failures);
+    assert_eq!(report.max_certificate_bits, 48, "O(1) certificates");
+
+    let two_col = KCol::new(2);
+    let alphabet = even_cycle::adversary_alphabet();
+    // Exhaustive on C3 (17^3 labelings); randomized on C5 and C7.
+    let c3 = Instance::canonical(generators::cycle(3));
+    strong::check_strong_exhaustive(&even_cycle::EvenCycleDecoder, &two_col, &c3, &alphabet)
+        .expect("strongly sound on C3");
+    for n in [5usize, 7] {
+        let inst = Instance::canonical(generators::cycle(n));
+        strong::check_strong_random(
+            &even_cycle::EvenCycleDecoder,
+            &two_col,
+            &inst,
+            &alphabet,
+            3_000,
+            &mut rng,
+        )
+        .expect("strongly sound");
+    }
+
+    assert!(workloads::even_cycle_nbhd().odd_cycle().is_some());
+}
+
+#[test]
+fn union_full_dossier() {
+    // The union LCP covers H1 ∪ H2 with one decoder.
+    let mixed = generators::path(5)
+        .disjoint_union(&generators::cycle(6))
+        .disjoint_union(&generators::star(3))
+        .disjoint_union(&generators::cycle(4));
+    let instances = vec![
+        Instance::canonical(mixed),
+        Instance::canonical(generators::cycle(12)),
+        Instance::canonical(generators::balanced_tree(2, 4)),
+    ];
+    let report =
+        completeness::check_completeness(&union::UnionDecoder, &union::UnionProver, instances);
+    assert!(report.all_passed(), "{:?}", report.failures);
+
+    // Strong soundness survives a cross-tag adversary exhaustively on C3.
+    let two_col = KCol::new(2);
+    let mut small_alphabet = Vec::new();
+    for payload in degree_one::adversary_alphabet().into_iter().take(4) {
+        small_alphabet.push(union::tag_certificate(union::TAG_DEGREE_ONE, &payload));
+        small_alphabet.push(union::tag_certificate(union::TAG_EVEN_CYCLE, &payload));
+    }
+    let c3 = Instance::canonical(generators::cycle(3));
+    strong::check_strong_exhaustive(&union::UnionDecoder, &two_col, &c3, &small_alphabet)
+        .expect("strongly sound");
+
+    // The union decoder inherits hiding from both branches: feed it the
+    // degree-one hiding universe with tagged labels.
+    let g = generators::path(4);
+    let mut universe = Vec::new();
+    for ports in hiding_lcp::graph::ports::all_port_assignments(&g, 100) {
+        let inst = Instance::new(
+            g.clone(),
+            ports,
+            hiding_lcp::graph::IdAssignment::canonical(4),
+        )
+        .unwrap();
+        for labeling in degree_one::accepting_labelings(&inst) {
+            let tagged: Labeling = labeling
+                .as_slice()
+                .iter()
+                .map(|c| union::tag_certificate(union::TAG_DEGREE_ONE, c))
+                .collect();
+            universe.push(inst.clone().with_labeling(tagged));
+        }
+    }
+    let nbhd = hiding_lcp::core::nbhd::NbhdGraph::build(
+        &union::UnionDecoder,
+        hiding_lcp::core::view::IdMode::Anonymous,
+        universe,
+        |g| {
+            hiding_lcp::graph::algo::bipartite::is_bipartite(g)
+                && hiding_lcp::graph::classes::simple::is_theorem_1_1_instance(g)
+        },
+    );
+    assert!(nbhd.odd_cycle().is_some(), "the union decoder hides");
+}

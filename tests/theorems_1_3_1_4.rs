@@ -1,0 +1,222 @@
+//! End-to-end verification of the non-anonymous upper bounds: the
+//! shatter-point LCP (Theorem 1.3) and the watermelon LCP (Theorem 1.4),
+//! including their certificate-size claims and the proofs' hiding
+//! witnesses.
+
+use hiding_lcp::certs::{shatter, watermelon};
+use hiding_lcp::core::decoder::accepts_all;
+use hiding_lcp::core::instance::Instance;
+use hiding_lcp::core::language::KCol;
+use hiding_lcp::core::properties::{completeness, strong};
+use hiding_lcp::core::prover::Prover;
+use hiding_lcp::core::view::IdMode;
+use hiding_lcp::graph::classes::shatter as shatter_class;
+use hiding_lcp::graph::{generators, Graph};
+use hiding_lcp_bench as workloads;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spider(legs: usize, len: usize) -> Graph {
+    let mut g = Graph::new(1 + legs * len);
+    for l in 0..legs {
+        let mut prev = 0usize;
+        for k in 0..len {
+            let node = 1 + l * len + k;
+            g.add_edge(prev, node).unwrap();
+            prev = node;
+        }
+    }
+    g
+}
+
+#[test]
+fn shatter_full_dossier() {
+    // Completeness on a spread of shatter-point graphs.
+    let instances = vec![
+        Instance::canonical(generators::path(8)),
+        Instance::canonical(generators::path(30)),
+        Instance::canonical(spider(3, 3)),
+        Instance::canonical(spider(6, 4)),
+        Instance::canonical(generators::caterpillar(8, 1)),
+    ];
+    let report = completeness::check_completeness(
+        &shatter::ShatterDecoder,
+        &shatter::ShatterProver,
+        instances,
+    );
+    assert!(report.all_passed(), "{:?}", report.failures);
+
+    // Certificate size: O(k + log n) bits where k = component count.
+    let inst = Instance::canonical(spider(6, 4));
+    let labeling = shatter::ShatterProver.certify(&inst).unwrap();
+    let k = shatter_class::decompose(inst.graph()).unwrap().components.len();
+    assert_eq!(k, 6);
+    let width = shatter::id_width(inst.ids().bound());
+    assert_eq!(labeling.max_bits(), (2 + width + k) * 8);
+
+    // Strong soundness.
+    let two_col = KCol::new(2);
+    let mut rng = StdRng::seed_from_u64(7);
+    for g in [
+        generators::cycle(3),
+        generators::cycle(7),
+        generators::pendant_path(5, 3),
+        spider(3, 3),
+        generators::complete(4),
+    ] {
+        let inst = Instance::canonical(g);
+        for labeling in shatter::adversary_labelings(&inst) {
+            strong::strong_holds_for(&shatter::ShatterDecoder, &two_col, &inst, &labeling)
+                .expect("strongly sound");
+        }
+        let alphabet: Vec<_> = shatter::adversary_labelings(&inst)
+            .iter()
+            .flat_map(|l| l.as_slice().to_vec())
+            .collect();
+        strong::check_strong_random(
+            &shatter::ShatterDecoder,
+            &two_col,
+            &inst,
+            &alphabet,
+            1_500,
+            &mut rng,
+        )
+        .expect("strongly sound under random recombination");
+    }
+
+    // Hiding: the paper's P1/P2 witness pair.
+    let nbhd = workloads::shatter_nbhd();
+    let odd = nbhd.odd_cycle().expect("Theorem 1.3 hides");
+    assert_eq!(odd.len() % 2, 1);
+    // The witness views really coincide across the two instances.
+    let ws = shatter::hiding_witness_instances();
+    assert_eq!(ws[0].view(0, 1, IdMode::Full), ws[1].view(0, 1, IdMode::Full));
+    assert_eq!(ws[0].view(7, 1, IdMode::Full), ws[1].view(6, 1, IdMode::Full));
+}
+
+#[test]
+fn watermelon_full_dossier() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let instances: Vec<Instance> = vec![
+        Instance::canonical(generators::watermelon(&[2, 2])),
+        Instance::canonical(generators::watermelon(&[3, 5, 7, 9])),
+        Instance::canonical(generators::watermelon(&[2; 12])),
+        Instance::canonical(generators::watermelon(&[10, 10, 10])),
+        Instance::random(generators::watermelon(&[4, 4, 6]), &mut rng),
+        Instance::canonical(generators::cycle(16)),
+        Instance::canonical(generators::path(9)),
+    ];
+    let report = completeness::check_completeness(
+        &watermelon::WatermelonDecoder,
+        &watermelon::WatermelonProver,
+        instances,
+    );
+    assert!(report.all_passed(), "{:?}", report.failures);
+
+    // O(log n) certificates: sizes grow with the identifier width only.
+    let small = Instance::canonical(generators::watermelon(&[4, 4]));
+    let large = Instance::canonical(generators::watermelon(&[40; 40]));
+    let small_bits = watermelon::WatermelonProver.certify(&small).unwrap().max_bits();
+    let large_bits = watermelon::WatermelonProver.certify(&large).unwrap().max_bits();
+    assert!(small_bits < large_bits, "identifier width grows");
+    let width = shatter::id_width(large.ids().bound());
+    assert_eq!(large_bits, (7 + 2 * width) * 8);
+
+    // Strong soundness under structured + random adversaries.
+    let two_col = KCol::new(2);
+    for g in [
+        generators::watermelon(&[2, 3]),
+        generators::watermelon(&[2, 3, 3]),
+        generators::cycle(5),
+        generators::complete(4),
+    ] {
+        let inst = Instance::canonical(g);
+        for labeling in watermelon::adversary_labelings(&inst) {
+            strong::strong_holds_for(&watermelon::WatermelonDecoder, &two_col, &inst, &labeling)
+                .expect("strongly sound");
+        }
+        let alphabet: Vec<_> = watermelon::adversary_labelings(&inst)
+            .iter()
+            .flat_map(|l| l.as_slice().to_vec())
+            .collect();
+        strong::check_strong_random(
+            &watermelon::WatermelonDecoder,
+            &two_col,
+            &inst,
+            &alphabet,
+            1_500,
+            &mut rng,
+        )
+        .expect("strongly sound under random recombination");
+    }
+
+    // Hiding: the id-swap universe produces an odd closed walk, and all
+    // of its instances are unanimously accepted.
+    for li in watermelon::hiding_witness_universe() {
+        assert!(accepts_all(&watermelon::WatermelonDecoder, &li));
+    }
+    let nbhd = workloads::watermelon_nbhd();
+    let odd = nbhd.odd_cycle().expect("Theorem 1.4 hides");
+    assert_eq!(odd.len() % 2, 1);
+}
+
+/// The escape hatch that lets Theorems 1.3/1.4 coexist with Theorem 1.5:
+/// Theorem 1.5 kills strong+hiding **order-invariant** LCPs of any
+/// certificate size, and the Section 7 decoders are genuinely not
+/// order-invariant — their certificates embed identifier *values*, so an
+/// order-preserving remap of the instance's identifiers (with certificates
+/// held fixed) flips verdicts. The anonymous Theorem 1.1 decoders, by
+/// contrast, are untouched by any remap.
+#[test]
+fn section_7_decoders_are_not_order_invariant() {
+    use hiding_lcp::certs::{degree_one, even_cycle};
+    use hiding_lcp::core::properties::invariance;
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // Shatter: honest certificates on P8, then remapped ids.
+    let inst = Instance::canonical(generators::path(8));
+    let labeling = shatter::ShatterProver.certify(&inst).unwrap();
+    assert!(
+        invariance::check_order_invariant(&shatter::ShatterDecoder, &inst, &labeling, 40, &mut rng)
+            .is_err(),
+        "shatter certificates pin identifier values"
+    );
+
+    // Watermelon: same story.
+    let inst = Instance::canonical(generators::watermelon(&[2, 4]));
+    let labeling = watermelon::WatermelonProver.certify(&inst).unwrap();
+    assert!(
+        invariance::check_order_invariant(
+            &watermelon::WatermelonDecoder,
+            &inst,
+            &labeling,
+            40,
+            &mut rng
+        )
+        .is_err(),
+        "watermelon certificates pin identifier values"
+    );
+
+    // The anonymous Theorem 1.1 decoders pass both invariance checks by
+    // construction.
+    let inst = Instance::canonical(generators::path(6));
+    let labeling = degree_one::DegreeOneProver.certify(&inst).unwrap();
+    assert!(invariance::check_order_invariant(
+        &degree_one::DegreeOneDecoder,
+        &inst,
+        &labeling,
+        20,
+        &mut rng
+    )
+    .is_ok());
+    assert!(
+        invariance::check_anonymous(&degree_one::DegreeOneDecoder, &inst, &labeling, 20, &mut rng)
+            .is_ok()
+    );
+    let inst = Instance::canonical(generators::cycle(6));
+    let labeling = even_cycle::EvenCycleProver.certify(&inst).unwrap();
+    assert!(
+        invariance::check_anonymous(&even_cycle::EvenCycleDecoder, &inst, &labeling, 20, &mut rng)
+            .is_ok()
+    );
+}

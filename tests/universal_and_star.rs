@@ -1,0 +1,114 @@
+//! Two Section 1.1 observations, end to end:
+//!
+//! * the **universal LCP** (adjacency-matrix certificates) certifies
+//!   2-colorability with O(n²) bits and is maximally non-hiding — every
+//!   node can extract its color;
+//! * **promise classes can forbid hiding outright**: on star graphs, the
+//!   degree rule (degree 1 ⇒ color 1, else color 0) extracts a proper
+//!   2-coloring from *any* certificate assignment whatsoever, so no LCP
+//!   for 2-col restricted to stars can be hiding.
+
+use hiding_lcp::certs::universal::{UniversalDecoder, UniversalExtractor, UniversalProver};
+use hiding_lcp::core::decoder::accepts_all;
+use hiding_lcp::core::instance::Instance;
+use hiding_lcp::core::language::KCol;
+use hiding_lcp::core::prover::{random_labeling, Prover};
+use hiding_lcp::core::view::IdMode;
+use hiding_lcp::graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn universal_lcp_certifies_and_leaks_everywhere() {
+    let two_col = KCol::new(2);
+    let mut rng = StdRng::seed_from_u64(21);
+    for g in [
+        generators::cycle(10),
+        generators::grid(3, 4),
+        generators::random_bipartite_regular(5, 3, &mut rng),
+        generators::balanced_tree(2, 3),
+    ] {
+        let inst = Instance::random(g, &mut rng);
+        let labeling = UniversalProver.certify(&inst).expect("bipartite");
+        let bits = labeling.max_bits();
+        let n = inst.graph().node_count();
+        // O(n²): the bitmap dominates.
+        assert!(bits >= n * n, "bitmap grows quadratically");
+        let li = inst.with_labeling(labeling);
+        assert!(accepts_all(&UniversalDecoder, &li));
+        // EVERY node extracts — zero hiding.
+        let outputs = UniversalExtractor.extract_all(&li);
+        assert!(outputs.iter().all(Option::is_some));
+        assert!(two_col.is_extracted_witness(li.graph(), &outputs));
+    }
+}
+
+/// The paper's star example: with the promise "the input is a star", the
+/// degree rule outputs a proper 2-coloring no matter what certificates
+/// say — the promise class itself reveals the witness, so hiding is
+/// impossible for 2-col restricted to stars.
+#[test]
+fn star_promise_forbids_hiding() {
+    let two_col = KCol::new(2);
+    let mut rng = StdRng::seed_from_u64(23);
+    let junk_alphabet = hiding_lcp::certs::degree_one::adversary_alphabet();
+    for leaves in 2..8usize {
+        let g = generators::star(leaves);
+        for _ in 0..10 {
+            let inst = Instance::random(g.clone(), &mut rng);
+            // Arbitrary certificates — the extraction ignores them.
+            let labeling = random_labeling(g.node_count(), &junk_alphabet, &mut rng);
+            let li = inst.with_labeling(labeling);
+            // The degree rule, as a 1-round view function.
+            let outputs: Vec<Option<usize>> = li
+                .graph()
+                .nodes()
+                .map(|v| {
+                    let view = li.view(v, 1, IdMode::Anonymous);
+                    Some(if view.center_degree() == 1 { 1 } else { 0 })
+                })
+                .collect();
+            assert!(
+                two_col.is_extracted_witness(li.graph(), &outputs),
+                "the degree rule always extracts on stars (leaves = {leaves})"
+            );
+        }
+    }
+    // Sanity: the same rule fails outside the promise class.
+    let inst = Instance::canonical(generators::path(4));
+    let li = inst.with_labeling(hiding_lcp::core::label::Labeling::empty(4));
+    let outputs: Vec<Option<usize>> = li
+        .graph()
+        .nodes()
+        .map(|v| {
+            let view = li.view(v, 1, IdMode::Anonymous);
+            Some(if view.center_degree() == 1 { 1 } else { 0 })
+        })
+        .collect();
+    assert!(
+        !KCol::new(2).is_extracted_witness(li.graph(), &outputs),
+        "P4's two middle nodes share color 0"
+    );
+}
+
+/// The star with one leaf is K2 — both nodes have degree 1 and the rule
+/// colors them both 1, which FAILS. The paper's rule implicitly assumes
+/// stars with at least two leaves; check the boundary honestly.
+#[test]
+fn single_leaf_star_is_the_degenerate_case() {
+    let g = generators::star(1);
+    let inst = Instance::canonical(g);
+    let li = inst.with_labeling(hiding_lcp::core::label::Labeling::empty(2));
+    let outputs: Vec<Option<usize>> = li
+        .graph()
+        .nodes()
+        .map(|v| {
+            let view = li.view(v, 1, IdMode::Anonymous);
+            Some(if view.center_degree() == 1 { 1 } else { 0 })
+        })
+        .collect();
+    assert!(
+        !KCol::new(2).is_extracted_witness(li.graph(), &outputs),
+        "K2 defeats the bare degree rule"
+    );
+}
