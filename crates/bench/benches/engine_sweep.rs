@@ -1,0 +1,101 @@
+//! `engine_sweep`: sequential vs parallel Lemma 3.1 sweeps on the
+//! verification engine (experiment E17).
+//!
+//! Cycles up to n = 8 under every 2-symbol labeling, swept through
+//! [`hiding_lcp_core::properties::hiding::verify_hiding`] in
+//! `ExecMode::Sequential` and `ExecMode::Parallel(threads)`. Both modes
+//! must return identical verdicts (the executor's determinism contract);
+//! the harness asserts it before recording timings, then writes the
+//! medians — plus the machine's thread count, so single-core results read
+//! honestly — to `BENCH_engine.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p hiding-lcp-bench --bench engine_sweep
+//! ```
+
+use criterion::{BenchResult, Criterion};
+use hiding_lcp_certs::revealing::{adversary_alphabet, RevealingDecoder};
+use hiding_lcp_core::instance::Instance;
+use hiding_lcp_core::nbhd::NbhdGraph;
+use hiding_lcp_core::properties::hiding::HidingCheck;
+use hiding_lcp_core::verify::{sweep_with, Block, Coverage, ExecMode, LabelSource, Universe};
+use hiding_lcp_graph::algo::bipartite;
+use hiding_lcp_graph::generators;
+use std::fs;
+use std::hint::black_box;
+use std::path::Path;
+
+/// All 2-symbol labelings of even cycles `4..=max_n`.
+fn cycle_universe(max_n: usize) -> Universe {
+    let alphabet = adversary_alphabet(2);
+    let blocks = (4..=max_n)
+        .step_by(2)
+        .map(|n| {
+            Block::new(
+                Instance::canonical(generators::cycle(n)),
+                LabelSource::All {
+                    alphabet: alphabet.clone(),
+                },
+            )
+        })
+        .collect();
+    Universe::new(blocks, Coverage::Sampled).expect("bench universe fits")
+}
+
+fn sweep_nbhd(universe: &Universe, mode: ExecMode) -> NbhdGraph {
+    let decoder = RevealingDecoder::new(2);
+    let check = HidingCheck::new(&decoder, universe, 2, bipartite::is_bipartite);
+    sweep_with(&check, universe, mode).verdict.0
+}
+
+fn engine_sweep(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    for max_n in [4usize, 6, 8] {
+        let universe = cycle_universe(max_n);
+        // Determinism contract: the two modes agree before we time them.
+        let seq = sweep_nbhd(&universe, ExecMode::Sequential);
+        let par = sweep_nbhd(&universe, ExecMode::Parallel(threads));
+        assert_eq!(seq.view_count(), par.view_count(), "parity at n <= {max_n}");
+        assert_eq!(seq.edge_count(), par.edge_count(), "parity at n <= {max_n}");
+
+        let mut g = c.benchmark_group(format!("engine-sweep-n{max_n}"));
+        g.sample_size(if max_n >= 8 { 10 } else { 20 });
+        g.bench_function("sequential", |b| {
+            b.iter(|| black_box(sweep_nbhd(black_box(&universe), ExecMode::Sequential)))
+        });
+        g.bench_function(format!("parallel-t{threads}"), |b| {
+            b.iter(|| {
+                black_box(sweep_nbhd(
+                    black_box(&universe),
+                    ExecMode::Parallel(threads),
+                ))
+            })
+        });
+        g.finish();
+    }
+}
+
+fn write_json(results: &[BenchResult], threads: usize) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"median_ns\": {} }}{comma}\n",
+            r.name,
+            r.median.as_nanos()
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json");
+    fs::write(&path, out).expect("write BENCH_engine.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let mut c = Criterion::new();
+    engine_sweep(&mut c);
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    write_json(&c.results, threads);
+}

@@ -172,12 +172,9 @@ fn e10_ramsey(c: &mut Criterion) {
     let universe: Vec<u64> = (1..=16).collect();
     g.bench_function("parity-pairs-16-to-8", |b| {
         b.iter(|| {
-            black_box(monochromatic_subset(
-                black_box(&universe),
-                2,
-                8,
-                |p| (p[0] + p[1]) % 2,
-            ))
+            black_box(monochromatic_subset(black_box(&universe), 2, 8, |p| {
+                (p[0] + p[1]) % 2
+            }))
         })
     });
     g.finish();

@@ -73,8 +73,7 @@ pub fn even_cycle_universe_sized(n: usize) -> Vec<LabeledInstance> {
     ];
     let mut universe = Vec::new();
     for ports in assignments {
-        let inst =
-            Instance::new(g.clone(), ports, IdAssignment::canonical(n)).expect("valid");
+        let inst = Instance::new(g.clone(), ports, IdAssignment::canonical(n)).expect("valid");
         for polarity in [0, 1] {
             if let Some(labeling) = even_cycle::certify_with_polarity(&inst, polarity) {
                 universe.push(inst.clone().with_labeling(labeling));
@@ -133,9 +132,16 @@ pub fn revealing_nbhd(max_n: usize) -> NbhdGraph {
 /// `(name, decoder, labeled instance)` triples.
 pub fn throughput_workloads(
     n: usize,
-) -> Vec<(String, Box<dyn hiding_lcp_core::decoder::Decoder>, LabeledInstance)> {
-    let mut out: Vec<(String, Box<dyn hiding_lcp_core::decoder::Decoder>, LabeledInstance)> =
-        Vec::new();
+) -> Vec<(
+    String,
+    Box<dyn hiding_lcp_core::decoder::Decoder>,
+    LabeledInstance,
+)> {
+    let mut out: Vec<(
+        String,
+        Box<dyn hiding_lcp_core::decoder::Decoder>,
+        LabeledInstance,
+    )> = Vec::new();
     let even = if n.is_multiple_of(2) { n } else { n + 1 };
 
     let inst = Instance::canonical(generators::cycle(even.max(4)));

@@ -129,12 +129,7 @@ mod tests {
             Instance::canonical(generators::path(7)),
             Instance::canonical(generators::star(5)),
         ];
-        let labelings = battery(
-            &DegreeOneProver,
-            &target,
-            &donors,
-            &adversary_alphabet(),
-        );
+        let labelings = battery(&DegreeOneProver, &target, &donors, &adversary_alphabet());
         assert!(!labelings.is_empty());
         for labeling in &labelings {
             if labeling.node_count() != target.graph().node_count() {

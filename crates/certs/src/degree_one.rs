@@ -113,8 +113,7 @@ impl Decoder for DegreeOneDecoder {
                     .filter(|&&l| l != Letter::Bot)
                     .map(|l| l.color())
                     .collect();
-                bots == 1
-                    && colors.is_some_and(|cs| cs.windows(2).all(|w| w[0] == w[1]))
+                bots == 1 && colors.is_some_and(|cs| cs.windows(2).all(|w| w[0] == w[1]))
             }
             // Rule 3: a colored node allows at most one ⊤ neighbor; every
             // other neighbor carries the opposite color.
@@ -267,7 +266,10 @@ mod tests {
                 &inst.clone().with_labeling(labeling)
             ));
         }
-        assert!(certify_hiding_at(&inst, Some(0)).is_none(), "spine node is not a pendant");
+        assert!(
+            certify_hiding_at(&inst, Some(0)).is_none(),
+            "spine node is not a pendant"
+        );
     }
 
     #[test]
@@ -275,9 +277,12 @@ mod tests {
         assert!(DegreeOneProver
             .certify(&Instance::canonical(generators::cycle(6)))
             .is_none());
-        assert!(DegreeOneProver
-            .certify(&Instance::canonical(generators::pendant_path(5, 2)))
-            .is_none(), "odd cycle with a tail is not bipartite");
+        assert!(
+            DegreeOneProver
+                .certify(&Instance::canonical(generators::pendant_path(5, 2)))
+                .is_none(),
+            "odd cycle with a tail is not bipartite"
+        );
     }
 
     #[test]

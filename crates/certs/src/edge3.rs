@@ -33,9 +33,7 @@ impl Edge3Label {
             return None;
         }
         let entries: Vec<(u8, u8)> = b[1..].chunks(2).map(|c| (c[0], c[1])).collect();
-        let valid = entries
-            .iter()
-            .all(|&(p, c)| (1..=3).contains(&p) && c <= 2);
+        let valid = entries.iter().all(|&(p, c)| (1..=3).contains(&p) && c <= 2);
         let mut colors: Vec<u8> = entries.iter().map(|&(_, c)| c).collect();
         colors.sort_unstable();
         colors.dedup();
@@ -242,7 +240,10 @@ mod tests {
             panic!("expected a refutation, got {outcome:?}");
         };
         assert_eq!(refutation.odd_walk.len() % 2, 1);
-        assert!(!refutation.via_realization, "found through the adversarial route");
+        assert!(
+            !refutation.via_realization,
+            "found through the adversarial route"
+        );
         assert!(!bipartite::is_bipartite(
             refutation.violation_instance.graph()
         ));
@@ -257,9 +258,14 @@ mod tests {
         assert_eq!(Edge3Label::decode(&bad.encode()), None);
         // Degree-4 nodes always reject.
         let inst = Instance::canonical(generators::star(4));
-        let labeling = Labeling::uniform(5, Edge3Label { entries: vec![(1, 0)] }.encode());
-        let verdicts =
-            hiding_lcp_core::decoder::run(&Edge3Decoder, &inst.with_labeling(labeling));
+        let labeling = Labeling::uniform(
+            5,
+            Edge3Label {
+                entries: vec![(1, 0)],
+            }
+            .encode(),
+        );
+        let verdicts = hiding_lcp_core::decoder::run(&Edge3Decoder, &inst.with_labeling(labeling));
         assert!(!verdicts[0].is_accept());
     }
 
@@ -283,10 +289,16 @@ mod tests {
 
     #[test]
     fn prover_declines_non_subcubic_or_uncolorable() {
-        assert!(Edge3Prover.certify(&Instance::canonical(generators::star(4))).is_none());
+        assert!(Edge3Prover
+            .certify(&Instance::canonical(generators::star(4)))
+            .is_none());
         // K4 minus nothing is colorable; the Petersen graph is famously
         // NOT 3-edge-colorable (class 2).
-        assert!(Edge3Prover.certify(&Instance::canonical(generators::petersen())).is_none());
-        assert!(Edge3Prover.certify(&Instance::canonical(generators::complete(4))).is_some());
+        assert!(Edge3Prover
+            .certify(&Instance::canonical(generators::petersen()))
+            .is_none());
+        assert!(Edge3Prover
+            .certify(&Instance::canonical(generators::complete(4)))
+            .is_some());
     }
 }

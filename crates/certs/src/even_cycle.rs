@@ -129,8 +129,7 @@ impl Decoder for EvenCycleDecoder {
             let Some(nbr_entry) = nbr.entry(arc.port_there as u8) else {
                 return Verdict::Reject;
             };
-            if u16::from(nbr_entry.port_other) != arc.port_here
-                || nbr_entry.color != my_entry.color
+            if u16::from(nbr_entry.port_other) != arc.port_here || nbr_entry.color != my_entry.color
             {
                 return Verdict::Reject;
             }
@@ -258,7 +257,10 @@ mod tests {
         let report =
             completeness::check_completeness(&EvenCycleDecoder, &EvenCycleProver, instances);
         assert!(report.all_passed(), "{:?}", report.failures);
-        assert_eq!(report.max_certificate_bits, 48, "constant-size certificates");
+        assert_eq!(
+            report.max_certificate_bits, 48,
+            "constant-size certificates"
+        );
     }
 
     #[test]
@@ -291,9 +293,8 @@ mod tests {
         let two_col = KCol::new(2);
         let alphabet = adversary_alphabet();
         let c3 = Instance::canonical(generators::cycle(3));
-        let checked =
-            strong::check_strong_exhaustive(&EvenCycleDecoder, &two_col, &c3, &alphabet)
-                .expect("strongly sound on C3");
+        let checked = strong::check_strong_exhaustive(&EvenCycleDecoder, &two_col, &c3, &alphabet)
+            .expect("strongly sound on C3");
         assert_eq!(checked, 17usize.pow(3));
     }
 
@@ -372,8 +373,7 @@ mod tests {
         let mut lbl = CycleLabel::decode(lie.label(0)).unwrap();
         lbl.entries[0].port_other ^= 3; // 1 <-> 2
         lie.set(0, lbl.encode());
-        let verdicts =
-            hiding_lcp_core::decoder::run(&EvenCycleDecoder, &inst.with_labeling(lie));
+        let verdicts = hiding_lcp_core::decoder::run(&EvenCycleDecoder, &inst.with_labeling(lie));
         assert!(!verdicts[0].is_accept());
     }
 
@@ -381,8 +381,16 @@ mod tests {
     fn codec_roundtrip_and_validation() {
         let lbl = CycleLabel {
             entries: [
-                EdgeEntry { port_self: 1, port_other: 2, color: 0 },
-                EdgeEntry { port_self: 2, port_other: 1, color: 1 },
+                EdgeEntry {
+                    port_self: 1,
+                    port_other: 2,
+                    color: 0,
+                },
+                EdgeEntry {
+                    port_self: 2,
+                    port_other: 1,
+                    color: 1,
+                },
             ],
         };
         assert_eq!(CycleLabel::decode(&lbl.encode()), Some(lbl));

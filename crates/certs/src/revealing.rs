@@ -77,7 +77,12 @@ impl Prover for RevealingProver {
     }
     fn certify(&self, instance: &Instance) -> Option<Labeling> {
         let colors = coloring::lex_first_coloring(instance.graph(), self.k)?;
-        Some(colors.iter().map(|&c| Certificate::from_byte(c as u8)).collect())
+        Some(
+            colors
+                .iter()
+                .map(|&c| Certificate::from_byte(c as u8))
+                .collect(),
+        )
     }
 }
 
@@ -127,11 +132,13 @@ mod tests {
         let decoder = RevealingDecoder::new(2);
         let two_col = KCol::new(2);
         let alphabet = adversary_alphabet(2);
-        for g in [generators::cycle(3), generators::cycle(5), generators::complete(4)] {
+        for g in [
+            generators::cycle(3),
+            generators::cycle(5),
+            generators::complete(4),
+        ] {
             let inst = Instance::canonical(g);
-            assert!(
-                strong::check_strong_exhaustive(&decoder, &two_col, &inst, &alphabet).is_ok()
-            );
+            assert!(strong::check_strong_exhaustive(&decoder, &two_col, &inst, &alphabet).is_ok());
         }
     }
 

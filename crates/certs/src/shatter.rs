@@ -79,7 +79,9 @@ impl ShatterLabel {
                 if b.len() != 1 + width {
                     return None;
                 }
-                Some(ShatterLabel::Point { id: decode_id(b, 1, width)? })
+                Some(ShatterLabel::Point {
+                    id: decode_id(b, 1, width)?,
+                })
             }
             1 => {
                 let id = decode_id(b, 1, width)?;
@@ -125,7 +127,11 @@ impl ShatterLabel {
                 bytes.push(u8::try_from(colors.len()).expect("at most 255 components"));
                 bytes.extend_from_slice(colors);
             }
-            ShatterLabel::Component { id, component, color } => {
+            ShatterLabel::Component {
+                id,
+                component,
+                color,
+            } => {
                 bytes.push(2);
                 encode_id(&mut bytes, *id, width);
                 bytes.push(*component);
@@ -191,13 +197,11 @@ impl Decoder for ShatterDecoder {
         let accept = match &mine {
             // Rule 1: the shatter point checks its own identifier and that
             // all neighbors are type 1 with identical content naming it.
-            ShatterLabel::Point { id } => {
-                *id == my_id
-                    && neighbors.iter().all(|w| {
-                        matches!(w, ShatterLabel::Neighborhood { id: wid, .. } if *wid == my_id)
-                    })
-                    && neighbors.windows(2).all(|pair| pair[0] == pair[1])
-            }
+            ShatterLabel::Point { id } => *id == my_id
+                && neighbors.iter().all(
+                    |w| matches!(w, ShatterLabel::Neighborhood { id: wid, .. } if *wid == my_id),
+                )
+                && neighbors.windows(2).all(|pair| pair[0] == pair[1]),
             // Rule 2: a neighborhood node.
             ShatterLabel::Neighborhood { id, colors } => {
                 // (a) no type-1 neighbor.
@@ -209,20 +213,24 @@ impl Decoder for ShatterDecoder {
                     .iter()
                     .filter(|w| matches!(w, ShatterLabel::Point { .. }))
                     .collect();
-                let one_point =
-                    points.len() == 1 && points[0].claimed_id() == *id;
+                let one_point = points.len() == 1 && points[0].claimed_id() == *id;
                 // (c) type-2 neighbors agree with the colors vector.
                 let comps_ok = neighbors.iter().all(|w| match w {
-                    ShatterLabel::Component { id: wid, component, color } => {
-                        *wid == *id
-                            && colors.get(usize::from(*component)) == Some(color)
-                    }
+                    ShatterLabel::Component {
+                        id: wid,
+                        component,
+                        color,
+                    } => *wid == *id && colors.get(usize::from(*component)) == Some(color),
                     _ => true,
                 });
                 no_type1 && one_point && comps_ok
             }
             // Rule 3: a component node.
-            ShatterLabel::Component { id, component, color } => {
+            ShatterLabel::Component {
+                id,
+                component,
+                color,
+            } => {
                 neighbors.iter().all(|w| match w {
                     // (a) no type-0 neighbor.
                     ShatterLabel::Point { .. } => false,
@@ -233,9 +241,11 @@ impl Decoder for ShatterDecoder {
                     }
                     // (c) type-2 neighbors share point and component but
                     // not color.
-                    ShatterLabel::Component { id: wid, component: wc, color: wx } => {
-                        *wid == *id && *wc == *component && *wx != *color
-                    }
+                    ShatterLabel::Component {
+                        id: wid,
+                        component: wc,
+                        color: wx,
+                    } => *wid == *id && *wc == *component && *wx != *color,
                 })
             }
         };
@@ -358,18 +368,17 @@ pub fn hiding_witness_instances() -> Vec<LabeledInstance> {
     let p2 = {
         let g = hiding_lcp_graph::generators::path(7);
         let ports = PortAssignment::canonical(&g);
-        let ids =
-            IdAssignment::from_ids(vec![1, 2, 4, 5, 6, 7, 8], 64).expect("injective");
+        let ids = IdAssignment::from_ids(vec![1, 2, 4, 5, 6, 7, 8], 64).expect("injective");
         let inst = Instance::new(g, ports, ids).expect("valid");
         let labels = Labeling::new(
             [
-                comp(0, 0),        // w3
-                comp(0, 1),        // w2
-                nbhd(vec![1, 0]),  // u1
-                lbl_point,         // v
-                nbhd(vec![1, 0]),  // u2
-                comp(1, 0),        // z1
-                comp(1, 1),        // z2
+                comp(0, 0),       // w3
+                comp(0, 1),       // w2
+                nbhd(vec![1, 0]), // u1
+                lbl_point,        // v
+                nbhd(vec![1, 0]), // u2
+                comp(1, 0),       // z1
+                comp(1, 1),       // z2
             ]
             .iter()
             .map(|l| l.encode(width))
@@ -389,7 +398,12 @@ pub fn adversary_labelings(instance: &Instance) -> Vec<Labeling> {
     // Everyone claims to be the shatter point.
     out.push(
         g.nodes()
-            .map(|v| ShatterLabel::Point { id: instance.ids().id(v) }.encode(width))
+            .map(|v| {
+                ShatterLabel::Point {
+                    id: instance.ids().id(v),
+                }
+                .encode(width)
+            })
             .collect(),
     );
     // One arbitrary "point" with everyone else a monochromatic component.
@@ -400,7 +414,12 @@ pub fn adversary_labelings(instance: &Instance) -> Vec<Labeling> {
         for v in 1..n {
             labels.set(
                 v,
-                ShatterLabel::Component { id: point_id, component: 0, color }.encode(width),
+                ShatterLabel::Component {
+                    id: point_id,
+                    component: 0,
+                    color,
+                }
+                .encode(width),
             );
         }
         out.push(labels);
@@ -438,7 +457,17 @@ mod tests {
     fn spider() -> Graph {
         Graph::from_edges(
             10,
-            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (0, 7), (7, 8), (8, 9)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (0, 4),
+                (4, 5),
+                (5, 6),
+                (0, 7),
+                (7, 8),
+                (8, 9),
+            ],
         )
         .unwrap()
     }
@@ -460,16 +489,24 @@ mod tests {
         let inst = Instance::canonical(generators::path(8));
         for point in shatter::shatter_points(inst.graph()) {
             let labeling = certify_at(&inst, point).expect("valid shatter point");
-            assert!(accepts_all(&ShatterDecoder, &inst.clone().with_labeling(labeling)));
+            assert!(accepts_all(
+                &ShatterDecoder,
+                &inst.clone().with_labeling(labeling)
+            ));
         }
     }
 
     #[test]
     fn declines_without_shatter_point_or_bipartiteness() {
-        assert!(ShatterProver.certify(&Instance::canonical(generators::cycle(8))).is_none());
         assert!(ShatterProver
-            .certify(&Instance::canonical(generators::pendant_path(5, 3)))
-            .is_none(), "shatter point exists but C5 is odd");
+            .certify(&Instance::canonical(generators::cycle(8)))
+            .is_none());
+        assert!(
+            ShatterProver
+                .certify(&Instance::canonical(generators::pendant_path(5, 3)))
+                .is_none(),
+            "shatter point exists but C5 is odd"
+        );
     }
 
     #[test]
@@ -559,14 +596,22 @@ mod tests {
         // Forge: flip one component node's color.
         let comp_node = 0;
         let mut flipped = honest.clone();
-        let ShatterLabel::Component { id, component, color } =
-            ShatterLabel::decode(honest.label(comp_node), width).unwrap()
+        let ShatterLabel::Component {
+            id,
+            component,
+            color,
+        } = ShatterLabel::decode(honest.label(comp_node), width).unwrap()
         else {
             panic!("node 0 is a component node");
         };
         flipped.set(
             comp_node,
-            ShatterLabel::Component { id, component, color: color ^ 1 }.encode(width),
+            ShatterLabel::Component {
+                id,
+                component,
+                color: color ^ 1,
+            }
+            .encode(width),
         );
         let verdicts = run(&ShatterDecoder, &inst.with_labeling(flipped));
         assert!(verdicts.iter().any(|v| !v.is_accept()));
@@ -577,20 +622,37 @@ mod tests {
         for width in [1usize, 2, 4, 8] {
             for label in [
                 ShatterLabel::Point { id: 42 },
-                ShatterLabel::Neighborhood { id: 7, colors: vec![0, 1, 1] },
-                ShatterLabel::Component { id: 9, component: 2, color: 1 },
+                ShatterLabel::Neighborhood {
+                    id: 7,
+                    colors: vec![0, 1, 1],
+                },
+                ShatterLabel::Component {
+                    id: 9,
+                    component: 2,
+                    color: 1,
+                },
             ] {
-                assert_eq!(ShatterLabel::decode(&label.encode(width), width), Some(label));
+                assert_eq!(
+                    ShatterLabel::decode(&label.encode(width), width),
+                    Some(label)
+                );
             }
         }
         assert_eq!(ShatterLabel::decode(&Certificate::from_byte(5), 1), None);
         assert_eq!(ShatterLabel::decode(&Certificate::empty(), 1), None);
         // Colors above 1 are malformed.
-        let bad = ShatterLabel::Neighborhood { id: 1, colors: vec![2] }.encode(1);
+        let bad = ShatterLabel::Neighborhood {
+            id: 1,
+            colors: vec![2],
+        }
+        .encode(1);
         assert_eq!(ShatterLabel::decode(&bad, 1), None);
         // Width-dependent ids: a 2-byte id round-trips only at width 2.
         let wide = ShatterLabel::Point { id: 300 }.encode(2);
-        assert_eq!(ShatterLabel::decode(&wide, 2), Some(ShatterLabel::Point { id: 300 }));
+        assert_eq!(
+            ShatterLabel::decode(&wide, 2),
+            Some(ShatterLabel::Point { id: 300 })
+        );
         assert_eq!(ShatterLabel::decode(&wide, 1), None);
     }
 

@@ -169,10 +169,10 @@ mod tests {
     #[test]
     fn declines_outside_the_union_class() {
         for g in [
-            generators::cycle(5),                 // odd cycle
-            generators::torus(3, 4),              // min degree 4, not a cycle
-            generators::theta(2, 2, 2),           // min degree 2, not a cycle
-            generators::pendant_path(5, 2),       // pendant but odd cycle inside
+            generators::cycle(5),           // odd cycle
+            generators::torus(3, 4),        // min degree 4, not a cycle
+            generators::theta(2, 2, 2),     // min degree 2, not a cycle
+            generators::pendant_path(5, 2), // pendant but odd cycle inside
         ] {
             assert!(
                 UnionProver.certify(&Instance::canonical(g)).is_none(),
@@ -189,8 +189,7 @@ mod tests {
             tag_certificate(TAG_DEGREE_ONE, &crate::degree_one::Letter::Zero.encode()),
             tag_certificate(TAG_EVEN_CYCLE, &crate::degree_one::Letter::One.encode()),
         ]);
-        let verdicts =
-            hiding_lcp_core::decoder::run(&UnionDecoder, &inst.with_labeling(labeling));
+        let verdicts = hiding_lcp_core::decoder::run(&UnionDecoder, &inst.with_labeling(labeling));
         assert!(verdicts.iter().all(|v| !v.is_accept()));
     }
 
@@ -229,9 +228,7 @@ mod tests {
         }
         alphabet.push(Certificate::from_byte(7));
         let c3 = Instance::canonical(generators::cycle(3));
-        assert!(
-            strong::check_strong_exhaustive(&UnionDecoder, &two_col, &c3, &alphabet).is_ok()
-        );
+        assert!(strong::check_strong_exhaustive(&UnionDecoder, &two_col, &c3, &alphabet).is_ok());
     }
 
     #[test]
@@ -244,7 +241,10 @@ mod tests {
         // degree-one tag.
         let caterpillar_node = 0;
         let cycle_node = 6; // first node of the C6 component
-        assert_eq!(li.labeling().label(caterpillar_node).bytes()[0], TAG_DEGREE_ONE);
+        assert_eq!(
+            li.labeling().label(caterpillar_node).bytes()[0],
+            TAG_DEGREE_ONE
+        );
         assert_eq!(li.labeling().label(cycle_node).bytes()[0], TAG_EVEN_CYCLE);
     }
 }

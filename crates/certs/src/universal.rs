@@ -275,7 +275,9 @@ mod tests {
         // accepting set stays bipartite (strong soundness).
         let c4 = Instance::canonical(generators::cycle(4));
         let lie = GraphClaim::of(&c4).encode();
-        let li = inst.clone().with_labeling(Labeling::uniform(5, lie.clone()));
+        let li = inst
+            .clone()
+            .with_labeling(Labeling::uniform(5, lie.clone()));
         let verdicts = run(&UniversalDecoder, &li);
         assert!(verdicts.iter().any(|v| !v.is_accept()), "someone rejects");
         let two_col = hiding_lcp_core::language::KCol::new(2);
@@ -297,7 +299,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let donor_a = GraphClaim::of(&Instance::canonical(generators::cycle(4))).encode();
         let donor_b = GraphClaim::of(&Instance::canonical(generators::path(5))).encode();
-        for g in [generators::cycle(5), generators::complete(4), generators::petersen()] {
+        for g in [
+            generators::cycle(5),
+            generators::complete(4),
+            generators::petersen(),
+        ] {
             let inst = Instance::canonical(g);
             let honest_self = GraphClaim::of(&inst).encode();
             let alphabet = vec![

@@ -16,12 +16,12 @@
 //! strong-soundness sweep found this concretely). The check is available
 //! to the one-round verifier and evidently intended.
 
+use crate::shatter::id_width;
 use hiding_lcp_core::decoder::{Decoder, Verdict};
 use hiding_lcp_core::instance::{Instance, LabeledInstance};
 use hiding_lcp_core::label::{Certificate, Labeling};
 use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::view::{IdMode, View};
-use crate::shatter::id_width;
 use hiding_lcp_graph::classes::watermelon as wm;
 use hiding_lcp_graph::IdAssignment;
 
@@ -85,7 +85,12 @@ impl MelonLabel {
                 // so far ports range over 1..=255 while colors are bits.
                 let ports_ok = edges.iter().all(|&(p, c)| p >= 1 && c <= 1);
                 (id1 < id2 && ports_ok && edges[0].1 != edges[1].1).then_some(
-                    MelonLabel::PathNode { id1, id2, path, edges },
+                    MelonLabel::PathNode {
+                        id1,
+                        id2,
+                        path,
+                        edges,
+                    },
                 )
             }
             _ => None,
@@ -111,7 +116,12 @@ impl MelonLabel {
                 push_id(&mut bytes, *id1);
                 push_id(&mut bytes, *id2);
             }
-            MelonLabel::PathNode { id1, id2, path, edges } => {
+            MelonLabel::PathNode {
+                id1,
+                id2,
+                path,
+                edges,
+            } => {
                 bytes.push(2);
                 push_id(&mut bytes, *id1);
                 push_id(&mut bytes, *id2);
@@ -177,7 +187,10 @@ impl Decoder for WatermelonDecoder {
             return Verdict::Reject;
         };
         // Condition 1: everyone in sight agrees on the endpoints.
-        if neighbors.iter().any(|w| w.endpoint_ids() != mine.endpoint_ids()) {
+        if neighbors
+            .iter()
+            .any(|w| w.endpoint_ids() != mine.endpoint_ids())
+        {
             return Verdict::Reject;
         }
         let accept = match &mine {
@@ -211,7 +224,12 @@ impl Decoder for WatermelonDecoder {
                 sorted.dedup();
                 sorted.len() == paths.len() && colors.windows(2).all(|w| w[0] == w[1])
             }
-            MelonLabel::PathNode { id1, id2, path, edges } => {
+            MelonLabel::PathNode {
+                id1,
+                id2,
+                path,
+                edges,
+            } => {
                 // 3(a): exactly two neighbors, via ports 1 and 2.
                 if view.center_degree() != 2 {
                     return Verdict::Reject;
@@ -308,10 +326,7 @@ pub fn certify_with_polarity(instance: &Instance, polarity: u8) -> Option<Labeli
         for &u in &path[1..path.len() - 1] {
             let entry = |port: u16| {
                 let w = instance.ports().neighbor_at(u, port);
-                (
-                    instance.ports().port_to(w, u) as u8,
-                    edge_color[&(u, w)],
-                )
+                (instance.ports().port_to(w, u) as u8, edge_color[&(u, w)])
             };
             labels.set(
                 u,
@@ -336,10 +351,7 @@ pub fn certify_with_polarity(instance: &Instance, polarity: u8) -> Option<Labeli
 /// different parity — an odd closed walk in `V(D, 8)`.
 pub fn hiding_witness_universe() -> Vec<LabeledInstance> {
     let g = hiding_lcp_graph::generators::path(8);
-    let id_sets: [Vec<u64>; 2] = [
-        (1..=8).collect(),
-        vec![1, 2, 6, 5, 4, 3, 7, 8],
-    ];
+    let id_sets: [Vec<u64>; 2] = [(1..=8).collect(), vec![1, 2, 6, 5, 4, 3, 7, 8]];
     let mut out = Vec::new();
     for ports in hiding_lcp_graph::ports::all_port_assignments(&g, 1_000) {
         for ids in &id_sets {
@@ -373,7 +385,10 @@ pub fn adversary_labelings(instance: &Instance) -> Vec<Labeling> {
     let id1 = instance.ids().id(0).min(instance.ids().id(1));
     let id2 = instance.ids().id(0).max(instance.ids().id(1));
     // Everyone claims endpoint.
-    out.push(Labeling::uniform(n, MelonLabel::Endpoint { id1, id2 }.encode(width)));
+    out.push(Labeling::uniform(
+        n,
+        MelonLabel::Endpoint { id1, id2 }.encode(width),
+    ));
     // Degree-2 nodes carry arbitrary-polarity path labels; others claim
     // endpoint — a parity-scrambling adversary.
     for polarity in 0..=1u8 {
@@ -449,9 +464,12 @@ mod tests {
 
     #[test]
     fn declines_outside_the_promise() {
-        assert!(WatermelonProver
-            .certify(&Instance::canonical(generators::watermelon(&[2, 3])))
-            .is_none(), "mixed parity is not bipartite");
+        assert!(
+            WatermelonProver
+                .certify(&Instance::canonical(generators::watermelon(&[2, 3])))
+                .is_none(),
+            "mixed parity is not bipartite"
+        );
         assert!(WatermelonProver
             .certify(&Instance::canonical(generators::star(3)))
             .is_none());
@@ -473,8 +491,10 @@ mod tests {
         ] {
             let inst = Instance::canonical(g);
             for labeling in adversary_labelings(&inst) {
-                assert!(strong::strong_holds_for(&WatermelonDecoder, &two_col, &inst, &labeling)
-                    .is_ok());
+                assert!(
+                    strong::strong_holds_for(&WatermelonDecoder, &two_col, &inst, &labeling)
+                        .is_ok()
+                );
             }
             let alphabet: Vec<Certificate> = adversary_labelings(&inst)
                 .iter()

@@ -1,0 +1,231 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment is fully offline, so the real `criterion` cannot be
+//! fetched. This crate implements the subset of its API the workspace's
+//! benches use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by simple
+//! wall-clock timing (`std::time::Instant`).
+//!
+//! Reported statistics are a median over `sample_size` samples, each sample
+//! averaging enough iterations to exceed a minimum measurable duration. No
+//! HTML reports, no outlier analysis: results print to stdout as
+//! `bench <name> ... median <t> (<samples> samples)`.
+
+use std::time::{Duration, Instant};
+
+/// Re-implementation of `criterion::black_box` (also re-exported at the
+/// crate root by the real criterion).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine call
+/// per setup regardless of variant; the variants exist for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One routine call per batch.
+    PerIteration,
+}
+
+/// Passed to the closure given to `bench_function`; drives the measurement.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration durations (one median entry per sample).
+    measured: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measures `routine`, called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations reach ~1ms?
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.measured.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Measures `routine` on fresh inputs produced by `setup`; only the
+    /// routine is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.measured.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.measured.is_empty() {
+            return Duration::ZERO;
+        }
+        self.measured.sort_unstable();
+        self.measured[self.measured.len() / 2]
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measured: Vec::new(),
+        };
+        f(&mut bencher);
+        let median = bencher.median();
+        let full = format!("{}/{}", self.name, id);
+        println!(
+            "bench {full:<48} median {median:>12?} ({} samples)",
+            bencher.measured.len()
+        );
+        self.criterion
+            .results
+            .push(BenchResult { name: full, median });
+        self
+    }
+
+    /// Ends the group (no-op beyond API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// One recorded benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function` identifier.
+    pub name: String,
+    /// Median measured duration.
+    pub median: Duration,
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    /// All results recorded so far (readable by harness `main`s that want
+    /// to post-process, e.g. to emit JSON).
+    pub results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// A harness with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark (default sample size).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("criterion").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert_eq!(c.results[0].name, "shim/noop");
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::new();
+        let mut count = 0;
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(4).bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    count += 1;
+                    vec![1u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        assert_eq!(count, 4);
+    }
+}

@@ -1,0 +1,322 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment is fully offline, so the real `proptest` cannot be
+//! fetched. This crate implements the subset of its API the workspace's
+//! test suites use: the [`proptest!`] macro, range strategies,
+//! [`collection::vec`], `prop_assert*` macros and [`prelude::ProptestConfig`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs verbatim;
+//!   re-running reproduces it because the per-test RNG seed is derived from
+//!   the test name.
+//! * **Deterministic.** Each test function draws its cases from a seed
+//!   derived from the test's name, so failures are reproducible without a
+//!   regression file (`.proptest-regressions` files are ignored).
+
+pub use rand;
+
+/// Strategy: a recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut rand::rngs::StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                rand::Rng::random_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = self.end.wrapping_sub(self.start) as $u;
+                let off = rand::Rng::random_range(rng, 0..span);
+                self.start.wrapping_add(off as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut rand::rngs::StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = hi.wrapping_sub(lo) as $u;
+                let off = rand::Rng::random_range(rng, 0..=span);
+                lo.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Integer types accepted as collection lengths (mirrors the real crate's
+/// `Into<SizeRange>` flexibility — untyped literals default to `i32`).
+pub trait Length {
+    /// The value as a `usize` length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if negative.
+    fn to_len(self) -> usize;
+}
+
+macro_rules! impl_length {
+    ($($t:ty),*) => {$(
+        impl Length for $t {
+            fn to_len(self) -> usize {
+                usize::try_from(self).expect("collection length must be non-negative")
+            }
+        }
+    )*};
+}
+
+impl_length!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `Just`: always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut rand::rngs::StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Length, Strategy};
+
+    /// A strategy for `Vec`s whose length is drawn from `len` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy, L: Strategy>(element: S, len: L) -> VecStrategy<S, L>
+    where
+        L::Value: Length,
+    {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: Strategy> Strategy for VecStrategy<S, L>
+    where
+        L::Value: Length,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut rand::rngs::StdRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng).to_len();
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-case failure carrier used by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Everything the `proptest!` body needs in scope.
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{Just, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Runner configuration. Only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// Stable 64-bit FNV-1a hash of the test name — the per-test RNG seed.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The `proptest!` macro: runs each contained test function over many
+/// sampled inputs. Supports the optional leading
+/// `#![proptest_config(expr)]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::prelude::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::prelude::ProptestConfig = $cfg;
+                let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                        $(let $arg = $arg.clone();)+
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1,
+                            config.cases,
+                            e,
+                            vec![$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the inputs on
+/// failure instead of panicking immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` for `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            left
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        $crate::prop_assert!(left != right, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Sampled values respect their ranges.
+        #[test]
+        fn ranges_hold(a in 0u64..100, b in 5usize..9) {
+            prop_assert!(a < 100);
+            prop_assert!((5..9).contains(&b));
+        }
+
+        /// Vec strategy honors length and element ranges.
+        #[test]
+        fn vecs_hold(v in collection::vec(2usize..6, 1..5usize)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| (2..6).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn seeds_differ_by_name() {
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+        assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
+    }
+
+    #[test]
+    fn prop_assert_failures_report() {
+        fn inner() -> Result<(), TestCaseError> {
+            prop_assert_eq!(1 + 1, 3, "math broke");
+            Ok(())
+        }
+        assert!(inner().is_err());
+    }
+}

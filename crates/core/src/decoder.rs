@@ -47,7 +47,11 @@ impl From<bool> for Verdict {
 /// [`Decoder::decide`], which *enforces* (rather than merely asserts)
 /// anonymity and order-invariance: an anonymous decoder literally cannot
 /// read identifiers because its views carry none.
-pub trait Decoder {
+///
+/// `Sync` is a supertrait so the verification engine ([`crate::verify`])
+/// can share one decoder across sweep worker threads; decoders are plain
+/// data (tables, codes), so this costs implementors nothing.
+pub trait Decoder: Sync {
     /// A short human-readable name, used in reports and experiment tables.
     fn name(&self) -> String;
 

@@ -46,8 +46,7 @@ pub fn instance_variants(
     for id in &ids {
         for prt in &ports {
             out.push(
-                Instance::new(g.clone(), prt.clone(), id.clone())
-                    .expect("variants fit the graph"),
+                Instance::new(g.clone(), prt.clone(), id.clone()).expect("variants fit the graph"),
             );
         }
     }
@@ -64,7 +63,9 @@ pub fn family_variants(
     graphs
         .into_iter()
         .enumerate()
-        .flat_map(|(i, g)| instance_variants(&g, extra_ids, extra_ports, seed.wrapping_add(i as u64)))
+        .flat_map(|(i, g)| {
+            instance_variants(&g, extra_ids, extra_ports, seed.wrapping_add(i as u64))
+        })
         .collect()
 }
 

@@ -8,10 +8,13 @@
 //! recovers a proper k-coloring — which is exactly why a decoder whose
 //! neighborhood graph is k-colorable is *not* hiding.
 
+use crate::decoder::Decoder;
 use crate::instance::LabeledInstance;
 use crate::language::KCol;
 use crate::nbhd::NbhdGraph;
-use crate::view::View;
+use crate::verify::{Universe, VerificationReport};
+use crate::view::{IdMode, View};
+use hiding_lcp_graph::Graph;
 
 /// The Lemma 3.2 extraction decoder.
 #[derive(Debug, Clone)]
@@ -28,6 +31,24 @@ impl Extractor {
     pub fn from_nbhd(nbhd: NbhdGraph, k: usize) -> Option<Self> {
         let coloring = nbhd.lex_coloring(k)?;
         Some(Extractor { nbhd, coloring, k })
+    }
+
+    /// The engine form: sweeps `universe` on the verification engine (see
+    /// [`crate::verify`]), builds `V(D, ·)` with anonymous views and
+    /// attempts the Lemma 3.2 coloring. A `None` verdict means `V(D, ·)`
+    /// is not k-colorable — the decoder hides and no extractor exists.
+    pub fn from_universe<D, F>(
+        decoder: &D,
+        universe: &Universe,
+        k: usize,
+        is_yes: F,
+    ) -> VerificationReport<Option<Extractor>>
+    where
+        D: Decoder + ?Sized,
+        F: Fn(&Graph) -> bool,
+    {
+        NbhdGraph::from_sweep(decoder, IdMode::Anonymous, universe, is_yes)
+            .map(|nbhd| Extractor::from_nbhd(nbhd, k))
     }
 
     /// The palette size.
@@ -120,7 +141,9 @@ mod tests {
         // An accepted yes-instance within the universe's size bound whose
         // views all appeared: 2-colored C4.
         let inst = Instance::canonical(generators::cycle(4));
-        let labels = (0..4).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+        let labels = (0..4)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect();
         let li = inst.with_labeling(labels);
         assert!(crate::decoder::accepts_all(&LocalDiff, &li));
         assert!(extractor.extraction_succeeds(&li));
@@ -135,7 +158,9 @@ mod tests {
         // extraction still succeeds — the decoder genuinely leaks.
         let extractor = exhaustive_extractor(4);
         let inst = Instance::canonical(generators::path(6));
-        let labels = (0..6).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+        let labels = (0..6)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect();
         let li = inst.with_labeling(labels);
         assert!(crate::decoder::accepts_all(&LocalDiff, &li));
         assert!(extractor.extraction_succeeds(&li));
@@ -157,6 +182,22 @@ mod tests {
         let outputs = extractor.extract_all(&li);
         assert_eq!(outputs[0], None, "center view unseen at n <= 3");
         assert!(!extractor.extraction_succeeds(&li));
+    }
+
+    #[test]
+    fn engine_extractor_matches_materialized_extractor() {
+        let alphabet = binary_alphabet();
+        let universe = crate::verify::Universe::lemma31(4, alphabet).expect("n <= 4 universe fits");
+        let report = Extractor::from_universe(&LocalDiff, &universe, 2, bipartite::is_bipartite);
+        let engine = report.verdict.expect("revealing LCP is not hiding");
+        let manual = exhaustive_extractor(4);
+        let inst = Instance::canonical(generators::cycle(4));
+        let labels = (0..4)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect();
+        let li = inst.with_labeling(labels);
+        assert_eq!(engine.extract_all(&li), manual.extract_all(&li));
+        assert!(engine.extraction_succeeds(&li));
     }
 
     #[test]

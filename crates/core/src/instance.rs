@@ -153,6 +153,11 @@ impl LabeledInstance {
     pub fn view(&self, v: usize, radius: usize, id_mode: IdMode) -> View {
         self.instance.view(&self.labeling, v, radius, id_mode)
     }
+
+    /// Decomposes into the instance and its labeling (no clone).
+    pub fn into_parts(self) -> (Instance, Labeling) {
+        (self.instance, self.labeling)
+    }
 }
 
 #[cfg(test)]

@@ -200,6 +200,9 @@ mod tests {
     #[test]
     fn debug_format_is_nonempty() {
         assert_eq!(format!("{:?}", Certificate::empty()), "Certificate()");
-        assert_eq!(format!("{:?}", Certificate::from_byte(255)), "Certificate(ff)");
+        assert_eq!(
+            format!("{:?}", Certificate::from_byte(255)),
+            "Certificate(ff)"
+        );
     }
 }

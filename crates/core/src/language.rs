@@ -186,9 +186,7 @@ mod tests {
         assert!(!MinDegreeOne.contains(&generators::cycle(4)));
         assert!(EvenCycles.contains(&generators::cycle(6)));
         assert!(!EvenCycles.contains(&generators::cycle(5)));
-        assert!(Theorem11Class.contains(
-            &generators::path(3).disjoint_union(&generators::cycle(4))
-        ));
+        assert!(Theorem11Class.contains(&generators::path(3).disjoint_union(&generators::cycle(4))));
         assert!(ShatterPointGraphs.contains(&generators::path(8)));
         assert!(!ShatterPointGraphs.contains(&generators::cycle(6)));
         assert!(WatermelonGraphs.contains(&generators::watermelon(&[2, 3, 4])));

@@ -27,7 +27,10 @@
 use crate::decoder::{accepting_set, Decoder};
 use crate::instance::LabeledInstance;
 use crate::nbhd::NbhdGraph;
+use crate::verify::{Universe, VerificationReport};
+use crate::view::IdMode;
 use hiding_lcp_graph::algo::bipartite;
+use hiding_lcp_graph::Graph;
 
 /// The LCL problem Π for a fixed certificate scheme `D`.
 #[derive(Debug, Clone)]
@@ -92,6 +95,24 @@ pub fn view_rule_counterexample(nbhd: &NbhdGraph) -> Option<(usize, (usize, usiz
     nbhd.self_loop_witness(view)
 }
 
+/// The engine form of [`view_rule_counterexample`]: sweeps `universe` on
+/// the verification engine (see [`crate::verify`]), builds `V(D, ·)` with
+/// anonymous views — view-based rules are functions of views, so the
+/// anonymous class is the right one — and digs out the defeating adjacent
+/// pair, if any self-loop surfaced.
+pub fn view_rule_defeat_over<D, F>(
+    decoder: &D,
+    universe: &Universe,
+    is_yes: F,
+) -> VerificationReport<Option<(usize, (usize, usize))>>
+where
+    D: Decoder + ?Sized,
+    F: Fn(&Graph) -> bool,
+{
+    NbhdGraph::from_sweep(decoder, IdMode::Anonymous, universe, is_yes)
+        .map(|nbhd| view_rule_counterexample(&nbhd))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,7 +152,9 @@ mod tests {
     #[test]
     fn solves_on_fully_valid_instances() {
         let inst = Instance::canonical(generators::cycle(6));
-        let labels = (0..6).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+        let labels = (0..6)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect();
         let li = inst.with_labeling(labels);
         let outputs = pi().solve_by_bipartition(&li).expect("strongly sound");
         assert!(pi().is_valid_output(&li, &outputs));
@@ -146,7 +169,10 @@ mod tests {
         let labels = Labeling::uniform(7, Certificate::from_byte(0));
         let li = inst.with_labeling(labels);
         let verdicts = run(&LocalDiff, &li);
-        assert!(verdicts.iter().all(|v| !v.is_accept()), "all-equal labels reject");
+        assert!(
+            verdicts.iter().all(|v| !v.is_accept()),
+            "all-equal labels reject"
+        );
         let outputs = pi().solve_by_bipartition(&li).expect("vacuous");
         assert!(pi().is_valid_output(&li, &outputs));
 
@@ -168,10 +194,16 @@ mod tests {
     fn rejects_bad_outputs() {
         let inst = Instance::canonical(generators::path(3));
         let labels = Labeling::new(
-            [0u8, 1, 0].into_iter().map(Certificate::from_byte).collect(),
+            [0u8, 1, 0]
+                .into_iter()
+                .map(Certificate::from_byte)
+                .collect(),
         );
         let li = inst.with_labeling(labels);
-        assert!(!pi().is_valid_output(&li, &[0, 0, 1]), "adjacent accepting equal");
+        assert!(
+            !pi().is_valid_output(&li, &[0, 0, 1]),
+            "adjacent accepting equal"
+        );
         assert!(!pi().is_valid_output(&li, &[0, 1]), "wrong arity");
         assert!(!pi().is_valid_output(&li, &[0, 3, 1]), "palette overflow");
         assert!(pi().is_valid_output(&li, &[0, 1, 0]));
@@ -199,8 +231,7 @@ mod tests {
         }
         let g = generators::cycle(4);
         let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
-        let inst =
-            Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
+        let inst = Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
         let li = inst.with_labeling(Labeling::empty(4));
         let nbhd = NbhdGraph::build(&YesMan, IdMode::Anonymous, vec![li], |g| {
             bipartite::is_bipartite(g)
@@ -216,9 +247,40 @@ mod tests {
     }
 
     #[test]
+    fn engine_sweep_finds_the_same_defeat() {
+        struct YesMan;
+        impl Decoder for YesMan {
+            fn name(&self) -> String {
+                "yes-man".into()
+            }
+            fn radius(&self) -> usize {
+                1
+            }
+            fn id_mode(&self) -> IdMode {
+                IdMode::Anonymous
+            }
+            fn decide(&self, _view: &View) -> Verdict {
+                Verdict::Accept
+            }
+        }
+        let g = generators::cycle(4);
+        let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+        let inst = Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
+        let li = inst.with_labeling(Labeling::empty(4));
+        let universe =
+            crate::verify::Universe::from_labeled(vec![li], crate::verify::Coverage::Sampled)
+                .expect("one labeled instance fits");
+        let report = view_rule_defeat_over(&YesMan, &universe, bipartite::is_bipartite);
+        let (_, (u, v)) = report.verdict.expect("self-loop exists");
+        assert_ne!(u, v);
+    }
+
+    #[test]
     fn no_self_loop_means_no_counterexample() {
         let inst = Instance::canonical(generators::cycle(4));
-        let labels = (0..4).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+        let labels = (0..4)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect();
         let li = inst.with_labeling(labels);
         let nbhd = NbhdGraph::build(&LocalDiff, IdMode::Anonymous, vec![li], |g| {
             bipartite::is_bipartite(g)

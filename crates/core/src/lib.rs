@@ -35,7 +35,12 @@
 //! * the motivating LCL problem Π of Section 1 — 3-coloring under a
 //!   2-colorability certificate — with its verifier, a solver powered by
 //!   strong soundness, and the concrete defeat of view-based rules
-//!   ([`lcl`]).
+//!   ([`lcl`]);
+//! * the unified verification engine behind all of the above checkers
+//!   ([`verify`]): typed-coverage instance universes, the
+//!   [`verify::PropertyCheck`] map/reduce interface, a shared
+//!   view-canonicalization cache, and a sequential-identical parallel
+//!   sweep executor (default-on `parallel` feature).
 //!
 //! # Quick start
 //!
@@ -62,6 +67,7 @@ pub mod properties;
 pub mod prover;
 pub mod ramsey;
 pub mod realize;
+pub mod verify;
 pub mod view;
 pub mod walks;
 
@@ -73,5 +79,8 @@ pub mod prelude {
     pub use crate::language::KCol;
     pub use crate::nbhd::NbhdGraph;
     pub use crate::prover::Prover;
+    pub use crate::verify::{
+        sweep, sweep_with, Coverage, ExecMode, PropertyCheck, Universe, VerificationReport,
+    };
     pub use crate::view::{IdMode, View};
 }

@@ -15,14 +15,15 @@
 //!   complete, strong and hiding together. (The paper's Lemma 4.2 LCP
 //!   escapes this slice precisely by reading port numbers.)
 
-use crate::decoder::{run, Decoder, Verdict};
+use crate::decoder::{Decoder, Verdict};
 use crate::instance::{Instance, LabeledInstance};
 use crate::label::{Certificate, Labeling};
 use crate::language::KCol;
 use crate::nbhd::NbhdGraph;
-use crate::properties::strong::{strong_holds_for, StrongViolation};
-use crate::prover::all_labelings;
+use crate::properties::soundness::check_soundness_exhaustive;
+use crate::properties::strong::{check_strong_exhaustive, strong_holds_for, StrongViolation};
 use crate::realize::{find_plan, realize, Realization};
+use crate::verify::{Block, Coverage, LabelSource, Universe};
 use crate::view::{IdMode, View};
 use hiding_lcp_graph::algo::bipartite;
 use hiding_lcp_graph::Graph;
@@ -160,7 +161,10 @@ impl PortObliviousCycleDecoder {
         for (i, slot) in table.iter_mut().enumerate() {
             *slot = code >> i & 1 == 1;
         }
-        PortObliviousCycleDecoder { table, code: code & 0x3f }
+        PortObliviousCycleDecoder {
+            table,
+            code: code & 0x3f,
+        }
     }
 
     /// The 6-bit code.
@@ -251,31 +255,40 @@ pub fn search_cycle_decoders(even_sizes: &[usize], all_sizes: &[usize]) -> Cycle
     for code in 0u8..64 {
         let decoder = PortObliviousCycleDecoder::from_code(code);
         // Completeness: some labeling is unanimously accepted on every
-        // even cycle.
+        // even cycle — i.e. the exhaustive soundness sweep *finds* a
+        // unanimously accepted labeling (returns a "violation").
         let complete = even_sizes.iter().all(|&n| {
             let inst = Instance::canonical(hiding_lcp_graph::generators::cycle(n));
-            all_labelings(n, &alphabet)
-                .any(|l| run(&decoder, &inst.clone().with_labeling(l)).iter().all(|v| v.is_accept()))
+            check_soundness_exhaustive(&decoder, &inst, &alphabet).is_err()
         });
         // Strong soundness: every labeling of every cycle leaves a
         // bipartite accepting set.
         let strong = all_sizes.iter().all(|&n| {
             let inst = Instance::canonical(hiding_lcp_graph::generators::cycle(n));
-            all_labelings(n, &alphabet)
-                .all(|l| strong_holds_for(&decoder, &two_col, &inst, &l).is_ok())
+            check_strong_exhaustive(&decoder, &two_col, &inst, &alphabet).is_ok()
         });
         // Hiding: odd closed walk in V(D, ·) over all labelings of the
-        // even cycles.
-        let universe: Vec<LabeledInstance> = even_sizes
-            .iter()
-            .flat_map(|&n| {
-                let inst = Instance::canonical(hiding_lcp_graph::generators::cycle(n));
-                crate::nbhd::sources::with_all_labelings(&inst, &alphabet, None)
-            })
-            .collect();
-        let nbhd = NbhdGraph::build(&decoder, IdMode::Anonymous, universe, |g| {
+        // even cycles, swept on the engine.
+        let universe = Universe::new(
+            even_sizes
+                .iter()
+                .map(|&n| {
+                    let inst = Instance::canonical(hiding_lcp_graph::generators::cycle(n));
+                    Block::new(
+                        inst,
+                        LabelSource::All {
+                            alphabet: alphabet.to_vec(),
+                        },
+                    )
+                })
+                .collect(),
+            Coverage::Sampled,
+        )
+        .expect("small cycle universes fit usize");
+        let nbhd = NbhdGraph::from_sweep(&decoder, IdMode::Anonymous, &universe, |g| {
             bipartite::is_bipartite(g)
-        });
+        })
+        .verdict;
         let hiding = nbhd.odd_cycle().is_some();
         if complete {
             report.complete.push(code);
@@ -296,6 +309,7 @@ pub fn search_cycle_decoders(even_sizes: &[usize], all_sizes: &[usize]) -> Cycle
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::decoder::run;
     use hiding_lcp_graph::generators;
 
     #[test]

@@ -17,10 +17,134 @@ pub mod sources;
 
 use crate::decoder::{run, Decoder};
 use crate::instance::LabeledInstance;
+use crate::verify::{
+    self, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+    VerificationReport,
+};
 use crate::view::{IdMode, View};
 use hiding_lcp_graph::algo::{bipartite, coloring};
 use hiding_lcp_graph::Graph;
 use std::collections::{BTreeSet, HashMap};
+
+/// Per-item evidence of the Lemma 3.1 sweep: every node's canonical view
+/// (in the neighborhood graph's id mode) plus its acceptance flag.
+#[derive(Debug, Clone)]
+pub struct NbhdScan {
+    views: Vec<View>,
+    accepts: Vec<bool>,
+}
+
+/// The Lemma 3.1 construction as a [`PropertyCheck`]: inspection scans one
+/// labeled yes-instance (no-instances yield no partial), and the reduce
+/// step replays the exact two-pass insertion order of
+/// [`NbhdGraph::extend`], so the engine-built graph is identical —
+/// views, edges, witnesses and all — to the sequential construction.
+pub struct NbhdSweep<'a, D: ?Sized> {
+    decoder: &'a D,
+    id_mode: IdMode,
+    /// Whether each universe block's graph passed the `is_yes` filter
+    /// (evaluated once per block, not once per labeling).
+    block_yes: Vec<bool>,
+}
+
+impl<'a, D: Decoder + ?Sized> NbhdSweep<'a, D> {
+    /// Prepares a sweep of `universe`, retaining only blocks whose graph
+    /// satisfies `is_yes`.
+    pub fn new<F>(decoder: &'a D, id_mode: IdMode, universe: &Universe, is_yes: F) -> Self
+    where
+        F: Fn(&Graph) -> bool,
+    {
+        let block_yes = universe
+            .blocks()
+            .iter()
+            .map(|b| is_yes(b.instance().graph()))
+            .collect();
+        NbhdSweep {
+            decoder,
+            id_mode,
+            block_yes,
+        }
+    }
+}
+
+impl<D: Decoder + ?Sized> PropertyCheck for NbhdSweep<'_, D> {
+    type Partial = NbhdScan;
+    type Verdict = NbhdGraph;
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        vec![
+            (self.decoder.radius(), self.decoder.id_mode()),
+            (self.decoder.radius(), self.id_mode),
+        ]
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<NbhdScan> {
+        if !self.block_yes[item.block] {
+            return None;
+        }
+        let n = item.instance.graph().node_count();
+        let radius = self.decoder.radius();
+        let accepts = (0..n)
+            .map(|v| {
+                self.decoder
+                    .decide(&ctx.view(item, v, radius, self.decoder.id_mode()))
+                    .is_accept()
+            })
+            .collect();
+        let views = (0..n)
+            .map(|v| ctx.view(item, v, radius, self.id_mode))
+            .collect();
+        Some(NbhdScan { views, accepts })
+    }
+
+    fn reduce(
+        &self,
+        universe: &Universe,
+        partials: Vec<(usize, NbhdScan)>,
+        _outcome: &SweepOutcome,
+    ) -> NbhdGraph {
+        let mut nbhd = NbhdGraph::empty(self.decoder.radius(), self.id_mode);
+        // Pass 1, replaying `extend`: retained instances in item order,
+        // nodes in order, accepting views dedup-inserted.
+        let mut scans: Vec<NbhdScan> = Vec::with_capacity(partials.len());
+        for (item_idx, scan) in partials {
+            let inst_idx = nbhd.instances.len();
+            nbhd.instances.push(universe.labeled_instance(item_idx));
+            for (v, view) in scan.views.iter().enumerate() {
+                if !scan.accepts[v] || nbhd.index.contains_key(view) {
+                    continue;
+                }
+                let idx = nbhd.views.len();
+                nbhd.index.insert(view.clone(), idx);
+                nbhd.views.push(view.clone());
+                nbhd.adj.push(BTreeSet::new());
+                nbhd.view_witness.push((inst_idx, v));
+            }
+            scans.push(scan);
+        }
+        // Pass 2: yes-instance-compatibility edges over all retained
+        // instances, in the same order and with the same first-witness
+        // (`or_insert`) policy as `extend`.
+        for (inst_idx, scan) in scans.iter().enumerate() {
+            for (u, v) in nbhd.instances[inst_idx].graph().edges() {
+                let a = nbhd.index.get(&scan.views[u]).copied();
+                let b = nbhd.index.get(&scan.views[v]).copied();
+                if let (Some(a), Some(b)) = (a, b) {
+                    if a == b {
+                        nbhd.self_loops.entry(a).or_insert((inst_idx, (u, v)));
+                    } else {
+                        nbhd.adj[a].insert(b);
+                        nbhd.adj[b].insert(a);
+                        nbhd.edge_witness
+                            .entry((a.min(b), a.max(b)))
+                            .or_insert((inst_idx, (u, v)));
+                    }
+                }
+            }
+        }
+        nbhd
+    }
+}
 
 /// The accepting neighborhood graph, with full provenance: every view and
 /// every edge remembers a witnessing instance.
@@ -96,9 +220,30 @@ impl NbhdGraph {
         D: Decoder + ?Sized,
         F: Fn(&Graph) -> bool,
     {
-        let mut nbhd = NbhdGraph::empty(decoder.radius(), id_mode);
-        nbhd.extend(decoder, instances, is_yes);
-        nbhd
+        let universe = Universe::from_labeled(instances, Coverage::Sampled)
+            .expect("one item per materialized instance fits usize");
+        Self::from_sweep(decoder, id_mode, &universe, is_yes).verdict
+    }
+
+    /// Lemma 3.1 on the verification engine: sweeps `universe` (see
+    /// [`crate::verify::Universe`] for exhaustive constructors) and returns
+    /// the neighborhood graph together with the sweep's
+    /// [`VerificationReport`] evidence — instances checked, view-cache
+    /// hits, elapsed time, thread count. [`NbhdGraph::build`] is this with
+    /// the evidence discarded; [`NbhdGraph::extend`] remains the
+    /// incremental sequential step for growing universes.
+    pub fn from_sweep<D, F>(
+        decoder: &D,
+        id_mode: IdMode,
+        universe: &Universe,
+        is_yes: F,
+    ) -> VerificationReport<NbhdGraph>
+    where
+        D: Decoder + ?Sized,
+        F: Fn(&Graph) -> bool,
+    {
+        let check = NbhdSweep::new(decoder, id_mode, universe, is_yes);
+        verify::sweep(&check, universe)
     }
 
     /// An empty neighborhood graph, ready for [`NbhdGraph::extend`].
@@ -161,8 +306,14 @@ impl NbhdGraph {
         for inst_idx in 0..self.instances.len() {
             let li = self.instances[inst_idx].clone();
             for (u, v) in li.graph().edges() {
-                let a = self.index.get(&li.view(u, self.radius, self.id_mode)).copied();
-                let b = self.index.get(&li.view(v, self.radius, self.id_mode)).copied();
+                let a = self
+                    .index
+                    .get(&li.view(u, self.radius, self.id_mode))
+                    .copied();
+                let b = self
+                    .index
+                    .get(&li.view(v, self.radius, self.id_mode))
+                    .copied();
                 if let (Some(a), Some(b)) = (a, b) {
                     if a == b {
                         self.self_loops.entry(a).or_insert((inst_idx, (u, v)));
@@ -366,9 +517,10 @@ mod tests {
     fn two_colored_cycle(n: usize) -> LabeledInstance {
         let g = generators::cycle(n);
         let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
-        let inst =
-            Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(n)).unwrap();
-        let labels = (0..n).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+        let inst = Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(n)).unwrap();
+        let labels = (0..n)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect();
         inst.with_labeling(labels)
     }
 
@@ -393,10 +545,9 @@ mod tests {
             let inst = Instance::canonical(generators::cycle(5));
             inst.with_labeling(Labeling::uniform(5, Certificate::from_byte(0)))
         };
-        let nbhd =
-            NbhdGraph::build(&LocalDiff, IdMode::Anonymous, vec![odd], |g| {
-                bipartite::is_bipartite(g)
-            });
+        let nbhd = NbhdGraph::build(&LocalDiff, IdMode::Anonymous, vec![odd], |g| {
+            bipartite::is_bipartite(g)
+        });
         assert_eq!(nbhd.view_count(), 0);
         assert_eq!(nbhd.instances().len(), 0);
     }
@@ -455,8 +606,7 @@ mod tests {
         }
         let g = generators::cycle(4);
         let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
-        let inst =
-            Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
+        let inst = Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
         let li = inst.with_labeling(Labeling::empty(4));
         let nbhd = NbhdGraph::build(&YesMan, IdMode::Anonymous, vec![li], |g| {
             bipartite::is_bipartite(g)
@@ -488,8 +638,7 @@ mod tests {
         }
         let g = generators::cycle(4);
         let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
-        let inst =
-            Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
+        let inst = Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
         let li = inst.with_labeling(Labeling::empty(4));
         let nbhd = NbhdGraph::build(&YesMan2, IdMode::Anonymous, vec![li], |g| {
             bipartite::is_bipartite(g)
@@ -501,7 +650,11 @@ mod tests {
 
     #[test]
     fn incremental_extension_matches_batch_build() {
-        let universe = vec![two_colored_cycle(4), two_colored_cycle(6), two_colored_cycle(8)];
+        let universe = vec![
+            two_colored_cycle(4),
+            two_colored_cycle(6),
+            two_colored_cycle(8),
+        ];
         let batch = NbhdGraph::build(&LocalDiff, IdMode::Anonymous, universe.clone(), |g| {
             bipartite::is_bipartite(g)
         });
@@ -514,10 +667,7 @@ mod tests {
         assert_eq!(incremental.self_loop_views(), batch.self_loop_views());
         for i in 0..batch.view_count() {
             let j = incremental.index_of(batch.view(i)).expect("same views");
-            let batch_nbrs: Vec<_> = batch
-                .neighbors(i)
-                .map(|x| batch.view(x).clone())
-                .collect();
+            let batch_nbrs: Vec<_> = batch.neighbors(i).map(|x| batch.view(x).clone()).collect();
             for nbr in batch_nbrs {
                 let jn = incremental.index_of(&nbr).unwrap();
                 assert!(incremental.has_edge(j, jn));

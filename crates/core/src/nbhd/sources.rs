@@ -15,7 +15,8 @@
 
 use crate::instance::{Instance, LabeledInstance};
 use crate::label::Certificate;
-use crate::prover::{all_labelings, Prover};
+use crate::prover::Prover;
+use crate::verify::{Coverage, Universe};
 use hiding_lcp_graph::generators;
 
 /// Labels each instance with `prover`'s certificate assignment, skipping
@@ -35,17 +36,19 @@ pub fn prover_labeled<P: Prover + ?Sized>(
 
 /// All labelings of one instance over `alphabet` (the `|alphabet|^n`
 /// exhaustive adversary), optionally truncated to `limit` labelings.
+///
+/// Materialized from a [`Universe`] — the same odometer enumeration the
+/// verification engine sweeps without materializing.
 pub fn with_all_labelings(
     instance: &Instance,
     alphabet: &[Certificate],
     limit: Option<usize>,
 ) -> Vec<LabeledInstance> {
-    let n = instance.graph().node_count();
-    let iter = all_labelings(n, alphabet).map(|l| instance.clone().with_labeling(l));
-    match limit {
-        Some(cap) => iter.take(cap).collect(),
-        None => iter.collect(),
-    }
+    let universe =
+        Universe::all_labelings_of(instance.clone(), alphabet.to_vec(), Coverage::Exhaustive)
+            .expect("universe size overflows usize; truncate with `limit`");
+    let cap = limit.unwrap_or(usize::MAX).min(universe.len());
+    (0..cap).map(|i| universe.labeled_instance(i)).collect()
 }
 
 /// The full Lemma 3.1 universe for tiny parameters: every connected graph
@@ -70,8 +73,8 @@ pub fn exhaustive_universe(max_n: usize, alphabet: &[Certificate]) -> Vec<Labele
     for g in generators::connected_graphs_up_to(max_n) {
         let ids = hiding_lcp_graph::IdAssignment::canonical(g.node_count());
         for ports in hiding_lcp_graph::ports::all_port_assignments(&g, 100_000) {
-            let instance = Instance::new(g.clone(), ports, ids.clone())
-                .expect("enumerated assignments fit");
+            let instance =
+                Instance::new(g.clone(), ports, ids.clone()).expect("enumerated assignments fit");
             out.extend(with_all_labelings(&instance, alphabet, None));
         }
     }

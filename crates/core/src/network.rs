@@ -91,14 +91,7 @@ pub fn simulate_views(li: &LabeledInstance, radius: usize, id_mode: IdMode) -> V
         .nodes()
         .map(|v| {
             let k = &knowledge[v];
-            View::from_local_knowledge(
-                ids.id(v),
-                &k.labels,
-                &k.edges,
-                radius,
-                id_mode,
-                ids.bound(),
-            )
+            View::from_local_knowledge(ids.id(v), &k.labels, &k.edges, radius, id_mode, ids.bound())
         })
         .collect()
 }
@@ -198,7 +191,10 @@ mod tests {
 
         for seed in 0..5u64 {
             let li = labeled(generators::grid(3, 3), seed);
-            assert_eq!(run_distributed(&ParityOfLabels, &li), run(&ParityOfLabels, &li));
+            assert_eq!(
+                run_distributed(&ParityOfLabels, &li),
+                run(&ParityOfLabels, &li)
+            );
         }
     }
 

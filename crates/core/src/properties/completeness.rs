@@ -1,9 +1,17 @@
 //! Completeness: on every yes-instance there is a labeling accepted by all
 //! nodes (paper, Section 2.2).
+//!
+//! Runs on the [`crate::verify`] engine via [`CompletenessCheck`]: the
+//! universe contributes one (unlabeled) item per instance, and the prover
+//! supplies the labeling inside [`PropertyCheck::inspect`].
 
-use crate::decoder::{run, Decoder};
+use crate::decoder::Decoder;
 use crate::instance::Instance;
 use crate::prover::Prover;
+use crate::verify::{
+    sweep, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+};
+use crate::view::IdMode;
 
 /// The outcome of a completeness check over a batch of instances.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +50,80 @@ pub enum CompletenessFailure {
     },
 }
 
+/// Per-instance completeness evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompletenessOutcome {
+    /// The prover certified and every node accepted; records the largest
+    /// certificate, in bits.
+    Passed(usize),
+    /// The prover declined.
+    Declined,
+    /// The first rejecting node under the prover's labeling.
+    Rejected(usize),
+}
+
+/// The completeness property as a sweepable check: each universe item is
+/// one (unlabeled) instance; the prover's labeling is produced and judged
+/// during inspection. No short-circuit — every instance is reported.
+pub struct CompletenessCheck<'a, D: ?Sized, P: ?Sized> {
+    /// The decoder under test.
+    pub decoder: &'a D,
+    /// The prover whose labelings must be unanimously accepted.
+    pub prover: &'a P,
+}
+
+impl<D: Decoder + ?Sized, P: Prover + ?Sized> PropertyCheck for CompletenessCheck<'_, D, P> {
+    type Partial = CompletenessOutcome;
+    type Verdict = CompletenessReport;
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        vec![(self.decoder.radius(), self.decoder.id_mode())]
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<CompletenessOutcome> {
+        let Some(labeling) = self.prover.certify(item.instance) else {
+            return Some(CompletenessOutcome::Declined);
+        };
+        let bits = labeling.max_bits();
+        let verdicts = ctx.run_with(item, &labeling, self.decoder);
+        Some(match verdicts.iter().position(|v| !v.is_accept()) {
+            Some(node) => CompletenessOutcome::Rejected(node),
+            None => CompletenessOutcome::Passed(bits),
+        })
+    }
+
+    fn reduce(
+        &self,
+        _universe: &Universe,
+        partials: Vec<(usize, CompletenessOutcome)>,
+        _outcome: &SweepOutcome,
+    ) -> CompletenessReport {
+        let mut report = CompletenessReport {
+            passed: 0,
+            failures: Vec::new(),
+            max_certificate_bits: 0,
+        };
+        for (idx, outcome) in partials {
+            match outcome {
+                CompletenessOutcome::Passed(bits) => {
+                    report.passed += 1;
+                    report.max_certificate_bits = report.max_certificate_bits.max(bits);
+                }
+                CompletenessOutcome::Declined => report
+                    .failures
+                    .push(CompletenessFailure::ProverDeclined { instance: idx }),
+                CompletenessOutcome::Rejected(node) => {
+                    report.failures.push(CompletenessFailure::NodeRejected {
+                        instance: idx,
+                        node,
+                    })
+                }
+            }
+        }
+        report
+    }
+}
+
 /// Checks completeness of `(prover, decoder)` on each instance.
 ///
 /// The caller is responsible for passing only instances whose graphs lie
@@ -53,33 +135,12 @@ where
     P: Prover + ?Sized,
     I: IntoIterator<Item = Instance>,
 {
-    let mut report = CompletenessReport {
-        passed: 0,
-        failures: Vec::new(),
-        max_certificate_bits: 0,
-    };
-    for (idx, instance) in instances.into_iter().enumerate() {
-        let Some(labeling) = prover.certify(&instance) else {
-            report
-                .failures
-                .push(CompletenessFailure::ProverDeclined { instance: idx });
-            continue;
-        };
-        let bits = labeling.max_bits();
-        let li = instance.with_labeling(labeling);
-        let verdicts = run(decoder, &li);
-        match verdicts.iter().position(|v| !v.is_accept()) {
-            Some(node) => report.failures.push(CompletenessFailure::NodeRejected {
-                instance: idx,
-                node,
-            }),
-            None => {
-                report.passed += 1;
-                report.max_certificate_bits = report.max_certificate_bits.max(bits);
-            }
-        }
-    }
-    report
+    // One unlabeled item per instance; completeness is an existential per
+    // instance (the prover's labeling), not a sweep over labelings —
+    // coverage over instances is whatever the caller sampled.
+    let universe = Universe::instances_only(instances, Coverage::Sampled)
+        .expect("one item per materialized instance fits usize");
+    sweep(&CompletenessCheck { decoder, prover }, &universe).verdict
 }
 
 #[cfg(test)]
@@ -167,7 +228,10 @@ mod tests {
         let report = check_completeness(&LocalDiff, &ConstantProver, instances);
         assert_eq!(
             report.failures,
-            vec![CompletenessFailure::NodeRejected { instance: 0, node: 0 }]
+            vec![CompletenessFailure::NodeRejected {
+                instance: 0,
+                node: 0
+            }]
         );
     }
 }

@@ -13,6 +13,10 @@
 use crate::decoder::{run, Decoder};
 use crate::instance::LabeledInstance;
 use crate::label::{Certificate, Labeling};
+use crate::verify::{
+    sweep, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+};
+use crate::view::IdMode;
 use rand::seq::index::sample;
 use rand::Rng;
 
@@ -44,7 +48,51 @@ pub fn erase_and_run<D: Decoder + ?Sized>(
     }
 }
 
+/// The erasure-reaction measurement as a sweepable check: each universe
+/// item is one erased labeling of the same instance; inspection counts the
+/// rejecting nodes. No short-circuit — every trial is reported.
+pub struct ErasureCheck<'a, D: ?Sized> {
+    /// The decoder under test.
+    pub decoder: &'a D,
+    /// How many certificates were erased in each item, by item index.
+    pub erased_counts: Vec<usize>,
+}
+
+impl<D: Decoder + ?Sized> PropertyCheck for ErasureCheck<'_, D> {
+    type Partial = ErasureOutcome;
+    type Verdict = Vec<ErasureOutcome>;
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        vec![(self.decoder.radius(), self.decoder.id_mode())]
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<ErasureOutcome> {
+        let rejecting = ctx
+            .run(item, self.decoder)
+            .iter()
+            .filter(|v| !v.is_accept())
+            .count();
+        Some(ErasureOutcome {
+            erased: self.erased_counts[item.index],
+            rejecting,
+        })
+    }
+
+    fn reduce(
+        &self,
+        _universe: &Universe,
+        partials: Vec<(usize, ErasureOutcome)>,
+        _outcome: &SweepOutcome,
+    ) -> Vec<ErasureOutcome> {
+        partials.into_iter().map(|(_, outcome)| outcome).collect()
+    }
+}
+
 /// Runs `trials` random f-erasure trials and returns the outcomes.
+///
+/// The erasure targets are drawn up front (one `sample` per trial, same
+/// stream as always); the resulting labelings then sweep on the engine,
+/// sharing one set of view skeletons across all trials.
 pub fn random_erasure_trials<D: Decoder + ?Sized, R: Rng + ?Sized>(
     decoder: &D,
     li: &LabeledInstance,
@@ -54,12 +102,21 @@ pub fn random_erasure_trials<D: Decoder + ?Sized, R: Rng + ?Sized>(
 ) -> Vec<ErasureOutcome> {
     let n = li.graph().node_count();
     let f = f.min(n);
-    (0..trials)
-        .map(|_| {
-            let targets: Vec<usize> = sample(rng, n, f).into_iter().collect();
-            erase_and_run(decoder, li, &targets)
-        })
-        .collect()
+    let target_sets: Vec<Vec<usize>> = (0..trials)
+        .map(|_| sample(rng, n, f).into_iter().collect())
+        .collect();
+    let erased_counts = target_sets.iter().map(Vec::len).collect();
+    let labelings = target_sets
+        .iter()
+        .map(|targets| erased_labeling(li, targets))
+        .collect();
+    let universe = Universe::labelings_of(li.instance().clone(), labelings, Coverage::Sampled)
+        .expect("materialized labelings fit usize");
+    let check = ErasureCheck {
+        decoder,
+        erased_counts,
+    };
+    sweep(&check, &universe).verdict
 }
 
 /// Produces the erased labeling itself (for feeding into strong-soundness
@@ -122,7 +179,13 @@ mod tests {
         let li = honest_c6();
         let outcome = erase_and_run(&LocalDiff, &li, &[2]);
         // The erased node and its two neighbors reject.
-        assert_eq!(outcome, ErasureOutcome { erased: 1, rejecting: 3 });
+        assert_eq!(
+            outcome,
+            ErasureOutcome {
+                erased: 1,
+                rejecting: 3
+            }
+        );
         let outcome = erase_and_run(&LocalDiff, &li, &[]);
         assert_eq!(outcome.rejecting, 0);
     }
@@ -133,7 +196,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for outcome in random_erasure_trials(&LocalDiff, &li, 2, 20, &mut rng) {
             assert_eq!(outcome.erased, 2);
-            assert!(outcome.rejecting >= 2, "each erasure rejects at least itself");
+            assert!(
+                outcome.rejecting >= 2,
+                "each erasure rejects at least itself"
+            );
         }
     }
 

@@ -10,7 +10,14 @@
 //!   full Lemma 3.1 sweep for the size bound in question: **not hiding
 //!   (at this n)**, and [`crate::extract`] actually builds the extractor.
 
-use crate::nbhd::NbhdGraph;
+use crate::decoder::Decoder;
+use crate::nbhd::{NbhdGraph, NbhdScan, NbhdSweep};
+use crate::verify::{
+    self, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+    VerificationReport,
+};
+use crate::view::IdMode;
+use hiding_lcp_graph::Graph;
 
 /// How thoroughly the instance universe behind a neighborhood graph
 /// covered the Lemma 3.1 iteration.
@@ -21,6 +28,18 @@ pub enum UniverseCoverage {
     Exhaustive,
     /// Only selected instances were fed in; colorability is inconclusive.
     Partial,
+}
+
+impl From<Coverage> for UniverseCoverage {
+    /// A [`Universe`]'s typed coverage is exactly this distinction — the
+    /// engine path ([`verify_hiding`]) derives it from the universe instead
+    /// of trusting a caller's assertion.
+    fn from(coverage: Coverage) -> UniverseCoverage {
+        match coverage {
+            Coverage::Exhaustive => UniverseCoverage::Exhaustive,
+            Coverage::Sampled => UniverseCoverage::Partial,
+        }
+    }
 }
 
 /// The outcome of a hiding check.
@@ -78,6 +97,72 @@ pub fn check_hiding(nbhd: &NbhdGraph, k: usize, coverage: UniverseCoverage) -> H
         },
         UniverseCoverage::Partial => HidingVerdict::Inconclusive,
     }
+}
+
+/// The hiding property as a sweepable check: the Lemma 3.1 scan feeding
+/// the Lemma 3.2 colorability test, with the coverage read off the
+/// universe's type.
+pub struct HidingCheck<'a, D: ?Sized> {
+    sweep: NbhdSweep<'a, D>,
+    k: usize,
+}
+
+impl<'a, D: Decoder + ?Sized> HidingCheck<'a, D> {
+    /// Prepares a hiding check of `decoder` for `k`-colorings, over
+    /// yes-instances per `is_yes`, with anonymous extractor views (the
+    /// hiding definition quantifies over anonymous decoders `D'`).
+    pub fn new<F>(decoder: &'a D, universe: &Universe, k: usize, is_yes: F) -> Self
+    where
+        F: Fn(&Graph) -> bool,
+    {
+        HidingCheck {
+            sweep: NbhdSweep::new(decoder, IdMode::Anonymous, universe, is_yes),
+            k,
+        }
+    }
+}
+
+impl<D: Decoder + ?Sized> PropertyCheck for HidingCheck<'_, D> {
+    type Partial = NbhdScan;
+    type Verdict = (NbhdGraph, HidingVerdict);
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        self.sweep.view_configs()
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<NbhdScan> {
+        self.sweep.inspect(item, ctx)
+    }
+
+    fn reduce(
+        &self,
+        universe: &Universe,
+        partials: Vec<(usize, NbhdScan)>,
+        outcome: &SweepOutcome,
+    ) -> (NbhdGraph, HidingVerdict) {
+        let nbhd = self.sweep.reduce(universe, partials, outcome);
+        let verdict = check_hiding(&nbhd, self.k, universe.coverage().into());
+        (nbhd, verdict)
+    }
+}
+
+/// Checks hiding of `decoder` on the engine: sweeps `universe`, builds
+/// `V(D, ·)` and applies Lemma 3.2, with [`UniverseCoverage`] taken from
+/// [`Universe::coverage`] rather than asserted by the caller. The verdict
+/// comes with the neighborhood graph (for witness extraction) and the
+/// sweep's execution evidence.
+pub fn verify_hiding<D, F>(
+    decoder: &D,
+    universe: &Universe,
+    k: usize,
+    is_yes: F,
+) -> VerificationReport<(NbhdGraph, HidingVerdict)>
+where
+    D: Decoder + ?Sized,
+    F: Fn(&Graph) -> bool,
+{
+    let check = HidingCheck::new(decoder, universe, k, is_yes);
+    verify::sweep(&check, universe)
 }
 
 #[cfg(test)]
@@ -159,10 +244,33 @@ mod tests {
     }
 
     #[test]
+    fn engine_sweep_matches_materialized_build() {
+        // The engine path (typed-coverage universe, skeleton cache,
+        // odometer labelings) and the materialized path must agree on the
+        // graph and, thanks to the typed coverage, on the verdict.
+        let alphabet = vec![Certificate::from_byte(0), Certificate::from_byte(1)];
+        let universe = Universe::lemma31(3, alphabet.clone()).expect("n <= 3 universe fits");
+        let report = verify_hiding(&LocalDiff, &universe, 2, bipartite::is_bipartite);
+        let (nbhd, verdict) = report.verdict;
+        let manual = crate::nbhd::NbhdGraph::build(
+            &LocalDiff,
+            IdMode::Anonymous,
+            crate::nbhd::sources::exhaustive_universe(3, &alphabet),
+            bipartite::is_bipartite,
+        );
+        assert_eq!(nbhd.view_count(), manual.view_count());
+        assert_eq!(nbhd.edge_count(), manual.edge_count());
+        assert_eq!(report.universe_size, 86);
+        assert!(matches!(verdict, HidingVerdict::NotHiding { .. }));
+    }
+
+    #[test]
     fn partial_universe_without_odd_walk_is_inconclusive() {
         let li = {
             let inst = Instance::canonical(generators::cycle(4));
-            let labels = (0..4).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+            let labels = (0..4)
+                .map(|v| Certificate::from_byte((v % 2) as u8))
+                .collect();
             inst.with_labeling(labels)
         };
         let nbhd = crate::nbhd::NbhdGraph::build(&LocalDiff, IdMode::Anonymous, vec![li], |g| {

@@ -8,9 +8,13 @@
 //! (anonymity) or order-preserving remappings (order-invariance), which is
 //! what the Lemma 6.2 reduction relies on.
 
-use crate::decoder::{run, Decoder};
+use crate::decoder::{run, Decoder, Verdict};
 use crate::instance::{Instance, LabeledInstance};
 use crate::label::Labeling;
+use crate::verify::{
+    sweep_lazy_labeled, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+};
+use crate::view::IdMode;
 use hiding_lcp_graph::IdAssignment;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -24,9 +28,79 @@ pub struct InvarianceViolation {
     pub node: usize,
 }
 
+/// The invariance property as a sweepable check: each universe item is the
+/// same labeled graph under a different identifier assignment, and a
+/// violation is a verdict vector differing from the baseline. Stops at the
+/// first divergence.
+pub struct InvarianceCheck<'a, D: ?Sized> {
+    /// The decoder under test.
+    pub decoder: &'a D,
+    /// The baseline verdicts on the original identifier assignment.
+    pub base: Vec<Verdict>,
+}
+
+impl<'a, D: Decoder + ?Sized> InvarianceCheck<'a, D> {
+    /// Records `decoder`'s baseline verdicts on `(instance, labeling)`.
+    pub fn new(decoder: &'a D, instance: &Instance, labeling: &Labeling) -> Self {
+        let base = run(
+            decoder,
+            &LabeledInstance::new(instance.clone(), labeling.clone()),
+        );
+        InvarianceCheck { decoder, base }
+    }
+}
+
+impl<D: Decoder + ?Sized> PropertyCheck for InvarianceCheck<'_, D> {
+    type Partial = InvarianceViolation;
+    type Verdict = Result<(), InvarianceViolation>;
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        vec![(self.decoder.radius(), self.decoder.id_mode())]
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<InvarianceViolation> {
+        let verdicts = ctx.run(item, self.decoder);
+        (0..self.base.len())
+            .find(|&v| self.base[v] != verdicts[v])
+            .map(|node| InvarianceViolation {
+                ids: item.instance.ids().clone(),
+                node,
+            })
+    }
+
+    fn short_circuits(&self, _violation: &InvarianceViolation) -> bool {
+        true
+    }
+
+    fn reduce(
+        &self,
+        _universe: &Universe,
+        partials: Vec<(usize, InvarianceViolation)>,
+        _outcome: &SweepOutcome,
+    ) -> Result<(), InvarianceViolation> {
+        match partials.into_iter().next() {
+            Some((_, violation)) => Err(violation),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The labeled instance carrying one identifier variant.
+fn id_variant(instance: &Instance, labeling: &Labeling, ids: IdAssignment) -> LabeledInstance {
+    let alt = instance
+        .replace_ids(ids)
+        .expect("remapped ids fit the graph");
+    LabeledInstance::new(alt, labeling.clone())
+}
+
 /// Checks that `decoder`'s verdicts on `(instance, labeling)` are
-/// unchanged under `samples` random identifier **permutations** (the
+/// unchanged under up to `samples` random identifier **permutations** (the
 /// anonymity condition of Section 2.2).
+///
+/// Permutations are drawn from `rng` one at a time and drawing stops at
+/// the first divergence, so the RNG advances exactly once per variant
+/// actually checked — the same stream a caller observed from the
+/// pre-engine loop.
 pub fn check_anonymous<D: Decoder + ?Sized, R: Rng + ?Sized>(
     decoder: &D,
     instance: &Instance,
@@ -34,24 +108,24 @@ pub fn check_anonymous<D: Decoder + ?Sized, R: Rng + ?Sized>(
     samples: usize,
     rng: &mut R,
 ) -> Result<(), InvarianceViolation> {
-    let base = run(
-        decoder,
-        &LabeledInstance::new(instance.clone(), labeling.clone()),
-    );
-    let _n = instance.graph().node_count();
-    for _ in 0..samples {
+    let check = InvarianceCheck::new(decoder, instance, labeling);
+    let variants = (0..samples).map(|_| {
         let mut perm: Vec<u64> = instance.ids().as_slice().to_vec();
         perm.shuffle(rng);
         let ids = IdAssignment::from_ids(perm, instance.ids().bound())
             .expect("permutation stays injective and bounded");
-        compare_under(decoder, instance, labeling, &base, ids)?;
-    }
-    Ok(())
+        id_variant(instance, labeling, ids)
+    });
+    sweep_lazy_labeled(&check, variants, Coverage::Sampled).verdict
 }
 
-/// Checks that `decoder`'s verdicts are unchanged under `samples` random
-/// **order-preserving** identifier remappings (the order-invariance
+/// Checks that `decoder`'s verdicts are unchanged under up to `samples`
+/// random **order-preserving** identifier remappings (the order-invariance
 /// condition of Section 2.2).
+///
+/// Remappings are drawn from `rng` one at a time and drawing stops at the
+/// first divergence, so the RNG advances exactly once per variant actually
+/// checked — the same stream a caller observed from the pre-engine loop.
 pub fn check_order_invariant<D: Decoder + ?Sized, R: Rng + ?Sized>(
     decoder: &D,
     instance: &Instance,
@@ -59,11 +133,8 @@ pub fn check_order_invariant<D: Decoder + ?Sized, R: Rng + ?Sized>(
     samples: usize,
     rng: &mut R,
 ) -> Result<(), InvarianceViolation> {
-    let base = run(
-        decoder,
-        &LabeledInstance::new(instance.clone(), labeling.clone()),
-    );
-    for _ in 0..samples {
+    let check = InvarianceCheck::new(decoder, instance, labeling);
+    let variants = (0..samples).map(|_| {
         // Random strictly increasing map: add strictly positive random
         // gaps in rank order.
         let mut sorted: Vec<u64> = instance.ids().as_slice().to_vec();
@@ -78,27 +149,13 @@ pub fn check_order_invariant<D: Decoder + ?Sized, R: Rng + ?Sized>(
             let rank = sorted.binary_search(&id).expect("id present");
             image[rank]
         };
-        let ids = instance.ids().remap_order_preserving(remap);
-        compare_under(decoder, instance, labeling, &base, ids)?;
-    }
-    Ok(())
-}
-
-fn compare_under<D: Decoder + ?Sized>(
-    decoder: &D,
-    instance: &Instance,
-    labeling: &Labeling,
-    base: &[crate::decoder::Verdict],
-    ids: IdAssignment,
-) -> Result<(), InvarianceViolation> {
-    let alt = instance
-        .replace_ids(ids.clone())
-        .expect("remapped ids fit the graph");
-    let verdicts = run(decoder, &LabeledInstance::new(alt, labeling.clone()));
-    if let Some(node) = (0..base.len()).find(|&v| base[v] != verdicts[v]) {
-        return Err(InvarianceViolation { ids, node });
-    }
-    Ok(())
+        id_variant(
+            instance,
+            labeling,
+            instance.ids().remap_order_preserving(remap),
+        )
+    });
+    sweep_lazy_labeled(&check, variants, Coverage::Sampled).verdict
 }
 
 #[cfg(test)]

@@ -18,9 +18,15 @@
 //! scores 1.0 (the coloring is hidden *everywhere*, matching the paper's
 //! emphasis) while the degree-one LCP hides only near the `⊥`/`⊤` pocket.
 
+use crate::decoder::Decoder;
 use crate::instance::LabeledInstance;
-use crate::nbhd::NbhdGraph;
-use hiding_lcp_graph::algo::{bipartite, components, coloring};
+use crate::nbhd::{NbhdGraph, NbhdScan, NbhdSweep};
+use crate::verify::{
+    self, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem, VerificationReport,
+};
+use crate::view::IdMode;
+use hiding_lcp_graph::algo::{bipartite, coloring, components};
+use hiding_lcp_graph::Graph;
 
 /// Classification of the views of a neighborhood graph by the
 /// k-colorability of their connected components.
@@ -95,6 +101,68 @@ impl ExtractabilityMap {
     }
 }
 
+/// The quantified-hiding analysis as a sweepable check: one Lemma 3.1
+/// sweep produces `V(D, ·)`, whose components are then classified by
+/// k-colorability.
+pub struct QuantifiedCheck<'a, D: ?Sized> {
+    sweep: NbhdSweep<'a, D>,
+    k: usize,
+}
+
+impl<'a, D: Decoder + ?Sized> QuantifiedCheck<'a, D> {
+    /// Prepares the analysis of `decoder` for palette size `k` over the
+    /// yes-instances of `universe` (anonymous extractor views).
+    pub fn new<F>(decoder: &'a D, universe: &Universe, k: usize, is_yes: F) -> Self
+    where
+        F: Fn(&Graph) -> bool,
+    {
+        QuantifiedCheck {
+            sweep: NbhdSweep::new(decoder, IdMode::Anonymous, universe, is_yes),
+            k,
+        }
+    }
+}
+
+impl<D: Decoder + ?Sized> PropertyCheck for QuantifiedCheck<'_, D> {
+    type Partial = NbhdScan;
+    type Verdict = (NbhdGraph, ExtractabilityMap);
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        self.sweep.view_configs()
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<NbhdScan> {
+        self.sweep.inspect(item, ctx)
+    }
+
+    fn reduce(
+        &self,
+        universe: &Universe,
+        partials: Vec<(usize, NbhdScan)>,
+        outcome: &SweepOutcome,
+    ) -> (NbhdGraph, ExtractabilityMap) {
+        let nbhd = self.sweep.reduce(universe, partials, outcome);
+        let map = ExtractabilityMap::new(&nbhd, self.k);
+        (nbhd, map)
+    }
+}
+
+/// Builds `V(D, ·)` over `universe` on the engine and classifies its views
+/// by extractability, returning both with the sweep's execution evidence.
+pub fn verify_extractability<D, F>(
+    decoder: &D,
+    universe: &Universe,
+    k: usize,
+    is_yes: F,
+) -> VerificationReport<(NbhdGraph, ExtractabilityMap)>
+where
+    D: Decoder + ?Sized,
+    F: Fn(&Graph) -> bool,
+{
+    let check = QuantifiedCheck::new(decoder, universe, k, is_yes);
+    verify::sweep(&check, universe)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,9 +213,10 @@ mod tests {
     fn two_colored_cycle(n: usize) -> LabeledInstance {
         let g = generators::cycle(n);
         let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
-        let inst =
-            Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(n)).unwrap();
-        let labels = (0..n).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+        let inst = Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(n)).unwrap();
+        let labels = (0..n)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect();
         inst.with_labeling(labels)
     }
 
@@ -166,8 +235,7 @@ mod tests {
     fn self_loop_scheme_hides_everything() {
         let g = generators::cycle(4);
         let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
-        let inst =
-            Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
+        let inst = Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(4)).unwrap();
         let li = inst.with_labeling(Labeling::empty(4));
         let nbhd = NbhdGraph::build(&YesMan, IdMode::Anonymous, vec![li.clone()], |g| {
             bipartite::is_bipartite(g)
@@ -181,6 +249,21 @@ mod tests {
     }
 
     #[test]
+    fn engine_sweep_matches_manual_classification() {
+        let li = two_colored_cycle(6);
+        let universe = Universe::from_labeled(vec![li.clone()], crate::verify::Coverage::Sampled)
+            .expect("one labeled instance fits");
+        let (nbhd, map) =
+            verify_extractability(&LocalDiff, &universe, 2, bipartite::is_bipartite).verdict;
+        let manual = NbhdGraph::build(&LocalDiff, IdMode::Anonymous, vec![li.clone()], |g| {
+            bipartite::is_bipartite(g)
+        });
+        assert_eq!(nbhd.view_count(), manual.view_count());
+        assert_eq!(map, ExtractabilityMap::new(&manual, 2));
+        assert_eq!(map.hidden_fraction(&nbhd, &li), 0.0);
+    }
+
+    #[test]
     fn unknown_views_count_as_hidden() {
         let li6 = two_colored_cycle(6);
         let nbhd = NbhdGraph::build(&LocalDiff, IdMode::Anonymous, vec![li6], |g| {
@@ -190,7 +273,9 @@ mod tests {
         // A 2-colored path's endpoint views never appear in the cycle
         // universe.
         let inst = Instance::canonical(generators::path(4));
-        let labels = (0..4).map(|v| Certificate::from_byte((v % 2) as u8)).collect();
+        let labels = (0..4)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect();
         let li = inst.with_labeling(labels);
         let fraction = map.hidden_fraction(&nbhd, &li);
         assert!(fraction > 0.0, "endpoint views are unknown");

@@ -1,10 +1,19 @@
 //! Soundness: on no-instances every labeling is rejected by at least one
 //! node (paper, Section 2.2).
+//!
+//! The search over labelings runs on the [`crate::verify`] engine:
+//! [`SoundnessCheck`] is the [`PropertyCheck`] (a short-circuiting hunt for
+//! a unanimously accepted labeling), and the `check_soundness_*` functions
+//! below are thin constructors of the matching [`Universe`].
 
-use crate::decoder::{accepts_all, Decoder};
+use crate::decoder::Decoder;
 use crate::instance::Instance;
 use crate::label::{Certificate, Labeling};
 use crate::prover::{all_labelings, random_labeling};
+use crate::verify::{
+    sweep, sweep_lazy, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+};
+use crate::view::IdMode;
 use rand::Rng;
 
 /// A soundness violation: a labeling of a no-instance accepted by every
@@ -13,6 +22,45 @@ use rand::Rng;
 pub struct SoundnessViolation {
     /// The unanimously accepted labeling.
     pub labeling: Labeling,
+}
+
+/// The soundness property as a sweepable check: an item violates iff every
+/// node accepts it. Short-circuits on the first (lowest-index) violation.
+pub struct SoundnessCheck<'a, D: ?Sized> {
+    /// The decoder under test.
+    pub decoder: &'a D,
+}
+
+impl<D: Decoder + ?Sized> PropertyCheck for SoundnessCheck<'_, D> {
+    type Partial = SoundnessViolation;
+    type Verdict = Result<usize, SoundnessViolation>;
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        vec![(self.decoder.radius(), self.decoder.id_mode())]
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<SoundnessViolation> {
+        ctx.accepts_all(item, self.decoder)
+            .then(|| SoundnessViolation {
+                labeling: item.labeling.clone(),
+            })
+    }
+
+    fn short_circuits(&self, _partial: &SoundnessViolation) -> bool {
+        true
+    }
+
+    fn reduce(
+        &self,
+        _universe: &Universe,
+        partials: Vec<(usize, SoundnessViolation)>,
+        outcome: &SweepOutcome,
+    ) -> Result<usize, SoundnessViolation> {
+        match partials.into_iter().next() {
+            Some((_, violation)) => Err(violation),
+            None => Ok(outcome.checked),
+        }
+    }
 }
 
 /// Exhaustively checks soundness of `decoder` on the (no-instance)
@@ -27,22 +75,29 @@ pub fn check_soundness_exhaustive<D: Decoder + ?Sized>(
     instance: &Instance,
     alphabet: &[Certificate],
 ) -> Result<usize, SoundnessViolation> {
-    let n = instance.graph().node_count();
-    let mut checked = 0;
-    for labeling in all_labelings(n, alphabet) {
-        checked += 1;
-        let li = instance.clone().with_labeling(labeling);
-        if accepts_all(decoder, &li) {
-            return Err(SoundnessViolation {
-                labeling: li.labeling().clone(),
-            });
+    let check = SoundnessCheck { decoder };
+    match Universe::all_labelings_of(instance.clone(), alphabet.to_vec(), Coverage::Exhaustive) {
+        Ok(universe) => sweep(&check, &universe).verdict,
+        // |alphabet|^n overflows the flat index space; iterate lazily
+        // instead, which a violation can still end early.
+        Err(_) => {
+            sweep_lazy(
+                &check,
+                instance,
+                all_labelings(instance.graph().node_count(), alphabet),
+                Coverage::Exhaustive,
+            )
+            .verdict
         }
     }
-    Ok(checked)
 }
 
-/// Randomized soundness check: `samples` uniformly random labelings over
-/// `alphabet`.
+/// Randomized soundness check: up to `samples` uniformly random labelings
+/// over `alphabet`.
+///
+/// Labelings are drawn from `rng` one at a time and drawing stops at the
+/// first violation, so the RNG advances exactly once per labeling actually
+/// checked — the same stream a caller observed from the pre-engine loop.
 ///
 /// # Panics
 ///
@@ -55,16 +110,13 @@ pub fn check_soundness_random<D: Decoder + ?Sized, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<usize, SoundnessViolation> {
     let n = instance.graph().node_count();
-    for _ in 0..samples {
-        let labeling = random_labeling(n, alphabet, rng);
-        let li = instance.clone().with_labeling(labeling);
-        if accepts_all(decoder, &li) {
-            return Err(SoundnessViolation {
-                labeling: li.labeling().clone(),
-            });
-        }
-    }
-    Ok(samples)
+    sweep_lazy(
+        &SoundnessCheck { decoder },
+        instance,
+        (0..samples).map(|_| random_labeling(n, alphabet, rng)),
+        Coverage::Sampled,
+    )
+    .verdict
 }
 
 /// Checks a batch of explicit labelings (e.g. structured adversaries from
@@ -74,17 +126,10 @@ pub fn check_soundness_labelings<'a, D: Decoder + ?Sized>(
     instance: &Instance,
     labelings: impl IntoIterator<Item = &'a Labeling>,
 ) -> Result<usize, SoundnessViolation> {
-    let mut checked = 0;
-    for labeling in labelings {
-        checked += 1;
-        let li = instance.clone().with_labeling(labeling.clone());
-        if accepts_all(decoder, &li) {
-            return Err(SoundnessViolation {
-                labeling: labeling.clone(),
-            });
-        }
-    }
-    Ok(checked)
+    let labelings: Vec<Labeling> = labelings.into_iter().cloned().collect();
+    let universe = Universe::labelings_of(instance.clone(), labelings, Coverage::Sampled)
+        .expect("materialized labelings fit usize");
+    sweep(&SoundnessCheck { decoder }, &universe).verdict
 }
 
 #[cfg(test)]
@@ -156,6 +201,18 @@ mod tests {
     }
 
     #[test]
+    fn first_violation_is_the_lowest_indexed_labeling() {
+        // YesMan accepts everything, so the violation must be the very
+        // first labeling in `all_labelings` order: all-zero.
+        let c3 = Instance::canonical(generators::cycle(3));
+        let violation = check_soundness_exhaustive(&YesMan, &c3, &bits()).expect_err("unsound");
+        assert_eq!(
+            violation.labeling,
+            Labeling::uniform(3, Certificate::from_byte(0))
+        );
+    }
+
+    #[test]
     fn randomized_check_finds_easy_violations() {
         let c3 = Instance::canonical(generators::cycle(3));
         let mut rng = StdRng::seed_from_u64(3);
@@ -164,13 +221,36 @@ mod tests {
     }
 
     #[test]
+    fn oversized_exhaustive_check_still_short_circuits() {
+        // 2^65 labelings overflow the flat-indexed universe, but the lazy
+        // fallback still finds YesMan's violation at the very first one.
+        let c65 = Instance::canonical(generators::cycle(65));
+        let violation = check_soundness_exhaustive(&YesMan, &c65, &bits()).expect_err("unsound");
+        assert_eq!(
+            violation.labeling,
+            Labeling::uniform(65, Certificate::from_byte(0))
+        );
+    }
+
+    #[test]
+    fn random_check_draws_stop_at_first_violation() {
+        use rand::RngCore;
+        let c3 = Instance::canonical(generators::cycle(3));
+        let mut used = StdRng::seed_from_u64(7);
+        check_soundness_random(&YesMan, &c3, &bits(), 10, &mut used)
+            .expect_err("violation at the first sample");
+        // The RNG advanced by exactly one drawn labeling, not ten — the
+        // pre-engine stream.
+        let mut reference = StdRng::seed_from_u64(7);
+        let _ = random_labeling(3, &bits(), &mut reference);
+        assert_eq!(used.next_u64(), reference.next_u64());
+    }
+
+    #[test]
     fn explicit_labelings_check() {
         let c3 = Instance::canonical(generators::cycle(3));
         let ls = [Labeling::uniform(3, Certificate::from_byte(0))];
-        assert_eq!(
-            check_soundness_labelings(&LocalDiff, &c3, ls.iter()),
-            Ok(1)
-        );
+        assert_eq!(check_soundness_labelings(&LocalDiff, &c3, ls.iter()), Ok(1));
         assert!(check_soundness_labelings(&YesMan, &c3, ls.iter()).is_err());
     }
 }

@@ -1,12 +1,19 @@
 //! Strong (promise) soundness: for every instance and every labeling, the
 //! subgraph induced by the accepting nodes lies in `G(L)`
 //! (paper, Sections 2.3 and 2.5).
+//!
+//! The quantification over labelings runs on the [`crate::verify`] engine
+//! via [`StrongCheck`]; `check_strong_*` construct the matching universes.
 
-use crate::decoder::{accepting_set, Decoder};
+use crate::decoder::Decoder;
 use crate::instance::Instance;
 use crate::label::{Certificate, Labeling};
 use crate::language::KCol;
 use crate::prover::{all_labelings, random_labeling};
+use crate::verify::{
+    sweep, sweep_lazy, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+};
+use crate::view::IdMode;
 use rand::Rng;
 
 /// A strong-soundness violation: the accepting set induces a non-member of
@@ -19,6 +26,55 @@ pub struct StrongViolation {
     pub accepting: Vec<usize>,
 }
 
+/// The strong-soundness property as a sweepable check: an item violates
+/// iff its accepting set induces a graph outside `G(L)`. Short-circuits on
+/// the first (lowest-index) violation.
+pub struct StrongCheck<'a, D: ?Sized> {
+    /// The decoder under test.
+    pub decoder: &'a D,
+    /// The language whose graph class the accepting set must stay inside.
+    pub language: &'a KCol,
+}
+
+impl<D: Decoder + ?Sized> PropertyCheck for StrongCheck<'_, D> {
+    type Partial = StrongViolation;
+    type Verdict = Result<usize, StrongViolation>;
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        vec![(self.decoder.radius(), self.decoder.id_mode())]
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<StrongViolation> {
+        let accepting: Vec<usize> = ctx
+            .run(item, self.decoder)
+            .into_iter()
+            .enumerate()
+            .filter_map(|(v, verdict)| verdict.is_accept().then_some(v))
+            .collect();
+        let (induced, _) = item.instance.graph().induced(&accepting);
+        (!self.language.is_yes_graph(&induced)).then(|| StrongViolation {
+            labeling: item.labeling.clone(),
+            accepting,
+        })
+    }
+
+    fn short_circuits(&self, _partial: &StrongViolation) -> bool {
+        true
+    }
+
+    fn reduce(
+        &self,
+        _universe: &Universe,
+        partials: Vec<(usize, StrongViolation)>,
+        outcome: &SweepOutcome,
+    ) -> Result<usize, StrongViolation> {
+        match partials.into_iter().next() {
+            Some((_, violation)) => Err(violation),
+            None => Ok(outcome.checked),
+        }
+    }
+}
+
 /// Checks whether one labeled instance satisfies the strong condition:
 /// the accepting set must induce a graph in `G(k-col)`.
 pub fn strong_holds_for<D: Decoder + ?Sized>(
@@ -27,8 +83,16 @@ pub fn strong_holds_for<D: Decoder + ?Sized>(
     instance: &Instance,
     labeling: &Labeling,
 ) -> Result<(), StrongViolation> {
-    let li = instance.clone().with_labeling(labeling.clone());
-    let accepting = accepting_set(decoder, &li);
+    let (radius, id_mode) = (decoder.radius(), decoder.id_mode());
+    let accepting: Vec<usize> = instance
+        .graph()
+        .nodes()
+        .filter(|&v| {
+            decoder
+                .decide(&instance.view(labeling, v, radius, id_mode))
+                .is_accept()
+        })
+        .collect();
     let (induced, _) = instance.graph().induced(&accepting);
     if language.is_yes_graph(&induced) {
         Ok(())
@@ -49,16 +113,29 @@ pub fn check_strong_exhaustive<D: Decoder + ?Sized>(
     instance: &Instance,
     alphabet: &[Certificate],
 ) -> Result<usize, StrongViolation> {
-    let n = instance.graph().node_count();
-    let mut checked = 0;
-    for labeling in all_labelings(n, alphabet) {
-        checked += 1;
-        strong_holds_for(decoder, language, instance, &labeling)?;
+    let check = StrongCheck { decoder, language };
+    match Universe::all_labelings_of(instance.clone(), alphabet.to_vec(), Coverage::Exhaustive) {
+        Ok(universe) => sweep(&check, &universe).verdict,
+        // |alphabet|^n overflows the flat index space; iterate lazily
+        // instead, which a violation can still end early.
+        Err(_) => {
+            sweep_lazy(
+                &check,
+                instance,
+                all_labelings(instance.graph().node_count(), alphabet),
+                Coverage::Exhaustive,
+            )
+            .verdict
+        }
     }
-    Ok(checked)
 }
 
-/// Randomized strong-soundness check.
+/// Randomized strong-soundness check over up to `samples` random
+/// labelings.
+///
+/// Labelings are drawn from `rng` one at a time and drawing stops at the
+/// first violation, so the RNG advances exactly once per labeling actually
+/// checked — the same stream a caller observed from the pre-engine loop.
 ///
 /// # Panics
 ///
@@ -72,11 +149,13 @@ pub fn check_strong_random<D: Decoder + ?Sized, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<usize, StrongViolation> {
     let n = instance.graph().node_count();
-    for _ in 0..samples {
-        let labeling = random_labeling(n, alphabet, rng);
-        strong_holds_for(decoder, language, instance, &labeling)?;
-    }
-    Ok(samples)
+    sweep_lazy(
+        &StrongCheck { decoder, language },
+        instance,
+        (0..samples).map(|_| random_labeling(n, alphabet, rng)),
+        Coverage::Sampled,
+    )
+    .verdict
 }
 
 /// Checks a batch of explicit labelings.
@@ -86,12 +165,10 @@ pub fn check_strong_labelings<'a, D: Decoder + ?Sized>(
     instance: &Instance,
     labelings: impl IntoIterator<Item = &'a Labeling>,
 ) -> Result<usize, StrongViolation> {
-    let mut checked = 0;
-    for labeling in labelings {
-        checked += 1;
-        strong_holds_for(decoder, language, instance, labeling)?;
-    }
-    Ok(checked)
+    let labelings: Vec<Labeling> = labelings.into_iter().cloned().collect();
+    let universe = Universe::labelings_of(instance.clone(), labelings, Coverage::Sampled)
+        .expect("materialized labelings fit usize");
+    sweep(&StrongCheck { decoder, language }, &universe).verdict
 }
 
 #[cfg(test)]
@@ -149,7 +226,11 @@ mod tests {
         // Accepting nodes of local-diff under a 2-letter alphabet carry a
         // locally proper 2-coloring, so the accepting set is bipartite.
         let two_col = KCol::new(2);
-        for g in [generators::cycle(5), generators::complete(4), generators::cycle(6)] {
+        for g in [
+            generators::cycle(5),
+            generators::complete(4),
+            generators::cycle(6),
+        ] {
             let inst = Instance::canonical(g);
             assert!(check_strong_exhaustive(&LocalDiff, &two_col, &inst, &bits()).is_ok());
         }

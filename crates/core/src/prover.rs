@@ -13,7 +13,10 @@ use rand::Rng;
 
 /// A prover for one LCP: produces an accepting labeling on the instances
 /// it supports.
-pub trait Prover {
+///
+/// `Sync` is a supertrait so the verification engine ([`crate::verify`])
+/// can call one prover from sweep worker threads.
+pub trait Prover: Sync {
     /// A short human-readable name.
     fn name(&self) -> String;
 
@@ -132,7 +135,10 @@ pub fn perturb_labeling<R: Rng + ?Sized>(
 ) -> Labeling {
     assert!(!alphabet.is_empty(), "alphabet must be non-empty");
     let n = base.node_count();
-    assert!(n > 0 || flips == 0, "cannot flip labels of an empty labeling");
+    assert!(
+        n > 0 || flips == 0,
+        "cannot flip labels of an empty labeling"
+    );
     let mut out = base.clone();
     for _ in 0..flips {
         let v = rng.random_range(0..n);
@@ -161,8 +167,7 @@ impl Prover for FixedProver {
         "fixed".into()
     }
     fn certify(&self, instance: &Instance) -> Option<Labeling> {
-        (instance.graph().node_count() == self.labeling.node_count())
-            .then(|| self.labeling.clone())
+        (instance.graph().node_count() == self.labeling.node_count()).then(|| self.labeling.clone())
     }
 }
 
@@ -209,7 +214,11 @@ mod tests {
     fn fixed_prover_checks_arity() {
         let l = Labeling::uniform(3, Certificate::from_byte(1));
         let prover = FixedProver::new(l);
-        assert!(prover.certify(&Instance::canonical(generators::path(3))).is_some());
-        assert!(prover.certify(&Instance::canonical(generators::path(4))).is_none());
+        assert!(prover
+            .certify(&Instance::canonical(generators::path(3)))
+            .is_some());
+        assert!(prover
+            .certify(&Instance::canonical(generators::path(4)))
+            .is_none());
     }
 }

@@ -44,7 +44,15 @@ where
     sorted.sort_unstable();
     sorted.dedup();
     let mut chosen: Vec<u64> = Vec::new();
-    dfs(&sorted, 0, subset_size, target, &coloring, &mut chosen, &mut None)
+    dfs(
+        &sorted,
+        0,
+        subset_size,
+        target,
+        &coloring,
+        &mut chosen,
+        &mut None,
+    )
 }
 
 fn dfs<F>(

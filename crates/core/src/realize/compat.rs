@@ -60,8 +60,7 @@ mod tests {
 
     fn view_of(graph: Graph, ids: Vec<u64>, node: usize, r: usize) -> View {
         let bound = ids.iter().copied().max().unwrap_or(1).max(8);
-        let inst =
-            Instance::with_ids(graph, IdAssignment::from_ids(ids, bound).unwrap()).unwrap();
+        let inst = Instance::with_ids(graph, IdAssignment::from_ids(ids, bound).unwrap()).unwrap();
         let n = inst.graph().node_count();
         inst.view(&Labeling::empty(n), node, r, IdMode::Full)
     }

@@ -126,8 +126,7 @@ pub fn realize(plan: &RealizationPlan) -> Result<Realization, RealizeError> {
             for arc in &mu.node(a).arcs {
                 let id_b = mu.node(arc.to).id.expect("Full id mode");
                 // Both endpoints' ports travel with every visible edge.
-                for (from, to, port) in
-                    [(id_a, id_b, arc.port_here), (id_b, id_a, arc.port_there)]
+                for (from, to, port) in [(id_a, id_b, arc.port_here), (id_b, id_a, arc.port_there)]
                 {
                     match ports.get(&(from, to)) {
                         None => {
@@ -216,16 +215,15 @@ pub fn realize(plan: &RealizationPlan) -> Result<Realization, RealizeError> {
         // happen through inconsistent claims surviving earlier checks.
         return Err(RealizeError::EmptyPlan);
     };
-    let ids = IdAssignment::from_ids(all_ids.clone(), bound)
-        .expect("merged identifiers are injective");
+    let ids =
+        IdAssignment::from_ids(all_ids.clone(), bound).expect("merged identifiers are injective");
     let labeling = Labeling::new(
         all_ids
             .iter()
             .map(|id| labels.get(id).cloned().unwrap_or_default())
             .collect(),
     );
-    let instance =
-        Instance::new(graph, port_assignment, ids).expect("merged assignments fit");
+    let instance = Instance::new(graph, port_assignment, ids).expect("merged assignments fit");
     Ok(Realization {
         labeled: instance.with_labeling(labeling),
         node_of_id,
@@ -286,7 +284,10 @@ mod tests {
         let plan = find_plan(&[views[2].clone()], &views).expect("pool supplies references");
         let realization = realize(&plan).expect("merge succeeds");
         assert!(realization.reproduces(&views[2]));
-        assert!(realization.dummy_nodes.is_empty(), "canonical ports leave no gaps");
+        assert!(
+            realization.dummy_nodes.is_empty(),
+            "canonical ports leave no gaps"
+        );
     }
 
     #[test]

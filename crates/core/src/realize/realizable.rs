@@ -202,7 +202,9 @@ mod tests {
         )
         .unwrap();
         let labels = Labeling::empty(n);
-        (0..n).map(|v| inst.view(&labels, v, r, IdMode::Full)).collect()
+        (0..n)
+            .map(|v| inst.view(&labels, v, r, IdMode::Full))
+            .collect()
     }
 
     #[test]
@@ -300,7 +302,7 @@ mod tests {
         assert!(*all.iter().max().unwrap() <= 10, "within the I_i blocks");
         assert_eq!(remapped[0].center_id(), Some(3)); // 2 -> block I_2, member 1
         assert_eq!(remapped[1].center_id(), Some(4)); // 2 -> block I_2, member 2
-        // The two views no longer clash on centers.
+                                                      // The two views no longer clash on centers.
         assert!(matches!(
             find_plan(&remapped, &[]),
             Err(Unrealizable::MissingReference { .. })

@@ -1,0 +1,105 @@
+//! The [`PropertyCheck`] trait: what a property must provide to run on the
+//! sweep executor, and the [`VerificationReport`] every sweep returns.
+//!
+//! A check is split map/reduce-style:
+//!
+//! * [`PropertyCheck::inspect`] examines **one** universe item in isolation
+//!   and returns an optional [`PropertyCheck::Partial`] — the per-item
+//!   evidence (a violation, a scan of accepting views, a trial outcome).
+//!   Inspection must be a pure function of the item, which is what lets the
+//!   executor run items on worker threads in any order.
+//! * [`PropertyCheck::short_circuits`] says whether a partial already
+//!   decides the sweep (e.g. a soundness violation). The executor then
+//!   stops at the *lowest-index* short-circuiting item, so parallel and
+//!   sequential execution report the identical witness.
+//! * [`PropertyCheck::reduce`] folds the surviving partials — delivered in
+//!   item order — into the final verdict.
+
+use super::universe::{Universe, UniverseItem};
+use super::ItemCtx;
+use crate::view::IdMode;
+use std::time::Duration;
+
+/// A property checkable by sweeping a [`Universe`].
+pub trait PropertyCheck: Sync {
+    /// Per-item evidence produced by [`PropertyCheck::inspect`].
+    type Partial: Send;
+    /// The sweep's final verdict produced by [`PropertyCheck::reduce`].
+    type Verdict;
+
+    /// The `(radius, id_mode)` view configurations this check requests per
+    /// item. The executor precomputes one [`crate::view::ViewSkeleton`] per
+    /// node per configuration per block, so every labeling of a block
+    /// reuses the same canonicalization. Configurations not listed here are
+    /// still served by [`ItemCtx::view`], just without the cache.
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        Vec::new()
+    }
+
+    /// Examines one item; `None` means "nothing to record".
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<Self::Partial>;
+
+    /// Whether `partial` decides the sweep immediately.
+    fn short_circuits(&self, _partial: &Self::Partial) -> bool {
+        false
+    }
+
+    /// Folds the recorded partials (sorted by item index; truncated at the
+    /// first short-circuiting one, if any) into the verdict.
+    fn reduce(
+        &self,
+        universe: &Universe,
+        partials: Vec<(usize, Self::Partial)>,
+        outcome: &SweepOutcome,
+    ) -> Self::Verdict;
+}
+
+/// What the executor observed, available to [`PropertyCheck::reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Number of items inspected, counted with sequential semantics: if a
+    /// short-circuit fired at index `i`, this is `i + 1` regardless of how
+    /// many extra items worker threads touched before noticing the stop.
+    pub checked: usize,
+    /// Total number of items in the universe.
+    pub universe_size: usize,
+    /// Whether a short-circuiting partial ended the sweep early.
+    pub short_circuited: bool,
+}
+
+/// The result of one sweep: the property verdict plus execution evidence.
+#[derive(Debug, Clone)]
+pub struct VerificationReport<V> {
+    /// The property verdict.
+    pub verdict: V,
+    /// Items inspected (sequential semantics, see [`SweepOutcome::checked`]).
+    pub checked: usize,
+    /// Total items in the universe.
+    pub universe_size: usize,
+    /// Whether the sweep stopped at a short-circuiting item.
+    pub short_circuited: bool,
+    /// Views served from the shared skeleton cache.
+    pub cache_hits: usize,
+    /// Skeletons computed (cache population) plus uncached extractions.
+    pub cache_misses: usize,
+    /// Wall-clock time of the sweep (cache build included).
+    pub elapsed: Duration,
+    /// Worker threads used (1 = sequential).
+    pub threads: usize,
+}
+
+impl<V> VerificationReport<V> {
+    /// Maps the verdict, preserving all execution evidence.
+    pub fn map<W>(self, f: impl FnOnce(V) -> W) -> VerificationReport<W> {
+        VerificationReport {
+            verdict: f(self.verdict),
+            checked: self.checked,
+            universe_size: self.universe_size,
+            short_circuited: self.short_circuited,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            elapsed: self.elapsed,
+            threads: self.threads,
+        }
+    }
+}

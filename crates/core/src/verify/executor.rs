@@ -1,0 +1,500 @@
+//! The sweep executor: runs a [`PropertyCheck`] over a [`Universe`],
+//! sequentially or on worker threads, with identical observable results.
+//!
+//! # Determinism contract
+//!
+//! For any check and universe, [`sweep_with`] returns the same verdict,
+//! the same `checked` count and the same partials (hence the same witness)
+//! under every [`ExecMode`]. The parallel path guarantees this by:
+//!
+//! 1. claiming fixed-size chunks of the index space from an atomic cursor
+//!    (which items run on which thread varies — it doesn't matter);
+//! 2. folding every short-circuiting index into an atomic minimum
+//!    (`fetch_min`), never a "first to finish" race;
+//! 3. after joining, discarding partials above the final minimum and
+//!    sorting the rest by index.
+//!
+//! Since [`PropertyCheck::inspect`] is a pure function of the item, the
+//! surviving set equals exactly what the sequential loop records, and
+//! `checked` is defined as `min_short_circuit_index + 1` either way.
+//!
+//! # Skeleton cache
+//!
+//! Before the sweep, the executor computes one [`ViewSkeleton`] per node
+//! per requested `(radius, id_mode)` configuration per block. During the
+//! sweep, [`ItemCtx::view`] stamps the item's labeling onto the cached
+//! skeleton instead of re-canonicalizing — the cache is read-only and
+//! lock-free while workers run. For an all-labelings block this turns
+//! `|alphabet|^n` BFS canonicalizations per node into one.
+
+use super::check::{PropertyCheck, SweepOutcome, VerificationReport};
+use super::universe::{Block, Coverage, LabelSource, Universe, UniverseItem};
+use crate::decoder::{Decoder, Verdict};
+use crate::instance::{Instance, LabeledInstance};
+use crate::label::Labeling;
+use crate::view::{IdMode, View, ViewSkeleton};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// How to drive the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Parallel when the `parallel` feature is on, the machine has more
+    /// than one core, and the universe is large enough to amortize thread
+    /// startup; sequential otherwise.
+    Auto,
+    /// Always single-threaded, in index order.
+    Sequential,
+    /// Exactly this many worker threads (values ≤ 1 run sequentially;
+    /// without the `parallel` feature this falls back to sequential).
+    Parallel(usize),
+}
+
+/// Below this universe size, `Auto` stays sequential.
+const PARALLEL_THRESHOLD: usize = 64;
+
+/// Per-block, per-configuration view skeletons, shared by all labelings.
+struct SkeletonCache {
+    /// Requested `(radius, id_mode)` configurations.
+    configs: Vec<(usize, IdMode)>,
+    /// `per_block[b][c][v]` = skeleton of node `v` in block `b` under
+    /// configuration `c`.
+    per_block: Vec<Vec<Vec<ViewSkeleton>>>,
+    /// Skeletons computed while populating the cache.
+    populated: usize,
+}
+
+impl SkeletonCache {
+    fn build(universe: &Universe, mut configs: Vec<(usize, IdMode)>) -> SkeletonCache {
+        configs.dedup();
+        configs.sort_unstable_by_key(|&(r, m)| (r, m as u8));
+        configs.dedup();
+        let mut populated = 0;
+        let per_block = universe
+            .blocks()
+            .iter()
+            .map(|block| {
+                configs
+                    .iter()
+                    .map(|&(radius, id_mode)| {
+                        let n = block.instance().graph().node_count();
+                        populated += n;
+                        (0..n)
+                            .map(|v| ViewSkeleton::compute(block.instance(), v, radius, id_mode))
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        SkeletonCache {
+            configs,
+            per_block,
+            populated,
+        }
+    }
+
+    fn config_index(&self, radius: usize, id_mode: IdMode) -> Option<usize> {
+        self.configs.iter().position(|&c| c == (radius, id_mode))
+    }
+}
+
+/// Handed to [`PropertyCheck::inspect`]: view extraction for the item's
+/// block, backed by the shared skeleton cache.
+pub struct ItemCtx<'a> {
+    block: usize,
+    cache: &'a SkeletonCache,
+    hits: &'a AtomicUsize,
+    misses: &'a AtomicUsize,
+}
+
+impl ItemCtx<'_> {
+    /// The item's own view of node `v` (the item's labeling, stamped onto
+    /// the block's cached skeleton when `(radius, id_mode)` was requested
+    /// via [`PropertyCheck::view_configs`]).
+    pub fn view(&self, item: &UniverseItem<'_>, v: usize, radius: usize, id_mode: IdMode) -> View {
+        self.view_with(item, &item.labeling, v, radius, id_mode)
+    }
+
+    /// Like [`ItemCtx::view`] but stamping an arbitrary labeling of the
+    /// same instance (e.g. a prover's labeling in a completeness check).
+    pub fn view_with(
+        &self,
+        item: &UniverseItem<'_>,
+        labeling: &Labeling,
+        v: usize,
+        radius: usize,
+        id_mode: IdMode,
+    ) -> View {
+        if let Some(c) = self.cache.config_index(radius, id_mode) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return self.cache.per_block[self.block][c][v].stamp(labeling);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        View::extract(item.instance, labeling, v, radius, id_mode)
+    }
+
+    /// Runs `decoder` on every node of the item, in node order.
+    pub fn run<D: Decoder + ?Sized>(&self, item: &UniverseItem<'_>, decoder: &D) -> Vec<Verdict> {
+        self.run_with(item, &item.labeling, decoder)
+    }
+
+    /// Runs `decoder` on every node under an arbitrary labeling.
+    pub fn run_with<D: Decoder + ?Sized>(
+        &self,
+        item: &UniverseItem<'_>,
+        labeling: &Labeling,
+        decoder: &D,
+    ) -> Vec<Verdict> {
+        let (radius, id_mode) = (decoder.radius(), decoder.id_mode());
+        (0..item.instance.graph().node_count())
+            .map(|v| decoder.decide(&self.view_with(item, labeling, v, radius, id_mode)))
+            .collect()
+    }
+
+    /// Whether every node accepts the item (early exit on first reject).
+    pub fn accepts_all<D: Decoder + ?Sized>(&self, item: &UniverseItem<'_>, decoder: &D) -> bool {
+        let (radius, id_mode) = (decoder.radius(), decoder.id_mode());
+        (0..item.instance.graph().node_count()).all(|v| {
+            decoder
+                .decide(&self.view(item, v, radius, id_mode))
+                .is_accept()
+        })
+    }
+}
+
+/// Sweeps `check` over `universe` in [`ExecMode::Auto`].
+pub fn sweep<C: PropertyCheck>(check: &C, universe: &Universe) -> VerificationReport<C::Verdict> {
+    sweep_with(check, universe, ExecMode::Auto)
+}
+
+/// Sweeps `check` over `universe` in the given mode. See the module docs
+/// for the determinism contract.
+pub fn sweep_with<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    mode: ExecMode,
+) -> VerificationReport<C::Verdict> {
+    let start = Instant::now();
+    let cache = SkeletonCache::build(universe, check.view_configs());
+    let hits = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(cache.populated);
+    let n = universe.len();
+    let threads = resolve_threads(mode, n);
+
+    let (mut partials, stop_at) = if threads > 1 {
+        run_parallel(check, universe, &cache, &hits, &misses, threads)
+    } else {
+        run_sequential(check, universe, &cache, &hits, &misses)
+    };
+    partials.sort_by_key(|&(i, _)| i);
+    let short_circuited = stop_at != usize::MAX;
+    if short_circuited {
+        partials.retain(|&(i, _)| i <= stop_at);
+    }
+    let checked = if short_circuited { stop_at + 1 } else { n };
+
+    let outcome = SweepOutcome {
+        checked,
+        universe_size: n,
+        short_circuited,
+    };
+    let verdict = check.reduce(universe, partials, &outcome);
+    VerificationReport {
+        verdict,
+        checked,
+        universe_size: n,
+        short_circuited,
+        cache_hits: hits.load(Ordering::Relaxed),
+        cache_misses: misses.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        threads,
+    }
+}
+
+/// Sweeps `check` over labelings pulled lazily from `labelings`, all on
+/// the same `instance`.
+///
+/// Unlike [`sweep`], nothing is materialized: items are drawn one at a
+/// time and the sweep stops *pulling* at the first short-circuiting item.
+/// A stateful source — e.g. labelings drawn from a caller's RNG — is
+/// therefore advanced exactly `checked` times, matching the pre-engine
+/// sampling loops, and memory stays `O(1)` in the stream length.
+///
+/// The sweep is necessarily sequential (the source is a stateful
+/// iterator), but the view-skeleton cache is still built once for
+/// `instance` and shared by every item. Because the stream length is
+/// unknown until exhausted, the report's `universe_size` equals the number
+/// of items drawn, and [`PropertyCheck::reduce`] receives a synthetic
+/// one-block universe describing the bare `instance` — lazy sweeps suit
+/// checks whose `reduce` depends only on the partials and the
+/// [`SweepOutcome`], which is every check in this crate.
+pub fn sweep_lazy<C: PropertyCheck>(
+    check: &C,
+    instance: &Instance,
+    labelings: impl IntoIterator<Item = Labeling>,
+    coverage: Coverage,
+) -> VerificationReport<C::Verdict> {
+    let start = Instant::now();
+    let universe = Universe::new(
+        vec![Block::new(instance.clone(), LabelSource::Unlabeled)],
+        coverage,
+    )
+    .expect("a single bare instance cannot overflow");
+    let cache = SkeletonCache::build(&universe, check.view_configs());
+    let hits = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(cache.populated);
+    let shared = universe.blocks()[0].instance();
+    let mut partials = Vec::new();
+    let mut checked = 0usize;
+    let mut short_circuited = false;
+    for labeling in labelings {
+        let item = UniverseItem {
+            index: checked,
+            block: 0,
+            instance: shared,
+            labeling,
+        };
+        checked += 1;
+        let ctx = ItemCtx {
+            block: 0,
+            cache: &cache,
+            hits: &hits,
+            misses: &misses,
+        };
+        if let Some(partial) = check.inspect(&item, &ctx) {
+            let stop = check.short_circuits(&partial);
+            partials.push((item.index, partial));
+            if stop {
+                short_circuited = true;
+                break;
+            }
+        }
+    }
+    finish_lazy(
+        check,
+        &universe,
+        partials,
+        checked,
+        short_circuited,
+        &hits,
+        &misses,
+        start,
+    )
+}
+
+/// Sweeps `check` over labeled instances pulled lazily from `items`.
+///
+/// The streaming counterpart of a `Fixed`-per-block universe (one instance
+/// per item, e.g. the identifier variants of the invariance checks): draws
+/// stop at the first short-circuiting item, so a stateful source advances
+/// exactly `checked` times and memory stays `O(1)` in the stream length.
+/// Each item's view skeletons are computed on arrival — the same
+/// per-variant cost the eager universe pays. As with [`sweep_lazy`], the
+/// report's `universe_size` equals the number of items drawn and
+/// [`PropertyCheck::reduce`] receives a synthetic universe (here an empty
+/// one, as there is no single shared instance).
+pub fn sweep_lazy_labeled<C: PropertyCheck>(
+    check: &C,
+    items: impl IntoIterator<Item = LabeledInstance>,
+    coverage: Coverage,
+) -> VerificationReport<C::Verdict> {
+    let start = Instant::now();
+    let configs = check.view_configs();
+    let reduce_universe =
+        Universe::new(Vec::new(), coverage).expect("an empty universe cannot overflow");
+    let hits = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(0);
+    let mut partials = Vec::new();
+    let mut checked = 0usize;
+    let mut short_circuited = false;
+    for li in items {
+        let (instance, labeling) = li.into_parts();
+        let mini = Universe::new(vec![Block::new(instance, LabelSource::Unlabeled)], coverage)
+            .expect("a single bare instance cannot overflow");
+        let cache = SkeletonCache::build(&mini, configs.clone());
+        misses.fetch_add(cache.populated, Ordering::Relaxed);
+        let item = UniverseItem {
+            index: checked,
+            block: 0,
+            instance: mini.blocks()[0].instance(),
+            labeling,
+        };
+        checked += 1;
+        let ctx = ItemCtx {
+            block: 0,
+            cache: &cache,
+            hits: &hits,
+            misses: &misses,
+        };
+        if let Some(partial) = check.inspect(&item, &ctx) {
+            let stop = check.short_circuits(&partial);
+            partials.push((item.index, partial));
+            if stop {
+                short_circuited = true;
+                break;
+            }
+        }
+    }
+    finish_lazy(
+        check,
+        &reduce_universe,
+        partials,
+        checked,
+        short_circuited,
+        &hits,
+        &misses,
+        start,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_lazy<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    partials: Vec<(usize, C::Partial)>,
+    checked: usize,
+    short_circuited: bool,
+    hits: &AtomicUsize,
+    misses: &AtomicUsize,
+    start: Instant,
+) -> VerificationReport<C::Verdict> {
+    let outcome = SweepOutcome {
+        checked,
+        universe_size: checked,
+        short_circuited,
+    };
+    let verdict = check.reduce(universe, partials, &outcome);
+    VerificationReport {
+        verdict,
+        checked,
+        universe_size: checked,
+        short_circuited,
+        cache_hits: hits.load(Ordering::Relaxed),
+        cache_misses: misses.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        threads: 1,
+    }
+}
+
+fn resolve_threads(mode: ExecMode, items: usize) -> usize {
+    match mode {
+        ExecMode::Sequential => 1,
+        ExecMode::Parallel(t) => {
+            if cfg!(feature = "parallel") {
+                t.max(1)
+            } else {
+                1
+            }
+        }
+        ExecMode::Auto => {
+            if !cfg!(feature = "parallel") || items < PARALLEL_THRESHOLD {
+                return 1;
+            }
+            std::thread::available_parallelism()
+                .map(|p| p.get().min(items))
+                .unwrap_or(1)
+        }
+    }
+}
+
+fn run_sequential<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    cache: &SkeletonCache,
+    hits: &AtomicUsize,
+    misses: &AtomicUsize,
+) -> (Vec<(usize, C::Partial)>, usize) {
+    let mut partials = Vec::new();
+    for i in 0..universe.len() {
+        let item = universe.item(i);
+        let ctx = ItemCtx {
+            block: item.block,
+            cache,
+            hits,
+            misses,
+        };
+        if let Some(partial) = check.inspect(&item, &ctx) {
+            let stop = check.short_circuits(&partial);
+            partials.push((i, partial));
+            if stop {
+                return (partials, i);
+            }
+        }
+    }
+    (partials, usize::MAX)
+}
+
+#[cfg(feature = "parallel")]
+fn run_parallel<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    cache: &SkeletonCache,
+    hits: &AtomicUsize,
+    misses: &AtomicUsize,
+    threads: usize,
+) -> (Vec<(usize, C::Partial)>, usize) {
+    let n = universe.len();
+    // Small chunks so threads converge quickly on a low short-circuit
+    // index; large enough to keep cursor contention negligible.
+    let chunk = (n / (threads * 8)).clamp(1, 1024);
+    let cursor = AtomicUsize::new(0);
+    // Lowest short-circuiting index seen so far (usize::MAX = none).
+    let stop_at = AtomicUsize::new(usize::MAX);
+
+    let mut partials: Vec<(usize, C::Partial)> = Vec::new();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, C::Partial)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        // The cursor only grows, so once a claimed chunk
+                        // lies entirely past the stop index, all later
+                        // claims will too.
+                        if start >= n || start > stop_at.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(n) {
+                            if i > stop_at.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let item = universe.item(i);
+                            let ctx = ItemCtx {
+                                block: item.block,
+                                cache,
+                                hits,
+                                misses,
+                            };
+                            if let Some(partial) = check.inspect(&item, &ctx) {
+                                let stop = check.short_circuits(&partial);
+                                local.push((i, partial));
+                                if stop {
+                                    stop_at.fetch_min(i, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for worker in workers {
+            partials.extend(worker.join().expect("sweep worker panicked"));
+        }
+    });
+    (partials, stop_at.load(Ordering::Relaxed))
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_parallel<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    cache: &SkeletonCache,
+    hits: &AtomicUsize,
+    misses: &AtomicUsize,
+    _threads: usize,
+) -> (Vec<(usize, C::Partial)>, usize) {
+    run_sequential(check, universe, cache, hits, misses)
+}

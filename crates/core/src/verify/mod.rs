@@ -1,0 +1,164 @@
+//! The unified verification engine: one universe sweep behind every
+//! property checker.
+//!
+//! Every certification property this crate checks — completeness,
+//! soundness, strong soundness, hiding, erasure robustness, invariance,
+//! quantified extractability — is ultimately a statement quantified over
+//! labeled instances: *for all / exists (instance, labeling) such that the
+//! decoder's node verdicts …*. This module factors that shared shape out of
+//! the individual checkers:
+//!
+//! * [`Universe`] describes the quantification domain as a deterministic,
+//!   chunkable stream of labeled instances, carrying its own [`Coverage`]
+//!   (exhaustive vs sampled) so downstream verdicts can tell universal
+//!   conclusions from mere refutations;
+//! * [`PropertyCheck`] is the property: a per-item [`PropertyCheck::inspect`]
+//!   plus a [`PropertyCheck::reduce`] fold, with optional short-circuiting;
+//! * [`sweep`] / [`sweep_with`] execute the check — sequentially, or on
+//!   worker threads when the default-on `parallel` feature is enabled —
+//!   with bit-identical verdicts, witnesses and counts in either mode, and
+//!   a shared [`crate::view::ViewSkeleton`] cache so each node's view is
+//!   canonicalized once per block instead of once per labeling;
+//! * every sweep returns a [`VerificationReport`]: the verdict plus how
+//!   many instances were checked, cache hits/misses, wall-clock time and
+//!   thread count.
+//!
+//! The concrete properties live where they always did (in
+//! [`crate::properties`] and [`crate::nbhd`]); what moved here is the
+//! *iteration* — there is no hand-rolled "for each labeling" loop left
+//! outside this engine.
+
+mod check;
+mod executor;
+pub mod universe;
+
+pub use check::{PropertyCheck, SweepOutcome, VerificationReport};
+pub use executor::{sweep, sweep_lazy, sweep_lazy_labeled, sweep_with, ExecMode, ItemCtx};
+pub use universe::{Block, Coverage, LabelSource, Universe, UniverseItem, UniverseOverflow};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+    use crate::label::Certificate;
+    use crate::view::IdMode;
+    use hiding_lcp_graph::generators;
+
+    fn bits() -> Vec<Certificate> {
+        vec![Certificate::from_byte(0), Certificate::from_byte(1)]
+    }
+
+    /// Counts items whose labeling is constant; short-circuits on a marker.
+    struct CountConstant {
+        stop_on_all_ones: bool,
+    }
+
+    impl PropertyCheck for CountConstant {
+        type Partial = bool;
+        type Verdict = (usize, Option<usize>);
+
+        fn inspect(&self, item: &UniverseItem<'_>, _ctx: &ItemCtx<'_>) -> Option<bool> {
+            let n = item.labeling.node_count();
+            let constant = (1..n).all(|v| item.labeling.label(v) == item.labeling.label(0));
+            let all_ones =
+                n > 0 && (0..n).all(|v| item.labeling.label(v) == &Certificate::from_byte(1));
+            (constant || all_ones).then_some(all_ones)
+        }
+
+        fn short_circuits(&self, partial: &bool) -> bool {
+            self.stop_on_all_ones && *partial
+        }
+
+        fn reduce(
+            &self,
+            _universe: &Universe,
+            partials: Vec<(usize, bool)>,
+            _outcome: &SweepOutcome,
+        ) -> (usize, Option<usize>) {
+            let stop = partials.iter().find(|(_, p)| *p).map(|&(i, _)| i);
+            (partials.len(), stop)
+        }
+    }
+
+    fn small_universe() -> Universe {
+        Universe::all_labelings_of(
+            Instance::canonical(generators::cycle(5)),
+            bits(),
+            Coverage::Exhaustive,
+        )
+        .expect("32 labelings fit")
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let universe = small_universe();
+        for check in [
+            CountConstant {
+                stop_on_all_ones: false,
+            },
+            CountConstant {
+                stop_on_all_ones: true,
+            },
+        ] {
+            let seq = sweep_with(&check, &universe, ExecMode::Sequential);
+            let par = sweep_with(&check, &universe, ExecMode::Parallel(4));
+            assert_eq!(seq.verdict, par.verdict);
+            assert_eq!(seq.checked, par.checked);
+            assert_eq!(seq.short_circuited, par.short_circuited);
+            assert_eq!(seq.universe_size, 32);
+        }
+    }
+
+    #[test]
+    fn short_circuit_counts_sequentially() {
+        let universe = small_universe();
+        let check = CountConstant {
+            stop_on_all_ones: true,
+        };
+        let report = sweep_with(&check, &universe, ExecMode::Parallel(3));
+        // All-ones is labeling index 31 (odometer: every digit = 1).
+        assert_eq!(report.verdict.1, Some(31));
+        assert_eq!(report.checked, 32);
+        assert!(report.short_circuited);
+    }
+
+    /// A check that requests a cached view config and uses it.
+    struct ViewsMatchDirect;
+
+    impl PropertyCheck for ViewsMatchDirect {
+        type Partial = ();
+        type Verdict = usize;
+
+        fn view_configs(&self) -> Vec<(usize, IdMode)> {
+            vec![(1, IdMode::Anonymous)]
+        }
+
+        fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<()> {
+            for v in 0..item.instance.graph().node_count() {
+                let cached = ctx.view(item, v, 1, IdMode::Anonymous);
+                let direct = item.instance.view(&item.labeling, v, 1, IdMode::Anonymous);
+                assert_eq!(cached, direct);
+            }
+            Some(())
+        }
+
+        fn reduce(
+            &self,
+            _universe: &Universe,
+            partials: Vec<(usize, ())>,
+            _outcome: &SweepOutcome,
+        ) -> usize {
+            partials.len()
+        }
+    }
+
+    #[test]
+    fn cached_views_equal_direct_extraction() {
+        let universe = small_universe();
+        let report = sweep(&ViewsMatchDirect, &universe);
+        assert_eq!(report.verdict, 32);
+        // 5 nodes * 32 labelings stamped from 5 skeletons.
+        assert_eq!(report.cache_hits, 160);
+        assert_eq!(report.cache_misses, 5);
+    }
+}

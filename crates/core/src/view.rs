@@ -82,26 +82,37 @@ pub struct View {
     nodes: Vec<ViewNode>,
 }
 
-impl View {
-    /// Extracts the view of `v` in `(instance, labeling)`.
+/// The labeling-independent part of a view: BFS distances, the canonical
+/// port-order traversal, identifier canonicalization and visible arcs —
+/// everything [`View::extract`] computes *except* the certificates.
+///
+/// Canonicalization is the hot path of the Lemma 3.1 sweep, yet it only
+/// depends on `(instance, node, radius, id_mode)` — not on the labeling.
+/// The verification engine ([`crate::verify`]) therefore computes one
+/// skeleton per node and [stamps](ViewSkeleton::stamp) each of the
+/// `|alphabet|^n` labelings onto it in `O(|view|)`, instead of re-running
+/// the BFS per labeling. `View::extract` itself is implemented as
+/// `compute + stamp`, so stamped views are identical (bitwise, and under
+/// `Eq`/`Hash`) to directly extracted ones.
+#[derive(Debug, Clone)]
+pub struct ViewSkeleton {
+    /// The fully canonicalized view with empty certificates.
+    proto: View,
+    /// Canonical index → original node index (for label stamping).
+    order: Vec<usize>,
+    /// Node count of the host graph (stamping validates labeling arity).
+    host_nodes: usize,
+}
+
+impl ViewSkeleton {
+    /// Computes the skeleton of `v`'s radius-`radius` view.
     ///
     /// # Panics
     ///
-    /// Panics if `v` is out of range or the labeling has the wrong arity.
-    pub fn extract(
-        instance: &Instance,
-        labeling: &Labeling,
-        v: usize,
-        radius: usize,
-        id_mode: IdMode,
-    ) -> View {
+    /// Panics if `v` is out of range.
+    pub fn compute(instance: &Instance, v: usize, radius: usize, id_mode: IdMode) -> ViewSkeleton {
         let g = instance.graph();
         assert!(v < g.node_count(), "node {v} out of range");
-        assert_eq!(
-            labeling.node_count(),
-            g.node_count(),
-            "labeling must cover every node"
-        );
         // 1. BFS distances, truncated to `radius`.
         let mut dist = vec![usize::MAX; g.node_count()];
         dist[v] = 0;
@@ -118,9 +129,7 @@ impl View {
             }
         }
         let visible = |a: usize, b: usize| -> bool {
-            dist[a] != usize::MAX
-                && dist[b] != usize::MAX
-                && dist[a].min(dist[b]) < radius
+            dist[a] != usize::MAX && dist[b] != usize::MAX && dist[a].min(dist[b]) < radius
         };
         // 2. Canonical traversal: BFS from v following ports in order.
         let mut canon = vec![usize::MAX; g.node_count()];
@@ -155,7 +164,7 @@ impl View {
             }
             IdMode::Anonymous => vec![None; order.len()],
         };
-        // 4. Assemble nodes.
+        // 4. Assemble nodes with placeholder certificates.
         let nodes = order
             .iter()
             .enumerate()
@@ -173,13 +182,13 @@ impl View {
                 }
                 ViewNode {
                     id: ids[ci],
-                    label: labeling.label(o).clone(),
+                    label: Certificate::empty(),
                     dist: dist[o],
                     arcs,
                 }
             })
             .collect();
-        View {
+        let proto = View {
             radius,
             id_mode,
             id_bound: if id_mode == IdMode::Full {
@@ -188,7 +197,62 @@ impl View {
                 0
             },
             nodes,
+        };
+        ViewSkeleton {
+            proto,
+            order,
+            host_nodes: g.node_count(),
         }
+    }
+
+    /// Stamps `labeling`'s certificates onto the skeleton, yielding exactly
+    /// the view [`View::extract`] would produce for the same arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labeling does not cover the host graph.
+    pub fn stamp(&self, labeling: &Labeling) -> View {
+        assert_eq!(
+            labeling.node_count(),
+            self.host_nodes,
+            "labeling must cover every node"
+        );
+        let mut view = self.proto.clone();
+        for (node, &orig) in view.nodes.iter_mut().zip(&self.order) {
+            node.label = labeling.label(orig).clone();
+        }
+        view
+    }
+
+    /// Canonical index → original node index.
+    pub fn original_nodes(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Number of nodes in the (stamped) view.
+    pub fn node_count(&self) -> usize {
+        self.proto.nodes.len()
+    }
+}
+
+impl View {
+    /// Extracts the view of `v` in `(instance, labeling)`.
+    ///
+    /// Implemented as [`ViewSkeleton::compute`] followed by
+    /// [`ViewSkeleton::stamp`], so skeleton-cached extraction (the
+    /// verification engine's hot path) is identical by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or the labeling has the wrong arity.
+    pub fn extract(
+        instance: &Instance,
+        labeling: &Labeling,
+        v: usize,
+        radius: usize,
+        id_mode: IdMode,
+    ) -> View {
+        ViewSkeleton::compute(instance, v, radius, id_mode).stamp(labeling)
     }
 
     /// The view radius `r`.
@@ -401,8 +465,7 @@ impl View {
             entry.sort_unstable();
         }
         // BFS distances from the center over resolved edges.
-        let mut dist: std::collections::BTreeMap<u64, usize> =
-            std::collections::BTreeMap::new();
+        let mut dist: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
         dist.insert(center_id, 0);
         let mut queue = VecDeque::from([center_id]);
         while let Some(x) = queue.pop_front() {
@@ -424,8 +487,7 @@ impl View {
             }
         };
         // Canonical traversal in port order.
-        let mut canon: std::collections::BTreeMap<u64, usize> =
-            std::collections::BTreeMap::new();
+        let mut canon: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
         let mut order: Vec<u64> = vec![center_id];
         canon.insert(center_id, 0);
         let mut queue = VecDeque::from([center_id]);
@@ -621,10 +683,16 @@ mod tests {
     fn order_only_mode_sees_ranks() {
         let g = generators::path(3);
         let labels = Labeling::empty(3);
-        let a = Instance::with_ids(g.clone(), IdAssignment::from_ids(vec![10, 20, 30], 100).unwrap())
-            .unwrap();
-        let b = Instance::with_ids(g.clone(), IdAssignment::from_ids(vec![1, 5, 9], 100).unwrap())
-            .unwrap();
+        let a = Instance::with_ids(
+            g.clone(),
+            IdAssignment::from_ids(vec![10, 20, 30], 100).unwrap(),
+        )
+        .unwrap();
+        let b = Instance::with_ids(
+            g.clone(),
+            IdAssignment::from_ids(vec![1, 5, 9], 100).unwrap(),
+        )
+        .unwrap();
         let c = Instance::with_ids(g, IdAssignment::from_ids(vec![9, 5, 1], 100).unwrap()).unwrap();
         for v in 0..3 {
             assert_eq!(
@@ -646,8 +714,11 @@ mod tests {
     fn anonymous_views_ignore_ids_entirely() {
         let g = generators::star(3);
         let labels = Labeling::empty(4);
-        let a = Instance::with_ids(g.clone(), IdAssignment::from_ids(vec![4, 3, 2, 1], 9).unwrap())
-            .unwrap();
+        let a = Instance::with_ids(
+            g.clone(),
+            IdAssignment::from_ids(vec![4, 3, 2, 1], 9).unwrap(),
+        )
+        .unwrap();
         let b = Instance::canonical(g);
         assert_eq!(
             a.view(&labels, 0, 1, IdMode::Anonymous),
@@ -709,7 +780,9 @@ mod tests {
         let big = inst.view(&labels, 0, 2, IdMode::Full);
         // Node at canonical index of distance-1 node: its sub-view within
         // the big view lists both its edges (it is at distance 1 <= r-1).
-        let i = (0..big.node_count()).find(|&i| big.node(i).dist == 1).unwrap();
+        let i = (0..big.node_count())
+            .find(|&i| big.node(i).dist == 1)
+            .unwrap();
         let sub = big.sub_view1(i);
         assert_eq!(sub.arcs.len(), 2);
         assert_eq!(sub.id, big.node(i).id);
@@ -766,16 +839,15 @@ mod tests {
     fn remap_ranks_roundtrip() {
         let g = generators::path(3);
         let labels = Labeling::empty(3);
-        let inst = Instance::with_ids(
-            g,
-            IdAssignment::from_ids(vec![30, 10, 20], 64).unwrap(),
-        )
-        .unwrap();
+        let inst =
+            Instance::with_ids(g, IdAssignment::from_ids(vec![30, 10, 20], 64).unwrap()).unwrap();
         let ranked = inst.view(&labels, 1, 2, IdMode::OrderOnly);
         // Substitute ranks 0,1,2 with the original sorted ids: recovers
         // the Full view.
         let restored = ranked.remap_ranks_to(&[10, 20, 30]);
-        let full = inst.view(&labels, 1, 2, IdMode::Full).map_labels(|c| c.clone());
+        let full = inst
+            .view(&labels, 1, 2, IdMode::Full)
+            .map_labels(|c| c.clone());
         // id_bound differs (OrderOnly forgets it), so compare piecewise.
         assert_eq!(restored.center_id(), full.center_id());
         for (a, b) in restored.nodes().iter().zip(full.nodes()) {

@@ -59,12 +59,7 @@ pub fn is_non_backtracking(nbhd: &NbhdGraph, walk: &[usize]) -> bool {
 /// Finds a node `z` with `N^r(z)` disjoint from `N^r(u) ∪ N^r(v)` — the
 /// far view `μ'` of Lemma 5.4. (Exists whenever the diameter is at least
 /// `2r + 1`-ish; Lemma 2.1 guarantees it on r-forgetful yes-instances.)
-pub fn find_far_node(
-    g: &hiding_lcp_graph::Graph,
-    u: usize,
-    v: usize,
-    r: usize,
-) -> Option<usize> {
+pub fn find_far_node(g: &hiding_lcp_graph::Graph, u: usize, v: usize, r: usize) -> Option<usize> {
     let du = bfs::distances(g, u);
     let dv = bfs::distances(g, v);
     // N^r(z) ∩ N^r(u) = ∅ iff dist(z, u) > 2r.
@@ -103,11 +98,9 @@ pub fn expansion_walk(li: &LabeledInstance, u: usize, v: usize, r: usize) -> Opt
     // Step 5: return to u through some neighbor y ≠ v, keeping the seam
     // non-backtracking (predecessor of u is y ≠ v = successor of u).
     let last_edge = (walk[walk.len() - 2], walk[walk.len() - 1]);
-    let closing = g
-        .neighbors(u)
-        .iter()
-        .filter(|&&y| y != v)
-        .find_map(|&y| paths::nb_walk_from_edge_to_edge(g, last_edge, (y, u), paths::Parity::Any))?;
+    let closing = g.neighbors(u).iter().filter(|&&y| y != v).find_map(|&y| {
+        paths::nb_walk_from_edge_to_edge(g, last_edge, (y, u), paths::Parity::Any)
+    })?;
     walk.extend_from_slice(&closing[2..]);
     // Drop the final u: closed walks are stored without the repetition.
     walk.pop();
@@ -140,7 +133,11 @@ pub fn repair_walk(li: &LabeledInstance, v_gt: usize, v: usize) -> Option<Vec<us
     let p_vu = paths::shortest_path(&pruned, v, u)?;
     // The closed traversal of the cycle starting and ending at u.
     let start = cycle.iter().position(|&x| x == u).expect("u on cycle");
-    let mut c_u: Vec<usize> = cycle[start..].iter().chain(&cycle[..start]).copied().collect();
+    let mut c_u: Vec<usize> = cycle[start..]
+        .iter()
+        .chain(&cycle[..start])
+        .copied()
+        .collect();
     c_u.push(u);
     // Assemble (v_> v) P_vu C_u P_uv.
     let mut walk = vec![v_gt];
@@ -300,11 +297,8 @@ mod tests {
         )
         .unwrap()
         .with_labeling(Labeling::empty(2));
-        let b_graph = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2)],
-        )
-        .unwrap(); // 0=id2, 1=id1, 2=id3 ... with the C4 = 2-3-4-5.
+        let b_graph =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 2)]).unwrap(); // 0=id2, 1=id1, 2=id3 ... with the C4 = 2-3-4-5.
         let b = Instance::new(
             b_graph,
             hiding_lcp_graph::PortAssignment::canonical(
@@ -323,17 +317,13 @@ mod tests {
             .find(|&i| nbhd.view(i).center_id() == Some(2))
             .expect("id-2 view");
         let mu1b = (0..nbhd.view_count())
-            .find(|&i| {
-                nbhd.view(i).center_id() == Some(1) && nbhd.view(i).center_degree() == 2
-            })
+            .find(|&i| nbhd.view(i).center_id() == Some(1) && nbhd.view(i).center_degree() == 2)
             .expect("id-1 view from B");
         assert!(nbhd.has_edge(mu2, mu1b));
         // The motivating defect: the closed 3-walk (μ_1A, μ2, μ_1B) is
         // backtracking — its predecessor/successor center ids coincide.
         let mu1a = (0..nbhd.view_count())
-            .find(|&i| {
-                nbhd.view(i).center_id() == Some(1) && nbhd.view(i).center_degree() == 1
-            })
+            .find(|&i| nbhd.view(i).center_id() == Some(1) && nbhd.view(i).center_degree() == 1)
             .expect("id-1 view from A");
         assert_eq!(
             nbhd.view(mu1a).center_id(),

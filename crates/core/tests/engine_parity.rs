@@ -1,0 +1,90 @@
+//! Property-based parity between the verification engine's parallel
+//! executor and its sequential fallback.
+//!
+//! The executor's contract (see `verify::executor` module docs) is that
+//! parallel and sequential sweeps are observationally identical: same
+//! verdict, same witness (the lowest-indexed violation), same
+//! checked-count, same short-circuit flag. This suite hammers that
+//! contract with random decoders over random instance universes.
+//! `cache_hits`/`cache_misses` are deliberately *not* compared — a
+//! parallel short-circuiting sweep may inspect items beyond the final
+//! witness, so its cache traffic can legitimately differ.
+
+use hiding_lcp_core::instance::Instance;
+use hiding_lcp_core::label::Certificate;
+use hiding_lcp_core::language::KCol;
+use hiding_lcp_core::lower::PortObliviousCycleDecoder;
+use hiding_lcp_core::properties::soundness::SoundnessCheck;
+use hiding_lcp_core::properties::strong::StrongCheck;
+use hiding_lcp_core::verify::{sweep_with, Coverage, ExecMode, PropertyCheck, Universe};
+use proptest::prelude::*;
+
+fn bits() -> Vec<Certificate> {
+    vec![Certificate::from_byte(0), Certificate::from_byte(1)]
+}
+
+fn cycle_or_path(shape: u8, n: usize) -> Instance {
+    if shape.is_multiple_of(2) {
+        Instance::canonical(hiding_lcp_graph::generators::cycle(n))
+    } else {
+        Instance::canonical(hiding_lcp_graph::generators::path(n))
+    }
+}
+
+/// Runs `check` both ways and asserts the reports agree observationally.
+fn assert_parity<C>(check: &C, universe: &Universe) -> Result<(), TestCaseError>
+where
+    C: PropertyCheck,
+    C::Verdict: PartialEq + std::fmt::Debug,
+{
+    let seq = sweep_with(check, universe, ExecMode::Sequential);
+    let par = sweep_with(check, universe, ExecMode::Parallel(3));
+    prop_assert_eq!(&seq.verdict, &par.verdict);
+    prop_assert_eq!(seq.checked, par.checked);
+    prop_assert_eq!(seq.universe_size, par.universe_size);
+    prop_assert_eq!(seq.short_circuited, par.short_circuited);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn soundness_sweeps_agree(code in 0u8..64, shape in 0u8..2, n in 3usize..7) {
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let instance = cycle_or_path(shape, n);
+        let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let check = SoundnessCheck { decoder: &decoder };
+        assert_parity(&check, &universe)?;
+    }
+
+    #[test]
+    fn strong_sweeps_agree(code in 0u8..64, shape in 0u8..2, n in 3usize..7) {
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let two_col = KCol::new(2);
+        let instance = cycle_or_path(shape, n);
+        let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let check = StrongCheck { decoder: &decoder, language: &two_col };
+        assert_parity(&check, &universe)?;
+    }
+
+    #[test]
+    fn multi_block_sweeps_agree(code in 0u8..64, n in 3usize..6) {
+        // Universes spanning several blocks exercise the chunked
+        // work-stealing across block boundaries.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let blocks = (3..=n + 1)
+            .map(|m| {
+                hiding_lcp_core::verify::Block::new(
+                    Instance::canonical(hiding_lcp_graph::generators::cycle(m)),
+                    hiding_lcp_core::verify::LabelSource::All { alphabet: bits() },
+                )
+            })
+            .collect();
+        let universe = Universe::new(blocks, Coverage::Sampled).expect("small universe fits");
+        let check = SoundnessCheck { decoder: &decoder };
+        assert_parity(&check, &universe)?;
+    }
+}

@@ -80,7 +80,10 @@ mod tests {
         assert!(is_proper_coloring(&c4, &[0, 1, 0, 1], 2));
         assert!(!is_proper_coloring(&c4, &[0, 1, 0, 0], 2));
         assert!(!is_proper_coloring(&c4, &[0, 1, 0], 2), "wrong length");
-        assert!(!is_proper_coloring(&c4, &[0, 2, 0, 2], 2), "palette overflow");
+        assert!(
+            !is_proper_coloring(&c4, &[0, 2, 0, 2], 2),
+            "palette overflow"
+        );
     }
 
     #[test]

@@ -142,6 +142,9 @@ mod tests {
     #[test]
     fn tree_has_no_cycle() {
         assert_eq!(cycle_in_component_of(&generators::star(4), 0), None);
-        assert_eq!(cycle_in_component_of(&generators::balanced_tree(2, 3), 5), None);
+        assert_eq!(
+            cycle_in_component_of(&generators::balanced_tree(2, 3), 5),
+            None
+        );
     }
 }

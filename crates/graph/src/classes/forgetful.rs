@@ -149,13 +149,19 @@ mod tests {
         assert!(!is_r_forgetful(&generators::grid(4, 4), 1));
         let g = generators::grid(6, 6);
         let apsp = crate::algo::bfs::all_pairs(&g);
-        assert!(escape_path(&g, &apsp, 0, 1, 1).is_none(), "corner cannot escape");
+        assert!(
+            escape_path(&g, &apsp, 0, 1, 1).is_none(),
+            "corner cannot escape"
+        );
     }
 
     #[test]
     fn dense_graphs_are_not_forgetful() {
         assert!(!is_r_forgetful(&generators::complete(4), 1));
-        assert!(!is_r_forgetful(&generators::petersen(), 1), "diameter 2 < 3");
+        assert!(
+            !is_r_forgetful(&generators::petersen(), 1),
+            "diameter 2 < 3"
+        );
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub struct ShatterDecomposition {
 
 /// The components of `G − N[v]` (possibly fewer than two).
 pub fn components_without_closed_neighborhood(g: &Graph, v: usize) -> Vec<Vec<usize>> {
-    let closed: Vec<usize> = std::iter::once(v).chain(g.neighbors(v).iter().copied()).collect();
+    let closed: Vec<usize> = std::iter::once(v)
+        .chain(g.neighbors(v).iter().copied())
+        .collect();
     let rest: Vec<usize> = g.nodes().filter(|u| !closed.contains(u)).collect();
     let (sub, map) = g.induced(&rest);
     connected_components(&sub)
@@ -128,7 +130,17 @@ mod tests {
         // center: removing N[center] leaves three 2-node tails.
         let spider = Graph::from_edges(
             10,
-            &[(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 6), (0, 7), (7, 8), (8, 9)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (0, 4),
+                (4, 5),
+                (5, 6),
+                (0, 7),
+                (7, 8),
+                (8, 9),
+            ],
         )
         .unwrap();
         assert!(is_shatter_point(&spider, 0));

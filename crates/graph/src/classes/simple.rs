@@ -11,10 +11,7 @@ pub fn has_min_degree_one(g: &Graph) -> bool {
 
 /// Whether `g` is a cycle (connected and 2-regular).
 pub fn is_cycle(g: &Graph) -> bool {
-    g.node_count() >= 3
-        && g.min_degree() == Some(2)
-        && g.max_degree() == Some(2)
-        && is_connected(g)
+    g.node_count() >= 3 && g.min_degree() == Some(2) && g.max_degree() == Some(2) && is_connected(g)
 }
 
 /// Whether `g` is an even cycle — class H₂ of Theorem 1.1.
@@ -46,7 +43,10 @@ mod tests {
         assert!(has_min_degree_one(&generators::pendant_path(4, 1)));
         assert!(!has_min_degree_one(&generators::cycle(4)));
         assert!(!has_min_degree_one(&Graph::new(0)));
-        assert!(!has_min_degree_one(&Graph::new(2)), "isolated nodes have degree 0");
+        assert!(
+            !has_min_degree_one(&Graph::new(2)),
+            "isolated nodes have degree 0"
+        );
     }
 
     #[test]

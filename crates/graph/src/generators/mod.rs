@@ -26,6 +26,8 @@ mod trees;
 pub use basic::{complete, complete_bipartite, cycle, path, star};
 pub use enumerate::{connected_graphs_on, connected_graphs_up_to};
 pub use grids::{grid, hypercube, torus};
-pub use random::{gnp, random_bipartite, random_bipartite_regular, random_even_subdivision, random_regular};
+pub use random::{
+    gnp, random_bipartite, random_bipartite_regular, random_even_subdivision, random_regular,
+};
 pub use special::{pendant_path, petersen, theta, watermelon, with_pendant};
 pub use trees::{balanced_tree, caterpillar, random_tree};

@@ -177,5 +177,3 @@ mod tests {
         }
     }
 }
-
-

@@ -26,7 +26,10 @@ use crate::graph::Graph;
 /// assert_eq!(w.degree(0), 2);
 /// ```
 pub fn watermelon(path_lens: &[usize]) -> Graph {
-    assert!(!path_lens.is_empty(), "a watermelon needs at least one path");
+    assert!(
+        !path_lens.is_empty(),
+        "a watermelon needs at least one path"
+    );
     assert!(
         path_lens.iter().all(|&l| l >= 2),
         "watermelon paths must have length >= 2, got {path_lens:?}"

@@ -111,7 +111,10 @@ mod tests {
             assert_eq!(t.node_count(), n);
             assert_eq!(t.edge_count(), n.saturating_sub(1));
             let expected_components = usize::from(n > 0);
-            assert_eq!(components::connected_components(&t).len(), expected_components);
+            assert_eq!(
+                components::connected_components(&t).len(),
+                expected_components
+            );
         }
     }
 

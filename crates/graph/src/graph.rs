@@ -231,7 +231,8 @@ impl Graph {
     /// nodes to enlarge the identifier space).
     pub fn add_isolated_nodes(&mut self, count: usize) -> usize {
         let first = self.adj.len();
-        self.adj.extend(std::iter::repeat_with(Vec::new).take(count));
+        self.adj
+            .extend(std::iter::repeat_with(Vec::new).take(count));
         first
     }
 
@@ -342,7 +343,10 @@ mod tests {
             Err(GraphError::NodeOutOfRange { node: 3, n: 3 })
         );
         g.add_edge(0, 1).unwrap();
-        assert_eq!(g.add_edge(1, 0), Err(GraphError::DuplicateEdge { u: 1, v: 0 }));
+        assert_eq!(
+            g.add_edge(1, 0),
+            Err(GraphError::DuplicateEdge { u: 1, v: 0 })
+        );
         assert_eq!(g.edge_count(), 1);
     }
 

@@ -170,9 +170,15 @@ mod tests {
     #[test]
     fn from_ids_validation() {
         assert!(IdAssignment::from_ids(vec![2, 5, 1], 8).is_some());
-        assert!(IdAssignment::from_ids(vec![2, 2, 1], 8).is_none(), "duplicate");
+        assert!(
+            IdAssignment::from_ids(vec![2, 2, 1], 8).is_none(),
+            "duplicate"
+        );
         assert!(IdAssignment::from_ids(vec![0, 1], 8).is_none(), "zero id");
-        assert!(IdAssignment::from_ids(vec![9, 1], 8).is_none(), "above bound");
+        assert!(
+            IdAssignment::from_ids(vec![9, 1], 8).is_none(),
+            "above bound"
+        );
     }
 
     #[test]

@@ -157,10 +157,7 @@ pub fn all_port_assignments(g: &Graph, limit: usize) -> Vec<PortAssignment> {
         );
     }
     // Per-node permutations, combined by odometer.
-    let per_node: Vec<Vec<Vec<usize>>> = g
-        .nodes()
-        .map(|v| permutations(g.neighbors(v)))
-        .collect();
+    let per_node: Vec<Vec<Vec<usize>>> = g.nodes().map(|v| permutations(g.neighbors(v))).collect();
     let mut indices = vec![0usize; g.node_count()];
     let mut out = Vec::with_capacity(count);
     loop {

@@ -27,7 +27,10 @@ fn no_instances() -> Vec<(&'static str, Graph)> {
         ("Petersen", generators::petersen()),
         ("C5 + pendant tail", generators::pendant_path(5, 2)),
         ("odd watermelon", generators::watermelon(&[2, 3, 4])),
-        ("C3 ⊎ P4", generators::cycle(3).disjoint_union(&generators::path(4))),
+        (
+            "C3 ⊎ P4",
+            generators::cycle(3).disjoint_union(&generators::path(4)),
+        ),
     ]
 }
 
@@ -45,8 +48,7 @@ fn campaign<D: Decoder>(
         let inst = Instance::canonical(g);
         for labeling in structured(&inst) {
             structured_total += 1;
-            if let Err(violation) = strong::strong_holds_for(decoder, &two_col, &inst, &labeling)
-            {
+            if let Err(violation) = strong::strong_holds_for(decoder, &two_col, &inst, &labeling) {
                 panic!(
                     "{}: STRONG SOUNDNESS VIOLATED on {name}: accepting set {:?}",
                     decoder.name(),
@@ -75,7 +77,10 @@ fn campaign<D: Decoder>(
 }
 
 fn main() {
-    println!("strong-soundness campaign over {} no-instances\n", no_instances().len());
+    println!(
+        "strong-soundness campaign over {} no-instances\n",
+        no_instances().len()
+    );
 
     campaign(
         &degree_one::DegreeOneDecoder,

@@ -22,7 +22,10 @@ fn main() {
     let li = hiding_lcp::core::instance::Instance::canonical(g)
         .with_labeling(hiding_lcp::core::label::Labeling::empty(n));
     println!("knowledge growth at node 0 of a 4x4 torus (n = {n}):");
-    println!("{:>6} {:>12} {:>15}", "round", "known nodes", "resolved edges");
+    println!(
+        "{:>6} {:>12} {:>15}",
+        "round", "known nodes", "resolved edges"
+    );
     for round in 0..=4 {
         let k = gather_knowledge(&li, round);
         println!(

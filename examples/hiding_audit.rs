@@ -46,16 +46,28 @@ fn audit(name: &str, nbhd: &NbhdGraph) {
 
 fn main() {
     // Figs. 3/4: the degree-one LCP over P4 with every accepting labeling.
-    audit("Lemma 4.1 (degree one), Figs. 3/4", &workloads::degree_one_nbhd());
+    audit(
+        "Lemma 4.1 (degree one), Figs. 3/4",
+        &workloads::degree_one_nbhd(),
+    );
 
     // Figs. 5/6: the even-cycle LCP over C4 under all port assignments.
-    audit("Lemma 4.2 (even cycle), Figs. 5/6", &workloads::even_cycle_nbhd());
+    audit(
+        "Lemma 4.2 (even cycle), Figs. 5/6",
+        &workloads::even_cycle_nbhd(),
+    );
 
     // Theorem 1.3: the P1/P2 path pair from the proof.
-    audit("Theorem 1.3 (shatter point), P1/P2", &workloads::shatter_nbhd());
+    audit(
+        "Theorem 1.3 (shatter point), P1/P2",
+        &workloads::shatter_nbhd(),
+    );
 
     // Theorem 1.4: the identifier-swap universe on P8.
-    audit("Theorem 1.4 (watermelon), id swap", &workloads::watermelon_nbhd());
+    audit(
+        "Theorem 1.4 (watermelon), id swap",
+        &workloads::watermelon_nbhd(),
+    );
 
     // Contrast: the revealing baseline is NOT hiding. Its exhaustive
     // neighborhood graph is 2-colorable, and the Lemma 3.2 extractor
@@ -71,7 +83,11 @@ fn main() {
     let extractor = Extractor::from_nbhd(nbhd, 2).expect("revealing LCP leaks");
     let inst = Instance::canonical(generators::cycle(6));
     let prover = hiding_lcp::certs::revealing::RevealingProver::new(2);
-    let li = inst.with_labeling(prover.certify(&Instance::canonical(generators::cycle(6))).unwrap());
+    let li = inst.with_labeling(
+        prover
+            .certify(&Instance::canonical(generators::cycle(6)))
+            .unwrap(),
+    );
     let outputs = extractor.extract_all(&li);
     println!(
         "extractor on a certified C6: {:?} -> proper coloring: {}",

@@ -114,7 +114,10 @@ fn main() {
         &[(k4, vec![k4_labeling])],
     ) {
         RefutationOutcome::Refuted(r) => {
-            println!("hiding witness: odd closed walk of length {}", r.odd_walk.len());
+            println!(
+                "hiding witness: odd closed walk of length {}",
+                r.odd_walk.len()
+            );
             println!(
                 "strong-soundness violation on a {}-node instance (via realization: {}):",
                 r.violation_instance.graph().node_count(),

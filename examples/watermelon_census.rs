@@ -77,11 +77,15 @@ fn main() {
         };
         let degree_one_bits = {
             let inst = Instance::canonical(generators::path(n));
-            degree_one::DegreeOneProver.certify(&inst).map(|l| l.max_bits())
+            degree_one::DegreeOneProver
+                .certify(&inst)
+                .map(|l| l.max_bits())
         };
         let even_cycle_bits = {
             let inst = Instance::canonical(generators::cycle(n));
-            even_cycle::EvenCycleProver.certify(&inst).map(|l| l.max_bits())
+            even_cycle::EvenCycleProver
+                .certify(&inst)
+                .map(|l| l.max_bits())
         };
         let shatter_bits = {
             let inst = Instance::canonical(generators::path(n));
@@ -90,7 +94,9 @@ fn main() {
         let watermelon_bits = {
             let lens = vec![4usize; n / 4];
             let inst = Instance::canonical(generators::watermelon(&lens));
-            watermelon::WatermelonProver.certify(&inst).map(|l| l.max_bits())
+            watermelon::WatermelonProver
+                .certify(&inst)
+                .map(|l| l.max_bits())
         };
         let show = |b: Option<usize>| b.map_or("-".to_string(), |x| x.to_string());
         println!(

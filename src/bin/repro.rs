@@ -105,8 +105,7 @@ fn dossier(
     for inst in &no_instances {
         for labeling in structured(inst) {
             structured_total += 1;
-            strong::strong_holds_for(decoder, &two_col, inst, &labeling)
-                .expect("strong soundness");
+            strong::strong_holds_for(decoder, &two_col, inst, &labeling).expect("strong soundness");
         }
         if !alphabet.is_empty() {
             strong::check_strong_random(decoder, &two_col, inst, &alphabet, 2_000, &mut rng)
@@ -353,7 +352,9 @@ fn e8() {
         let inst = Instance::canonical(g);
         let n = inst.graph().node_count();
         let labeling = hiding_lcp::core::label::Labeling::empty(n);
-        let views: Vec<_> = (0..n).map(|v| inst.view(&labeling, v, r, IdMode::Full)).collect();
+        let views: Vec<_> = (0..n)
+            .map(|v| inst.view(&labeling, v, r, IdMode::Full))
+            .collect();
         let plan = find_plan(&views, &[]).expect("self-realizable");
         let realization = realize(&plan).expect("merge succeeds");
         let reproduced = views.iter().filter(|mu| realization.reproduces(mu)).count();
@@ -444,8 +445,8 @@ fn e9() {
     );
     let theta_graph = generators::theta(2, 2, 4);
     let first_nbr = theta_graph.neighbors(0)[0];
-    let theta = Instance::canonical(theta_graph)
-        .with_labeling(hiding_lcp::core::label::Labeling::empty(7));
+    let theta =
+        Instance::canonical(theta_graph).with_labeling(hiding_lcp::core::label::Labeling::empty(7));
     let repair = repair_walk(&theta, 0, first_nbr).expect("theta repair");
     println!(
         "Lemma 5.5    : repair walk through the second cycle: {} nodes ({} edges, odd)",
@@ -550,11 +551,12 @@ fn e12() {
             l.map_or("-".into(), |x| x.max_bits().to_string())
         };
         let r = bits(
-            revealing::RevealingProver::new(2)
-                .certify(&Instance::canonical(generators::cycle(n))),
+            revealing::RevealingProver::new(2).certify(&Instance::canonical(generators::cycle(n))),
         );
-        let d = bits(degree_one::DegreeOneProver.certify(&Instance::canonical(generators::path(n))));
-        let e = bits(even_cycle::EvenCycleProver.certify(&Instance::canonical(generators::cycle(n))));
+        let d =
+            bits(degree_one::DegreeOneProver.certify(&Instance::canonical(generators::path(n))));
+        let e =
+            bits(even_cycle::EvenCycleProver.certify(&Instance::canonical(generators::cycle(n))));
         let s = bits(shatter::ShatterProver.certify(&Instance::canonical(generators::path(n))));
         let w = bits(watermelon::WatermelonProver.certify(&Instance::canonical(
             generators::watermelon(&vec![4usize; n / 4]),
@@ -569,7 +571,10 @@ fn e13() {
         "verification throughput (full decoder rounds)",
         "one-round verification is local: cost scales linearly in n",
     );
-    println!("{:<12} {:>8} {:>14} {:>16}", "decoder", "n", "total", "per node");
+    println!(
+        "{:<12} {:>8} {:>14} {:>16}",
+        "decoder", "n", "total", "per node"
+    );
     for n in [64usize, 256, 1024] {
         for (name, decoder, li) in workloads::throughput_workloads(n) {
             let nodes = li.graph().node_count();
@@ -612,7 +617,13 @@ fn e14() {
             Some(chi) => (chi.to_string(), format!("K < {chi}")),
             None => ("inf (self-loop)".into(), "every K".into()),
         };
-        println!("{:<12} {:>6} {:>11} {:>22}", name, nbhd.view_count(), chi, hides);
+        println!(
+            "{:<12} {:>6} {:>11} {:>22}",
+            name,
+            nbhd.view_count(),
+            chi,
+            hides
+        );
     }
     println!("(chi over a partial universe lower-bounds the true chi: the 'hides' column");
     println!(" is conclusive, the upper end is universe-relative.)");
@@ -697,8 +708,7 @@ fn e16() {
         vec![li.clone()],
         bipartite::is_bipartite,
     );
-    let f_single =
-        ExtractabilityMap::new(&single, 2).hidden_fraction(&single, &li);
+    let f_single = ExtractabilityMap::new(&single, 2).hidden_fraction(&single, &li);
     let full = workloads::degree_one_nbhd();
     // The witness universe uses canonical-id P4s; evaluate on one of its
     // own hidden-pendant instances.
@@ -725,8 +735,7 @@ fn e16() {
         vec![li.clone()],
         bipartite::is_bipartite,
     );
-    let f_single =
-        ExtractabilityMap::new(&single, 2).hidden_fraction(&single, &li);
+    let f_single = ExtractabilityMap::new(&single, 2).hidden_fraction(&single, &li);
     let full = workloads::even_cycle_nbhd();
     let li_full = full.instances()[0].clone();
     let f_full = ExtractabilityMap::new(&full, 2).hidden_fraction(&full, &li_full);
@@ -743,8 +752,7 @@ fn e16() {
         vec![li.clone()],
         bipartite::is_bipartite,
     );
-    let f_single =
-        ExtractabilityMap::new(&single, 2).hidden_fraction(&single, &li);
+    let f_single = ExtractabilityMap::new(&single, 2).hidden_fraction(&single, &li);
     let f_full = ExtractabilityMap::new(&full, 2).hidden_fraction(&full, &li);
     println!("{:<12} {:>24.3} {:>24.3}", "revealing", f_single, f_full);
 
@@ -763,12 +771,15 @@ fn e17() {
     );
     use hiding_lcp::core::properties::erasure::random_erasure_trials;
     let mut rng = StdRng::seed_from_u64(13);
-    println!("{:<12} {:>4} {:>4} {:>22}", "LCP", "n", "f", "avg rejecting nodes");
+    println!(
+        "{:<12} {:>4} {:>4} {:>22}",
+        "LCP", "n", "f", "avg rejecting nodes"
+    );
     for f in [1usize, 2, 4] {
         for (name, decoder, li) in workloads::throughput_workloads(16) {
             let outcomes = random_erasure_trials(decoder.as_ref(), &li, f, 30, &mut rng);
-            let avg: f64 = outcomes.iter().map(|o| o.rejecting as f64).sum::<f64>()
-                / outcomes.len() as f64;
+            let avg: f64 =
+                outcomes.iter().map(|o| o.rejecting as f64).sum::<f64>() / outcomes.len() as f64;
             println!(
                 "{:<12} {:>4} {:>4} {:>22.2}",
                 name,
@@ -813,9 +824,7 @@ fn e18() {
             }
         }
     }
-    println!(
-        "degree-one   : odd closed walk first appears after {count} accepted labelings of P4"
-    );
+    println!("degree-one   : odd closed walk first appears after {count} accepted labelings of P4");
     // Even-cycle: the self-loop port assignment needs exactly one.
     let g = generators::cycle(4);
     let ports = hiding_lcp::graph::PortAssignment::from_order(
@@ -844,7 +853,10 @@ fn e19() {
         "adjacency-matrix certificates certify everything and hide nothing",
     );
     use hiding_lcp::certs::universal::{UniversalDecoder, UniversalExtractor, UniversalProver};
-    println!("{:<8} {:>12} {:>12} {:>16}", "n", "cert bits", "accepted?", "nodes extracting");
+    println!(
+        "{:<8} {:>12} {:>12} {:>16}",
+        "n", "cert bits", "accepted?", "nodes extracting"
+    );
     for n in [4usize, 8, 16, 32] {
         let inst = Instance::canonical(generators::cycle(n));
         let labeling = UniversalProver.certify(&inst).unwrap();
@@ -874,7 +886,11 @@ fn write_figures(dir: &str) {
     ] {
         let path = format!("{dir}/{file}");
         std::fs::write(&path, nbhd.to_dot()).expect("write figure");
-        println!("wrote {path} ({} views, {} edges)", nbhd.view_count(), nbhd.edge_count());
+        println!(
+            "wrote {path} ({} views, {} edges)",
+            nbhd.view_count(),
+            nbhd.edge_count()
+        );
     }
 }
 
@@ -920,5 +936,8 @@ fn main() {
             f();
         }
     }
-    println!("\nall requested experiments completed in {:?}", start.elapsed());
+    println!(
+        "\nall requested experiments completed in {:?}",
+        start.elapsed()
+    );
 }

@@ -26,19 +26,28 @@ fn sweep<D: Decoder>(decoder: &D, alphabet: &[Certificate]) -> usize {
 
 #[test]
 fn revealing_exhaustive_on_triangle() {
-    let checked = sweep(&revealing::RevealingDecoder::new(2), &revealing::adversary_alphabet(2));
+    let checked = sweep(
+        &revealing::RevealingDecoder::new(2),
+        &revealing::adversary_alphabet(2),
+    );
     assert_eq!(checked, 27);
 }
 
 #[test]
 fn degree_one_exhaustive_on_triangle() {
-    let checked = sweep(&degree_one::DegreeOneDecoder, &degree_one::adversary_alphabet());
+    let checked = sweep(
+        &degree_one::DegreeOneDecoder,
+        &degree_one::adversary_alphabet(),
+    );
     assert_eq!(checked, 125);
 }
 
 #[test]
 fn even_cycle_exhaustive_on_triangle() {
-    let checked = sweep(&even_cycle::EvenCycleDecoder, &even_cycle::adversary_alphabet());
+    let checked = sweep(
+        &even_cycle::EvenCycleDecoder,
+        &even_cycle::adversary_alphabet(),
+    );
     assert_eq!(checked, 17usize.pow(3));
 }
 
@@ -75,13 +84,25 @@ fn shatter_exhaustive_on_triangle() {
     let ids: Vec<u64> = (1..=4).collect(); // 3 real ids + 1 foreign
     for &id in &ids {
         alphabet.push(shatter::ShatterLabel::Point { id }.encode(width));
-        for colors in [vec![0], vec![1], vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]] {
+        for colors in [
+            vec![0],
+            vec![1],
+            vec![0, 0],
+            vec![0, 1],
+            vec![1, 0],
+            vec![1, 1],
+        ] {
             alphabet.push(shatter::ShatterLabel::Neighborhood { id, colors }.encode(width));
         }
         for component in 0..2u8 {
             for color in 0..=1u8 {
                 alphabet.push(
-                    shatter::ShatterLabel::Component { id, component, color }.encode(width),
+                    shatter::ShatterLabel::Component {
+                        id,
+                        component,
+                        color,
+                    }
+                    .encode(width),
                 );
             }
         }
@@ -154,13 +175,9 @@ fn watermelon_exhaustive_on_c5_reduced() {
     }
     // 9 letters -> 9^5 = 59049 labelings.
     let two_col = KCol::new(2);
-    let checked = strong::check_strong_exhaustive(
-        &watermelon::WatermelonDecoder,
-        &two_col,
-        &inst,
-        &alphabet,
-    )
-    .expect("strongly sound on C5");
+    let checked =
+        strong::check_strong_exhaustive(&watermelon::WatermelonDecoder, &two_col, &inst, &alphabet)
+            .expect("strongly sound on C5");
     assert_eq!(checked, 9usize.pow(5));
 }
 

@@ -34,7 +34,9 @@ fn three_col_revealing_dossier() {
         assert!(accepts_all(&decoder, &inst.with_labeling(labeling)));
     }
     // Declines on K4 (chromatic number 4).
-    assert!(prover.certify(&Instance::canonical(generators::complete(4))).is_none());
+    assert!(prover
+        .certify(&Instance::canonical(generators::complete(4)))
+        .is_none());
     // Strong soundness w.r.t. 3-col: the accepting set induces a
     // 3-colorable subgraph, exhaustively on K4 and K5.
     let alphabet = adversary_alphabet(3);

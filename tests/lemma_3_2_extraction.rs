@@ -110,8 +110,14 @@ fn extraction_respects_the_single_node_rule() {
     assert_eq!(outputs[0], None, "center view unknown");
     // Leaves attached at ports 1 and 2 replicate views from P2/P3; leaves
     // at ports 3 and 4 see a port number that no 3-node graph produces.
-    assert!(outputs[1].is_some() && outputs[2].is_some(), "small-port leaf views known");
-    assert!(outputs[3].is_none() && outputs[4].is_none(), "large-port leaf views unknown");
+    assert!(
+        outputs[1].is_some() && outputs[2].is_some(),
+        "small-port leaf views known"
+    );
+    assert!(
+        outputs[3].is_none() && outputs[4].is_none(),
+        "large-port leaf views unknown"
+    );
     assert!(!extractor.extraction_succeeds(&li));
 }
 

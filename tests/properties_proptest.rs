@@ -229,10 +229,10 @@ proptest! {
 /// by the proptest above) — spine 4 with no legs is P4, which does not.
 #[test]
 fn caterpillar_shatter_sanity() {
-    assert!(hiding_lcp::graph::classes::shatter::shatter_points(
-        &generators::caterpillar(4, 0)
-    )
-    .is_empty());
+    assert!(
+        hiding_lcp::graph::classes::shatter::shatter_points(&generators::caterpillar(4, 0))
+            .is_empty()
+    );
     for spine in 5..10 {
         for legs in 0..3 {
             let g = generators::caterpillar(spine, legs);

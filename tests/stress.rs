@@ -11,8 +11,8 @@ use hiding_lcp::certs::{degree_one, even_cycle, shatter, watermelon};
 use hiding_lcp::core::decoder::accepts_all;
 use hiding_lcp::core::instance::Instance;
 use hiding_lcp::core::language::KCol;
-use hiding_lcp::core::network::run_distributed;
 use hiding_lcp::core::nbhd::{sources, NbhdGraph};
+use hiding_lcp::core::network::run_distributed;
 use hiding_lcp::core::properties::strong;
 use hiding_lcp::core::prover::Prover;
 use hiding_lcp::core::view::IdMode;
@@ -55,7 +55,10 @@ fn degree_one_exhaustive_trees_n5() {
             });
         }
     }
-    assert!(nbhd.odd_cycle().is_some(), "hiding survives the n = 5 tree sweep");
+    assert!(
+        nbhd.odd_cycle().is_some(),
+        "hiding survives the n = 5 tree sweep"
+    );
     assert!(nbhd.view_count() > 30);
 }
 
@@ -140,6 +143,11 @@ fn large_instances_verify_both_ways() {
     assert!(accepts_all(&even_cycle::EvenCycleDecoder, &li));
     // A 64-slice watermelon (n = 962).
     let inst = Instance::canonical(generators::watermelon(&[16; 64]));
-    let labeling = watermelon::WatermelonProver.certify(&inst).expect("even slices");
-    assert!(accepts_all(&watermelon::WatermelonDecoder, &inst.with_labeling(labeling)));
+    let labeling = watermelon::WatermelonProver
+        .certify(&inst)
+        .expect("even slices");
+    assert!(accepts_all(
+        &watermelon::WatermelonDecoder,
+        &inst.with_labeling(labeling)
+    ));
 }

@@ -60,8 +60,14 @@ fn degree_one_full_dossier() {
     let inst = Instance::canonical(generators::path(6));
     let labeling = degree_one::DegreeOneProver.certify(&inst).unwrap();
     let mut rng = StdRng::seed_from_u64(1);
-    invariance::check_anonymous(&degree_one::DegreeOneDecoder, &inst, &labeling, 25, &mut rng)
-        .expect("anonymous by construction");
+    invariance::check_anonymous(
+        &degree_one::DegreeOneDecoder,
+        &inst,
+        &labeling,
+        25,
+        &mut rng,
+    )
+    .expect("anonymous by construction");
 }
 
 #[test]

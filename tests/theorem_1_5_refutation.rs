@@ -13,9 +13,7 @@ use hiding_lcp::certs::edge3::{Edge3Decoder, Edge3Prover};
 use hiding_lcp::core::decoder::{run, Decoder, Verdict};
 use hiding_lcp::core::instance::{Instance, LabeledInstance};
 use hiding_lcp::core::label::Labeling;
-use hiding_lcp::core::lower::{
-    refute, search_cycle_decoders, try_realize_walk, RefutationOutcome,
-};
+use hiding_lcp::core::lower::{refute, search_cycle_decoders, try_realize_walk, RefutationOutcome};
 use hiding_lcp::core::nbhd::NbhdGraph;
 use hiding_lcp::core::prover::Prover;
 use hiding_lcp::core::ramsey::{monochromatic_subset, OrderInvariantized};
@@ -69,8 +67,7 @@ fn pentagon_universe() -> Vec<LabeledInstance> {
                 vec![0, 4],
             ];
             let ports = PortAssignment::from_order(&g, order).unwrap();
-            let inst =
-                Instance::new(g, ports, IdAssignment::from_ids(ids, 64).unwrap()).unwrap();
+            let inst = Instance::new(g, ports, IdAssignment::from_ids(ids, 64).unwrap()).unwrap();
             let n = inst.graph().node_count();
             inst.with_labeling(Labeling::empty(n))
         })
@@ -159,7 +156,10 @@ fn pentagon_cycle_realizes_g_bad() {
     let realization = try_realize_walk(&nbhd, &walk).expect("realizable");
     let g_bad = realization.labeled.graph();
     assert_eq!(g_bad.node_count(), 5);
-    assert!(!bipartite::is_bipartite(g_bad), "G_bad contains the pentagon");
+    assert!(
+        !bipartite::is_bipartite(g_bad),
+        "G_bad contains the pentagon"
+    );
     let verdicts = run(&YesMan, &realization.labeled);
     for i in 1..=5u64 {
         assert!(verdicts[realization.node_of_id[&i]].is_accept());

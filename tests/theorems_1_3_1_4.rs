@@ -49,7 +49,10 @@ fn shatter_full_dossier() {
     // Certificate size: O(k + log n) bits where k = component count.
     let inst = Instance::canonical(spider(6, 4));
     let labeling = shatter::ShatterProver.certify(&inst).unwrap();
-    let k = shatter_class::decompose(inst.graph()).unwrap().components.len();
+    let k = shatter_class::decompose(inst.graph())
+        .unwrap()
+        .components
+        .len();
     assert_eq!(k, 6);
     let width = shatter::id_width(inst.ids().bound());
     assert_eq!(labeling.max_bits(), (2 + width + k) * 8);
@@ -90,8 +93,14 @@ fn shatter_full_dossier() {
     assert_eq!(odd.len() % 2, 1);
     // The witness views really coincide across the two instances.
     let ws = shatter::hiding_witness_instances();
-    assert_eq!(ws[0].view(0, 1, IdMode::Full), ws[1].view(0, 1, IdMode::Full));
-    assert_eq!(ws[0].view(7, 1, IdMode::Full), ws[1].view(6, 1, IdMode::Full));
+    assert_eq!(
+        ws[0].view(0, 1, IdMode::Full),
+        ws[1].view(0, 1, IdMode::Full)
+    );
+    assert_eq!(
+        ws[0].view(7, 1, IdMode::Full),
+        ws[1].view(6, 1, IdMode::Full)
+    );
 }
 
 #[test]
@@ -116,8 +125,14 @@ fn watermelon_full_dossier() {
     // O(log n) certificates: sizes grow with the identifier width only.
     let small = Instance::canonical(generators::watermelon(&[4, 4]));
     let large = Instance::canonical(generators::watermelon(&[40; 40]));
-    let small_bits = watermelon::WatermelonProver.certify(&small).unwrap().max_bits();
-    let large_bits = watermelon::WatermelonProver.certify(&large).unwrap().max_bits();
+    let small_bits = watermelon::WatermelonProver
+        .certify(&small)
+        .unwrap()
+        .max_bits();
+    let large_bits = watermelon::WatermelonProver
+        .certify(&large)
+        .unwrap()
+        .max_bits();
     assert!(small_bits < large_bits, "identifier width grows");
     let width = shatter::id_width(large.ids().bound());
     assert_eq!(large_bits, (7 + 2 * width) * 8);
@@ -209,14 +224,22 @@ fn section_7_decoders_are_not_order_invariant() {
         &mut rng
     )
     .is_ok());
-    assert!(
-        invariance::check_anonymous(&degree_one::DegreeOneDecoder, &inst, &labeling, 20, &mut rng)
-            .is_ok()
-    );
+    assert!(invariance::check_anonymous(
+        &degree_one::DegreeOneDecoder,
+        &inst,
+        &labeling,
+        20,
+        &mut rng
+    )
+    .is_ok());
     let inst = Instance::canonical(generators::cycle(6));
     let labeling = even_cycle::EvenCycleProver.certify(&inst).unwrap();
-    assert!(
-        invariance::check_anonymous(&even_cycle::EvenCycleDecoder, &inst, &labeling, 20, &mut rng)
-            .is_ok()
-    );
+    assert!(invariance::check_anonymous(
+        &even_cycle::EvenCycleDecoder,
+        &inst,
+        &labeling,
+        20,
+        &mut rng
+    )
+    .is_ok());
 }
