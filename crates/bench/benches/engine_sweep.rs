@@ -48,8 +48,23 @@ fn sweep_nbhd(universe: &Universe, mode: ExecMode) -> NbhdGraph {
     sweep_with(&check, universe, mode).verdict.0
 }
 
+/// Which thread counts to record: on a single-core box just `t1`; with
+/// more cores the whole `{1, 2, 4}` ladder (clamped to the machine) plus
+/// the machine's own count, so scaling curves are comparable across hosts.
+fn thread_ladder(available: usize) -> Vec<usize> {
+    let mut ladder: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&t| t <= available)
+        .collect();
+    if !ladder.contains(&available) {
+        ladder.push(available);
+    }
+    ladder
+}
+
 fn engine_sweep(c: &mut Criterion) {
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let ladder = thread_ladder(threads);
     for max_n in [4usize, 6, 8] {
         let universe = cycle_universe(max_n);
         // Determinism contract: the two modes agree before we time them.
@@ -63,14 +78,11 @@ fn engine_sweep(c: &mut Criterion) {
         g.bench_function("sequential", |b| {
             b.iter(|| black_box(sweep_nbhd(black_box(&universe), ExecMode::Sequential)))
         });
-        g.bench_function(format!("parallel-t{threads}"), |b| {
-            b.iter(|| {
-                black_box(sweep_nbhd(
-                    black_box(&universe),
-                    ExecMode::Parallel(threads),
-                ))
-            })
-        });
+        for &t in &ladder {
+            g.bench_function(format!("parallel-t{t}"), |b| {
+                b.iter(|| black_box(sweep_nbhd(black_box(&universe), ExecMode::Parallel(t))))
+            });
+        }
         g.finish();
     }
 }

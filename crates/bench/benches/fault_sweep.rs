@@ -1,0 +1,104 @@
+//! `fault_sweep`: cost of the fault-injection layer on the distributed
+//! runtime (experiment E20's bench companion).
+//!
+//! For each LCP workload the harness times four paths over the same
+//! honestly-labeled instance:
+//!
+//! * `direct` — centralized view assembly (`decoder::run`), the
+//!   non-distributed baseline;
+//! * `broadcast-clean` — the r-round broadcast simulation with no fault
+//!   plan at all (`run_distributed`);
+//! * `broadcast-plan-none` — the fault-injecting path with an all-zero
+//!   [`FaultPlan`], isolating the injector's bookkeeping overhead;
+//! * `broadcast-r15` — a uniform 15% drop/duplicate/corrupt/delay plan,
+//!   the degradation harness's middle operating point.
+//!
+//! Medians land in `BENCH_faults.json` at the repository root.
+//!
+//! ```text
+//! cargo bench -p hiding-lcp-bench --bench fault_sweep
+//! ```
+
+use criterion::{BenchResult, Criterion};
+use hiding_lcp_bench::throughput_workloads;
+use hiding_lcp_core::decoder::run;
+use hiding_lcp_core::network::{run_distributed, run_distributed_faulty, FaultPlan, FaultRates};
+use std::fs;
+use std::hint::black_box;
+use std::path::Path;
+
+const WORKLOAD_N: usize = 12;
+const FAULT_RATE: f64 = 0.15;
+const PLAN_SEED: u64 = 20;
+
+fn fault_sweep(c: &mut Criterion) {
+    let none = FaultPlan::none();
+    let faulty = FaultPlan::new(PLAN_SEED, FaultRates::uniform(FAULT_RATE));
+    for (name, decoder, li) in throughput_workloads(WORKLOAD_N) {
+        // Determinism contract before timing: the injecting path with an
+        // empty plan must agree with the plain broadcast verdict-for-verdict.
+        let clean = run_distributed(decoder.as_ref(), &li);
+        let (via_plan, stats) = run_distributed_faulty(decoder.as_ref(), &li, &none);
+        assert_eq!(clean, via_plan, "empty plan changes nothing ({name})");
+        assert_eq!(stats.total(), 0, "empty plan fires no faults ({name})");
+
+        let mut g = c.benchmark_group(format!("fault-sweep-{name}"));
+        g.sample_size(20);
+        g.bench_function("direct", |b| {
+            b.iter(|| black_box(run(decoder.as_ref(), black_box(&li))))
+        });
+        g.bench_function("broadcast-clean", |b| {
+            b.iter(|| black_box(run_distributed(decoder.as_ref(), black_box(&li))))
+        });
+        g.bench_function("broadcast-plan-none", |b| {
+            b.iter(|| {
+                black_box(run_distributed_faulty(
+                    decoder.as_ref(),
+                    black_box(&li),
+                    &none,
+                ))
+            })
+        });
+        g.bench_function("broadcast-r15", |b| {
+            b.iter(|| {
+                black_box(run_distributed_faulty(
+                    decoder.as_ref(),
+                    black_box(&li),
+                    &faulty,
+                ))
+            })
+        });
+        g.finish();
+    }
+}
+
+fn write_json(results: &[BenchResult]) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"workload_n\": {WORKLOAD_N},\n"));
+    out.push_str(&format!("  \"fault_rate\": {FAULT_RATE},\n"));
+    out.push_str(&format!("  \"plan_seed\": {PLAN_SEED},\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"median_ns\": {} }}{comma}\n",
+            r.name,
+            r.median.as_nanos()
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_faults.json");
+    fs::write(&path, out).expect("write BENCH_faults.json");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    // Corrupted certificates legitimately panic strict decoders; the
+    // faulty runtime catches those panics and counts them as rejections,
+    // so silence the default hook's per-panic spam for the whole run.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut c = Criterion::new();
+    fault_sweep(&mut c);
+    let _ = std::panic::take_hook();
+    write_json(&c.results);
+}

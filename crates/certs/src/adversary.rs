@@ -41,6 +41,27 @@ pub fn swaps(base: &Labeling) -> Vec<Labeling> {
     out
 }
 
+/// Single-bit flips: every one-bit perturbation of every certificate in
+/// `base` — `Σ_v bit_len(cert_v)` labelings. The at-rest twin of the
+/// in-flight corruption the fault injector
+/// (`hiding-lcp-core::network::faults`) applies to certificates on the
+/// wire, probing whether decoders validate certificate *contents* rather
+/// than just their shape.
+pub fn bit_flips(base: &Labeling) -> Vec<Labeling> {
+    let mut out = Vec::new();
+    for v in 0..base.node_count() {
+        let bytes = base.label(v).bytes();
+        for bit in 0..bytes.len() * 8 {
+            let mut flipped = bytes.to_vec();
+            flipped[bit / 8] ^= 1 << (bit % 8);
+            let mut l = base.clone();
+            l.set(v, Certificate::from_bytes(flipped));
+            out.push(l);
+        }
+    }
+    out
+}
+
 /// Truncations: every prefix-shortened variant of each certificate (byte
 /// granularity), probing format validation.
 pub fn truncations(base: &Labeling) -> Vec<Labeling> {
@@ -73,6 +94,7 @@ pub fn battery<P: Prover + ?Sized>(
         out.extend(single_flips(&honest, alphabet));
         out.extend(swaps(&honest));
         out.extend(truncations(&honest));
+        out.extend(bit_flips(&honest));
         out.push(honest);
     }
     for donor in donors {
@@ -117,6 +139,25 @@ mod tests {
         assert_eq!(single_flips(&base, &adversary_alphabet()).len(), 20);
         assert_eq!(swaps(&base).len(), 6);
         assert_eq!(truncations(&base).len(), 4, "one byte per certificate");
+        assert_eq!(bit_flips(&base).len(), 32, "8 bits per 1-byte certificate");
+    }
+
+    #[test]
+    fn bit_flips_differ_from_base_in_one_bit() {
+        let base = Labeling::uniform(3, Certificate::from_byte(0b1010_0101));
+        for l in bit_flips(&base) {
+            let differing: usize = (0..3)
+                .map(|v| {
+                    let a = base.label(v).bytes();
+                    let b = l.label(v).bytes();
+                    a.iter()
+                        .zip(b)
+                        .map(|(x, y)| (x ^ y).count_ones() as usize)
+                        .sum::<usize>()
+                })
+                .sum();
+            assert_eq!(differing, 1, "exactly one bit flipped across the labeling");
+        }
     }
 
     #[test]

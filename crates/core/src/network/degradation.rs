@@ -1,0 +1,313 @@
+//! How gracefully does a certification scheme degrade under
+//! communication faults?
+//!
+//! Strong soundness (paper, Section 2.3) is exactly a degradation
+//! guarantee: *whatever* subset of nodes ends up accepting, that subset
+//! must induce a yes-instance. The fault-free test suites verify the
+//! guarantee over adversarial certificates; this harness measures it
+//! under adversarial *channels*. For one decoder and one honestly
+//! labeled yes-instance it sweeps a uniform fault rate and reports, per
+//! rate:
+//!
+//! * **availability** — how many nodes reject the honest labeling once
+//!   messages drop, arrive late, or carry corrupted certificates
+//!   (completeness erosion: faults cost liveness);
+//! * **strong soundness under faults** — whether the surviving accepting
+//!   set still induces a yes-instance (the paper's guarantee, now
+//!   measured on a mangled execution);
+//! * **false accepts** — trials where an adversarial labeling that the
+//!   fault-free verifier rejects is unanimously accepted because the
+//!   faults masked every rejecting view.
+//!
+//! Every trial derives its [`FaultPlan`] seed from the sweep seed, the
+//! rate index and the trial index, so the whole report is a pure
+//! function of its arguments — the regression tests assert two runs are
+//! byte-identical.
+
+use super::faults::{splitmix64, FaultPlan, FaultRates, FaultStats};
+use super::run_distributed_faulty;
+use crate::decoder::Decoder;
+use crate::instance::LabeledInstance;
+use crate::label::Labeling;
+use crate::language::KCol;
+
+/// One point of the sweep: everything measured at a single fault rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationPoint {
+    /// The uniform per-message fault rate (drop = duplicate = corrupt =
+    /// delay).
+    pub rate: f64,
+    /// Honest-labeling trials run at this rate.
+    pub trials: usize,
+    /// Mean number of rejecting nodes per honest trial (0 at rate 0 by
+    /// completeness).
+    pub avg_rejecting: f64,
+    /// Honest trials whose accepting set induced a graph **outside**
+    /// `G(L)` — violations of strong soundness under faults.
+    pub strong_violations: usize,
+    /// Adversarial trials (labelings rejected by the fault-free
+    /// verifier) that the faulty execution unanimously accepted.
+    pub false_accepts: usize,
+    /// Adversarial trials run at this rate.
+    pub adversarial_trials: usize,
+    /// Fault events that fired, summed over every trial at this rate.
+    pub stats: FaultStats,
+}
+
+/// A full sweep for one decoder on one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// The decoder's name.
+    pub decoder: String,
+    /// Nodes in the instance.
+    pub nodes: usize,
+    /// The sweep seed.
+    pub seed: u64,
+    /// One point per requested rate, in request order.
+    pub points: Vec<DegradationPoint>,
+}
+
+impl DegradationReport {
+    /// Total strong-soundness violations across all rates.
+    pub fn total_strong_violations(&self) -> usize {
+        self.points.iter().map(|p| p.strong_violations).sum()
+    }
+
+    /// Total false accepts across all rates.
+    pub fn total_false_accepts(&self) -> usize {
+        self.points.iter().map(|p| p.false_accepts).sum()
+    }
+}
+
+/// The per-trial plan seed: a pure function of the sweep seed, the rate
+/// index and the trial index.
+fn trial_seed(seed: u64, rate_idx: usize, trial: usize, salt: u64) -> u64 {
+    splitmix64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (rate_idx as u64) << 32
+            ^ (trial as u64) << 8
+            ^ salt,
+    )
+}
+
+/// Sweeps `rates` over `(decoder, honest)` with `trials` fault plans per
+/// rate, measuring availability, strong soundness under faults and — for
+/// each labeling in `adversarial` that the fault-free verifier rejects —
+/// fault-masked false accepts.
+///
+/// `honest` should be a yes-instance the decoder accepts everywhere in
+/// the fault-free run (the completeness fixture); `adversarial` are
+/// corrupted labelings of the *same* instance, e.g. the structured
+/// battery of `hiding-lcp-certs::adversary`. Labelings the decoder
+/// already accepts fault-free are skipped (they carry no false-accept
+/// signal).
+pub fn degradation_sweep<D: Decoder + ?Sized>(
+    decoder: &D,
+    language: &KCol,
+    honest: &LabeledInstance,
+    adversarial: &[Labeling],
+    rates: &[f64],
+    trials: usize,
+    seed: u64,
+) -> DegradationReport {
+    let n = honest.graph().node_count();
+    // Keep only adversarial labelings the fault-free verifier rejects:
+    // a unanimous accept under faults is only *false* if the clean run
+    // said no.
+    let rejected: Vec<&Labeling> = adversarial
+        .iter()
+        .filter(|l| {
+            let li = honest.instance().clone().with_labeling((*l).clone());
+            !crate::decoder::run(decoder, &li)
+                .iter()
+                .all(|v| v.is_accept())
+        })
+        .collect();
+    let points = rates
+        .iter()
+        .enumerate()
+        .map(|(ri, &rate)| {
+            let mut rejecting_total = 0usize;
+            let mut strong_violations = 0usize;
+            let mut false_accepts = 0usize;
+            let mut adversarial_trials = 0usize;
+            let mut stats = FaultStats::default();
+            for t in 0..trials {
+                // Honest trial: availability + strong soundness.
+                let plan =
+                    FaultPlan::new(trial_seed(seed, ri, t, H_SALT), FaultRates::uniform(rate));
+                let (verdicts, s) = run_distributed_faulty(decoder, honest, &plan);
+                stats = sum_stats(stats, s);
+                let accepting: Vec<usize> = verdicts
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(v, verdict)| verdict.is_accept().then_some(v))
+                    .collect();
+                rejecting_total += n - accepting.len();
+                let (induced, _) = honest.graph().induced(&accepting);
+                if !language.is_yes_graph(&induced) {
+                    strong_violations += 1;
+                }
+                // Adversarial trial: does the fault plan mask rejection?
+                if !rejected.is_empty() {
+                    let labeling = rejected[t % rejected.len()];
+                    let li = honest.instance().clone().with_labeling(labeling.clone());
+                    let adv_plan =
+                        FaultPlan::new(trial_seed(seed, ri, t, A_SALT), FaultRates::uniform(rate));
+                    let (verdicts, s) = run_distributed_faulty(decoder, &li, &adv_plan);
+                    stats = sum_stats(stats, s);
+                    adversarial_trials += 1;
+                    if verdicts.iter().all(|v| v.is_accept()) {
+                        false_accepts += 1;
+                    }
+                }
+            }
+            DegradationPoint {
+                rate,
+                trials,
+                avg_rejecting: rejecting_total as f64 / trials.max(1) as f64,
+                strong_violations,
+                false_accepts,
+                adversarial_trials,
+                stats,
+            }
+        })
+        .collect();
+    DegradationReport {
+        decoder: decoder.name(),
+        nodes: n,
+        seed,
+        points,
+    }
+}
+
+/// Salt distinguishing honest-trial plans from adversarial-trial plans.
+const H_SALT: u64 = 0x68;
+const A_SALT: u64 = 0x61;
+
+fn sum_stats(a: FaultStats, b: FaultStats) -> FaultStats {
+    FaultStats {
+        dropped: a.dropped + b.dropped,
+        duplicated: a.duplicated + b.duplicated,
+        corrupted: a.corrupted + b.corrupted,
+        delayed: a.delayed + b.delayed,
+        expired: a.expired + b.expired,
+        suppressed: a.suppressed + b.suppressed,
+        decode_panics: a.decode_panics + b.decode_panics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Verdict;
+    use crate::instance::Instance;
+    use crate::label::Certificate;
+    use crate::view::{IdMode, View};
+    use hiding_lcp_graph::generators;
+
+    /// Accepts iff the node's certificate differs from all neighbors'.
+    struct LocalDiff;
+    impl Decoder for LocalDiff {
+        fn name(&self) -> String {
+            "local-diff".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, view: &View) -> Verdict {
+            let mine = view.center_label();
+            Verdict::from(
+                view.center_arcs()
+                    .iter()
+                    .all(|arc| view.node(arc.to).label != *mine),
+            )
+        }
+    }
+
+    fn fixture() -> (LabeledInstance, Vec<Labeling>) {
+        // C6 with a proper 2-coloring: LocalDiff accepts everywhere.
+        let inst = Instance::canonical(generators::cycle(6));
+        let labels: Labeling = (0..6)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect();
+        let honest = inst.with_labeling(labels);
+        // All-zero labeling: rejected at every node, a clean false-accept
+        // probe.
+        let adversarial = vec![Labeling::uniform(6, Certificate::from_byte(0))];
+        (honest, adversarial)
+    }
+
+    #[test]
+    fn zero_rate_point_is_clean() {
+        let (honest, adversarial) = fixture();
+        let report = degradation_sweep(
+            &LocalDiff,
+            &KCol::new(2),
+            &honest,
+            &adversarial,
+            &[0.0],
+            4,
+            1,
+        );
+        let p = &report.points[0];
+        assert_eq!(p.avg_rejecting, 0.0, "completeness holds fault-free");
+        assert_eq!(p.strong_violations, 0);
+        assert_eq!(p.false_accepts, 0, "fault-free adversary stays rejected");
+        assert_eq!(p.stats, FaultStats::default());
+    }
+
+    #[test]
+    fn faults_erode_availability_not_strong_soundness() {
+        let (honest, adversarial) = fixture();
+        let report = degradation_sweep(
+            &LocalDiff,
+            &KCol::new(2),
+            &honest,
+            &adversarial,
+            &[0.0, 0.3],
+            6,
+            7,
+        );
+        let faulty = &report.points[1];
+        assert!(
+            faulty.stats.total() > 0,
+            "a 30% rate must fire some fault events"
+        );
+        // LocalDiff's accepting set always carries a locally proper
+        // 2-coloring, so the induced subgraph is 2-colorable no matter
+        // what the channel does: strong soundness survives faults.
+        assert_eq!(report.total_strong_violations(), 0);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let (honest, adversarial) = fixture();
+        let run = || {
+            degradation_sweep(
+                &LocalDiff,
+                &KCol::new(2),
+                &honest,
+                &adversarial,
+                &[0.0, 0.1, 0.4],
+                5,
+                99,
+            )
+        };
+        assert_eq!(run(), run(), "same seed, byte-identical report");
+        // A different seed perturbs at least the fault tallies.
+        let other = degradation_sweep(
+            &LocalDiff,
+            &KCol::new(2),
+            &honest,
+            &adversarial,
+            &[0.0, 0.1, 0.4],
+            5,
+            100,
+        );
+        assert_ne!(run().points[2].stats, other.points[2].stats);
+    }
+}

@@ -1,0 +1,389 @@
+//! Deterministic, seeded communication faults for the message-passing
+//! verifier simulation.
+//!
+//! The paper's verifier is a distributed algorithm (Section 2.2's r-round
+//! broadcast), and strong soundness is a graceful-degradation guarantee:
+//! *whatever* subset of nodes accepts must still induce a yes-instance.
+//! That guarantee is only interesting if the broadcast itself can
+//! misbehave, so this module injects the classic fault taxonomy into
+//! [`super::gather_knowledge_faulty`]:
+//!
+//! * **drop** — a message vanishes in flight (the receiver also fails to
+//!   resolve the shared edge that round);
+//! * **duplication** — a message is delivered twice, each copy rolling its
+//!   own corruption decision;
+//! * **payload corruption** — certificate bytes are perturbed in flight
+//!   (bit flips, truncations, junk substitution — the same shapes the
+//!   structured adversaries of `hiding-lcp-certs::adversary` apply at
+//!   rest);
+//! * **delayed delivery** — a message arrives `1..=max_delay` rounds late
+//!   (and is lost entirely if the algorithm terminates first);
+//! * **crashed nodes** — never send and never receive; they decide on
+//!   their round-0 knowledge;
+//! * **Byzantine nodes** — every message they send is corrupted and may
+//!   carry a spoofed sending port.
+//!
+//! # Determinism contract
+//!
+//! A [`FaultPlan`] is a pure function: every decision is derived by
+//! hashing `(seed, round, sender, receiver, salt)` — there is no
+//! sequentially-drawn RNG stream — so the same plan applied to the same
+//! instance produces byte-identical knowledge, views, verdicts and
+//! [`FaultStats`] regardless of delivery iteration order or how many
+//! other decisions were made first. The regression tests below assert
+//! this, and the degradation harness
+//! ([`super::degradation`]) inherits it wholesale.
+
+use crate::label::Certificate;
+use std::collections::BTreeSet;
+
+/// Per-message fault probabilities, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability a message is dropped.
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a delivered copy has its payload corrupted.
+    pub corrupt: f64,
+    /// Probability a message is delayed by `1..=max_delay` rounds.
+    pub delay: f64,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub fn none() -> FaultRates {
+        FaultRates {
+            drop: 0.0,
+            duplicate: 0.0,
+            corrupt: 0.0,
+            delay: 0.0,
+        }
+    }
+
+    /// The same rate for every fault kind — the degradation harness's
+    /// sweep axis.
+    pub fn uniform(rate: f64) -> FaultRates {
+        FaultRates {
+            drop: rate,
+            duplicate: rate,
+            corrupt: rate,
+            delay: rate,
+        }
+    }
+
+    /// Whether every rate is zero.
+    pub fn is_none(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.corrupt == 0.0 && self.delay == 0.0
+    }
+}
+
+/// A deterministic, seeded schedule of communication faults.
+///
+/// See the module docs for the fault taxonomy and the determinism
+/// contract. Build one with [`FaultPlan::new`] and the `with_*`
+/// builders; [`FaultPlan::none`] is the fault-free plan every
+/// non-faulty entry point uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rates: FaultRates,
+    max_delay: usize,
+    crashed: BTreeSet<usize>,
+    byzantine: BTreeSet<usize>,
+}
+
+/// Salts separating the independent per-message decisions.
+const SALT_DROP: u64 = 0x01;
+const SALT_DUPLICATE: u64 = 0x02;
+const SALT_CORRUPT: u64 = 0x03;
+const SALT_DELAY: u64 = 0x04;
+const SALT_DELAY_LEN: u64 = 0x05;
+const SALT_SHAPE: u64 = 0x06;
+const SALT_SPOOF: u64 = 0x07;
+
+impl FaultPlan {
+    /// A fault-free plan: every message is delivered intact, once, on
+    /// time.
+    pub fn none() -> FaultPlan {
+        FaultPlan::new(0, FaultRates::none())
+    }
+
+    /// A plan injecting faults at the given rates, derived from `seed`.
+    pub fn new(seed: u64, rates: FaultRates) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates,
+            max_delay: 1,
+            crashed: BTreeSet::new(),
+            byzantine: BTreeSet::new(),
+        }
+    }
+
+    /// Sets the maximum delivery delay in rounds (minimum 1).
+    pub fn with_max_delay(mut self, max_delay: usize) -> FaultPlan {
+        self.max_delay = max_delay.max(1);
+        self
+    }
+
+    /// Marks nodes as crashed: they never send and never receive.
+    pub fn with_crashed(mut self, nodes: impl IntoIterator<Item = usize>) -> FaultPlan {
+        self.crashed.extend(nodes);
+        self
+    }
+
+    /// Marks nodes as Byzantine: every message they send is corrupted
+    /// and may carry a spoofed sending port.
+    pub fn with_byzantine(mut self, nodes: impl IntoIterator<Item = usize>) -> FaultPlan {
+        self.byzantine.extend(nodes);
+        self
+    }
+
+    /// Whether this plan can never alter a delivery.
+    pub fn is_fault_free(&self) -> bool {
+        self.rates.is_none() && self.crashed.is_empty() && self.byzantine.is_empty()
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's rates.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// Whether `v` is crashed.
+    pub fn is_crashed(&self, v: usize) -> bool {
+        self.crashed.contains(&v)
+    }
+
+    /// Whether `v` is Byzantine.
+    pub fn is_byzantine(&self, v: usize) -> bool {
+        self.byzantine.contains(&v)
+    }
+
+    /// The raw 64-bit decision value for one `(round, u → v, salt)`
+    /// message event. Stateless: independent of every other decision.
+    fn decision(&self, salt: u64, round: usize, u: usize, v: usize) -> u64 {
+        let x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((round as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((u as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add((v as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add(salt.wrapping_mul(0xA076_1D64_78BD_642F));
+        splitmix64(x)
+    }
+
+    /// Maps a decision to a Bernoulli trial at probability `rate`.
+    fn rolls(&self, rate: f64, salt: u64, round: usize, u: usize, v: usize) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let h = self.decision(salt, round, u, v);
+        // 53 high bits → uniform in [0, 1).
+        let x = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < rate
+    }
+
+    /// Whether the round-`round` message `u → v` is dropped.
+    pub fn drops(&self, round: usize, u: usize, v: usize) -> bool {
+        self.rolls(self.rates.drop, SALT_DROP, round, u, v)
+    }
+
+    /// Whether the round-`round` message `u → v` is duplicated.
+    pub fn duplicates(&self, round: usize, u: usize, v: usize) -> bool {
+        self.rolls(self.rates.duplicate, SALT_DUPLICATE, round, u, v)
+    }
+
+    /// Whether copy `copy` of the round-`round` message `u → v` is
+    /// corrupted in flight (each delivered copy rolls independently).
+    pub fn corrupts(&self, round: usize, u: usize, v: usize, copy: usize) -> bool {
+        self.rolls(
+            self.rates.corrupt,
+            SALT_CORRUPT + 0x100 * copy as u64,
+            round,
+            u,
+            v,
+        )
+    }
+
+    /// The delivery delay of the round-`round` message `u → v`: 0 for an
+    /// on-time message, otherwise `1..=max_delay` rounds.
+    pub fn delay_of(&self, round: usize, u: usize, v: usize) -> usize {
+        if !self.rolls(self.rates.delay, SALT_DELAY, round, u, v) {
+            return 0;
+        }
+        1 + (self.decision(SALT_DELAY_LEN, round, u, v) % self.max_delay as u64) as usize
+    }
+
+    /// The corruption shape selector for copy `copy` of a message.
+    pub(super) fn corruption_shape(&self, round: usize, u: usize, v: usize, copy: usize) -> u64 {
+        self.decision(SALT_SHAPE + 0x100 * copy as u64, round, u, v)
+    }
+
+    /// The spoofed sending port a Byzantine `u` stamps on its round-
+    /// `round` message to `v`, given `u`'s true degree.
+    pub(super) fn spoofed_port(&self, round: usize, u: usize, v: usize, degree: usize) -> u16 {
+        let h = self.decision(SALT_SPOOF, round, u, v);
+        (1 + h % degree.max(1) as u64) as u16
+    }
+}
+
+/// SplitMix64 finalizer — the avalanche behind every [`FaultPlan`]
+/// decision.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What a faulty simulation actually did to the message stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped in flight.
+    pub dropped: usize,
+    /// Extra copies delivered by duplication.
+    pub duplicated: usize,
+    /// Delivered copies whose payload was corrupted (Byzantine sends
+    /// included).
+    pub corrupted: usize,
+    /// Messages delivered late.
+    pub delayed: usize,
+    /// Delayed messages still in flight when the algorithm terminated.
+    pub expired: usize,
+    /// Messages never sent because the sender (or receiver) had crashed.
+    pub suppressed: usize,
+    /// Nodes whose decoder panicked on fault-mangled knowledge and were
+    /// recorded as rejecting (fail-safe).
+    pub decode_panics: usize,
+}
+
+impl FaultStats {
+    /// Total fault events of any kind.
+    pub fn total(&self) -> usize {
+        self.dropped
+            + self.duplicated
+            + self.corrupted
+            + self.delayed
+            + self.expired
+            + self.suppressed
+            + self.decode_panics
+    }
+}
+
+/// Corrupts one certificate in flight. The shapes mirror the structured
+/// at-rest adversaries of `hiding-lcp-certs::adversary` (single bit
+/// flips, truncations, substitutions), selected and parameterized by the
+/// hash `h`.
+pub fn corrupt_certificate(cert: &Certificate, h: u64) -> Certificate {
+    let bytes = cert.bytes();
+    if bytes.is_empty() {
+        // Corrupting an empty certificate materializes junk.
+        return Certificate::from_byte((h >> 16) as u8 | 1);
+    }
+    match h % 3 {
+        // Bit flip: the in-flight analogue of `adversary::single_flips`.
+        0 => {
+            let mut out = bytes.to_vec();
+            let bit = (h >> 8) as usize % (out.len() * 8);
+            out[bit / 8] ^= 1 << (bit % 8);
+            Certificate::from_bytes(out)
+        }
+        // Truncation: the in-flight analogue of `adversary::truncations`.
+        1 => {
+            let cut = (h >> 8) as usize % bytes.len();
+            Certificate::from_bytes(bytes[..cut].to_vec())
+        }
+        // Substitution of one byte with junk.
+        _ => {
+            let mut out = bytes.to_vec();
+            let pos = (h >> 8) as usize % out.len();
+            out[pos] = out[pos].wrapping_add(1 + ((h >> 24) as u8 & 0x7F));
+            Certificate::from_bytes(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_plan_never_fires() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_fault_free());
+        for round in 0..8 {
+            for u in 0..8 {
+                for v in 0..8 {
+                    assert!(!plan.drops(round, u, v));
+                    assert!(!plan.duplicates(round, u, v));
+                    assert!(!plan.corrupts(round, u, v, 0));
+                    assert_eq!(plan.delay_of(round, u, v), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_independent() {
+        let a = FaultPlan::new(99, FaultRates::uniform(0.5));
+        let b = FaultPlan::new(99, FaultRates::uniform(0.5));
+        // Query b in reverse order: stateless decisions must not care.
+        let forward: Vec<bool> = (0..64).map(|i| a.drops(i, i % 5, i % 7)).collect();
+        let backward: Vec<bool> = (0..64).rev().map(|i| b.drops(i, i % 5, i % 7)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "same seed, same decisions, any query order"
+        );
+        // Different seeds diverge somewhere.
+        let c = FaultPlan::new(100, FaultRates::uniform(0.5));
+        assert!((0..64).any(|i| a.drops(i, 0, 1) != c.drops(i, 0, 1)));
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan::new(7, FaultRates::uniform(0.25));
+        let fired = (0..4000).filter(|&i| plan.drops(i, 0, 1)).count();
+        assert!(
+            (800..1200).contains(&fired),
+            "~25% of 4000 trials, got {fired}"
+        );
+    }
+
+    #[test]
+    fn delays_stay_in_bounds() {
+        let plan = FaultPlan::new(3, FaultRates::uniform(1.0)).with_max_delay(3);
+        for i in 0..100 {
+            let d = plan.delay_of(i, 1, 2);
+            assert!((1..=3).contains(&d), "delay {d} outside 1..=3");
+        }
+    }
+
+    #[test]
+    fn corruption_changes_certificates() {
+        let cert = Certificate::from_bytes(vec![0xAB, 0xCD]);
+        let mut changed = 0;
+        for h in 0..50u64 {
+            let corrupted = corrupt_certificate(&cert, splitmix64(h));
+            if corrupted != cert {
+                changed += 1;
+            }
+        }
+        assert_eq!(changed, 50, "every corruption shape must alter the bytes");
+        // Empty certificates become non-empty junk.
+        assert!(!corrupt_certificate(&Certificate::empty(), 1).is_empty());
+    }
+
+    #[test]
+    fn crashed_and_byzantine_sets() {
+        let plan = FaultPlan::none().with_crashed([2]).with_byzantine([0, 3]);
+        assert!(plan.is_crashed(2) && !plan.is_crashed(0));
+        assert!(plan.is_byzantine(0) && plan.is_byzantine(3) && !plan.is_byzantine(2));
+        assert!(!plan.is_fault_free());
+    }
+}

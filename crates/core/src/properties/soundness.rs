@@ -11,7 +11,8 @@ use crate::instance::Instance;
 use crate::label::{Certificate, Labeling};
 use crate::prover::{all_labelings, random_labeling};
 use crate::verify::{
-    sweep, sweep_lazy, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+    sweep, sweep_budgeted, sweep_lazy, sweep_lazy_budgeted, Coverage, ExecMode, ItemCtx,
+    PropertyCheck, SweepBudget, SweepOutcome, Universe, UniverseItem, VerificationReport,
 };
 use crate::view::IdMode;
 use rand::Rng;
@@ -89,6 +90,34 @@ pub fn check_soundness_exhaustive<D: Decoder + ?Sized>(
             )
             .verdict
         }
+    }
+}
+
+/// [`check_soundness_exhaustive`] with explicit execution control: the
+/// sweep runs in `mode` under `budget`, and the full
+/// [`VerificationReport`] is returned so callers can see the achieved
+/// coverage, interruption status and any caught inspection panics. An
+/// exhausted budget yields a partial verdict with
+/// [`Coverage::Sampled`] — explicitly *not* a proof of soundness.
+pub fn check_soundness_exhaustive_with<D: Decoder + ?Sized>(
+    decoder: &D,
+    instance: &Instance,
+    alphabet: &[Certificate],
+    mode: ExecMode,
+    budget: &SweepBudget,
+) -> VerificationReport<Result<usize, SoundnessViolation>> {
+    let check = SoundnessCheck { decoder };
+    match Universe::all_labelings_of(instance.clone(), alphabet.to_vec(), Coverage::Exhaustive) {
+        Ok(universe) => sweep_budgeted(&check, &universe, mode, budget).report,
+        // |alphabet|^n overflows the flat index space; iterate lazily
+        // instead (necessarily sequential, still budgeted).
+        Err(_) => sweep_lazy_budgeted(
+            &check,
+            instance,
+            all_labelings(instance.graph().node_count(), alphabet),
+            Coverage::Exhaustive,
+            budget,
+        ),
     }
 }
 
@@ -244,6 +273,33 @@ mod tests {
         let mut reference = StdRng::seed_from_u64(7);
         let _ = random_labeling(3, &bits(), &mut reference);
         assert_eq!(used.next_u64(), reference.next_u64());
+    }
+
+    #[test]
+    fn budgeted_soundness_check_degrades_explicitly() {
+        let c5 = Instance::canonical(generators::cycle(5));
+        // Unlimited budget: full exhaustive verdict with full coverage.
+        let full = check_soundness_exhaustive_with(
+            &LocalDiff,
+            &c5,
+            &bits(),
+            ExecMode::Sequential,
+            &SweepBudget::unlimited(),
+        );
+        assert_eq!(full.verdict, Ok(32));
+        assert_eq!(full.coverage, Coverage::Exhaustive);
+        assert!(!full.interrupted);
+        // A 10-item budget interrupts: partial verdict, sampled coverage.
+        let partial = check_soundness_exhaustive_with(
+            &LocalDiff,
+            &c5,
+            &bits(),
+            ExecMode::Sequential,
+            &SweepBudget::unlimited().with_max_items(10),
+        );
+        assert_eq!(partial.verdict, Ok(10));
+        assert_eq!(partial.coverage, Coverage::Sampled);
+        assert!(partial.interrupted);
     }
 
     #[test]

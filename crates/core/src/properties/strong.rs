@@ -11,7 +11,8 @@ use crate::label::{Certificate, Labeling};
 use crate::language::KCol;
 use crate::prover::{all_labelings, random_labeling};
 use crate::verify::{
-    sweep, sweep_lazy, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+    sweep, sweep_budgeted, sweep_lazy, sweep_lazy_budgeted, Coverage, ExecMode, ItemCtx,
+    PropertyCheck, SweepBudget, SweepOutcome, Universe, UniverseItem, VerificationReport,
 };
 use crate::view::IdMode;
 use rand::Rng;
@@ -130,6 +131,35 @@ pub fn check_strong_exhaustive<D: Decoder + ?Sized>(
     }
 }
 
+/// [`check_strong_exhaustive`] with explicit execution control: the sweep
+/// runs in `mode` under `budget`, and the full [`VerificationReport`] is
+/// returned so callers can see the achieved coverage, interruption status
+/// and any caught inspection panics. An exhausted budget yields a partial
+/// verdict with [`Coverage::Sampled`] — explicitly *not* a proof of
+/// strong soundness.
+pub fn check_strong_exhaustive_with<D: Decoder + ?Sized>(
+    decoder: &D,
+    language: &KCol,
+    instance: &Instance,
+    alphabet: &[Certificate],
+    mode: ExecMode,
+    budget: &SweepBudget,
+) -> VerificationReport<Result<usize, StrongViolation>> {
+    let check = StrongCheck { decoder, language };
+    match Universe::all_labelings_of(instance.clone(), alphabet.to_vec(), Coverage::Exhaustive) {
+        Ok(universe) => sweep_budgeted(&check, &universe, mode, budget).report,
+        // |alphabet|^n overflows the flat index space; iterate lazily
+        // instead (necessarily sequential, still budgeted).
+        Err(_) => sweep_lazy_budgeted(
+            &check,
+            instance,
+            all_labelings(instance.graph().node_count(), alphabet),
+            Coverage::Exhaustive,
+            budget,
+        ),
+    }
+}
+
 /// Randomized strong-soundness check over up to `samples` random
 /// labelings.
 ///
@@ -243,6 +273,33 @@ mod tests {
         let violation =
             check_strong_exhaustive(&YesMan, &two_col, &c3, &bits()).expect_err("violated");
         assert_eq!(violation.accepting, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn budgeted_strong_check_degrades_explicitly() {
+        let two_col = KCol::new(2);
+        let c5 = Instance::canonical(generators::cycle(5));
+        let full = check_strong_exhaustive_with(
+            &LocalDiff,
+            &two_col,
+            &c5,
+            &bits(),
+            ExecMode::Sequential,
+            &SweepBudget::unlimited(),
+        );
+        assert_eq!(full.verdict, Ok(32));
+        assert_eq!(full.coverage, Coverage::Exhaustive);
+        let partial = check_strong_exhaustive_with(
+            &LocalDiff,
+            &two_col,
+            &c5,
+            &bits(),
+            ExecMode::Sequential,
+            &SweepBudget::unlimited().with_max_items(8),
+        );
+        assert_eq!(partial.verdict, Ok(8));
+        assert_eq!(partial.coverage, Coverage::Sampled);
+        assert!(partial.interrupted);
     }
 
     #[test]

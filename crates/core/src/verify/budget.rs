@@ -1,0 +1,154 @@
+//! Resilience primitives for the sweep executor: structured per-item
+//! errors, execution budgets, and resume tokens.
+//!
+//! These three types turn the executor from "all or nothing" into a
+//! machine that degrades explicitly:
+//!
+//! * [`SweepError`] — a [`super::PropertyCheck::inspect`] call (or the
+//!   item decode feeding it) panicked. The executor catches the unwind,
+//!   records the offending flat index and panic payload, and keeps
+//!   sweeping; the report's coverage downgrades to
+//!   [`super::Coverage::Sampled`] because the erroring items were not
+//!   actually verified.
+//! * [`SweepBudget`] — a wall-clock deadline and/or an item cap for one
+//!   executor call. A budget that expires mid-sweep ends it with an
+//!   `interrupted` report (again [`super::Coverage::Sampled`] — an
+//!   interrupted `Exhaustive` sweep proves nothing universal) instead of
+//!   running unbounded.
+//! * [`ResumeToken`] — everything needed to continue an interrupted
+//!   sweep: the next unvisited index plus the partials and errors
+//!   recorded so far. Because inspection is pure and the visited set is
+//!   always the contiguous prefix `[0, next_index)`, feeding the token
+//!   back into [`super::resume_sweep`] and letting it finish yields the
+//!   *same verdict, partials and checked count* as one uninterrupted
+//!   sweep — bit-identical resume, asserted by the engine parity suite.
+
+use std::any::Any;
+use std::time::Duration;
+
+/// A structured record of a panic caught during one item's inspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Flat universe index of the item whose inspection panicked.
+    pub item_index: usize,
+    /// The panic payload, stringified (`&str` and `String` payloads pass
+    /// through verbatim).
+    pub payload: String,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item {} panicked: {}", self.item_index, self.payload)
+    }
+}
+
+impl SweepError {
+    /// Builds the error from a caught unwind payload.
+    pub(super) fn from_panic(item_index: usize, payload: Box<dyn Any + Send>) -> SweepError {
+        let payload = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        SweepError {
+            item_index,
+            payload,
+        }
+    }
+}
+
+/// Execution limits for one executor call.
+///
+/// Both limits are per-call: a resumed sweep gets a fresh deadline and a
+/// fresh item allowance. [`SweepBudget::unlimited`] (the default) imposes
+/// neither, which is what the plain [`super::sweep_with`] path uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepBudget {
+    /// Wall-clock limit for this call. Checked between items (sequential)
+    /// or between chunk claims (parallel), so the visited set stays a
+    /// contiguous prefix; a slow single inspection can overshoot.
+    pub deadline: Option<Duration>,
+    /// Maximum number of items to visit in this call. Exact in every
+    /// execution mode.
+    pub max_items: Option<usize>,
+}
+
+impl SweepBudget {
+    /// No limits: the sweep runs to completion.
+    pub fn unlimited() -> SweepBudget {
+        SweepBudget::default()
+    }
+
+    /// Limits this call to `deadline` of wall-clock time.
+    pub fn with_deadline(mut self, deadline: Duration) -> SweepBudget {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Limits this call to `max_items` visited items.
+    pub fn with_max_items(mut self, max_items: usize) -> SweepBudget {
+        self.max_items = Some(max_items);
+        self
+    }
+
+    /// Whether this budget can never interrupt a sweep.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_items.is_none()
+    }
+}
+
+/// The continuation of an interrupted sweep.
+///
+/// Holds the executor's whole interim state: the next unvisited flat
+/// index (the visited set is always the prefix `[0, next_index)`) plus
+/// every partial and error recorded so far. Pass it to
+/// [`super::resume_sweep`] to continue; the chain of calls reproduces an
+/// uninterrupted sweep's report exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeToken<P> {
+    /// First flat index not yet visited.
+    pub next_index: usize,
+    /// Partials recorded in `[0, next_index)`, sorted by index.
+    pub partials: Vec<(usize, P)>,
+    /// Errors recorded in `[0, next_index)`, sorted by index.
+    pub errors: Vec<SweepError>,
+}
+
+impl<P> ResumeToken<P> {
+    /// The token a fresh (never-started) sweep resumes from.
+    pub fn start() -> ResumeToken<P> {
+        ResumeToken {
+            next_index: 0,
+            partials: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_builders() {
+        assert!(SweepBudget::unlimited().is_unlimited());
+        let b = SweepBudget::unlimited()
+            .with_deadline(Duration::from_millis(5))
+            .with_max_items(10);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.max_items, Some(10));
+    }
+
+    #[test]
+    fn panic_payloads_stringify() {
+        let e = SweepError::from_panic(3, Box::new("boom"));
+        assert_eq!(e.payload, "boom");
+        let e = SweepError::from_panic(4, Box::new(String::from("owned boom")));
+        assert_eq!(e.payload, "owned boom");
+        let e = SweepError::from_panic(5, Box::new(17u32));
+        assert_eq!(e.payload, "non-string panic payload");
+        assert_eq!(e.to_string(), "item 5 panicked: non-string panic payload");
+    }
+}

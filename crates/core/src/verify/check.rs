@@ -15,7 +15,8 @@
 //! * [`PropertyCheck::reduce`] folds the surviving partials — delivered in
 //!   item order — into the final verdict.
 
-use super::universe::{Universe, UniverseItem};
+use super::budget::SweepError;
+use super::universe::{Coverage, Universe, UniverseItem};
 use super::ItemCtx;
 use crate::view::IdMode;
 use std::time::Duration;
@@ -78,6 +79,17 @@ pub struct VerificationReport<V> {
     pub universe_size: usize,
     /// Whether the sweep stopped at a short-circuiting item.
     pub short_circuited: bool,
+    /// Whether an execution budget ended the sweep before the universe
+    /// (or the short-circuit) did. An interrupted sweep's verdict covers
+    /// only the visited prefix.
+    pub interrupted: bool,
+    /// The coverage actually achieved: the universe's own coverage,
+    /// downgraded to [`Coverage::Sampled`] when the sweep was interrupted
+    /// or items errored — partial evidence is never universal.
+    pub coverage: Coverage,
+    /// Items whose inspection panicked (caught, not propagated), sorted
+    /// by index.
+    pub errors: Vec<SweepError>,
     /// Views served from the shared skeleton cache.
     pub cache_hits: usize,
     /// Skeletons computed (cache population) plus uncached extractions.
@@ -96,6 +108,9 @@ impl<V> VerificationReport<V> {
             checked: self.checked,
             universe_size: self.universe_size,
             short_circuited: self.short_circuited,
+            interrupted: self.interrupted,
+            coverage: self.coverage,
+            errors: self.errors,
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             elapsed: self.elapsed,

@@ -18,6 +18,23 @@
 //! surviving set equals exactly what the sequential loop records, and
 //! `checked` is defined as `min_short_circuit_index + 1` either way.
 //!
+//! # Resilience
+//!
+//! Three failure modes degrade explicitly instead of aborting (see
+//! [`super::budget`]):
+//!
+//! * every item inspection runs under `catch_unwind`, so a panicking
+//!   decoder becomes a [`SweepError`] naming the item, not a poisoned
+//!   sweep — worker threads never die of a check panic;
+//! * [`sweep_budgeted`] accepts a [`SweepBudget`]; an expired budget ends
+//!   the call with `interrupted` set, the report's coverage downgraded to
+//!   [`Coverage::Sampled`], and a [`ResumeToken`];
+//! * [`resume_sweep`] continues from a token. The visited set is always
+//!   the contiguous prefix `[0, next_index)` — the parallel path checks
+//!   the deadline *before* claiming a chunk and every claimed chunk runs
+//!   to completion, so no holes — which is what makes a resumed chain
+//!   reproduce the uninterrupted report bit-for-bit.
+//!
 //! # Skeleton cache
 //!
 //! Before the sweep, the executor computes one [`ViewSkeleton`] per node
@@ -27,12 +44,14 @@
 //! lock-free while workers run. For an all-labelings block this turns
 //! `|alphabet|^n` BFS canonicalizations per node into one.
 
+use super::budget::{ResumeToken, SweepBudget, SweepError};
 use super::check::{PropertyCheck, SweepOutcome, VerificationReport};
 use super::universe::{Block, Coverage, LabelSource, Universe, UniverseItem};
 use crate::decoder::{Decoder, Verdict};
 use crate::instance::{Instance, LabeledInstance};
 use crate::label::Labeling;
 use crate::view::{IdMode, View, ViewSkeleton};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -162,6 +181,18 @@ impl ItemCtx<'_> {
     }
 }
 
+/// A budgeted sweep's result: the (possibly partial) report, plus the
+/// continuation when the budget interrupted the sweep.
+pub struct BudgetedSweep<V, P> {
+    /// The report. When `report.interrupted` is set, the verdict covers
+    /// only the visited prefix and `report.coverage` is
+    /// [`Coverage::Sampled`].
+    pub report: VerificationReport<V>,
+    /// `Some` exactly when the sweep was interrupted; feed it to
+    /// [`resume_sweep`] to continue.
+    pub resume: Option<ResumeToken<P>>,
+}
+
 /// Sweeps `check` over `universe` in [`ExecMode::Auto`].
 pub fn sweep<C: PropertyCheck>(check: &C, universe: &Universe) -> VerificationReport<C::Verdict> {
     sweep_with(check, universe, ExecMode::Auto)
@@ -174,40 +205,164 @@ pub fn sweep_with<C: PropertyCheck>(
     universe: &Universe,
     mode: ExecMode,
 ) -> VerificationReport<C::Verdict> {
+    run_resumable(
+        check,
+        universe,
+        mode,
+        &SweepBudget::unlimited(),
+        ResumeToken::start(),
+        |_, _, _| None,
+    )
+    .report
+}
+
+/// Sweeps `check` over `universe` under an execution budget. An expired
+/// budget ends the call early: the report is flagged `interrupted`, its
+/// coverage is downgraded to [`Coverage::Sampled`], and
+/// [`BudgetedSweep::resume`] carries the continuation.
+pub fn sweep_budgeted<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+) -> BudgetedSweep<C::Verdict, C::Partial>
+where
+    C::Partial: Clone,
+{
+    run_resumable(
+        check,
+        universe,
+        mode,
+        budget,
+        ResumeToken::start(),
+        tokenize,
+    )
+}
+
+/// Continues an interrupted sweep from its [`ResumeToken`], under a fresh
+/// budget. The chain of budgeted calls visits exactly the indices an
+/// uninterrupted sweep would and reproduces its verdict, partials and
+/// `checked` count.
+pub fn resume_sweep<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    token: ResumeToken<C::Partial>,
+) -> BudgetedSweep<C::Verdict, C::Partial>
+where
+    C::Partial: Clone,
+{
+    run_resumable(check, universe, mode, budget, token, tokenize)
+}
+
+/// The cloning tokenizer the budgeted entry points pass to
+/// [`run_resumable`] (they carry the `C::Partial: Clone` bound; the
+/// unbudgeted [`sweep_with`] passes a `None`-returning closure and
+/// imposes no bound).
+fn tokenize<P: Clone>(
+    partials: &[(usize, P)],
+    errors: &[SweepError],
+    next_index: usize,
+) -> Option<ResumeToken<P>> {
+    Some(ResumeToken {
+        next_index,
+        partials: partials.to_vec(),
+        errors: errors.to_vec(),
+    })
+}
+
+/// The shared engine behind [`sweep_with`], [`sweep_budgeted`] and
+/// [`resume_sweep`]. `make_token` builds the continuation when the sweep
+/// is interrupted; see [`tokenize`].
+fn run_resumable<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    token: ResumeToken<C::Partial>,
+    make_token: impl Fn(&[(usize, C::Partial)], &[SweepError], usize) -> Option<ResumeToken<C::Partial>>,
+) -> BudgetedSweep<C::Verdict, C::Partial> {
     let start = Instant::now();
+    let deadline = budget.deadline.map(|d| start + d);
     let cache = SkeletonCache::build(universe, check.view_configs());
     let hits = AtomicUsize::new(0);
     let misses = AtomicUsize::new(cache.populated);
     let n = universe.len();
-    let threads = resolve_threads(mode, n);
+    let begin = token.next_index.min(n);
+    // `max_items` is enforced by clamping the sweep's end index, which
+    // makes it exact — and identical — in every execution mode.
+    let end = match budget.max_items {
+        Some(m) => begin.saturating_add(m).min(n),
+        None => n,
+    };
+    let threads = resolve_threads(mode, end.saturating_sub(begin));
 
-    let (mut partials, stop_at) = if threads > 1 {
-        run_parallel(check, universe, &cache, &hits, &misses, threads)
+    let outcome = if threads > 1 {
+        run_parallel(
+            check, universe, &cache, &hits, &misses, threads, begin, end, deadline,
+        )
     } else {
-        run_sequential(check, universe, &cache, &hits, &misses)
+        run_sequential(
+            check, universe, &cache, &hits, &misses, begin, end, deadline,
+        )
     };
-    partials.sort_by_key(|&(i, _)| i);
-    let short_circuited = stop_at != usize::MAX;
-    if short_circuited {
-        partials.retain(|&(i, _)| i <= stop_at);
-    }
-    let checked = if short_circuited { stop_at + 1 } else { n };
 
-    let outcome = SweepOutcome {
+    let mut partials = token.partials;
+    partials.extend(outcome.partials);
+    partials.sort_by_key(|&(i, _)| i);
+    let mut errors = token.errors;
+    errors.extend(outcome.errors);
+    errors.sort_by_key(|e| e.item_index);
+
+    let short_circuited = outcome.stop_at != usize::MAX;
+    if short_circuited {
+        partials.retain(|&(i, _)| i <= outcome.stop_at);
+        errors.retain(|e| e.item_index <= outcome.stop_at);
+    }
+    // `checked` keeps sequential semantics: the visited set is the prefix
+    // [0, next), so this is simply how far the prefix reaches.
+    let checked = if short_circuited {
+        outcome.stop_at + 1
+    } else {
+        outcome.next
+    };
+    let interrupted = !short_circuited && outcome.next < n;
+    let resume = if interrupted {
+        make_token(&partials, &errors, outcome.next)
+    } else {
+        None
+    };
+    // An interrupted or error-bearing sweep visited (or verified) only
+    // part of the universe: whatever it concludes is evidence from a
+    // sample, never a universal statement.
+    let coverage = if interrupted || !errors.is_empty() {
+        Coverage::Sampled
+    } else {
+        universe.coverage()
+    };
+
+    let sweep_outcome = SweepOutcome {
         checked,
         universe_size: n,
         short_circuited,
     };
-    let verdict = check.reduce(universe, partials, &outcome);
-    VerificationReport {
-        verdict,
-        checked,
-        universe_size: n,
-        short_circuited,
-        cache_hits: hits.load(Ordering::Relaxed),
-        cache_misses: misses.load(Ordering::Relaxed),
-        elapsed: start.elapsed(),
-        threads,
+    let verdict = check.reduce(universe, partials, &sweep_outcome);
+    BudgetedSweep {
+        report: VerificationReport {
+            verdict,
+            checked,
+            universe_size: n,
+            short_circuited,
+            interrupted,
+            coverage,
+            errors,
+            cache_hits: hits.load(Ordering::Relaxed),
+            cache_misses: misses.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+            threads,
+        },
+        resume,
     }
 }
 
@@ -234,7 +389,31 @@ pub fn sweep_lazy<C: PropertyCheck>(
     labelings: impl IntoIterator<Item = Labeling>,
     coverage: Coverage,
 ) -> VerificationReport<C::Verdict> {
+    sweep_lazy_budgeted(
+        check,
+        instance,
+        labelings,
+        coverage,
+        &SweepBudget::unlimited(),
+    )
+}
+
+/// [`sweep_lazy`] under a [`SweepBudget`]. An expired budget stops
+/// *drawing* (a stateful source is never advanced past the limit); the
+/// report is flagged `interrupted` with [`Coverage::Sampled`], and
+/// `checked` says how many items were drawn — a caller can resume by
+/// skipping that many items of a replayed source.
+pub fn sweep_lazy_budgeted<C: PropertyCheck>(
+    check: &C,
+    instance: &Instance,
+    labelings: impl IntoIterator<Item = Labeling>,
+    coverage: Coverage,
+    budget: &SweepBudget,
+) -> VerificationReport<C::Verdict> {
     let start = Instant::now();
+    let deadline = budget.deadline.map(|d| start + d);
+    // invariant: one `Unlabeled` block contributes exactly one item, far
+    // from overflowing the flat index space.
     let universe = Universe::new(
         vec![Block::new(instance.clone(), LabelSource::Unlabeled)],
         coverage,
@@ -245,9 +424,17 @@ pub fn sweep_lazy<C: PropertyCheck>(
     let misses = AtomicUsize::new(cache.populated);
     let shared = universe.blocks()[0].instance();
     let mut partials = Vec::new();
+    let mut errors = Vec::new();
     let mut checked = 0usize;
     let mut short_circuited = false;
+    let mut interrupted = false;
     for labeling in labelings {
+        if budget.max_items.is_some_and(|m| checked >= m)
+            || deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            interrupted = true;
+            break;
+        }
         let item = UniverseItem {
             index: checked,
             block: 0,
@@ -261,21 +448,27 @@ pub fn sweep_lazy<C: PropertyCheck>(
             hits: &hits,
             misses: &misses,
         };
-        if let Some(partial) = check.inspect(&item, &ctx) {
-            let stop = check.short_circuits(&partial);
-            partials.push((item.index, partial));
-            if stop {
-                short_circuited = true;
-                break;
+        match catch_unwind(AssertUnwindSafe(|| check.inspect(&item, &ctx))) {
+            Ok(Some(partial)) => {
+                let stop = check.short_circuits(&partial);
+                partials.push((item.index, partial));
+                if stop {
+                    short_circuited = true;
+                    break;
+                }
             }
+            Ok(None) => {}
+            Err(payload) => errors.push(SweepError::from_panic(item.index, payload)),
         }
     }
     finish_lazy(
         check,
         &universe,
         partials,
+        errors,
         checked,
         short_circuited,
+        interrupted,
         &hits,
         &misses,
         start,
@@ -300,15 +493,19 @@ pub fn sweep_lazy_labeled<C: PropertyCheck>(
 ) -> VerificationReport<C::Verdict> {
     let start = Instant::now();
     let configs = check.view_configs();
+    // invariant: zero blocks sum to zero items — overflow is impossible.
     let reduce_universe =
         Universe::new(Vec::new(), coverage).expect("an empty universe cannot overflow");
     let hits = AtomicUsize::new(0);
     let misses = AtomicUsize::new(0);
     let mut partials = Vec::new();
+    let mut errors = Vec::new();
     let mut checked = 0usize;
     let mut short_circuited = false;
     for li in items {
         let (instance, labeling) = li.into_parts();
+        // invariant: one `Unlabeled` block contributes exactly one item,
+        // far from overflowing the flat index space.
         let mini = Universe::new(vec![Block::new(instance, LabelSource::Unlabeled)], coverage)
             .expect("a single bare instance cannot overflow");
         let cache = SkeletonCache::build(&mini, configs.clone());
@@ -326,21 +523,27 @@ pub fn sweep_lazy_labeled<C: PropertyCheck>(
             hits: &hits,
             misses: &misses,
         };
-        if let Some(partial) = check.inspect(&item, &ctx) {
-            let stop = check.short_circuits(&partial);
-            partials.push((item.index, partial));
-            if stop {
-                short_circuited = true;
-                break;
+        match catch_unwind(AssertUnwindSafe(|| check.inspect(&item, &ctx))) {
+            Ok(Some(partial)) => {
+                let stop = check.short_circuits(&partial);
+                partials.push((item.index, partial));
+                if stop {
+                    short_circuited = true;
+                    break;
+                }
             }
+            Ok(None) => {}
+            Err(payload) => errors.push(SweepError::from_panic(item.index, payload)),
         }
     }
     finish_lazy(
         check,
         &reduce_universe,
         partials,
+        errors,
         checked,
         short_circuited,
+        false,
         &hits,
         &misses,
         start,
@@ -352,12 +555,19 @@ fn finish_lazy<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
     partials: Vec<(usize, C::Partial)>,
+    errors: Vec<SweepError>,
     checked: usize,
     short_circuited: bool,
+    interrupted: bool,
     hits: &AtomicUsize,
     misses: &AtomicUsize,
     start: Instant,
 ) -> VerificationReport<C::Verdict> {
+    let coverage = if interrupted || !errors.is_empty() {
+        Coverage::Sampled
+    } else {
+        universe.coverage()
+    };
     let outcome = SweepOutcome {
         checked,
         universe_size: checked,
@@ -369,6 +579,9 @@ fn finish_lazy<C: PropertyCheck>(
         checked,
         universe_size: checked,
         short_circuited,
+        interrupted,
+        coverage,
+        errors,
         cache_hits: hits.load(Ordering::Relaxed),
         cache_misses: misses.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
@@ -397,15 +610,31 @@ fn resolve_threads(mode: ExecMode, items: usize) -> usize {
     }
 }
 
-fn run_sequential<C: PropertyCheck>(
+/// What one executor pass over `[begin, end)` produced.
+struct PassOutcome<P> {
+    partials: Vec<(usize, P)>,
+    errors: Vec<SweepError>,
+    /// Lowest short-circuiting index (`usize::MAX` = none).
+    stop_at: usize,
+    /// First index not visited: `end` on natural completion, earlier when
+    /// the deadline fired. Everything below it was inspected.
+    next: usize,
+}
+
+/// Inspects one item under panic isolation.
+///
+/// `AssertUnwindSafe` is justified because `inspect` is required to be a
+/// pure function of the item: a panic can leave no check state behind to
+/// observe in a broken condition.
+fn inspect_item<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
     cache: &SkeletonCache,
     hits: &AtomicUsize,
     misses: &AtomicUsize,
-) -> (Vec<(usize, C::Partial)>, usize) {
-    let mut partials = Vec::new();
-    for i in 0..universe.len() {
+    i: usize,
+) -> Result<Option<C::Partial>, SweepError> {
+    catch_unwind(AssertUnwindSafe(|| {
         let item = universe.item(i);
         let ctx = ItemCtx {
             block: item.block,
@@ -413,18 +642,60 @@ fn run_sequential<C: PropertyCheck>(
             hits,
             misses,
         };
-        if let Some(partial) = check.inspect(&item, &ctx) {
-            let stop = check.short_circuits(&partial);
-            partials.push((i, partial));
-            if stop {
-                return (partials, i);
+        check.inspect(&item, &ctx)
+    }))
+    .map_err(|payload| SweepError::from_panic(i, payload))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sequential<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    cache: &SkeletonCache,
+    hits: &AtomicUsize,
+    misses: &AtomicUsize,
+    begin: usize,
+    end: usize,
+    deadline: Option<Instant>,
+) -> PassOutcome<C::Partial> {
+    let mut partials = Vec::new();
+    let mut errors = Vec::new();
+    for i in begin..end {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return PassOutcome {
+                partials,
+                errors,
+                stop_at: usize::MAX,
+                next: i,
+            };
+        }
+        match inspect_item(check, universe, cache, hits, misses, i) {
+            Ok(Some(partial)) => {
+                let stop = check.short_circuits(&partial);
+                partials.push((i, partial));
+                if stop {
+                    return PassOutcome {
+                        partials,
+                        errors,
+                        stop_at: i,
+                        next: i + 1,
+                    };
+                }
             }
+            Ok(None) => {}
+            Err(err) => errors.push(err),
         }
     }
-    (partials, usize::MAX)
+    PassOutcome {
+        partials,
+        errors,
+        stop_at: usize::MAX,
+        next: end,
+    }
 }
 
 #[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
 fn run_parallel<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
@@ -432,62 +703,92 @@ fn run_parallel<C: PropertyCheck>(
     hits: &AtomicUsize,
     misses: &AtomicUsize,
     threads: usize,
-) -> (Vec<(usize, C::Partial)>, usize) {
-    let n = universe.len();
+    begin: usize,
+    end: usize,
+    deadline: Option<Instant>,
+) -> PassOutcome<C::Partial> {
+    let span = end - begin;
     // Small chunks so threads converge quickly on a low short-circuit
     // index; large enough to keep cursor contention negligible.
-    let chunk = (n / (threads * 8)).clamp(1, 1024);
-    let cursor = AtomicUsize::new(0);
+    let chunk = (span / (threads * 8)).clamp(1, 1024);
+    let cursor = AtomicUsize::new(begin);
     // Lowest short-circuiting index seen so far (usize::MAX = none).
     let stop_at = AtomicUsize::new(usize::MAX);
 
     let mut partials: Vec<(usize, C::Partial)> = Vec::new();
+    let mut errors: Vec<SweepError> = Vec::new();
     std::thread::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
                     let mut local: Vec<(usize, C::Partial)> = Vec::new();
+                    let mut local_errors: Vec<SweepError> = Vec::new();
                     loop {
+                        // The deadline is checked before claiming, and a
+                        // claimed chunk always runs to completion — so
+                        // the visited set stays the contiguous prefix
+                        // [begin, cursor) and a ResumeToken can describe
+                        // it with one index.
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            break;
+                        }
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         // The cursor only grows, so once a claimed chunk
                         // lies entirely past the stop index, all later
                         // claims will too.
-                        if start >= n || start > stop_at.load(Ordering::Relaxed) {
+                        if start >= end || start > stop_at.load(Ordering::Relaxed) {
                             break;
                         }
-                        for i in start..(start + chunk).min(n) {
+                        for i in start..(start + chunk).min(end) {
                             if i > stop_at.load(Ordering::Relaxed) {
                                 break;
                             }
-                            let item = universe.item(i);
-                            let ctx = ItemCtx {
-                                block: item.block,
-                                cache,
-                                hits,
-                                misses,
-                            };
-                            if let Some(partial) = check.inspect(&item, &ctx) {
-                                let stop = check.short_circuits(&partial);
-                                local.push((i, partial));
-                                if stop {
-                                    stop_at.fetch_min(i, Ordering::Relaxed);
-                                    break;
+                            match inspect_item(check, universe, cache, hits, misses, i) {
+                                Ok(Some(partial)) => {
+                                    let stop = check.short_circuits(&partial);
+                                    local.push((i, partial));
+                                    if stop {
+                                        stop_at.fetch_min(i, Ordering::Relaxed);
+                                        break;
+                                    }
                                 }
+                                Ok(None) => {}
+                                Err(err) => local_errors.push(err),
                             }
                         }
                     }
-                    local
+                    (local, local_errors)
                 })
             })
             .collect();
         for worker in workers {
-            partials.extend(worker.join().expect("sweep worker panicked"));
+            // invariant: check panics are caught per item by
+            // `inspect_item`, so a worker can only die of a bug in the
+            // executor itself — propagate that loudly.
+            let (local, local_errors) = worker.join().expect("sweep worker panicked");
+            partials.extend(local);
+            errors.extend(local_errors);
         }
     });
-    (partials, stop_at.load(Ordering::Relaxed))
+    let stop = stop_at.load(Ordering::Relaxed);
+    // Natural termination bumps the cursor past `end`; a deadline stop
+    // leaves it at the first unclaimed index. Claimed chunks always
+    // complete, so everything below this index was inspected.
+    let next = if stop != usize::MAX {
+        end
+    } else {
+        cursor.load(Ordering::Relaxed).min(end)
+    };
+    PassOutcome {
+        partials,
+        errors,
+        stop_at: stop,
+        next,
+    }
 }
 
 #[cfg(not(feature = "parallel"))]
+#[allow(clippy::too_many_arguments)]
 fn run_parallel<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
@@ -495,6 +796,9 @@ fn run_parallel<C: PropertyCheck>(
     hits: &AtomicUsize,
     misses: &AtomicUsize,
     _threads: usize,
-) -> (Vec<(usize, C::Partial)>, usize) {
-    run_sequential(check, universe, cache, hits, misses)
+    begin: usize,
+    end: usize,
+    deadline: Option<Instant>,
+) -> PassOutcome<C::Partial> {
+    run_sequential(check, universe, cache, hits, misses, begin, end, deadline)
 }

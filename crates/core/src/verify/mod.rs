@@ -21,19 +21,31 @@
 //!   canonicalized once per block instead of once per labeling;
 //! * every sweep returns a [`VerificationReport`]: the verdict plus how
 //!   many instances were checked, cache hits/misses, wall-clock time and
-//!   thread count.
+//!   thread count;
+//! * execution is resilient ([`budget`]): a panicking check surfaces as a
+//!   structured [`SweepError`] naming the item instead of poisoning the
+//!   sweep, [`sweep_budgeted`] bounds a call by wall-clock deadline
+//!   and/or item count (degrading the report to an explicit
+//!   [`Coverage::Sampled`] partial verdict), and [`resume_sweep`]
+//!   continues from a deterministic [`ResumeToken`] such that the chain
+//!   reproduces the uninterrupted report bit-for-bit.
 //!
 //! The concrete properties live where they always did (in
 //! [`crate::properties`] and [`crate::nbhd`]); what moved here is the
 //! *iteration* — there is no hand-rolled "for each labeling" loop left
 //! outside this engine.
 
+pub mod budget;
 mod check;
 mod executor;
 pub mod universe;
 
+pub use budget::{ResumeToken, SweepBudget, SweepError};
 pub use check::{PropertyCheck, SweepOutcome, VerificationReport};
-pub use executor::{sweep, sweep_lazy, sweep_lazy_labeled, sweep_with, ExecMode, ItemCtx};
+pub use executor::{
+    resume_sweep, sweep, sweep_budgeted, sweep_lazy, sweep_lazy_budgeted, sweep_lazy_labeled,
+    sweep_with, BudgetedSweep, ExecMode, ItemCtx,
+};
 pub use universe::{Block, Coverage, LabelSource, Universe, UniverseItem, UniverseOverflow};
 
 #[cfg(test)]
@@ -160,5 +172,133 @@ mod tests {
         // 5 nodes * 32 labelings stamped from 5 skeletons.
         assert_eq!(report.cache_hits, 160);
         assert_eq!(report.cache_misses, 5);
+    }
+
+    #[test]
+    fn unbudgeted_sweep_is_exhaustive_and_clean() {
+        let universe = small_universe();
+        let check = CountConstant {
+            stop_on_all_ones: false,
+        };
+        let report = sweep_with(&check, &universe, ExecMode::Sequential);
+        assert!(!report.interrupted);
+        assert!(report.errors.is_empty());
+        assert_eq!(report.coverage, Coverage::Exhaustive);
+    }
+
+    #[test]
+    fn max_items_interrupts_with_a_resume_token() {
+        let universe = small_universe();
+        let check = CountConstant {
+            stop_on_all_ones: false,
+        };
+        let budget = SweepBudget::unlimited().with_max_items(10);
+        let first = sweep_budgeted(&check, &universe, ExecMode::Sequential, &budget);
+        assert!(first.report.interrupted);
+        assert_eq!(first.report.checked, 10);
+        assert_eq!(first.report.coverage, Coverage::Sampled);
+        let token = first.resume.expect("interrupted sweep yields a token");
+        assert_eq!(token.next_index, 10);
+        // Finish with no budget: the chained result matches one
+        // uninterrupted sweep exactly.
+        let rest = resume_sweep(
+            &check,
+            &universe,
+            ExecMode::Sequential,
+            &SweepBudget::unlimited(),
+            token,
+        );
+        assert!(rest.resume.is_none());
+        assert!(!rest.report.interrupted);
+        assert_eq!(rest.report.coverage, Coverage::Exhaustive);
+        let full = sweep_with(&check, &universe, ExecMode::Sequential);
+        assert_eq!(rest.report.verdict, full.verdict);
+        assert_eq!(rest.report.checked, full.checked);
+    }
+
+    #[test]
+    fn resume_chain_is_bit_identical_at_any_granularity() {
+        let universe = small_universe();
+        let check = CountConstant {
+            stop_on_all_ones: true,
+        };
+        let full = sweep_with(&check, &universe, ExecMode::Sequential);
+        for step in [1usize, 3, 7, 32] {
+            let budget = SweepBudget::unlimited().with_max_items(step);
+            let mut state = sweep_budgeted(&check, &universe, ExecMode::Sequential, &budget);
+            while let Some(token) = state.resume.take() {
+                state = resume_sweep(&check, &universe, ExecMode::Sequential, &budget, token);
+            }
+            assert_eq!(state.report.verdict, full.verdict, "step {step}");
+            assert_eq!(state.report.checked, full.checked, "step {step}");
+            assert_eq!(
+                state.report.short_circuited, full.short_circuited,
+                "step {step}"
+            );
+        }
+    }
+
+    /// Panics on one specific labeling index, counts the rest.
+    struct PanicsAt {
+        index: usize,
+    }
+
+    impl PropertyCheck for PanicsAt {
+        type Partial = ();
+        type Verdict = usize;
+
+        fn inspect(&self, item: &UniverseItem<'_>, _ctx: &ItemCtx<'_>) -> Option<()> {
+            if item.index == self.index {
+                panic!("rigged failure at {}", self.index);
+            }
+            Some(())
+        }
+
+        fn reduce(
+            &self,
+            _universe: &Universe,
+            partials: Vec<(usize, ())>,
+            _outcome: &SweepOutcome,
+        ) -> usize {
+            partials.len()
+        }
+    }
+
+    #[test]
+    fn panicking_item_becomes_a_structured_error() {
+        let universe = small_universe();
+        let check = PanicsAt { index: 13 };
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let seq = sweep_with(&check, &universe, ExecMode::Sequential);
+        let par = sweep_with(&check, &universe, ExecMode::Parallel(4));
+        std::panic::set_hook(prev);
+        for report in [&seq, &par] {
+            assert_eq!(report.verdict, 31, "other items still inspected");
+            assert_eq!(report.errors.len(), 1);
+            assert_eq!(report.errors[0].item_index, 13);
+            assert_eq!(report.errors[0].payload, "rigged failure at 13");
+            assert_eq!(
+                report.coverage,
+                Coverage::Sampled,
+                "errored items were not verified"
+            );
+            assert!(!report.interrupted);
+        }
+    }
+
+    #[test]
+    fn deadline_zero_interrupts_immediately() {
+        let universe = small_universe();
+        let check = CountConstant {
+            stop_on_all_ones: false,
+        };
+        let budget = SweepBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        let out = sweep_budgeted(&check, &universe, ExecMode::Sequential, &budget);
+        assert!(out.report.interrupted);
+        assert_eq!(out.report.checked, 0);
+        let token = out.resume.expect("token");
+        assert_eq!(token.next_index, 0);
+        assert!(token.partials.is_empty());
     }
 }

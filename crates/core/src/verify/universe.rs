@@ -141,6 +141,10 @@ impl Block {
     /// Panics if the count overflows `usize`; use [`Block::try_len`] to
     /// handle that case gracefully.
     pub fn len(&self) -> usize {
+        // invariant: inside the engine this is only called on blocks that
+        // passed `Universe::new`'s overflow check (which sums `try_len`);
+        // external callers get the documented panic and can opt into
+        // `try_len` instead.
         self.try_len().expect("block item count overflows usize")
     }
 
@@ -264,6 +268,10 @@ impl Universe {
         for g in generators::connected_graphs_up_to(max_n) {
             let ids = hiding_lcp_graph::IdAssignment::canonical(g.node_count());
             for ports in hiding_lcp_graph::ports::all_port_assignments(&g, 100_000) {
+                // invariant: `connected_graphs_up_to` caps n at 8 and
+                // `all_port_assignments` yields permutations of each
+                // node's own ports, so the id/port vectors always match
+                // the graph they were enumerated from.
                 let instance = Instance::new(g.clone(), ports, ids.clone())
                     .expect("enumerated assignments fit");
                 blocks.push(Block::new(
@@ -306,6 +314,8 @@ impl Universe {
 
     /// Total number of items.
     pub fn len(&self) -> usize {
+        // invariant: every constructor builds `offsets` as a prefix-sum
+        // vector with blocks.len() + 1 entries, so it is never empty.
         *self.offsets.last().expect("offsets non-empty")
     }
 

@@ -5,10 +5,18 @@
 //! parallel and sequential sweeps are observationally identical: same
 //! verdict, same witness (the lowest-indexed violation), same
 //! checked-count, same short-circuit flag. This suite hammers that
-//! contract with random decoders over random instance universes.
-//! `cache_hits`/`cache_misses` are deliberately *not* compared — a
-//! parallel short-circuiting sweep may inspect items beyond the final
-//! witness, so its cache traffic can legitimately differ.
+//! contract with random decoders over random instance universes, and
+//! extends it to the resilience layer: lazy sweeps match flat sweeps,
+//! interrupted-and-resumed sweeps match uninterrupted ones, and a
+//! panicking item becomes the same structured [`SweepError`] under every
+//! execution mode. `cache_hits`/`cache_misses` are deliberately *not*
+//! compared — a parallel short-circuiting sweep may inspect items beyond
+//! the final witness, so its cache traffic can legitimately differ.
+//!
+//! The parallel thread count defaults to 3 and can be pinned via the
+//! `PARITY_THREADS` environment variable (the CI matrix runs 1, 2 and 4).
+//!
+//! [`SweepError`]: hiding_lcp_core::verify::SweepError
 
 use hiding_lcp_core::instance::Instance;
 use hiding_lcp_core::label::Certificate;
@@ -16,11 +24,26 @@ use hiding_lcp_core::language::KCol;
 use hiding_lcp_core::lower::PortObliviousCycleDecoder;
 use hiding_lcp_core::properties::soundness::SoundnessCheck;
 use hiding_lcp_core::properties::strong::StrongCheck;
-use hiding_lcp_core::verify::{sweep_with, Coverage, ExecMode, PropertyCheck, Universe};
+use hiding_lcp_core::prover::all_labelings;
+use hiding_lcp_core::verify::{
+    resume_sweep, sweep_budgeted, sweep_lazy, sweep_with, Coverage, ExecMode, ItemCtx,
+    PropertyCheck, SweepBudget, SweepOutcome, Universe, UniverseItem,
+};
+use hiding_lcp_core::view::IdMode;
 use proptest::prelude::*;
 
 fn bits() -> Vec<Certificate> {
     vec![Certificate::from_byte(0), Certificate::from_byte(1)]
+}
+
+/// Thread count for the parallel side of every parity assertion. The CI
+/// matrix sets `PARITY_THREADS` to 1, 2 and 4; locally it defaults to 3.
+fn parity_threads() -> usize {
+    std::env::var("PARITY_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(3)
 }
 
 fn cycle_or_path(shape: u8, n: usize) -> Instance {
@@ -38,12 +61,60 @@ where
     C::Verdict: PartialEq + std::fmt::Debug,
 {
     let seq = sweep_with(check, universe, ExecMode::Sequential);
-    let par = sweep_with(check, universe, ExecMode::Parallel(3));
+    let par = sweep_with(check, universe, ExecMode::Parallel(parity_threads()));
     prop_assert_eq!(&seq.verdict, &par.verdict);
     prop_assert_eq!(seq.checked, par.checked);
     prop_assert_eq!(seq.universe_size, par.universe_size);
     prop_assert_eq!(seq.short_circuited, par.short_circuited);
     Ok(())
+}
+
+/// Wraps a check so that inspecting item `panic_index` panics — the test
+/// double for a decoder crashing mid-sweep.
+struct PanicOn<'a, C> {
+    inner: &'a C,
+    panic_index: usize,
+}
+
+impl<C: PropertyCheck> PropertyCheck for PanicOn<'_, C> {
+    type Partial = C::Partial;
+    type Verdict = C::Verdict;
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        self.inner.view_configs()
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<Self::Partial> {
+        assert!(
+            item.index != self.panic_index,
+            "rigged panic at {}",
+            self.panic_index
+        );
+        self.inner.inspect(item, ctx)
+    }
+
+    fn short_circuits(&self, partial: &Self::Partial) -> bool {
+        self.inner.short_circuits(partial)
+    }
+
+    fn reduce(
+        &self,
+        universe: &Universe,
+        partials: Vec<(usize, Self::Partial)>,
+        outcome: &SweepOutcome,
+    ) -> Self::Verdict {
+        self.inner.reduce(universe, partials, outcome)
+    }
+}
+
+/// Swaps in a silent panic hook around `f` so expected panics don't spam
+/// the test output.
+fn quietly<T>(f: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
 }
 
 proptest! {
@@ -86,5 +157,98 @@ proptest! {
         let universe = Universe::new(blocks, Coverage::Sampled).expect("small universe fits");
         let check = SoundnessCheck { decoder: &decoder };
         assert_parity(&check, &universe)?;
+    }
+
+    #[test]
+    fn lazy_and_flat_sweeps_agree(code in 0u8..64, shape in 0u8..2, n in 3usize..7) {
+        // `sweep_lazy` over the mixed-radix enumeration must match
+        // `sweep_with` on the flat universe: same verdict, same witness,
+        // same checked count, same short-circuit flag.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let instance = cycle_or_path(shape, n);
+        let universe = Universe::all_labelings_of(instance.clone(), bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let check = SoundnessCheck { decoder: &decoder };
+        let flat = sweep_with(&check, &universe, ExecMode::Sequential);
+        let alphabet = bits();
+        let lazy = sweep_lazy(
+            &check,
+            &instance,
+            all_labelings(instance.graph().node_count(), &alphabet),
+            Coverage::Exhaustive,
+        );
+        prop_assert_eq!(&flat.verdict, &lazy.verdict);
+        prop_assert_eq!(flat.checked, lazy.checked);
+        prop_assert_eq!(flat.short_circuited, lazy.short_circuited);
+        prop_assert_eq!(flat.coverage, lazy.coverage);
+    }
+
+    #[test]
+    fn resume_token_round_trip_reproduces_uninterrupted_report(
+        code in 0u8..64, shape in 0u8..2, n in 3usize..7, step in 1usize..12,
+    ) {
+        // Chop the sweep into `step`-item budget slices (run in parallel
+        // mode), chaining each slice's ResumeToken into the next; the final
+        // report must be indistinguishable from one uninterrupted
+        // sequential sweep.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let instance = cycle_or_path(shape, n);
+        let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let check = SoundnessCheck { decoder: &decoder };
+        let full = sweep_with(&check, &universe, ExecMode::Sequential);
+
+        let mode = ExecMode::Parallel(parity_threads());
+        let budget = SweepBudget::unlimited().with_max_items(step);
+        let mut state = sweep_budgeted(&check, &universe, mode, &budget);
+        let mut slices = 1usize;
+        while let Some(token) = state.resume.take() {
+            state = resume_sweep(&check, &universe, mode, &budget, token);
+            slices += 1;
+            prop_assert!(slices <= universe.len() + 2, "resume chain must terminate");
+        }
+        let resumed = state.report;
+        prop_assert_eq!(&full.verdict, &resumed.verdict);
+        prop_assert_eq!(full.checked, resumed.checked);
+        prop_assert_eq!(full.universe_size, resumed.universe_size);
+        prop_assert_eq!(full.short_circuited, resumed.short_circuited);
+        prop_assert_eq!(full.coverage, resumed.coverage);
+        prop_assert!(!resumed.interrupted);
+        prop_assert!(resumed.errors.is_empty());
+    }
+
+    #[test]
+    fn panicking_item_yields_the_same_error_in_every_mode(
+        panic_index in 0usize..32, threads in 1usize..5,
+    ) {
+        // A decoder blowing up mid-sweep must surface as a structured
+        // SweepError naming the offending item — identically under
+        // sequential and 1..4-thread parallel execution, with the verdict
+        // computed from the surviving items agreeing across modes. Code 0
+        // rejects every view, so the sweep never short-circuits and every
+        // mode is guaranteed to reach the rigged item.
+        let decoder = PortObliviousCycleDecoder::from_code(0);
+        let instance = Instance::canonical(hiding_lcp_graph::generators::cycle(5));
+        let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let inner = SoundnessCheck { decoder: &decoder };
+        let check = PanicOn { inner: &inner, panic_index };
+
+        let (seq, par) = quietly(|| {
+            (
+                sweep_with(&check, &universe, ExecMode::Sequential),
+                sweep_with(&check, &universe, ExecMode::Parallel(threads)),
+            )
+        });
+        for report in [&seq, &par] {
+            prop_assert_eq!(report.errors.len(), 1);
+            prop_assert_eq!(report.errors[0].item_index, panic_index);
+            prop_assert!(report.errors[0].payload.contains("rigged panic"));
+            // A sweep that lost an item cannot claim exhaustiveness.
+            prop_assert_eq!(report.coverage, Coverage::Sampled);
+        }
+        prop_assert_eq!(&seq.verdict, &par.verdict);
+        prop_assert_eq!(seq.checked, par.checked);
+        prop_assert_eq!(seq.short_circuited, par.short_circuited);
     }
 }
