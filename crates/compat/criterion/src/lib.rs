@@ -127,6 +127,67 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Measures several routines with round-robin interleaved samples:
+    /// sample `i` of every routine is taken before sample `i + 1` of any.
+    ///
+    /// [`bench_function`](Self::bench_function) measures each benchmark's
+    /// samples back to back, so on hosts whose effective speed drifts
+    /// under sustained load (frequency scaling, virtualized steal time)
+    /// the drift is charged to whichever benchmark happens to run later.
+    /// Interleaving spreads it evenly, keeping medians comparable *within*
+    /// the set — use this when the point of the group is a ratio between
+    /// its members. (Shim extension; the real criterion has no equivalent,
+    /// so gate usage on the shim.)
+    pub fn bench_interleaved<'a>(
+        &mut self,
+        mut routines: Vec<(String, Box<dyn FnMut() + 'a>)>,
+    ) -> &mut Self {
+        if routines.is_empty() {
+            return self;
+        }
+        // Calibrate each routine separately, as `Bencher::iter` does.
+        let iters: Vec<u64> = routines
+            .iter_mut()
+            .map(|(_, f)| {
+                let mut iters = 1u64;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        f();
+                    }
+                    if start.elapsed() >= Duration::from_millis(1) || iters >= 1 << 20 {
+                        break;
+                    }
+                    iters *= 2;
+                }
+                iters
+            })
+            .collect();
+        let mut measured: Vec<Vec<Duration>> = vec![Vec::new(); routines.len()];
+        for _ in 0..self.sample_size {
+            for (j, (_, f)) in routines.iter_mut().enumerate() {
+                let start = Instant::now();
+                for _ in 0..iters[j] {
+                    f();
+                }
+                measured[j].push(start.elapsed() / iters[j] as u32);
+            }
+        }
+        for ((id, _), mut samples) in routines.into_iter().zip(measured) {
+            samples.sort_unstable();
+            let median = samples[samples.len() / 2];
+            let full = format!("{}/{}", self.name, id);
+            println!(
+                "bench {full:<48} median {median:>12?} ({} samples)",
+                samples.len()
+            );
+            self.criterion
+                .results
+                .push(BenchResult { name: full, median });
+        }
+        self
+    }
+
     /// Ends the group (no-op beyond API parity).
     pub fn finish(&mut self) {}
 }
@@ -208,6 +269,24 @@ mod tests {
         g.finish();
         assert_eq!(c.results.len(), 1);
         assert_eq!(c.results[0].name, "shim/noop");
+    }
+
+    #[test]
+    fn bench_interleaved_records_all_routines_in_order() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).bench_interleaved(vec![
+            ("a".into(), Box::new(|| drop(std::hint::black_box(1 + 1)))),
+            ("b".into(), Box::new(|| drop(std::hint::black_box(2 + 2)))),
+        ]);
+        g.finish();
+        assert_eq!(
+            c.results
+                .iter()
+                .map(|r| r.name.as_str())
+                .collect::<Vec<_>>(),
+            ["shim/a", "shim/b"]
+        );
     }
 
     #[test]

@@ -58,6 +58,14 @@ impl Certificate {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// Overwrites this certificate with `other`'s bytes, reusing the
+    /// existing allocation — the engine's odometer stepping relabels
+    /// nodes millions of times per sweep and must not allocate per step.
+    pub fn copy_from(&mut self, other: &Certificate) {
+        self.0.clear();
+        self.0.extend_from_slice(&other.0);
+    }
 }
 
 impl fmt::Debug for Certificate {
@@ -129,6 +137,21 @@ impl Labeling {
     /// Panics if `v` is out of range.
     pub fn set(&mut self, v: usize, cert: Certificate) {
         self.0[v] = cert;
+    }
+
+    /// Overwrites the certificate of node `v` in place, reusing its
+    /// allocation (see [`Certificate::copy_from`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn assign(&mut self, v: usize, cert: &Certificate) {
+        self.0[v].copy_from(cert);
+    }
+
+    /// Resizes to `n` nodes, filling new slots with empty certificates.
+    pub fn resize(&mut self, n: usize) {
+        self.0.resize_with(n, Certificate::empty);
     }
 
     /// The labels as a slice.

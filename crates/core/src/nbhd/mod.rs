@@ -15,11 +15,11 @@
 
 pub mod sources;
 
-use crate::decoder::{run, Decoder};
+use crate::decoder::{run, Decoder, Verdict};
 use crate::instance::LabeledInstance;
 use crate::verify::{
-    self, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
-    VerificationReport,
+    self, digit_key, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+    VerificationReport, ViewId, ViewInterner,
 };
 use crate::view::{IdMode, View};
 use hiding_lcp_graph::algo::{bipartite, coloring};
@@ -27,10 +27,13 @@ use hiding_lcp_graph::Graph;
 use std::collections::{BTreeSet, HashMap};
 
 /// Per-item evidence of the Lemma 3.1 sweep: every node's canonical view
-/// (in the neighborhood graph's id mode) plus its acceptance flag.
+/// (in the neighborhood graph's id mode) as an id into the sweep's
+/// [`ViewInterner`], plus its acceptance flag. Interned ids keep the
+/// per-item evidence at two machine words per node — the sweep no longer
+/// clones one [`View`] per node per labeling.
 #[derive(Debug, Clone)]
 pub struct NbhdScan {
-    views: Vec<View>,
+    view_ids: Vec<ViewId>,
     accepts: Vec<bool>,
 }
 
@@ -39,12 +42,22 @@ pub struct NbhdScan {
 /// step replays the exact two-pass insertion order of
 /// [`NbhdGraph::extend`], so the engine-built graph is identical —
 /// views, edges, witnesses and all — to the sequential construction.
+///
+/// Views are hash-consed through an owned [`ViewInterner`]: within one
+/// sweep every distinct view is stamped and stored once, and on the
+/// executor's delta path the digit-key front cache resolves repeat views
+/// without stamping at all. The interner is part of the check's state, so
+/// a budgeted/resumed chain must reuse the *same* check instance for its
+/// ids to stay meaningful (ids are opaque and run-specific; the reduce
+/// step derives all ordering from item order, never id order). A check
+/// instance is likewise tied to the universe it was built for.
 pub struct NbhdSweep<'a, D: ?Sized> {
     decoder: &'a D,
     id_mode: IdMode,
     /// Whether each universe block's graph passed the `is_yes` filter
     /// (evaluated once per block, not once per labeling).
     block_yes: Vec<bool>,
+    interner: ViewInterner,
 }
 
 impl<'a, D: Decoder + ?Sized> NbhdSweep<'a, D> {
@@ -63,7 +76,38 @@ impl<'a, D: Decoder + ?Sized> NbhdSweep<'a, D> {
             decoder,
             id_mode,
             block_yes,
+            interner: ViewInterner::new(),
         }
+    }
+
+    /// `(front-cache hits, misses)` of the sweep's view interner so far: a
+    /// hit resolved a node's view id from its digit key without stamping
+    /// the view.
+    pub fn interner_stats(&self) -> (usize, usize) {
+        self.interner.stats()
+    }
+
+    /// The id of node `v`'s view in the graph's id mode: digit-key front
+    /// cache first (when the executor provided odometer digits and memo
+    /// layers are on), full stamp-and-intern otherwise.
+    fn intern_node(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>, v: usize) -> ViewId {
+        let radius = self.decoder.radius();
+        if ctx.memo_enabled() {
+            if let (Some((class, order)), Some(digits)) =
+                (ctx.skeleton_key(v, radius, self.id_mode), item.digits)
+            {
+                if let Some(key) = digit_key(class, order, digits) {
+                    if let Some(id) = self.interner.lookup_key(key) {
+                        return id;
+                    }
+                    return self
+                        .interner
+                        .intern_keyed(key, ctx.view(item, v, radius, self.id_mode));
+                }
+            }
+        }
+        self.interner
+            .intern(ctx.view(item, v, radius, self.id_mode))
     }
 }
 
@@ -91,10 +135,33 @@ impl<D: Decoder + ?Sized> PropertyCheck for NbhdSweep<'_, D> {
                     .is_accept()
             })
             .collect();
-        let views = (0..n)
-            .map(|v| ctx.view(item, v, radius, self.id_mode))
-            .collect();
-        Some(NbhdScan { views, accepts })
+        let view_ids = (0..n).map(|v| self.intern_node(item, ctx, v)).collect();
+        Some(NbhdScan { view_ids, accepts })
+    }
+
+    fn verdict_decoder(&self) -> Option<&dyn Decoder> {
+        Some(&self.decoder)
+    }
+
+    fn uses_verdicts(&self, block: usize) -> bool {
+        // No-instance blocks are dropped before any verdict is read, so
+        // the executor shouldn't maintain verdicts there at all.
+        self.block_yes[block]
+    }
+
+    fn inspect_with_verdicts(
+        &self,
+        item: &UniverseItem<'_>,
+        verdicts: &[Verdict],
+        ctx: &ItemCtx<'_>,
+    ) -> Option<NbhdScan> {
+        if !self.block_yes[item.block] {
+            return None;
+        }
+        let n = item.instance.graph().node_count();
+        let accepts = verdicts.iter().map(|v| v.is_accept()).collect();
+        let view_ids = (0..n).map(|v| self.intern_node(item, ctx, v)).collect();
+        Some(NbhdScan { view_ids, accepts })
     }
 
     fn reduce(
@@ -103,6 +170,11 @@ impl<D: Decoder + ?Sized> PropertyCheck for NbhdSweep<'_, D> {
         partials: Vec<(usize, NbhdScan)>,
         _outcome: &SweepOutcome,
     ) -> NbhdGraph {
+        // Resolve ids once; `at[id]` = the view's NbhdGraph index, filled
+        // in deterministic insertion order below (ids themselves are
+        // run-specific and never ordered on).
+        let table = self.interner.snapshot();
+        let mut at: Vec<Option<usize>> = vec![None; table.len()];
         let mut nbhd = NbhdGraph::empty(self.decoder.radius(), self.id_mode);
         // Pass 1, replaying `extend`: retained instances in item order,
         // nodes in order, accepting views dedup-inserted.
@@ -110,11 +182,13 @@ impl<D: Decoder + ?Sized> PropertyCheck for NbhdSweep<'_, D> {
         for (item_idx, scan) in partials {
             let inst_idx = nbhd.instances.len();
             nbhd.instances.push(universe.labeled_instance(item_idx));
-            for (v, view) in scan.views.iter().enumerate() {
-                if !scan.accepts[v] || nbhd.index.contains_key(view) {
+            for (v, &id) in scan.view_ids.iter().enumerate() {
+                if !scan.accepts[v] || at[id as usize].is_some() {
                     continue;
                 }
+                let view = &table[id as usize];
                 let idx = nbhd.views.len();
+                at[id as usize] = Some(idx);
                 nbhd.index.insert(view.clone(), idx);
                 nbhd.views.push(view.clone());
                 nbhd.adj.push(BTreeSet::new());
@@ -127,8 +201,8 @@ impl<D: Decoder + ?Sized> PropertyCheck for NbhdSweep<'_, D> {
         // (`or_insert`) policy as `extend`.
         for (inst_idx, scan) in scans.iter().enumerate() {
             for (u, v) in nbhd.instances[inst_idx].graph().edges() {
-                let a = nbhd.index.get(&scan.views[u]).copied();
-                let b = nbhd.index.get(&scan.views[v]).copied();
+                let a = at[scan.view_ids[u] as usize];
+                let b = at[scan.view_ids[v] as usize];
                 if let (Some(a), Some(b)) = (a, b) {
                     if a == b {
                         nbhd.self_loops.entry(a).or_insert((inst_idx, (u, v)));

@@ -10,7 +10,7 @@
 //!   full Lemma 3.1 sweep for the size bound in question: **not hiding
 //!   (at this n)**, and [`crate::extract`] actually builds the extractor.
 
-use crate::decoder::Decoder;
+use crate::decoder::{Decoder, Verdict};
 use crate::nbhd::{NbhdGraph, NbhdScan, NbhdSweep};
 use crate::verify::{
     self, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
@@ -132,6 +132,23 @@ impl<D: Decoder + ?Sized> PropertyCheck for HidingCheck<'_, D> {
 
     fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<NbhdScan> {
         self.sweep.inspect(item, ctx)
+    }
+
+    fn verdict_decoder(&self) -> Option<&dyn Decoder> {
+        self.sweep.verdict_decoder()
+    }
+
+    fn uses_verdicts(&self, block: usize) -> bool {
+        self.sweep.uses_verdicts(block)
+    }
+
+    fn inspect_with_verdicts(
+        &self,
+        item: &UniverseItem<'_>,
+        verdicts: &[Verdict],
+        ctx: &ItemCtx<'_>,
+    ) -> Option<NbhdScan> {
+        self.sweep.inspect_with_verdicts(item, verdicts, ctx)
     }
 
     fn reduce(

@@ -18,7 +18,7 @@
 //! scores 1.0 (the coloring is hidden *everywhere*, matching the paper's
 //! emphasis) while the degree-one LCP hides only near the `⊥`/`⊤` pocket.
 
-use crate::decoder::Decoder;
+use crate::decoder::{Decoder, Verdict};
 use crate::instance::LabeledInstance;
 use crate::nbhd::{NbhdGraph, NbhdScan, NbhdSweep};
 use crate::verify::{
@@ -133,6 +133,23 @@ impl<D: Decoder + ?Sized> PropertyCheck for QuantifiedCheck<'_, D> {
 
     fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<NbhdScan> {
         self.sweep.inspect(item, ctx)
+    }
+
+    fn verdict_decoder(&self) -> Option<&dyn Decoder> {
+        self.sweep.verdict_decoder()
+    }
+
+    fn uses_verdicts(&self, block: usize) -> bool {
+        self.sweep.uses_verdicts(block)
+    }
+
+    fn inspect_with_verdicts(
+        &self,
+        item: &UniverseItem<'_>,
+        verdicts: &[Verdict],
+        ctx: &ItemCtx<'_>,
+    ) -> Option<NbhdScan> {
+        self.sweep.inspect_with_verdicts(item, verdicts, ctx)
     }
 
     fn reduce(

@@ -6,7 +6,7 @@
 //! a unanimously accepted labeling), and the `check_soundness_*` functions
 //! below are thin constructors of the matching [`Universe`].
 
-use crate::decoder::Decoder;
+use crate::decoder::{Decoder, Verdict};
 use crate::instance::Instance;
 use crate::label::{Certificate, Labeling};
 use crate::prover::{all_labelings, random_labeling};
@@ -42,6 +42,24 @@ impl<D: Decoder + ?Sized> PropertyCheck for SoundnessCheck<'_, D> {
 
     fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<SoundnessViolation> {
         ctx.accepts_all(item, self.decoder)
+            .then(|| SoundnessViolation {
+                labeling: item.labeling.clone(),
+            })
+    }
+
+    fn verdict_decoder(&self) -> Option<&dyn Decoder> {
+        Some(&self.decoder)
+    }
+
+    fn inspect_with_verdicts(
+        &self,
+        item: &UniverseItem<'_>,
+        verdicts: &[Verdict],
+        _ctx: &ItemCtx<'_>,
+    ) -> Option<SoundnessViolation> {
+        verdicts
+            .iter()
+            .all(|v| v.is_accept())
             .then(|| SoundnessViolation {
                 labeling: item.labeling.clone(),
             })

@@ -5,7 +5,7 @@
 //! The quantification over labelings runs on the [`crate::verify`] engine
 //! via [`StrongCheck`]; `check_strong_*` construct the matching universes.
 
-use crate::decoder::Decoder;
+use crate::decoder::{Decoder, Verdict};
 use crate::instance::Instance;
 use crate::label::{Certificate, Labeling};
 use crate::language::KCol;
@@ -49,6 +49,28 @@ impl<D: Decoder + ?Sized> PropertyCheck for StrongCheck<'_, D> {
         let accepting: Vec<usize> = ctx
             .run(item, self.decoder)
             .into_iter()
+            .enumerate()
+            .filter_map(|(v, verdict)| verdict.is_accept().then_some(v))
+            .collect();
+        let (induced, _) = item.instance.graph().induced(&accepting);
+        (!self.language.is_yes_graph(&induced)).then(|| StrongViolation {
+            labeling: item.labeling.clone(),
+            accepting,
+        })
+    }
+
+    fn verdict_decoder(&self) -> Option<&dyn Decoder> {
+        Some(&self.decoder)
+    }
+
+    fn inspect_with_verdicts(
+        &self,
+        item: &UniverseItem<'_>,
+        verdicts: &[Verdict],
+        _ctx: &ItemCtx<'_>,
+    ) -> Option<StrongViolation> {
+        let accepting: Vec<usize> = verdicts
+            .iter()
             .enumerate()
             .filter_map(|(v, verdict)| verdict.is_accept().then_some(v))
             .collect();

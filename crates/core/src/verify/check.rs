@@ -18,6 +18,7 @@
 use super::budget::SweepError;
 use super::universe::{Coverage, Universe, UniverseItem};
 use super::ItemCtx;
+use crate::decoder::{Decoder, Verdict};
 use crate::view::IdMode;
 use std::time::Duration;
 
@@ -39,6 +40,50 @@ pub trait PropertyCheck: Sync {
 
     /// Examines one item; `None` means "nothing to record".
     fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<Self::Partial>;
+
+    /// The decoder whose per-node verdicts this check's [`inspect`]
+    /// ultimately reads, if it has one. Returning `Some` opts the check
+    /// into the executor's delta-evaluation fast path: on `All`-labeled
+    /// blocks the executor maintains a per-thread verdict vector for this
+    /// decoder — re-deciding only the nodes whose radius-r ball contains a
+    /// changed odometer digit — and calls
+    /// [`inspect_with_verdicts`] instead of [`inspect`].
+    ///
+    /// Contract: the decoder must be *pure* (same view → same verdict),
+    /// which the LCP model already requires, and
+    /// [`inspect_with_verdicts`] must agree with [`inspect`] on every
+    /// item. Parity between the two paths is enforced by the
+    /// `engine_parity` suite.
+    ///
+    /// [`inspect`]: PropertyCheck::inspect
+    /// [`inspect_with_verdicts`]: PropertyCheck::inspect_with_verdicts
+    fn verdict_decoder(&self) -> Option<&dyn Decoder> {
+        None
+    }
+
+    /// Whether the delta path should maintain verdicts on `block` at all.
+    /// Checks that ignore some blocks entirely (e.g. the neighborhood-graph
+    /// scan skips no-instances) override this so those blocks cost nothing.
+    fn uses_verdicts(&self, _block: usize) -> bool {
+        true
+    }
+
+    /// [`inspect`] with the [`verdict_decoder`]'s per-node verdicts already
+    /// computed (index = node). Only called when [`verdict_decoder`]
+    /// returned `Some` and [`uses_verdicts`] holds for the item's block;
+    /// the default delegates to [`inspect`], recomputing verdicts.
+    ///
+    /// [`inspect`]: PropertyCheck::inspect
+    /// [`verdict_decoder`]: PropertyCheck::verdict_decoder
+    /// [`uses_verdicts`]: PropertyCheck::uses_verdicts
+    fn inspect_with_verdicts(
+        &self,
+        item: &UniverseItem<'_>,
+        _verdicts: &[Verdict],
+        ctx: &ItemCtx<'_>,
+    ) -> Option<Self::Partial> {
+        self.inspect(item, ctx)
+    }
 
     /// Whether `partial` decides the sweep immediately.
     fn short_circuits(&self, _partial: &Self::Partial) -> bool {
@@ -94,6 +139,12 @@ pub struct VerificationReport<V> {
     pub cache_hits: usize,
     /// Skeletons computed (cache population) plus uncached extractions.
     pub cache_misses: usize,
+    /// Node verdicts served from the per-thread digit-key memo (delta
+    /// path only; 0 for checks without a [`PropertyCheck::verdict_decoder`]).
+    pub memo_hits: usize,
+    /// Node verdicts computed by actually running the decoder on the delta
+    /// path (memo misses plus un-memoizable nodes).
+    pub memo_misses: usize,
     /// Wall-clock time of the sweep (cache build included).
     pub elapsed: Duration,
     /// Worker threads used (1 = sequential).
@@ -113,6 +164,8 @@ impl<V> VerificationReport<V> {
             errors: self.errors,
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
+            memo_hits: self.memo_hits,
+            memo_misses: self.memo_misses,
             elapsed: self.elapsed,
             threads: self.threads,
         }

@@ -18,6 +18,33 @@
 //! surviving set equals exactly what the sequential loop records, and
 //! `checked` is defined as `min_short_circuit_index + 1` either way.
 //!
+//! # Hot path: odometer stepping and delta evaluation
+//!
+//! Within a claimed chunk, items of an `All`-labeled block are *not*
+//! decoded independently: each worker keeps a scratch [`Labeling`] plus
+//! its mixed-radix digit vector and steps it like an odometer — one full
+//! decode at the chunk's first item ([`Universe::decode_into`], the
+//! oracle), then one digit change per subsequent item, reusing every
+//! certificate allocation. Nothing is allocated per item.
+//!
+//! When the check opts in via [`PropertyCheck::verdict_decoder`], node
+//! verdicts are *delta-evaluated* on top: the executor precomputes, per
+//! block, the radius-r ball around each node (by inverting the skeleton
+//! cache's canonical node orders — `u ∈ ball(v)` iff `v` appears in `u`'s
+//! skeleton), and when digit `v` steps it re-runs the decoder only for
+//! nodes in `ball(v)`, patching a per-thread verdict vector. This is sound
+//! because a node's verdict is a function of its radius-r view alone (the
+//! LCP model), and the view of `u` reads exactly the certificates of the
+//! nodes in `u`'s skeleton. A per-thread memo keyed on the packed
+//! `(skeleton class, ball digits)` identity ([`digit_key`]) short-cuts
+//! repeated local configurations without even stamping the view.
+//!
+//! The index-decoded path survives as [`SweepStrategy::DecodeOracle`]; the
+//! `engine_parity` suite proves the two strategies observationally
+//! identical. All of this is invisible to reports and resume tokens —
+//! determinism is unchanged because the stepped labeling at index `i`
+//! equals the decoded labeling at index `i` exactly.
+//!
 //! # Resilience
 //!
 //! Three failure modes degrade explicitly instead of aborting (see
@@ -25,7 +52,9 @@
 //!
 //! * every item inspection runs under `catch_unwind`, so a panicking
 //!   decoder becomes a [`SweepError`] naming the item, not a poisoned
-//!   sweep — worker threads never die of a check panic;
+//!   sweep — worker threads never die of a check panic (a panic also
+//!   invalidates the thread's verdict scratch, so the next item recomputes
+//!   from the odometer state, which engine code alone maintains);
 //! * [`sweep_budgeted`] accepts a [`SweepBudget`]; an expired budget ends
 //!   the call with `interrupted` set, the report's coverage downgraded to
 //!   [`Coverage::Sampled`], and a [`ResumeToken`];
@@ -42,15 +71,19 @@
 //! sweep, [`ItemCtx::view`] stamps the item's labeling onto the cached
 //! skeleton instead of re-canonicalizing — the cache is read-only and
 //! lock-free while workers run. For an all-labelings block this turns
-//! `|alphabet|^n` BFS canonicalizations per node into one.
+//! `|alphabet|^n` BFS canonicalizations per node into one. Skeletons with
+//! equal protos additionally share a *class id* (assigned in build order,
+//! hence deterministic), the anchor of every digit-key memo.
 
 use super::budget::{ResumeToken, SweepBudget, SweepError};
 use super::check::{PropertyCheck, SweepOutcome, VerificationReport};
+use super::interner::digit_key;
 use super::universe::{Block, Coverage, LabelSource, Universe, UniverseItem};
 use crate::decoder::{Decoder, Verdict};
 use crate::instance::{Instance, LabeledInstance};
 use crate::label::Labeling;
 use crate::view::{IdMode, View, ViewSkeleton};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -66,11 +99,61 @@ pub enum ExecMode {
     Sequential,
     /// Exactly this many worker threads (values ≤ 1 run sequentially;
     /// without the `parallel` feature this falls back to sequential).
+    /// Below [the small-universe threshold](PARALLEL_THRESHOLD) this also
+    /// runs sequentially: thread startup dominates such sweeps, and the
+    /// determinism contract makes the fallback observationally invisible.
     Parallel(usize),
 }
 
-/// Below this universe size, `Auto` stays sequential.
-const PARALLEL_THRESHOLD: usize = 64;
+/// Below this many items, every mode runs sequentially. Thread startup
+/// costs more than the sweep itself at this size (`BENCH_engine.json`
+/// records the crossover), and since parallel and sequential execution are
+/// observationally identical, only wall-clock changes.
+pub const PARALLEL_THRESHOLD: usize = 64;
+
+/// How the executor enumerates items within a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepStrategy {
+    /// Odometer stepping with delta-evaluated verdicts — the production
+    /// hot path (see the module docs).
+    #[default]
+    DeltaStepping,
+    /// Independent div/mod index decoding with full per-item inspection —
+    /// the reference oracle the parity suite compares against.
+    DecodeOracle,
+}
+
+/// Engine tuning knobs. `Default` is the production configuration:
+/// delta-stepping enumeration with digit-key memoization enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOpts {
+    /// Enumeration strategy.
+    pub strategy: SweepStrategy,
+    /// Whether digit-key memo layers (the executor's verdict memo and any
+    /// check-side interner front cache, via [`ItemCtx::memo_enabled`]) are
+    /// active. Disabling it must not change any verdict — only counters
+    /// and wall-clock — which the parity suite asserts.
+    pub memo: bool,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            strategy: SweepStrategy::DeltaStepping,
+            memo: true,
+        }
+    }
+}
+
+impl SweepOpts {
+    /// The index-decoded, unmemoized reference configuration.
+    pub fn oracle() -> Self {
+        SweepOpts {
+            strategy: SweepStrategy::DecodeOracle,
+            memo: false,
+        }
+    }
+}
 
 /// Per-block, per-configuration view skeletons, shared by all labelings.
 struct SkeletonCache {
@@ -79,6 +162,11 @@ struct SkeletonCache {
     /// `per_block[b][c][v]` = skeleton of node `v` in block `b` under
     /// configuration `c`.
     per_block: Vec<Vec<Vec<ViewSkeleton>>>,
+    /// `class_of[b][c][v]` = dense id of the skeleton's proto: equal
+    /// protos (across nodes *and* blocks) share a class, so a `(class,
+    /// ball digits)` pair identifies a stamped view exactly. Assigned in
+    /// build order — deterministic for a given universe and config list.
+    class_of: Vec<Vec<Vec<u32>>>,
     /// Skeletons computed while populating the cache.
     populated: usize,
 }
@@ -89,25 +177,42 @@ impl SkeletonCache {
         configs.sort_unstable_by_key(|&(r, m)| (r, m as u8));
         configs.dedup();
         let mut populated = 0;
-        let per_block = universe
+        let mut classes: HashMap<View, u32> = HashMap::new();
+        let mut class_of: Vec<Vec<Vec<u32>>> = Vec::with_capacity(universe.blocks().len());
+        let per_block: Vec<Vec<Vec<ViewSkeleton>>> = universe
             .blocks()
             .iter()
             .map(|block| {
-                configs
+                let mut block_classes = Vec::with_capacity(configs.len());
+                let per_config: Vec<Vec<ViewSkeleton>> = configs
                     .iter()
                     .map(|&(radius, id_mode)| {
                         let n = block.instance().graph().node_count();
                         populated += n;
-                        (0..n)
+                        let skeletons: Vec<ViewSkeleton> = (0..n)
                             .map(|v| ViewSkeleton::compute(block.instance(), v, radius, id_mode))
-                            .collect()
+                            .collect();
+                        block_classes.push(
+                            skeletons
+                                .iter()
+                                .map(|s| {
+                                    let next =
+                                        u32::try_from(classes.len()).expect("class count fits u32");
+                                    *classes.entry(s.proto().clone()).or_insert(next)
+                                })
+                                .collect::<Vec<u32>>(),
+                        );
+                        skeletons
                     })
-                    .collect()
+                    .collect();
+                class_of.push(block_classes);
+                per_config
             })
             .collect();
         SkeletonCache {
             configs,
             per_block,
+            class_of,
             populated,
         }
     }
@@ -124,6 +229,7 @@ pub struct ItemCtx<'a> {
     cache: &'a SkeletonCache,
     hits: &'a AtomicUsize,
     misses: &'a AtomicUsize,
+    memo: bool,
 }
 
 impl ItemCtx<'_> {
@@ -131,7 +237,7 @@ impl ItemCtx<'_> {
     /// the block's cached skeleton when `(radius, id_mode)` was requested
     /// via [`PropertyCheck::view_configs`]).
     pub fn view(&self, item: &UniverseItem<'_>, v: usize, radius: usize, id_mode: IdMode) -> View {
-        self.view_with(item, &item.labeling, v, radius, id_mode)
+        self.view_with(item, item.labeling, v, radius, id_mode)
     }
 
     /// Like [`ItemCtx::view`] but stamping an arbitrary labeling of the
@@ -152,9 +258,37 @@ impl ItemCtx<'_> {
         View::extract(item.instance, labeling, v, radius, id_mode)
     }
 
+    /// Whether digit-key memo layers are enabled for this sweep (see
+    /// [`SweepOpts::memo`]). Checks with their own caches (e.g. the
+    /// neighborhood scan's view interner front cache) honor this so
+    /// "memo off" really exercises the unmemoized path.
+    pub fn memo_enabled(&self) -> bool {
+        self.memo
+    }
+
+    /// The cached skeleton identity of node `v` under `(radius,
+    /// id_mode)`: the skeleton's class id plus its canonical node order
+    /// (which original nodes the view reads, in stamping order). `None`
+    /// when the configuration was not requested via
+    /// [`PropertyCheck::view_configs`]. Feed into
+    /// [`digit_key`](super::interner::digit_key) with the item's digits to
+    /// get a compact identity of the stamped view.
+    pub fn skeleton_key(
+        &self,
+        v: usize,
+        radius: usize,
+        id_mode: IdMode,
+    ) -> Option<(u32, &[usize])> {
+        let c = self.cache.config_index(radius, id_mode)?;
+        Some((
+            self.cache.class_of[self.block][c][v],
+            self.cache.per_block[self.block][c][v].original_nodes(),
+        ))
+    }
+
     /// Runs `decoder` on every node of the item, in node order.
     pub fn run<D: Decoder + ?Sized>(&self, item: &UniverseItem<'_>, decoder: &D) -> Vec<Verdict> {
-        self.run_with(item, &item.labeling, decoder)
+        self.run_with(item, item.labeling, decoder)
     }
 
     /// Runs `decoder` on every node under an arbitrary labeling.
@@ -205,12 +339,26 @@ pub fn sweep_with<C: PropertyCheck>(
     universe: &Universe,
     mode: ExecMode,
 ) -> VerificationReport<C::Verdict> {
+    sweep_with_opts(check, universe, mode, SweepOpts::default())
+}
+
+/// [`sweep_with`] under explicit engine options — for parity testing and
+/// benchmarking the enumeration strategies against each other. Every
+/// option combination produces the same report fields except the cache and
+/// memo counters.
+pub fn sweep_with_opts<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    mode: ExecMode,
+    opts: SweepOpts,
+) -> VerificationReport<C::Verdict> {
     run_resumable(
         check,
         universe,
         mode,
         &SweepBudget::unlimited(),
         ResumeToken::start(),
+        opts,
         |_, _, _| None,
     )
     .report
@@ -229,12 +377,27 @@ pub fn sweep_budgeted<C: PropertyCheck>(
 where
     C::Partial: Clone,
 {
+    sweep_budgeted_with_opts(check, universe, mode, budget, SweepOpts::default())
+}
+
+/// [`sweep_budgeted`] under explicit engine options.
+pub fn sweep_budgeted_with_opts<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    opts: SweepOpts,
+) -> BudgetedSweep<C::Verdict, C::Partial>
+where
+    C::Partial: Clone,
+{
     run_resumable(
         check,
         universe,
         mode,
         budget,
         ResumeToken::start(),
+        opts,
         tokenize,
     )
 }
@@ -253,7 +416,22 @@ pub fn resume_sweep<C: PropertyCheck>(
 where
     C::Partial: Clone,
 {
-    run_resumable(check, universe, mode, budget, token, tokenize)
+    resume_sweep_with_opts(check, universe, mode, budget, token, SweepOpts::default())
+}
+
+/// [`resume_sweep`] under explicit engine options.
+pub fn resume_sweep_with_opts<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    token: ResumeToken<C::Partial>,
+    opts: SweepOpts,
+) -> BudgetedSweep<C::Verdict, C::Partial>
+where
+    C::Partial: Clone,
+{
+    run_resumable(check, universe, mode, budget, token, opts, tokenize)
 }
 
 /// The cloning tokenizer the budgeted entry points pass to
@@ -281,13 +459,43 @@ fn run_resumable<C: PropertyCheck>(
     mode: ExecMode,
     budget: &SweepBudget,
     token: ResumeToken<C::Partial>,
+    opts: SweepOpts,
     make_token: impl Fn(&[(usize, C::Partial)], &[SweepError], usize) -> Option<ResumeToken<C::Partial>>,
 ) -> BudgetedSweep<C::Verdict, C::Partial> {
     let start = Instant::now();
     let deadline = budget.deadline.map(|d| start + d);
-    let cache = SkeletonCache::build(universe, check.view_configs());
+    let oracle = opts.strategy == SweepStrategy::DecodeOracle;
+    let decoder = if oracle {
+        None
+    } else {
+        check.verdict_decoder()
+    };
+    let mut configs = check.view_configs();
+    if let Some(d) = decoder {
+        // The delta path stamps the decoder's views off the cache; make
+        // sure its configuration is cached even if the check forgot to
+        // list it.
+        configs.push((d.radius(), d.id_mode()));
+    }
+    let cache = SkeletonCache::build(universe, configs);
     let hits = AtomicUsize::new(0);
     let misses = AtomicUsize::new(cache.populated);
+    let memo_hits = AtomicUsize::new(0);
+    let memo_misses = AtomicUsize::new(0);
+    let driver =
+        decoder.map(|d| DeltaDriver::build(d, universe, &cache, |b| check.uses_verdicts(b)));
+    let engine = Engine {
+        check,
+        universe,
+        cache: &cache,
+        driver,
+        hits: &hits,
+        misses: &misses,
+        memo_hits: &memo_hits,
+        memo_misses: &memo_misses,
+        memo_on: opts.memo,
+        oracle,
+    };
     let n = universe.len();
     let begin = token.next_index.min(n);
     // `max_items` is enforced by clamping the sweep's end index, which
@@ -299,13 +507,9 @@ fn run_resumable<C: PropertyCheck>(
     let threads = resolve_threads(mode, end.saturating_sub(begin));
 
     let outcome = if threads > 1 {
-        run_parallel(
-            check, universe, &cache, &hits, &misses, threads, begin, end, deadline,
-        )
+        run_parallel(&engine, threads, begin, end, deadline)
     } else {
-        run_sequential(
-            check, universe, &cache, &hits, &misses, begin, end, deadline,
-        )
+        run_sequential(&engine, begin, end, deadline)
     };
 
     let mut partials = token.partials;
@@ -359,6 +563,8 @@ fn run_resumable<C: PropertyCheck>(
             errors,
             cache_hits: hits.load(Ordering::Relaxed),
             cache_misses: misses.load(Ordering::Relaxed),
+            memo_hits: memo_hits.load(Ordering::Relaxed),
+            memo_misses: memo_misses.load(Ordering::Relaxed),
             elapsed: start.elapsed(),
             threads,
         },
@@ -439,7 +645,8 @@ pub fn sweep_lazy_budgeted<C: PropertyCheck>(
             index: checked,
             block: 0,
             instance: shared,
-            labeling,
+            labeling: &labeling,
+            digits: None,
         };
         checked += 1;
         let ctx = ItemCtx {
@@ -447,6 +654,7 @@ pub fn sweep_lazy_budgeted<C: PropertyCheck>(
             cache: &cache,
             hits: &hits,
             misses: &misses,
+            memo: true,
         };
         match catch_unwind(AssertUnwindSafe(|| check.inspect(&item, &ctx))) {
             Ok(Some(partial)) => {
@@ -514,7 +722,8 @@ pub fn sweep_lazy_labeled<C: PropertyCheck>(
             index: checked,
             block: 0,
             instance: mini.blocks()[0].instance(),
-            labeling,
+            labeling: &labeling,
+            digits: None,
         };
         checked += 1;
         let ctx = ItemCtx {
@@ -522,6 +731,7 @@ pub fn sweep_lazy_labeled<C: PropertyCheck>(
             cache: &cache,
             hits: &hits,
             misses: &misses,
+            memo: true,
         };
         match catch_unwind(AssertUnwindSafe(|| check.inspect(&item, &ctx))) {
             Ok(Some(partial)) => {
@@ -584,29 +794,23 @@ fn finish_lazy<C: PropertyCheck>(
         errors,
         cache_hits: hits.load(Ordering::Relaxed),
         cache_misses: misses.load(Ordering::Relaxed),
+        memo_hits: 0,
+        memo_misses: 0,
         elapsed: start.elapsed(),
         threads: 1,
     }
 }
 
 fn resolve_threads(mode: ExecMode, items: usize) -> usize {
+    if !cfg!(feature = "parallel") || items < PARALLEL_THRESHOLD {
+        return 1;
+    }
     match mode {
         ExecMode::Sequential => 1,
-        ExecMode::Parallel(t) => {
-            if cfg!(feature = "parallel") {
-                t.max(1)
-            } else {
-                1
-            }
-        }
-        ExecMode::Auto => {
-            if !cfg!(feature = "parallel") || items < PARALLEL_THRESHOLD {
-                return 1;
-            }
-            std::thread::available_parallelism()
-                .map(|p| p.get().min(items))
-                .unwrap_or(1)
-        }
+        ExecMode::Parallel(t) => t.max(1),
+        ExecMode::Auto => std::thread::available_parallelism()
+            .map(|p| p.get().min(items))
+            .unwrap_or(1),
     }
 }
 
@@ -621,96 +825,390 @@ struct PassOutcome<P> {
     next: usize,
 }
 
-/// Inspects one item under panic isolation.
-///
-/// `AssertUnwindSafe` is justified because `inspect` is required to be a
-/// pure function of the item: a panic can leave no check state behind to
-/// observe in a broken condition.
-fn inspect_item<C: PropertyCheck>(
-    check: &C,
-    universe: &Universe,
-    cache: &SkeletonCache,
-    hits: &AtomicUsize,
-    misses: &AtomicUsize,
-    i: usize,
-) -> Result<Option<C::Partial>, SweepError> {
-    catch_unwind(AssertUnwindSafe(|| {
-        let item = universe.item(i);
-        let ctx = ItemCtx {
-            block: item.block,
-            cache,
-            hits,
-            misses,
-        };
-        check.inspect(&item, &ctx)
-    }))
-    .map_err(|payload| SweepError::from_panic(i, payload))
+/// Immutable per-sweep state shared by every worker thread.
+struct Engine<'e, C: PropertyCheck> {
+    check: &'e C,
+    universe: &'e Universe,
+    cache: &'e SkeletonCache,
+    driver: Option<DeltaDriver<'e>>,
+    hits: &'e AtomicUsize,
+    misses: &'e AtomicUsize,
+    memo_hits: &'e AtomicUsize,
+    memo_misses: &'e AtomicUsize,
+    memo_on: bool,
+    oracle: bool,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_sequential<C: PropertyCheck>(
-    check: &C,
-    universe: &Universe,
+/// The delta-evaluation plan for a check with a
+/// [`PropertyCheck::verdict_decoder`].
+struct DeltaDriver<'a> {
+    decoder: &'a dyn Decoder,
+    /// Index of the decoder's `(radius, id_mode)` in the skeleton cache.
+    config: usize,
+    /// `balls[b][v]` = nodes of block `b` whose decoder-config view reads
+    /// node `v`'s certificate (computed by inverting skeleton node
+    /// orders). Empty for blocks outside the verdict fast path.
+    balls: Vec<Vec<Vec<usize>>>,
+    /// Whether block `b` gets the verdict fast path: an `All`-labeled
+    /// block the check actually reads verdicts on.
+    verdict_blocks: Vec<bool>,
+}
+
+impl<'a> DeltaDriver<'a> {
+    fn build(
+        decoder: &'a dyn Decoder,
+        universe: &Universe,
+        cache: &SkeletonCache,
+        uses_verdicts: impl Fn(usize) -> bool,
+    ) -> DeltaDriver<'a> {
+        let config = cache
+            .config_index(decoder.radius(), decoder.id_mode())
+            .expect("decoder config was appended to the cache");
+        let verdict_blocks: Vec<bool> = universe
+            .blocks()
+            .iter()
+            .enumerate()
+            .map(|(b, block)| matches!(block.labels(), LabelSource::All { .. }) && uses_verdicts(b))
+            .collect();
+        let balls = universe
+            .blocks()
+            .iter()
+            .enumerate()
+            .map(|(b, block)| {
+                if !verdict_blocks[b] {
+                    return Vec::new();
+                }
+                let n = block.instance().graph().node_count();
+                let mut balls = vec![Vec::new(); n];
+                for u in 0..n {
+                    for &orig in cache.per_block[b][config][u].original_nodes() {
+                        balls[orig].push(u);
+                    }
+                }
+                balls
+            })
+            .collect();
+        DeltaDriver {
+            decoder,
+            config,
+            balls,
+            verdict_blocks,
+        }
+    }
+}
+
+/// Per-thread enumeration scratch: the odometer state plus the verdict
+/// vector it delta-maintains. Everything here is reused across items —
+/// the hot loop performs no per-item allocation.
+#[derive(Default)]
+struct Walker {
+    /// `(block, offset)` the scratch currently describes, if any.
+    pos: Option<(usize, usize)>,
+    /// Mixed-radix digits (node 0 least significant); empty for
+    /// `Fixed`/`Unlabeled` blocks.
+    digits: Vec<usize>,
+    /// The decoded labeling (certificate allocations reused in place).
+    labeling: Labeling,
+    /// Digits changed by the last odometer step (a carry chain `0..=j`).
+    changed: Vec<usize>,
+    /// Per-node verdicts of the driver's decoder for the current item.
+    verdicts: Vec<Verdict>,
+    /// Whether `verdicts` matches the current `(block, offset)`.
+    verdicts_valid: bool,
+    /// Dedup scratch for multi-digit carry steps (all-false between uses).
+    touched: Vec<bool>,
+    /// Node list scratch for multi-digit carry steps.
+    pending: Vec<usize>,
+}
+
+impl Walker {
+    /// Moves the scratch to `(block, offset)`. Returns `true` when reached
+    /// by a single odometer step from the previous item (`changed` lists
+    /// the carry chain), `false` when a full resync decode was needed.
+    fn advance_to(&mut self, universe: &Universe, block: usize, offset: usize) -> bool {
+        if offset > 0 && self.pos == Some((block, offset - 1)) && !self.digits.is_empty() {
+            if let LabelSource::All { alphabet } = universe.blocks()[block].labels() {
+                let k = alphabet.len();
+                self.changed.clear();
+                for v in 0..self.digits.len() {
+                    self.changed.push(v);
+                    let d = self.digits[v] + 1;
+                    if d < k {
+                        self.digits[v] = d;
+                        self.labeling.assign(v, &alphabet[d]);
+                        self.pos = Some((block, offset));
+                        return true;
+                    }
+                    self.digits[v] = 0;
+                    self.labeling.assign(v, &alphabet[0]);
+                }
+                // Carry ran off the top — `offset` is not in this block's
+                // range. Unreachable for located indices; resync below
+                // restores a consistent state regardless.
+            }
+        }
+        universe.decode_into(block, offset, &mut self.labeling, &mut self.digits);
+        self.pos = Some((block, offset));
+        self.verdicts_valid = false;
+        false
+    }
+}
+
+/// Per-thread digit-key verdict memo (lock-free: each worker owns one).
+struct VerdictMemo {
+    map: HashMap<u128, Verdict>,
+    enabled: bool,
+    hits: usize,
+    misses: usize,
+}
+
+/// A worker thread's mutable state.
+struct WorkerState {
+    walker: Walker,
+    memo: VerdictMemo,
+}
+
+impl WorkerState {
+    fn new(memo_on: bool) -> WorkerState {
+        WorkerState {
+            walker: Walker::default(),
+            memo: VerdictMemo {
+                map: HashMap::new(),
+                enabled: memo_on,
+                hits: 0,
+                misses: 0,
+            },
+        }
+    }
+}
+
+/// One node's verdict: digit-key memo probe first (when enabled and the
+/// identity fits), decoder run on the stamped view otherwise.
+fn node_verdict(
+    driver: &DeltaDriver<'_>,
     cache: &SkeletonCache,
-    hits: &AtomicUsize,
-    misses: &AtomicUsize,
+    block: usize,
+    u: usize,
+    labeling: &Labeling,
+    digits: &[usize],
+    memo: &mut VerdictMemo,
+) -> Verdict {
+    let skel = &cache.per_block[block][driver.config][u];
+    if memo.enabled {
+        let class = cache.class_of[block][driver.config][u];
+        if let Some(key) = digit_key(class, skel.original_nodes(), digits) {
+            if let Some(&verdict) = memo.map.get(&key) {
+                memo.hits += 1;
+                return verdict;
+            }
+            let verdict = driver.decoder.decide(&skel.stamp(labeling));
+            memo.map.insert(key, verdict);
+            memo.misses += 1;
+            return verdict;
+        }
+    }
+    memo.misses += 1;
+    driver.decoder.decide(&skel.stamp(labeling))
+}
+
+/// Brings `walker.verdicts` up to date for the current item: a full
+/// recompute after a resync, or a ball-restricted patch after an odometer
+/// step. Runs under the caller's `catch_unwind` (the decoder is check
+/// code).
+fn refresh_verdicts(
+    driver: &DeltaDriver<'_>,
+    cache: &SkeletonCache,
+    block: usize,
+    walker: &mut Walker,
+    memo: &mut VerdictMemo,
+    stepped: bool,
+) {
+    let n = cache.per_block[block][driver.config].len();
+    let Walker {
+        ref labeling,
+        ref digits,
+        ref changed,
+        ref mut verdicts,
+        ref mut verdicts_valid,
+        ref mut touched,
+        ref mut pending,
+        ..
+    } = *walker;
+    if !*verdicts_valid || !stepped {
+        verdicts.clear();
+        verdicts
+            .extend((0..n).map(|u| node_verdict(driver, cache, block, u, labeling, digits, memo)));
+    } else if changed.len() == 1 {
+        // The common case (probability (k-1)/k): one digit stepped, only
+        // its ball re-decides.
+        for &u in &driver.balls[block][changed[0]] {
+            verdicts[u] = node_verdict(driver, cache, block, u, labeling, digits, memo);
+        }
+    } else {
+        // Carry chain: re-decide the union of the changed digits' balls.
+        touched.resize(n, false);
+        pending.clear();
+        for &d in changed {
+            for &u in &driver.balls[block][d] {
+                if !touched[u] {
+                    touched[u] = true;
+                    pending.push(u);
+                }
+            }
+        }
+        for &u in pending.iter() {
+            touched[u] = false;
+            verdicts[u] = node_verdict(driver, cache, block, u, labeling, digits, memo);
+        }
+    }
+    *verdicts_valid = true;
+}
+
+impl<C: PropertyCheck> Engine<'_, C> {
+    /// Inspects item `i` via the delta-stepping walker (or the decode
+    /// oracle when so configured), under panic isolation.
+    ///
+    /// `AssertUnwindSafe` is justified because `inspect` is required to be
+    /// a pure function of the item, and the walker's odometer state is
+    /// only mutated by engine code *before* the guarded region — a panic
+    /// inside the decoder or the check invalidates the verdict scratch but
+    /// leaves the odometer consistent.
+    fn run_item(
+        &self,
+        state: &mut WorkerState,
+        i: usize,
+    ) -> Result<Option<C::Partial>, SweepError> {
+        if self.oracle {
+            return self.inspect_decoded(i);
+        }
+        let (block, offset) = self.universe.locate(i);
+        let stepped = state.walker.advance_to(self.universe, block, offset);
+        let instance = self.universe.blocks()[block].instance();
+        let ctx = ItemCtx {
+            block,
+            cache: self.cache,
+            hits: self.hits,
+            misses: self.misses,
+            memo: self.memo_on,
+        };
+        let use_verdicts = self
+            .driver
+            .as_ref()
+            .is_some_and(|d| d.verdict_blocks[block]);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let WorkerState { walker, memo } = state;
+            if use_verdicts {
+                let driver = self.driver.as_ref().expect("checked above");
+                refresh_verdicts(driver, self.cache, block, walker, memo, stepped);
+                let item = UniverseItem {
+                    index: i,
+                    block,
+                    instance,
+                    labeling: &walker.labeling,
+                    digits: Some(&walker.digits),
+                };
+                self.check
+                    .inspect_with_verdicts(&item, &walker.verdicts, &ctx)
+            } else {
+                walker.verdicts_valid = false;
+                let item = UniverseItem {
+                    index: i,
+                    block,
+                    instance,
+                    labeling: &walker.labeling,
+                    digits: (!walker.digits.is_empty()).then_some(walker.digits.as_slice()),
+                };
+                self.check.inspect(&item, &ctx)
+            }
+        }));
+        match result {
+            Ok(partial) => Ok(partial),
+            Err(payload) => {
+                state.walker.verdicts_valid = false;
+                Err(SweepError::from_panic(i, payload))
+            }
+        }
+    }
+
+    /// The decode-from-index oracle: materializes item `i` independently
+    /// and runs the plain `inspect`.
+    fn inspect_decoded(&self, i: usize) -> Result<Option<C::Partial>, SweepError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let buf = self.universe.item(i);
+            let ctx = ItemCtx {
+                block: buf.block,
+                cache: self.cache,
+                hits: self.hits,
+                misses: self.misses,
+                memo: self.memo_on,
+            };
+            self.check.inspect(&buf.as_item(), &ctx)
+        }))
+        .map_err(|payload| SweepError::from_panic(i, payload))
+    }
+
+    /// Folds a worker's local memo counters into the sweep totals.
+    fn flush_memo(&self, state: &WorkerState) {
+        self.memo_hits.fetch_add(state.memo.hits, Ordering::Relaxed);
+        self.memo_misses
+            .fetch_add(state.memo.misses, Ordering::Relaxed);
+    }
+}
+
+fn run_sequential<C: PropertyCheck>(
+    engine: &Engine<'_, C>,
     begin: usize,
     end: usize,
     deadline: Option<Instant>,
 ) -> PassOutcome<C::Partial> {
+    let mut state = WorkerState::new(engine.memo_on);
     let mut partials = Vec::new();
     let mut errors = Vec::new();
+    let mut stop_at = usize::MAX;
+    let mut next = end;
     for i in begin..end {
         if deadline.is_some_and(|d| Instant::now() >= d) {
-            return PassOutcome {
-                partials,
-                errors,
-                stop_at: usize::MAX,
-                next: i,
-            };
+            next = i;
+            break;
         }
-        match inspect_item(check, universe, cache, hits, misses, i) {
+        match engine.run_item(&mut state, i) {
             Ok(Some(partial)) => {
-                let stop = check.short_circuits(&partial);
+                let stop = engine.check.short_circuits(&partial);
                 partials.push((i, partial));
                 if stop {
-                    return PassOutcome {
-                        partials,
-                        errors,
-                        stop_at: i,
-                        next: i + 1,
-                    };
+                    stop_at = i;
+                    next = i + 1;
+                    break;
                 }
             }
             Ok(None) => {}
             Err(err) => errors.push(err),
         }
     }
+    engine.flush_memo(&state);
     PassOutcome {
         partials,
         errors,
-        stop_at: usize::MAX,
-        next: end,
+        stop_at,
+        next,
     }
 }
 
 #[cfg(feature = "parallel")]
-#[allow(clippy::too_many_arguments)]
 fn run_parallel<C: PropertyCheck>(
-    check: &C,
-    universe: &Universe,
-    cache: &SkeletonCache,
-    hits: &AtomicUsize,
-    misses: &AtomicUsize,
+    engine: &Engine<'_, C>,
     threads: usize,
     begin: usize,
     end: usize,
     deadline: Option<Instant>,
 ) -> PassOutcome<C::Partial> {
     let span = end - begin;
-    // Small chunks so threads converge quickly on a low short-circuit
-    // index; large enough to keep cursor contention negligible.
-    let chunk = (span / (threads * 8)).clamp(1, 1024);
+    // Chunks small enough that threads converge quickly on a low
+    // short-circuit index, but with a floor: every chunk boundary costs
+    // the claiming worker one odometer resync (a full decode plus, on the
+    // delta path, a full verdict recompute), so tiny chunks would erase
+    // the delta win.
+    let chunk = (span / (threads * 8)).clamp(16, 1024);
     let cursor = AtomicUsize::new(begin);
     // Lowest short-circuiting index seen so far (usize::MAX = none).
     let stop_at = AtomicUsize::new(usize::MAX);
@@ -721,6 +1219,7 @@ fn run_parallel<C: PropertyCheck>(
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = WorkerState::new(engine.memo_on);
                     let mut local: Vec<(usize, C::Partial)> = Vec::new();
                     let mut local_errors: Vec<SweepError> = Vec::new();
                     loop {
@@ -743,9 +1242,9 @@ fn run_parallel<C: PropertyCheck>(
                             if i > stop_at.load(Ordering::Relaxed) {
                                 break;
                             }
-                            match inspect_item(check, universe, cache, hits, misses, i) {
+                            match engine.run_item(&mut state, i) {
                                 Ok(Some(partial)) => {
-                                    let stop = check.short_circuits(&partial);
+                                    let stop = engine.check.short_circuits(&partial);
                                     local.push((i, partial));
                                     if stop {
                                         stop_at.fetch_min(i, Ordering::Relaxed);
@@ -757,14 +1256,15 @@ fn run_parallel<C: PropertyCheck>(
                             }
                         }
                     }
+                    engine.flush_memo(&state);
                     (local, local_errors)
                 })
             })
             .collect();
         for worker in workers {
-            // invariant: check panics are caught per item by
-            // `inspect_item`, so a worker can only die of a bug in the
-            // executor itself — propagate that loudly.
+            // invariant: check panics are caught per item by `run_item`,
+            // so a worker can only die of a bug in the executor itself —
+            // propagate that loudly.
             let (local, local_errors) = worker.join().expect("sweep worker panicked");
             partials.extend(local);
             errors.extend(local_errors);
@@ -788,17 +1288,12 @@ fn run_parallel<C: PropertyCheck>(
 }
 
 #[cfg(not(feature = "parallel"))]
-#[allow(clippy::too_many_arguments)]
 fn run_parallel<C: PropertyCheck>(
-    check: &C,
-    universe: &Universe,
-    cache: &SkeletonCache,
-    hits: &AtomicUsize,
-    misses: &AtomicUsize,
+    engine: &Engine<'_, C>,
     _threads: usize,
     begin: usize,
     end: usize,
     deadline: Option<Instant>,
 ) -> PassOutcome<C::Partial> {
-    run_sequential(check, universe, cache, hits, misses, begin, end, deadline)
+    run_sequential(engine, begin, end, deadline)
 }

@@ -28,7 +28,17 @@
 //!   and/or item count (degrading the report to an explicit
 //!   [`Coverage::Sampled`] partial verdict), and [`resume_sweep`]
 //!   continues from a deterministic [`ResumeToken`] such that the chain
-//!   reproduces the uninterrupted report bit-for-bit.
+//!   reproduces the uninterrupted report bit-for-bit;
+//! * the hot path is allocation-free: within a chunk, labelings are
+//!   enumerated by *odometer stepping* (one digit of the mixed-radix
+//!   counter per item, into reused per-thread scratch) rather than per-item
+//!   div/mod decoding, and checks exposing a
+//!   [`PropertyCheck::verdict_decoder`] get *delta-evaluated* verdicts:
+//!   only nodes whose radius-r ball contains the changed digit are
+//!   re-decided, with a digit-keyed memo ([`interner`]) short-cutting
+//!   repeated local configurations. The decode-from-index oracle survives
+//!   as [`SweepStrategy::DecodeOracle`] and the `engine_parity` suite
+//!   proves the two paths observationally identical.
 //!
 //! The concrete properties live where they always did (in
 //! [`crate::properties`] and [`crate::nbhd`]); what moved here is the
@@ -38,15 +48,20 @@
 pub mod budget;
 mod check;
 mod executor;
+pub mod interner;
 pub mod universe;
 
 pub use budget::{ResumeToken, SweepBudget, SweepError};
 pub use check::{PropertyCheck, SweepOutcome, VerificationReport};
 pub use executor::{
-    resume_sweep, sweep, sweep_budgeted, sweep_lazy, sweep_lazy_budgeted, sweep_lazy_labeled,
-    sweep_with, BudgetedSweep, ExecMode, ItemCtx,
+    resume_sweep, resume_sweep_with_opts, sweep, sweep_budgeted, sweep_budgeted_with_opts,
+    sweep_lazy, sweep_lazy_budgeted, sweep_lazy_labeled, sweep_with, sweep_with_opts,
+    BudgetedSweep, ExecMode, ItemCtx, SweepOpts, SweepStrategy, PARALLEL_THRESHOLD,
 };
-pub use universe::{Block, Coverage, LabelSource, Universe, UniverseItem, UniverseOverflow};
+pub use interner::{digit_key, ViewId, ViewInterner};
+pub use universe::{
+    Block, Coverage, LabelSource, OwnedItem, Universe, UniverseItem, UniverseOverflow,
+};
 
 #[cfg(test)]
 mod tests {
@@ -148,7 +163,7 @@ mod tests {
         fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<()> {
             for v in 0..item.instance.graph().node_count() {
                 let cached = ctx.view(item, v, 1, IdMode::Anonymous);
-                let direct = item.instance.view(&item.labeling, v, 1, IdMode::Anonymous);
+                let direct = item.instance.view(item.labeling, v, 1, IdMode::Anonymous);
                 assert_eq!(cached, direct);
             }
             Some(())

@@ -155,7 +155,12 @@ impl Block {
 }
 
 /// One element of a universe: an instance/labeling pair plus its address.
-#[derive(Debug, Clone)]
+///
+/// The labeling is *borrowed*: in the executor's hot loop it points at a
+/// per-thread scratch buffer that is stepped in place from one item to the
+/// next, so a sweep allocates nothing per item. Checks that need to keep a
+/// labeling (e.g. as a violation witness) clone it explicitly.
+#[derive(Debug, Clone, Copy)]
 pub struct UniverseItem<'u> {
     /// Flat index into the universe stream.
     pub index: usize,
@@ -164,7 +169,42 @@ pub struct UniverseItem<'u> {
     /// The (shared) instance.
     pub instance: &'u Instance,
     /// The labeling decoded for this item.
+    pub labeling: &'u Labeling,
+    /// For [`LabelSource::All`] blocks, the mixed-radix digits of the
+    /// labeling: `digits[v]` is the alphabet index of node `v`'s
+    /// certificate. `None` for `Fixed`/`Unlabeled` blocks (and for lazy
+    /// sweeps, whose labelings come from outside the universe). Checks use
+    /// this as a compact identity key for memoization.
+    pub digits: Option<&'u [usize]>,
+}
+
+/// An owned buffer backing one [`UniverseItem`] — what [`Universe::item`]
+/// returns, since a borrowed item needs storage to point into.
+#[derive(Debug, Clone)]
+pub struct OwnedItem<'u> {
+    /// Flat index into the universe stream.
+    pub index: usize,
+    /// Index of the owning block.
+    pub block: usize,
+    /// The (shared) instance.
+    pub instance: &'u Instance,
+    /// The labeling decoded for this item.
     pub labeling: Labeling,
+    /// Mixed-radix digits for `All` blocks (see [`UniverseItem::digits`]).
+    pub digits: Option<Vec<usize>>,
+}
+
+impl OwnedItem<'_> {
+    /// The borrowed view handed to [`crate::verify::PropertyCheck::inspect`].
+    pub fn as_item(&self) -> UniverseItem<'_> {
+        UniverseItem {
+            index: self.index,
+            block: self.block,
+            instance: self.instance,
+            labeling: &self.labeling,
+            digits: self.digits.as_deref(),
+        }
+    }
 }
 
 /// A deterministic stream of labeled instances with typed coverage.
@@ -369,28 +409,108 @@ impl Universe {
         }
     }
 
-    /// The item at flat index `i`.
-    pub fn item(&self, i: usize) -> UniverseItem<'_> {
+    /// The mixed-radix digits of item `offset` within an `All` block
+    /// (`None` for `Fixed`/`Unlabeled` blocks): `digits[v]` is the
+    /// alphabet index of node `v`'s certificate, node 0 least significant.
+    pub fn digits_at(&self, block: usize, offset: usize) -> Option<Vec<usize>> {
+        match &self.blocks[block].labels {
+            LabelSource::All { alphabet } if !alphabet.is_empty() => {
+                let n = self.blocks[block].instance.graph().node_count();
+                let k = alphabet.len();
+                let mut rest = offset;
+                Some(
+                    (0..n)
+                        .map(|_| {
+                            let digit = rest % k;
+                            rest /= k;
+                            digit
+                        })
+                        .collect(),
+                )
+            }
+            _ => None,
+        }
+    }
+
+    /// Decodes item `(block, offset)` into caller-owned scratch buffers,
+    /// reusing their allocations: `labeling` is resized and overwritten
+    /// certificate by certificate, and `digits` receives the mixed-radix
+    /// digit vector for `All` blocks (cleared otherwise). This is the
+    /// executor's resync path — the only full decode in the hot chunk loop;
+    /// all other items are reached by odometer stepping.
+    pub fn decode_into(
+        &self,
+        block: usize,
+        offset: usize,
+        labeling: &mut Labeling,
+        digits: &mut Vec<usize>,
+    ) {
+        let b = &self.blocks[block];
+        let n = b.instance.graph().node_count();
+        labeling.resize(n);
+        digits.clear();
+        match &b.labels {
+            LabelSource::All { alphabet } => {
+                if alphabet.is_empty() {
+                    // Only addressable when n == 0 (the lone empty labeling).
+                    return;
+                }
+                let k = alphabet.len();
+                let mut rest = offset;
+                for v in 0..n {
+                    let digit = rest % k;
+                    rest /= k;
+                    labeling.assign(v, &alphabet[digit]);
+                    digits.push(digit);
+                }
+            }
+            LabelSource::Fixed(labelings) => {
+                let src = &labelings[offset];
+                for v in 0..n {
+                    labeling.assign(v, src.label(v));
+                }
+            }
+            LabelSource::Unlabeled => {
+                let empty = Certificate::empty();
+                for v in 0..n {
+                    labeling.assign(v, &empty);
+                }
+            }
+        }
+    }
+
+    /// The item at flat index `i`, as an owned buffer.
+    pub fn item(&self, i: usize) -> OwnedItem<'_> {
         let (block, offset) = self.locate(i);
-        UniverseItem {
+        OwnedItem {
             index: i,
             block,
             instance: &self.blocks[block].instance,
             labeling: self.labeling_at(block, offset),
+            digits: self.digits_at(block, offset),
         }
     }
 
-    /// Materializes item `i` as an owned [`LabeledInstance`].
-    pub fn labeled_instance(&self, i: usize) -> LabeledInstance {
+    /// Borrows item `i`'s instance and decodes its labeling — everything a
+    /// caller needs from [`Universe::labeled_instance`] without the
+    /// per-item graph clone.
+    pub fn item_parts(&self, i: usize) -> (&Instance, Labeling) {
         let (block, offset) = self.locate(i);
-        LabeledInstance::new(
-            self.blocks[block].instance.clone(),
+        (
+            &self.blocks[block].instance,
             self.labeling_at(block, offset),
         )
     }
 
+    /// Materializes item `i` as an owned [`LabeledInstance`] (clones the
+    /// instance; prefer [`Universe::item_parts`] where a borrow suffices).
+    pub fn labeled_instance(&self, i: usize) -> LabeledInstance {
+        let (instance, labeling) = self.item_parts(i);
+        LabeledInstance::new(instance.clone(), labeling)
+    }
+
     /// Iterates over all items in flat order.
-    pub fn items(&self) -> impl Iterator<Item = UniverseItem<'_>> {
+    pub fn items(&self) -> impl Iterator<Item = OwnedItem<'_>> {
         (0..self.len()).map(move |i| self.item(i))
     }
 }
@@ -483,5 +603,75 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, u.len());
+    }
+
+    fn mixed_universe() -> Universe {
+        let alphabet = bits();
+        let blocks = vec![
+            Block::new(
+                Instance::canonical(generators::cycle(3)),
+                LabelSource::All {
+                    alphabet: alphabet.clone(),
+                },
+            ),
+            Block::new(
+                Instance::canonical(generators::path(2)),
+                LabelSource::Unlabeled,
+            ),
+            Block::new(
+                Instance::canonical(generators::path(3)),
+                LabelSource::Fixed(vec![
+                    Labeling::uniform(3, Certificate::from_byte(7)),
+                    Labeling::empty(3),
+                ]),
+            ),
+        ];
+        Universe::new(blocks, Coverage::Sampled).expect("11 items fit")
+    }
+
+    #[test]
+    fn decode_into_matches_labeling_at_everywhere() {
+        let u = mixed_universe();
+        let mut labeling = Labeling::empty(0);
+        let mut digits = Vec::new();
+        for i in 0..u.len() {
+            let (block, offset) = u.locate(i);
+            u.decode_into(block, offset, &mut labeling, &mut digits);
+            assert_eq!(labeling, u.labeling_at(block, offset), "item {i}");
+            match u.digits_at(block, offset) {
+                Some(expect) => assert_eq!(digits, expect, "item {i}"),
+                None => assert!(digits.is_empty(), "item {i}"),
+            }
+        }
+    }
+
+    #[test]
+    fn digits_address_the_decoded_labeling() {
+        let u = mixed_universe();
+        let alphabet = bits();
+        for item in u.items() {
+            if let Some(digits) = &item.digits {
+                assert_eq!(digits.len(), item.labeling.node_count());
+                for (v, &d) in digits.iter().enumerate() {
+                    assert_eq!(item.labeling.label(v), &alphabet[d]);
+                }
+            }
+            // The borrowed view mirrors the owned buffer.
+            let b = item.as_item();
+            assert_eq!(b.index, item.index);
+            assert_eq!(b.labeling, &item.labeling);
+            assert_eq!(b.digits, item.digits.as_deref());
+        }
+    }
+
+    #[test]
+    fn item_parts_matches_labeled_instance() {
+        let u = mixed_universe();
+        for i in 0..u.len() {
+            let (instance, labeling) = u.item_parts(i);
+            let owned = u.labeled_instance(i);
+            assert_eq!(instance, owned.instance());
+            assert_eq!(&labeling, owned.labeling());
+        }
     }
 }

@@ -224,6 +224,15 @@ impl ViewSkeleton {
         view
     }
 
+    /// The canonicalized view with empty (placeholder) certificates — the
+    /// skeleton's *class*: two skeletons with equal protos produce equal
+    /// views whenever the certificate sequence stamped along
+    /// [`ViewSkeleton::original_nodes`] is equal, which is what lets the
+    /// engine's view interner share ids across nodes and blocks.
+    pub fn proto(&self) -> &View {
+        &self.proto
+    }
+
     /// Canonical index → original node index.
     pub fn original_nodes(&self) -> &[usize] {
         &self.order

@@ -9,9 +9,16 @@
 //! extends it to the resilience layer: lazy sweeps match flat sweeps,
 //! interrupted-and-resumed sweeps match uninterrupted ones, and a
 //! panicking item becomes the same structured [`SweepError`] under every
-//! execution mode. `cache_hits`/`cache_misses` are deliberately *not*
-//! compared — a parallel short-circuiting sweep may inspect items beyond
-//! the final witness, so its cache traffic can legitimately differ.
+//! execution mode. `cache_hits`/`cache_misses`/`memo_*` are deliberately
+//! *not* compared — a parallel short-circuiting sweep may inspect items
+//! beyond the final witness, so its cache traffic can legitimately differ.
+//!
+//! The suite also proves the engine's enumeration strategies equivalent:
+//! the odometer/delta-evaluation hot path (`SweepStrategy::DeltaStepping`,
+//! with and without digit-key memoization) against the decode-from-index
+//! oracle (`SweepStrategy::DecodeOracle`), over exhaustive, mixed-source
+//! and multi-block universes, including budgeted resume chains and the
+//! full structural identity of Lemma 3.1 neighborhood graphs.
 //!
 //! The parallel thread count defaults to 3 and can be pinned via the
 //! `PARITY_THREADS` environment variable (the CI matrix runs 1, 2 and 4).
@@ -19,17 +26,21 @@
 //! [`SweepError`]: hiding_lcp_core::verify::SweepError
 
 use hiding_lcp_core::instance::Instance;
-use hiding_lcp_core::label::Certificate;
+use hiding_lcp_core::label::{Certificate, Labeling};
 use hiding_lcp_core::language::KCol;
 use hiding_lcp_core::lower::PortObliviousCycleDecoder;
+use hiding_lcp_core::nbhd::NbhdGraph;
+use hiding_lcp_core::properties::hiding::HidingCheck;
 use hiding_lcp_core::properties::soundness::SoundnessCheck;
 use hiding_lcp_core::properties::strong::StrongCheck;
 use hiding_lcp_core::prover::all_labelings;
 use hiding_lcp_core::verify::{
-    resume_sweep, sweep_budgeted, sweep_lazy, sweep_with, Coverage, ExecMode, ItemCtx,
-    PropertyCheck, SweepBudget, SweepOutcome, Universe, UniverseItem,
+    resume_sweep, resume_sweep_with_opts, sweep_budgeted, sweep_budgeted_with_opts, sweep_lazy,
+    sweep_with, sweep_with_opts, Block, Coverage, ExecMode, ItemCtx, LabelSource, PropertyCheck,
+    SweepBudget, SweepOpts, SweepOutcome, Universe, UniverseItem,
 };
 use hiding_lcp_core::view::IdMode;
+use hiding_lcp_graph::algo::bipartite;
 use proptest::prelude::*;
 
 fn bits() -> Vec<Certificate> {
@@ -67,6 +78,89 @@ where
     prop_assert_eq!(seq.universe_size, par.universe_size);
     prop_assert_eq!(seq.short_circuited, par.short_circuited);
     Ok(())
+}
+
+/// Runs `check` under two option sets (sequentially and in parallel) and
+/// asserts the four observational report fields agree across all runs.
+/// Counters (`cache_*`, `memo_*`) are exactly what the options are allowed
+/// to change, so they are not compared.
+fn assert_opts_parity<C>(
+    check: &C,
+    universe: &Universe,
+    a: SweepOpts,
+    b: SweepOpts,
+) -> Result<(), TestCaseError>
+where
+    C: PropertyCheck,
+    C::Verdict: PartialEq + std::fmt::Debug,
+{
+    let reference = sweep_with_opts(check, universe, ExecMode::Sequential, a);
+    for (mode, opts) in [
+        (ExecMode::Sequential, b),
+        (ExecMode::Parallel(parity_threads()), a),
+        (ExecMode::Parallel(parity_threads()), b),
+    ] {
+        let other = sweep_with_opts(check, universe, mode, opts);
+        prop_assert_eq!(&reference.verdict, &other.verdict);
+        prop_assert_eq!(reference.checked, other.checked);
+        prop_assert_eq!(reference.universe_size, other.universe_size);
+        prop_assert_eq!(reference.short_circuited, other.short_circuited);
+    }
+    Ok(())
+}
+
+/// A universe mixing every [`LabelSource`] shape: exhaustive labelings of
+/// a cycle (odometer + delta path), a fixed labeling batch of a path
+/// (plain-inspect path), and one unlabeled instance.
+fn mixed_universe(n: usize) -> Universe {
+    let cycle = Instance::canonical(hiding_lcp_graph::generators::cycle(n));
+    let path = Instance::canonical(hiding_lcp_graph::generators::path(n));
+    let fixed = vec![
+        Labeling::uniform(n, Certificate::from_byte(1)),
+        Labeling::uniform(n, Certificate::from_byte(0)),
+    ];
+    let blocks = vec![
+        Block::new(cycle, LabelSource::All { alphabet: bits() }),
+        Block::new(path.clone(), LabelSource::Fixed(fixed)),
+        Block::new(path, LabelSource::Unlabeled),
+    ];
+    Universe::new(blocks, Coverage::Sampled).expect("small universe fits")
+}
+
+/// Structural equality of two neighborhood graphs — `NbhdGraph` has no
+/// `PartialEq`, so compare every observable: views (in insertion order),
+/// adjacency, self-loops and all witnesses.
+fn assert_nbhd_eq(a: &NbhdGraph, b: &NbhdGraph) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.view_count(), b.view_count());
+    prop_assert_eq!(a.views(), b.views());
+    prop_assert_eq!(a.edge_count(), b.edge_count());
+    prop_assert_eq!(a.self_loop_views(), b.self_loop_views());
+    prop_assert_eq!(a.instances().len(), b.instances().len());
+    for i in 0..a.view_count() {
+        prop_assert_eq!(a.view_witness(i), b.view_witness(i));
+        let na: Vec<usize> = a.neighbors(i).collect();
+        let nb: Vec<usize> = b.neighbors(i).collect();
+        prop_assert_eq!(&na, &nb);
+        for &j in &na {
+            prop_assert_eq!(a.edge_witness(i, j), b.edge_witness(i, j));
+        }
+        prop_assert_eq!(a.self_loop_witness(i), b.self_loop_witness(i));
+    }
+    Ok(())
+}
+
+/// A universe of whole-cycle blocks (odd cycles included, so the hiding
+/// sweep's yes-filter drops some blocks entirely).
+fn cycle_blocks_universe(max_n: usize) -> Universe {
+    let blocks = (3..=max_n)
+        .map(|m| {
+            Block::new(
+                Instance::canonical(hiding_lcp_graph::generators::cycle(m)),
+                LabelSource::All { alphabet: bits() },
+            )
+        })
+        .collect();
+    Universe::new(blocks, Coverage::Sampled).expect("small universe fits")
 }
 
 /// Wraps a check so that inspecting item `panic_index` panics — the test
@@ -250,5 +344,116 @@ proptest! {
         prop_assert_eq!(&seq.verdict, &par.verdict);
         prop_assert_eq!(seq.checked, par.checked);
         prop_assert_eq!(seq.short_circuited, par.short_circuited);
+    }
+
+    #[test]
+    fn delta_and_oracle_strategies_agree(code in 0u8..64, shape in 0u8..2, n in 3usize..7) {
+        // The odometer/delta-evaluation hot path must be byte-identical to
+        // the decode-from-index oracle — for a short-circuiting check
+        // (soundness) and a full-scan one (strong soundness), sequentially
+        // and in parallel.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let instance = cycle_or_path(shape, n);
+        let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let check = SoundnessCheck { decoder: &decoder };
+        assert_opts_parity(&check, &universe, SweepOpts::default(), SweepOpts::oracle())?;
+        let two_col = KCol::new(2);
+        let strong = StrongCheck { decoder: &decoder, language: &two_col };
+        assert_opts_parity(&strong, &universe, SweepOpts::default(), SweepOpts::oracle())?;
+    }
+
+    #[test]
+    fn mixed_label_sources_agree_across_strategies(code in 0u8..64, n in 3usize..7) {
+        // All/Fixed/Unlabeled blocks in one universe: the walker resyncs
+        // at block boundaries and the verdict fast path applies only to
+        // the All block — every combination must match the oracle.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let universe = mixed_universe(n);
+        let check = SoundnessCheck { decoder: &decoder };
+        assert_opts_parity(&check, &universe, SweepOpts::default(), SweepOpts::oracle())?;
+    }
+
+    #[test]
+    fn memoized_and_unmemoized_sweeps_agree(code in 0u8..64, shape in 0u8..2, n in 3usize..7) {
+        // Disabling the digit-key memo layers may only change counters,
+        // never verdicts.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let instance = cycle_or_path(shape, n);
+        let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let check = SoundnessCheck { decoder: &decoder };
+        let memo_off = SweepOpts { memo: false, ..SweepOpts::default() };
+        assert_opts_parity(&check, &universe, SweepOpts::default(), memo_off)?;
+    }
+
+    #[test]
+    fn nbhd_graph_is_identical_across_strategies_memo_and_threads(
+        code in 0u8..64, n in 4usize..7,
+    ) {
+        // The Lemma 3.1 graph — views in insertion order, adjacency,
+        // self-loops, every witness — must not depend on enumeration
+        // strategy, memoization, or thread count. The interner is part of
+        // the check's state, so each sweep gets a fresh check instance.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let universe = cycle_blocks_universe(n);
+        let run = |mode: ExecMode, opts: SweepOpts| {
+            let check = HidingCheck::new(&decoder, &universe, 2, bipartite::is_bipartite);
+            sweep_with_opts(&check, &universe, mode, opts)
+        };
+        let reference = run(ExecMode::Sequential, SweepOpts::oracle());
+        let (ref_nbhd, ref_verdict) = &reference.verdict;
+        let memo_off = SweepOpts { memo: false, ..SweepOpts::default() };
+        for (mode, opts) in [
+            (ExecMode::Sequential, SweepOpts::default()),
+            (ExecMode::Parallel(parity_threads()), SweepOpts::default()),
+            (ExecMode::Parallel(parity_threads()), memo_off),
+        ] {
+            let other = run(mode, opts);
+            assert_nbhd_eq(ref_nbhd, &other.verdict.0)?;
+            prop_assert_eq!(ref_verdict, &other.verdict.1);
+            prop_assert_eq!(reference.checked, other.checked);
+            prop_assert_eq!(reference.universe_size, other.universe_size);
+        }
+    }
+
+    #[test]
+    fn budgeted_delta_resume_chain_matches_oracle(
+        code in 0u8..64, shape in 0u8..2, n in 3usize..7, step in 1usize..12,
+    ) {
+        // A delta-stepping sweep chopped into budget slices and resumed
+        // must reproduce the uninterrupted *oracle* sweep — resume tokens
+        // are strategy-agnostic.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let instance = cycle_or_path(shape, n);
+        let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let check = SoundnessCheck { decoder: &decoder };
+        let oracle = sweep_with_opts(&check, &universe, ExecMode::Sequential, SweepOpts::oracle());
+
+        let mode = ExecMode::Parallel(parity_threads());
+        let budget = SweepBudget::unlimited().with_max_items(step);
+        let mut state =
+            sweep_budgeted_with_opts(&check, &universe, mode, &budget, SweepOpts::default());
+        let mut slices = 1usize;
+        while let Some(token) = state.resume.take() {
+            state = resume_sweep_with_opts(
+                &check,
+                &universe,
+                mode,
+                &budget,
+                token,
+                SweepOpts::default(),
+            );
+            slices += 1;
+            prop_assert!(slices <= universe.len() + 2, "resume chain must terminate");
+        }
+        let resumed = state.report;
+        prop_assert_eq!(&oracle.verdict, &resumed.verdict);
+        prop_assert_eq!(oracle.checked, resumed.checked);
+        prop_assert_eq!(oracle.universe_size, resumed.universe_size);
+        prop_assert_eq!(oracle.short_circuited, resumed.short_circuited);
+        prop_assert_eq!(oracle.coverage, resumed.coverage);
+        prop_assert!(!resumed.interrupted);
     }
 }

@@ -53,9 +53,126 @@ fn color_from(g: &Graph, k: usize, v: usize, colors: &mut Vec<usize>) -> bool {
     false
 }
 
+/// Bitset adjacency: `words` 64-bit words per node row.
+struct BitAdj {
+    words: usize,
+    rows: Vec<u64>,
+}
+
+impl BitAdj {
+    fn new(g: &Graph) -> Self {
+        let n = g.node_count();
+        let words = n.div_ceil(64).max(1);
+        let mut rows = vec![0u64; n * words];
+        for (u, v) in g.edges() {
+            if u != v {
+                rows[u * words + v / 64] |= 1 << (v % 64);
+                rows[v * words + u / 64] |= 1 << (u % 64);
+            }
+        }
+        BitAdj { words, rows }
+    }
+
+    fn row(&self, v: usize) -> &[u64] {
+        &self.rows[v * self.words..(v + 1) * self.words]
+    }
+}
+
+/// Exact k-colorability by DSATUR-ordered backtracking over bitset
+/// adjacency. At every step the search branches on an *uncolored* node of
+/// maximum saturation (number of distinct neighbor colors), breaking ties
+/// by maximum degree then minimum index, and only ever opens one fresh
+/// color beyond those already used (colorings are counted up to color
+/// permutation, so trying a second fresh color is redundant).
+///
+/// Limited to `k ≤ 128` so a node's forbidden palette fits in a `u128`
+/// saturation mask; callers with larger palettes fall back to the
+/// lexicographic search (any graph needing more than 128 colors in this
+/// repo would be far beyond sweep range anyway).
+fn dsatur_k_colorable(g: &Graph, k: usize) -> bool {
+    let n = g.node_count();
+    if k >= n {
+        return true;
+    }
+    if k == 0 {
+        return n == 0;
+    }
+    let adj = BitAdj::new(g);
+    // sat[v] = bitmask of colors used by v's colored neighbors.
+    let mut sat = vec![0u128; n];
+    let mut colors = vec![usize::MAX; n];
+    let degrees: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    dsatur_step(&adj, k, &degrees, &mut sat, &mut colors, 0, 0)
+}
+
+fn dsatur_step(
+    adj: &BitAdj,
+    k: usize,
+    degrees: &[usize],
+    sat: &mut [u128],
+    colors: &mut [usize],
+    colored: usize,
+    used: usize,
+) -> bool {
+    let n = colors.len();
+    if colored == n {
+        return true;
+    }
+    // DSATUR pick: max saturation, then max degree, then min index.
+    let mut pick = usize::MAX;
+    let mut best = (0usize, 0usize);
+    for v in 0..n {
+        if colors[v] != usize::MAX {
+            continue;
+        }
+        let key = (sat[v].count_ones() as usize, degrees[v]);
+        if pick == usize::MAX || key > best {
+            pick = v;
+            best = key;
+        }
+    }
+    // Symmetry breaking: at most one color beyond those already in use.
+    let limit = k.min(used + 1);
+    for c in 0..limit {
+        if sat[pick] & (1 << c) != 0 {
+            continue;
+        }
+        colors[pick] = c;
+        let bit = 1u128 << c;
+        let mut touched = Vec::new();
+        for (w, &word) in adj.row(pick).iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                let u = w * 64 + word.trailing_zeros() as usize;
+                word &= word - 1;
+                if colors[u] == usize::MAX && sat[u] & bit == 0 {
+                    sat[u] |= bit;
+                    touched.push(u);
+                }
+            }
+        }
+        if dsatur_step(adj, k, degrees, sat, colors, colored + 1, used.max(c + 1)) {
+            return true;
+        }
+        for &u in &touched {
+            sat[u] &= !bit;
+        }
+        colors[pick] = usize::MAX;
+    }
+    false
+}
+
 /// Whether `g` is k-colorable, i.e. `g ∈ G(k-col)`.
+///
+/// Decided by [`dsatur_k_colorable`] for `k ≤ 128` (the hot path behind
+/// hiding verdicts on accepting neighborhood graphs), falling back to the
+/// lexicographic search beyond that.
 pub fn is_k_colorable(g: &Graph, k: usize) -> bool {
-    lex_first_coloring(g, k).is_some()
+    if k <= 128 {
+        dsatur_k_colorable(g, k)
+    } else {
+        lex_first_coloring(g, k).is_some()
+    }
 }
 
 /// The chromatic number of `g` (0 for the empty graph).
@@ -120,5 +237,54 @@ mod tests {
     #[test]
     fn lex_first_fails_gracefully() {
         assert_eq!(lex_first_coloring(&generators::complete(4), 3), None);
+    }
+
+    /// All graphs on `n` nodes, as edge bitmasks over the `n(n-1)/2` pairs.
+    fn all_graphs(n: usize) -> Vec<Graph> {
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .collect();
+        (0..1u32 << pairs.len())
+            .map(|mask| {
+                let mut g = Graph::new(n);
+                for (i, &(u, v)) in pairs.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        g.add_edge(u, v).unwrap();
+                    }
+                }
+                g
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dsatur_matches_lex_oracle_exhaustively() {
+        // Every graph on up to 5 nodes, every palette 0..=5: the DSATUR
+        // search must agree with the lexicographic backtracking oracle.
+        for n in 0..=5 {
+            for g in all_graphs(n) {
+                for k in 0..=5 {
+                    assert_eq!(
+                        dsatur_k_colorable(&g, k),
+                        lex_first_coloring(&g, k).is_some(),
+                        "n={n} k={k} edges={:?}",
+                        g.edges().collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dsatur_handles_larger_structured_graphs() {
+        assert!(dsatur_k_colorable(&generators::petersen(), 3));
+        assert!(!dsatur_k_colorable(&generators::petersen(), 2));
+        assert!(dsatur_k_colorable(&generators::grid(5, 7), 2));
+        assert!(!dsatur_k_colorable(&generators::complete(20), 19));
+        assert!(dsatur_k_colorable(&generators::complete(20), 20));
+        // A graph wider than one bitset word.
+        assert!(dsatur_k_colorable(&generators::cycle(130), 2));
+        assert!(!dsatur_k_colorable(&generators::cycle(131), 2));
+        assert!(dsatur_k_colorable(&generators::cycle(131), 3));
     }
 }
