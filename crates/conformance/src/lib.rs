@@ -1,0 +1,40 @@
+//! Theorem conformance kit: the correctness tooling that keeps the
+//! engine's cleverness honest.
+//!
+//! The production crates decide every paper property through three layers
+//! of machinery — universes, the parallel sweep executor, skeleton caches,
+//! delta-stepped verdict memoization. Nothing *inside* those layers can
+//! certify them: each checker is its own ground truth. This crate supplies
+//! the independent half of every comparison:
+//!
+//! * [`oracle`] — brute-force reimplementations of all seven properties
+//!   (completeness, soundness, strong, hiding, erasure, invariance,
+//!   quantified), written straight off the paper's definitions with no
+//!   `Universe`, executor or interner involved;
+//! * [`meta`] — metamorphic transforms (graph isomorphism / port
+//!   relabeling, label-alphabet permutation, identifier remapping,
+//!   disjoint union) under which checker verdicts must be invariant or
+//!   compose predictably;
+//! * [`probes`] — the named battery of conformance probes: each one is an
+//!   ordinary assertion-backed function, runnable standalone by the test
+//!   suites *and* replayed against every seeded mutant by the mutation
+//!   battery;
+//! * [`catalog`] — the list of seeded mutants (compiled into the
+//!   production crates only under `--cfg conformance_mutants`) with the
+//!   coverage story the battery enforces: every mutant dies.
+
+pub mod catalog;
+pub mod meta;
+pub mod oracle;
+pub mod probes;
+
+/// Worker-thread count for engine-parity comparisons, from the
+/// `PARITY_THREADS` environment variable (default 3). The CI conformance
+/// job runs the suites at 1, 2 and 4.
+pub fn parity_threads() -> usize {
+    std::env::var("PARITY_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or(3)
+}

@@ -1,0 +1,135 @@
+//! Metamorphic transforms: ways of rewriting an instance under which
+//! checker verdicts must be invariant or compose predictably.
+//!
+//! Each transform preserves exactly the structure a decoder is allowed to
+//! observe, so any verdict drift after applying one is a bug in the
+//! machinery, not in the decoder:
+//!
+//! * [`permuted`] renames nodes while carrying ports and identifiers
+//!   along — the views of corresponding nodes are *equal*, so verdict
+//!   vectors permute and aggregate verdicts (soundness counts, strong
+//!   violations, hiding) are invariant;
+//! * [`map_labels`] pushes a certificate bijection through a labeling —
+//!   equality-pattern decoders (the paper's constructions compare
+//!   certificates, they don't interpret them) keep every verdict;
+//! * identifier remapping is already a production surface
+//!   ([`Instance::replace_ids`]); the metamorphic suite drives it with
+//!   explicit assignments to pin anonymity/order-invariance claims;
+//! * [`disjoint_union`] composes two labeled instances side by side —
+//!   radius-r views never cross components, so the union's verdict vector
+//!   is the concatenation of the parts'.
+
+use hiding_lcp_core::instance::{Instance, LabeledInstance};
+use hiding_lcp_core::label::{Certificate, Labeling};
+use hiding_lcp_graph::graph::Graph;
+use hiding_lcp_graph::{IdAssignment, PortAssignment};
+
+/// Renames node `v` to `perm[v]`, carrying edges, port orders and
+/// identifiers along. The image instance is isomorphic to the original
+/// *as a ported, identified graph*: node `perm[v]`'s view there equals
+/// node `v`'s view here, for every radius and id mode.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..n`.
+pub fn permuted(instance: &Instance, perm: &[usize]) -> Instance {
+    let g = instance.graph();
+    let n = g.node_count();
+    assert_eq!(perm.len(), n, "permutation covers every node");
+    let mut image = Graph::new(n);
+    for (u, v) in g.edges() {
+        image
+            .add_edge(perm[u], perm[v])
+            .expect("permutation is injective");
+    }
+    // Port order of the renamed node = the original node's neighbor
+    // order, renamed.
+    let mut order = vec![Vec::new(); n];
+    for v in 0..n {
+        // Ports are 1-based, as in the paper.
+        order[perm[v]] = (1..=instance.ports().degree(v))
+            .map(|p| perm[instance.ports().neighbor_at(v, p as u16)])
+            .collect();
+    }
+    let ports = PortAssignment::from_order(&image, order).expect("renamed order is a valid order");
+    let mut ids = vec![0u64; n];
+    for v in 0..n {
+        ids[perm[v]] = instance.ids().id(v);
+    }
+    let ids =
+        IdAssignment::from_ids(ids, instance.ids().bound()).expect("renamed ids stay injective");
+    Instance::new(image, ports, ids).expect("renamed assignments fit the renamed graph")
+}
+
+/// The labeling matching [`permuted`]: node `perm[v]` receives `v`'s
+/// certificate.
+pub fn permuted_labeling(labeling: &Labeling, perm: &[usize]) -> Labeling {
+    let n = labeling.node_count();
+    let mut out = vec![Certificate::empty(); n];
+    for v in 0..n {
+        out[perm[v]] = labeling.label(v).clone();
+    }
+    Labeling::new(out)
+}
+
+/// Applies a certificate map to every node's label.
+pub fn map_labels(labeling: &Labeling, f: impl Fn(&Certificate) -> Certificate) -> Labeling {
+    labeling.as_slice().iter().map(f).collect()
+}
+
+/// The transposition swapping certificates `a` and `b` (other
+/// certificates pass through) — the canonical alphabet bijection for a
+/// binary alphabet.
+pub fn swap_certs(labeling: &Labeling, a: &Certificate, b: &Certificate) -> Labeling {
+    map_labels(labeling, |c| {
+        if c == a {
+            b.clone()
+        } else if c == b {
+            a.clone()
+        } else {
+            c.clone()
+        }
+    })
+}
+
+/// Places `a` and `b` side by side: `a`'s nodes keep their indices, `b`'s
+/// shift up by `a`'s node count. Ports are preserved per side;
+/// identifiers stay injective by offsetting `b`'s by `a`'s bound;
+/// labelings concatenate. No edge crosses the seam, so every node's view
+/// (any radius) is exactly its view in its own component.
+pub fn disjoint_union(a: &LabeledInstance, b: &LabeledInstance) -> LabeledInstance {
+    let na = a.graph().node_count();
+    let nb = b.graph().node_count();
+    let graph = a.graph().disjoint_union(b.graph());
+    let mut order = Vec::with_capacity(na + nb);
+    for v in 0..na {
+        order.push(
+            (1..=a.instance().ports().degree(v))
+                .map(|p| a.instance().ports().neighbor_at(v, p as u16))
+                .collect::<Vec<_>>(),
+        );
+    }
+    for v in 0..nb {
+        order.push(
+            (1..=b.instance().ports().degree(v))
+                .map(|p| na + b.instance().ports().neighbor_at(v, p as u16))
+                .collect::<Vec<_>>(),
+        );
+    }
+    let ports = PortAssignment::from_order(&graph, order).expect("concatenated order is valid");
+    let bound = a.instance().ids().bound() + b.instance().ids().bound();
+    let ids: Vec<u64> = (0..na)
+        .map(|v| a.instance().ids().id(v))
+        .chain((0..nb).map(|v| a.instance().ids().bound() + b.instance().ids().id(v)))
+        .collect();
+    let ids = IdAssignment::from_ids(ids, bound).expect("offset ids stay injective");
+    let instance = Instance::new(graph, ports, ids).expect("union assignments fit");
+    let labeling = a
+        .labeling()
+        .as_slice()
+        .iter()
+        .chain(b.labeling().as_slice())
+        .cloned()
+        .collect();
+    instance.with_labeling(labeling)
+}

@@ -1,0 +1,567 @@
+//! Brute-force reference oracles for the seven LCP properties.
+//!
+//! Every function here is written straight off the paper's definitions
+//! (PAPER.md, Sections 2–3) in the most naive way that terminates:
+//! quantifiers become nested loops, "k-colorable" becomes enumeration of
+//! all `k^n` color assignments, "induced subgraph" is rebuilt edge by
+//! edge. None of it touches the production [`Universe`], sweep executor,
+//! interner, memo, or the graph crate's DSATUR / canonical-form
+//! algorithms — those are exactly the layers the differential suites
+//! compare *against* these oracles, so sharing code with them would make
+//! the comparison vacuous.
+//!
+//! The one production surface the oracles do share is the data model
+//! itself ([`Instance`], [`Labeling`], [`View`] extraction via
+//! [`Instance::view`], and the faulty network simulation): that layer
+//! defines what a view *is*, so both sides must read it. Structural
+//! properties of view extraction get their own direct probes in
+//! [`crate::probes`] instead of differential ones.
+//!
+//! [`Universe`]: hiding_lcp_core::verify::Universe
+
+use hiding_lcp_core::decoder::{Decoder, Verdict};
+use hiding_lcp_core::instance::{Instance, LabeledInstance};
+use hiding_lcp_core::label::{Certificate, Labeling};
+use hiding_lcp_core::language::KCol;
+use hiding_lcp_core::network::degradation::{DegradationPoint, DegradationReport};
+use hiding_lcp_core::network::{run_distributed_faulty, FaultPlan, FaultRates, FaultStats};
+use hiding_lcp_core::properties::completeness::{CompletenessFailure, CompletenessReport};
+use hiding_lcp_core::properties::erasure::ErasureOutcome;
+use hiding_lcp_core::properties::invariance::InvarianceViolation;
+use hiding_lcp_core::properties::soundness::SoundnessViolation;
+use hiding_lcp_core::properties::strong::StrongViolation;
+use hiding_lcp_core::prover::Prover;
+use hiding_lcp_core::view::{IdMode, View};
+use hiding_lcp_graph::graph::Graph;
+use hiding_lcp_graph::IdAssignment;
+
+/// Runs `decoder` on every node by the paper's definition: extract the
+/// radius-r view in the decoder's id mode, decide, collect.
+pub fn run_by_definition<D: Decoder + ?Sized>(
+    decoder: &D,
+    instance: &Instance,
+    labeling: &Labeling,
+) -> Vec<Verdict> {
+    let (radius, id_mode) = (decoder.radius(), decoder.id_mode());
+    instance
+        .graph()
+        .nodes()
+        .map(|v| decoder.decide(&instance.view(labeling, v, radius, id_mode)))
+        .collect()
+}
+
+/// All `|alphabet|^n` labelings in odometer order with node 0 as the least
+/// significant digit — the same enumeration order the production
+/// `Universe` documents, re-derived independently here.
+///
+/// # Panics
+///
+/// Panics if `alphabet` is empty while `n > 0`.
+pub fn all_labelings(n: usize, alphabet: &[Certificate]) -> Vec<Labeling> {
+    if n == 0 {
+        return vec![Labeling::empty(0)];
+    }
+    assert!(!alphabet.is_empty(), "labelings need an alphabet");
+    let mut out = Vec::new();
+    let mut digits = vec![0usize; n];
+    loop {
+        out.push(digits.iter().map(|&d| alphabet[d].clone()).collect());
+        let mut i = 0;
+        while i < n {
+            digits[i] += 1;
+            if digits[i] < alphabet.len() {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+        if i == n {
+            return out;
+        }
+    }
+}
+
+/// Whether `g` admits a proper `k`-coloring, by enumerating all `k^n`
+/// assignments. Deliberately *not* the graph crate's DSATUR search.
+pub fn k_colorable(g: &Graph, k: usize) -> bool {
+    let n = g.node_count();
+    if n == 0 {
+        return true;
+    }
+    if k == 0 {
+        return false;
+    }
+    let mut colors = vec![0usize; n];
+    loop {
+        if g.edges().all(|(u, v)| colors[u] != colors[v]) {
+            return true;
+        }
+        let mut i = 0;
+        while i < n {
+            colors[i] += 1;
+            if colors[i] < k {
+                break;
+            }
+            colors[i] = 0;
+            i += 1;
+        }
+        if i == n {
+            return false;
+        }
+    }
+}
+
+/// The subgraph of `g` induced by `keep` (which must be sorted, as the
+/// production checkers pass accepting sets), rebuilt by hand: new node `i`
+/// is old node `keep[i]`, and an edge survives iff both endpoints are
+/// kept. Deliberately *not* [`Graph::induced`].
+pub fn induced(g: &Graph, keep: &[usize]) -> Graph {
+    let mut new_of_old = vec![usize::MAX; g.node_count()];
+    for (new, &old) in keep.iter().enumerate() {
+        new_of_old[old] = new;
+    }
+    let mut sub = Graph::new(keep.len());
+    for (u, v) in g.edges() {
+        let (nu, nv) = (new_of_old[u], new_of_old[v]);
+        if nu != usize::MAX && nv != usize::MAX {
+            sub.add_edge(nu, nv).expect("kept endpoints are in range");
+        }
+    }
+    sub
+}
+
+/// Completeness by definition: for each instance in order, the prover must
+/// certify and every node must accept. Mirrors the shape of the
+/// production [`CompletenessReport`] exactly so differential tests can
+/// `assert_eq!` whole reports.
+pub fn completeness<D: Decoder + ?Sized, P: Prover + ?Sized>(
+    decoder: &D,
+    prover: &P,
+    instances: &[Instance],
+) -> CompletenessReport {
+    let mut report = CompletenessReport {
+        passed: 0,
+        failures: Vec::new(),
+        max_certificate_bits: 0,
+    };
+    for (idx, instance) in instances.iter().enumerate() {
+        let Some(labeling) = prover.certify(instance) else {
+            report
+                .failures
+                .push(CompletenessFailure::ProverDeclined { instance: idx });
+            continue;
+        };
+        let bits = labeling.max_bits();
+        let verdicts = run_by_definition(decoder, instance, &labeling);
+        match verdicts.iter().position(|v| !v.is_accept()) {
+            Some(node) => report.failures.push(CompletenessFailure::NodeRejected {
+                instance: idx,
+                node,
+            }),
+            None => {
+                report.passed += 1;
+                report.max_certificate_bits = report.max_certificate_bits.max(bits);
+            }
+        }
+    }
+    report
+}
+
+/// Soundness by definition: the first labeling (in odometer order) that
+/// every node accepts, or `Ok(count)` after exhausting the alphabet.
+pub fn soundness<D: Decoder + ?Sized>(
+    decoder: &D,
+    instance: &Instance,
+    alphabet: &[Certificate],
+) -> Result<usize, SoundnessViolation> {
+    let n = instance.graph().node_count();
+    let mut checked = 0;
+    for labeling in all_labelings(n, alphabet) {
+        checked += 1;
+        if run_by_definition(decoder, instance, &labeling)
+            .iter()
+            .all(|v| v.is_accept())
+        {
+            return Err(SoundnessViolation { labeling });
+        }
+    }
+    Ok(checked)
+}
+
+/// The number of unanimously accepted labelings — soundness without the
+/// short-circuit, for metamorphic relations that compare whole counts
+/// across transformed instances.
+pub fn unanimous_count<D: Decoder + ?Sized>(
+    decoder: &D,
+    instance: &Instance,
+    alphabet: &[Certificate],
+) -> usize {
+    all_labelings(instance.graph().node_count(), alphabet)
+        .iter()
+        .filter(|l| {
+            run_by_definition(decoder, instance, l)
+                .iter()
+                .all(|v| v.is_accept())
+        })
+        .count()
+}
+
+/// Strong soundness by definition: for the first labeling whose accepting
+/// set induces a graph with no proper `k`-coloring, the violation; else
+/// `Ok(count)`. Colorability and the induced subgraph are both
+/// brute-forced here, independent of the graph crate.
+pub fn strong<D: Decoder + ?Sized>(
+    decoder: &D,
+    k: usize,
+    instance: &Instance,
+    alphabet: &[Certificate],
+) -> Result<usize, StrongViolation> {
+    let n = instance.graph().node_count();
+    let mut checked = 0;
+    for labeling in all_labelings(n, alphabet) {
+        checked += 1;
+        let accepting: Vec<usize> = run_by_definition(decoder, instance, &labeling)
+            .iter()
+            .enumerate()
+            .filter_map(|(v, verdict)| verdict.is_accept().then_some(v))
+            .collect();
+        if !k_colorable(&induced(instance.graph(), &accepting), k) {
+            return Err(StrongViolation {
+                labeling,
+                accepting,
+            });
+        }
+    }
+    Ok(checked)
+}
+
+/// The accepting neighborhood graph `V(D, ·)` by definition (paper,
+/// Section 3): one vertex per distinct accepting view (in the extractor's
+/// anonymous mode, first-seen order), one edge per pair of adjacent
+/// accepting nodes of some labeled yes-instance. `self_loops[i]` marks
+/// views adjacent to an equal copy of themselves.
+pub struct ViewGraph {
+    /// Distinct accepting views, in first-seen (instance, node) order.
+    pub views: Vec<View>,
+    /// Undirected edges between distinct view indices, deduplicated.
+    pub edges: Vec<(usize, usize)>,
+    /// `self_loops[i]` ⇔ view `i` is yes-instance-adjacent to itself.
+    pub self_loops: Vec<bool>,
+}
+
+impl ViewGraph {
+    /// Builds `V(D, ·)` over `items`, keeping only those whose graph
+    /// passes `is_yes`.
+    pub fn build<D: Decoder + ?Sized, F: Fn(&Graph) -> bool>(
+        decoder: &D,
+        items: &[LabeledInstance],
+        is_yes: F,
+    ) -> ViewGraph {
+        let radius = decoder.radius();
+        let mut views: Vec<View> = Vec::new();
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut self_loops: Vec<bool> = Vec::new();
+        for li in items.iter().filter(|li| is_yes(li.graph())) {
+            let verdicts = run_by_definition(decoder, li.instance(), li.labeling());
+            // Index of each accepting node's anonymous view, interning by
+            // linear search (these graphs are tiny by construction).
+            let idx_of: Vec<Option<usize>> = li
+                .graph()
+                .nodes()
+                .map(|v| {
+                    verdicts[v].is_accept().then(|| {
+                        let view = li.view(v, radius, IdMode::Anonymous);
+                        match views.iter().position(|w| *w == view) {
+                            Some(i) => i,
+                            None => {
+                                views.push(view);
+                                self_loops.push(false);
+                                views.len() - 1
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for (u, v) in li.graph().edges() {
+                if let (Some(a), Some(b)) = (idx_of[u], idx_of[v]) {
+                    if a == b {
+                        self_loops[a] = true;
+                    } else {
+                        let e = (a.min(b), a.max(b));
+                        if !edges.contains(&e) {
+                            edges.push(e);
+                        }
+                    }
+                }
+            }
+        }
+        ViewGraph {
+            views,
+            edges,
+            self_loops,
+        }
+    }
+
+    /// Whether the view graph admits a proper `k`-coloring: no self-loops
+    /// and a brute-forced proper coloring of the loop-free part.
+    pub fn k_colorable(&self, k: usize) -> bool {
+        if self.self_loops.iter().any(|&l| l) {
+            return false;
+        }
+        let mut g = Graph::new(self.views.len());
+        for &(a, b) in &self.edges {
+            g.add_edge(a, b).expect("view indices in range");
+        }
+        k_colorable(&g, k)
+    }
+
+    /// The hiding predicate of Lemma 3.2: `D` is hiding iff `V(D, n)` is
+    /// **not** `k`-colorable.
+    pub fn hiding(&self, k: usize) -> bool {
+        !self.k_colorable(k)
+    }
+
+    /// Connected components of the view graph (a self-loop keeps its view
+    /// in its component), by plain BFS.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.views.len()];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; self.views.len()];
+        let mut comps = Vec::new();
+        for start in 0..self.views.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = vec![start];
+            seen[start] = true;
+            let mut frontier = vec![start];
+            while let Some(v) = frontier.pop() {
+                for &w in &adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        comp.push(w);
+                        frontier.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// Per-view unextractability (the quantified-hiding measure): a view
+    /// is unextractable iff its connected component — self-loops
+    /// included — has no proper `k`-coloring.
+    pub fn unextractable(&self, k: usize) -> Vec<bool> {
+        let mut flags = vec![false; self.views.len()];
+        for comp in self.components() {
+            let poisoned = comp.iter().any(|&i| self.self_loops[i]);
+            let sub = {
+                let mut idx_of = vec![usize::MAX; self.views.len()];
+                for (new, &old) in comp.iter().enumerate() {
+                    idx_of[old] = new;
+                }
+                let mut g = Graph::new(comp.len());
+                for &(a, b) in &self.edges {
+                    if idx_of[a] != usize::MAX && idx_of[b] != usize::MAX {
+                        g.add_edge(idx_of[a], idx_of[b]).expect("component edge");
+                    }
+                }
+                g
+            };
+            if poisoned || !k_colorable(&sub, k) {
+                for &i in &comp {
+                    flags[i] = true;
+                }
+            }
+        }
+        flags
+    }
+
+    /// The hidden fraction of `li`'s nodes: those whose anonymous view is
+    /// absent from the graph or sits in an unextractable component.
+    pub fn hidden_fraction(&self, radius: usize, li: &LabeledInstance, k: usize) -> f64 {
+        let n = li.graph().node_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let unext = self.unextractable(k);
+        let hidden = li
+            .graph()
+            .nodes()
+            .filter(|&v| {
+                let view = li.view(v, radius, IdMode::Anonymous);
+                match self.views.iter().position(|w| *w == view) {
+                    Some(i) => unext[i],
+                    None => true,
+                }
+            })
+            .count();
+        hidden as f64 / n as f64
+    }
+}
+
+/// Erasure reaction by definition: blank the targets' certificates and
+/// count rejecting nodes with a fresh per-node decode.
+pub fn erasure<D: Decoder + ?Sized>(
+    decoder: &D,
+    li: &LabeledInstance,
+    targets: &[usize],
+) -> ErasureOutcome {
+    let mut labeling = li.labeling().clone();
+    for &v in targets {
+        labeling.set(v, Certificate::empty());
+    }
+    let rejecting = run_by_definition(decoder, li.instance(), &labeling)
+        .iter()
+        .filter(|v| !v.is_accept())
+        .count();
+    ErasureOutcome {
+        erased: targets.len(),
+        rejecting,
+    }
+}
+
+/// Invariance by definition: for each identifier variant in order, the
+/// first node whose verdict differs from the baseline assignment's.
+pub fn invariance<D: Decoder + ?Sized>(
+    decoder: &D,
+    instance: &Instance,
+    labeling: &Labeling,
+    variants: &[IdAssignment],
+) -> Result<(), InvarianceViolation> {
+    let base = run_by_definition(decoder, instance, labeling);
+    for ids in variants {
+        let alt = instance
+            .replace_ids(ids.clone())
+            .expect("variant ids fit the graph");
+        let verdicts = run_by_definition(decoder, &alt, labeling);
+        if let Some(node) = (0..base.len()).find(|&v| base[v] != verdicts[v]) {
+            return Err(InvarianceViolation {
+                ids: ids.clone(),
+                node,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// SplitMix64, re-derived from its published constants so the degradation
+/// oracle shares no code with the production fault layer.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The documented honest-trial plan-seed salt (`b'h'`).
+pub const H_SALT: u64 = 0x68;
+/// The documented adversarial-trial plan-seed salt (`b'a'`).
+pub const A_SALT: u64 = 0x61;
+
+/// The documented per-trial plan seed: a pure function of the sweep seed,
+/// the rate's global index and the trial index.
+pub fn trial_seed(seed: u64, rate_idx: usize, trial: usize, salt: u64) -> u64 {
+    splitmix64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (rate_idx as u64) << 32
+            ^ (trial as u64) << 8
+            ^ salt,
+    )
+}
+
+/// The degradation sweep by definition: same trials, same documented seed
+/// derivation, but with the orchestration loop, salts, strong-soundness
+/// judgment (hand-built induced subgraph + brute-force colorability) and
+/// stat summation all reimplemented here. Shares only the faulty network
+/// simulation itself with production.
+pub fn degradation<D: Decoder + ?Sized>(
+    decoder: &D,
+    language: &KCol,
+    honest: &LabeledInstance,
+    adversarial: &[Labeling],
+    rates: &[f64],
+    trials: usize,
+    seed: u64,
+) -> DegradationReport {
+    let n = honest.graph().node_count();
+    let rejected: Vec<&Labeling> = adversarial
+        .iter()
+        .filter(|l| {
+            let li = honest.instance().clone().with_labeling((*l).clone());
+            !run_by_definition(decoder, li.instance(), li.labeling())
+                .iter()
+                .all(|v| v.is_accept())
+        })
+        .collect();
+    let points = rates
+        .iter()
+        .enumerate()
+        .map(|(ri, &rate)| {
+            let mut rejecting_total = 0usize;
+            let mut strong_violations = 0usize;
+            let mut false_accepts = 0usize;
+            let mut adversarial_trials = 0usize;
+            let mut stats = FaultStats::default();
+            for t in 0..trials {
+                let plan =
+                    FaultPlan::new(trial_seed(seed, ri, t, H_SALT), FaultRates::uniform(rate));
+                let (verdicts, s) = run_distributed_faulty(decoder, honest, &plan);
+                stats = add_stats(stats, s);
+                let accepting: Vec<usize> = verdicts
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(v, verdict)| verdict.is_accept().then_some(v))
+                    .collect();
+                rejecting_total += n - accepting.len();
+                if !k_colorable(&induced(honest.graph(), &accepting), language.k()) {
+                    strong_violations += 1;
+                }
+                if !rejected.is_empty() {
+                    let labeling = rejected[t % rejected.len()];
+                    let li = honest.instance().clone().with_labeling(labeling.clone());
+                    let adv_plan =
+                        FaultPlan::new(trial_seed(seed, ri, t, A_SALT), FaultRates::uniform(rate));
+                    let (verdicts, s) = run_distributed_faulty(decoder, &li, &adv_plan);
+                    stats = add_stats(stats, s);
+                    adversarial_trials += 1;
+                    if verdicts.iter().all(|v| v.is_accept()) {
+                        false_accepts += 1;
+                    }
+                }
+            }
+            DegradationPoint {
+                rate,
+                trials,
+                avg_rejecting: rejecting_total as f64 / trials.max(1) as f64,
+                strong_violations,
+                false_accepts,
+                adversarial_trials,
+                stats,
+            }
+        })
+        .collect();
+    DegradationReport {
+        decoder: decoder.name(),
+        nodes: n,
+        seed,
+        points,
+    }
+}
+
+fn add_stats(a: FaultStats, b: FaultStats) -> FaultStats {
+    FaultStats {
+        dropped: a.dropped + b.dropped,
+        duplicated: a.duplicated + b.duplicated,
+        corrupted: a.corrupted + b.corrupted,
+        delayed: a.delayed + b.delayed,
+        expired: a.expired + b.expired,
+        suppressed: a.suppressed + b.suppressed,
+        decode_panics: a.decode_panics + b.decode_panics,
+    }
+}

@@ -1,0 +1,162 @@
+//! Determinism of the network-degradation sweep: byte-identical reports
+//! per seed across reruns, and across budget-interrupted resume chains
+//! assembled from `degradation_sweep_slice`.
+//!
+//! The sweep derives every trial seed from the (seed, global rate index,
+//! trial, salt) tuple, never from ambient state or thread identity, so
+//! the CI conformance job running this binary at `PARITY_THREADS` ∈
+//! {1, 2, 4} must see the same bytes each time.
+
+use hiding_lcp_conformance::probes::LocalDiff;
+use hiding_lcp_core::instance::{Instance, LabeledInstance};
+use hiding_lcp_core::label::{Certificate, Labeling};
+use hiding_lcp_core::language::KCol;
+use hiding_lcp_core::network::degradation::{degradation_sweep, degradation_sweep_slice};
+use hiding_lcp_graph::generators;
+
+/// FNV-1a of the fixture report's `Debug` rendering (see
+/// [`report_matches_the_golden_digest`]).
+const GOLDEN_DIGEST: u64 = 6166955872067172605;
+
+fn fixture() -> (LabeledInstance, Vec<Labeling>, Vec<f64>) {
+    let honest = Instance::canonical(generators::cycle(6)).with_labeling(
+        (0..6)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect(),
+    );
+    let mut one_flip = honest.labeling().clone();
+    one_flip.set(2, Certificate::from_byte(0));
+    let adversarial = vec![Labeling::uniform(6, Certificate::from_byte(0)), one_flip];
+    (honest, adversarial, vec![0.0, 0.1, 0.25, 0.5])
+}
+
+#[test]
+fn reruns_are_byte_identical() {
+    let (honest, adversarial, rates) = fixture();
+    let language = KCol::new(2);
+    let a = degradation_sweep(
+        &LocalDiff,
+        &language,
+        &honest,
+        &adversarial,
+        &rates,
+        6,
+        0xFEED,
+    );
+    let b = degradation_sweep(
+        &LocalDiff,
+        &language,
+        &honest,
+        &adversarial,
+        &rates,
+        6,
+        0xFEED,
+    );
+    assert_eq!(a, b);
+    // Byte-identical, not just structurally equal: the rendered report is
+    // what experiment logs diff against.
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+/// Stable FNV-1a over the rendered report.
+fn digest(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    })
+}
+
+/// The fixture report pinned as a golden digest: the sweep is a pure
+/// function of its arguments, so every CI `conformance` matrix leg
+/// (`PARITY_THREADS` ∈ {1, 2, 4}) and every host must render the exact
+/// same bytes. A digest change means the fault model's semantics moved —
+/// rebless deliberately, with the diff in hand.
+#[test]
+fn report_matches_the_golden_digest() {
+    let (honest, adversarial, rates) = fixture();
+    let language = KCol::new(2);
+    let report = degradation_sweep(
+        &LocalDiff,
+        &language,
+        &honest,
+        &adversarial,
+        &rates,
+        6,
+        0xFEED,
+    );
+    assert_eq!(
+        digest(&format!("{report:?}")),
+        GOLDEN_DIGEST,
+        "degradation report bytes drifted; if intentional, rebless:\n{report:#?}"
+    );
+}
+
+#[test]
+fn distinct_seeds_give_distinct_runs() {
+    let (honest, adversarial, rates) = fixture();
+    let language = KCol::new(2);
+    let a = degradation_sweep(&LocalDiff, &language, &honest, &adversarial, &rates, 8, 1);
+    let b = degradation_sweep(&LocalDiff, &language, &honest, &adversarial, &rates, 8, 2);
+    assert_ne!(a, b, "the seed must actually steer the fault plans");
+    // The fault-free point is seed-independent by construction.
+    assert_eq!(a.points[0], b.points[0]);
+}
+
+/// A budget-interrupted sweep resumed slice by slice concatenates to the
+/// byte-identical uninterrupted report — including a re-run (overlapping)
+/// slice, which must reproduce its points exactly.
+#[test]
+fn slices_concatenate_to_the_full_report() {
+    let (honest, adversarial, rates) = fixture();
+    let language = KCol::new(2);
+    let full = degradation_sweep(
+        &LocalDiff,
+        &language,
+        &honest,
+        &adversarial,
+        &rates,
+        6,
+        0xFEED,
+    );
+    let mut chained = Vec::new();
+    for range in [0..1, 1..3, 3..4] {
+        chained.extend(degradation_sweep_slice(
+            &LocalDiff,
+            &language,
+            &honest,
+            &adversarial,
+            &rates,
+            6,
+            0xFEED,
+            range,
+        ));
+    }
+    assert_eq!(chained, full.points);
+
+    let rerun = degradation_sweep_slice(
+        &LocalDiff,
+        &language,
+        &honest,
+        &adversarial,
+        &rates,
+        6,
+        0xFEED,
+        1..3,
+    );
+    assert_eq!(
+        rerun,
+        full.points[1..3],
+        "an overlapping re-run slice reproduces its points"
+    );
+
+    let empty = degradation_sweep_slice(
+        &LocalDiff,
+        &language,
+        &honest,
+        &adversarial,
+        &rates,
+        6,
+        0xFEED,
+        2..2,
+    );
+    assert!(empty.is_empty());
+}

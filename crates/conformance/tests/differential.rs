@@ -1,0 +1,398 @@
+//! Differential suites: every property checker against its brute-force
+//! oracle, at every execution mode (sequential and `PARITY_THREADS`-way
+//! parallel) under both sweep strategies (delta-stepping with memoization
+//! and the per-item decode oracle).
+//!
+//! The CI conformance job runs this binary at `PARITY_THREADS` ∈ {1, 2, 4}.
+
+use hiding_lcp_conformance::oracle::{self, ViewGraph};
+use hiding_lcp_conformance::parity_threads;
+use hiding_lcp_conformance::probes::{bits, LocalDiff, StrictDiff, TriangleSpotter, YesMan};
+use hiding_lcp_core::decoder::Decoder;
+use hiding_lcp_core::instance::{Instance, LabeledInstance};
+use hiding_lcp_core::label::{Certificate, Labeling};
+use hiding_lcp_core::language::KCol;
+use hiding_lcp_core::lower::PortObliviousCycleDecoder;
+use hiding_lcp_core::properties::completeness::check_completeness;
+use hiding_lcp_core::properties::erasure::erase_and_run;
+use hiding_lcp_core::properties::hiding::HidingCheck;
+use hiding_lcp_core::properties::invariance::InvarianceCheck;
+use hiding_lcp_core::properties::quantified::QuantifiedCheck;
+use hiding_lcp_core::properties::soundness::SoundnessCheck;
+use hiding_lcp_core::properties::strong::StrongCheck;
+use hiding_lcp_core::prover::Prover;
+use hiding_lcp_core::verify::{
+    sweep_lazy_labeled, sweep_with_opts, Coverage, ExecMode, SweepOpts, Universe,
+    VerificationReport,
+};
+use hiding_lcp_graph::algo::bipartite;
+use hiding_lcp_graph::{generators, IdAssignment};
+use proptest::prelude::*;
+
+/// The execution modes every differential comparison runs under.
+fn modes() -> [ExecMode; 2] {
+    [ExecMode::Sequential, ExecMode::Parallel(parity_threads())]
+}
+
+/// Both sweep strategies, freshly constructed.
+fn strategies() -> [SweepOpts; 2] {
+    [SweepOpts::default(), SweepOpts::oracle()]
+}
+
+/// Runs `check` over `universe` at every mode × strategy and asserts all
+/// verdicts equal `expected`.
+fn assert_all_runs_match<C, V>(check: &C, universe: &Universe, expected: &V, what: &str)
+where
+    C: hiding_lcp_core::verify::PropertyCheck<Verdict = V>,
+    V: PartialEq + std::fmt::Debug,
+{
+    for mode in modes() {
+        for opts in strategies() {
+            let report: VerificationReport<V> = sweep_with_opts(check, universe, mode, opts);
+            assert!(
+                report.errors.is_empty(),
+                "{what}: sweep caught panics under {mode:?}"
+            );
+            assert_eq!(
+                &report.verdict, expected,
+                "{what}: engine disagrees with the oracle under {mode:?}"
+            );
+        }
+    }
+}
+
+fn small_instances() -> Vec<Instance> {
+    [
+        generators::cycle(3),
+        generators::cycle(4),
+        generators::cycle(5),
+        generators::path(4),
+        generators::star(3),
+        generators::complete(4),
+    ]
+    .into_iter()
+    .map(Instance::canonical)
+    .collect()
+}
+
+/// Certifies bipartite graphs with the 2-coloring as one-byte
+/// certificates; declines everything else.
+struct TwoColorProver;
+impl Prover for TwoColorProver {
+    fn name(&self) -> String {
+        "two-color".into()
+    }
+    fn certify(&self, instance: &Instance) -> Option<Labeling> {
+        let coloring = hiding_lcp_graph::algo::coloring::lex_first_coloring(instance.graph(), 2)?;
+        Some(
+            coloring
+                .iter()
+                .map(|&c| Certificate::from_byte(c as u8))
+                .collect(),
+        )
+    }
+}
+
+#[test]
+fn completeness_matches_oracle() {
+    // A mix of certifiable (even cycles, paths) and declined (odd cycles,
+    // K4) instances, so both report branches are exercised.
+    let instances = small_instances();
+    let engine = check_completeness(&LocalDiff, &TwoColorProver, instances.clone());
+    let reference = oracle::completeness(&LocalDiff, &TwoColorProver, &instances);
+    assert_eq!(engine, reference);
+    assert!(engine.passed >= 3, "even cycles and the path certify");
+    assert!(!engine.failures.is_empty(), "odd cycles decline");
+
+    // A decoder that rejects some certified node: NodeRejected paths.
+    let engine = check_completeness(&StrictDiff, &TwoColorProver, instances.clone());
+    assert_eq!(
+        engine,
+        oracle::completeness(&StrictDiff, &TwoColorProver, &instances)
+    );
+}
+
+#[test]
+fn soundness_matches_oracle() {
+    for instance in small_instances() {
+        let universe = Universe::all_labelings_of(instance.clone(), bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        for run in 0..3 {
+            let (check, expected): (SoundnessCheck<'_, dyn Decoder>, _) = match run {
+                0 => (
+                    SoundnessCheck {
+                        decoder: &LocalDiff,
+                    },
+                    oracle::soundness(&LocalDiff, &instance, &bits()),
+                ),
+                1 => (
+                    SoundnessCheck { decoder: &YesMan },
+                    oracle::soundness(&YesMan, &instance, &bits()),
+                ),
+                _ => (
+                    SoundnessCheck {
+                        decoder: &TriangleSpotter,
+                    },
+                    oracle::soundness(&TriangleSpotter, &instance, &bits()),
+                ),
+            };
+            // The engine short-circuits at the first violation; the oracle
+            // scans the same odometer order, so the witnesses agree. When
+            // no violation exists both report the exhaustive count.
+            let expected = match expected {
+                Ok(_) => Ok(universe.len()),
+                Err(v) => Err(v),
+            };
+            assert_all_runs_match(&check, &universe, &expected, "soundness");
+        }
+    }
+}
+
+#[test]
+fn strong_matches_oracle() {
+    let language = KCol::new(2);
+    for instance in small_instances() {
+        let universe = Universe::all_labelings_of(instance.clone(), bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        for run in 0..2 {
+            let (check, expected): (StrongCheck<'_, dyn Decoder>, _) = match run {
+                0 => (
+                    StrongCheck {
+                        decoder: &LocalDiff,
+                        language: &language,
+                    },
+                    oracle::strong(&LocalDiff, 2, &instance, &bits()),
+                ),
+                _ => (
+                    StrongCheck {
+                        decoder: &YesMan,
+                        language: &language,
+                    },
+                    oracle::strong(&YesMan, 2, &instance, &bits()),
+                ),
+            };
+            let expected = match expected {
+                Ok(_) => Ok(universe.len()),
+                Err(v) => Err(v),
+            };
+            assert_all_runs_match(&check, &universe, &expected, "strong soundness");
+        }
+    }
+}
+
+/// The labeled items of an exhaustive binary universe, in universe order —
+/// the oracle-side mirror of `Universe::all_labelings_of`.
+fn exhaustive_labeled(instance: &Instance) -> Vec<LabeledInstance> {
+    oracle::all_labelings(instance.graph().node_count(), &bits())
+        .into_iter()
+        .map(|l| instance.clone().with_labeling(l))
+        .collect()
+}
+
+#[test]
+fn hiding_matches_oracle() {
+    for instance in [
+        Instance::canonical(generators::cycle(4)),
+        Instance::canonical(generators::path(3)),
+    ] {
+        for run in 0..2 {
+            let universe =
+                Universe::all_labelings_of(instance.clone(), bits(), Coverage::Exhaustive)
+                    .expect("small universe fits");
+            let items = exhaustive_labeled(&instance);
+            let (decoder, what): (&dyn Decoder, _) = if run == 0 {
+                (&LocalDiff, "hiding/local-diff")
+            } else {
+                (&YesMan, "hiding/yes-man")
+            };
+            let reference = ViewGraph::build(decoder, &items, bipartite::is_bipartite);
+            for mode in modes() {
+                for opts in strategies() {
+                    let check = HidingCheck::new(decoder, &universe, 2, bipartite::is_bipartite);
+                    let report = sweep_with_opts(&check, &universe, mode, opts);
+                    let (nbhd, verdict) = report.verdict;
+                    assert_eq!(
+                        nbhd.view_count(),
+                        reference.views.len(),
+                        "{what}: view census"
+                    );
+                    assert_eq!(
+                        nbhd.self_loop_views().len(),
+                        reference.self_loops.iter().filter(|&&l| l).count(),
+                        "{what}: self-loop census"
+                    );
+                    assert_eq!(
+                        verdict.is_hiding(),
+                        reference.hiding(2),
+                        "{what}: Lemma 3.2 verdict under {mode:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn quantified_matches_oracle() {
+    let instance = Instance::canonical(generators::cycle(4));
+    let universe = Universe::all_labelings_of(instance.clone(), bits(), Coverage::Exhaustive)
+        .expect("16 labelings fit");
+    let items = exhaustive_labeled(&instance);
+    let probe_li = instance.clone().with_labeling(
+        (0..4)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect(),
+    );
+    for run in 0..2 {
+        let (decoder, what): (&dyn Decoder, _) = if run == 0 {
+            (&LocalDiff, "quantified/local-diff")
+        } else {
+            (&YesMan, "quantified/yes-man")
+        };
+        let reference = ViewGraph::build(decoder, &items, bipartite::is_bipartite);
+        let ref_unext = reference.unextractable(2);
+        let ref_fraction = reference.hidden_fraction(decoder.radius(), &probe_li, 2);
+        for mode in modes() {
+            for opts in strategies() {
+                let check = QuantifiedCheck::new(decoder, &universe, 2, bipartite::is_bipartite);
+                let report = sweep_with_opts(&check, &universe, mode, opts);
+                let (nbhd, map) = report.verdict;
+                assert_eq!(
+                    map.unextractable_views(),
+                    ref_unext.iter().filter(|&&b| b).count(),
+                    "{what}: unextractable census under {mode:?}"
+                );
+                let fraction = map.hidden_fraction(&nbhd, &probe_li);
+                assert!(
+                    (fraction - ref_fraction).abs() < 1e-12,
+                    "{what}: hidden fraction {fraction} vs oracle {ref_fraction}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn erasure_matches_oracle_on_all_small_targets() {
+    let honest = Instance::canonical(generators::cycle(6)).with_labeling(
+        (0..6)
+            .map(|v| Certificate::from_byte((v % 2) as u8))
+            .collect(),
+    );
+    let mut targets: Vec<Vec<usize>> = vec![vec![]];
+    targets.extend((0..6).map(|v| vec![v]));
+    targets.extend((0..6).flat_map(|u| (u + 1..6).map(move |v| vec![u, v])));
+    for t in &targets {
+        for decoder in [&LocalDiff as &dyn Decoder, &StrictDiff] {
+            assert_eq!(
+                erase_and_run(decoder, &honest, t),
+                oracle::erasure(decoder, &honest, t),
+                "erasure outcome for targets {t:?}"
+            );
+        }
+    }
+}
+
+/// Accepts iff the center's identifier is below 3 — id-sensitive, so
+/// remappings produce real invariance violations.
+struct SmallId;
+impl Decoder for SmallId {
+    fn name(&self) -> String {
+        "small-id".into()
+    }
+    fn radius(&self) -> usize {
+        0
+    }
+    fn id_mode(&self) -> hiding_lcp_core::view::IdMode {
+        hiding_lcp_core::view::IdMode::Full
+    }
+    fn decide(&self, view: &hiding_lcp_core::view::View) -> hiding_lcp_core::decoder::Verdict {
+        hiding_lcp_core::decoder::Verdict::from(view.center_id().expect("full mode") < 3)
+    }
+}
+
+#[test]
+fn invariance_matches_oracle() {
+    let instance = Instance::canonical(generators::path(3));
+    let labeling = Labeling::empty(3);
+    let bound = instance.ids().bound();
+    let variants: Vec<IdAssignment> = [
+        vec![2, 1, 3], // permutation
+        vec![3, 1, 2], // permutation
+        vec![2, 4, 6], // order-preserving remap
+        vec![5, 6, 7], // shifts every id past SmallId's threshold
+    ]
+    .into_iter()
+    .map(|ids| IdAssignment::from_ids(ids, bound).expect("ids fit the canonical bound"))
+    .collect();
+    for run in 0..2 {
+        let (decoder, what): (&dyn Decoder, _) = if run == 0 {
+            (&LocalDiff, "invariance/anonymous")
+        } else {
+            (&SmallId, "invariance/id-sensitive")
+        };
+        let expected = oracle::invariance(decoder, &instance, &labeling, &variants);
+        let check = InvarianceCheck::new(decoder, &instance, &labeling);
+        let items: Vec<LabeledInstance> = variants
+            .iter()
+            .map(|ids| {
+                LabeledInstance::new(
+                    instance.replace_ids(ids.clone()).expect("ids fit"),
+                    labeling.clone(),
+                )
+            })
+            .collect();
+        let verdict = sweep_lazy_labeled(&check, items, Coverage::Sampled).verdict;
+        assert_eq!(verdict, expected, "{what}");
+        if run == 0 {
+            assert_eq!(verdict, Ok(()), "anonymous decoders are invariant");
+        } else {
+            assert!(verdict.is_err(), "the shifted variant flips node 0");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every port-oblivious cycle decoder (all 64 truth tables) is
+    /// sound-or-not exactly as the brute force says, on both an even and
+    /// an odd cycle, under every mode × strategy.
+    #[test]
+    fn cycle_decoder_soundness_parity(code in 0u8..64) {
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        for n in [4usize, 5] {
+            let instance = Instance::canonical(generators::cycle(n));
+            let universe = Universe::all_labelings_of(instance.clone(), bits(), Coverage::Exhaustive)
+                .expect("small universe fits");
+            let expected = match oracle::soundness(&decoder, &instance, &bits()) {
+                Ok(_) => Ok(universe.len()),
+                Err(v) => Err(v),
+            };
+            let check = SoundnessCheck { decoder: &decoder };
+            for mode in modes() {
+                for opts in strategies() {
+                    let report = sweep_with_opts(&check, &universe, mode, opts);
+                    prop_assert_eq!(&report.verdict, &expected, "code {} on C{}", code, n);
+                }
+            }
+        }
+    }
+
+    /// Random labelings on random-ish small cycles: per-node verdict
+    /// vectors from the engine-facing view pipeline equal the
+    /// by-definition decode.
+    #[test]
+    fn per_node_verdicts_match_definition(code in 0u8..64, seed in 0u64..1024) {
+        let n = 3 + (seed % 4) as usize;
+        let instance = Instance::canonical(generators::cycle(n));
+        let labeling: Labeling = (0..n)
+            .map(|v| Certificate::from_byte(((seed >> v) & 1) as u8))
+            .collect();
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let li = instance.clone().with_labeling(labeling.clone());
+        let engine = hiding_lcp_core::decoder::run(&decoder, &li);
+        let reference = oracle::run_by_definition(&decoder, &instance, &labeling);
+        prop_assert_eq!(engine, reference);
+    }
+}

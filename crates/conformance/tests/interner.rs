@@ -1,0 +1,164 @@
+//! ViewInterner contract tests: dense id allocation across shards, id
+//! stability under concurrent interning, and `ViewId` → view round-trips.
+
+use hiding_lcp_conformance::oracle;
+use hiding_lcp_core::instance::Instance;
+use hiding_lcp_core::label::Certificate;
+use hiding_lcp_core::verify::{digit_key, ViewInterner};
+use hiding_lcp_core::view::{IdMode, View};
+use hiding_lcp_graph::generators;
+use std::collections::HashMap;
+
+/// Two bits of certificate alphabet.
+fn bits() -> Vec<Certificate> {
+    vec![Certificate::from_byte(0), Certificate::from_byte(1)]
+}
+
+/// Every radius-`radius` anonymous view of every binary labeling of `g`'s
+/// instance — lots of duplicates, a controlled set of distinct views.
+fn view_pool(instance: &Instance, radius: usize) -> Vec<View> {
+    let n = instance.graph().node_count();
+    oracle::all_labelings(n, &bits())
+        .iter()
+        .flat_map(|labeling| {
+            (0..n)
+                .map(|v| instance.view(labeling, v, radius, IdMode::Anonymous))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn distinct_count(pool: &[View]) -> usize {
+    let mut distinct: Vec<&View> = Vec::new();
+    for v in pool {
+        if !distinct.contains(&v) {
+            distinct.push(v);
+        }
+    }
+    distinct.len()
+}
+
+/// Interning a pool with few distinct views mints dense ids `0..len`,
+/// re-interning hits, and the snapshot round-trips id → view.
+#[test]
+fn dense_ids_and_snapshot_round_trip() {
+    let instance = Instance::canonical(generators::cycle(5));
+    let pool = view_pool(&instance, 1);
+    let expected_distinct = distinct_count(&pool);
+    let interner = ViewInterner::new();
+    let mut id_of: HashMap<View, u32> = HashMap::new();
+    for view in &pool {
+        let id = interner.intern(view.clone());
+        let prev = id_of.insert(view.clone(), id);
+        if let Some(prev) = prev {
+            assert_eq!(prev, id, "an equal view re-interned under a new id");
+        }
+    }
+    assert_eq!(interner.len(), expected_distinct);
+    let mut ids: Vec<u32> = id_of.values().copied().collect();
+    ids.sort_unstable();
+    let dense: Vec<u32> = (0..expected_distinct as u32).collect();
+    assert_eq!(ids, dense, "ids must be dense from 0 with no gaps");
+    let snapshot = interner.snapshot();
+    assert_eq!(snapshot.len(), expected_distinct);
+    for (view, &id) in &id_of {
+        assert_eq!(&snapshot[id as usize], view, "snapshot[id] round-trips");
+    }
+    // `intern` counts one front-cache miss per call (front-cache hits come
+    // only from `lookup_key`), so the miss counter equals the call count.
+    let (hits, misses) = interner.stats();
+    assert_eq!(misses, pool.len(), "one counted miss per intern call");
+    assert_eq!(hits, 0, "no keyed lookups were made");
+}
+
+/// A larger distinct set spreads across the interner's shards; density
+/// must survive the sharding (shard-local allocation may not leave gaps
+/// or collide).
+#[test]
+fn shards_allocate_densely() {
+    let c6 = Instance::canonical(generators::cycle(6));
+    let p5 = Instance::canonical(generators::path(5));
+    let mut pool = view_pool(&c6, 2);
+    pool.extend(view_pool(&p5, 1));
+    let expected_distinct = distinct_count(&pool);
+    assert!(expected_distinct >= 32, "pool too small to exercise shards");
+    let interner = ViewInterner::new();
+    let mut seen = vec![false; expected_distinct];
+    for view in &pool {
+        let id = interner.intern(view.clone()) as usize;
+        assert!(id < expected_distinct, "id {id} out of the dense range");
+        seen[id] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "every dense id must be assigned");
+    assert_eq!(interner.len(), expected_distinct);
+}
+
+/// Concurrent interning from several threads agrees on one id per view,
+/// with the same dense guarantee — the sweep executor's workers rely on
+/// exactly this.
+#[test]
+fn ids_stable_across_threads() {
+    let instance = Instance::canonical(generators::cycle(6));
+    let pool = view_pool(&instance, 2);
+    let expected_distinct = distinct_count(&pool);
+    let interner = ViewInterner::new();
+    let threads = 4;
+    let maps: Vec<HashMap<View, u32>> = std::thread::scope(|scope| {
+        (0..threads)
+            .map(|t| {
+                let pool = &pool;
+                let interner = &interner;
+                scope.spawn(move || {
+                    // Each thread walks the pool from a different offset so
+                    // insertion races actually happen.
+                    let mut map = HashMap::new();
+                    let start = t * pool.len() / threads;
+                    for i in 0..pool.len() {
+                        let view = &pool[(start + i) % pool.len()];
+                        map.insert(view.clone(), interner.intern(view.clone()));
+                    }
+                    map
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("interner thread panicked"))
+            .collect()
+    });
+    assert_eq!(interner.len(), expected_distinct);
+    for map in &maps[1..] {
+        assert_eq!(map, &maps[0], "threads disagree on some view's id");
+    }
+    let snapshot = interner.snapshot();
+    for (view, &id) in &maps[0] {
+        assert_eq!(&snapshot[id as usize], view);
+    }
+}
+
+/// The keyed fast path converges on the same ids as structural interning,
+/// and distinct digit keys stay distinct.
+#[test]
+fn keyed_interning_matches_structural() {
+    let instance = Instance::canonical(generators::star(3));
+    let interner = ViewInterner::new();
+    let order = [0usize, 1, 2, 3];
+    for (digits_a, digits_b) in [((0, 0), (0, 1)), ((1, 0), (1, 1))] {
+        let make = |bit0: usize, bit1: usize| {
+            let labeling = (0..4)
+                .map(|v| Certificate::from_byte(if v == 1 { bit0 } else { bit1 } as u8))
+                .collect();
+            instance.view(&labeling, 0, 1, IdMode::Anonymous)
+        };
+        let va = make(digits_a.0, digits_a.1);
+        let vb = make(digits_b.0, digits_b.1);
+        let key_a = digit_key(7, &order, &[digits_a.0, digits_a.1, 0, 0]).expect("4 nodes fit");
+        let key_b = digit_key(7, &order, &[digits_b.0, digits_b.1, 0, 0]).expect("4 nodes fit");
+        assert_ne!(key_a, key_b, "distinct digit vectors pack to distinct keys");
+        let a = interner.intern_keyed(key_a, va.clone());
+        let b = interner.intern_keyed(key_b, vb.clone());
+        assert_eq!(interner.lookup_key(key_a), Some(a));
+        assert_eq!(interner.lookup_key(key_b), Some(b));
+        assert_eq!(interner.intern(va), a, "keyed and structural ids agree");
+        assert_eq!(interner.intern(vb), b, "keyed and structural ids agree");
+    }
+}

@@ -1,0 +1,47 @@
+//! The mutation battery: arms every seeded mutant in turn, replays the
+//! full probe list, and fails unless each mutant is killed — with the
+//! kill matrix printed either way.
+//!
+//! The mutants (and this battery) exist only under
+//! `RUSTFLAGS="--cfg conformance_mutants"`; the CI `mutants` job runs
+//! exactly this binary. The battery must own its process (the mutant
+//! registry is one global switch), which is why it lives alone here.
+
+#[cfg(conformance_mutants)]
+#[test]
+fn every_seeded_mutant_dies() {
+    use hiding_lcp_conformance::catalog;
+
+    let matrix = catalog::run_battery();
+    let rendered = catalog::render_matrix(&matrix);
+    println!("{rendered}");
+    let survivors: Vec<&str> = matrix
+        .iter()
+        .filter(|r| r.killers.is_empty())
+        .map(|r| r.mutant)
+        .collect();
+    assert!(
+        survivors.is_empty(),
+        "surviving mutants — each names a coverage hole in the probe battery: {survivors:?}\n{rendered}"
+    );
+    for record in &matrix {
+        assert!(
+            record.expected_hit,
+            "mutant `{}` was killed, but only by probes the catalog does not \
+             expect ({:?}) — update the catalog or the drifted probe\n{rendered}",
+            record.mutant, record.killers
+        );
+    }
+}
+
+/// Without the cfg the mutants are compiled out and there is nothing to
+/// battery-test; this placeholder documents the gate so the binary is
+/// never silently empty.
+#[cfg(not(conformance_mutants))]
+#[test]
+fn battery_requires_the_conformance_mutants_cfg() {
+    assert!(
+        !hiding_lcp_conformance::catalog::MUTANTS.is_empty(),
+        "the catalog is always visible; the hooks need RUSTFLAGS=\"--cfg conformance_mutants\""
+    );
+}

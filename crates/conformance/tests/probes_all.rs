@@ -1,0 +1,21 @@
+//! Clean-build sanity: every conformance probe passes with no mutant
+//! active, and the mutant catalog agrees with the probe battery.
+
+use hiding_lcp_conformance::{catalog, probes};
+
+#[test]
+fn every_probe_passes_on_the_clean_build() {
+    for (name, probe) in probes::ALL {
+        eprintln!("probe {name}");
+        probe();
+    }
+}
+
+#[test]
+fn catalog_names_real_probes_and_unique_mutants() {
+    catalog::check_catalog_consistency();
+    assert!(
+        catalog::MUTANTS.len() >= 15,
+        "the battery certifies at least fifteen seeded mutants"
+    );
+}

@@ -61,6 +61,8 @@ pub mod label;
 pub mod language;
 pub mod lcl;
 pub mod lower;
+#[cfg(conformance_mutants)]
+pub mod mutants;
 pub mod nbhd;
 pub mod network;
 pub mod properties;

@@ -1,0 +1,62 @@
+//! Seeded semantic mutants for the conformance mutation battery.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg conformance_mutants"`. Each
+//! mutant is a named, deliberately wrong variant of one decision in the
+//! verification engine or a property checker, dormant until activated via
+//! [`set_active`]. The `hiding-lcp-conformance` battery activates each in
+//! turn and fails unless some conformance probe kills it — the battery
+//! certifies the *test suite*, not the code.
+//!
+//! [`set_active`] forwards to the graph crate's registry too, so one call
+//! arms a mutant wherever it lives. Mutants seeded in this crate:
+//!
+//! * `view_radius_shrink` — view skeletons are assembled at radius r−1.
+//! * `delta_stale_digit` — an odometer step updates the digit but not the
+//!   decoded labeling.
+//! * `delta_dropped_resync` — a resync decode claims it was a plain step,
+//!   leaving the delta-maintained verdict vector stale.
+//! * `delta_ball_misindex` — ball inversion skips each skeleton's first
+//!   (center) node, so a node's own digit never re-decides it.
+//! * `memo_key_class_collision` — the verdict memo keys every node with
+//!   skeleton class 0, colliding distinct local structures.
+//! * `digit_key_slot_alias` — digit-key packing aliases every digit past
+//!   slot 2 onto slot 2.
+//! * `interner_always_fresh` — the view interner mints a fresh id on
+//!   every call, breaking "distinct id ⟺ distinct view".
+//! * `checked_off_by_one` — a short-circuited sweep reports `stop_at`
+//!   instead of `stop_at + 1` items checked.
+//! * `chunk_claim_overlap` — parallel workers advance the shared cursor
+//!   by one less than the chunk they process, re-inspecting boundaries.
+//! * `hiding_partial_conclusive` — a partial universe is treated as the
+//!   exhaustive Lemma 3.1 sweep, upgrading `Inconclusive` to a verdict.
+//! * `invariance_skips_node0` — invariance inspection starts at node 1.
+//! * `erasure_counts_accepts` — erasure trials report accepting instead
+//!   of rejecting node counts.
+//! * `completeness_bits_min` — the completeness report aggregates the
+//!   minimum certificate length instead of the maximum.
+//! * `strong_drops_last_acceptor` — strong soundness drops the highest
+//!   accepting node before inducing the subgraph.
+//! * `nbhd_selfloop_dropped` — the neighborhood graph forgets self-loops
+//!   (equal adjacent accepting views), the length-1 odd walks.
+//! * `fault_salt_reuse` — duplication decisions reuse the drop salt, so
+//!   the two fault kinds fire on exactly the same messages.
+//! * `degradation_salt_swap` — honest and adversarial degradation trials
+//!   swap their plan-seed salts.
+
+use std::sync::RwLock;
+
+static ACTIVE: RwLock<Option<String>> = RwLock::new(None);
+
+/// Activates the named mutant (or deactivates all with `None`), in this
+/// crate **and** in `hiding-lcp-graph`.
+///
+/// Process-global: the battery runs mutants one at a time on one thread.
+pub fn set_active(name: Option<&str>) {
+    *ACTIVE.write().expect("mutant registry lock") = name.map(str::to_owned);
+    hiding_lcp_graph::mutants::set_active(name);
+}
+
+/// Whether the named mutant is currently active.
+pub fn active(name: &str) -> bool {
+    ACTIVE.read().expect("mutant registry lock").as_deref() == Some(name)
+}

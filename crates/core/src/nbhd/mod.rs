@@ -390,6 +390,10 @@ impl NbhdGraph {
                     .copied();
                 if let (Some(a), Some(b)) = (a, b) {
                     if a == b {
+                        #[cfg(conformance_mutants)]
+                        if crate::mutants::active("nbhd_selfloop_dropped") {
+                            continue;
+                        }
                         self.self_loops.entry(a).or_insert((inst_idx, (u, v)));
                     } else {
                         self.adj[a].insert(b);

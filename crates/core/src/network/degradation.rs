@@ -82,6 +82,16 @@ impl DegradationReport {
 /// The per-trial plan seed: a pure function of the sweep seed, the rate
 /// index and the trial index.
 fn trial_seed(seed: u64, rate_idx: usize, trial: usize, salt: u64) -> u64 {
+    #[cfg(conformance_mutants)]
+    let salt = if crate::mutants::active("degradation_salt_swap") {
+        match salt {
+            H_SALT => A_SALT,
+            A_SALT => H_SALT,
+            other => other,
+        }
+    } else {
+        salt
+    };
     splitmix64(
         seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (rate_idx as u64) << 32
@@ -110,6 +120,46 @@ pub fn degradation_sweep<D: Decoder + ?Sized>(
     trials: usize,
     seed: u64,
 ) -> DegradationReport {
+    let points = degradation_sweep_slice(
+        decoder,
+        language,
+        honest,
+        adversarial,
+        rates,
+        trials,
+        seed,
+        0..rates.len(),
+    );
+    DegradationReport {
+        decoder: decoder.name(),
+        nodes: honest.graph().node_count(),
+        seed,
+        points,
+    }
+}
+
+/// The points of [`degradation_sweep`] for the rate indices in
+/// `rate_range` only — and *exactly* those points: every trial seed is
+/// derived from the rate's **global** index in `rates`, so a budgeted
+/// caller can split a sweep into arbitrary consecutive (or even
+/// re-run, overlapping) slices and concatenate the results into the
+/// byte-identical uninterrupted report. Used by the conformance suite to
+/// prove resume-chain determinism.
+///
+/// # Panics
+///
+/// Panics if `rate_range` reaches beyond `rates.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn degradation_sweep_slice<D: Decoder + ?Sized>(
+    decoder: &D,
+    language: &KCol,
+    honest: &LabeledInstance,
+    adversarial: &[Labeling],
+    rates: &[f64],
+    trials: usize,
+    seed: u64,
+    rate_range: std::ops::Range<usize>,
+) -> Vec<DegradationPoint> {
     let n = honest.graph().node_count();
     // Keep only adversarial labelings the fault-free verifier rejects:
     // a unanimous accept under faults is only *false* if the clean run
@@ -123,10 +173,11 @@ pub fn degradation_sweep<D: Decoder + ?Sized>(
                 .all(|v| v.is_accept())
         })
         .collect();
-    let points = rates
+    rates[rate_range.clone()]
         .iter()
         .enumerate()
-        .map(|(ri, &rate)| {
+        .map(|(offset, &rate)| {
+            let ri = rate_range.start + offset;
             let mut rejecting_total = 0usize;
             let mut strong_violations = 0usize;
             let mut false_accepts = 0usize;
@@ -172,13 +223,7 @@ pub fn degradation_sweep<D: Decoder + ?Sized>(
                 stats,
             }
         })
-        .collect();
-    DegradationReport {
-        decoder: decoder.name(),
-        nodes: n,
-        seed,
-        points,
-    }
+        .collect()
 }
 
 /// Salt distinguishing honest-trial plans from adversarial-trial plans.

@@ -195,7 +195,14 @@ impl FaultPlan {
 
     /// Whether the round-`round` message `u → v` is duplicated.
     pub fn duplicates(&self, round: usize, u: usize, v: usize) -> bool {
-        self.rolls(self.rates.duplicate, SALT_DUPLICATE, round, u, v)
+        let salt = SALT_DUPLICATE;
+        #[cfg(conformance_mutants)]
+        let salt = if crate::mutants::active("fault_salt_reuse") {
+            SALT_DROP
+        } else {
+            salt
+        };
+        self.rolls(self.rates.duplicate, salt, round, u, v)
     }
 
     /// Whether copy `copy` of the round-`round` message `u → v` is

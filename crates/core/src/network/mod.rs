@@ -35,7 +35,9 @@
 pub mod degradation;
 pub mod faults;
 
-pub use degradation::{degradation_sweep, DegradationPoint, DegradationReport};
+pub use degradation::{
+    degradation_sweep, degradation_sweep_slice, DegradationPoint, DegradationReport,
+};
 pub use faults::{FaultPlan, FaultRates, FaultStats};
 
 use crate::decoder::{Decoder, Verdict};

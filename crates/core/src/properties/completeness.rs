@@ -107,6 +107,15 @@ impl<D: Decoder + ?Sized, P: Prover + ?Sized> PropertyCheck for CompletenessChec
             match outcome {
                 CompletenessOutcome::Passed(bits) => {
                     report.passed += 1;
+                    #[cfg(conformance_mutants)]
+                    if crate::mutants::active("completeness_bits_min") {
+                        report.max_certificate_bits = if report.passed == 1 {
+                            bits
+                        } else {
+                            report.max_certificate_bits.min(bits)
+                        };
+                        continue;
+                    }
                     report.max_certificate_bits = report.max_certificate_bits.max(bits);
                 }
                 CompletenessOutcome::Declined => report

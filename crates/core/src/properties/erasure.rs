@@ -79,6 +79,12 @@ impl<D: Decoder + ?Sized> PropertyCheck for ErasureCheck<'_, D> {
             .iter()
             .filter(|v| !v.is_accept())
             .count();
+        #[cfg(conformance_mutants)]
+        let rejecting = if crate::mutants::active("erasure_counts_accepts") {
+            item.labeling.node_count() - rejecting
+        } else {
+            rejecting
+        };
         Some(ErasureOutcome {
             erased: self.erased_counts[item.index],
             rejecting,

@@ -77,6 +77,12 @@ impl HidingVerdict {
 /// `k` is the number of colors of the certified language (2 throughout the
 /// paper's main results).
 pub fn check_hiding(nbhd: &NbhdGraph, k: usize, coverage: UniverseCoverage) -> HidingVerdict {
+    #[cfg(conformance_mutants)]
+    let coverage = if crate::mutants::active("hiding_partial_conclusive") {
+        UniverseCoverage::Exhaustive
+    } else {
+        coverage
+    };
     if k == 2 {
         if let Some(odd_walk) = nbhd.odd_cycle() {
             return HidingVerdict::Hiding { odd_walk };

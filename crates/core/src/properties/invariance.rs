@@ -60,7 +60,14 @@ impl<D: Decoder + ?Sized> PropertyCheck for InvarianceCheck<'_, D> {
 
     fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<InvarianceViolation> {
         let verdicts = ctx.run(item, self.decoder);
-        (0..self.base.len())
+        let first = 0;
+        #[cfg(conformance_mutants)]
+        let first = if crate::mutants::active("invariance_skips_node0") {
+            1
+        } else {
+            first
+        };
+        (first..self.base.len())
             .find(|&v| self.base[v] != verdicts[v])
             .map(|node| InvarianceViolation {
                 ids: item.instance.ids().clone(),

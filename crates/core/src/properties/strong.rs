@@ -52,6 +52,14 @@ impl<D: Decoder + ?Sized> PropertyCheck for StrongCheck<'_, D> {
             .enumerate()
             .filter_map(|(v, verdict)| verdict.is_accept().then_some(v))
             .collect();
+        #[cfg(conformance_mutants)]
+        let accepting = {
+            let mut accepting = accepting;
+            if crate::mutants::active("strong_drops_last_acceptor") {
+                accepting.pop();
+            }
+            accepting
+        };
         let (induced, _) = item.instance.graph().induced(&accepting);
         (!self.language.is_yes_graph(&induced)).then(|| StrongViolation {
             labeling: item.labeling.clone(),
@@ -74,6 +82,14 @@ impl<D: Decoder + ?Sized> PropertyCheck for StrongCheck<'_, D> {
             .enumerate()
             .filter_map(|(v, verdict)| verdict.is_accept().then_some(v))
             .collect();
+        #[cfg(conformance_mutants)]
+        let accepting = {
+            let mut accepting = accepting;
+            if crate::mutants::active("strong_drops_last_acceptor") {
+                accepting.pop();
+            }
+            accepting
+        };
         let (induced, _) = item.instance.graph().induced(&accepting);
         (!self.language.is_yes_graph(&induced)).then(|| StrongViolation {
             labeling: item.labeling.clone(),

@@ -531,6 +531,12 @@ fn run_resumable<C: PropertyCheck>(
     } else {
         outcome.next
     };
+    #[cfg(conformance_mutants)]
+    let checked = if crate::mutants::active("checked_off_by_one") && short_circuited {
+        checked - 1
+    } else {
+        checked
+    };
     let interrupted = !short_circuited && outcome.next < n;
     let resume = if interrupted {
         make_token(&partials, &errors, outcome.next)
@@ -881,7 +887,15 @@ impl<'a> DeltaDriver<'a> {
                 let n = block.instance().graph().node_count();
                 let mut balls = vec![Vec::new(); n];
                 for u in 0..n {
-                    for &orig in cache.per_block[b][config][u].original_nodes() {
+                    let order = cache.per_block[b][config][u].original_nodes();
+                    #[cfg(conformance_mutants)]
+                    let order = if crate::mutants::active("delta_ball_misindex") && order.len() > 1
+                    {
+                        &order[1..]
+                    } else {
+                        order
+                    };
+                    for &orig in order {
                         balls[orig].push(u);
                     }
                 }
@@ -935,6 +949,11 @@ impl Walker {
                     let d = self.digits[v] + 1;
                     if d < k {
                         self.digits[v] = d;
+                        #[cfg(conformance_mutants)]
+                        if crate::mutants::active("delta_stale_digit") {
+                            self.pos = Some((block, offset));
+                            return true;
+                        }
                         self.labeling.assign(v, &alphabet[d]);
                         self.pos = Some((block, offset));
                         return true;
@@ -949,6 +968,10 @@ impl Walker {
         }
         universe.decode_into(block, offset, &mut self.labeling, &mut self.digits);
         self.pos = Some((block, offset));
+        #[cfg(conformance_mutants)]
+        if crate::mutants::active("delta_dropped_resync") {
+            return true;
+        }
         self.verdicts_valid = false;
         false
     }
@@ -996,6 +1019,12 @@ fn node_verdict(
     let skel = &cache.per_block[block][driver.config][u];
     if memo.enabled {
         let class = cache.class_of[block][driver.config][u];
+        #[cfg(conformance_mutants)]
+        let class = if crate::mutants::active("memo_key_class_collision") {
+            0
+        } else {
+            class
+        };
         if let Some(key) = digit_key(class, skel.original_nodes(), digits) {
             if let Some(&verdict) = memo.map.get(&key) {
                 memo.hits += 1;
@@ -1231,7 +1260,14 @@ fn run_parallel<C: PropertyCheck>(
                         if deadline.is_some_and(|d| Instant::now() >= d) {
                             break;
                         }
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        let claim = chunk;
+                        #[cfg(conformance_mutants)]
+                        let claim = if crate::mutants::active("chunk_claim_overlap") {
+                            chunk - 1
+                        } else {
+                            claim
+                        };
+                        let start = cursor.fetch_add(claim, Ordering::Relaxed);
                         // The cursor only grows, so once a claimed chunk
                         // lies entirely past the stop index, all later
                         // claims will too.

@@ -53,6 +53,12 @@ pub fn digit_key(class: ViewId, order: &[usize], digits: &[usize]) -> Option<u12
         if digit > 0xFF {
             return None;
         }
+        #[cfg(conformance_mutants)]
+        let slot = if crate::mutants::active("digit_key_slot_alias") {
+            slot.min(2)
+        } else {
+            slot
+        };
         key |= (digit as u128) << (32 + 8 * slot);
     }
     Some(key)
@@ -129,8 +135,14 @@ impl ViewInterner {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let shard = self.view_shard(&view);
         let mut map = shard.lock().expect("interner lock");
-        if let Some(&id) = map.get(&view) {
-            return id;
+        #[cfg(conformance_mutants)]
+        let probe_existing = !crate::mutants::active("interner_always_fresh");
+        #[cfg(not(conformance_mutants))]
+        let probe_existing = true;
+        if probe_existing {
+            if let Some(&id) = map.get(&view) {
+                return id;
+            }
         }
         let mut table = self.table.lock().expect("interner lock");
         let id = ViewId::try_from(table.len()).expect("view table fits u32");

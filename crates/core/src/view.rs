@@ -111,6 +111,12 @@ impl ViewSkeleton {
     ///
     /// Panics if `v` is out of range.
     pub fn compute(instance: &Instance, v: usize, radius: usize, id_mode: IdMode) -> ViewSkeleton {
+        #[cfg(conformance_mutants)]
+        let radius = if crate::mutants::active("view_radius_shrink") {
+            radius.saturating_sub(1)
+        } else {
+            radius
+        };
         let g = instance.graph();
         assert!(v < g.node_count(), "node {v} out of range");
         // 1. BFS distances, truncated to `radius`.

@@ -133,6 +133,12 @@ fn dsatur_step(
     }
     // Symmetry breaking: at most one color beyond those already in use.
     let limit = k.min(used + 1);
+    #[cfg(conformance_mutants)]
+    let limit = if crate::mutants::active("dsatur_no_fresh_color") {
+        k.min(used.max(1))
+    } else {
+        limit
+    };
     for c in 0..limit {
         if sat[pick] & (1 << c) != 0 {
             continue;
@@ -155,6 +161,10 @@ fn dsatur_step(
             return true;
         }
         for &u in &touched {
+            #[cfg(conformance_mutants)]
+            if crate::mutants::active("dsatur_sat_undo_dropped") {
+                break;
+            }
             sat[u] &= !bit;
         }
         colors[pick] = usize::MAX;

@@ -251,10 +251,17 @@ impl Graph {
             new_of_old[old] = new;
         }
         let mut g = Graph::new(old_of_new.len());
+        #[cfg(conformance_mutants)]
+        let mut dropped_one = false;
         for (new_u, &old_u) in old_of_new.iter().enumerate() {
             for &old_v in &self.adj[old_u] {
                 let new_v = new_of_old[old_v];
                 if new_v != usize::MAX && new_u < new_v {
+                    #[cfg(conformance_mutants)]
+                    if crate::mutants::active("induced_drops_edge") && !dropped_one {
+                        dropped_one = true;
+                        continue;
+                    }
                     g.add_edge(new_u, new_v)
                         .expect("induced subgraph edges are valid");
                 }

@@ -42,6 +42,8 @@ pub mod dot;
 pub mod generators;
 pub mod graph;
 pub mod ids;
+#[cfg(conformance_mutants)]
+pub mod mutants;
 pub mod ports;
 
 pub use graph::{Graph, GraphError};

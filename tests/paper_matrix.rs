@@ -1,0 +1,241 @@
+//! The paper-results matrix: every numbered result of the source paper
+//! ("Strong and Hiding Distributed Certification of k-Coloring") mapped
+//! to the test functions that witness it in this repo.
+//!
+//! The matrix is enforced, not aspirational: each entry names a file and
+//! the witnessing `fn`s, and this suite fails on any dead entry — a
+//! missing file, a renamed function, or a result id with no witnesses.
+//! README.md carries the human-readable mirror of the same table, also
+//! checked here so the two cannot drift apart.
+
+use std::path::Path;
+
+/// One paper result and its witnesses.
+struct Entry {
+    /// Result id as the paper numbers it.
+    id: &'static str,
+    /// What the result states, abbreviated.
+    statement: &'static str,
+    /// Repo-relative file holding the witnesses.
+    file: &'static str,
+    /// Test functions in `file` that exercise the result.
+    witnesses: &'static [&'static str],
+}
+
+/// Every numbered result the roadmap commits to covering.
+const REQUIRED: &[&str] = &[
+    "T1.1", "T1.2", "T1.3", "T1.4", "T1.5", "L2.1", "L3.1", "L3.2", "L4.1", "L4.2", "L5.1", "L5.2",
+    "L5.3", "L5.4", "L5.5", "L6.1", "L6.2", "L7.1",
+];
+
+const MATRIX: &[Entry] = &[
+    Entry {
+        id: "T1.1",
+        statement: "strong+hiding LCPs for 2-col with O(1) certificates",
+        file: "tests/theorem_1_1.rs",
+        witnesses: &[
+            "degree_one_full_dossier",
+            "even_cycle_full_dossier",
+            "union_full_dossier",
+        ],
+    },
+    Entry {
+        id: "T1.2",
+        statement: "port-numbering lower bound via the pair encoding",
+        file: "crates/core/src/lower.rs",
+        witnesses: &[
+            "pair_encoding_covers_exactly_the_mod_four_cycles",
+            "cycle_search_on_c4_and_c6_needs_ports",
+        ],
+    },
+    Entry {
+        id: "T1.3",
+        statement: "shatter LCP: strong+hiding for k-col, larger certificates",
+        file: "tests/theorems_1_3_1_4.rs",
+        witnesses: &["shatter_full_dossier"],
+    },
+    Entry {
+        id: "T1.4",
+        statement: "watermelon LCP: smaller certificates on bounded degree",
+        file: "tests/theorems_1_3_1_4.rs",
+        witnesses: &["watermelon_full_dossier"],
+    },
+    Entry {
+        id: "T1.5",
+        statement: "upper-bound LCPs resist adversarial refutation",
+        file: "tests/theorem_1_5_refutation.rs",
+        witnesses: &[
+            "upper_bound_lcps_cannot_be_refuted",
+            "edge3_is_refuted_adversarially",
+        ],
+    },
+    Entry {
+        id: "L2.1",
+        statement: "forgetful classes have bounded diameter",
+        file: "crates/graph/src/classes/forgetful.rs",
+        witnesses: &["lemma_2_1_diameter_bound"],
+    },
+    Entry {
+        id: "L3.1",
+        statement: "the accepting neighborhood graph V(D, n)",
+        file: "crates/core/src/nbhd/mod.rs",
+        witnesses: &[
+            "revealing_lcp_has_bipartite_nbhd",
+            "identical_adjacent_views_form_self_loops",
+        ],
+    },
+    Entry {
+        id: "L3.2",
+        statement: "hiding ⟺ V(D, n) not k-colorable",
+        file: "tests/lemma_3_2_extraction.rs",
+        witnesses: &[
+            "revealing_baseline_is_extractable",
+            "hiding_lcps_admit_no_extractor",
+        ],
+    },
+    Entry {
+        id: "L4.1",
+        statement: "the degree-one LCP is complete, sound, strong, hiding",
+        file: "tests/theorem_1_1.rs",
+        witnesses: &["degree_one_full_dossier"],
+    },
+    Entry {
+        id: "L4.2",
+        statement: "the even-cycle LCP is complete, sound, strong, hiding",
+        file: "tests/theorem_1_1.rs",
+        witnesses: &["even_cycle_full_dossier"],
+    },
+    Entry {
+        id: "L5.1",
+        statement: "G_bad plans realize on a single instance",
+        file: "crates/core/src/realize/gbad.rs",
+        witnesses: &["single_instance_roundtrip"],
+    },
+    Entry {
+        id: "L5.2",
+        statement: "remapping preserves order and splits roles",
+        file: "crates/core/src/realize/realizable.rs",
+        witnesses: &["lemma_5_2_remapping_preserves_order_and_splits_roles"],
+    },
+    Entry {
+        id: "L5.3",
+        statement: "the pentagon cycle realizes G_bad",
+        file: "tests/theorem_1_5_refutation.rs",
+        witnesses: &["pentagon_cycle_realizes_g_bad"],
+    },
+    Entry {
+        id: "L5.4",
+        statement: "the expansion walk W_e through a far view",
+        file: "crates/core/src/walks.rs",
+        witnesses: &[
+            "expansion_walk_on_torus",
+            "expansion_walk_lifts_to_nbhd_and_is_non_backtracking",
+        ],
+    },
+    Entry {
+        id: "L5.5",
+        statement: "odd-walk repair of a missing edge",
+        file: "crates/core/src/walks.rs",
+        witnesses: &[
+            "repair_walk_goes_through_a_second_cycle",
+            "repair_edge_lifts_the_lemma_5_5_walk",
+        ],
+    },
+    Entry {
+        id: "L6.1",
+        statement: "finite Ramsey: monochromatic s-subsets exist",
+        file: "crates/core/src/ramsey.rs",
+        witnesses: &[
+            "monochromatic_subsets_for_constant_colorings",
+            "monochromatic_subset_parity_coloring",
+        ],
+    },
+    Entry {
+        id: "L6.2",
+        statement: "good id sets make id-reading decoders order-invariant",
+        file: "crates/core/src/ramsey.rs",
+        witnesses: &[
+            "find_good_id_set_pipeline",
+            "isolated_node_padding_raises_the_id_budget",
+        ],
+    },
+    Entry {
+        id: "L7.1",
+        statement: "shattered bipartiteness matches global bipartiteness",
+        file: "crates/graph/src/classes/shatter.rs",
+        witnesses: &["lemma_7_1_matches_global_bipartiteness"],
+    },
+];
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn every_required_result_has_a_live_witness() {
+    let mut dead = Vec::new();
+    for required in REQUIRED {
+        let entries: Vec<&Entry> = MATRIX.iter().filter(|e| e.id == *required).collect();
+        if entries.is_empty() {
+            dead.push(format!("{required}: no matrix entry"));
+            continue;
+        }
+        for entry in entries {
+            let path = repo_root().join(entry.file);
+            let Ok(source) = std::fs::read_to_string(&path) else {
+                dead.push(format!("{}: missing file {}", entry.id, entry.file));
+                continue;
+            };
+            assert!(
+                !entry.witnesses.is_empty(),
+                "{}: entry lists no witnesses",
+                entry.id
+            );
+            for witness in entry.witnesses {
+                if !source.contains(&format!("fn {witness}(")) {
+                    dead.push(format!(
+                        "{} ({}): `{witness}` not found in {}",
+                        entry.id, entry.statement, entry.file
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        dead.is_empty(),
+        "dead paper-matrix entries (stale file or renamed test):\n  {}",
+        dead.join("\n  ")
+    );
+}
+
+#[test]
+fn matrix_lists_no_unknown_result_ids() {
+    for entry in MATRIX {
+        assert!(
+            REQUIRED.contains(&entry.id),
+            "matrix entry `{}` is not a required result id — update REQUIRED",
+            entry.id
+        );
+    }
+}
+
+/// README.md mirrors this matrix; every result id must appear in its
+/// table together with the witness file, so the human-readable copy
+/// cannot silently drift from the enforced one.
+#[test]
+fn readme_mirrors_the_matrix() {
+    let readme = std::fs::read_to_string(repo_root().join("README.md")).expect("README.md exists");
+    for entry in MATRIX {
+        assert!(
+            readme.contains(entry.id),
+            "README.md paper-results table is missing `{}`",
+            entry.id
+        );
+        assert!(
+            readme.contains(entry.file),
+            "README.md row for `{}` should cite `{}`",
+            entry.id,
+            entry.file
+        );
+    }
+}
