@@ -44,7 +44,7 @@ pub const MUTANTS: &[Mutant] = &[
     Mutant {
         name: "delta_dropped_resync",
         host: "hiding-lcp-core",
-        site: "resync decode mislabeled as plain step; verdict vector stale",
+        site: "verdict refresh patches from a stale scratch after a resync",
         expected_killers: &["delta_mixed_blocks_resync", "delta_budget_resume_parity"],
     },
     Mutant {
@@ -130,6 +130,18 @@ pub const MUTANTS: &[Mutant] = &[
         host: "hiding-lcp-core",
         site: "honest and adversarial trials swap plan-seed salts",
         expected_killers: &["degradation_matches_oracle"],
+    },
+    Mutant {
+        name: "panel_channel_swap",
+        host: "hiding-lcp-core",
+        site: "panel member reads the next member's verdict channel",
+        expected_killers: &["panel_channel_isolation"],
+    },
+    Mutant {
+        name: "panel_frontier_off_by_one",
+        host: "hiding-lcp-core",
+        site: "panel short-circuit frontier records stop index plus one",
+        expected_killers: &["panel_member_frontiers"],
     },
     Mutant {
         name: "dsatur_no_fresh_color",

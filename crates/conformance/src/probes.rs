@@ -27,13 +27,14 @@ use hiding_lcp_core::properties::hiding::{
     check_hiding, verify_hiding, HidingVerdict, UniverseCoverage,
 };
 use hiding_lcp_core::properties::invariance::InvarianceCheck;
-use hiding_lcp_core::properties::soundness::SoundnessCheck;
+use hiding_lcp_core::properties::soundness::{SoundnessCheck, SoundnessViolation};
 use hiding_lcp_core::properties::strong::check_strong_exhaustive;
 use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::verify::{
-    resume_sweep_with_opts, sweep, sweep_budgeted_with_opts, sweep_lazy_labeled, sweep_with,
-    sweep_with_opts, Block, Coverage, ExecMode, ItemCtx, LabelSource, PropertyCheck, SweepBudget,
-    SweepOpts, SweepOutcome, Universe, UniverseItem, ViewInterner,
+    resume_sweep_with_opts, sweep, sweep_budgeted_with_opts, sweep_lazy_labeled, sweep_panel_with,
+    sweep_with, sweep_with_opts, Block, Coverage, DynPropertyCheck, ExecMode, ItemCtx, LabelSource,
+    PropertyCheck, PropertyTag, SweepBudget, SweepOpts, SweepOutcome, Universe, UniverseItem,
+    ViewInterner,
 };
 use hiding_lcp_core::view::{IdMode, View};
 use hiding_lcp_graph::algo::{bipartite, coloring};
@@ -64,6 +65,8 @@ pub const ALL: &[(&str, fn())] = &[
     ("strong_keeps_all_acceptors", strong_keeps_all_acceptors),
     ("fault_salts_independent", fault_salts_independent),
     ("degradation_matches_oracle", degradation_matches_oracle),
+    ("panel_channel_isolation", panel_channel_isolation),
+    ("panel_member_frontiers", panel_member_frontiers),
     ("coloring_matches_bruteforce", coloring_matches_bruteforce),
     ("isomorphism_beyond_degrees", isomorphism_beyond_degrees),
     ("induced_subgraph_exact", induced_subgraph_exact),
@@ -694,6 +697,114 @@ pub fn degradation_matches_oracle() {
         report.points[1].stats.total() > 0,
         "a 25% fault rate must fire some events"
     );
+}
+
+/// The two-channel fixture behind both panel probes: an all-accepting
+/// and an all-rejecting cycle decoder disagree on every item of every
+/// labeling of C4, so the soundness members built on them must reach
+/// opposite verdicts — and both decoders are non-ZST, so their channel
+/// keys are genuinely distinct addresses.
+fn disagreeing_panel() -> (
+    PortObliviousCycleDecoder,
+    PortObliviousCycleDecoder,
+    Universe,
+) {
+    let accept = PortObliviousCycleDecoder::from_code(0x3f);
+    let reject = PortObliviousCycleDecoder::from_code(0);
+    let universe = Universe::all_labelings_of(
+        Instance::canonical(generators::cycle(4)),
+        bits(),
+        Coverage::Exhaustive,
+    )
+    .expect("16 labelings fit");
+    (accept, reject, universe)
+}
+
+/// Each panel member must read its *own* decoder's verdict channel: on
+/// the disagreeing two-channel panel, the member on the all-accepting
+/// decoder finds a unanimously accepted labeling (soundness violated)
+/// while the member on the all-rejecting decoder finds none. A
+/// cross-channel read flips both verdicts.
+pub fn panel_channel_isolation() {
+    let (accept, reject, universe) = disagreeing_panel();
+    let members = [
+        DynPropertyCheck::new(
+            PropertyTag::Soundness,
+            "sound-accept",
+            SoundnessCheck { decoder: &accept },
+        )
+        .with_channel(&accept),
+        DynPropertyCheck::new(
+            PropertyTag::Soundness,
+            "sound-reject",
+            SoundnessCheck { decoder: &reject },
+        )
+        .with_channel(&reject),
+    ];
+    for mode in [ExecMode::Sequential, ExecMode::Parallel(2)] {
+        let panel = sweep_panel_with(&members, &universe, mode);
+        let v0 = panel.members[0]
+            .verdict
+            .get::<Result<usize, SoundnessViolation>>()
+            .expect("soundness verdict");
+        assert!(
+            v0.is_err(),
+            "all-accepting decoder must be caught unsound under {mode:?}"
+        );
+        let v1 = panel.members[1]
+            .verdict
+            .get::<Result<usize, SoundnessViolation>>()
+            .expect("soundness verdict");
+        assert!(
+            v1.is_ok(),
+            "all-rejecting decoder admits no unanimous accept under {mode:?}"
+        );
+    }
+}
+
+/// A short-circuited panel member records its frontier exactly: stopped
+/// at item `s`, it reports `s + 1` items checked — the same count its
+/// own single-check sweep reports — while the shared walk carries the
+/// laggard member to the end of the universe.
+pub fn panel_member_frontiers() {
+    let (accept, reject, universe) = disagreeing_panel();
+    let members = [
+        DynPropertyCheck::new(
+            PropertyTag::Soundness,
+            "sound-accept",
+            SoundnessCheck { decoder: &accept },
+        )
+        .with_channel(&accept),
+        DynPropertyCheck::new(
+            PropertyTag::Soundness,
+            "sound-reject",
+            SoundnessCheck { decoder: &reject },
+        )
+        .with_channel(&reject),
+    ];
+    let solo = sweep_with(
+        &SoundnessCheck { decoder: &accept },
+        &universe,
+        ExecMode::Sequential,
+    );
+    assert_eq!(solo.checked, 1, "item 0 (all-zero) is unanimously accepted");
+    for mode in [ExecMode::Sequential, ExecMode::Parallel(2)] {
+        let panel = sweep_panel_with(&members, &universe, mode);
+        assert!(
+            panel.members[0].short_circuited,
+            "accepting member must stop at its witness under {mode:?}"
+        );
+        assert_eq!(
+            panel.members[0].checked, solo.checked,
+            "member frontier must match the single-check sweep under {mode:?}"
+        );
+        assert_eq!(
+            panel.members[1].checked,
+            universe.len(),
+            "laggard member walks the whole universe under {mode:?}"
+        );
+        assert_eq!(panel.evidence.checked, universe.len());
+    }
 }
 
 /// DSATUR's verdicts must equal brute-force colorability over every

@@ -18,12 +18,13 @@ use hiding_lcp_core::properties::erasure::erase_and_run;
 use hiding_lcp_core::properties::hiding::HidingCheck;
 use hiding_lcp_core::properties::invariance::InvarianceCheck;
 use hiding_lcp_core::properties::quantified::QuantifiedCheck;
-use hiding_lcp_core::properties::soundness::SoundnessCheck;
-use hiding_lcp_core::properties::strong::StrongCheck;
+use hiding_lcp_core::properties::soundness::{SoundnessCheck, SoundnessViolation};
+use hiding_lcp_core::properties::strong::{StrongCheck, StrongViolation};
 use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::verify::{
-    sweep_lazy_labeled, sweep_with_opts, Coverage, ExecMode, SweepOpts, Universe,
-    VerificationReport,
+    resume_panel_with_opts, sweep_lazy_labeled, sweep_panel_budgeted_with_opts,
+    sweep_panel_with_opts, sweep_with_opts, Coverage, DynPropertyCheck, ExecMode, PropertyTag,
+    SweepBudget, SweepOpts, Universe, VerificationReport,
 };
 use hiding_lcp_graph::algo::bipartite;
 use hiding_lcp_graph::{generators, IdAssignment};
@@ -394,5 +395,154 @@ proptest! {
         let engine = hiding_lcp_core::decoder::run(&decoder, &li);
         let reference = oracle::run_by_definition(&decoder, &instance, &labeling);
         prop_assert_eq!(engine, reference);
+    }
+}
+
+/// Builds the standard two-channel panel: soundness and strong share
+/// `d1`'s verdict channel, a second soundness member rides `d2`'s. Both
+/// decoders are non-ZST (`PortObliviousCycleDecoder` stores its code), so
+/// the two channel keys are genuinely distinct addresses.
+fn two_channel_panel<'a>(
+    d1: &'a PortObliviousCycleDecoder,
+    d2: &'a PortObliviousCycleDecoder,
+    two_col: &'a KCol,
+) -> Vec<DynPropertyCheck<'a>> {
+    vec![
+        DynPropertyCheck::new(
+            PropertyTag::Soundness,
+            "soundness-d1",
+            SoundnessCheck { decoder: d1 },
+        )
+        .with_channel(d1),
+        DynPropertyCheck::new(
+            PropertyTag::Strong,
+            "strong-d1",
+            StrongCheck {
+                decoder: d1,
+                language: two_col,
+            },
+        )
+        .with_channel(d1),
+        DynPropertyCheck::new(
+            PropertyTag::Soundness,
+            "soundness-d2",
+            SoundnessCheck { decoder: d2 },
+        )
+        .with_channel(d2),
+    ]
+}
+
+fn panel_universe() -> Universe {
+    let blocks = [
+        generators::cycle(4),
+        generators::cycle(5),
+        generators::path(4),
+    ]
+    .into_iter()
+    .map(|g| {
+        hiding_lcp_core::verify::Block::new(
+            Instance::canonical(g),
+            hiding_lcp_core::verify::LabelSource::All { alphabet: bits() },
+        )
+    })
+    .collect();
+    Universe::new(blocks, Coverage::Exhaustive).expect("small universe fits")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fused panel is the overlay of its members' own sweeps, at
+    /// every execution mode under both sweep strategies: identical
+    /// verdicts, member-level checked counts, short-circuit flags and
+    /// coverage — including across two distinct verdict channels.
+    #[test]
+    fn panel_members_match_individual_sweeps(c1 in 0u8..64, c2 in 0u8..64) {
+        let d1 = PortObliviousCycleDecoder::from_code(c1);
+        let d2 = PortObliviousCycleDecoder::from_code(c2);
+        let two_col = KCol::new(2);
+        let universe = panel_universe();
+        let members = two_channel_panel(&d1, &d2, &two_col);
+        let sound1 = SoundnessCheck { decoder: &d1 };
+        let strong1 = StrongCheck { decoder: &d1, language: &two_col };
+        let sound2 = SoundnessCheck { decoder: &d2 };
+        for mode in modes() {
+            for opts in strategies() {
+                let panel = sweep_panel_with_opts(&members, &universe, mode, opts);
+                let solo_sound1 = sweep_with_opts(&sound1, &universe, ExecMode::Sequential, opts);
+                let solo_strong1 = sweep_with_opts(&strong1, &universe, ExecMode::Sequential, opts);
+                let solo_sound2 = sweep_with_opts(&sound2, &universe, ExecMode::Sequential, opts);
+                prop_assert_eq!(
+                    panel.members[0].verdict.get::<Result<usize, SoundnessViolation>>().unwrap(),
+                    &solo_sound1.verdict,
+                    "soundness-d1 under {:?}", mode
+                );
+                prop_assert_eq!(
+                    panel.members[1].verdict.get::<Result<usize, StrongViolation>>().unwrap(),
+                    &solo_strong1.verdict,
+                    "strong-d1 under {:?}", mode
+                );
+                prop_assert_eq!(
+                    panel.members[2].verdict.get::<Result<usize, SoundnessViolation>>().unwrap(),
+                    &solo_sound2.verdict,
+                    "soundness-d2 under {:?}", mode
+                );
+                for (member, solo_checked, solo_sc, solo_cov) in [
+                    (&panel.members[0], solo_sound1.checked, solo_sound1.short_circuited, solo_sound1.coverage),
+                    (&panel.members[1], solo_strong1.checked, solo_strong1.short_circuited, solo_strong1.coverage),
+                    (&panel.members[2], solo_sound2.checked, solo_sound2.short_circuited, solo_sound2.coverage),
+                ] {
+                    prop_assert_eq!(member.checked, solo_checked, "{} under {:?}", member.label, mode);
+                    prop_assert_eq!(member.short_circuited, solo_sc, "{} under {:?}", member.label, mode);
+                    prop_assert_eq!(member.coverage, solo_cov, "{} under {:?}", member.label, mode);
+                    prop_assert!(member.errors.is_empty(), "{} erred under {:?}", member.label, mode);
+                }
+            }
+        }
+    }
+
+    /// A budget-sliced panel chain, resumed to completion, reproduces the
+    /// uninterrupted panel bit-for-bit — per member and per channel — in
+    /// every mode, under both strategies.
+    #[test]
+    fn budgeted_panel_resume_round_trip(c1 in 0u8..64, c2 in 0u8..64, step in 1usize..17) {
+        let d1 = PortObliviousCycleDecoder::from_code(c1);
+        let d2 = PortObliviousCycleDecoder::from_code(c2);
+        let two_col = KCol::new(2);
+        let universe = panel_universe();
+        let members = two_channel_panel(&d1, &d2, &two_col);
+        for mode in modes() {
+            for opts in strategies() {
+                let whole = sweep_panel_with_opts(&members, &universe, mode, opts);
+                let budget = SweepBudget::unlimited().with_max_items(step);
+                let mut state =
+                    sweep_panel_budgeted_with_opts(&members, &universe, mode, &budget, opts);
+                let mut slices = 1usize;
+                while let Some(token) = state.resume.take() {
+                    state = resume_panel_with_opts(&members, &universe, mode, &budget, token, opts);
+                    slices += 1;
+                    prop_assert!(slices <= universe.len() + 2, "resume chain must terminate");
+                }
+                let resumed = state.report;
+                prop_assert_eq!(whole.evidence.checked, resumed.evidence.checked);
+                prop_assert_eq!(whole.evidence.short_circuited, resumed.evidence.short_circuited);
+                prop_assert!(!resumed.evidence.interrupted);
+                for (a, b) in whole.members.iter().zip(&resumed.members) {
+                    prop_assert_eq!(a.checked, b.checked, "{} under {:?}", &a.label, mode);
+                    prop_assert_eq!(a.short_circuited, b.short_circuited);
+                    prop_assert_eq!(a.coverage, b.coverage);
+                    prop_assert!(!b.interrupted);
+                    prop_assert_eq!(a.verdict.passed, b.verdict.passed);
+                    prop_assert_eq!(
+                        a.verdict.get::<Result<usize, SoundnessViolation>>(),
+                        b.verdict.get::<Result<usize, SoundnessViolation>>()
+                    );
+                    prop_assert_eq!(
+                        a.verdict.get::<Result<usize, StrongViolation>>(),
+                        b.verdict.get::<Result<usize, StrongViolation>>()
+                    );
+                }
+            }
+        }
     }
 }

@@ -13,8 +13,8 @@
 //! * `view_radius_shrink` — view skeletons are assembled at radius r−1.
 //! * `delta_stale_digit` — an odometer step updates the digit but not the
 //!   decoded labeling.
-//! * `delta_dropped_resync` — a resync decode claims it was a plain step,
-//!   leaving the delta-maintained verdict vector stale.
+//! * `delta_dropped_resync` — the verdict refresh treats a resync as a
+//!   plain step, patching a stale verdict scratch instead of recomputing.
 //! * `delta_ball_misindex` — ball inversion skips each skeleton's first
 //!   (center) node, so a node's own digit never re-decides it.
 //! * `memo_key_class_collision` — the verdict memo keys every node with
@@ -42,6 +42,10 @@
 //!   the two fault kinds fire on exactly the same messages.
 //! * `degradation_salt_swap` — honest and adversarial degradation trials
 //!   swap their plan-seed salts.
+//! * `panel_channel_swap` — fused-panel members read the *next* member's
+//!   verdict channel instead of their own (multi-channel panels only).
+//! * `panel_frontier_off_by_one` — a short-circuiting panel member
+//!   records its stop frontier one item past the witness.
 
 use std::sync::RwLock;
 

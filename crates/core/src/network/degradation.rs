@@ -30,6 +30,11 @@ use crate::decoder::Decoder;
 use crate::instance::LabeledInstance;
 use crate::label::Labeling;
 use crate::language::KCol;
+use crate::verify::{
+    sweep_panel, Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome,
+    Universe, UniverseItem,
+};
+use crate::view::IdMode;
 
 /// One point of the sweep: everything measured at a single fault rate.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,6 +143,151 @@ pub fn degradation_sweep<D: Decoder + ?Sized>(
     }
 }
 
+/// One honest trial's measurements: availability + strong soundness.
+#[derive(Debug, Clone)]
+struct HonestTrial {
+    rejecting: usize,
+    strong_violation: bool,
+    stats: FaultStats,
+}
+
+/// The honest side of a rate's trials, aggregated.
+#[derive(Debug, Clone)]
+struct HonestAggregate {
+    rejecting_total: usize,
+    strong_violations: usize,
+    stats: FaultStats,
+}
+
+/// The honest-trial audit as a panel member: universe item `t` *is* trial
+/// `t` — the honest labeling run under the fault plan seeded from the
+/// trial index — so one panel enumeration drives both trial kinds.
+struct HonestTrialProbe<'a, D: ?Sized> {
+    decoder: &'a D,
+    language: &'a KCol,
+    seed: u64,
+    rate_idx: usize,
+    rate: f64,
+}
+
+impl<D: Decoder + ?Sized> PropertyCheck for HonestTrialProbe<'_, D> {
+    type Partial = HonestTrial;
+    type Verdict = HonestAggregate;
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        // Trials run the distributed faulty execution, not skeleton views.
+        Vec::new()
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, _ctx: &ItemCtx<'_>) -> Option<HonestTrial> {
+        let li = LabeledInstance::new(item.instance.clone(), item.labeling.clone());
+        let plan = FaultPlan::new(
+            trial_seed(self.seed, self.rate_idx, item.index, H_SALT),
+            FaultRates::uniform(self.rate),
+        );
+        let (verdicts, stats) = run_distributed_faulty(self.decoder, &li, &plan);
+        let accepting: Vec<usize> = verdicts
+            .iter()
+            .enumerate()
+            .filter_map(|(v, verdict)| verdict.is_accept().then_some(v))
+            .collect();
+        let (induced, _) = li.graph().induced(&accepting);
+        Some(HonestTrial {
+            rejecting: li.graph().node_count() - accepting.len(),
+            strong_violation: !self.language.is_yes_graph(&induced),
+            stats,
+        })
+    }
+
+    fn reduce(
+        &self,
+        _universe: &Universe,
+        partials: Vec<(usize, HonestTrial)>,
+        _outcome: &SweepOutcome,
+    ) -> HonestAggregate {
+        let mut agg = HonestAggregate {
+            rejecting_total: 0,
+            strong_violations: 0,
+            stats: FaultStats::default(),
+        };
+        for (_, trial) in partials {
+            agg.rejecting_total += trial.rejecting;
+            agg.strong_violations += usize::from(trial.strong_violation);
+            agg.stats = sum_stats(agg.stats, trial.stats);
+        }
+        agg
+    }
+}
+
+/// One adversarial trial's measurements.
+#[derive(Debug, Clone)]
+struct AdversarialTrial {
+    false_accept: bool,
+    stats: FaultStats,
+}
+
+/// The adversarial side of a rate's trials, aggregated.
+#[derive(Debug, Clone)]
+struct AdversarialAggregate {
+    adversarial_trials: usize,
+    false_accepts: usize,
+    stats: FaultStats,
+}
+
+/// The false-accept audit as the panel's second member: it shares the
+/// honest member's enumeration but ignores the item's labeling, running
+/// trial `t` on the `t`-th (cyclically) fault-free-rejected adversarial
+/// labeling instead.
+struct FalseAcceptProbe<'a, D: ?Sized> {
+    decoder: &'a D,
+    rejected: &'a [&'a Labeling],
+    seed: u64,
+    rate_idx: usize,
+    rate: f64,
+}
+
+impl<D: Decoder + ?Sized> PropertyCheck for FalseAcceptProbe<'_, D> {
+    type Partial = AdversarialTrial;
+    type Verdict = AdversarialAggregate;
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        Vec::new()
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, _ctx: &ItemCtx<'_>) -> Option<AdversarialTrial> {
+        let labeling = self.rejected[item.index % self.rejected.len()];
+        let li = LabeledInstance::new(item.instance.clone(), labeling.clone());
+        let plan = FaultPlan::new(
+            trial_seed(self.seed, self.rate_idx, item.index, A_SALT),
+            FaultRates::uniform(self.rate),
+        );
+        let (verdicts, stats) = run_distributed_faulty(self.decoder, &li, &plan);
+        Some(AdversarialTrial {
+            false_accept: verdicts.iter().all(|v| v.is_accept()),
+            stats,
+        })
+    }
+
+    fn reduce(
+        &self,
+        _universe: &Universe,
+        partials: Vec<(usize, AdversarialTrial)>,
+        _outcome: &SweepOutcome,
+    ) -> AdversarialAggregate {
+        let mut agg = AdversarialAggregate {
+            adversarial_trials: 0,
+            false_accepts: 0,
+            stats: FaultStats::default(),
+        };
+        for (_, trial) in partials {
+            agg.adversarial_trials += 1;
+            agg.false_accepts += usize::from(trial.false_accept);
+            agg.stats = sum_stats(agg.stats, trial.stats);
+        }
+        agg
+    }
+}
+
 /// The points of [`degradation_sweep`] for the rate indices in
 /// `rate_range` only — and *exactly* those points: every trial seed is
 /// derived from the rate's **global** index in `rates`, so a budgeted
@@ -145,6 +295,13 @@ pub fn degradation_sweep<D: Decoder + ?Sized>(
 /// re-run, overlapping) slices and concatenate the results into the
 /// byte-identical uninterrupted report. Used by the conformance suite to
 /// prove resume-chain determinism.
+///
+/// Each rate's trials run as one fused two-member panel
+/// ([`crate::verify::sweep_panel`]): the honest availability/strong audit
+/// and the adversarial false-accept audit walk the trial indices once
+/// together. Every per-trial value is a pure function of the sweep
+/// arguments, so the report is byte-identical to the pre-panel
+/// trial-by-trial loop (fault tallies are sums, which commute).
 ///
 /// # Panics
 ///
@@ -160,7 +317,6 @@ pub fn degradation_sweep_slice<D: Decoder + ?Sized>(
     seed: u64,
     rate_range: std::ops::Range<usize>,
 ) -> Vec<DegradationPoint> {
-    let n = honest.graph().node_count();
     // Keep only adversarial labelings the fault-free verifier rejects:
     // a unanimous accept under faults is only *false* if the clean run
     // said no.
@@ -178,49 +334,66 @@ pub fn degradation_sweep_slice<D: Decoder + ?Sized>(
         .enumerate()
         .map(|(offset, &rate)| {
             let ri = rate_range.start + offset;
-            let mut rejecting_total = 0usize;
-            let mut strong_violations = 0usize;
-            let mut false_accepts = 0usize;
-            let mut adversarial_trials = 0usize;
-            let mut stats = FaultStats::default();
-            for t in 0..trials {
-                // Honest trial: availability + strong soundness.
-                let plan =
-                    FaultPlan::new(trial_seed(seed, ri, t, H_SALT), FaultRates::uniform(rate));
-                let (verdicts, s) = run_distributed_faulty(decoder, honest, &plan);
-                stats = sum_stats(stats, s);
-                let accepting: Vec<usize> = verdicts
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(v, verdict)| verdict.is_accept().then_some(v))
-                    .collect();
-                rejecting_total += n - accepting.len();
-                let (induced, _) = honest.graph().induced(&accepting);
-                if !language.is_yes_graph(&induced) {
-                    strong_violations += 1;
-                }
-                // Adversarial trial: does the fault plan mask rejection?
-                if !rejected.is_empty() {
-                    let labeling = rejected[t % rejected.len()];
-                    let li = honest.instance().clone().with_labeling(labeling.clone());
-                    let adv_plan =
-                        FaultPlan::new(trial_seed(seed, ri, t, A_SALT), FaultRates::uniform(rate));
-                    let (verdicts, s) = run_distributed_faulty(decoder, &li, &adv_plan);
-                    stats = sum_stats(stats, s);
-                    adversarial_trials += 1;
-                    if verdicts.iter().all(|v| v.is_accept()) {
-                        false_accepts += 1;
-                    }
-                }
+            // Item t of the universe is trial t: the honest labeling,
+            // enumerated once for both panel members.
+            let universe = Universe::labelings_of(
+                honest.instance().clone(),
+                vec![honest.labeling().clone(); trials],
+                Coverage::Sampled,
+            )
+            .expect("materialized trial labelings fit usize");
+            let mut members = vec![DynPropertyCheck::new(
+                PropertyTag::Custom,
+                "degradation-honest",
+                HonestTrialProbe {
+                    decoder,
+                    language,
+                    seed,
+                    rate_idx: ri,
+                    rate,
+                },
+            )];
+            if !rejected.is_empty() {
+                members.push(DynPropertyCheck::new(
+                    PropertyTag::Custom,
+                    "degradation-adversarial",
+                    FalseAcceptProbe {
+                        decoder,
+                        rejected: &rejected,
+                        seed,
+                        rate_idx: ri,
+                        rate,
+                    },
+                ));
             }
+            let report = sweep_panel(&members, &universe);
+            let honest_agg = report.members[0]
+                .verdict
+                .get::<HonestAggregate>()
+                .expect("honest member aggregates honest trials")
+                .clone();
+            let adv_agg = report
+                .members
+                .get(1)
+                .map(|m| {
+                    m.verdict
+                        .get::<AdversarialAggregate>()
+                        .expect("adversarial member aggregates adversarial trials")
+                        .clone()
+                })
+                .unwrap_or(AdversarialAggregate {
+                    adversarial_trials: 0,
+                    false_accepts: 0,
+                    stats: FaultStats::default(),
+                });
             DegradationPoint {
                 rate,
                 trials,
-                avg_rejecting: rejecting_total as f64 / trials.max(1) as f64,
-                strong_violations,
-                false_accepts,
-                adversarial_trials,
-                stats,
+                avg_rejecting: honest_agg.rejecting_total as f64 / trials.max(1) as f64,
+                strong_violations: honest_agg.strong_violations,
+                false_accepts: adv_agg.false_accepts,
+                adversarial_trials: adv_agg.adversarial_trials,
+                stats: sum_stats(honest_agg.stats, adv_agg.stats),
             }
         })
         .collect()

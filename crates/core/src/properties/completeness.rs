@@ -9,7 +9,8 @@ use crate::decoder::Decoder;
 use crate::instance::Instance;
 use crate::prover::Prover;
 use crate::verify::{
-    sweep, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+    sweep_panel, Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome,
+    Universe, UniverseItem,
 };
 use crate::view::IdMode;
 
@@ -133,11 +134,40 @@ impl<D: Decoder + ?Sized, P: Prover + ?Sized> PropertyCheck for CompletenessChec
     }
 }
 
+/// [`CompletenessCheck`] as a panel member. Completeness judges the
+/// prover's labeling, not the item's, so the member keeps a private
+/// verdict channel (its [`PropertyCheck::verdict_decoder`] is `None`).
+pub fn completeness_member<'a>(
+    decoder: &'a dyn Decoder,
+    prover: &'a dyn Prover,
+) -> DynPropertyCheck<'a> {
+    DynPropertyCheck::with_summary(
+        PropertyTag::Completeness,
+        "completeness",
+        CompletenessCheck { decoder, prover },
+        |v: &CompletenessReport| {
+            (
+                Some(v.all_passed()),
+                format!(
+                    "{} passed, {} failed, max certificate {} bits",
+                    v.passed,
+                    v.failures.len(),
+                    v.max_certificate_bits
+                ),
+            )
+        },
+    )
+}
+
 /// Checks completeness of `(prover, decoder)` on each instance.
 ///
 /// The caller is responsible for passing only instances whose graphs lie
 /// in the LCP's promise class (completeness quantifies over yes-instances
 /// only).
+///
+/// Runs as a one-member fused panel (see [`crate::verify::sweep_panel`])
+/// — observationally identical to the plain sweep, which the panel
+/// differential suite asserts.
 pub fn check_completeness<D, P, I>(decoder: &D, prover: &P, instances: I) -> CompletenessReport
 where
     D: Decoder + ?Sized,
@@ -149,7 +179,11 @@ where
     // coverage over instances is whatever the caller sampled.
     let universe = Universe::instances_only(instances, Coverage::Sampled)
         .expect("one item per materialized instance fits usize");
-    sweep(&CompletenessCheck { decoder, prover }, &universe).verdict
+    let check = CompletenessCheck { decoder, prover };
+    let member = DynPropertyCheck::new(PropertyTag::Completeness, "completeness", check);
+    sweep_panel(std::slice::from_ref(&member), &universe)
+        .into_member_report::<CompletenessReport>(0)
+        .verdict
 }
 
 #[cfg(test)]

@@ -21,7 +21,8 @@ use crate::instance::LabeledInstance;
 use crate::label::{Certificate, Labeling};
 use crate::network::{run_distributed_faulty, FaultPlan, FaultRates, FaultStats};
 use crate::verify::{
-    sweep, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+    sweep_panel, Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome,
+    Universe, UniverseItem,
 };
 use crate::view::IdMode;
 use rand::seq::index::sample;
@@ -101,10 +102,34 @@ impl<D: Decoder + ?Sized> PropertyCheck for ErasureCheck<'_, D> {
     }
 }
 
+/// [`ErasureCheck`] as a panel member: `erased_counts[i]` is how many
+/// certificates were wiped in the universe's item `i`. The erased
+/// labelings themselves are the universe's items, so the member keeps a
+/// private verdict channel (every item is a *different* labeling of the
+/// same instance and erasure counts rejecting nodes directly).
+pub fn erasure_member(decoder: &dyn Decoder, erased_counts: Vec<usize>) -> DynPropertyCheck<'_> {
+    DynPropertyCheck::with_summary(
+        PropertyTag::Erasure,
+        "erasure",
+        ErasureCheck {
+            decoder,
+            erased_counts,
+        },
+        |v: &Vec<ErasureOutcome>| {
+            let reacting = v.iter().filter(|o| o.rejecting > 0).count();
+            (
+                None,
+                format!("{reacting} of {} trials drew rejections", v.len()),
+            )
+        },
+    )
+}
+
 /// Runs `trials` random f-erasure trials and returns the outcomes.
 ///
 /// The erasure targets are drawn up front (one `sample` per trial, same
-/// stream as always); the resulting labelings then sweep on the engine,
+/// stream as always); the resulting labelings then sweep on the engine
+/// (as a one-member fused panel — observationally the plain sweep),
 /// sharing one set of view skeletons across all trials.
 pub fn random_erasure_trials<D: Decoder + ?Sized, R: Rng + ?Sized>(
     decoder: &D,
@@ -129,7 +154,10 @@ pub fn random_erasure_trials<D: Decoder + ?Sized, R: Rng + ?Sized>(
         decoder,
         erased_counts,
     };
-    sweep(&check, &universe).verdict
+    let member = DynPropertyCheck::new(PropertyTag::Erasure, "erasure", check);
+    sweep_panel(std::slice::from_ref(&member), &universe)
+        .into_member_report::<Vec<ErasureOutcome>>(0)
+        .verdict
 }
 
 /// Produces the erased labeling itself (for feeding into strong-soundness

@@ -13,8 +13,8 @@
 use crate::decoder::{Decoder, Verdict};
 use crate::nbhd::{NbhdGraph, NbhdScan, NbhdSweep};
 use crate::verify::{
-    self, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
-    VerificationReport,
+    sweep_panel, Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome,
+    Universe, UniverseItem, VerificationReport,
 };
 use crate::view::IdMode;
 use hiding_lcp_graph::Graph;
@@ -169,11 +169,47 @@ impl<D: Decoder + ?Sized> PropertyCheck for HidingCheck<'_, D> {
     }
 }
 
+/// [`HidingCheck`] as a panel member: joined to `decoder`'s verdict
+/// channel, so a fused audit maintains one delta-evaluated verdict vector
+/// for every member built on the same decoder object. As with the plain
+/// check, the member is tied to the universe it was built for.
+pub fn hiding_member<'a, F>(
+    decoder: &'a dyn Decoder,
+    universe: &Universe,
+    k: usize,
+    is_yes: F,
+) -> DynPropertyCheck<'a>
+where
+    F: Fn(&Graph) -> bool,
+{
+    DynPropertyCheck::with_summary(
+        PropertyTag::Hiding,
+        "hiding",
+        HidingCheck::new(decoder, universe, k, is_yes),
+        |(_, v): &(NbhdGraph, HidingVerdict)| match v {
+            HidingVerdict::Hiding { .. } => (Some(true), "V(D, .) is not k-colorable".into()),
+            HidingVerdict::NotHiding { .. } => (
+                Some(false),
+                "V(D, .) is k-colorable over an exhaustive universe".into(),
+            ),
+            HidingVerdict::Inconclusive => (
+                None,
+                "V(D, .) k-colorable but the universe was partial".into(),
+            ),
+        },
+    )
+    .with_channel(decoder)
+}
+
 /// Checks hiding of `decoder` on the engine: sweeps `universe`, builds
 /// `V(D, ·)` and applies Lemma 3.2, with [`UniverseCoverage`] taken from
 /// [`Universe::coverage`] rather than asserted by the caller. The verdict
 /// comes with the neighborhood graph (for witness extraction) and the
 /// sweep's execution evidence.
+///
+/// Runs as a one-member fused panel (see [`crate::verify::sweep_panel`])
+/// — observationally identical to the plain sweep, which the panel
+/// differential suite asserts.
 pub fn verify_hiding<D, F>(
     decoder: &D,
     universe: &Universe,
@@ -185,7 +221,8 @@ where
     F: Fn(&Graph) -> bool,
 {
     let check = HidingCheck::new(decoder, universe, k, is_yes);
-    verify::sweep(&check, universe)
+    let member = DynPropertyCheck::new(PropertyTag::Hiding, "hiding", check);
+    sweep_panel(std::slice::from_ref(&member), universe).into_member_report(0)
 }
 
 #[cfg(test)]
@@ -274,6 +311,7 @@ mod tests {
         let alphabet = vec![Certificate::from_byte(0), Certificate::from_byte(1)];
         let universe = Universe::lemma31(3, alphabet.clone()).expect("n <= 3 universe fits");
         let report = verify_hiding(&LocalDiff, &universe, 2, bipartite::is_bipartite);
+        assert_eq!(report.universe_size, 86);
         let (nbhd, verdict) = report.verdict;
         let manual = crate::nbhd::NbhdGraph::build(
             &LocalDiff,
@@ -283,7 +321,6 @@ mod tests {
         );
         assert_eq!(nbhd.view_count(), manual.view_count());
         assert_eq!(nbhd.edge_count(), manual.edge_count());
-        assert_eq!(report.universe_size, 86);
         assert!(matches!(verdict, HidingVerdict::NotHiding { .. }));
     }
 

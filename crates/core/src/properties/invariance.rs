@@ -12,7 +12,8 @@ use crate::decoder::{run, Decoder, Verdict};
 use crate::instance::{Instance, LabeledInstance};
 use crate::label::Labeling;
 use crate::verify::{
-    sweep_lazy_labeled, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
+    sweep_lazy_labeled, Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag,
+    SweepOutcome, Universe, UniverseItem,
 };
 use crate::view::IdMode;
 use hiding_lcp_graph::IdAssignment;
@@ -90,6 +91,54 @@ impl<D: Decoder + ?Sized> PropertyCheck for InvarianceCheck<'_, D> {
             None => Ok(()),
         }
     }
+}
+
+/// [`InvarianceCheck`] as a panel member: the baseline verdicts on
+/// `(instance, labeling)` are recorded at construction; the member keeps
+/// a private verdict channel (every universe item carries a *different*
+/// instance, so no delta-maintained vector applies). Pair it with a
+/// materialized variant universe such as [`anonymity_universe`].
+pub fn invariance_member<'a>(
+    decoder: &'a dyn Decoder,
+    instance: &Instance,
+    labeling: &Labeling,
+) -> DynPropertyCheck<'a> {
+    DynPropertyCheck::with_summary(
+        PropertyTag::Invariance,
+        "invariance",
+        InvarianceCheck::new(decoder, instance, labeling),
+        |v: &Result<(), InvarianceViolation>| match v {
+            Ok(()) => (Some(true), "verdicts unchanged under id remapping".into()),
+            Err(viol) => (
+                Some(false),
+                format!("node {}'s verdict changed under an id remapping", viol.node),
+            ),
+        },
+    )
+}
+
+/// A materialized universe of `samples` random identifier permutations of
+/// `(instance, labeling)` — the anonymity condition's variants as flat
+/// universe items, for fused panels. Permutations are drawn up front from
+/// `rng` (one shuffle per variant), unlike the lazy [`check_anonymous`]
+/// stream which stops drawing at the first divergence.
+pub fn anonymity_universe<R: Rng + ?Sized>(
+    instance: &Instance,
+    labeling: &Labeling,
+    samples: usize,
+    rng: &mut R,
+) -> Universe {
+    let variants: Vec<LabeledInstance> = (0..samples)
+        .map(|_| {
+            let mut perm: Vec<u64> = instance.ids().as_slice().to_vec();
+            perm.shuffle(rng);
+            let ids = IdAssignment::from_ids(perm, instance.ids().bound())
+                .expect("permutation stays injective and bounded");
+            id_variant(instance, labeling, ids)
+        })
+        .collect();
+    Universe::from_labeled(variants, Coverage::Sampled)
+        .expect("one item per materialized variant fits usize")
 }
 
 /// The labeled instance carrying one identifier variant.

@@ -22,7 +22,8 @@ use crate::decoder::{Decoder, Verdict};
 use crate::instance::LabeledInstance;
 use crate::nbhd::{NbhdGraph, NbhdScan, NbhdSweep};
 use crate::verify::{
-    self, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem, VerificationReport,
+    sweep_panel, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome, Universe,
+    UniverseItem, VerificationReport,
 };
 use crate::view::IdMode;
 use hiding_lcp_graph::algo::{bipartite, coloring, components};
@@ -164,8 +165,43 @@ impl<D: Decoder + ?Sized> PropertyCheck for QuantifiedCheck<'_, D> {
     }
 }
 
+/// [`QuantifiedCheck`] as a panel member: joined to `decoder`'s verdict
+/// channel, so a fused audit maintains one delta-evaluated verdict vector
+/// for every member built on the same decoder object. As with the plain
+/// check, the member is tied to the universe it was built for.
+pub fn quantified_member<'a, F>(
+    decoder: &'a dyn Decoder,
+    universe: &Universe,
+    k: usize,
+    is_yes: F,
+) -> DynPropertyCheck<'a>
+where
+    F: Fn(&Graph) -> bool,
+{
+    DynPropertyCheck::with_summary(
+        PropertyTag::Quantified,
+        "quantified",
+        QuantifiedCheck::new(decoder, universe, k, is_yes),
+        |(nbhd, map): &(NbhdGraph, ExtractabilityMap)| {
+            (
+                None,
+                format!(
+                    "{} of {} views unextractable",
+                    map.unextractable_views(),
+                    nbhd.view_count()
+                ),
+            )
+        },
+    )
+    .with_channel(decoder)
+}
+
 /// Builds `V(D, ·)` over `universe` on the engine and classifies its views
 /// by extractability, returning both with the sweep's execution evidence.
+///
+/// Runs as a one-member fused panel (see [`crate::verify::sweep_panel`])
+/// — observationally identical to the plain sweep, which the panel
+/// differential suite asserts.
 pub fn verify_extractability<D, F>(
     decoder: &D,
     universe: &Universe,
@@ -177,7 +213,8 @@ where
     F: Fn(&Graph) -> bool,
 {
     let check = QuantifiedCheck::new(decoder, universe, k, is_yes);
-    verify::sweep(&check, universe)
+    let member = DynPropertyCheck::new(PropertyTag::Quantified, "quantified", check);
+    sweep_panel(std::slice::from_ref(&member), universe).into_member_report(0)
 }
 
 #[cfg(test)]

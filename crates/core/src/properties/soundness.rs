@@ -11,8 +11,9 @@ use crate::instance::Instance;
 use crate::label::{Certificate, Labeling};
 use crate::prover::{all_labelings, random_labeling};
 use crate::verify::{
-    sweep, sweep_budgeted, sweep_lazy, sweep_lazy_budgeted, Coverage, ExecMode, ItemCtx,
-    PropertyCheck, SweepBudget, SweepOutcome, Universe, UniverseItem, VerificationReport,
+    sweep, sweep_lazy, sweep_lazy_budgeted, sweep_panel_budgeted, Coverage, DynPropertyCheck,
+    ExecMode, ItemCtx, PropertyCheck, PropertyTag, SweepBudget, SweepOutcome, Universe,
+    UniverseItem, VerificationReport,
 };
 use crate::view::IdMode;
 use rand::Rng;
@@ -82,6 +83,22 @@ impl<D: Decoder + ?Sized> PropertyCheck for SoundnessCheck<'_, D> {
     }
 }
 
+/// [`SoundnessCheck`] as a panel member: joined to `decoder`'s verdict
+/// channel, so a fused audit maintains one delta-evaluated verdict vector
+/// for every member built on the same decoder object.
+pub fn soundness_member(decoder: &dyn Decoder) -> DynPropertyCheck<'_> {
+    DynPropertyCheck::with_summary(
+        PropertyTag::Soundness,
+        "soundness",
+        SoundnessCheck { decoder },
+        |v: &Result<usize, SoundnessViolation>| match v {
+            Ok(n) => (Some(true), format!("no unanimous accept in {n} labelings")),
+            Err(_) => (Some(false), "unanimously accepted labeling found".into()),
+        },
+    )
+    .with_channel(decoder)
+}
+
 /// Exhaustively checks soundness of `decoder` on the (no-instance)
 /// `instance` over all labelings from `alphabet`.
 ///
@@ -117,6 +134,10 @@ pub fn check_soundness_exhaustive<D: Decoder + ?Sized>(
 /// coverage, interruption status and any caught inspection panics. An
 /// exhausted budget yields a partial verdict with
 /// [`Coverage::Sampled`] — explicitly *not* a proof of soundness.
+///
+/// Runs as a one-member fused panel (see
+/// [`crate::verify::sweep_panel`]) — observationally identical to the
+/// plain budgeted sweep, which the panel differential suite asserts.
 pub fn check_soundness_exhaustive_with<D: Decoder + ?Sized>(
     decoder: &D,
     instance: &Instance,
@@ -124,13 +145,18 @@ pub fn check_soundness_exhaustive_with<D: Decoder + ?Sized>(
     mode: ExecMode,
     budget: &SweepBudget,
 ) -> VerificationReport<Result<usize, SoundnessViolation>> {
-    let check = SoundnessCheck { decoder };
     match Universe::all_labelings_of(instance.clone(), alphabet.to_vec(), Coverage::Exhaustive) {
-        Ok(universe) => sweep_budgeted(&check, &universe, mode, budget).report,
+        Ok(universe) => {
+            let check = SoundnessCheck { decoder };
+            let member = DynPropertyCheck::new(PropertyTag::Soundness, "soundness", check);
+            sweep_panel_budgeted(std::slice::from_ref(&member), &universe, mode, budget)
+                .report
+                .into_member_report(0)
+        }
         // |alphabet|^n overflows the flat index space; iterate lazily
         // instead (necessarily sequential, still budgeted).
         Err(_) => sweep_lazy_budgeted(
-            &check,
+            &SoundnessCheck { decoder },
             instance,
             all_labelings(instance.graph().node_count(), alphabet),
             Coverage::Exhaustive,

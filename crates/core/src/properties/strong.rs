@@ -11,8 +11,9 @@ use crate::label::{Certificate, Labeling};
 use crate::language::KCol;
 use crate::prover::{all_labelings, random_labeling};
 use crate::verify::{
-    sweep, sweep_budgeted, sweep_lazy, sweep_lazy_budgeted, Coverage, ExecMode, ItemCtx,
-    PropertyCheck, SweepBudget, SweepOutcome, Universe, UniverseItem, VerificationReport,
+    sweep, sweep_lazy, sweep_lazy_budgeted, sweep_panel_budgeted, Coverage, DynPropertyCheck,
+    ExecMode, ItemCtx, PropertyCheck, PropertyTag, SweepBudget, SweepOutcome, Universe,
+    UniverseItem, VerificationReport,
 };
 use crate::view::IdMode;
 use rand::Rng;
@@ -114,6 +115,28 @@ impl<D: Decoder + ?Sized> PropertyCheck for StrongCheck<'_, D> {
     }
 }
 
+/// [`StrongCheck`] as a panel member: joined to `decoder`'s verdict
+/// channel, so a fused audit maintains one delta-evaluated verdict vector
+/// for every member built on the same decoder object.
+pub fn strong_member<'a>(decoder: &'a dyn Decoder, language: &'a KCol) -> DynPropertyCheck<'a> {
+    DynPropertyCheck::with_summary(
+        PropertyTag::Strong,
+        "strong",
+        StrongCheck { decoder, language },
+        |v: &Result<usize, StrongViolation>| match v {
+            Ok(n) => (
+                Some(true),
+                format!("every accepting set in {n} labelings induces G(L)"),
+            ),
+            Err(_) => (
+                Some(false),
+                "accepting set induces a non-member of G(L)".into(),
+            ),
+        },
+    )
+    .with_channel(decoder)
+}
+
 /// Checks whether one labeled instance satisfies the strong condition:
 /// the accepting set must induce a graph in `G(k-col)`.
 pub fn strong_holds_for<D: Decoder + ?Sized>(
@@ -175,6 +198,10 @@ pub fn check_strong_exhaustive<D: Decoder + ?Sized>(
 /// and any caught inspection panics. An exhausted budget yields a partial
 /// verdict with [`Coverage::Sampled`] — explicitly *not* a proof of
 /// strong soundness.
+///
+/// Runs as a one-member fused panel (see
+/// [`crate::verify::sweep_panel`]) — observationally identical to the
+/// plain budgeted sweep, which the panel differential suite asserts.
 pub fn check_strong_exhaustive_with<D: Decoder + ?Sized>(
     decoder: &D,
     language: &KCol,
@@ -183,13 +210,18 @@ pub fn check_strong_exhaustive_with<D: Decoder + ?Sized>(
     mode: ExecMode,
     budget: &SweepBudget,
 ) -> VerificationReport<Result<usize, StrongViolation>> {
-    let check = StrongCheck { decoder, language };
     match Universe::all_labelings_of(instance.clone(), alphabet.to_vec(), Coverage::Exhaustive) {
-        Ok(universe) => sweep_budgeted(&check, &universe, mode, budget).report,
+        Ok(universe) => {
+            let check = StrongCheck { decoder, language };
+            let member = DynPropertyCheck::new(PropertyTag::Strong, "strong", check);
+            sweep_panel_budgeted(std::slice::from_ref(&member), &universe, mode, budget)
+                .report
+                .into_member_report(0)
+        }
         // |alphabet|^n overflows the flat index space; iterate lazily
         // instead (necessarily sequential, still budgeted).
         Err(_) => sweep_lazy_budgeted(
-            &check,
+            &StrongCheck { decoder, language },
             instance,
             all_labelings(instance.graph().node_count(), alphabet),
             Coverage::Exhaustive,

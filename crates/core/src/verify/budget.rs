@@ -127,6 +127,57 @@ impl<P> ResumeToken<P> {
     }
 }
 
+/// The continuation of an interrupted fused panel
+/// ([`super::sweep_panel_budgeted`]).
+///
+/// One shared `next_index` describes the enumeration frontier — as with
+/// [`ResumeToken`], the visited set is always the contiguous prefix
+/// `[0, next_index)` — while each member keeps its own
+/// [`MemberFrontier`]: its recorded partials and errors, plus its
+/// short-circuit index if it already dropped out of the walk. Feeding the
+/// token to [`super::resume_panel`] continues every still-active member
+/// from the shared frontier; members that stopped are carried through
+/// untouched, so the resumed chain reproduces an uninterrupted panel's
+/// per-member reports exactly.
+#[derive(Debug)]
+pub struct PanelResumeToken {
+    /// First flat index not yet visited by the panel walk.
+    pub next_index: usize,
+    /// Per-member state, in panel member order.
+    pub members: Vec<MemberFrontier>,
+}
+
+impl PanelResumeToken {
+    /// The token a fresh (never-started) panel of `members` members
+    /// resumes from.
+    pub fn start(members: usize) -> PanelResumeToken {
+        PanelResumeToken {
+            next_index: 0,
+            members: (0..members)
+                .map(|_| MemberFrontier {
+                    stop_at: None,
+                    partials: Vec::new(),
+                    errors: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One panel member's interim state inside a [`PanelResumeToken`].
+#[derive(Debug)]
+pub struct MemberFrontier {
+    /// The member's short-circuit index: `Some(s)` when its lowest
+    /// deciding item was `s` (the member inspects nothing past it on
+    /// resume and reports `checked = s + 1`), `None` while still active.
+    pub stop_at: Option<usize>,
+    /// Partials the member recorded in `[0, next_index)`, sorted by
+    /// index, type-erased (clones of the member's concrete partials).
+    pub partials: Vec<(usize, super::erased::ErasedPartial)>,
+    /// Errors the member recorded in `[0, next_index)`, sorted by index.
+    pub errors: Vec<SweepError>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

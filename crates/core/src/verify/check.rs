@@ -106,6 +106,16 @@ pub struct SweepOutcome {
     /// Number of items inspected, counted with sequential semantics: if a
     /// short-circuit fired at index `i`, this is `i + 1` regardless of how
     /// many extra items worker threads touched before noticing the stop.
+    ///
+    /// **Panel semantics.** In a fused panel
+    /// ([`super::sweep_panel`](crate::verify::sweep_panel)) the count is
+    /// *per member*: a member that short-circuited at its lowest index
+    /// `s_m` receives `checked = s_m + 1` — exactly what its own
+    /// single-check sweep would report — while a member that never
+    /// short-circuited receives the panel walk's end (the universe size,
+    /// or the interruption point). Members therefore see *different*
+    /// `checked` counts from the same enumeration; the enumeration itself
+    /// ends at `max_m s_m + 1` once every member has stopped.
     pub checked: usize,
     /// Total number of items in the universe.
     pub universe_size: usize,
@@ -113,11 +123,14 @@ pub struct SweepOutcome {
     pub short_circuited: bool,
 }
 
-/// The result of one sweep: the property verdict plus execution evidence.
+/// Execution evidence of one sweep (or one fused panel): everything the
+/// executor observed that is not the property verdict itself.
+///
+/// Shared by [`VerificationReport`] and the panel reports so no caller
+/// hand-copies the field list. Verdict-carrying wrappers expose these
+/// fields transparently via `Deref`.
 #[derive(Debug, Clone)]
-pub struct VerificationReport<V> {
-    /// The property verdict.
-    pub verdict: V,
+pub struct ExecEvidence {
     /// Items inspected (sequential semantics, see [`SweepOutcome::checked`]).
     pub checked: usize,
     /// Total items in the universe.
@@ -151,23 +164,38 @@ pub struct VerificationReport<V> {
     pub threads: usize,
 }
 
+/// The result of one sweep: the property verdict plus execution evidence.
+///
+/// Dereferences to its [`ExecEvidence`], so `report.checked`,
+/// `report.coverage` etc. read straight through.
+#[derive(Debug, Clone)]
+pub struct VerificationReport<V> {
+    /// The property verdict.
+    pub verdict: V,
+    /// What the executor observed while producing it.
+    pub evidence: ExecEvidence,
+}
+
+impl<V> std::ops::Deref for VerificationReport<V> {
+    type Target = ExecEvidence;
+
+    fn deref(&self) -> &ExecEvidence {
+        &self.evidence
+    }
+}
+
+impl<V> std::ops::DerefMut for VerificationReport<V> {
+    fn deref_mut(&mut self) -> &mut ExecEvidence {
+        &mut self.evidence
+    }
+}
+
 impl<V> VerificationReport<V> {
     /// Maps the verdict, preserving all execution evidence.
     pub fn map<W>(self, f: impl FnOnce(V) -> W) -> VerificationReport<W> {
         VerificationReport {
             verdict: f(self.verdict),
-            checked: self.checked,
-            universe_size: self.universe_size,
-            short_circuited: self.short_circuited,
-            interrupted: self.interrupted,
-            coverage: self.coverage,
-            errors: self.errors,
-            cache_hits: self.cache_hits,
-            cache_misses: self.cache_misses,
-            memo_hits: self.memo_hits,
-            memo_misses: self.memo_misses,
-            elapsed: self.elapsed,
-            threads: self.threads,
+            evidence: self.evidence,
         }
     }
 }

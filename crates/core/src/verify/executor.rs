@@ -52,9 +52,10 @@
 //!
 //! * every item inspection runs under `catch_unwind`, so a panicking
 //!   decoder becomes a [`SweepError`] naming the item, not a poisoned
-//!   sweep — worker threads never die of a check panic (a panic also
-//!   invalidates the thread's verdict scratch, so the next item recomputes
-//!   from the odometer state, which engine code alone maintains);
+//!   sweep — worker threads never die of a check panic (a panic mid-patch
+//!   leaves the thread's verdict scratch marked invalid, so the next item
+//!   recomputes from the odometer state, which engine code alone
+//!   maintains);
 //! * [`sweep_budgeted`] accepts a [`SweepBudget`]; an expired budget ends
 //!   the call with `interrupted` set, the report's coverage downgraded to
 //!   [`Coverage::Sampled`], and a [`ResumeToken`];
@@ -76,7 +77,7 @@
 //! hence deterministic), the anchor of every digit-key memo.
 
 use super::budget::{ResumeToken, SweepBudget, SweepError};
-use super::check::{PropertyCheck, SweepOutcome, VerificationReport};
+use super::check::{ExecEvidence, PropertyCheck, SweepOutcome, VerificationReport};
 use super::interner::digit_key;
 use super::universe::{Block, Coverage, LabelSource, Universe, UniverseItem};
 use crate::decoder::{Decoder, Verdict};
@@ -156,23 +157,23 @@ impl SweepOpts {
 }
 
 /// Per-block, per-configuration view skeletons, shared by all labelings.
-struct SkeletonCache {
+pub(super) struct SkeletonCache {
     /// Requested `(radius, id_mode)` configurations.
     configs: Vec<(usize, IdMode)>,
     /// `per_block[b][c][v]` = skeleton of node `v` in block `b` under
     /// configuration `c`.
-    per_block: Vec<Vec<Vec<ViewSkeleton>>>,
+    pub(super) per_block: Vec<Vec<Vec<ViewSkeleton>>>,
     /// `class_of[b][c][v]` = dense id of the skeleton's proto: equal
     /// protos (across nodes *and* blocks) share a class, so a `(class,
     /// ball digits)` pair identifies a stamped view exactly. Assigned in
     /// build order — deterministic for a given universe and config list.
     class_of: Vec<Vec<Vec<u32>>>,
     /// Skeletons computed while populating the cache.
-    populated: usize,
+    pub(super) populated: usize,
 }
 
 impl SkeletonCache {
-    fn build(universe: &Universe, mut configs: Vec<(usize, IdMode)>) -> SkeletonCache {
+    pub(super) fn build(universe: &Universe, mut configs: Vec<(usize, IdMode)>) -> SkeletonCache {
         configs.dedup();
         configs.sort_unstable_by_key(|&(r, m)| (r, m as u8));
         configs.dedup();
@@ -217,7 +218,7 @@ impl SkeletonCache {
         }
     }
 
-    fn config_index(&self, radius: usize, id_mode: IdMode) -> Option<usize> {
+    pub(super) fn config_index(&self, radius: usize, id_mode: IdMode) -> Option<usize> {
         self.configs.iter().position(|&c| c == (radius, id_mode))
     }
 }
@@ -230,6 +231,26 @@ pub struct ItemCtx<'a> {
     hits: &'a AtomicUsize,
     misses: &'a AtomicUsize,
     memo: bool,
+}
+
+impl<'a> ItemCtx<'a> {
+    /// Assembles a context for one item of `block`. Engine-internal: the
+    /// fused panel executor builds contexts against its unioned cache.
+    pub(super) fn new(
+        block: usize,
+        cache: &'a SkeletonCache,
+        hits: &'a AtomicUsize,
+        misses: &'a AtomicUsize,
+        memo: bool,
+    ) -> ItemCtx<'a> {
+        ItemCtx {
+            block,
+            cache,
+            hits,
+            misses,
+            memo,
+        }
+    }
 }
 
 impl ItemCtx<'_> {
@@ -561,18 +582,20 @@ fn run_resumable<C: PropertyCheck>(
     BudgetedSweep {
         report: VerificationReport {
             verdict,
-            checked,
-            universe_size: n,
-            short_circuited,
-            interrupted,
-            coverage,
-            errors,
-            cache_hits: hits.load(Ordering::Relaxed),
-            cache_misses: misses.load(Ordering::Relaxed),
-            memo_hits: memo_hits.load(Ordering::Relaxed),
-            memo_misses: memo_misses.load(Ordering::Relaxed),
-            elapsed: start.elapsed(),
-            threads,
+            evidence: ExecEvidence {
+                checked,
+                universe_size: n,
+                short_circuited,
+                interrupted,
+                coverage,
+                errors,
+                cache_hits: hits.load(Ordering::Relaxed),
+                cache_misses: misses.load(Ordering::Relaxed),
+                memo_hits: memo_hits.load(Ordering::Relaxed),
+                memo_misses: memo_misses.load(Ordering::Relaxed),
+                elapsed: start.elapsed(),
+                threads,
+            },
         },
         resume,
     }
@@ -792,22 +815,24 @@ fn finish_lazy<C: PropertyCheck>(
     let verdict = check.reduce(universe, partials, &outcome);
     VerificationReport {
         verdict,
-        checked,
-        universe_size: checked,
-        short_circuited,
-        interrupted,
-        coverage,
-        errors,
-        cache_hits: hits.load(Ordering::Relaxed),
-        cache_misses: misses.load(Ordering::Relaxed),
-        memo_hits: 0,
-        memo_misses: 0,
-        elapsed: start.elapsed(),
-        threads: 1,
+        evidence: ExecEvidence {
+            checked,
+            universe_size: checked,
+            short_circuited,
+            interrupted,
+            coverage,
+            errors,
+            cache_hits: hits.load(Ordering::Relaxed),
+            cache_misses: misses.load(Ordering::Relaxed),
+            memo_hits: 0,
+            memo_misses: 0,
+            elapsed: start.elapsed(),
+            threads: 1,
+        },
     }
 }
 
-fn resolve_threads(mode: ExecMode, items: usize) -> usize {
+pub(super) fn resolve_threads(mode: ExecMode, items: usize) -> usize {
     if !cfg!(feature = "parallel") || items < PARALLEL_THRESHOLD {
         return 1;
     }
@@ -847,7 +872,7 @@ struct Engine<'e, C: PropertyCheck> {
 
 /// The delta-evaluation plan for a check with a
 /// [`PropertyCheck::verdict_decoder`].
-struct DeltaDriver<'a> {
+pub(super) struct DeltaDriver<'a> {
     decoder: &'a dyn Decoder,
     /// Index of the decoder's `(radius, id_mode)` in the skeleton cache.
     config: usize,
@@ -857,11 +882,11 @@ struct DeltaDriver<'a> {
     balls: Vec<Vec<Vec<usize>>>,
     /// Whether block `b` gets the verdict fast path: an `All`-labeled
     /// block the check actually reads verdicts on.
-    verdict_blocks: Vec<bool>,
+    pub(super) verdict_blocks: Vec<bool>,
 }
 
 impl<'a> DeltaDriver<'a> {
-    fn build(
+    pub(super) fn build(
         decoder: &'a dyn Decoder,
         universe: &Universe,
         cache: &SkeletonCache,
@@ -911,35 +936,29 @@ impl<'a> DeltaDriver<'a> {
     }
 }
 
-/// Per-thread enumeration scratch: the odometer state plus the verdict
-/// vector it delta-maintains. Everything here is reused across items —
-/// the hot loop performs no per-item allocation.
+/// Per-thread odometer scratch: the enumeration state one worker steps
+/// through the universe. Everything here is reused across items — the hot
+/// loop performs no per-item allocation. Verdict state lives separately in
+/// [`VerdictScratch`] so a fused panel can drive many verdict channels off
+/// one walker.
 #[derive(Default)]
-struct Walker {
+pub(super) struct Walker {
     /// `(block, offset)` the scratch currently describes, if any.
     pos: Option<(usize, usize)>,
     /// Mixed-radix digits (node 0 least significant); empty for
     /// `Fixed`/`Unlabeled` blocks.
-    digits: Vec<usize>,
+    pub(super) digits: Vec<usize>,
     /// The decoded labeling (certificate allocations reused in place).
-    labeling: Labeling,
+    pub(super) labeling: Labeling,
     /// Digits changed by the last odometer step (a carry chain `0..=j`).
     changed: Vec<usize>,
-    /// Per-node verdicts of the driver's decoder for the current item.
-    verdicts: Vec<Verdict>,
-    /// Whether `verdicts` matches the current `(block, offset)`.
-    verdicts_valid: bool,
-    /// Dedup scratch for multi-digit carry steps (all-false between uses).
-    touched: Vec<bool>,
-    /// Node list scratch for multi-digit carry steps.
-    pending: Vec<usize>,
 }
 
 impl Walker {
     /// Moves the scratch to `(block, offset)`. Returns `true` when reached
     /// by a single odometer step from the previous item (`changed` lists
     /// the carry chain), `false` when a full resync decode was needed.
-    fn advance_to(&mut self, universe: &Universe, block: usize, offset: usize) -> bool {
+    pub(super) fn advance_to(&mut self, universe: &Universe, block: usize, offset: usize) -> bool {
         if offset > 0 && self.pos == Some((block, offset - 1)) && !self.digits.is_empty() {
             if let LabelSource::All { alphabet } = universe.blocks()[block].labels() {
                 let k = alphabet.len();
@@ -968,26 +987,51 @@ impl Walker {
         }
         universe.decode_into(block, offset, &mut self.labeling, &mut self.digits);
         self.pos = Some((block, offset));
-        #[cfg(conformance_mutants)]
-        if crate::mutants::active("delta_dropped_resync") {
-            return true;
-        }
-        self.verdicts_valid = false;
         false
     }
 }
 
+/// One verdict channel's delta-maintained state: the per-node verdict
+/// vector of a [`DeltaDriver`]'s decoder, tagged with the `(block,
+/// offset)` it currently describes. A plain sweep owns exactly one; a
+/// fused panel owns one per deduplicated decoder channel, all fed by the
+/// same [`Walker`].
+#[derive(Default)]
+pub(super) struct VerdictScratch {
+    /// `(block, offset)` the verdicts describe; `None` = invalid (never
+    /// computed, mid-mutation panic, or deliberately dropped).
+    pos: Option<(usize, usize)>,
+    /// Per-node verdicts of the channel's decoder for `pos`.
+    pub(super) verdicts: Vec<Verdict>,
+    /// Dedup scratch for multi-digit carry steps (all-false between uses).
+    touched: Vec<bool>,
+    /// Node list scratch for multi-digit carry steps.
+    pending: Vec<usize>,
+}
+
 /// Per-thread digit-key verdict memo (lock-free: each worker owns one).
-struct VerdictMemo {
+pub(super) struct VerdictMemo {
     map: HashMap<u128, Verdict>,
     enabled: bool,
-    hits: usize,
-    misses: usize,
+    pub(super) hits: usize,
+    pub(super) misses: usize,
+}
+
+impl VerdictMemo {
+    pub(super) fn new(enabled: bool) -> VerdictMemo {
+        VerdictMemo {
+            map: HashMap::new(),
+            enabled,
+            hits: 0,
+            misses: 0,
+        }
+    }
 }
 
 /// A worker thread's mutable state.
 struct WorkerState {
     walker: Walker,
+    scratch: VerdictScratch,
     memo: VerdictMemo,
 }
 
@@ -995,12 +1039,8 @@ impl WorkerState {
     fn new(memo_on: bool) -> WorkerState {
         WorkerState {
             walker: Walker::default(),
-            memo: VerdictMemo {
-                map: HashMap::new(),
-                enabled: memo_on,
-                hits: 0,
-                misses: 0,
-            },
+            scratch: VerdictScratch::default(),
+            memo: VerdictMemo::new(memo_on),
         }
     }
 }
@@ -1040,30 +1080,51 @@ fn node_verdict(
     driver.decoder.decide(&skel.stamp(labeling))
 }
 
-/// Brings `walker.verdicts` up to date for the current item: a full
-/// recompute after a resync, or a ball-restricted patch after an odometer
-/// step. Runs under the caller's `catch_unwind` (the decoder is check
-/// code).
-fn refresh_verdicts(
+/// Brings one channel's [`VerdictScratch`] up to date for the item at
+/// `(block, offset)`: a no-op when the scratch is already current, a full
+/// recompute after a resync (or when the scratch describes any other
+/// position), a ball-restricted patch when the walker reached `offset` by
+/// a single odometer step from the position the scratch describes. Runs
+/// under the caller's `catch_unwind` (the decoder is check code); the
+/// scratch position is cleared for the duration of the mutation, so a
+/// decoder panic leaves it invalid and the next refresh recomputes from
+/// the odometer state, which engine code alone maintains.
+#[allow(clippy::too_many_arguments)] // the args are the walk state, not a config
+pub(super) fn refresh_verdicts(
     driver: &DeltaDriver<'_>,
     cache: &SkeletonCache,
     block: usize,
-    walker: &mut Walker,
+    offset: usize,
+    walker: &Walker,
+    scratch: &mut VerdictScratch,
     memo: &mut VerdictMemo,
     stepped: bool,
 ) {
+    if scratch.pos == Some((block, offset)) {
+        // Already current: a second panel member on the same channel.
+        return;
+    }
+    let can_patch = stepped && offset > 0 && scratch.pos == Some((block, offset - 1));
+    #[cfg(conformance_mutants)]
+    let can_patch = can_patch
+        || (crate::mutants::active("delta_dropped_resync")
+            && scratch.pos.is_some()
+            && !scratch.verdicts.is_empty());
     let n = cache.per_block[block][driver.config].len();
+    scratch.pos = None;
     let Walker {
         ref labeling,
         ref digits,
         ref changed,
+        ..
+    } = *walker;
+    let VerdictScratch {
         ref mut verdicts,
-        ref mut verdicts_valid,
         ref mut touched,
         ref mut pending,
         ..
-    } = *walker;
-    if !*verdicts_valid || !stepped {
+    } = *scratch;
+    if !can_patch {
         verdicts.clear();
         verdicts
             .extend((0..n).map(|u| node_verdict(driver, cache, block, u, labeling, digits, memo)));
@@ -1090,7 +1151,7 @@ fn refresh_verdicts(
             verdicts[u] = node_verdict(driver, cache, block, u, labeling, digits, memo);
         }
     }
-    *verdicts_valid = true;
+    scratch.pos = Some((block, offset));
 }
 
 impl<C: PropertyCheck> Engine<'_, C> {
@@ -1125,10 +1186,16 @@ impl<C: PropertyCheck> Engine<'_, C> {
             .as_ref()
             .is_some_and(|d| d.verdict_blocks[block]);
         let result = catch_unwind(AssertUnwindSafe(|| {
-            let WorkerState { walker, memo } = state;
+            let WorkerState {
+                walker,
+                scratch,
+                memo,
+            } = state;
             if use_verdicts {
                 let driver = self.driver.as_ref().expect("checked above");
-                refresh_verdicts(driver, self.cache, block, walker, memo, stepped);
+                refresh_verdicts(
+                    driver, self.cache, block, offset, walker, scratch, memo, stepped,
+                );
                 let item = UniverseItem {
                     index: i,
                     block,
@@ -1137,9 +1204,8 @@ impl<C: PropertyCheck> Engine<'_, C> {
                     digits: Some(&walker.digits),
                 };
                 self.check
-                    .inspect_with_verdicts(&item, &walker.verdicts, &ctx)
+                    .inspect_with_verdicts(&item, &scratch.verdicts, &ctx)
             } else {
-                walker.verdicts_valid = false;
                 let item = UniverseItem {
                     index: i,
                     block,
@@ -1150,13 +1216,7 @@ impl<C: PropertyCheck> Engine<'_, C> {
                 self.check.inspect(&item, &ctx)
             }
         }));
-        match result {
-            Ok(partial) => Ok(partial),
-            Err(payload) => {
-                state.walker.verdicts_valid = false;
-                Err(SweepError::from_panic(i, payload))
-            }
-        }
+        result.map_err(|payload| SweepError::from_panic(i, payload))
     }
 
     /// The decode-from-index oracle: materializes item `i` independently

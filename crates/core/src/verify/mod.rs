@@ -47,18 +47,31 @@
 
 pub mod budget;
 mod check;
+mod erased;
 mod executor;
 pub mod interner;
+mod panel;
+pub mod plan;
 pub mod universe;
 
-pub use budget::{ResumeToken, SweepBudget, SweepError};
-pub use check::{PropertyCheck, SweepOutcome, VerificationReport};
+pub use budget::{MemberFrontier, PanelResumeToken, ResumeToken, SweepBudget, SweepError};
+pub use check::{ExecEvidence, PropertyCheck, SweepOutcome, VerificationReport};
+pub use erased::{DynPropertyCheck, ErasedPartial, ErasedVerdict, PanelVerdict, PropertyTag};
 pub use executor::{
     resume_sweep, resume_sweep_with_opts, sweep, sweep_budgeted, sweep_budgeted_with_opts,
     sweep_lazy, sweep_lazy_budgeted, sweep_lazy_labeled, sweep_with, sweep_with_opts,
     BudgetedSweep, ExecMode, ItemCtx, SweepOpts, SweepStrategy, PARALLEL_THRESHOLD,
 };
 pub use interner::{digit_key, ViewId, ViewInterner};
+pub use panel::{
+    resume_panel, resume_panel_with_opts, sweep_panel, sweep_panel_budgeted,
+    sweep_panel_budgeted_with_opts, sweep_panel_with, sweep_panel_with_opts, BudgetedPanel,
+    PanelMemberReport, PanelReport,
+};
+pub use plan::{
+    AuditMemberReport, AuditPanelReport, AuditPlan, AuditReport, BlockGated, FaultSpec,
+    InstanceSet, ALL_PROPERTIES,
+};
 pub use universe::{
     Block, Coverage, LabelSource, OwnedItem, Universe, UniverseItem, UniverseOverflow,
 };

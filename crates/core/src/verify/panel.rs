@@ -1,0 +1,798 @@
+//! The fused panel executor: one odometer enumeration, every member
+//! check.
+//!
+//! A full audit of one certification scheme asks several property
+//! questions over the *same* universe — soundness, strong soundness and
+//! hiding all quantify over every labeling of the same instances. Run as
+//! individual sweeps, each pays the full enumeration, skeleton-cache
+//! build, and (on the delta path) verdict maintenance again.
+//! [`sweep_panel`] fuses them: it walks the universe once and evaluates
+//! every [`DynPropertyCheck`] member per item, sharing
+//!
+//! * **the walk** — one [odometer](super::executor) step per item,
+//!   regardless of member count;
+//! * **the skeleton cache** — the union of all members' view configs,
+//!   built once;
+//! * **verdict channels** — members that declared the same decoder via
+//!   [`DynPropertyCheck::with_channel`] share one delta-maintained
+//!   verdict vector and one digit-key memo, so the decoder runs once per
+//!   changed ball per item instead of once per member.
+//!
+//! # Per-member short-circuit, budget, and resume
+//!
+//! Each member keeps its own frontier. A member whose partial
+//! short-circuits *drops out of the walk* — later items skip it — while
+//! the remaining members continue; the enumeration ends when every member
+//! has stopped or the universe is exhausted. Counts keep sequential
+//! semantics per member (see [`SweepOutcome::checked`]): a member that
+//! stopped at its lowest deciding index `s` reports `checked = s + 1`,
+//! exactly what its own single-check sweep would, which is what lets the
+//! property entry points run through one-member panels unchanged.
+//!
+//! Budgets behave as in [`super::sweep_budgeted`]: the deadline is
+//! checked between items (sequential) or chunk claims (parallel), so the
+//! visited set is always the contiguous prefix `[0, next)`; an
+//! interrupted panel hands back a [`PanelResumeToken`] carrying the
+//! shared frontier plus every member's partials and stop index, and the
+//! resumed chain reproduces the uninterrupted panel bit-for-bit (the
+//! panel differential suite asserts this).
+//!
+//! # Determinism
+//!
+//! The single-sweep contract lifts member-wise: for any member list,
+//! universe and options, every [`ExecMode`] produces identical member
+//! verdicts, `checked` counts and witnesses. The parallel path reuses the
+//! same machinery — atomic chunk cursor, per-member `fetch_min` stop
+//! folding, post-join filtering — with the stop horizon being the
+//! *maximum* over member stops (an item is only skippable when every
+//! member is past it).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use super::budget::{MemberFrontier, PanelResumeToken, SweepBudget, SweepError};
+use super::check::{ExecEvidence, PropertyCheck, SweepOutcome, VerificationReport};
+use super::erased::{DynPropertyCheck, ErasedPartial, PanelVerdict, PropertyTag};
+use super::executor::{
+    refresh_verdicts, resolve_threads, DeltaDriver, ExecMode, ItemCtx, SkeletonCache, SweepOpts,
+    SweepStrategy, VerdictMemo, VerdictScratch, Walker,
+};
+use super::universe::{Coverage, Universe, UniverseItem};
+use crate::decoder::Decoder;
+use crate::view::IdMode;
+use std::any::Any;
+
+/// One member's slice of a [`PanelReport`].
+#[derive(Debug)]
+pub struct PanelMemberReport {
+    /// The member's property tag.
+    pub tag: PropertyTag,
+    /// The member's label.
+    pub label: String,
+    /// The member's verdict (reduce output plus summary).
+    pub verdict: PanelVerdict,
+    /// Items this member inspected, with sequential semantics (see
+    /// [`SweepOutcome::checked`]'s panel paragraph).
+    pub checked: usize,
+    /// Whether this member short-circuited out of the walk.
+    pub short_circuited: bool,
+    /// Whether the budget ended the walk before this member was done
+    /// (a short-circuited member is complete, not interrupted).
+    pub interrupted: bool,
+    /// The member's own coverage: the universe's, downgraded to
+    /// [`Coverage::Sampled`] when this member was interrupted or errored.
+    pub coverage: Coverage,
+    /// This member's inspection errors, sorted by item index.
+    pub errors: Vec<SweepError>,
+}
+
+/// The result of one fused panel: per-member verdicts plus the shared
+/// execution evidence of the single walk.
+#[derive(Debug)]
+pub struct PanelReport {
+    /// Per-member results, in input member order.
+    pub members: Vec<PanelMemberReport>,
+    /// Evidence of the shared walk. `checked` is the walk's reach (how
+    /// far the enumeration went before every member stopped, the budget
+    /// fired, or the universe ended); `short_circuited` means *every*
+    /// member stopped early; `errors` is the merged, index-sorted union
+    /// of all member errors (one entry per member per erroring item).
+    pub evidence: ExecEvidence,
+}
+
+impl PanelReport {
+    /// Converts member `index` into the [`VerificationReport`] its own
+    /// single-check sweep would have produced: member-level counts and
+    /// coverage, panel-level cache/memo/clock/thread evidence. Panics if
+    /// `V` is not the member's verdict type.
+    pub fn into_member_report<V: Any>(mut self, index: usize) -> VerificationReport<V> {
+        let member = self.members.remove(index);
+        let verdict = member
+            .verdict
+            .downcast::<V>()
+            .expect("member verdict downcasts to its concrete type");
+        VerificationReport {
+            verdict,
+            evidence: ExecEvidence {
+                checked: member.checked,
+                universe_size: self.evidence.universe_size,
+                short_circuited: member.short_circuited,
+                interrupted: member.interrupted,
+                coverage: member.coverage,
+                errors: member.errors,
+                cache_hits: self.evidence.cache_hits,
+                cache_misses: self.evidence.cache_misses,
+                memo_hits: self.evidence.memo_hits,
+                memo_misses: self.evidence.memo_misses,
+                elapsed: self.evidence.elapsed,
+                threads: self.evidence.threads,
+            },
+        }
+    }
+}
+
+/// A budgeted panel's result: the (possibly partial) report plus the
+/// continuation when the budget interrupted the walk.
+pub struct BudgetedPanel {
+    /// The report. When `report.evidence.interrupted` is set, member
+    /// verdicts cover only the visited prefix.
+    pub report: PanelReport,
+    /// `Some` exactly when the walk was interrupted; feed it to
+    /// [`resume_panel`] to continue.
+    pub resume: Option<PanelResumeToken>,
+}
+
+/// Fuses `checks` into one walk over `universe` in [`ExecMode::Auto`].
+pub fn sweep_panel(checks: &[DynPropertyCheck<'_>], universe: &Universe) -> PanelReport {
+    sweep_panel_with(checks, universe, ExecMode::Auto)
+}
+
+/// [`sweep_panel`] in an explicit execution mode.
+pub fn sweep_panel_with(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    mode: ExecMode,
+) -> PanelReport {
+    sweep_panel_with_opts(checks, universe, mode, SweepOpts::default())
+}
+
+/// [`sweep_panel_with`] under explicit engine options.
+pub fn sweep_panel_with_opts(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    mode: ExecMode,
+    opts: SweepOpts,
+) -> PanelReport {
+    run_panel(
+        checks,
+        universe,
+        mode,
+        &SweepBudget::unlimited(),
+        PanelResumeToken::start(checks.len()),
+        opts,
+    )
+    .report
+}
+
+/// [`sweep_panel_with`] under an execution budget; an expired budget ends
+/// the walk with an `interrupted` report and a [`PanelResumeToken`].
+pub fn sweep_panel_budgeted(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+) -> BudgetedPanel {
+    sweep_panel_budgeted_with_opts(checks, universe, mode, budget, SweepOpts::default())
+}
+
+/// [`sweep_panel_budgeted`] under explicit engine options.
+pub fn sweep_panel_budgeted_with_opts(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    opts: SweepOpts,
+) -> BudgetedPanel {
+    run_panel(
+        checks,
+        universe,
+        mode,
+        budget,
+        PanelResumeToken::start(checks.len()),
+        opts,
+    )
+}
+
+/// Continues an interrupted panel from its token under a fresh budget.
+/// The chain of budgeted calls reproduces an uninterrupted panel's
+/// per-member reports exactly.
+pub fn resume_panel(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    token: PanelResumeToken,
+) -> BudgetedPanel {
+    resume_panel_with_opts(checks, universe, mode, budget, token, SweepOpts::default())
+}
+
+/// [`resume_panel`] under explicit engine options.
+pub fn resume_panel_with_opts(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    token: PanelResumeToken,
+    opts: SweepOpts,
+) -> BudgetedPanel {
+    run_panel(checks, universe, mode, budget, token, opts)
+}
+
+/// The member's recorded stop index for a short-circuit at item `i`.
+fn stop_index(i: usize) -> usize {
+    #[cfg(conformance_mutants)]
+    if crate::mutants::active("panel_frontier_off_by_one") {
+        return i + 1;
+    }
+    i
+}
+
+/// Immutable per-panel state shared by every worker thread.
+struct PanelEngine<'e> {
+    checks: &'e [DynPropertyCheck<'e>],
+    universe: &'e Universe,
+    cache: &'e SkeletonCache,
+    /// One delta driver per verdict channel.
+    drivers: Vec<DeltaDriver<'e>>,
+    /// Member index → its verdict channel, if it has one.
+    member_channel: Vec<Option<usize>>,
+    hits: &'e AtomicUsize,
+    misses: &'e AtomicUsize,
+    memo_hits: &'e AtomicUsize,
+    memo_misses: &'e AtomicUsize,
+    memo_on: bool,
+    oracle: bool,
+}
+
+/// A worker thread's mutable state: one odometer walker feeding one
+/// verdict scratch + memo per channel.
+struct PanelWorker {
+    walker: Walker,
+    channels: Vec<(VerdictScratch, VerdictMemo)>,
+}
+
+impl PanelWorker {
+    fn new(channels: usize, memo_on: bool) -> PanelWorker {
+        PanelWorker {
+            walker: Walker::default(),
+            channels: (0..channels)
+                .map(|_| (VerdictScratch::default(), VerdictMemo::new(memo_on)))
+                .collect(),
+        }
+    }
+
+    fn flush(&self, memo_hits: &AtomicUsize, memo_misses: &AtomicUsize) {
+        for (_, memo) in &self.channels {
+            memo_hits.fetch_add(memo.hits, Ordering::Relaxed);
+            memo_misses.fetch_add(memo.misses, Ordering::Relaxed);
+        }
+    }
+}
+
+impl PanelEngine<'_> {
+    /// Advances the walker to item `i` and evaluates every member for
+    /// which `active` holds, under per-member panic isolation. A verdict
+    /// channel is refreshed at most once per item — the first member to
+    /// need it pays the delta patch, the rest read it back.
+    fn run_item(
+        &self,
+        worker: &mut PanelWorker,
+        i: usize,
+        active: &mut dyn FnMut(usize) -> bool,
+        record: &mut dyn FnMut(usize, Result<Option<ErasedPartial>, SweepError>),
+    ) {
+        if self.oracle {
+            let buf = self.universe.item(i);
+            let ctx = ItemCtx::new(buf.block, self.cache, self.hits, self.misses, self.memo_on);
+            for m in 0..self.checks.len() {
+                if !active(m) {
+                    continue;
+                }
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    self.checks[m].inspect(&buf.as_item(), &ctx)
+                }))
+                .map_err(|p| SweepError::from_panic(i, p));
+                record(m, r);
+            }
+            return;
+        }
+        let (block, offset) = self.universe.locate(i);
+        let PanelWorker { walker, channels } = worker;
+        let stepped = walker.advance_to(self.universe, block, offset);
+        let instance = self.universe.blocks()[block].instance();
+        let ctx = ItemCtx::new(block, self.cache, self.hits, self.misses, self.memo_on);
+        for m in 0..self.checks.len() {
+            if !active(m) {
+                continue;
+            }
+            let check = &self.checks[m];
+            let channel = self.member_channel[m];
+            #[cfg(conformance_mutants)]
+            let channel = match channel {
+                Some(c)
+                    if self.drivers.len() > 1 && crate::mutants::active("panel_channel_swap") =>
+                {
+                    Some((c + 1) % self.drivers.len())
+                }
+                other => other,
+            };
+            let use_verdicts = channel.is_some_and(|c| {
+                check.uses_verdicts(block) && self.drivers[c].verdict_blocks[block]
+            });
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                if use_verdicts {
+                    let c = channel.expect("use_verdicts implies a channel");
+                    let (scratch, memo) = &mut channels[c];
+                    refresh_verdicts(
+                        &self.drivers[c],
+                        self.cache,
+                        block,
+                        offset,
+                        walker,
+                        scratch,
+                        memo,
+                        stepped,
+                    );
+                    let item = UniverseItem {
+                        index: i,
+                        block,
+                        instance,
+                        labeling: &walker.labeling,
+                        digits: Some(&walker.digits),
+                    };
+                    check.inspect_with_verdicts(&item, &scratch.verdicts, &ctx)
+                } else {
+                    let item = UniverseItem {
+                        index: i,
+                        block,
+                        instance,
+                        labeling: &walker.labeling,
+                        digits: (!walker.digits.is_empty()).then_some(walker.digits.as_slice()),
+                    };
+                    check.inspect(&item, &ctx)
+                }
+            }))
+            .map_err(|p| SweepError::from_panic(i, p));
+            record(m, r);
+        }
+    }
+}
+
+/// What one panel pass over `[begin, end)` produced.
+struct PanelPass {
+    /// Per-member partials recorded by this pass.
+    partials: Vec<Vec<(usize, ErasedPartial)>>,
+    /// Per-member errors recorded by this pass.
+    errors: Vec<Vec<SweepError>>,
+    /// Per-member lowest short-circuiting index (`usize::MAX` = none),
+    /// token-inherited stops included.
+    stop_at: Vec<usize>,
+    /// First index not visited by the walk.
+    next: usize,
+}
+
+/// The shared engine behind every panel entry point.
+fn run_panel(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    token: PanelResumeToken,
+    opts: SweepOpts,
+) -> BudgetedPanel {
+    let start = Instant::now();
+    let n = universe.len();
+    let nmem = checks.len();
+    if nmem == 0 {
+        return BudgetedPanel {
+            report: PanelReport {
+                members: Vec::new(),
+                evidence: ExecEvidence {
+                    checked: 0,
+                    universe_size: n,
+                    short_circuited: false,
+                    interrupted: false,
+                    coverage: universe.coverage(),
+                    errors: Vec::new(),
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    memo_hits: 0,
+                    memo_misses: 0,
+                    elapsed: start.elapsed(),
+                    threads: 1,
+                },
+            },
+            resume: None,
+        };
+    }
+    assert_eq!(
+        token.members.len(),
+        nmem,
+        "panel resume token describes a different member list"
+    );
+    let deadline = budget.deadline.map(|d| start + d);
+    let oracle = opts.strategy == SweepStrategy::DecodeOracle;
+
+    // Verdict channels: members with equal channel keys share a slot;
+    // members with a decoder but no key get a private slot; the decode
+    // oracle strategy runs everything through plain `inspect`.
+    let mut configs: Vec<(usize, IdMode)> = Vec::new();
+    for check in checks {
+        configs.extend(check.view_configs());
+    }
+    let mut member_channel: Vec<Option<usize>> = vec![None; nmem];
+    let mut decoders: Vec<&dyn Decoder> = Vec::new();
+    let mut keyed: Vec<(usize, usize)> = Vec::new();
+    if !oracle {
+        for (m, check) in checks.iter().enumerate() {
+            let Some(d) = check.verdict_decoder() else {
+                continue;
+            };
+            let channel = match check.channel_key() {
+                Some(key) => match keyed.iter().find(|&&(k, _)| k == key) {
+                    Some(&(_, c)) => c,
+                    None => {
+                        let c = decoders.len();
+                        decoders.push(d);
+                        keyed.push((key, c));
+                        c
+                    }
+                },
+                None => {
+                    let c = decoders.len();
+                    decoders.push(d);
+                    c
+                }
+            };
+            member_channel[m] = Some(channel);
+            configs.push((d.radius(), d.id_mode()));
+        }
+    }
+    let cache = SkeletonCache::build(universe, configs);
+    let drivers: Vec<DeltaDriver<'_>> = decoders
+        .iter()
+        .enumerate()
+        .map(|(c, &d)| {
+            DeltaDriver::build(d, universe, &cache, |b| {
+                checks
+                    .iter()
+                    .enumerate()
+                    .any(|(m, check)| member_channel[m] == Some(c) && check.uses_verdicts(b))
+            })
+        })
+        .collect();
+    let hits = AtomicUsize::new(0);
+    let misses = AtomicUsize::new(cache.populated);
+    let memo_hits = AtomicUsize::new(0);
+    let memo_misses = AtomicUsize::new(0);
+    let engine = PanelEngine {
+        checks,
+        universe,
+        cache: &cache,
+        drivers,
+        member_channel,
+        hits: &hits,
+        misses: &misses,
+        memo_hits: &memo_hits,
+        memo_misses: &memo_misses,
+        memo_on: opts.memo,
+        oracle,
+    };
+
+    let begin = token.next_index.min(n);
+    let end = match budget.max_items {
+        Some(m) => begin.saturating_add(m).min(n),
+        None => n,
+    };
+    let threads = resolve_threads(mode, end.saturating_sub(begin));
+    let init_stop: Vec<usize> = token
+        .members
+        .iter()
+        .map(|f| f.stop_at.unwrap_or(usize::MAX))
+        .collect();
+
+    let pass = if threads > 1 {
+        run_panel_parallel(&engine, threads, begin, end, deadline, init_stop)
+    } else {
+        run_panel_sequential(&engine, begin, end, deadline, init_stop)
+    };
+
+    // Merge token state in front of this pass's records, then restore
+    // the per-member sequential invariants: index order, nothing past
+    // the member's stop.
+    let mut member_partials = pass.partials;
+    let mut member_errors = pass.errors;
+    for (m, frontier) in token.members.into_iter().enumerate() {
+        let mut merged = frontier.partials;
+        merged.append(&mut member_partials[m]);
+        member_partials[m] = merged;
+        let mut merged_errors = frontier.errors;
+        merged_errors.append(&mut member_errors[m]);
+        member_errors[m] = merged_errors;
+    }
+    for m in 0..nmem {
+        member_partials[m].sort_by_key(|&(i, _)| i);
+        member_errors[m].sort_by_key(|e| e.item_index);
+        let stop = pass.stop_at[m];
+        if stop != usize::MAX {
+            member_partials[m].retain(|&(i, _)| i <= stop);
+            member_errors[m].retain(|e| e.item_index <= stop);
+        }
+    }
+
+    let all_stopped = pass.stop_at.iter().all(|&s| s != usize::MAX);
+    let next = pass.next;
+    let interrupted = !all_stopped && next < n;
+    let resume = if interrupted {
+        Some(PanelResumeToken {
+            next_index: next,
+            members: (0..nmem)
+                .map(|m| MemberFrontier {
+                    stop_at: (pass.stop_at[m] != usize::MAX).then_some(pass.stop_at[m]),
+                    partials: member_partials[m]
+                        .iter()
+                        .map(|(i, p)| (*i, checks[m].clone_partial(p)))
+                        .collect(),
+                    errors: member_errors[m].clone(),
+                })
+                .collect(),
+        })
+    } else {
+        None
+    };
+
+    let mut panel_errors: Vec<SweepError> = member_errors
+        .iter()
+        .flat_map(|errs| errs.iter().cloned())
+        .collect();
+    panel_errors.sort_by_key(|e| e.item_index);
+    let coverage = if interrupted || !panel_errors.is_empty() {
+        Coverage::Sampled
+    } else {
+        universe.coverage()
+    };
+    let panel_checked = if all_stopped {
+        pass.stop_at.iter().copied().max().unwrap_or(0) + 1
+    } else {
+        next
+    };
+
+    let mut members = Vec::with_capacity(nmem);
+    for (m, (partials_m, errors_m)) in member_partials.into_iter().zip(member_errors).enumerate() {
+        let check = &checks[m];
+        let stopped = pass.stop_at[m] != usize::MAX;
+        let checked = if stopped { pass.stop_at[m] + 1 } else { next };
+        let member_interrupted = interrupted && !stopped;
+        let member_coverage = if member_interrupted || !errors_m.is_empty() {
+            Coverage::Sampled
+        } else {
+            universe.coverage()
+        };
+        let outcome = SweepOutcome {
+            checked,
+            universe_size: n,
+            short_circuited: stopped,
+        };
+        let value = check.reduce(universe, partials_m, &outcome);
+        let (passed, detail) = check.summarize(&*value);
+        members.push(PanelMemberReport {
+            tag: check.tag(),
+            label: check.label().to_string(),
+            verdict: PanelVerdict::new(
+                check.tag(),
+                check.label().to_string(),
+                passed,
+                detail,
+                value,
+            ),
+            checked,
+            short_circuited: stopped,
+            interrupted: member_interrupted,
+            coverage: member_coverage,
+            errors: errors_m,
+        });
+    }
+
+    BudgetedPanel {
+        report: PanelReport {
+            members,
+            evidence: ExecEvidence {
+                checked: panel_checked,
+                universe_size: n,
+                short_circuited: all_stopped,
+                interrupted,
+                coverage,
+                errors: panel_errors,
+                cache_hits: hits.load(Ordering::Relaxed),
+                cache_misses: misses.load(Ordering::Relaxed),
+                memo_hits: memo_hits.load(Ordering::Relaxed),
+                memo_misses: memo_misses.load(Ordering::Relaxed),
+                elapsed: start.elapsed(),
+                threads,
+            },
+        },
+        resume,
+    }
+}
+
+fn run_panel_sequential(
+    engine: &PanelEngine<'_>,
+    begin: usize,
+    end: usize,
+    deadline: Option<Instant>,
+    mut stop_at: Vec<usize>,
+) -> PanelPass {
+    let nmem = engine.checks.len();
+    let mut worker = PanelWorker::new(engine.drivers.len(), engine.memo_on);
+    let mut partials: Vec<Vec<(usize, ErasedPartial)>> = (0..nmem).map(|_| Vec::new()).collect();
+    let mut errors: Vec<Vec<SweepError>> = (0..nmem).map(|_| Vec::new()).collect();
+    let mut next = end;
+    let mut newly_stopped: Vec<usize> = Vec::new();
+    for i in begin..end {
+        if stop_at.iter().all(|&s| s != usize::MAX) {
+            break;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            next = i;
+            break;
+        }
+        newly_stopped.clear();
+        {
+            let checks = engine.checks;
+            let stops = &mut newly_stopped;
+            let parts = &mut partials;
+            let errs = &mut errors;
+            let stop_view = &stop_at;
+            let mut active = |m: usize| stop_view[m] == usize::MAX;
+            let mut record = |m: usize, r: Result<Option<ErasedPartial>, SweepError>| match r {
+                Ok(Some(p)) => {
+                    let stop = checks[m].short_circuits(&p);
+                    parts[m].push((i, p));
+                    if stop {
+                        stops.push(m);
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => errs[m].push(e),
+            };
+            engine.run_item(&mut worker, i, &mut active, &mut record);
+        }
+        for &m in &newly_stopped {
+            stop_at[m] = stop_index(i);
+        }
+    }
+    worker.flush(engine.memo_hits, engine.memo_misses);
+    PanelPass {
+        partials,
+        errors,
+        stop_at,
+        next,
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn run_panel_parallel(
+    engine: &PanelEngine<'_>,
+    threads: usize,
+    begin: usize,
+    end: usize,
+    deadline: Option<Instant>,
+    init_stop: Vec<usize>,
+) -> PanelPass {
+    let nmem = engine.checks.len();
+    let span = end - begin;
+    let chunk = (span / (threads * 8)).clamp(16, 1024);
+    let cursor = AtomicUsize::new(begin);
+    let stop_at: Vec<AtomicUsize> = init_stop.into_iter().map(AtomicUsize::new).collect();
+    // An item is skippable only when every member is past it: the walk's
+    // horizon is the maximum member stop, unbounded while any member is
+    // still active.
+    let horizon = |stops: &[AtomicUsize]| -> usize {
+        let mut h = 0usize;
+        for s in stops {
+            let v = s.load(Ordering::Relaxed);
+            if v == usize::MAX {
+                return usize::MAX;
+            }
+            h = h.max(v);
+        }
+        h
+    };
+
+    let mut partials: Vec<Vec<(usize, ErasedPartial)>> = (0..nmem).map(|_| Vec::new()).collect();
+    let mut errors: Vec<Vec<SweepError>> = (0..nmem).map(|_| Vec::new()).collect();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut worker = PanelWorker::new(engine.drivers.len(), engine.memo_on);
+                    let mut local: Vec<Vec<(usize, ErasedPartial)>> =
+                        (0..nmem).map(|_| Vec::new()).collect();
+                    let mut local_errors: Vec<Vec<SweepError>> =
+                        (0..nmem).map(|_| Vec::new()).collect();
+                    loop {
+                        // Deadline before claiming; claimed chunks run to
+                        // completion — the visited set stays a contiguous
+                        // prefix, as in the single-check executor.
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            break;
+                        }
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= end || start > horizon(&stop_at) {
+                            break;
+                        }
+                        for i in start..(start + chunk).min(end) {
+                            if i > horizon(&stop_at) {
+                                break;
+                            }
+                            let stops = &stop_at;
+                            let mut active = |m: usize| i <= stops[m].load(Ordering::Relaxed);
+                            let mut record =
+                                |m: usize, r: Result<Option<ErasedPartial>, SweepError>| match r {
+                                    Ok(Some(p)) => {
+                                        let stop = engine.checks[m].short_circuits(&p);
+                                        local[m].push((i, p));
+                                        if stop {
+                                            stops[m].fetch_min(stop_index(i), Ordering::Relaxed);
+                                        }
+                                    }
+                                    Ok(None) => {}
+                                    Err(e) => local_errors[m].push(e),
+                                };
+                            engine.run_item(&mut worker, i, &mut active, &mut record);
+                        }
+                    }
+                    worker.flush(engine.memo_hits, engine.memo_misses);
+                    (local, local_errors)
+                })
+            })
+            .collect();
+        for w in workers {
+            // invariant: member panics are caught per item by `run_item`,
+            // so a worker can only die of an engine bug — propagate.
+            let (local, local_errors) = w.join().expect("panel worker panicked");
+            for (m, mut p) in local.into_iter().enumerate() {
+                partials[m].append(&mut p);
+            }
+            for (m, mut e) in local_errors.into_iter().enumerate() {
+                errors[m].append(&mut e);
+            }
+        }
+    });
+    let stops: Vec<usize> = stop_at.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+    let all_stopped = stops.iter().all(|&s| s != usize::MAX);
+    let next = if all_stopped {
+        end
+    } else {
+        cursor.load(Ordering::Relaxed).min(end)
+    };
+    PanelPass {
+        partials,
+        errors,
+        stop_at: stops,
+        next,
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_panel_parallel(
+    engine: &PanelEngine<'_>,
+    _threads: usize,
+    begin: usize,
+    end: usize,
+    deadline: Option<Instant>,
+    init_stop: Vec<usize>,
+) -> PanelPass {
+    run_panel_sequential(engine, begin, end, deadline, init_stop)
+}

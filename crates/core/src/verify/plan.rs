@@ -1,0 +1,1099 @@
+//! Declarative audit plans: the whole property battery as data.
+//!
+//! An [`AuditPlan`] names *what* to audit — a decoder, a language, an
+//! instance family, a subset of the seven properties — and [`AuditPlan::run`]
+//! decides *how*: properties quantifying over the same universe shape are
+//! fused into one [`super::sweep_panel`] walk, so the full battery pays for
+//! each enumeration once instead of once per property. The shapes are:
+//!
+//! * **labelings** — every labeling of every instance. Soundness, strong
+//!   soundness, hiding and quantified extractability all walk this shape;
+//!   they become one panel sharing one verdict channel (same decoder
+//!   object) and one skeleton cache. Soundness only quantifies over
+//!   no-instances, so its member is wrapped in [`BlockGated`], which
+//!   silences it on yes-instance blocks.
+//! * **instances** — one unlabeled item per yes-instance; the prover's
+//!   labeling is judged inside inspection (completeness).
+//! * **erasure** — seeded f-erasures of one honest labeling.
+//! * **invariance** — seeded identifier permutations of one honest
+//!   labeled instance ([`anonymity_universe`]).
+//!
+//! An optional fault plan appends a [`degradation_sweep`] (itself
+//! panel-backed per rate). The result is an [`AuditReport`] that renders
+//! to JSON via [`AuditReport::to_json`] — the `audit` binary is a thin
+//! CLI shell around this module.
+
+use std::time::Duration;
+
+use crate::decoder::Decoder;
+use crate::instance::{Instance, LabeledInstance};
+use crate::label::Certificate;
+use crate::language::KCol;
+use crate::nbhd::{NbhdGraph, NbhdScan, NbhdSweep};
+use crate::network::{degradation_sweep, DegradationReport};
+use crate::properties::completeness::completeness_member;
+use crate::properties::erasure::{erased_labeling, erasure_member};
+use crate::properties::hiding::{check_hiding, hiding_member, HidingVerdict};
+use crate::properties::invariance::{anonymity_universe, invariance_member};
+use crate::properties::quantified::{quantified_member, ExtractabilityMap};
+use crate::properties::soundness::{SoundnessCheck, SoundnessViolation};
+use crate::properties::strong::strong_member;
+use crate::prover::Prover;
+use crate::verify::{
+    sweep_panel_budgeted_with_opts, sweep_panel_with, Block, Coverage, DynPropertyCheck, ExecMode,
+    ItemCtx, LabelSource, PanelReport, PropertyCheck, PropertyTag, SweepBudget, SweepOpts,
+    SweepOutcome, Universe, UniverseItem,
+};
+use crate::view::IdMode;
+use hiding_lcp_graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Restricts a check to the blocks where `active` holds; items of other
+/// blocks inspect to `None` and cost no verdict maintenance. Used to fuse
+/// checks with different quantification domains (e.g. soundness, which
+/// ranges over no-instances only) into a panel walking the full family.
+pub struct BlockGated<C> {
+    /// The underlying check.
+    pub check: C,
+    /// `active[b]` — whether block `b` participates.
+    pub active: Vec<bool>,
+}
+
+impl<C: PropertyCheck> PropertyCheck for BlockGated<C> {
+    type Partial = C::Partial;
+    type Verdict = C::Verdict;
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        self.check.view_configs()
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<Self::Partial> {
+        self.active[item.block]
+            .then(|| self.check.inspect(item, ctx))
+            .flatten()
+    }
+
+    fn verdict_decoder(&self) -> Option<&dyn Decoder> {
+        self.check.verdict_decoder()
+    }
+
+    fn uses_verdicts(&self, block: usize) -> bool {
+        self.active[block] && self.check.uses_verdicts(block)
+    }
+
+    fn inspect_with_verdicts(
+        &self,
+        item: &UniverseItem<'_>,
+        verdicts: &[crate::decoder::Verdict],
+        ctx: &ItemCtx<'_>,
+    ) -> Option<Self::Partial> {
+        self.active[item.block]
+            .then(|| self.check.inspect_with_verdicts(item, verdicts, ctx))
+            .flatten()
+    }
+
+    fn short_circuits(&self, partial: &Self::Partial) -> bool {
+        self.check.short_circuits(partial)
+    }
+
+    fn reduce(
+        &self,
+        universe: &Universe,
+        partials: Vec<(usize, Self::Partial)>,
+        outcome: &SweepOutcome,
+    ) -> Self::Verdict {
+        self.check.reduce(universe, partials, outcome)
+    }
+}
+
+/// Hiding and quantified extractability are two reductions of the *same*
+/// Lemma 3.1 neighborhood graph. When a plan wants both, fusing them as
+/// separate panel members would still intern every yes-instance view and
+/// replay the accepting instances twice — the scan dominates both checks,
+/// so the panel would save almost nothing. This member carries one
+/// [`NbhdSweep`] and reduces it once into the pair of analyses; the audit
+/// summary splits the pair back into the two canonical report lines.
+struct NbhdAnalyses<'a> {
+    sweep: NbhdSweep<'a, dyn Decoder + 'a>,
+    k: usize,
+}
+
+impl PropertyCheck for NbhdAnalyses<'_> {
+    type Partial = NbhdScan;
+    type Verdict = (NbhdGraph, HidingVerdict, ExtractabilityMap);
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        self.sweep.view_configs()
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<NbhdScan> {
+        self.sweep.inspect(item, ctx)
+    }
+
+    fn verdict_decoder(&self) -> Option<&dyn Decoder> {
+        self.sweep.verdict_decoder()
+    }
+
+    fn uses_verdicts(&self, block: usize) -> bool {
+        self.sweep.uses_verdicts(block)
+    }
+
+    fn inspect_with_verdicts(
+        &self,
+        item: &UniverseItem<'_>,
+        verdicts: &[crate::decoder::Verdict],
+        ctx: &ItemCtx<'_>,
+    ) -> Option<NbhdScan> {
+        self.sweep.inspect_with_verdicts(item, verdicts, ctx)
+    }
+
+    fn reduce(
+        &self,
+        universe: &Universe,
+        partials: Vec<(usize, NbhdScan)>,
+        outcome: &SweepOutcome,
+    ) -> Self::Verdict {
+        let nbhd = self.sweep.reduce(universe, partials, outcome);
+        let verdict = check_hiding(&nbhd, self.k, universe.coverage().into());
+        let map = ExtractabilityMap::new(&nbhd, self.k);
+        (nbhd, verdict, map)
+    }
+}
+
+/// The two audit lines a [`NbhdAnalyses`] verdict stands for, with the
+/// same `passed`/`detail` text the standalone members produce.
+fn nbhd_analyses_lines(
+    (nbhd, verdict, map): &(NbhdGraph, HidingVerdict, ExtractabilityMap),
+) -> [(PropertyTag, &'static str, Option<bool>, String); 2] {
+    let (hiding_passed, hiding_detail) = match verdict {
+        HidingVerdict::Hiding { .. } => (Some(true), "V(D, .) is not k-colorable".to_string()),
+        HidingVerdict::NotHiding { .. } => (
+            Some(false),
+            "V(D, .) is k-colorable over an exhaustive universe".to_string(),
+        ),
+        HidingVerdict::Inconclusive => (
+            None,
+            "V(D, .) k-colorable but the universe was partial".to_string(),
+        ),
+    };
+    [
+        (PropertyTag::Hiding, "hiding", hiding_passed, hiding_detail),
+        (
+            PropertyTag::Quantified,
+            "quantified",
+            None,
+            format!(
+                "{} of {} views unextractable",
+                map.unextractable_views(),
+                nbhd.view_count()
+            ),
+        ),
+    ]
+}
+
+/// The instance family an [`AuditPlan`] quantifies over.
+#[derive(Debug, Clone)]
+pub enum InstanceSet {
+    /// An explicit list with caller-asserted coverage. `Exhaustive` is
+    /// only sound if the list really is the language's full promise
+    /// family at this size.
+    Explicit {
+        /// The instances.
+        instances: Vec<Instance>,
+        /// What the list covers.
+        coverage: Coverage,
+    },
+    /// The Lemma 3.1 family: every connected graph on `1..=max_n` nodes,
+    /// every port assignment, canonical ids ([`Universe::lemma31`]).
+    Lemma31 {
+        /// Largest node count (capped at 8 by the enumerator).
+        max_n: usize,
+    },
+}
+
+/// How many degradation trials to run and at which fault rates.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// The uniform per-message fault rates to sweep.
+    pub rates: Vec<f64>,
+    /// Trials per rate.
+    pub trials: usize,
+}
+
+/// A declarative audit: decoder + language + instance family + property
+/// subset, compiled by [`AuditPlan::run`] into fused panels grouped by
+/// universe shape.
+pub struct AuditPlan<'a> {
+    decoder: &'a dyn Decoder,
+    prover: Option<&'a dyn Prover>,
+    language: KCol,
+    instances: InstanceSet,
+    alphabet: Vec<Certificate>,
+    properties: Vec<PropertyTag>,
+    mode: ExecMode,
+    opts: SweepOpts,
+    budget: Option<SweepBudget>,
+    fault_plan: Option<FaultSpec>,
+    erasure_f: usize,
+    erasure_trials: usize,
+    invariance_samples: usize,
+    seed: u64,
+}
+
+/// Every paper property, in canonical audit order.
+pub const ALL_PROPERTIES: [PropertyTag; 7] = [
+    PropertyTag::Soundness,
+    PropertyTag::Strong,
+    PropertyTag::Hiding,
+    PropertyTag::Quantified,
+    PropertyTag::Completeness,
+    PropertyTag::Erasure,
+    PropertyTag::Invariance,
+];
+
+impl<'a> AuditPlan<'a> {
+    /// A plan auditing every property of `decoder` against `KCol(k)` over
+    /// `instances` with `alphabet` certificates. Prover-dependent panels
+    /// (completeness, erasure, invariance) require [`AuditPlan::prover`].
+    pub fn new(
+        decoder: &'a dyn Decoder,
+        k: usize,
+        instances: InstanceSet,
+        alphabet: Vec<Certificate>,
+    ) -> AuditPlan<'a> {
+        AuditPlan {
+            decoder,
+            prover: None,
+            language: KCol::new(k),
+            instances,
+            alphabet,
+            properties: ALL_PROPERTIES.to_vec(),
+            mode: ExecMode::Auto,
+            opts: SweepOpts::default(),
+            budget: None,
+            fault_plan: None,
+            erasure_f: 1,
+            erasure_trials: 8,
+            invariance_samples: 16,
+            seed: 0xA0D1_7E57,
+        }
+    }
+
+    /// Supplies the prover for completeness/erasure/invariance panels.
+    pub fn prover(mut self, prover: &'a dyn Prover) -> Self {
+        self.prover = Some(prover);
+        self
+    }
+
+    /// Restricts the audit to `properties` (default: all seven).
+    pub fn properties(mut self, properties: impl IntoIterator<Item = PropertyTag>) -> Self {
+        self.properties = properties.into_iter().collect();
+        self
+    }
+
+    /// Sets the execution mode for every panel (default [`ExecMode::Auto`]).
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the sweep options (strategy/memo) for every panel.
+    pub fn opts(mut self, opts: SweepOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Bounds the labelings panel (the combinatorial one) by `budget`. An
+    /// interrupted audit downgrades those members to sampled coverage and
+    /// records a note.
+    pub fn budget(mut self, budget: SweepBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Appends a degradation sweep under communication faults.
+    pub fn fault_plan(mut self, spec: FaultSpec) -> Self {
+        self.fault_plan = Some(spec);
+        self
+    }
+
+    /// Erasure-panel shape: wipe `f` certificates per trial, `trials` trials.
+    pub fn erasure_trials(mut self, f: usize, trials: usize) -> Self {
+        self.erasure_f = f;
+        self.erasure_trials = trials;
+        self
+    }
+
+    /// Invariance-panel shape: `samples` random identifier permutations.
+    pub fn invariance_samples(mut self, samples: usize) -> Self {
+        self.invariance_samples = samples;
+        self
+    }
+
+    /// Seeds every sampled panel (erasure targets, invariance
+    /// permutations, fault plans). Same seed, same report.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn wants(&self, tag: PropertyTag) -> bool {
+        self.properties.contains(&tag)
+    }
+
+    /// Compiles the plan into panels grouped by universe shape and
+    /// executes them as a batch.
+    pub fn run(&self) -> AuditReport {
+        let mut report = AuditReport {
+            decoder: self.decoder.name(),
+            k: self.language.k(),
+            seed: self.seed,
+            panels: Vec::new(),
+            degradation: None,
+            notes: Vec::new(),
+        };
+
+        let labelings = self.labelings_universe();
+        let is_yes: Vec<bool> = labelings
+            .blocks()
+            .iter()
+            .map(|b| self.language.is_yes_graph(b.instance().graph()))
+            .collect();
+
+        self.run_labelings_panel(&labelings, &is_yes, &mut report);
+        self.run_completeness_panel(&labelings, &is_yes, &mut report);
+
+        let honest = self.honest_fixture(&labelings, &is_yes, &mut report);
+        if let Some(honest) = &honest {
+            self.run_erasure_panel(honest, &mut report);
+            self.run_invariance_panel(honest, &mut report);
+            if let Some(spec) = &self.fault_plan {
+                // Single-node erasures of the honest labeling are the
+                // adversarial battery: the fault-free verifier rejects
+                // them, so any unanimous accept under faults is false.
+                let n = honest.graph().node_count();
+                let adversarial: Vec<_> = (0..n.min(4))
+                    .map(|v| erased_labeling(honest, &[v]))
+                    .collect();
+                report.degradation = Some(degradation_sweep(
+                    self.decoder,
+                    &self.language,
+                    honest,
+                    &adversarial,
+                    &spec.rates,
+                    spec.trials,
+                    self.seed,
+                ));
+            }
+        } else if self.fault_plan.is_some() {
+            report
+                .notes
+                .push("degradation skipped: no certified yes-instance".into());
+        }
+
+        report
+    }
+
+    /// The labelings-shape universe: every instance crossed with every
+    /// labeling over the alphabet.
+    fn labelings_universe(&self) -> Universe {
+        match &self.instances {
+            InstanceSet::Explicit {
+                instances,
+                coverage,
+            } => {
+                let blocks = instances
+                    .iter()
+                    .map(|inst| {
+                        Block::new(
+                            inst.clone(),
+                            LabelSource::All {
+                                alphabet: self.alphabet.clone(),
+                            },
+                        )
+                    })
+                    .collect();
+                Universe::new(blocks, *coverage).expect("audit family fits the flat index space")
+            }
+            InstanceSet::Lemma31 { max_n } => Universe::lemma31(*max_n, self.alphabet.clone())
+                .expect("audit family fits the flat index space"),
+        }
+    }
+
+    fn run_labelings_panel(&self, universe: &Universe, is_yes: &[bool], report: &mut AuditReport) {
+        let soundness_gate;
+        let k = self.language.k();
+        let mut members: Vec<DynPropertyCheck<'_>> = Vec::new();
+        if self.wants(PropertyTag::Soundness) {
+            soundness_gate = BlockGated {
+                check: SoundnessCheck {
+                    decoder: self.decoder,
+                },
+                active: is_yes.iter().map(|yes| !yes).collect(),
+            };
+            members.push(
+                DynPropertyCheck::with_summary(
+                    PropertyTag::Soundness,
+                    "soundness",
+                    soundness_gate,
+                    |v: &Result<usize, SoundnessViolation>| match v {
+                        Ok(_) => (Some(true), "no unanimous accept on a no-instance".into()),
+                        Err(_) => (Some(false), "unanimously accepted labeling found".into()),
+                    },
+                )
+                .with_channel(self.decoder),
+            );
+        }
+        if self.wants(PropertyTag::Strong) {
+            members.push(strong_member(self.decoder, &self.language));
+        }
+        let mut shared_nbhd = None;
+        if self.wants(PropertyTag::Hiding) && self.wants(PropertyTag::Quantified) {
+            // Both properties reduce the same neighborhood graph: run the
+            // scan once as a combined member and split its line below.
+            shared_nbhd = Some(members.len());
+            members.push(
+                DynPropertyCheck::with_summary(
+                    PropertyTag::Hiding,
+                    "hiding+quantified",
+                    NbhdAnalyses {
+                        sweep: NbhdSweep::new(
+                            self.decoder,
+                            IdMode::Anonymous,
+                            universe,
+                            |g: &Graph| self.language.is_yes_graph(g),
+                        ),
+                        k,
+                    },
+                    |v: &(NbhdGraph, HidingVerdict, ExtractabilityMap)| {
+                        let [(_, _, passed, detail), _] = nbhd_analyses_lines(v);
+                        (passed, detail)
+                    },
+                )
+                .with_channel(self.decoder),
+            );
+        } else if self.wants(PropertyTag::Hiding) {
+            members.push(hiding_member(self.decoder, universe, k, |g: &Graph| {
+                self.language.is_yes_graph(g)
+            }));
+        } else if self.wants(PropertyTag::Quantified) {
+            members.push(quantified_member(self.decoder, universe, k, |g: &Graph| {
+                self.language.is_yes_graph(g)
+            }));
+        }
+        if members.is_empty() {
+            return;
+        }
+        let panel = match self.budget {
+            Some(budget) => {
+                let run = sweep_panel_budgeted_with_opts(
+                    &members, universe, self.mode, &budget, self.opts,
+                );
+                if run.report.evidence.interrupted {
+                    report.notes.push(
+                        "labelings panel interrupted by budget; verdicts cover the visited prefix"
+                            .into(),
+                    );
+                }
+                run.report
+            }
+            None => sweep_panel_with(&members, universe, self.mode),
+        };
+        let mut summary = summarize_panel("labelings", &panel);
+        if let Some(index) = shared_nbhd {
+            split_nbhd_member(&mut summary, &panel, index);
+        }
+        report.panels.push(summary);
+    }
+
+    fn run_completeness_panel(
+        &self,
+        labelings: &Universe,
+        is_yes: &[bool],
+        report: &mut AuditReport,
+    ) {
+        if !self.wants(PropertyTag::Completeness) {
+            return;
+        }
+        let Some(prover) = self.prover else {
+            report
+                .notes
+                .push("completeness skipped: plan has no prover".into());
+            return;
+        };
+        // Completeness quantifies over the prover's promise class: a
+        // decline marks an instance *outside* the class (the concrete
+        // LCPs certify families narrower than all of G(L)), not a
+        // failure. Declines are counted in the notes instead.
+        let mut declined = 0usize;
+        let yes_instances: Vec<Instance> = labelings
+            .blocks()
+            .iter()
+            .zip(is_yes)
+            .filter(|(_, yes)| **yes)
+            .filter_map(|(b, _)| {
+                if prover.certify(b.instance()).is_some() {
+                    Some(b.instance().clone())
+                } else {
+                    declined += 1;
+                    None
+                }
+            })
+            .collect();
+        if declined > 0 {
+            report.notes.push(format!(
+                "completeness: {declined} yes-instance(s) outside the prover's promise class"
+            ));
+        }
+        if yes_instances.is_empty() {
+            report
+                .notes
+                .push("completeness skipped: prover's promise class misses the family".into());
+            return;
+        }
+        let universe = Universe::instances_only(yes_instances, Coverage::Sampled)
+            .expect("one item per instance fits");
+        let member = completeness_member(self.decoder, prover);
+        let panel = sweep_panel_with(std::slice::from_ref(&member), &universe, self.mode);
+        report.panels.push(summarize_panel("instances", &panel));
+    }
+
+    /// The first yes-instance the prover certifies — the honest fixture
+    /// behind the erasure, invariance and degradation shapes.
+    fn honest_fixture(
+        &self,
+        labelings: &Universe,
+        is_yes: &[bool],
+        report: &mut AuditReport,
+    ) -> Option<LabeledInstance> {
+        let needs = self.wants(PropertyTag::Erasure)
+            || self.wants(PropertyTag::Invariance)
+            || self.fault_plan.is_some();
+        if !needs {
+            return None;
+        }
+        let Some(prover) = self.prover else {
+            report
+                .notes
+                .push("erasure/invariance/degradation skipped: plan has no prover".into());
+            return None;
+        };
+        let found = labelings
+            .blocks()
+            .iter()
+            .zip(is_yes)
+            .filter(|(_, yes)| **yes)
+            .find_map(|(b, _)| {
+                prover
+                    .certify(b.instance())
+                    .map(|l| LabeledInstance::new(b.instance().clone(), l))
+            });
+        if found.is_none() {
+            report
+                .notes
+                .push("erasure/invariance skipped: prover certified no instance".into());
+        }
+        found
+    }
+
+    fn run_erasure_panel(&self, honest: &LabeledInstance, report: &mut AuditReport) {
+        if !self.wants(PropertyTag::Erasure) {
+            return;
+        }
+        let n = honest.graph().node_count();
+        let f = self.erasure_f.min(n);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xE5A5);
+        let target_sets: Vec<Vec<usize>> = (0..self.erasure_trials)
+            .map(|_| {
+                rand::seq::index::sample(&mut rng, n, f)
+                    .into_iter()
+                    .collect()
+            })
+            .collect();
+        let erased_counts = target_sets.iter().map(Vec::len).collect();
+        let labelings = target_sets
+            .iter()
+            .map(|targets| erased_labeling(honest, targets))
+            .collect();
+        let universe =
+            Universe::labelings_of(honest.instance().clone(), labelings, Coverage::Sampled)
+                .expect("materialized labelings fit");
+        let member = erasure_member(self.decoder, erased_counts);
+        let panel = sweep_panel_with(std::slice::from_ref(&member), &universe, self.mode);
+        report.panels.push(summarize_panel("erasure", &panel));
+    }
+
+    fn run_invariance_panel(&self, honest: &LabeledInstance, report: &mut AuditReport) {
+        if !self.wants(PropertyTag::Invariance) {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x1D5);
+        let universe = anonymity_universe(
+            honest.instance(),
+            honest.labeling(),
+            self.invariance_samples,
+            &mut rng,
+        );
+        let member = invariance_member(self.decoder, honest.instance(), honest.labeling());
+        let panel = sweep_panel_with(std::slice::from_ref(&member), &universe, self.mode);
+        report.panels.push(summarize_panel("invariance", &panel));
+    }
+}
+
+/// One member's line in an [`AuditPanelReport`].
+#[derive(Debug, Clone)]
+pub struct AuditMemberReport {
+    /// The property's stable name.
+    pub property: String,
+    /// The member's label.
+    pub label: String,
+    /// `Some(true)` held, `Some(false)` violated, `None` informational.
+    pub passed: Option<bool>,
+    /// Human-readable verdict detail.
+    pub detail: String,
+    /// Items this member inspected (sequential semantics).
+    pub checked: usize,
+    /// Whether the member short-circuited.
+    pub short_circuited: bool,
+    /// Whether the budget cut this member off.
+    pub interrupted: bool,
+    /// The member's achieved coverage.
+    pub coverage: Coverage,
+    /// Inspection errors this member hit.
+    pub errors: usize,
+}
+
+/// One executed panel in an [`AuditReport`].
+#[derive(Debug, Clone)]
+pub struct AuditPanelReport {
+    /// The universe shape ("labelings", "instances", "erasure",
+    /// "invariance").
+    pub shape: String,
+    /// Total items in the panel's universe.
+    pub universe_size: usize,
+    /// How far the shared walk reached.
+    pub checked: usize,
+    /// Worker threads used (1 = sequential).
+    pub threads: usize,
+    /// Wall-clock time of the panel.
+    pub elapsed: Duration,
+    /// Views served from the shared skeleton cache.
+    pub cache_hits: usize,
+    /// Skeletons computed plus uncached extractions.
+    pub cache_misses: usize,
+    /// Delta-path memo hits across all verdict channels.
+    pub memo_hits: usize,
+    /// Delta-path decoder runs across all verdict channels.
+    pub memo_misses: usize,
+    /// Whether a budget ended the walk early.
+    pub interrupted: bool,
+    /// Per-member verdict lines, in member order.
+    pub members: Vec<AuditMemberReport>,
+}
+
+/// The batch result of an [`AuditPlan`].
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// The audited decoder's name.
+    pub decoder: String,
+    /// The language parameter (k of k-coloring).
+    pub k: usize,
+    /// The plan seed.
+    pub seed: u64,
+    /// Executed panels, in shape order.
+    pub panels: Vec<AuditPanelReport>,
+    /// The fault-degradation sweep, when a fault plan was given.
+    pub degradation: Option<DegradationReport>,
+    /// Panels skipped or degraded, with reasons.
+    pub notes: Vec<String>,
+}
+
+impl AuditReport {
+    /// Every member that *violated* its property (`passed == Some(false)`),
+    /// as `"shape/property"` strings. Informational members (`None`) are
+    /// not failures.
+    pub fn failures(&self) -> Vec<String> {
+        self.panels
+            .iter()
+            .flat_map(|p| {
+                p.members
+                    .iter()
+                    .filter(|m| m.passed == Some(false))
+                    .map(|m| format!("{}/{}", p.shape, m.property))
+            })
+            .collect()
+    }
+
+    /// Renders the report as a JSON object (hand-rolled: the workspace
+    /// carries no serializer dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"decoder\": {},\n", json_str(&self.decoder)));
+        out.push_str(&format!("  \"k\": {},\n", self.k));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"panels\": [");
+        for (i, panel) in self.panels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"shape\": {},\n", json_str(&panel.shape)));
+            out.push_str(&format!(
+                "      \"universe_size\": {},\n      \"checked\": {},\n      \"threads\": {},\n",
+                panel.universe_size, panel.checked, panel.threads
+            ));
+            out.push_str(&format!(
+                "      \"elapsed_ms\": {:.3},\n",
+                panel.elapsed.as_secs_f64() * 1e3
+            ));
+            out.push_str(&format!(
+                "      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"memo_hits\": {},\n      \"memo_misses\": {},\n",
+                panel.cache_hits, panel.cache_misses, panel.memo_hits, panel.memo_misses
+            ));
+            out.push_str(&format!("      \"interrupted\": {},\n", panel.interrupted));
+            out.push_str("      \"members\": [");
+            for (j, m) in panel.members.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        {");
+                out.push_str(&format!("\"property\": {}, ", json_str(&m.property)));
+                out.push_str(&format!("\"label\": {}, ", json_str(&m.label)));
+                out.push_str(&format!(
+                    "\"passed\": {}, ",
+                    match m.passed {
+                        Some(b) => b.to_string(),
+                        None => "null".into(),
+                    }
+                ));
+                out.push_str(&format!("\"detail\": {}, ", json_str(&m.detail)));
+                out.push_str(&format!(
+                    "\"checked\": {}, \"short_circuited\": {}, \"interrupted\": {}, ",
+                    m.checked, m.short_circuited, m.interrupted
+                ));
+                out.push_str(&format!(
+                    "\"coverage\": {}, \"errors\": {}}}",
+                    json_str(match m.coverage {
+                        Coverage::Exhaustive => "exhaustive",
+                        Coverage::Sampled => "sampled",
+                    }),
+                    m.errors
+                ));
+            }
+            if !panel.members.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.panels.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        match &self.degradation {
+            Some(deg) => {
+                out.push_str("  \"degradation\": {\n");
+                out.push_str(&format!(
+                    "    \"decoder\": {},\n    \"nodes\": {},\n    \"seed\": {},\n",
+                    json_str(&deg.decoder),
+                    deg.nodes,
+                    deg.seed
+                ));
+                out.push_str("    \"points\": [");
+                for (i, p) in deg.points.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\n      {{\"rate\": {}, \"trials\": {}, \"avg_rejecting\": {:.4}, \"strong_violations\": {}, \"adversarial_trials\": {}, \"false_accepts\": {}, \"fault_events\": {}}}",
+                        p.rate, p.trials, p.avg_rejecting, p.strong_violations,
+                        p.adversarial_trials, p.false_accepts, p.stats.total()
+                    ));
+                }
+                if !deg.points.is_empty() {
+                    out.push_str("\n    ");
+                }
+                out.push_str("]\n  },\n");
+            }
+            None => out.push_str("  \"degradation\": null,\n"),
+        }
+        out.push_str("  \"notes\": [");
+        for (i, note) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(note));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+fn summarize_panel(shape: &str, panel: &PanelReport) -> AuditPanelReport {
+    AuditPanelReport {
+        shape: shape.into(),
+        universe_size: panel.evidence.universe_size,
+        checked: panel.evidence.checked,
+        threads: panel.evidence.threads,
+        elapsed: panel.evidence.elapsed,
+        cache_hits: panel.evidence.cache_hits,
+        cache_misses: panel.evidence.cache_misses,
+        memo_hits: panel.evidence.memo_hits,
+        memo_misses: panel.evidence.memo_misses,
+        interrupted: panel.evidence.interrupted,
+        members: panel
+            .members
+            .iter()
+            .map(|m| AuditMemberReport {
+                property: m.tag.as_str().into(),
+                label: m.label.clone(),
+                passed: m.verdict.passed,
+                detail: m.verdict.detail.clone(),
+                checked: m.checked,
+                short_circuited: m.short_circuited,
+                interrupted: m.interrupted,
+                coverage: m.coverage,
+                errors: m.errors.len(),
+            })
+            .collect(),
+    }
+}
+
+/// Replaces the combined hiding+quantified member line at `index` with
+/// the two canonical lines, so an [`AuditReport`] reads identically
+/// whether the plan shared the neighborhood scan or ran two members. An
+/// errored member (no verdict value) keeps its fused line — the error
+/// count belongs to the one scan that actually ran.
+fn split_nbhd_member(summary: &mut AuditPanelReport, panel: &PanelReport, index: usize) {
+    let Some(verdict) = panel.members[index]
+        .verdict
+        .get::<(NbhdGraph, HidingVerdict, ExtractabilityMap)>()
+    else {
+        return;
+    };
+    let base = summary.members[index].clone();
+    let lines =
+        nbhd_analyses_lines(verdict).map(|(tag, label, passed, detail)| AuditMemberReport {
+            property: tag.as_str().into(),
+            label: label.into(),
+            passed,
+            detail,
+            ..base.clone()
+        });
+    let [hiding, quantified] = lines;
+    summary.members[index] = hiding;
+    summary.members.insert(index + 1, quantified);
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::Verdict;
+    use crate::label::Labeling;
+    use crate::view::View;
+    use hiding_lcp_graph::generators;
+
+    /// Accepts iff the node's certificate is nonempty and differs from
+    /// all neighbors' — a sound, strong, revealing 2-coloring scheme.
+    struct LocalDiff;
+    impl Decoder for LocalDiff {
+        fn name(&self) -> String {
+            "local-diff".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn id_mode(&self) -> IdMode {
+            IdMode::Anonymous
+        }
+        fn decide(&self, view: &View) -> Verdict {
+            if view.center_label().is_empty() {
+                return Verdict::Reject;
+            }
+            let mine = view.center_label();
+            Verdict::from(view.center_arcs().iter().all(|arc| {
+                let l = &view.node(arc.to).label;
+                !l.is_empty() && l != mine
+            }))
+        }
+    }
+
+    /// Certifies bipartite graphs by revealing a 2-coloring.
+    struct BipartiteProver;
+    impl Prover for BipartiteProver {
+        fn name(&self) -> String {
+            "bipartite".into()
+        }
+        fn certify(&self, instance: &Instance) -> Option<Labeling> {
+            let sides = hiding_lcp_graph::algo::bipartite::bipartition(instance.graph()).ok()?;
+            Some(sides.iter().map(|&s| Certificate::from_byte(s)).collect())
+        }
+    }
+
+    fn bits() -> Vec<Certificate> {
+        vec![Certificate::from_byte(0), Certificate::from_byte(1)]
+    }
+
+    fn family() -> InstanceSet {
+        InstanceSet::Explicit {
+            instances: vec![
+                Instance::canonical(generators::cycle(4)),
+                Instance::canonical(generators::path(3)),
+                Instance::canonical(generators::cycle(5)),
+            ],
+            coverage: Coverage::Sampled,
+        }
+    }
+
+    #[test]
+    fn full_battery_compiles_into_four_panels() {
+        let report = AuditPlan::new(&LocalDiff, 2, family(), bits())
+            .prover(&BipartiteProver)
+            .seed(11)
+            .run();
+        let shapes: Vec<&str> = report.panels.iter().map(|p| p.shape.as_str()).collect();
+        assert_eq!(shapes, ["labelings", "instances", "erasure", "invariance"]);
+        let labelings = &report.panels[0];
+        assert_eq!(labelings.universe_size, 16 + 8 + 32);
+        let props: Vec<&str> = labelings
+            .members
+            .iter()
+            .map(|m| m.property.as_str())
+            .collect();
+        assert_eq!(props, ["soundness", "strong", "hiding", "quantified"]);
+        // LocalDiff is sound (C5 admits no proper 2-labeling over two
+        // certificates), strong (accepting sets are properly colored) and
+        // complete with the bipartite prover; it reveals the coloring, so
+        // hiding over a sampled family is at best inconclusive.
+        assert_eq!(labelings.members[0].passed, Some(true), "soundness");
+        assert_eq!(labelings.members[1].passed, Some(true), "strong");
+        assert_ne!(labelings.members[2].passed, Some(true), "hiding");
+        assert_eq!(report.panels[1].members[0].passed, Some(true));
+        assert!(report.failures().is_empty() || report.failures() == ["labelings/hiding"]);
+        assert!(
+            report.notes.is_empty(),
+            "nothing skipped: {:?}",
+            report.notes
+        );
+    }
+
+    /// The shared-scan member (hiding AND quantified wanted) must report
+    /// the exact lines the standalone members produce — the fusion is a
+    /// cost optimization, never an observable one.
+    #[test]
+    fn shared_nbhd_scan_matches_standalone_members() {
+        let line = |report: &AuditReport, prop: &str| -> (Option<bool>, String) {
+            let m = report.panels[0]
+                .members
+                .iter()
+                .find(|m| m.property == prop)
+                .unwrap_or_else(|| panic!("no `{prop}` line"));
+            (m.passed, m.detail.clone())
+        };
+        let both = AuditPlan::new(&LocalDiff, 2, family(), bits())
+            .properties([PropertyTag::Hiding, PropertyTag::Quantified])
+            .run();
+        let hiding_only = AuditPlan::new(&LocalDiff, 2, family(), bits())
+            .properties([PropertyTag::Hiding])
+            .run();
+        let quantified_only = AuditPlan::new(&LocalDiff, 2, family(), bits())
+            .properties([PropertyTag::Quantified])
+            .run();
+        assert_eq!(both.panels[0].members.len(), 2, "pair split into two lines");
+        assert_eq!(line(&both, "hiding"), line(&hiding_only, "hiding"));
+        assert_eq!(
+            line(&both, "quantified"),
+            line(&quantified_only, "quantified")
+        );
+        assert_eq!(both.panels[0].members[0].label, "hiding");
+        assert_eq!(both.panels[0].members[1].label, "quantified");
+    }
+
+    #[test]
+    fn property_subset_and_missing_prover_are_noted() {
+        let report = AuditPlan::new(&LocalDiff, 2, family(), bits())
+            .properties([PropertyTag::Soundness, PropertyTag::Completeness])
+            .run();
+        assert_eq!(report.panels.len(), 1);
+        assert_eq!(report.panels[0].members.len(), 1);
+        assert_eq!(report.panels[0].members[0].property, "soundness");
+        assert!(report.notes.iter().any(|n| n.contains("no prover")));
+    }
+
+    #[test]
+    fn lemma31_family_gates_soundness_onto_no_instances() {
+        let report = AuditPlan::new(&LocalDiff, 2, InstanceSet::Lemma31 { max_n: 3 }, bits())
+            .properties([PropertyTag::Soundness, PropertyTag::Strong])
+            .run();
+        let labelings = &report.panels[0];
+        // The n<=3 family's only no-instance is the triangle; soundness
+        // still scans the full shared walk but only records there.
+        assert_eq!(labelings.members[0].passed, Some(true));
+        assert_eq!(labelings.members[1].passed, Some(true));
+        assert_eq!(labelings.checked, labelings.universe_size);
+    }
+
+    #[test]
+    fn json_renders_balanced_and_complete() {
+        let report = AuditPlan::new(&LocalDiff, 2, family(), bits())
+            .prover(&BipartiteProver)
+            .fault_plan(FaultSpec {
+                rates: vec![0.0, 0.3],
+                trials: 3,
+            })
+            .seed(7)
+            .run();
+        let json = report.to_json();
+        for key in [
+            "\"decoder\": \"local-diff\"",
+            "\"panels\"",
+            "\"shape\": \"labelings\"",
+            "\"property\": \"soundness\"",
+            "\"degradation\"",
+            "\"points\"",
+            "\"notes\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+        // Determinism: the same plan renders the same report.
+        let again = AuditPlan::new(&LocalDiff, 2, family(), bits())
+            .prover(&BipartiteProver)
+            .fault_plan(FaultSpec {
+                rates: vec![0.0, 0.3],
+                trials: 3,
+            })
+            .seed(7)
+            .run();
+        // Compare everything but wall-clock.
+        assert_eq!(report.failures(), again.failures());
+        assert_eq!(
+            report.degradation.as_ref().map(|d| &d.points),
+            again.degradation.as_ref().map(|d| &d.points)
+        );
+    }
+}

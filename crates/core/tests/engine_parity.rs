@@ -31,13 +31,14 @@ use hiding_lcp_core::language::KCol;
 use hiding_lcp_core::lower::PortObliviousCycleDecoder;
 use hiding_lcp_core::nbhd::NbhdGraph;
 use hiding_lcp_core::properties::hiding::HidingCheck;
-use hiding_lcp_core::properties::soundness::SoundnessCheck;
-use hiding_lcp_core::properties::strong::StrongCheck;
+use hiding_lcp_core::properties::soundness::{SoundnessCheck, SoundnessViolation};
+use hiding_lcp_core::properties::strong::{StrongCheck, StrongViolation};
 use hiding_lcp_core::prover::all_labelings;
 use hiding_lcp_core::verify::{
     resume_sweep, resume_sweep_with_opts, sweep_budgeted, sweep_budgeted_with_opts, sweep_lazy,
-    sweep_with, sweep_with_opts, Block, Coverage, ExecMode, ItemCtx, LabelSource, PropertyCheck,
-    SweepBudget, SweepOpts, SweepOutcome, Universe, UniverseItem,
+    sweep_panel_with, sweep_with, sweep_with_opts, Block, Coverage, DynPropertyCheck, ExecMode,
+    ItemCtx, LabelSource, PropertyCheck, PropertyTag, SweepBudget, SweepOpts, SweepOutcome,
+    Universe, UniverseItem,
 };
 use hiding_lcp_core::view::IdMode;
 use hiding_lcp_graph::algo::bipartite;
@@ -455,5 +456,62 @@ proptest! {
         prop_assert_eq!(oracle.short_circuited, resumed.short_circuited);
         prop_assert_eq!(oracle.coverage, resumed.coverage);
         prop_assert!(!resumed.interrupted);
+    }
+
+    #[test]
+    fn fused_panel_matches_single_member_sweeps(code in 0u8..64, shape in 0u8..2, n in 3usize..7) {
+        // A fused panel is observationally the overlay of its members'
+        // own sweeps: per member, parallel matches sequential, and the
+        // member-level `checked` equals what that check's single-check
+        // sequential sweep reports — a member stopped at item `s` counts
+        // `s + 1` no matter how far the shared walk carried the others.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let two_col = KCol::new(2);
+        let instance = cycle_or_path(shape, n);
+        let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let soundness = SoundnessCheck { decoder: &decoder };
+        let strong = StrongCheck { decoder: &decoder, language: &two_col };
+        let members = [
+            DynPropertyCheck::new(PropertyTag::Soundness, "soundness", SoundnessCheck {
+                decoder: &decoder,
+            })
+            .with_channel(&decoder),
+            DynPropertyCheck::new(PropertyTag::Strong, "strong", StrongCheck {
+                decoder: &decoder,
+                language: &two_col,
+            })
+            .with_channel(&decoder),
+        ];
+        let seq = sweep_panel_with(&members, &universe, ExecMode::Sequential);
+        let par = sweep_panel_with(&members, &universe, ExecMode::Parallel(parity_threads()));
+        prop_assert_eq!(seq.evidence.checked, par.evidence.checked);
+        prop_assert_eq!(seq.evidence.short_circuited, par.evidence.short_circuited);
+        for (a, b) in seq.members.iter().zip(&par.members) {
+            prop_assert_eq!(a.checked, b.checked);
+            prop_assert_eq!(a.short_circuited, b.short_circuited);
+            prop_assert_eq!(a.verdict.passed, b.verdict.passed);
+            prop_assert_eq!(&a.verdict.detail, &b.verdict.detail);
+        }
+
+        let solo_soundness = sweep_with(&soundness, &universe, ExecMode::Sequential);
+        let solo_strong = sweep_with(&strong, &universe, ExecMode::Sequential);
+        prop_assert_eq!(seq.members[0].checked, solo_soundness.checked);
+        prop_assert_eq!(seq.members[0].short_circuited, solo_soundness.short_circuited);
+        prop_assert_eq!(
+            seq.members[0].verdict.get::<Result<usize, SoundnessViolation>>().unwrap(),
+            &solo_soundness.verdict
+        );
+        prop_assert_eq!(seq.members[1].checked, solo_strong.checked);
+        prop_assert_eq!(seq.members[1].short_circuited, solo_strong.short_circuited);
+        prop_assert_eq!(
+            seq.members[1].verdict.get::<Result<usize, StrongViolation>>().unwrap(),
+            &solo_strong.verdict
+        );
+        // The shared walk reaches exactly as far as the laggard member.
+        prop_assert_eq!(
+            seq.evidence.checked,
+            solo_soundness.checked.max(solo_strong.checked)
+        );
     }
 }

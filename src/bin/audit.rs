@@ -1,0 +1,199 @@
+//! `audit` — run a declarative property audit and emit a JSON report.
+//!
+//! Compiles an [`AuditPlan`] for one of the paper's concrete LCPs and
+//! executes it as fused panels (one enumeration per universe shape, every
+//! selected property riding the same walk). Exits nonzero when any
+//! property is violated, so the binary doubles as a CI gate.
+//!
+//! ```text
+//! cargo run --release --bin audit -- --decoder even-cycle --max-n 4
+//! cargo run --release --bin audit -- --decoder revealing:3 --max-n 3 \
+//!     --properties soundness,strong,hiding --threads 4 --out audit.json
+//! ```
+
+use std::process::ExitCode;
+
+use hiding_lcp_certs::{degree_one, even_cycle, revealing};
+use hiding_lcp_core::decoder::Decoder;
+use hiding_lcp_core::label::Certificate;
+use hiding_lcp_core::prover::Prover;
+use hiding_lcp_core::verify::{
+    AuditPlan, ExecMode, FaultSpec, InstanceSet, PropertyTag, SweepBudget, ALL_PROPERTIES,
+};
+use std::time::Duration;
+
+struct Args {
+    decoder: String,
+    max_n: usize,
+    properties: Vec<PropertyTag>,
+    mode: ExecMode,
+    budget: Option<SweepBudget>,
+    fault_rates: Vec<f64>,
+    fault_trials: usize,
+    seed: u64,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: audit [--decoder degree-one|even-cycle|revealing:<k>] [--max-n N]\n\
+         \x20            [--properties p1,p2,...] [--threads T] [--budget-ms MS]\n\
+         \x20            [--budget-items N] [--fault-rates r1,r2,...] [--fault-trials T]\n\
+         \x20            [--seed S] [--out FILE]\n\
+         \n\
+         Audits one of the paper's LCPs over the Lemma 3.1 family up to N nodes\n\
+         (default: even-cycle, N=4, all seven properties) and prints the fused-panel\n\
+         report as JSON. Exit code 1 = some property was violated."
+    );
+    std::process::exit(2)
+}
+
+fn parse_tag(name: &str) -> Option<PropertyTag> {
+    ALL_PROPERTIES
+        .into_iter()
+        .find(|t| t.as_str() == name.trim())
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        decoder: "even-cycle".into(),
+        max_n: 4,
+        properties: ALL_PROPERTIES.to_vec(),
+        mode: ExecMode::Auto,
+        budget: None,
+        fault_rates: Vec::new(),
+        fault_trials: 16,
+        seed: 0xA0D1_7E57,
+        out: None,
+    };
+    let mut budget = SweepBudget::unlimited();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| usage_missing(flag));
+        match flag.as_str() {
+            "--decoder" => args.decoder = value("--decoder"),
+            "--max-n" => args.max_n = parse_or_usage(&value("--max-n")),
+            "--properties" => {
+                args.properties = value("--properties")
+                    .split(',')
+                    .map(|p| parse_tag(p).unwrap_or_else(|| usage_missing(p)))
+                    .collect();
+            }
+            "--threads" => args.mode = ExecMode::Parallel(parse_or_usage(&value("--threads"))),
+            "--sequential" => args.mode = ExecMode::Sequential,
+            "--budget-ms" => {
+                budget.deadline = Some(Duration::from_millis(parse_or_usage(&value("--budget-ms"))))
+            }
+            "--budget-items" => budget.max_items = Some(parse_or_usage(&value("--budget-items"))),
+            "--fault-rates" => {
+                args.fault_rates = value("--fault-rates")
+                    .split(',')
+                    .map(|r| parse_or_usage(r.trim()))
+                    .collect();
+            }
+            "--fault-trials" => args.fault_trials = parse_or_usage(&value("--fault-trials")),
+            "--seed" => args.seed = parse_or_usage(&value("--seed")),
+            "--out" => args.out = Some(value("--out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("audit: unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    if budget.deadline.is_some() || budget.max_items.is_some() {
+        args.budget = Some(budget);
+    }
+    args
+}
+
+fn usage_missing(flag: &str) -> ! {
+    eprintln!("audit: missing or bad value for {flag}");
+    usage()
+}
+
+fn parse_or_usage<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| usage_missing(s))
+}
+
+/// The decoder, its honest prover, its adversarial certificate alphabet
+/// and the k it certifies.
+#[allow(clippy::type_complexity)]
+fn select(name: &str) -> Option<(Box<dyn Decoder>, Box<dyn Prover>, Vec<Certificate>, usize)> {
+    match name {
+        "degree-one" => Some((
+            Box::new(degree_one::DegreeOneDecoder),
+            Box::new(degree_one::DegreeOneProver),
+            degree_one::adversary_alphabet(),
+            2,
+        )),
+        "even-cycle" => Some((
+            Box::new(even_cycle::EvenCycleDecoder),
+            Box::new(even_cycle::EvenCycleProver),
+            even_cycle::adversary_alphabet(),
+            2,
+        )),
+        _ => {
+            let k: usize = name.strip_prefix("revealing:")?.parse().ok()?;
+            Some((
+                Box::new(revealing::RevealingDecoder::new(k)),
+                Box::new(revealing::RevealingProver::new(k)),
+                revealing::adversary_alphabet(k),
+                k,
+            ))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let Some((decoder, prover, alphabet, k)) = select(&args.decoder) else {
+        eprintln!("audit: unknown decoder {:?}", args.decoder);
+        usage()
+    };
+    let mut plan = AuditPlan::new(
+        decoder.as_ref(),
+        k,
+        InstanceSet::Lemma31 { max_n: args.max_n },
+        alphabet,
+    )
+    .prover(prover.as_ref())
+    .properties(args.properties.clone())
+    .mode(args.mode)
+    .seed(args.seed);
+    if let Some(budget) = args.budget {
+        plan = plan.budget(budget);
+    }
+    if !args.fault_rates.is_empty() {
+        plan = plan.fault_plan(FaultSpec {
+            rates: args.fault_rates.clone(),
+            trials: args.fault_trials,
+        });
+    }
+
+    let report = plan.run();
+    let json = report.to_json();
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("audit: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("audit: report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    let failures = report.failures();
+    for f in &failures {
+        eprintln!("audit: VIOLATED {f}");
+    }
+    for note in &report.notes {
+        eprintln!("audit: note: {note}");
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
