@@ -1,19 +1,23 @@
 //! `engine_sweep`: sequential vs parallel Lemma 3.1 sweeps on the
 //! verification engine (experiments E17 and E21).
 //!
-//! Cycles up to n = 8 under every 2-symbol labeling, swept through a
-//! [`HidingCheck`] in `ExecMode::Sequential` and `ExecMode::Parallel(t)`
-//! for a `{1, 2, 4}` thread ladder (clamped to the machine). Since PR 3
-//! the default engine path is odometer enumeration with delta-evaluated
-//! verdicts and digit-key memoization; this bench also times the
-//! `DecodeOracle` reference strategy and the memo-disabled delta path, so
-//! the JSON records exactly what each layer buys. Both modes and both
-//! strategies must return identical graphs (the executor's determinism
-//! contract); the harness asserts it before recording timings, then
-//! writes the medians — plus the machine's thread count and the engine's
-//! small-universe sequential-fallback threshold, so single-core results
-//! read honestly — to `BENCH_engine.json` at the repository root,
-//! together with per-size memo and view-interner hit-rate statistics.
+//! Symmetric-port cycles up to n = 8 under every adversary labeling,
+//! swept through a [`HidingCheck`] in `ExecMode::Sequential` and
+//! `ExecMode::Parallel(t)` for the full `{1, 2, 4}` thread ladder
+//! (always emitted, even on small boxes, where the extra rows measure
+//! oversubscription). Since PR 3 the default engine path is odometer
+//! enumeration with delta-evaluated verdicts and digit-key memoization;
+//! this bench also times the `DecodeOracle` reference strategy, the
+//! memo-disabled delta path, and the symmetry-quotient strategy (only
+//! canonical orbit representatives inspected), so the JSON records
+//! exactly what each layer buys. All modes and strategies must return
+//! identical graphs (the executor's determinism contract); the harness
+//! asserts it before recording timings, then writes the medians — plus
+//! the machine's thread count, a per-size `scaling_efficiency` table
+//! (t1/t2 and t1/t4 speedups), and the engine's small-universe
+//! sequential-fallback threshold, so single-core results read honestly —
+//! to `BENCH_engine.json` at the repository root, together with per-size
+//! memo and view-interner hit-rate statistics.
 //!
 //! ```text
 //! cargo bench -p hiding-lcp-bench --bench engine_sweep
@@ -21,8 +25,9 @@
 //!
 //! With `ENGINE_SWEEP_SMOKE=1` the harness instead runs a reduced n = 6
 //! measurement and exits nonzero if the measured medians regress more
-//! than 2x against the committed `BENCH_engine.json` baseline — the CI
-//! bench-smoke job. Smoke mode never rewrites the JSON.
+//! than 2x against the committed `BENCH_engine.json` baseline, or if the
+//! t4/t1 parallel speedup falls below 1.5x on a multi-core runner — the
+//! CI bench-smoke job. Smoke mode never rewrites the JSON.
 
 use criterion::{BenchResult, Criterion};
 use hiding_lcp_certs::revealing::{adversary_alphabet, RevealingDecoder};
@@ -40,14 +45,21 @@ use std::fs;
 use std::hint::black_box;
 use std::path::{Path, PathBuf};
 
-/// All 2-symbol labelings of even cycles `4..=max_n`.
+/// All 2-symbol labelings of even cycles `4..=max_n`, under the
+/// rotation-symmetric port assignment so the quotient strategy has a
+/// nontrivial automorphism group to exploit. Ports change no decoder's
+/// view content, so every other strategy's cost is unaffected.
 fn cycle_universe(max_n: usize) -> Universe {
     let alphabet = adversary_alphabet(2);
     let blocks = (4..=max_n)
         .step_by(2)
         .map(|n| {
+            let g = generators::cycle(n);
+            let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+            let instance = Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(n))
+                .expect("symmetric cycle ports are valid");
             Block::new(
-                Instance::canonical(generators::cycle(n)),
+                instance,
                 LabelSource::All {
                     alphabet: alphabet.clone(),
                 },
@@ -96,14 +108,12 @@ fn collect_stats(universe: &Universe, group: String) -> SweepStats {
     }
 }
 
-/// Which thread counts to record: on a single-core box just `t1`; with
-/// more cores the whole `{1, 2, 4}` ladder (clamped to the machine) plus
-/// the machine's own count, so scaling curves are comparable across hosts.
+/// Which thread counts to record: always the full `{1, 2, 4}` ladder —
+/// even on small boxes, where the extra rows measure oversubscription and
+/// keep the JSON schema identical across hosts — plus the machine's own
+/// count, so scaling curves are comparable.
 fn thread_ladder(available: usize) -> Vec<usize> {
-    let mut ladder: Vec<usize> = [1usize, 2, 4]
-        .into_iter()
-        .filter(|&t| t <= available)
-        .collect();
+    let mut ladder = vec![1usize, 2, 4];
     if !ladder.contains(&available) {
         ladder.push(available);
     }
@@ -125,7 +135,8 @@ fn bench_sizes(c: &mut Criterion, sizes: &[usize], stats: &mut Vec<SweepStats>) 
         let seq = sweep_nbhd(&universe, ExecMode::Sequential, SweepOpts::default());
         let par = sweep_nbhd(&universe, ExecMode::Parallel(threads), SweepOpts::default());
         let dec = sweep_nbhd(&universe, ExecMode::Sequential, oracle);
-        for other in [&par, &dec] {
+        let quo = sweep_nbhd(&universe, ExecMode::Sequential, SweepOpts::quotient());
+        for other in [&par, &dec, &quo] {
             assert_eq!(
                 seq.view_count(),
                 other.view_count(),
@@ -171,6 +182,12 @@ fn bench_sizes(c: &mut Criterion, sizes: &[usize], stats: &mut Vec<SweepStats>) 
             "delta-nomemo".into(),
             Box::new(routine(ExecMode::Sequential, nomemo)),
         ));
+        // The symmetry quotient: only canonical orbit representatives are
+        // inspected; everything else is rejected by a minimal-image test.
+        routines.push((
+            "quotient".into(),
+            Box::new(routine(ExecMode::Sequential, SweepOpts::quotient())),
+        ));
         let mut g = c.benchmark_group(format!("engine-sweep-n{max_n}"));
         g.sample_size(if max_n >= 8 { 15 } else { 20 });
         g.bench_interleaved(routines);
@@ -198,6 +215,41 @@ fn write_json(results: &[BenchResult], stats: &[SweepStats], threads: usize) {
         ));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"scaling_efficiency\": [\n");
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median.as_nanos())
+    };
+    let groups: Vec<&str> = {
+        let mut seen = Vec::new();
+        for r in results {
+            if let Some(g) = r.name.split('/').next() {
+                if !seen.contains(&g) {
+                    seen.push(g);
+                }
+            }
+        }
+        seen
+    };
+    let rows: Vec<String> = groups
+        .iter()
+        .filter_map(|g| {
+            let t1 = median(&format!("{g}/parallel-t1"))?;
+            let t2 = median(&format!("{g}/parallel-t2"))?;
+            let t4 = median(&format!("{g}/parallel-t4"))?;
+            Some(format!(
+                "    {{ \"group\": \"{g}\", \"speedup_t2\": {:.3}, \"speedup_t4\": {:.3}, \
+                 \"efficiency_t4\": {:.3} }}",
+                t1 as f64 / t2 as f64,
+                t1 as f64 / t4 as f64,
+                t1 as f64 / t4 as f64 / 4.0,
+            ))
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ],\n");
     out.push_str("  \"stats\": [\n");
     for (i, s) in stats.iter().enumerate() {
         let comma = if i + 1 < stats.len() { "," } else { "" };
@@ -247,7 +299,34 @@ fn smoke() -> i32 {
         }
     };
     let mut failed = false;
-    for name in ["engine-sweep-n6/sequential", "engine-sweep-n6/parallel-t1"] {
+    let available = std::thread::available_parallelism().map_or(1, usize::from);
+    if available >= 4 {
+        let t1 = c
+            .results
+            .iter()
+            .find(|r| r.name == "engine-sweep-n6/parallel-t1");
+        let t4 = c
+            .results
+            .iter()
+            .find(|r| r.name == "engine-sweep-n6/parallel-t4");
+        if let (Some(t1), Some(t4)) = (t1, t4) {
+            let speedup = t1.median.as_nanos() as f64 / t4.median.as_nanos() as f64;
+            let verdict = if speedup < 1.5 {
+                failed = true;
+                "SCALING REGRESSION"
+            } else {
+                "ok"
+            };
+            println!("smoke: t4/t1 speedup {speedup:.2}x (floor 1.5x) -> {verdict}");
+        }
+    } else {
+        println!("smoke: {available} core(s); skipping the t4/t1 scaling gate");
+    }
+    for name in [
+        "engine-sweep-n6/sequential",
+        "engine-sweep-n6/parallel-t1",
+        "engine-sweep-n6/quotient",
+    ] {
         let Some(base) = baseline_median(&baseline, name) else {
             println!("smoke: baseline lacks {name}; skipping");
             continue;

@@ -46,7 +46,7 @@ use hiding_lcp_core::properties::strong::strong_member;
 use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::verify::{
     sweep_panel_with, AuditReport, Block, Coverage, DynPropertyCheck, ExecMode, InstanceSet,
-    LabelSource, PanelReport, Universe,
+    LabelSource, PanelReport, SweepOpts, Universe,
 };
 use hiding_lcp_graph::generators;
 use rand::rngs::StdRng;
@@ -66,20 +66,55 @@ const SEED: u64 = 0xA0D1_7E57;
 
 /// The audited family: all cycles `3..=max_n` (odd ones are
 /// no-instances), cliques `4..max_n` (all no-instances for k = 2), and
-/// the complete bipartite graphs that fit (dense yes-instances, where the
-/// shared Lemma 3.1 scan carries the most weight).
+/// dense yes-instances — balanced complete bipartite graphs and, at
+/// n = 8, the 3-cube — where the shared Lemma 3.1 scan carries the most
+/// weight. Every shape that admits one carries a symmetric port
+/// assignment (rotations for cycles and cliques, shifts and the part
+/// swap for `K_{a,a}`, XOR translations for `Q_3`), so the quotient
+/// strategy has nontrivial orbits on most blocks; ports change no view's
+/// content, so the other strategies cost the same as under canonical
+/// ports.
 fn family(max_n: usize) -> Vec<Instance> {
-    let mut graphs: Vec<_> = (3..=max_n).map(generators::cycle).collect();
-    graphs.extend((4..max_n).map(generators::complete));
+    let with_ports =
+        |g: hiding_lcp_graph::Graph,
+         ports: fn(&hiding_lcp_graph::Graph) -> hiding_lcp_graph::PortAssignment| {
+            let n = g.node_count();
+            let prt = ports(&g);
+            Instance::new(g, prt, hiding_lcp_graph::IdAssignment::canonical(n))
+                .expect("symmetric ports are valid")
+        };
+    let mut instances: Vec<Instance> = (3..=max_n)
+        .map(|n| {
+            with_ports(
+                generators::cycle(n),
+                hiding_lcp_graph::ports::cycle_symmetric,
+            )
+        })
+        .collect();
+    instances.extend((4..max_n).map(|n| {
+        with_ports(
+            generators::complete(n),
+            hiding_lcp_graph::ports::complete_symmetric,
+        )
+    }));
     if max_n >= 6 {
-        graphs.push(generators::complete_bipartite(2, 4));
-        graphs.push(generators::complete_bipartite(3, 3));
+        instances.push(Instance::canonical(generators::complete_bipartite(2, 4)));
+        instances.push(with_ports(
+            generators::complete_bipartite(3, 3),
+            hiding_lcp_graph::ports::balanced_bipartite_symmetric,
+        ));
     }
     if max_n >= 8 {
-        graphs.push(generators::complete_bipartite(3, 5));
-        graphs.push(generators::complete_bipartite(4, 4));
+        instances.push(with_ports(
+            generators::hypercube(3),
+            hiding_lcp_graph::ports::hypercube_symmetric,
+        ));
+        instances.push(with_ports(
+            generators::complete_bipartite(4, 4),
+            hiding_lcp_graph::ports::balanced_bipartite_symmetric,
+        ));
     }
-    graphs.into_iter().map(Instance::canonical).collect()
+    instances
 }
 
 /// Everything both arms share: the instance family, the universes the
@@ -204,6 +239,12 @@ impl Fixture {
     ///
     /// [`AuditPlan::run`]: hiding_lcp_core::verify::AuditPlan::run
     fn fused(&self) -> AuditReport {
+        self.fused_with(SweepOpts::default())
+    }
+
+    /// The fused arm under an explicit sweep strategy (the quotient
+    /// routine passes `SweepOpts::quotient()`).
+    fn fused_with(&self, opts: SweepOpts) -> AuditReport {
         hiding_lcp_core::verify::AuditPlan::new(
             &self.decoder,
             K,
@@ -215,6 +256,7 @@ impl Fixture {
         )
         .prover(&self.prover)
         .mode(ExecMode::Sequential)
+        .opts(opts)
         .run()
     }
 
@@ -278,6 +320,24 @@ const SOLO: [&str; 7] = [
 /// report, member by member, before anything is timed.
 fn assert_parity(fix: &Fixture, max_n: usize) {
     let report = fix.fused();
+    // The quotient strategy is observationally identical: same panels,
+    // same verdicts, same frontiers.
+    let quotient = fix.fused_with(SweepOpts::quotient());
+    for (a, b) in report.panels.iter().zip(&quotient.panels) {
+        assert_eq!(a.shape, b.shape, "quotient shape at n <= {max_n}");
+        for (ma, mb) in a.members.iter().zip(&b.members) {
+            assert_eq!(
+                ma.passed, mb.passed,
+                "{} quotient verdict at n <= {max_n}",
+                ma.property
+            );
+            assert_eq!(
+                ma.checked, mb.checked,
+                "{} quotient frontier at n <= {max_n}",
+                ma.property
+            );
+        }
+    }
     let shapes: Vec<&str> = report.panels.iter().map(|p| p.shape.as_str()).collect();
     assert_eq!(
         shapes,
@@ -325,6 +385,13 @@ fn bench_sizes(c: &mut Criterion, sizes: &[usize]) {
             routines.push((
                 "fused".into(),
                 Box::new(move || drop(black_box(black_box(fix).fused()))),
+            ));
+        }
+        {
+            let fix = &fix;
+            routines.push((
+                "fused-quotient".into(),
+                Box::new(move || drop(black_box(black_box(fix).fused_with(SweepOpts::quotient())))),
             ));
         }
         for name in SOLO {
@@ -383,11 +450,28 @@ fn write_json(results: &[BenchResult], sizes: &[usize], threads: usize) {
         };
         #[allow(clippy::cast_precision_loss)]
         let speedup = sum as f64 / fused as f64;
+        let quotient = results
+            .iter()
+            .find(|r| r.name == format!("panel-audit-n{max_n}/fused-quotient"))
+            .map(|r| r.median.as_nanos());
+        let quotient_cols = match quotient {
+            #[allow(clippy::cast_precision_loss)]
+            Some(q) => format!(
+                ", \"fused_quotient_ns\": {q}, \"quotient_speedup\": {:.2}",
+                fused as f64 / q as f64
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
             "    {{ \"group\": \"panel-audit-n{max_n}\", \"fused_ns\": {fused}, \
-             \"solo_sum_ns\": {sum}, \"speedup\": {speedup:.2} }}{comma}\n"
+             \"solo_sum_ns\": {sum}, \"speedup\": {speedup:.2}{quotient_cols} }}{comma}\n"
         ));
         println!("panel-audit-n{max_n}: fused {fused} ns vs solo sum {sum} ns ({speedup:.2}x)");
+        if let Some(q) = quotient {
+            #[allow(clippy::cast_precision_loss)]
+            let ratio = fused as f64 / q as f64;
+            println!("panel-audit-n{max_n}: quotient fused {q} ns ({ratio:.2}x over fused)");
+        }
     }
     out.push_str("  ]\n}\n");
     let path = json_path();

@@ -55,6 +55,26 @@ impl Decoder for RevealingDecoder {
                 .is_some_and(|c| c != mine)
         }))
     }
+    fn label_classes(&self, alphabet: &[Certificate]) -> Option<Vec<usize>> {
+        // The decision only reads "is a color" and "equal colors":
+        // recoloring by any bijection of the palette preserves both, so
+        // valid colors form one interchangeable class and every malformed
+        // certificate is its own class (conservative — malformed bytes
+        // are all rejected anyway, but pinning them costs nothing).
+        let mut next_fixed = 1;
+        Some(
+            alphabet
+                .iter()
+                .map(|cert| match self.color(cert) {
+                    Some(_) => 0,
+                    None => {
+                        next_fixed += 1;
+                        next_fixed - 1
+                    }
+                })
+                .collect(),
+        )
+    }
 }
 
 /// The honest prover: hands out the lexicographically first proper

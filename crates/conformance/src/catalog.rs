@@ -144,6 +144,24 @@ pub const MUTANTS: &[Mutant] = &[
         expected_killers: &["panel_member_frontiers"],
     },
     Mutant {
+        name: "orbit_mult_off_by_one",
+        host: "hiding-lcp-core",
+        site: "symmetry quotient undercounts every nontrivial orbit by one",
+        expected_killers: &["orbit_partition_weighted"],
+    },
+    Mutant {
+        name: "orbit_reject_inverted",
+        host: "hiding-lcp-core",
+        site: "canonical test keeps non-minimal orbit members, drops minima",
+        expected_killers: &["orbit_partition_weighted"],
+    },
+    Mutant {
+        name: "orbit_drop_generator",
+        host: "hiding-lcp-graph",
+        site: "port_automorphisms omits one group element",
+        expected_killers: &["orbit_partition_weighted"],
+    },
+    Mutant {
         name: "dsatur_no_fresh_color",
         host: "hiding-lcp-graph",
         site: "DSATUR never opens a fresh color beyond the first",

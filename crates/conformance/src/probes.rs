@@ -33,8 +33,8 @@ use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::verify::{
     resume_sweep_with_opts, sweep, sweep_budgeted_with_opts, sweep_lazy_labeled, sweep_panel_with,
     sweep_with, sweep_with_opts, Block, Coverage, DynPropertyCheck, ExecMode, ItemCtx, LabelSource,
-    PropertyCheck, PropertyTag, SweepBudget, SweepOpts, SweepOutcome, Universe, UniverseItem,
-    ViewInterner,
+    PropertyCheck, PropertyTag, SweepBudget, SweepOpts, SweepOutcome, SymmetrySpec, Universe,
+    UniverseItem, ViewInterner,
 };
 use hiding_lcp_core::view::{IdMode, View};
 use hiding_lcp_graph::algo::{bipartite, coloring};
@@ -67,6 +67,7 @@ pub const ALL: &[(&str, fn())] = &[
     ("degradation_matches_oracle", degradation_matches_oracle),
     ("panel_channel_isolation", panel_channel_isolation),
     ("panel_member_frontiers", panel_member_frontiers),
+    ("orbit_partition_weighted", orbit_partition_weighted),
     ("coloring_matches_bruteforce", coloring_matches_bruteforce),
     ("isomorphism_beyond_degrees", isomorphism_beyond_degrees),
     ("induced_subgraph_exact", induced_subgraph_exact),
@@ -809,6 +810,141 @@ pub fn panel_member_frontiers() {
 
 /// DSATUR's verdicts must equal brute-force colorability over every
 /// connected graph on ≤ 5 nodes (plus the Petersen graph, which forces
+/// The symmetry quotient partitions the labeling space. Over a
+/// rotation-symmetric 5-cycle with binary certificates and a full label
+/// swap class, the representatives a quotient sweep visits must carry
+/// multiplicities summing to exactly 2^5, each be its orbit's flat-index
+/// minimum, and tile the space with pairwise-disjoint orbits; and the
+/// quotient must reproduce the full walk's soundness verdict and checked
+/// count bit-for-bit.
+fn orbit_partition_weighted() {
+    struct Recorder;
+    impl PropertyCheck for Recorder {
+        type Partial = u64;
+        type Verdict = Vec<(usize, u64)>;
+        fn inspect(&self, _item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<u64> {
+            Some(ctx.multiplicity())
+        }
+        fn symmetry_class(&self, _alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+            Some(SymmetrySpec {
+                automorphisms: true,
+                alphabet_classes: Some(vec![0, 0]),
+            })
+        }
+        fn reduce(
+            &self,
+            _universe: &Universe,
+            partials: Vec<(usize, u64)>,
+            _outcome: &SweepOutcome,
+        ) -> Self::Verdict {
+            partials
+        }
+    }
+
+    const N: usize = 5;
+    let g = generators::cycle(N);
+    let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+    let auts = hiding_lcp_graph::algo::automorphism::port_automorphisms(&g, &ports, 4096)
+        .expect("cycle automorphism group is tiny");
+    let instance = Instance::new(g, ports, IdAssignment::canonical(N)).expect("symmetric ports");
+    let universe =
+        Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive).expect("2^5 fits");
+
+    let report = sweep_with_opts(
+        &Recorder,
+        &universe,
+        ExecMode::Sequential,
+        SweepOpts::quotient(),
+    );
+    assert_eq!(
+        report.checked,
+        universe.len(),
+        "skipped orbit members still count as checked"
+    );
+    let reps = report.verdict;
+    let total: u64 = reps.iter().map(|&(_, m)| m).sum();
+    assert_eq!(total, 1 << N, "orbit multiplicities must sum to |Sigma|^n");
+
+    // Recompute every orbit from the declared group (rotations x label
+    // swap) and hold the sweep to it: canonical minimum, exact size,
+    // disjoint coverage.
+    let digits_of = |mut idx: usize| -> Vec<usize> {
+        (0..N)
+            .map(|_| {
+                let d = idx % 2;
+                idx /= 2;
+                d
+            })
+            .collect()
+    };
+    let index_of = |d: &[usize]| -> usize { d.iter().rev().fold(0, |acc, &x| acc * 2 + x) };
+    let mut covered = [false; 1 << N];
+    for &(rep, mult) in &reps {
+        let digits = digits_of(rep);
+        let mut orbit = std::collections::BTreeSet::new();
+        for pi in &auts {
+            let mut pinv = [0usize; N];
+            for (v, &w) in pi.iter().enumerate() {
+                pinv[w] = v;
+            }
+            for swap in [false, true] {
+                let image: Vec<usize> = (0..N)
+                    .map(|v| {
+                        let x = digits[pinv[v]];
+                        if swap {
+                            1 - x
+                        } else {
+                            x
+                        }
+                    })
+                    .collect();
+                orbit.insert(index_of(&image));
+            }
+        }
+        assert_eq!(
+            *orbit.iter().next().expect("orbit is nonempty"),
+            rep,
+            "representative must be its orbit's flat-index minimum"
+        );
+        assert_eq!(
+            orbit.len() as u64,
+            mult,
+            "multiplicity must equal the orbit size"
+        );
+        for &member in &orbit {
+            assert!(!covered[member], "orbits must be pairwise disjoint");
+            covered[member] = true;
+        }
+    }
+    assert!(covered.iter().all(|&c| c), "orbits must cover the space");
+
+    // The quotient is invisible to a short-circuiting checker: same
+    // verdict, same number of items charged.
+    let check = SoundnessCheck {
+        decoder: &LocalDiff,
+    };
+    let full = sweep_with_opts(
+        &check,
+        &universe,
+        ExecMode::Sequential,
+        SweepOpts::default(),
+    );
+    let quot = sweep_with_opts(
+        &check,
+        &universe,
+        ExecMode::Sequential,
+        SweepOpts::quotient(),
+    );
+    assert_eq!(
+        full.verdict, quot.verdict,
+        "quotient changed the soundness verdict"
+    );
+    assert_eq!(
+        full.checked, quot.checked,
+        "quotient changed the checked count"
+    );
+}
+
 /// backtracking at k = 3) for k ∈ {1, 2, 3}.
 pub fn coloring_matches_bruteforce() {
     for g in generators::connected_graphs_up_to(5) {

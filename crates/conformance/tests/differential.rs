@@ -1,7 +1,7 @@
 //! Differential suites: every property checker against its brute-force
 //! oracle, at every execution mode (sequential and `PARITY_THREADS`-way
-//! parallel) under both sweep strategies (delta-stepping with memoization
-//! and the per-item decode oracle).
+//! parallel) under all three sweep strategies (delta-stepping with
+//! memoization, the per-item decode oracle, and the symmetry quotient).
 //!
 //! The CI conformance job runs this binary at `PARITY_THREADS` ∈ {1, 2, 4}.
 
@@ -35,9 +35,13 @@ fn modes() -> [ExecMode; 2] {
     [ExecMode::Sequential, ExecMode::Parallel(parity_threads())]
 }
 
-/// Both sweep strategies, freshly constructed.
-fn strategies() -> [SweepOpts; 2] {
-    [SweepOpts::default(), SweepOpts::oracle()]
+/// All three sweep strategies, freshly constructed.
+fn strategies() -> [SweepOpts; 3] {
+    [
+        SweepOpts::default(),
+        SweepOpts::oracle(),
+        SweepOpts::quotient(),
+    ]
 }
 
 /// Runs `check` over `universe` at every mode × strategy and asserts all

@@ -1,6 +1,7 @@
 //! r-round binary decoders and distributed execution (paper, Section 2.2).
 
 use crate::instance::LabeledInstance;
+use crate::label::Certificate;
 use crate::view::{IdMode, View};
 use std::fmt;
 
@@ -64,6 +65,19 @@ pub trait Decoder: Sync {
 
     /// The node-local decision.
     fn decide(&self, view: &View) -> Verdict;
+
+    /// Certificate-symmetry classes of `alphabet`, if the decoder's
+    /// verdicts are invariant under every permutation of the alphabet
+    /// that stays within classes (same class id at index `i` and `j` ⟺
+    /// swapping certificates `i` and `j` everywhere changes no verdict).
+    ///
+    /// `None` (the default) claims nothing, and the symmetry-quotient
+    /// sweep then only exploits graph automorphisms. Implementors must be
+    /// conservative: an over-coarse partition makes the quotient unsound.
+    fn label_classes(&self, alphabet: &[Certificate]) -> Option<Vec<usize>> {
+        let _ = alphabet;
+        None
+    }
 }
 
 impl<T: Decoder + ?Sized> Decoder for &T {
@@ -79,6 +93,9 @@ impl<T: Decoder + ?Sized> Decoder for &T {
     fn decide(&self, view: &View) -> Verdict {
         (**self).decide(view)
     }
+    fn label_classes(&self, alphabet: &[Certificate]) -> Option<Vec<usize>> {
+        (**self).label_classes(alphabet)
+    }
 }
 
 impl<T: Decoder + ?Sized> Decoder for Box<T> {
@@ -93,6 +110,9 @@ impl<T: Decoder + ?Sized> Decoder for Box<T> {
     }
     fn decide(&self, view: &View) -> Verdict {
         (**self).decide(view)
+    }
+    fn label_classes(&self, alphabet: &[Certificate]) -> Option<Vec<usize>> {
+        (**self).label_classes(alphabet)
     }
 }
 

@@ -46,6 +46,10 @@
 //!   verdict channel instead of their own (multi-channel panels only).
 //! * `panel_frontier_off_by_one` — a short-circuiting panel member
 //!   records its stop frontier one item past the witness.
+//! * `orbit_mult_off_by_one` — the symmetry quotient undercounts every
+//!   nontrivial orbit by one member.
+//! * `orbit_reject_inverted` — the canonical-representative test keeps
+//!   the non-minimal orbit members and skips the minimum.
 
 use std::sync::RwLock;
 

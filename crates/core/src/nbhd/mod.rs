@@ -18,8 +18,8 @@ pub mod sources;
 use crate::decoder::{run, Decoder, Verdict};
 use crate::instance::LabeledInstance;
 use crate::verify::{
-    self, digit_key, Coverage, ItemCtx, PropertyCheck, SweepOutcome, Universe, UniverseItem,
-    VerificationReport, ViewId, ViewInterner,
+    self, digit_key, Coverage, InternerReport, ItemCtx, PropertyCheck, SweepOutcome, SymmetrySpec,
+    Universe, UniverseItem, VerificationReport, ViewId, ViewInterner,
 };
 use crate::view::{IdMode, View};
 use hiding_lcp_graph::algo::{bipartite, coloring};
@@ -147,6 +147,24 @@ impl<D: Decoder + ?Sized> PropertyCheck for NbhdSweep<'_, D> {
         // No-instance blocks are dropped before any verdict is read, so
         // the executor shouldn't maintain verdicts there at all.
         self.block_yes[block]
+    }
+
+    // Automorphisms only: permuting an anonymous labeling permutes which
+    // node holds which view but not the *set* of (view, accept) pairs the
+    // scan contributes, and yes-instance-compatibility edges are read off
+    // adjacent node pairs, which automorphisms preserve. Certificate swaps
+    // are NOT declared -- they change the views themselves, so a quotient
+    // over them would drop views from `AViews(D, n)`.
+    fn symmetry_class(&self, _alphabet: &[crate::label::Certificate]) -> Option<SymmetrySpec> {
+        (self.decoder.id_mode() == IdMode::Anonymous && self.id_mode == IdMode::Anonymous)
+            .then_some(SymmetrySpec {
+                automorphisms: true,
+                alphabet_classes: None,
+            })
+    }
+
+    fn interner_report(&self) -> Option<InternerReport> {
+        Some(self.interner.report())
     }
 
     fn inspect_with_verdicts(

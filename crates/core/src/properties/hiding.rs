@@ -157,6 +157,17 @@ impl<D: Decoder + ?Sized> PropertyCheck for HidingCheck<'_, D> {
         self.sweep.inspect_with_verdicts(item, verdicts, ctx)
     }
 
+    fn symmetry_class(
+        &self,
+        alphabet: &[crate::label::Certificate],
+    ) -> Option<crate::verify::SymmetrySpec> {
+        self.sweep.symmetry_class(alphabet)
+    }
+
+    fn interner_report(&self) -> Option<crate::verify::InternerReport> {
+        self.sweep.interner_report()
+    }
+
     fn reduce(
         &self,
         universe: &Universe,

@@ -12,8 +12,8 @@ use crate::label::{Certificate, Labeling};
 use crate::prover::{all_labelings, random_labeling};
 use crate::verify::{
     sweep, sweep_lazy, sweep_lazy_budgeted, sweep_panel_budgeted, Coverage, DynPropertyCheck,
-    ExecMode, ItemCtx, PropertyCheck, PropertyTag, SweepBudget, SweepOutcome, Universe,
-    UniverseItem, VerificationReport,
+    ExecMode, ItemCtx, PropertyCheck, PropertyTag, SweepBudget, SweepOutcome, SymmetrySpec,
+    Universe, UniverseItem, VerificationReport,
 };
 use crate::view::IdMode;
 use rand::Rng;
@@ -68,6 +68,17 @@ impl<D: Decoder + ?Sized> PropertyCheck for SoundnessCheck<'_, D> {
 
     fn short_circuits(&self, _partial: &SoundnessViolation) -> bool {
         true
+    }
+
+    // Unanimous acceptance is invariant under any port-preserving
+    // relabeling of an anonymous decoder's input (each node's view under
+    // the permuted labeling equals some node's view under the original)
+    // and under decoder-equivalent certificate swaps.
+    fn symmetry_class(&self, alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+        (self.decoder.id_mode() == IdMode::Anonymous).then(|| SymmetrySpec {
+            automorphisms: true,
+            alphabet_classes: self.decoder.label_classes(alphabet),
+        })
     }
 
     fn reduce(

@@ -12,8 +12,8 @@ use crate::language::KCol;
 use crate::prover::{all_labelings, random_labeling};
 use crate::verify::{
     sweep, sweep_lazy, sweep_lazy_budgeted, sweep_panel_budgeted, Coverage, DynPropertyCheck,
-    ExecMode, ItemCtx, PropertyCheck, PropertyTag, SweepBudget, SweepOutcome, Universe,
-    UniverseItem, VerificationReport,
+    ExecMode, ItemCtx, PropertyCheck, PropertyTag, SweepBudget, SweepOutcome, SymmetrySpec,
+    Universe, UniverseItem, VerificationReport,
 };
 use crate::view::IdMode;
 use rand::Rng;
@@ -100,6 +100,17 @@ impl<D: Decoder + ?Sized> PropertyCheck for StrongCheck<'_, D> {
 
     fn short_circuits(&self, _partial: &StrongViolation) -> bool {
         true
+    }
+
+    // A port automorphism maps the accepting set to its image, whose
+    // induced subgraph is isomorphic -- and `KCol::is_yes_graph`
+    // (k-colorability) is isomorphism-invariant; decoder-equivalent
+    // certificate swaps leave the accepting set untouched.
+    fn symmetry_class(&self, alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+        (self.decoder.id_mode() == IdMode::Anonymous).then(|| SymmetrySpec {
+            automorphisms: true,
+            alphabet_classes: self.decoder.label_classes(alphabet),
+        })
     }
 
     fn reduce(

@@ -16,9 +16,12 @@
 //!   item order — into the final verdict.
 
 use super::budget::SweepError;
+use super::interner::InternerReport;
+use super::symmetry::SymmetrySpec;
 use super::universe::{Coverage, Universe, UniverseItem};
 use super::ItemCtx;
 use crate::decoder::{Decoder, Verdict};
+use crate::label::Certificate;
 use crate::view::IdMode;
 use std::time::Duration;
 
@@ -88,6 +91,34 @@ pub trait PropertyCheck: Sync {
     /// Whether `partial` decides the sweep immediately.
     fn short_circuits(&self, _partial: &Self::Partial) -> bool {
         false
+    }
+
+    /// The symmetries this check's partials and verdict are invariant
+    /// under on an `All`-labeled block with the given certificate
+    /// alphabet. Returning `Some` opts the check into the
+    /// symmetry-quotient strategy ([`super::SweepStrategy::Quotient`],
+    /// mirroring the [`verdict_decoder`] opt-in): the executor then skips
+    /// every non-canonical orbit member and hands the representative's
+    /// orbit size to [`inspect`] via [`ItemCtx::multiplicity`], so
+    /// weighted counts stay bit-exact against the full walk.
+    ///
+    /// Contract: for every declared symmetry `g` and every item `L`, the
+    /// check must produce an equivalent partial (and identical
+    /// short-circuit decision) on `g · L` as on `L`. Checks that cannot
+    /// vouch for this return `None` (the default) and keep the full walk.
+    ///
+    /// [`verdict_decoder`]: PropertyCheck::verdict_decoder
+    /// [`inspect`]: PropertyCheck::inspect
+    fn symmetry_class(&self, _alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+        None
+    }
+
+    /// A snapshot of the check's view-interner counters, if it owns one
+    /// (e.g. the neighborhood scan). Collected by the executor after the
+    /// sweep into [`ExecEvidence::interner`] so reports can quantify
+    /// shard occupancy and lock contention.
+    fn interner_report(&self) -> Option<InternerReport> {
+        None
     }
 
     /// Folds the recorded partials (sorted by item index; truncated at the
@@ -162,6 +193,10 @@ pub struct ExecEvidence {
     pub elapsed: Duration,
     /// Worker threads used (1 = sequential).
     pub threads: usize,
+    /// The check's view-interner counters (shard occupancy, front-cache
+    /// hit rate, lock contention), when the check owns an interner (see
+    /// [`PropertyCheck::interner_report`]).
+    pub interner: Option<InternerReport>,
 }
 
 /// The result of one sweep: the property verdict plus execution evidence.

@@ -28,9 +28,12 @@
 //! the view.
 
 use super::check::{PropertyCheck, SweepOutcome};
+use super::interner::InternerReport;
+use super::symmetry::SymmetrySpec;
 use super::universe::{Universe, UniverseItem};
 use super::ItemCtx;
 use crate::decoder::{Decoder, Verdict};
+use crate::label::Certificate;
 use crate::view::IdMode;
 use std::any::Any;
 
@@ -94,6 +97,8 @@ trait ErasedCheck: Sync {
         ctx: &ItemCtx<'_>,
     ) -> Option<ErasedPartial>;
     fn short_circuits(&self, partial: &ErasedPartial) -> bool;
+    fn symmetry_class(&self, alphabet: &[Certificate]) -> Option<SymmetrySpec>;
+    fn interner_report(&self) -> Option<InternerReport>;
     fn clone_partial(&self, partial: &ErasedPartial) -> ErasedPartial;
     fn reduce(
         &self,
@@ -156,6 +161,14 @@ where
             .downcast_ref::<C::Partial>()
             .expect("panel partial belongs to this member");
         self.check.short_circuits(partial)
+    }
+
+    fn symmetry_class(&self, alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+        self.check.symmetry_class(alphabet)
+    }
+
+    fn interner_report(&self) -> Option<InternerReport> {
+        self.check.interner_report()
     }
 
     fn clone_partial(&self, partial: &ErasedPartial) -> ErasedPartial {
@@ -332,6 +345,14 @@ impl PropertyCheck for DynPropertyCheck<'_> {
 
     fn short_circuits(&self, partial: &ErasedPartial) -> bool {
         self.inner.short_circuits(partial)
+    }
+
+    fn symmetry_class(&self, alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+        self.inner.symmetry_class(alphabet)
+    }
+
+    fn interner_report(&self) -> Option<InternerReport> {
+        self.inner.interner_report()
     }
 
     fn reduce(

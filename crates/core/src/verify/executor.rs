@@ -79,6 +79,7 @@
 use super::budget::{ResumeToken, SweepBudget, SweepError};
 use super::check::{ExecEvidence, PropertyCheck, SweepOutcome, VerificationReport};
 use super::interner::digit_key;
+use super::symmetry::QuotientPlan;
 use super::universe::{Block, Coverage, LabelSource, Universe, UniverseItem};
 use crate::decoder::{Decoder, Verdict};
 use crate::instance::{Instance, LabeledInstance};
@@ -122,6 +123,14 @@ pub enum SweepStrategy {
     /// Independent div/mod index decoding with full per-item inspection —
     /// the reference oracle the parity suite compares against.
     DecodeOracle,
+    /// Delta stepping restricted to canonical orbit representatives under
+    /// the symmetries the check declares via
+    /// [`PropertyCheck::symmetry_class`]: non-canonical items are stepped
+    /// over without inspection, and each representative carries its orbit
+    /// size in [`ItemCtx::multiplicity`]. Observationally identical to
+    /// [`SweepStrategy::DeltaStepping`] (verdicts, witnesses, `checked`);
+    /// checks declaring no symmetry fall back to the full walk.
+    Quotient,
 }
 
 /// Engine tuning knobs. `Default` is the production configuration:
@@ -152,6 +161,15 @@ impl SweepOpts {
         SweepOpts {
             strategy: SweepStrategy::DecodeOracle,
             memo: false,
+        }
+    }
+
+    /// The symmetry-quotient configuration: delta stepping over canonical
+    /// orbit representatives only.
+    pub fn quotient() -> Self {
+        SweepOpts {
+            strategy: SweepStrategy::Quotient,
+            memo: true,
         }
     }
 }
@@ -231,6 +249,7 @@ pub struct ItemCtx<'a> {
     hits: &'a AtomicUsize,
     misses: &'a AtomicUsize,
     memo: bool,
+    multiplicity: u64,
 }
 
 impl<'a> ItemCtx<'a> {
@@ -242,6 +261,7 @@ impl<'a> ItemCtx<'a> {
         hits: &'a AtomicUsize,
         misses: &'a AtomicUsize,
         memo: bool,
+        multiplicity: u64,
     ) -> ItemCtx<'a> {
         ItemCtx {
             block,
@@ -249,6 +269,7 @@ impl<'a> ItemCtx<'a> {
             hits,
             misses,
             memo,
+            multiplicity,
         }
     }
 }
@@ -285,6 +306,15 @@ impl ItemCtx<'_> {
     /// "memo off" really exercises the unmemoized path.
     pub fn memo_enabled(&self) -> bool {
         self.memo
+    }
+
+    /// How many universe items this item stands for: 1 on every strategy
+    /// except [`SweepStrategy::Quotient`], where a canonical orbit
+    /// representative carries its exact orbit size. Counting checks
+    /// multiply per-item tallies by this to stay bit-exact against the
+    /// full walk.
+    pub fn multiplicity(&self) -> u64 {
+        self.multiplicity
     }
 
     /// The cached skeleton identity of node `v` under `(radius,
@@ -505,11 +535,15 @@ fn run_resumable<C: PropertyCheck>(
     let memo_misses = AtomicUsize::new(0);
     let driver =
         decoder.map(|d| DeltaDriver::build(d, universe, &cache, |b| check.uses_verdicts(b)));
+    let quotient = (opts.strategy == SweepStrategy::Quotient)
+        .then(|| QuotientPlan::build(universe, |alphabet| check.symmetry_class(alphabet)))
+        .flatten();
     let engine = Engine {
         check,
         universe,
         cache: &cache,
         driver,
+        quotient,
         hits: &hits,
         misses: &misses,
         memo_hits: &memo_hits,
@@ -595,6 +629,7 @@ fn run_resumable<C: PropertyCheck>(
                 memo_misses: memo_misses.load(Ordering::Relaxed),
                 elapsed: start.elapsed(),
                 threads,
+                interner: check.interner_report(),
             },
         },
         resume,
@@ -684,6 +719,7 @@ pub fn sweep_lazy_budgeted<C: PropertyCheck>(
             hits: &hits,
             misses: &misses,
             memo: true,
+            multiplicity: 1,
         };
         match catch_unwind(AssertUnwindSafe(|| check.inspect(&item, &ctx))) {
             Ok(Some(partial)) => {
@@ -761,6 +797,7 @@ pub fn sweep_lazy_labeled<C: PropertyCheck>(
             hits: &hits,
             misses: &misses,
             memo: true,
+            multiplicity: 1,
         };
         match catch_unwind(AssertUnwindSafe(|| check.inspect(&item, &ctx))) {
             Ok(Some(partial)) => {
@@ -828,6 +865,7 @@ fn finish_lazy<C: PropertyCheck>(
             memo_misses: 0,
             elapsed: start.elapsed(),
             threads: 1,
+            interner: check.interner_report(),
         },
     }
 }
@@ -862,6 +900,7 @@ struct Engine<'e, C: PropertyCheck> {
     universe: &'e Universe,
     cache: &'e SkeletonCache,
     driver: Option<DeltaDriver<'e>>,
+    quotient: Option<QuotientPlan>,
     hits: &'e AtomicUsize,
     misses: &'e AtomicUsize,
     memo_hits: &'e AtomicUsize,
@@ -1173,6 +1212,18 @@ impl<C: PropertyCheck> Engine<'_, C> {
         }
         let (block, offset) = self.universe.locate(i);
         let stepped = state.walker.advance_to(self.universe, block, offset);
+        let mut multiplicity = 1u64;
+        if let Some(plan) = &self.quotient {
+            // Quotient strategy: only canonical orbit representatives are
+            // inspected. A skipped item still cost one odometer step, so
+            // the walker stays consistent and `checked` keeps counting
+            // every index; the verdict scratch goes stale, which the next
+            // representative repairs with a full recompute.
+            match plan.classify(block, &state.walker.digits) {
+                Some(m) => multiplicity = m,
+                None => return Ok(None),
+            }
+        }
         let instance = self.universe.blocks()[block].instance();
         let ctx = ItemCtx {
             block,
@@ -1180,6 +1231,7 @@ impl<C: PropertyCheck> Engine<'_, C> {
             hits: self.hits,
             misses: self.misses,
             memo: self.memo_on,
+            multiplicity,
         };
         let use_verdicts = self
             .driver
@@ -1230,6 +1282,7 @@ impl<C: PropertyCheck> Engine<'_, C> {
                 hits: self.hits,
                 misses: self.misses,
                 memo: self.memo_on,
+                multiplicity: 1,
             };
             self.check.inspect(&buf.as_item(), &ctx)
         }))

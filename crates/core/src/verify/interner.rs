@@ -23,7 +23,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, TryLockError};
 
 /// Interned view identifier. Opaque; dense from 0 per interner.
 pub type ViewId = u32;
@@ -64,7 +64,38 @@ pub fn digit_key(class: ViewId, order: &[usize], digits: &[usize]) -> Option<u12
     Some(key)
 }
 
-const SHARDS: usize = 16;
+/// Shard count for a fresh interner: scaled with the machine's available
+/// parallelism (each worker thread should rarely collide on a shard lock)
+/// rather than a compile-time constant, with a floor for key dispersion
+/// and a ceiling to bound the occupancy snapshot.
+fn default_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| (p.get() * 4).next_power_of_two())
+        .unwrap_or(16)
+        .clamp(8, 128)
+}
+
+/// Counters and occupancy of one [`ViewInterner`], snapshot by
+/// [`ViewInterner::report`] into sweep evidence — the data answering
+/// "are shard locks the parallel bottleneck?".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternerReport {
+    /// Distinct views interned.
+    pub distinct_views: usize,
+    /// Front-cache (digit-key) probes that resolved an id directly.
+    pub front_hits: usize,
+    /// Probes that had to stamp and full-hash a view.
+    pub front_misses: usize,
+    /// Number of shards (chosen from `available_parallelism`).
+    pub shards: usize,
+    /// Entries per shard of the canonical `View → id` map.
+    pub view_occupancy: Vec<usize>,
+    /// Entries per shard of the digit-key shortcut map.
+    pub key_occupancy: Vec<usize>,
+    /// Lock acquisitions that found a shard lock already held (a failed
+    /// `try_lock` before the blocking wait).
+    pub contention: usize,
+}
 
 /// A concurrent hash-consing table from [`View`] to dense [`ViewId`],
 /// with an integer-keyed front cache for digit-packed identities.
@@ -83,6 +114,8 @@ pub struct ViewInterner {
     table: Mutex<Vec<View>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    /// Shard-lock acquisitions that had to wait (see [`InternerReport`]).
+    contention: AtomicUsize,
 }
 
 impl Default for ViewInterner {
@@ -92,37 +125,47 @@ impl Default for ViewInterner {
 }
 
 impl ViewInterner {
-    /// An empty interner.
+    /// An empty interner, sharded for this machine's parallelism.
     pub fn new() -> Self {
+        let shards = default_shards();
         ViewInterner {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            keyed: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            keyed: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
             table: Mutex::new(Vec::new()),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            contention: AtomicUsize::new(0),
+        }
+    }
+
+    /// Locks a shard, counting the acquisition as contended when another
+    /// thread currently holds it.
+    fn lock_counted<'m, T>(&self, mutex: &'m Mutex<T>) -> MutexGuard<'m, T> {
+        match mutex.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                mutex.lock().expect("interner lock")
+            }
+            Err(TryLockError::Poisoned(_)) => panic!("interner lock poisoned"),
         }
     }
 
     fn view_shard(&self, view: &View) -> &Mutex<HashMap<View, ViewId>> {
         let mut h = DefaultHasher::new();
         view.hash(&mut h);
-        &self.shards[(h.finish() as usize) % SHARDS]
+        &self.shards[(h.finish() as usize) % self.shards.len()]
     }
 
     fn key_shard(&self, key: u128) -> &Mutex<HashMap<u128, ViewId>> {
-        &self.keyed[((key ^ (key >> 67)) as usize) % SHARDS]
+        &self.keyed[((key ^ (key >> 67)) as usize) % self.keyed.len()]
     }
 
     /// Looks up a digit key in the front cache. Counts a hit on success;
     /// the corresponding miss is counted by the [`ViewInterner::intern`]
     /// the caller performs instead.
     pub fn lookup_key(&self, key: u128) -> Option<ViewId> {
-        let id = self
-            .key_shard(key)
-            .lock()
-            .expect("interner lock")
-            .get(&key)
-            .copied();
+        let id = self.lock_counted(self.key_shard(key)).get(&key).copied();
         if id.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -134,7 +177,7 @@ impl ViewInterner {
     pub fn intern(&self, view: View) -> ViewId {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let shard = self.view_shard(&view);
-        let mut map = shard.lock().expect("interner lock");
+        let mut map = self.lock_counted(shard);
         #[cfg(conformance_mutants)]
         let probe_existing = !crate::mutants::active("interner_always_fresh");
         #[cfg(not(conformance_mutants))]
@@ -155,10 +198,7 @@ impl ViewInterner {
     /// Interns a stamped view and records `key` as a shortcut to its id.
     pub fn intern_keyed(&self, key: u128, view: View) -> ViewId {
         let id = self.intern(view);
-        self.key_shard(key)
-            .lock()
-            .expect("interner lock")
-            .insert(key, id);
+        self.lock_counted(self.key_shard(key)).insert(key, id);
         id
     }
 
@@ -183,6 +223,29 @@ impl ViewInterner {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Snapshots counters and per-shard occupancy (locks each shard
+    /// briefly; meant for after-sweep reporting, not the hot path).
+    pub fn report(&self) -> InternerReport {
+        let (front_hits, front_misses) = self.stats();
+        InternerReport {
+            distinct_views: self.len(),
+            front_hits,
+            front_misses,
+            shards: self.shards.len(),
+            view_occupancy: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("interner lock").len())
+                .collect(),
+            key_occupancy: self
+                .keyed
+                .iter()
+                .map(|s| s.lock().expect("interner lock").len())
+                .collect(),
+            contention: self.contention.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -257,5 +320,26 @@ mod tests {
     fn interner_is_send_sync() {
         fn assert_sync<T: Send + Sync>() {}
         assert_sync::<ViewInterner>();
+    }
+
+    #[test]
+    fn report_snapshots_occupancy_and_counters() {
+        let interner = ViewInterner::new();
+        let views = some_views();
+        for v in &views {
+            interner.intern(v.clone());
+        }
+        let report = interner.report();
+        assert_eq!(report.distinct_views, interner.len());
+        assert_eq!(report.shards, report.view_occupancy.len());
+        assert_eq!(report.shards, report.key_occupancy.len());
+        assert_eq!(
+            report.view_occupancy.iter().sum::<usize>(),
+            interner.len(),
+            "every distinct view lives in exactly one shard"
+        );
+        assert_eq!(report.front_misses, views.len());
+        assert_eq!(report.front_hits, 0);
+        assert_eq!(report.contention, 0, "single-threaded use never blocks");
     }
 }

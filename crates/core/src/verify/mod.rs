@@ -52,6 +52,7 @@ mod executor;
 pub mod interner;
 mod panel;
 pub mod plan;
+mod symmetry;
 pub mod universe;
 
 pub use budget::{MemberFrontier, PanelResumeToken, ResumeToken, SweepBudget, SweepError};
@@ -62,7 +63,7 @@ pub use executor::{
     sweep_lazy, sweep_lazy_budgeted, sweep_lazy_labeled, sweep_with, sweep_with_opts,
     BudgetedSweep, ExecMode, ItemCtx, SweepOpts, SweepStrategy, PARALLEL_THRESHOLD,
 };
-pub use interner::{digit_key, ViewId, ViewInterner};
+pub use interner::{digit_key, InternerReport, ViewId, ViewInterner};
 pub use panel::{
     resume_panel, resume_panel_with_opts, sweep_panel, sweep_panel_budgeted,
     sweep_panel_budgeted_with_opts, sweep_panel_with, sweep_panel_with_opts, BudgetedPanel,
@@ -72,6 +73,7 @@ pub use plan::{
     AuditMemberReport, AuditPanelReport, AuditPlan, AuditReport, BlockGated, FaultSpec,
     InstanceSet, ALL_PROPERTIES,
 };
+pub use symmetry::SymmetrySpec;
 pub use universe::{
     Block, Coverage, LabelSource, OwnedItem, Universe, UniverseItem, UniverseOverflow,
 };

@@ -58,6 +58,7 @@ use super::executor::{
     refresh_verdicts, resolve_threads, DeltaDriver, ExecMode, ItemCtx, SkeletonCache, SweepOpts,
     SweepStrategy, VerdictMemo, VerdictScratch, Walker,
 };
+use super::symmetry::QuotientPlan;
 use super::universe::{Coverage, Universe, UniverseItem};
 use crate::decoder::Decoder;
 use crate::view::IdMode;
@@ -127,6 +128,7 @@ impl PanelReport {
                 memo_misses: self.evidence.memo_misses,
                 elapsed: self.evidence.elapsed,
                 threads: self.evidence.threads,
+                interner: self.evidence.interner,
             },
         }
     }
@@ -253,6 +255,9 @@ struct PanelEngine<'e> {
     memo_misses: &'e AtomicUsize,
     memo_on: bool,
     oracle: bool,
+    /// Member index -> its symmetry-quotient plan, when the panel runs
+    /// under [`SweepStrategy::Quotient`] and the member opted in.
+    quotients: Vec<Option<QuotientPlan>>,
 }
 
 /// A worker thread's mutable state: one odometer walker feeding one
@@ -294,7 +299,14 @@ impl PanelEngine<'_> {
     ) {
         if self.oracle {
             let buf = self.universe.item(i);
-            let ctx = ItemCtx::new(buf.block, self.cache, self.hits, self.misses, self.memo_on);
+            let ctx = ItemCtx::new(
+                buf.block,
+                self.cache,
+                self.hits,
+                self.misses,
+                self.memo_on,
+                1,
+            );
             for m in 0..self.checks.len() {
                 if !active(m) {
                     continue;
@@ -311,11 +323,28 @@ impl PanelEngine<'_> {
         let PanelWorker { walker, channels } = worker;
         let stepped = walker.advance_to(self.universe, block, offset);
         let instance = self.universe.blocks()[block].instance();
-        let ctx = ItemCtx::new(block, self.cache, self.hits, self.misses, self.memo_on);
         for m in 0..self.checks.len() {
             if !active(m) {
                 continue;
             }
+            // Quotient strategy: a member whose plan rejects this item as a
+            // non-canonical orbit member skips it entirely -- its verdict
+            // channel refreshes lazily at its next canonical item.
+            let mut multiplicity = 1u64;
+            if let Some(plan) = &self.quotients[m] {
+                match plan.classify(block, &walker.digits) {
+                    Some(mult) => multiplicity = mult,
+                    None => continue,
+                }
+            }
+            let ctx = ItemCtx::new(
+                block,
+                self.cache,
+                self.hits,
+                self.misses,
+                self.memo_on,
+                multiplicity,
+            );
             let check = &self.checks[m];
             let channel = self.member_channel[m];
             #[cfg(conformance_mutants)]
@@ -411,6 +440,7 @@ fn run_panel(
                     memo_misses: 0,
                     elapsed: start.elapsed(),
                     threads: 1,
+                    interner: None,
                 },
             },
             resume: None,
@@ -476,6 +506,14 @@ fn run_panel(
     let misses = AtomicUsize::new(cache.populated);
     let memo_hits = AtomicUsize::new(0);
     let memo_misses = AtomicUsize::new(0);
+    let quotients: Vec<Option<QuotientPlan>> = if opts.strategy == SweepStrategy::Quotient {
+        checks
+            .iter()
+            .map(|check| QuotientPlan::build(universe, |alphabet| check.symmetry_class(alphabet)))
+            .collect()
+    } else {
+        (0..nmem).map(|_| None).collect()
+    };
     let engine = PanelEngine {
         checks,
         universe,
@@ -488,6 +526,7 @@ fn run_panel(
         memo_misses: &memo_misses,
         memo_on: opts.memo,
         oracle,
+        quotients,
     };
 
     let begin = token.next_index.min(n);
@@ -620,6 +659,7 @@ fn run_panel(
                 memo_misses: memo_misses.load(Ordering::Relaxed),
                 elapsed: start.elapsed(),
                 threads,
+                interner: checks.iter().find_map(|check| check.interner_report()),
             },
         },
         resume,

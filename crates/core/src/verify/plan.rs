@@ -40,9 +40,9 @@ use crate::properties::soundness::{SoundnessCheck, SoundnessViolation};
 use crate::properties::strong::strong_member;
 use crate::prover::Prover;
 use crate::verify::{
-    sweep_panel_budgeted_with_opts, sweep_panel_with, Block, Coverage, DynPropertyCheck, ExecMode,
-    ItemCtx, LabelSource, PanelReport, PropertyCheck, PropertyTag, SweepBudget, SweepOpts,
-    SweepOutcome, Universe, UniverseItem,
+    sweep_panel_budgeted_with_opts, sweep_panel_with_opts, Block, Coverage, DynPropertyCheck,
+    ExecMode, InternerReport, ItemCtx, LabelSource, PanelReport, PropertyCheck, PropertyTag,
+    SweepBudget, SweepOpts, SweepOutcome, SymmetrySpec, Universe, UniverseItem,
 };
 use crate::view::IdMode;
 use hiding_lcp_graph::Graph;
@@ -97,6 +97,17 @@ impl<C: PropertyCheck> PropertyCheck for BlockGated<C> {
         self.check.short_circuits(partial)
     }
 
+    // Gating is symmetry-neutral: inactive blocks inspect to `None` for
+    // every orbit member alike, active blocks inherit the inner check's
+    // invariance.
+    fn symmetry_class(&self, alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+        self.check.symmetry_class(alphabet)
+    }
+
+    fn interner_report(&self) -> Option<InternerReport> {
+        self.check.interner_report()
+    }
+
     fn reduce(
         &self,
         universe: &Universe,
@@ -146,6 +157,14 @@ impl PropertyCheck for NbhdAnalyses<'_> {
         ctx: &ItemCtx<'_>,
     ) -> Option<NbhdScan> {
         self.sweep.inspect_with_verdicts(item, verdicts, ctx)
+    }
+
+    fn symmetry_class(&self, alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+        self.sweep.symmetry_class(alphabet)
+    }
+
+    fn interner_report(&self) -> Option<InternerReport> {
+        self.sweep.interner_report()
     }
 
     fn reduce(
@@ -498,7 +517,7 @@ impl<'a> AuditPlan<'a> {
                 }
                 run.report
             }
-            None => sweep_panel_with(&members, universe, self.mode),
+            None => sweep_panel_with_opts(&members, universe, self.mode, self.opts),
         };
         let mut summary = summarize_panel("labelings", &panel);
         if let Some(index) = shared_nbhd {
@@ -555,7 +574,12 @@ impl<'a> AuditPlan<'a> {
         let universe = Universe::instances_only(yes_instances, Coverage::Sampled)
             .expect("one item per instance fits");
         let member = completeness_member(self.decoder, prover);
-        let panel = sweep_panel_with(std::slice::from_ref(&member), &universe, self.mode);
+        let panel = sweep_panel_with_opts(
+            std::slice::from_ref(&member),
+            &universe,
+            self.mode,
+            self.opts,
+        );
         report.panels.push(summarize_panel("instances", &panel));
     }
 
@@ -620,7 +644,12 @@ impl<'a> AuditPlan<'a> {
             Universe::labelings_of(honest.instance().clone(), labelings, Coverage::Sampled)
                 .expect("materialized labelings fit");
         let member = erasure_member(self.decoder, erased_counts);
-        let panel = sweep_panel_with(std::slice::from_ref(&member), &universe, self.mode);
+        let panel = sweep_panel_with_opts(
+            std::slice::from_ref(&member),
+            &universe,
+            self.mode,
+            self.opts,
+        );
         report.panels.push(summarize_panel("erasure", &panel));
     }
 
@@ -636,7 +665,12 @@ impl<'a> AuditPlan<'a> {
             &mut rng,
         );
         let member = invariance_member(self.decoder, honest.instance(), honest.labeling());
-        let panel = sweep_panel_with(std::slice::from_ref(&member), &universe, self.mode);
+        let panel = sweep_panel_with_opts(
+            std::slice::from_ref(&member),
+            &universe,
+            self.mode,
+            self.opts,
+        );
         report.panels.push(summarize_panel("invariance", &panel));
     }
 }

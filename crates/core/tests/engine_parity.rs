@@ -515,3 +515,253 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Symmetry-quotient strategy: orbit enumeration with multiplicity-weighted
+// verdicts must be observationally identical to the full walk.
+// ---------------------------------------------------------------------------
+
+use hiding_lcp_core::verify::{sweep_panel_with_opts, SymmetrySpec};
+
+/// A cycle instance under the rotation-symmetric port assignment, where
+/// the quotient actually bites (canonical ports leave only the identity).
+fn symmetric_cycle(n: usize) -> Instance {
+    let g = hiding_lcp_graph::generators::cycle(n);
+    let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+    Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(n))
+        .expect("symmetric cycle ports are valid")
+}
+
+/// Records every inspected item's orbit multiplicity. Declares port
+/// automorphisms plus (optionally) a full-alphabet certificate class, so a
+/// quotient sweep visits exactly one representative per orbit.
+struct MultiplicityRecorder {
+    classes: Option<Vec<usize>>,
+}
+
+impl PropertyCheck for MultiplicityRecorder {
+    type Partial = u64;
+    type Verdict = Vec<(usize, u64)>;
+
+    fn inspect(&self, _item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<u64> {
+        Some(ctx.multiplicity())
+    }
+
+    fn symmetry_class(&self, _alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+        Some(SymmetrySpec {
+            automorphisms: true,
+            alphabet_classes: self.classes.clone(),
+        })
+    }
+
+    fn reduce(
+        &self,
+        _universe: &Universe,
+        partials: Vec<(usize, u64)>,
+        _outcome: &SweepOutcome,
+    ) -> Self::Verdict {
+        partials
+    }
+}
+
+/// All permutations of `0..k`.
+fn perms(k: usize) -> Vec<Vec<usize>> {
+    fn rec(pool: Vec<usize>) -> Vec<Vec<usize>> {
+        if pool.is_empty() {
+            return vec![Vec::new()];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in pool.iter().enumerate() {
+            let mut rest = pool.clone();
+            rest.remove(i);
+            for mut tail in rec(rest) {
+                tail.insert(0, x);
+                out.push(tail);
+            }
+        }
+        out
+    }
+    rec((0..k).collect())
+}
+
+/// A mixed-source universe whose `All` block carries symmetric ports, so
+/// the quotient engages on exactly one of the three blocks.
+fn mixed_symmetric_universe(n: usize) -> Universe {
+    let path = Instance::canonical(hiding_lcp_graph::generators::path(n));
+    let fixed = vec![
+        Labeling::uniform(n, Certificate::from_byte(1)),
+        Labeling::uniform(n, Certificate::from_byte(0)),
+    ];
+    let blocks = vec![
+        Block::new(symmetric_cycle(n), LabelSource::All { alphabet: bits() }),
+        Block::new(path.clone(), LabelSource::Fixed(fixed)),
+        Block::new(path, LabelSource::Unlabeled),
+    ];
+    Universe::new(blocks, Coverage::Sampled).expect("small universe fits")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quotient_orbits_partition_the_universe(n in 3usize..7, k in 2usize..4) {
+        // The representatives a quotient sweep visits must partition the
+        // full labeling space: orbit multiplicities sum to |Sigma|^n, every
+        // representative is its orbit's flat-index minimum, and no two
+        // representatives share an orbit. The group is recomputed here from
+        // first principles (port automorphisms x alphabet permutations).
+        let g = hiding_lcp_graph::generators::cycle(n);
+        let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+        let auts = hiding_lcp_graph::algo::automorphism::port_automorphisms(&g, &ports, 1 << 12)
+            .expect("cycle group is tiny");
+        let instance = Instance::new(g, ports, hiding_lcp_graph::IdAssignment::canonical(n))
+            .expect("symmetric cycle ports are valid");
+        let alphabet: Vec<Certificate> = (0..k as u8).map(Certificate::from_byte).collect();
+        let universe = Universe::all_labelings_of(instance, alphabet, Coverage::Exhaustive)
+            .expect("small universe fits");
+        let check = MultiplicityRecorder { classes: Some(vec![0; k]) };
+        let report = sweep_with_opts(&check, &universe, ExecMode::Sequential, SweepOpts::quotient());
+        prop_assert_eq!(report.checked, universe.len());
+        let reps = report.verdict;
+
+        let total: u64 = reps.iter().map(|&(_, m)| m).sum();
+        prop_assert_eq!(total, (k as u64).pow(n as u32), "multiplicities sum to |Sigma|^n");
+        prop_assert!(reps.len() < universe.len(), "quotient visits strictly fewer items");
+
+        let sigmas = perms(k);
+        let digits_of = |mut idx: usize| -> Vec<usize> {
+            (0..n).map(|_| { let d = idx % k; idx /= k; d }).collect()
+        };
+        let index_of = |digits: &[usize]| -> usize {
+            digits.iter().rev().fold(0usize, |acc, &d| acc * k + d)
+        };
+        let mut covered = vec![false; universe.len()];
+        for &(rep, mult) in &reps {
+            let d = digits_of(rep);
+            let mut orbit = std::collections::BTreeSet::new();
+            for pi in &auts {
+                let mut pinv = vec![0usize; n];
+                for (v, &img) in pi.iter().enumerate() {
+                    pinv[img] = v;
+                }
+                for sigma in &sigmas {
+                    let image: Vec<usize> = (0..n).map(|v| sigma[d[pinv[v]]]).collect();
+                    orbit.insert(index_of(&image));
+                }
+            }
+            prop_assert_eq!(*orbit.iter().next().expect("orbit nonempty"), rep,
+                "representative is the orbit minimum");
+            prop_assert_eq!(orbit.len() as u64, mult, "multiplicity equals the orbit size");
+            for &member in &orbit {
+                prop_assert!(!covered[member], "two representatives share an orbit");
+                covered[member] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "orbits cover the universe");
+    }
+
+    #[test]
+    fn quotient_delta_and_oracle_strategies_agree(code in 0u8..64, n in 3usize..7) {
+        // Quotient vs delta-stepping vs decode oracle, sequential and
+        // parallel: same verdict, same witness, same checked count — for a
+        // short-circuiting check (soundness) and a full-scan one (strong).
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let universe = Universe::all_labelings_of(symmetric_cycle(n), bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let check = SoundnessCheck { decoder: &decoder };
+        assert_opts_parity(&check, &universe, SweepOpts::default(), SweepOpts::quotient())?;
+        assert_opts_parity(&check, &universe, SweepOpts::oracle(), SweepOpts::quotient())?;
+        let two_col = KCol::new(2);
+        let strong = StrongCheck { decoder: &decoder, language: &two_col };
+        assert_opts_parity(&strong, &universe, SweepOpts::default(), SweepOpts::quotient())?;
+        assert_opts_parity(&strong, &universe, SweepOpts::oracle(), SweepOpts::quotient())?;
+    }
+
+    #[test]
+    fn quotient_on_mixed_label_sources_agrees(code in 0u8..64, n in 3usize..7) {
+        // All/Fixed/Unlabeled blocks in one universe: the quotient engages
+        // on the All block only; Fixed and Unlabeled items pass through
+        // with multiplicity one.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let universe = mixed_symmetric_universe(n);
+        let check = SoundnessCheck { decoder: &decoder };
+        assert_opts_parity(&check, &universe, SweepOpts::default(), SweepOpts::quotient())?;
+    }
+
+    #[test]
+    fn quotient_nbhd_graph_preserves_views_edges_and_loops(code in 0u8..64, n in 4usize..7) {
+        // The neighborhood scan declares automorphism symmetry only (no
+        // alphabet classes); a quotient sweep must reproduce the exact view
+        // list (insertion order included), adjacency and self-loops. Only
+        // the retained-instance list may shrink — witnesses are therefore
+        // not compared.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let blocks = (3..=n)
+            .map(|m| Block::new(symmetric_cycle(m), LabelSource::All { alphabet: bits() }))
+            .collect();
+        let universe = Universe::new(blocks, Coverage::Sampled).expect("small universe fits");
+        let run = |opts: SweepOpts| {
+            let check = HidingCheck::new(&decoder, &universe, 2, bipartite::is_bipartite);
+            sweep_with_opts(&check, &universe, ExecMode::Sequential, opts)
+        };
+        let full = run(SweepOpts::default());
+        let quot = run(SweepOpts::quotient());
+        let (full_nbhd, full_verdict) = &full.verdict;
+        let (quot_nbhd, quot_verdict) = &quot.verdict;
+        prop_assert_eq!(full_verdict, quot_verdict);
+        prop_assert_eq!(full_nbhd.view_count(), quot_nbhd.view_count());
+        prop_assert_eq!(full_nbhd.views(), quot_nbhd.views());
+        prop_assert_eq!(full_nbhd.edge_count(), quot_nbhd.edge_count());
+        prop_assert_eq!(full_nbhd.self_loop_views(), quot_nbhd.self_loop_views());
+        for i in 0..full_nbhd.view_count() {
+            let a: Vec<usize> = full_nbhd.neighbors(i).collect();
+            let b: Vec<usize> = quot_nbhd.neighbors(i).collect();
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(full.checked, quot.checked);
+    }
+
+    #[test]
+    fn quotient_panel_matches_delta_panel(code in 0u8..64, n in 3usize..7) {
+        // A fused panel under the quotient strategy filters canonicity per
+        // member; every member must report exactly what it reports under
+        // the full walk, in both execution modes.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let two_col = KCol::new(2);
+        let universe = Universe::all_labelings_of(symmetric_cycle(n), bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let members = [
+            DynPropertyCheck::new(PropertyTag::Soundness, "soundness", SoundnessCheck {
+                decoder: &decoder,
+            })
+            .with_channel(&decoder),
+            DynPropertyCheck::new(PropertyTag::Strong, "strong", StrongCheck {
+                decoder: &decoder,
+                language: &two_col,
+            })
+            .with_channel(&decoder),
+        ];
+        let reference =
+            sweep_panel_with_opts(&members, &universe, ExecMode::Sequential, SweepOpts::default());
+        for mode in [ExecMode::Sequential, ExecMode::Parallel(parity_threads())] {
+            let quotient = sweep_panel_with_opts(&members, &universe, mode, SweepOpts::quotient());
+            prop_assert_eq!(reference.evidence.checked, quotient.evidence.checked);
+            prop_assert_eq!(
+                reference.evidence.short_circuited,
+                quotient.evidence.short_circuited
+            );
+            for (a, b) in reference.members.iter().zip(&quotient.members) {
+                prop_assert_eq!(a.checked, b.checked);
+                prop_assert_eq!(a.short_circuited, b.short_circuited);
+                prop_assert_eq!(
+                    a.verdict.get::<Result<usize, SoundnessViolation>>(),
+                    b.verdict.get::<Result<usize, SoundnessViolation>>()
+                );
+                prop_assert_eq!(
+                    a.verdict.get::<Result<usize, StrongViolation>>(),
+                    b.verdict.get::<Result<usize, StrongViolation>>()
+                );
+            }
+        }
+    }
+}

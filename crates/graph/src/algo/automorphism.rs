@@ -1,0 +1,336 @@
+//! Port-preserving automorphism enumeration.
+//!
+//! The symmetry-quotient sweep (core crate, `verify::symmetry`) needs the
+//! group of *port-preserving* automorphisms of an instance: bijections
+//! `π : V → V` with
+//!
+//! ```text
+//! nbr(π(v), p) = π(nbr(v, p))        for every v and every port p,
+//! ```
+//!
+//! where `nbr(v, p)` is the neighbor reached from `v` through port `p`.
+//! Under such a π, node `v`'s anonymous radius-r view of a labeling
+//! `L ∘ π⁻¹` is *literally equal* (ports and all) to node `π⁻¹(v)`'s view
+//! of `L` — which is exactly the invariance the quotient exploits.
+//!
+//! Port preservation makes the search nearly free: once `π(v)` is fixed
+//! for one node of a connected component, every other image in the
+//! component is forced by following ports (`π(nbr(v, p)) = nbr(π(v), p)`).
+//! Branching therefore only happens once per component, over candidate
+//! anchor images pre-filtered by partition refinement (degree classes
+//! refined by neighbor-class multisets, the same invariant family the
+//! DSATUR machinery orders by). A final adjacency check over packed bitset
+//! rows guards the propagation.
+
+use crate::graph::Graph;
+use crate::ports::PortAssignment;
+
+/// Enumerates all port-preserving automorphisms of `(g, ports)` as
+/// permutation vectors (`perm[v]` is the image of `v`). The identity is
+/// always included, so the result is the full group, not a generator set.
+///
+/// Returns `None` when the group has more than `cap` elements — callers
+/// treat that as "too symmetric to quotient cheaply" and fall back to the
+/// full walk.
+pub fn port_automorphisms(
+    g: &Graph,
+    ports: &PortAssignment,
+    cap: usize,
+) -> Option<Vec<Vec<usize>>> {
+    let n = g.node_count();
+    if n == 0 {
+        return Some(vec![Vec::new()]);
+    }
+    let classes = refinement_classes(g);
+    // Packed adjacency rows: node v owns words [v*words, (v+1)*words).
+    let words = n.div_ceil(64);
+    let mut rows = vec![0u64; n * words];
+    for (u, v) in g.edges() {
+        rows[u * words + v / 64] |= 1 << (v % 64);
+        rows[v * words + u / 64] |= 1 << (u % 64);
+    }
+    let mut search = Search {
+        g,
+        ports,
+        classes: &classes,
+        rows: &rows,
+        words,
+        perm: vec![usize::MAX; n],
+        used: vec![false; n],
+        found: Vec::new(),
+        cap,
+    };
+    if !search.run(0) {
+        return None;
+    }
+    #[cfg_attr(not(conformance_mutants), allow(unused_mut))]
+    let mut found = search.found;
+    #[cfg(conformance_mutants)]
+    if crate::mutants::active("orbit_drop_generator") {
+        // Silently lose one non-identity element: the result is no longer
+        // a group, so orbit multiplicities stop summing to |Σ|^n.
+        if let Some(pos) = found
+            .iter()
+            .rposition(|p| p.iter().enumerate().any(|(v, &w)| v != w))
+        {
+            found.remove(pos);
+        }
+    }
+    Some(found)
+}
+
+/// The *number* of port-preserving automorphisms, or `None` above `cap`.
+pub fn port_automorphism_count(g: &Graph, ports: &PortAssignment, cap: usize) -> Option<usize> {
+    port_automorphisms(g, ports, cap).map(|group| group.len())
+}
+
+/// Partition refinement: start from degree classes and refine each class
+/// by the multiset of neighbor classes until a fixpoint. Nodes in
+/// different classes cannot be exchanged by any automorphism, so anchor
+/// candidates are drawn from the anchor's class only.
+fn refinement_classes(g: &Graph) -> Vec<usize> {
+    let mut class: Vec<usize> = densify(&g.nodes().map(|v| g.degree(v)).collect::<Vec<_>>());
+    loop {
+        let sigs: Vec<(usize, Vec<usize>)> = g
+            .nodes()
+            .map(|v| {
+                let mut nbr: Vec<usize> = g.neighbors(v).iter().map(|&u| class[u]).collect();
+                nbr.sort_unstable();
+                (class[v], nbr)
+            })
+            .collect();
+        let next = densify(&sigs);
+        if next == class {
+            return class;
+        }
+        class = next;
+    }
+}
+
+/// Maps arbitrary per-node signatures to dense class ids, ordered by
+/// first occurrence (stable across iterations, which is what the fixpoint
+/// test above relies on).
+fn densify<T: Clone + Ord>(sig: &[T]) -> Vec<usize> {
+    let mut sorted: Vec<T> = sig.to_vec();
+    sorted.sort();
+    sorted.dedup();
+    sig.iter()
+        .map(|s| sorted.binary_search(s).expect("own signature"))
+        .collect()
+}
+
+struct Search<'a> {
+    g: &'a Graph,
+    ports: &'a PortAssignment,
+    classes: &'a [usize],
+    rows: &'a [u64],
+    words: usize,
+    perm: Vec<usize>,
+    used: Vec<bool>,
+    found: Vec<Vec<usize>>,
+    cap: usize,
+}
+
+impl Search<'_> {
+    /// Backtracking over component anchors; returns `false` iff the cap
+    /// was exceeded (aborts the whole enumeration).
+    fn run(&mut self, from: usize) -> bool {
+        let Some(v) = (from..self.perm.len()).find(|&v| self.perm[v] == usize::MAX) else {
+            return self.record();
+        };
+        for w in self.g.nodes() {
+            if self.used[w] || self.classes[w] != self.classes[v] {
+                continue;
+            }
+            let mut trail = Vec::new();
+            if self.propagate(v, w, &mut trail) && !self.run(v + 1) {
+                return false;
+            }
+            for x in trail {
+                self.used[self.perm[x]] = false;
+                self.perm[x] = usize::MAX;
+            }
+        }
+        true
+    }
+
+    /// Forces `π(v) = w` and follows ports through `v`'s component,
+    /// logging every assignment into `trail`. Returns `false` on a
+    /// conflict (the caller unwinds the trail either way).
+    fn propagate(&mut self, v: usize, w: usize, trail: &mut Vec<usize>) -> bool {
+        let mut queue = vec![(v, w)];
+        if !self.assign(v, w, trail) {
+            return false;
+        }
+        while let Some((a, b)) = queue.pop() {
+            for p in 1..=self.ports.degree(a) as u16 {
+                let x = self.ports.neighbor_at(a, p);
+                let y = self.ports.neighbor_at(b, p);
+                match self.perm[x] {
+                    usize::MAX => {
+                        if !self.assign(x, y, trail) {
+                            return false;
+                        }
+                        queue.push((x, y));
+                    }
+                    img if img != y => return false,
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+
+    fn assign(&mut self, x: usize, y: usize, trail: &mut Vec<usize>) -> bool {
+        if self.used[y] || self.ports.degree(x) != self.ports.degree(y) {
+            return false;
+        }
+        self.perm[x] = y;
+        self.used[y] = true;
+        trail.push(x);
+        true
+    }
+
+    /// Verifies the completed map against the packed adjacency rows and
+    /// stores it. Port propagation already guarantees adjacency within
+    /// components, so this is a cheap independent guard, word-for-word:
+    /// π applied to row `v` must reproduce row `π(v)`.
+    fn record(&mut self) -> bool {
+        let n = self.perm.len();
+        for v in 0..n {
+            let mut image = vec![0u64; self.words];
+            for u in self.g.neighbors(v) {
+                let pu = self.perm[*u];
+                image[pu / 64] |= 1 << (pu % 64);
+            }
+            let pv = self.perm[v];
+            if image != self.rows[pv * self.words..(pv + 1) * self.words] {
+                return true; // not an automorphism; skip, keep searching
+            }
+        }
+        if self.found.len() >= self.cap {
+            return false;
+        }
+        self.found.push(self.perm.clone());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::ports;
+
+    #[test]
+    fn symmetric_cycle_has_all_rotations() {
+        for n in [3usize, 4, 5, 8] {
+            let g = generators::cycle(n);
+            let prt = ports::cycle_symmetric(&g);
+            let group = port_automorphisms(&g, &prt, 1 << 10).unwrap();
+            assert_eq!(group.len(), n, "C{n} with symmetric ports: n rotations");
+            for s in 0..n {
+                let rot: Vec<usize> = (0..n).map(|v| (v + s) % n).collect();
+                assert!(group.contains(&rot), "rotation by {s} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_ports_break_cycle_symmetry() {
+        // Canonical (sorted-neighbor) ports are not rotation-invariant:
+        // node 0 of C5 sees (1, 4) while node 1 sees (0, 2), so following
+        // port 1 goes "up" from most nodes but "down" from node 0.
+        let g = generators::cycle(5);
+        let prt = PortAssignment::canonical(&g);
+        let group = port_automorphisms(&g, &prt, 1 << 10).unwrap();
+        assert!(
+            group.len() < 5,
+            "canonical ports must kill some rotations, got {}",
+            group.len()
+        );
+        assert!(group
+            .iter()
+            .any(|p| p.iter().enumerate().all(|(v, &w)| v == w)));
+    }
+
+    #[test]
+    fn path_flip_is_rejected_under_canonical_ports() {
+        // The flip 0↔3, 1↔2 of P4 preserves adjacency, but canonical
+        // ports at node 1 list 0 before 2 while node 2 lists 1 before 3,
+        // so following port 1 after the flip lands on the wrong side:
+        // only port-preserving maps survive.
+        let g = generators::path(4);
+        let prt = PortAssignment::canonical(&g);
+        let group = port_automorphisms(&g, &prt, 1 << 10).unwrap();
+        let flip = vec![3usize, 2, 1, 0];
+        assert!(!group.contains(&flip), "flip is not port-preserving");
+        assert!(!group.is_empty());
+        for p in &group {
+            for v in g.nodes() {
+                for port in 1..=prt.degree(v) as u16 {
+                    assert_eq!(prt.neighbor_at(p[v], port), p[prt.neighbor_at(v, port)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_returned_map_is_port_preserving() {
+        for g in [
+            generators::cycle(6),
+            generators::star(4),
+            generators::complete(4),
+            generators::grid(2, 3),
+        ] {
+            let prt = PortAssignment::canonical(&g);
+            let group = port_automorphisms(&g, &prt, 1 << 12).unwrap();
+            assert!(!group.is_empty(), "identity always present");
+            for p in &group {
+                let mut seen = vec![false; g.node_count()];
+                for &w in p {
+                    assert!(!seen[w], "not a bijection");
+                    seen[w] = true;
+                }
+                for v in g.nodes() {
+                    for port in 1..=prt.degree(v) as u16 {
+                        assert_eq!(
+                            prt.neighbor_at(p[v], port),
+                            p[prt.neighbor_at(v, port)],
+                            "port {port} at {v} broken"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_is_closed_under_composition() {
+        let g = generators::cycle(8);
+        let prt = ports::cycle_symmetric(&g);
+        let group = port_automorphisms(&g, &prt, 1 << 10).unwrap();
+        for a in &group {
+            for b in &group {
+                let ab: Vec<usize> = (0..8).map(|v| a[b[v]]).collect();
+                assert!(group.contains(&ab), "composition escapes the set");
+            }
+        }
+    }
+
+    #[test]
+    fn cap_exceeded_returns_none() {
+        let g = generators::cycle(8);
+        let prt = ports::cycle_symmetric(&g);
+        assert_eq!(port_automorphisms(&g, &prt, 3), None);
+        assert_eq!(port_automorphism_count(&g, &prt, 3), None);
+        assert_eq!(port_automorphism_count(&g, &prt, 8), Some(8));
+    }
+
+    #[test]
+    fn empty_graph_has_the_empty_identity() {
+        let g = Graph::new(0);
+        let prt = PortAssignment::canonical(&g);
+        assert_eq!(port_automorphisms(&g, &prt, 1), Some(vec![Vec::new()]));
+    }
+}

@@ -12,8 +12,11 @@
 //!   needs a cycle in a prescribed component avoiding a prescribed node);
 //! * [`paths`] — shortest paths (with forbidden nodes) and shortest
 //!   *non-backtracking* walks with optional parity constraints (the walk
-//!   manipulations of Section 5.2).
+//!   manipulations of Section 5.2);
+//! * [`automorphism`] — port-preserving automorphism enumeration backing
+//!   the symmetry-quotient sweep.
 
+pub mod automorphism;
 pub mod bfs;
 pub mod bipartite;
 pub mod coloring;

@@ -199,6 +199,80 @@ pub fn cycle_symmetric(g: &Graph) -> PortAssignment {
     PortAssignment::from_order(g, order).expect("canonical cycle adjacency")
 }
 
+/// The circulant port assignment of the complete graph `K_n`: node `v`
+/// reaches `(v + p) mod n` through port `p = 1..n-1`. Every rotation
+/// `v ↦ v + r` is then port-preserving, so the instance's automorphism
+/// group is (exactly) the cyclic group of order `n` — a translation is
+/// forced because `π(v + c) = π(v) + c` must hold for every offset.
+///
+/// # Panics
+///
+/// Panics if `g` is not the canonical complete graph produced by
+/// [`crate::generators::complete`].
+pub fn complete_symmetric(g: &Graph) -> PortAssignment {
+    let n = g.node_count();
+    assert!(
+        n >= 2 && g.edge_count() == n * (n - 1) / 2,
+        "expects a canonical complete graph"
+    );
+    let order: Vec<Vec<usize>> = (0..n)
+        .map(|v| (0..n - 1).map(|p| (v + p + 1) % n).collect())
+        .collect();
+    PortAssignment::from_order(g, order).expect("complete-graph adjacency")
+}
+
+/// The XOR port assignment of the hypercube `Q_d`: node `v` reaches
+/// `v ^ (1 << (p-1))` through port `p = 1..=d`. Every translation `v ↦ v ^ u` is then
+/// port-preserving, and conversely `π(v ^ e_p) = π(v) ^ e_p` forces
+/// `π(v) = π(0) ^ v`, so the group is exactly `(Z_2)^d` of order `2^d`.
+///
+/// # Panics
+///
+/// Panics if `g` is not the canonical hypercube produced by
+/// [`crate::generators::hypercube`].
+pub fn hypercube_symmetric(g: &Graph) -> PortAssignment {
+    let n = g.node_count();
+    let d = n.trailing_zeros() as usize;
+    assert!(
+        n >= 2 && n == 1 << d && g.edge_count() == n / 2 * d,
+        "expects a canonical hypercube"
+    );
+    let order: Vec<Vec<usize>> = (0..n)
+        .map(|v| (0..d).map(|p| v ^ (1 << p)).collect())
+        .collect();
+    PortAssignment::from_order(g, order).expect("hypercube adjacency")
+}
+
+/// The shift-symmetric port assignment of the balanced complete
+/// bipartite graph `K_{a,a}` (parts `0..a` and `a..2a`): left node `i`
+/// reaches `a + ((i + p - 1) mod a)` through port `p = 1..=a`, right node
+/// `a + j` reaches `(j + p - 1) mod a`. The simultaneous shift `(i, a+j) ↦
+/// (i+1, a+j+1)` and the part swap `i ↔ a+i` are both port-preserving,
+/// so the group has order at least `2a`.
+///
+/// # Panics
+///
+/// Panics if `g` is not the canonical `K_{a,a}` produced by
+/// [`crate::generators::complete_bipartite`] with equal part sizes.
+pub fn balanced_bipartite_symmetric(g: &Graph) -> PortAssignment {
+    let n = g.node_count();
+    let a = n / 2;
+    assert!(
+        a >= 1 && n == 2 * a && g.edge_count() == a * a && g.degree(0) == a,
+        "expects a canonical balanced complete bipartite graph"
+    );
+    let order: Vec<Vec<usize>> = (0..n)
+        .map(|v| {
+            if v < a {
+                (0..a).map(|p| a + (v + p) % a).collect()
+            } else {
+                (0..a).map(|p| (v - a + p) % a).collect()
+            }
+        })
+        .collect();
+    PortAssignment::from_order(g, order).expect("balanced bipartite adjacency")
+}
+
 fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
     if items.is_empty() {
         return vec![Vec::new()];
@@ -253,6 +327,37 @@ mod tests {
         for v in 0..5 {
             assert_eq!(prt.neighbor_at(v, 1), (v + 1) % 5);
             assert_eq!(prt.neighbor_at(v, 2), (v + 4) % 5);
+        }
+    }
+
+    #[test]
+    fn symmetric_assignments_realize_their_groups() {
+        use crate::algo::automorphism::port_automorphisms;
+        let cases: [(Graph, PortAssignment, usize); 3] = [
+            {
+                let g = generators::complete(5);
+                let prt = complete_symmetric(&g);
+                (g, prt, 5)
+            },
+            {
+                let g = generators::hypercube(3);
+                let prt = hypercube_symmetric(&g);
+                (g, prt, 8)
+            },
+            {
+                let g = generators::complete_bipartite(4, 4);
+                let prt = balanced_bipartite_symmetric(&g);
+                (g, prt, 8)
+            },
+        ];
+        for (g, prt, order) in &cases {
+            assert!(prt.is_valid_for(g));
+            let group = port_automorphisms(g, prt, 4096).expect("small groups");
+            assert!(
+                group.len() >= *order,
+                "expected a group of order >= {order}, found {}",
+                group.len()
+            );
         }
     }
 

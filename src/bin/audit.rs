@@ -18,7 +18,8 @@ use hiding_lcp_core::decoder::Decoder;
 use hiding_lcp_core::label::Certificate;
 use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::verify::{
-    AuditPlan, ExecMode, FaultSpec, InstanceSet, PropertyTag, SweepBudget, ALL_PROPERTIES,
+    AuditPlan, ExecMode, FaultSpec, InstanceSet, PropertyTag, SweepBudget, SweepOpts,
+    ALL_PROPERTIES,
 };
 use std::time::Duration;
 
@@ -27,6 +28,7 @@ struct Args {
     max_n: usize,
     properties: Vec<PropertyTag>,
     mode: ExecMode,
+    opts: SweepOpts,
     budget: Option<SweepBudget>,
     fault_rates: Vec<f64>,
     fault_trials: usize,
@@ -39,11 +41,13 @@ fn usage() -> ! {
         "usage: audit [--decoder degree-one|even-cycle|revealing:<k>] [--max-n N]\n\
          \x20            [--properties p1,p2,...] [--threads T] [--budget-ms MS]\n\
          \x20            [--budget-items N] [--fault-rates r1,r2,...] [--fault-trials T]\n\
-         \x20            [--seed S] [--out FILE]\n\
+         \x20            [--strategy delta|oracle|quotient] [--seed S] [--out FILE]\n\
          \n\
          Audits one of the paper's LCPs over the Lemma 3.1 family up to N nodes\n\
          (default: even-cycle, N=4, all seven properties) and prints the fused-panel\n\
-         report as JSON. Exit code 1 = some property was violated."
+         report as JSON. --strategy quotient sweeps only canonical orbit\n\
+         representatives (same verdicts, less wall-clock). Exit code 1 = some\n\
+         property was violated."
     );
     std::process::exit(2)
 }
@@ -60,6 +64,7 @@ fn parse_args() -> Args {
         max_n: 4,
         properties: ALL_PROPERTIES.to_vec(),
         mode: ExecMode::Auto,
+        opts: SweepOpts::default(),
         budget: None,
         fault_rates: Vec::new(),
         fault_trials: 16,
@@ -81,6 +86,14 @@ fn parse_args() -> Args {
             }
             "--threads" => args.mode = ExecMode::Parallel(parse_or_usage(&value("--threads"))),
             "--sequential" => args.mode = ExecMode::Sequential,
+            "--strategy" => {
+                args.opts = match value("--strategy").as_str() {
+                    "delta" => SweepOpts::default(),
+                    "oracle" => SweepOpts::oracle(),
+                    "quotient" => SweepOpts::quotient(),
+                    other => usage_missing(other),
+                }
+            }
             "--budget-ms" => {
                 budget.deadline = Some(Duration::from_millis(parse_or_usage(&value("--budget-ms"))))
             }
@@ -160,6 +173,7 @@ fn main() -> ExitCode {
     .prover(prover.as_ref())
     .properties(args.properties.clone())
     .mode(args.mode)
+    .opts(args.opts)
     .seed(args.seed);
     if let Some(budget) = args.budget {
         plan = plan.budget(budget);
