@@ -17,7 +17,11 @@
 //! (t1/t2 and t1/t4 speedups), and the engine's small-universe
 //! sequential-fallback threshold, so single-core results read honestly —
 //! to `BENCH_engine.json` at the repository root, together with per-size
-//! memo and view-interner hit-rate statistics.
+//! memo and view-interner hit-rate statistics. A `sequential-recorded`
+//! routine runs the same sweep with a live `MetricsRecorder` attached;
+//! its ratio against `sequential` lands as the `recorder_overhead` field
+//! and, per size, in a `telemetry` section alongside the stable sweep
+//! counters one sequential walk fires.
 //!
 //! ```text
 //! cargo bench -p hiding-lcp-bench --bench engine_sweep
@@ -25,25 +29,27 @@
 //!
 //! With `ENGINE_SWEEP_SMOKE=1` the harness instead runs a reduced n = 6
 //! measurement and exits nonzero if the measured medians regress more
-//! than 2x against the committed `BENCH_engine.json` baseline, or if the
-//! t4/t1 parallel speedup falls below 1.5x on a multi-core runner — the
-//! CI bench-smoke job. Smoke mode never rewrites the JSON.
+//! than 2x against the committed `BENCH_engine.json` baseline, if the
+//! t4/t1 parallel speedup falls below 1.5x on a multi-core runner, or if
+//! the attached-recorder overhead exceeds 1.05x — the CI bench-smoke and
+//! telemetry jobs. Smoke mode never rewrites the JSON.
 
 use criterion::{BenchResult, Criterion};
+use hiding_lcp_bench::report::{self, ReportDoc};
 use hiding_lcp_certs::revealing::{adversary_alphabet, RevealingDecoder};
 use hiding_lcp_core::instance::Instance;
 use hiding_lcp_core::nbhd::{NbhdGraph, NbhdSweep};
 use hiding_lcp_core::properties::hiding::HidingCheck;
+use hiding_lcp_core::verify::telemetry::diff;
 use hiding_lcp_core::verify::{
-    sweep_with_opts, Block, Coverage, ExecMode, LabelSource, SweepOpts, Universe,
-    PARALLEL_THRESHOLD,
+    sweep_recorded, sweep_with_opts, Block, Coverage, ExecMode, LabelSource, MetricsRecorder,
+    SweepOpts, Universe, PARALLEL_THRESHOLD,
 };
 use hiding_lcp_core::view::IdMode;
 use hiding_lcp_graph::algo::bipartite;
 use hiding_lcp_graph::generators;
 use std::fs;
 use std::hint::black_box;
-use std::path::{Path, PathBuf};
 
 /// All 2-symbol labelings of even cycles `4..=max_n`, under the
 /// rotation-symmetric port assignment so the quotient strategy has a
@@ -73,6 +79,49 @@ fn sweep_nbhd(universe: &Universe, mode: ExecMode, opts: SweepOpts) -> NbhdGraph
     let decoder = RevealingDecoder::new(2);
     let check = HidingCheck::new(&decoder, universe, 2, bipartite::is_bipartite);
     sweep_with_opts(&check, universe, mode, opts).verdict.0
+}
+
+/// The same sweep with a live [`MetricsRecorder`] attached — the routine
+/// whose ratio against `sequential` is the telemetry layer's overhead.
+fn sweep_nbhd_recorded(
+    universe: &Universe,
+    mode: ExecMode,
+    opts: SweepOpts,
+    recorder: &MetricsRecorder,
+) -> NbhdGraph {
+    let decoder = RevealingDecoder::new(2);
+    let check = HidingCheck::new(&decoder, universe, 2, bipartite::is_bipartite);
+    sweep_recorded(&check, universe, mode, opts, recorder)
+        .verdict
+        .0
+}
+
+/// One size's stable sweep counters (the deterministic subset of a
+/// recorded sequential sweep's delta; observed counters like memo traffic
+/// are already in `stats`).
+struct TelemetryStats {
+    group: String,
+    counters: Vec<(String, i128)>,
+}
+
+fn collect_telemetry(universe: &Universe, group: String) -> TelemetryStats {
+    let recorder = MetricsRecorder::new();
+    let before = recorder.snapshot();
+    drop(sweep_nbhd_recorded(
+        universe,
+        ExecMode::Sequential,
+        SweepOpts::default(),
+        &recorder,
+    ));
+    let delta = diff::diff(&before, &recorder.snapshot());
+    TelemetryStats {
+        group,
+        counters: delta
+            .changed()
+            .filter(|row| row.stable)
+            .map(|row| (row.name.clone(), row.delta()))
+            .collect(),
+    }
 }
 
 /// Per-size engine statistics: one delta sweep's memo traffic and the
@@ -120,7 +169,12 @@ fn thread_ladder(available: usize) -> Vec<usize> {
     ladder
 }
 
-fn bench_sizes(c: &mut Criterion, sizes: &[usize], stats: &mut Vec<SweepStats>) {
+fn bench_sizes(
+    c: &mut Criterion,
+    sizes: &[usize],
+    stats: &mut Vec<SweepStats>,
+    telemetry: &mut Vec<TelemetryStats>,
+) {
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
     let ladder = thread_ladder(threads);
     let oracle = SweepOpts::oracle();
@@ -149,6 +203,10 @@ fn bench_sizes(c: &mut Criterion, sizes: &[usize], stats: &mut Vec<SweepStats>) 
             );
         }
         stats.push(collect_stats(&universe, format!("engine-sweep-n{max_n}")));
+        telemetry.push(collect_telemetry(
+            &universe,
+            format!("engine-sweep-n{max_n}"),
+        ));
 
         // Interleave samples across all configurations of a size: on a
         // host whose effective speed drifts under sustained load, taking
@@ -164,6 +222,24 @@ fn bench_sizes(c: &mut Criterion, sizes: &[usize], stats: &mut Vec<SweepStats>) 
         routines.push((
             "sequential".into(),
             Box::new(routine(ExecMode::Sequential, SweepOpts::default())),
+        ));
+        // The telemetry layer's price: the identical sequential sweep
+        // with a live recorder attached. Interleaved with `sequential`,
+        // so the ratio is the overhead, not host drift.
+        routines.push((
+            "sequential-recorded".into(),
+            Box::new({
+                let universe = &universe;
+                let recorder = MetricsRecorder::new();
+                move || {
+                    drop(black_box(sweep_nbhd_recorded(
+                        black_box(universe),
+                        ExecMode::Sequential,
+                        SweepOpts::default(),
+                        &recorder,
+                    )))
+                }
+            }),
         ));
         for &t in &ladder {
             routines.push((
@@ -195,33 +271,21 @@ fn bench_sizes(c: &mut Criterion, sizes: &[usize], stats: &mut Vec<SweepStats>) 
     }
 }
 
-fn json_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
+/// `recorded / plain` sequential-median ratio for one size group, i.e.
+/// what attaching a live recorder costs.
+#[allow(clippy::cast_precision_loss)]
+fn overhead_ratio(results: &[BenchResult], group: &str) -> Option<f64> {
+    let plain = report::median(results, &format!("{group}/sequential"))?;
+    let recorded = report::median(results, &format!("{group}/sequential-recorded"))?;
+    Some(recorded as f64 / plain as f64)
 }
 
-fn write_json(results: &[BenchResult], stats: &[SweepStats], threads: usize) {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str(&format!(
-        "  \"parallel_threshold\": {PARALLEL_THRESHOLD},\n"
-    ));
-    out.push_str("  \"benches\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"median_ns\": {} }}{comma}\n",
-            r.name,
-            r.median.as_nanos()
-        ));
-    }
-    out.push_str("  ],\n");
-    out.push_str("  \"scaling_efficiency\": [\n");
-    let median = |name: &str| {
-        results
-            .iter()
-            .find(|r| r.name == name)
-            .map(|r| r.median.as_nanos())
-    };
+fn write_json(
+    results: &[BenchResult],
+    stats: &[SweepStats],
+    telemetry: &[TelemetryStats],
+    threads: usize,
+) {
     let groups: Vec<&str> = {
         let mut seen = Vec::new();
         for r in results {
@@ -233,12 +297,22 @@ fn write_json(results: &[BenchResult], stats: &[SweepStats], threads: usize) {
         }
         seen
     };
-    let rows: Vec<String> = groups
+    let mut doc = ReportDoc::new();
+    doc.scalar("threads", threads)
+        .scalar("parallel_threshold", PARALLEL_THRESHOLD);
+    // Headline recorder overhead: the largest measured size, where the
+    // fixed per-sweep cost is most amortized.
+    if let Some(ratio) = groups.iter().rev().find_map(|g| overhead_ratio(results, g)) {
+        doc.scalar("recorder_overhead", format!("{ratio:.3}"));
+    }
+    doc.section("benches", &report::bench_rows(results));
+    let scaling: Vec<String> = groups
         .iter()
         .filter_map(|g| {
-            let t1 = median(&format!("{g}/parallel-t1"))?;
-            let t2 = median(&format!("{g}/parallel-t2"))?;
-            let t4 = median(&format!("{g}/parallel-t4"))?;
+            let t1 = report::median(results, &format!("{g}/parallel-t1"))?;
+            let t2 = report::median(results, &format!("{g}/parallel-t2"))?;
+            let t4 = report::median(results, &format!("{g}/parallel-t4"))?;
+            #[allow(clippy::cast_precision_loss)]
             Some(format!(
                 "    {{ \"group\": \"{g}\", \"speedup_t2\": {:.3}, \"speedup_t4\": {:.3}, \
                  \"efficiency_t4\": {:.3} }}",
@@ -248,40 +322,45 @@ fn write_json(results: &[BenchResult], stats: &[SweepStats], threads: usize) {
             ))
         })
         .collect();
-    out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ],\n");
-    out.push_str("  \"stats\": [\n");
-    for (i, s) in stats.iter().enumerate() {
-        let comma = if i + 1 < stats.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {{ \"group\": \"{}\", \"items\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \
-             \"interner_hits\": {}, \"interner_misses\": {}, \"distinct_views\": {} }}{comma}\n",
-            s.group,
-            s.items,
-            s.memo_hits,
-            s.memo_misses,
-            s.interner_hits,
-            s.interner_misses,
-            s.distinct_views
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    let path = json_path();
-    fs::write(&path, out).expect("write BENCH_engine.json");
-    println!("wrote {}", path.display());
-}
-
-/// Extracts `"median_ns": <u128>` for a bench `name` from the committed
-/// baseline JSON (hand-rolled: the file is written by this harness, so the
-/// layout is fixed and no JSON dependency is needed).
-fn baseline_median(json: &str, name: &str) -> Option<u128> {
-    let needle = format!("\"name\": \"{name}\", \"median_ns\": ");
-    let at = json.find(&needle)? + needle.len();
-    let digits: String = json[at..]
-        .chars()
-        .take_while(char::is_ascii_digit)
+    doc.section("scaling_efficiency", &scaling);
+    // Per-size recorder price plus the stable counters one sequential
+    // sweep fires — deterministic, so diffs of this file are meaningful.
+    let telemetry_rows: Vec<String> = telemetry
+        .iter()
+        .map(|t| {
+            let overhead = overhead_ratio(results, &t.group)
+                .map_or(String::new(), |r| format!(" \"overhead\": {r:.3},"));
+            let counters: Vec<String> = t
+                .counters
+                .iter()
+                .map(|(name, delta)| format!("\"{name}\": {delta}"))
+                .collect();
+            format!(
+                "    {{ \"group\": \"{}\",{overhead} \"counters\": {{ {} }} }}",
+                t.group,
+                counters.join(", ")
+            )
+        })
         .collect();
-    digits.parse().ok()
+    doc.section("telemetry", &telemetry_rows);
+    let stat_rows: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{ \"group\": \"{}\", \"items\": {}, \"memo_hits\": {}, \"memo_misses\": {}, \
+                 \"interner_hits\": {}, \"interner_misses\": {}, \"distinct_views\": {} }}",
+                s.group,
+                s.items,
+                s.memo_hits,
+                s.memo_misses,
+                s.interner_hits,
+                s.interner_misses,
+                s.distinct_views
+            )
+        })
+        .collect();
+    doc.section("stats", &stat_rows);
+    report::write("BENCH_engine.json", &doc.finish());
 }
 
 /// CI bench-smoke: a reduced n = 6 measurement compared against the
@@ -290,8 +369,9 @@ fn baseline_median(json: &str, name: &str) -> Option<u128> {
 fn smoke() -> i32 {
     let mut c = Criterion::new();
     let mut stats = Vec::new();
-    bench_sizes(&mut c, &[6], &mut stats);
-    let baseline = match fs::read_to_string(json_path()) {
+    let mut telemetry = Vec::new();
+    bench_sizes(&mut c, &[6], &mut stats, &mut telemetry);
+    let baseline = match fs::read_to_string(report::repo_root_path("BENCH_engine.json")) {
         Ok(s) => s,
         Err(e) => {
             println!("smoke: no committed BENCH_engine.json ({e}); nothing to compare");
@@ -322,21 +402,31 @@ fn smoke() -> i32 {
     } else {
         println!("smoke: {available} core(s); skipping the t4/t1 scaling gate");
     }
+    // Telemetry must be observationally cheap: a live recorder may cost at
+    // most 5% over the identical plain sequential sweep, same run, same
+    // interleaved sample schedule.
+    match overhead_ratio(&c.results, "engine-sweep-n6") {
+        Some(ratio) => {
+            let verdict = if ratio > 1.05 {
+                failed = true;
+                "TELEMETRY OVERHEAD"
+            } else {
+                "ok"
+            };
+            println!("smoke: recorder overhead {ratio:.3}x (ceiling 1.05x) -> {verdict}");
+        }
+        None => println!("smoke: no recorded/plain pair at n = 6; skipping the overhead gate"),
+    }
     for name in [
         "engine-sweep-n6/sequential",
         "engine-sweep-n6/parallel-t1",
         "engine-sweep-n6/quotient",
     ] {
-        let Some(base) = baseline_median(&baseline, name) else {
+        let Some(base) = report::median_in_json(&baseline, name) else {
             println!("smoke: baseline lacks {name}; skipping");
             continue;
         };
-        let Some(measured) = c
-            .results
-            .iter()
-            .find(|r| r.name == name)
-            .map(|r| r.median.as_nanos())
-        else {
+        let Some(measured) = report::median(&c.results, name) else {
             // This host's thread ladder did not produce the bench (e.g.
             // parallel-t1 exists on every ladder, but be defensive).
             println!("smoke: no measurement for {name}; skipping");
@@ -359,7 +449,8 @@ fn main() {
     }
     let mut c = Criterion::new();
     let mut stats = Vec::new();
-    bench_sizes(&mut c, &[4, 6, 8], &mut stats);
+    let mut telemetry = Vec::new();
+    bench_sizes(&mut c, &[4, 6, 8], &mut stats, &mut telemetry);
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
-    write_json(&c.results, &stats, threads);
+    write_json(&c.results, &stats, &telemetry, threads);
 }

@@ -31,6 +31,7 @@
 //! ```
 
 use criterion::{BenchResult, Criterion};
+use hiding_lcp_bench::report::{self, ReportDoc};
 use hiding_lcp_bench::throughput_workloads;
 use hiding_lcp_certs::revealing::{adversary_alphabet, RevealingDecoder};
 use hiding_lcp_core::decoder::run;
@@ -43,9 +44,7 @@ use hiding_lcp_core::verify::{
     SymmetrySpec, Universe, UniverseItem,
 };
 use hiding_lcp_graph::generators;
-use std::fs;
 use std::hint::black_box;
-use std::path::Path;
 
 const WORKLOAD_N: usize = 12;
 const FAULT_RATE: f64 = 0.15;
@@ -216,29 +215,14 @@ fn fault_sweep(c: &mut Criterion, telemetry: &mut Vec<WorkloadStats>) {
 }
 
 fn write_json(results: &[BenchResult], stats: &[WorkloadStats]) {
-    let median = |name: &str| {
-        results
-            .iter()
-            .find(|r| r.name == name)
-            .map(|r| r.median.as_nanos())
-    };
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"workload_n\": {WORKLOAD_N},\n"));
-    out.push_str(&format!("  \"fault_rate\": {FAULT_RATE},\n"));
-    out.push_str(&format!("  \"plan_seed\": {PLAN_SEED},\n"));
-    out.push_str("  \"benches\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"median_ns\": {} }}{comma}\n",
-            r.name,
-            r.median.as_nanos()
-        ));
-    }
-    out.push_str("  ],\n");
+    let median = |name: &str| report::median(results, name);
+    let mut doc = ReportDoc::new();
+    doc.scalar("workload_n", WORKLOAD_N)
+        .scalar("fault_rate", FAULT_RATE)
+        .scalar("plan_seed", PLAN_SEED)
+        .section("benches", &report::bench_rows(results));
 
     // Per-group headline ratios, mirroring BENCH_panel.json's summary.
-    out.push_str("  \"summary\": [\n");
     let mut rows: Vec<String> = Vec::new();
     for ws in stats {
         let g = &ws.group;
@@ -268,11 +252,9 @@ fn write_json(results: &[BenchResult], stats: &[WorkloadStats]) {
             delta as f64 / quotient as f64,
         ));
     }
-    out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ],\n");
+    doc.section("summary", &rows);
 
     // Per-group fault telemetry, mirroring BENCH_engine.json's stats.
-    out.push_str("  \"stats\": [\n");
     let rows: Vec<String> = stats
         .iter()
         .map(|ws| {
@@ -293,11 +275,8 @@ fn write_json(results: &[BenchResult], stats: &[WorkloadStats]) {
             )
         })
         .collect();
-    out.push_str(&rows.join(",\n"));
-    out.push_str("\n  ]\n}\n");
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_faults.json");
-    fs::write(&path, out).expect("write BENCH_faults.json");
-    println!("wrote {}", path.display());
+    doc.section("stats", &rows);
+    report::write("BENCH_faults.json", &doc.finish());
 }
 
 fn main() {

@@ -32,6 +32,7 @@
 //! [`AuditPlan::run`]: hiding_lcp_core::verify::AuditPlan::run
 
 use criterion::{BenchResult, Criterion};
+use hiding_lcp_bench::report::{self, ReportDoc};
 use hiding_lcp_certs::revealing::{adversary_alphabet, RevealingDecoder, RevealingProver};
 use hiding_lcp_core::instance::{Instance, LabeledInstance};
 use hiding_lcp_core::label::Certificate;
@@ -51,9 +52,7 @@ use hiding_lcp_core::verify::{
 use hiding_lcp_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::fs;
 use std::hint::black_box;
-use std::path::{Path, PathBuf};
 
 const K: usize = 2;
 const ERASURE_TRIALS: usize = 8;
@@ -410,13 +409,8 @@ fn bench_sizes(c: &mut Criterion, sizes: &[usize]) {
 
 /// `(fused_ns, sum_of_solo_ns)` for one size's group, from the results.
 fn fused_vs_sum(results: &[BenchResult], max_n: usize) -> Option<(u128, u128)> {
-    let median = |routine: &str| {
-        let name = format!("panel-audit-n{max_n}/{routine}");
-        results
-            .iter()
-            .find(|r| r.name == name)
-            .map(|r| r.median.as_nanos())
-    };
+    let median =
+        |routine: &str| report::median(results, &format!("panel-audit-n{max_n}/{routine}"));
     let fused = median("fused")?;
     let mut sum = 0u128;
     for name in SOLO {
@@ -425,35 +419,18 @@ fn fused_vs_sum(results: &[BenchResult], max_n: usize) -> Option<(u128, u128)> {
     Some((fused, sum))
 }
 
-fn json_path() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_panel.json")
-}
-
 fn write_json(results: &[BenchResult], sizes: &[usize], threads: usize) {
-    let mut out = String::from("{\n");
-    out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str("  \"benches\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let comma = if i + 1 < results.len() { "," } else { "" };
-        out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"median_ns\": {} }}{comma}\n",
-            r.name,
-            r.median.as_nanos()
-        ));
-    }
-    out.push_str("  ],\n");
-    out.push_str("  \"summary\": [\n");
-    for (i, &max_n) in sizes.iter().enumerate() {
-        let comma = if i + 1 < sizes.len() { "," } else { "" };
+    let mut doc = ReportDoc::new();
+    doc.scalar("threads", threads)
+        .section("benches", &report::bench_rows(results));
+    let mut rows: Vec<String> = Vec::new();
+    for &max_n in sizes {
         let Some((fused, sum)) = fused_vs_sum(results, max_n) else {
             continue;
         };
         #[allow(clippy::cast_precision_loss)]
         let speedup = sum as f64 / fused as f64;
-        let quotient = results
-            .iter()
-            .find(|r| r.name == format!("panel-audit-n{max_n}/fused-quotient"))
-            .map(|r| r.median.as_nanos());
+        let quotient = report::median(results, &format!("panel-audit-n{max_n}/fused-quotient"));
         let quotient_cols = match quotient {
             #[allow(clippy::cast_precision_loss)]
             Some(q) => format!(
@@ -462,9 +439,9 @@ fn write_json(results: &[BenchResult], sizes: &[usize], threads: usize) {
             ),
             None => String::new(),
         };
-        out.push_str(&format!(
+        rows.push(format!(
             "    {{ \"group\": \"panel-audit-n{max_n}\", \"fused_ns\": {fused}, \
-             \"solo_sum_ns\": {sum}, \"speedup\": {speedup:.2}{quotient_cols} }}{comma}\n"
+             \"solo_sum_ns\": {sum}, \"speedup\": {speedup:.2}{quotient_cols} }}"
         ));
         println!("panel-audit-n{max_n}: fused {fused} ns vs solo sum {sum} ns ({speedup:.2}x)");
         if let Some(q) = quotient {
@@ -473,10 +450,8 @@ fn write_json(results: &[BenchResult], sizes: &[usize], threads: usize) {
             println!("panel-audit-n{max_n}: quotient fused {q} ns ({ratio:.2}x over fused)");
         }
     }
-    out.push_str("  ]\n}\n");
-    let path = json_path();
-    fs::write(&path, out).expect("write BENCH_panel.json");
-    println!("wrote {}", path.display());
+    doc.section("summary", &rows);
+    report::write("BENCH_panel.json", &doc.finish());
 }
 
 /// CI bench-smoke: a reduced n = 6 audit whose gate is live — the fused

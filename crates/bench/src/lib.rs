@@ -5,6 +5,8 @@
 //! returns the exact object the experiment measures, so Criterion benches
 //! and the printed tables cannot drift apart.
 
+pub mod report;
+
 use hiding_lcp_certs::{degree_one, even_cycle, revealing, shatter, watermelon};
 use hiding_lcp_core::instance::{Instance, LabeledInstance};
 use hiding_lcp_core::nbhd::NbhdGraph;

@@ -185,6 +185,18 @@ pub const MUTANTS: &[Mutant] = &[
         site: "Graph::induced silently omits one edge",
         expected_killers: &["induced_subgraph_exact"],
     },
+    Mutant {
+        name: "telemetry_counter_drop",
+        host: "hiding-lcp-core",
+        site: "MetricsRecorder::add drops items_orbit_skipped increments",
+        expected_killers: &["telemetry_quotient_partition"],
+    },
+    Mutant {
+        name: "span_unbalanced_exit",
+        host: "hiding-lcp-core",
+        site: "MetricsRecorder::span_exit returns before closing the span",
+        expected_killers: &["telemetry_span_balance"],
+    },
 ];
 
 /// The catalog must agree with the probe battery: every expected killer

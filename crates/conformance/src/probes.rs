@@ -32,9 +32,9 @@ use hiding_lcp_core::properties::strong::check_strong_exhaustive;
 use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::verify::{
     resume_sweep_with_opts, sweep, sweep_budgeted_with_opts, sweep_lazy_labeled, sweep_panel_with,
-    sweep_with, sweep_with_opts, Block, Coverage, DynPropertyCheck, ExecMode, ItemCtx, LabelSource,
-    PropertyCheck, PropertyTag, SweepBudget, SweepOpts, SweepOutcome, SymmetrySpec, Universe,
-    UniverseItem, ViewInterner,
+    sweep_recorded, sweep_with, sweep_with_opts, Block, Coverage, DynPropertyCheck, ExecMode,
+    ItemCtx, LabelSource, MetricsRecorder, PropertyCheck, PropertyTag, SweepBudget, SweepOpts,
+    SweepOutcome, SymmetrySpec, Universe, UniverseItem, ViewInterner,
 };
 use hiding_lcp_core::view::{IdMode, View};
 use hiding_lcp_graph::algo::{bipartite, coloring};
@@ -68,6 +68,8 @@ pub const ALL: &[(&str, fn())] = &[
     ("panel_channel_isolation", panel_channel_isolation),
     ("panel_member_frontiers", panel_member_frontiers),
     ("orbit_partition_weighted", orbit_partition_weighted),
+    ("telemetry_quotient_partition", telemetry_quotient_partition),
+    ("telemetry_span_balance", telemetry_span_balance),
     ("coloring_matches_bruteforce", coloring_matches_bruteforce),
     ("isomorphism_beyond_degrees", isomorphism_beyond_degrees),
     ("induced_subgraph_exact", induced_subgraph_exact),
@@ -942,6 +944,108 @@ fn orbit_partition_weighted() {
     assert_eq!(
         full.checked, quot.checked,
         "quotient changed the checked count"
+    );
+}
+
+/// A quotient sweep's telemetry counters must tile the labeling space:
+/// every walked item is either inspected or orbit-skipped, and the
+/// recorded orbit multiplicities sum back to |Σ|^n. A recorder that
+/// silently drops increments breaks the partition identity even though
+/// the sweep's verdict is untouched.
+fn telemetry_quotient_partition() {
+    struct OrbitProbe;
+    impl PropertyCheck for OrbitProbe {
+        type Partial = u64;
+        type Verdict = u64;
+        fn inspect(&self, _item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<u64> {
+            Some(ctx.multiplicity())
+        }
+        fn symmetry_class(&self, _alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+            Some(SymmetrySpec {
+                automorphisms: true,
+                alphabet_classes: Some(vec![0, 0]),
+            })
+        }
+        fn reduce(
+            &self,
+            _universe: &Universe,
+            partials: Vec<(usize, u64)>,
+            _outcome: &SweepOutcome,
+        ) -> Self::Verdict {
+            partials.into_iter().map(|(_, m)| m).sum()
+        }
+    }
+
+    const N: usize = 5;
+    let g = generators::cycle(N);
+    let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+    let instance = Instance::new(g, ports, IdAssignment::canonical(N)).expect("symmetric ports");
+    let universe =
+        Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive).expect("2^5 fits");
+
+    let recorder = MetricsRecorder::new();
+    let report = sweep_recorded(
+        &OrbitProbe,
+        &universe,
+        ExecMode::Sequential,
+        SweepOpts::quotient(),
+        &recorder,
+    );
+    assert_eq!(report.verdict, 1 << N, "multiplicities must sum to 2^n");
+
+    let snap = recorder.snapshot();
+    let get = |name: &str| snap.get(name).unwrap_or(0);
+    assert_eq!(
+        get("items_walked"),
+        (1u64) << N,
+        "a complete quotient walk touches every flat index"
+    );
+    assert!(
+        get("items_orbit_skipped") > 0,
+        "a symmetric cycle must produce non-trivial orbits"
+    );
+    assert_eq!(
+        get("items_inspected") + get("items_orbit_skipped"),
+        get("items_walked"),
+        "inspected + orbit-skipped must tile the walk"
+    );
+    assert_eq!(
+        get("orbit_multiplicity"),
+        (1u64) << N,
+        "recorded multiplicities must sum to |Sigma|^n"
+    );
+}
+
+/// Every span a recorded sweep enters must be exited: the trace of a
+/// finished sequential sweep is balanced and non-empty. A recorder that
+/// loses exits leaves spans open forever and the Chrome trace becomes
+/// unreadable.
+fn telemetry_span_balance() {
+    let g = generators::cycle(5);
+    let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+    let instance = Instance::new(g, ports, IdAssignment::canonical(5)).expect("symmetric ports");
+    let universe =
+        Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive).expect("2^5 fits");
+
+    let recorder = MetricsRecorder::new();
+    let check = SoundnessCheck {
+        decoder: &LocalDiff,
+    };
+    sweep_recorded(
+        &check,
+        &universe,
+        ExecMode::Sequential,
+        SweepOpts::default(),
+        &recorder,
+    );
+    assert!(
+        recorder.trace_balanced(),
+        "a finished sweep must close every span it opened"
+    );
+    let trace = recorder.trace_json();
+    assert!(
+        trace.contains("\"name\": \"sweep\""),
+        "the sweep span must appear in the exported trace"
     );
 }
 

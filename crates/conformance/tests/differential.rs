@@ -402,6 +402,236 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Recorder-attached differentials: the telemetry layer rides every
+// mode × strategy run without changing a verdict, and the counters it
+// collects obey the engine's structural invariants.
+// ---------------------------------------------------------------------------
+
+use hiding_lcp_core::verify::{
+    sweep_panel_recorded, sweep_recorded, ItemCtx, MetricsRecorder, PropertyCheck, SweepOutcome,
+    SweepStrategy, SymmetrySpec, UniverseItem,
+};
+
+/// Asserts the walk/orbit/memo accounting of one recorded run. Holds for
+/// every strategy: non-quotient walks inspect with multiplicity one, a
+/// *complete* quotient walk re-weights to exactly the universe size, and
+/// every delta-channel decision consults the digit-key memo exactly once.
+fn assert_counter_invariants(
+    recorder: &MetricsRecorder,
+    universe: &Universe,
+    opts: SweepOpts,
+    short_circuited: bool,
+    members: usize,
+    what: &str,
+) {
+    let snap = recorder.snapshot();
+    let get = |name: &str| snap.get(name).unwrap_or(0);
+    assert_eq!(
+        get("items_inspected") + get("items_orbit_skipped"),
+        get("items_walked"),
+        "{what}: inspected + skipped tile the walk"
+    );
+    if opts.strategy == SweepStrategy::Quotient && !short_circuited {
+        assert_eq!(
+            get("items_walked"),
+            (universe.len() * members) as u64,
+            "{what}: complete walk covers the space once per member"
+        );
+        assert_eq!(
+            get("orbit_multiplicity"),
+            (universe.len() * members) as u64,
+            "{what}: orbit multiplicities re-weight to |Sigma|^n per member"
+        );
+    } else if opts.strategy != SweepStrategy::Quotient {
+        assert_eq!(
+            get("orbit_multiplicity"),
+            get("items_inspected"),
+            "{what}: non-quotient items carry multiplicity one"
+        );
+    }
+    if opts.memo {
+        assert_eq!(
+            get("memo_hits") + get("memo_misses"),
+            get("verdict_decisions"),
+            "{what}: every decision consults the memo exactly once"
+        );
+    }
+    // Verdict channels belong to the delta path: the decode oracle never
+    // touches them, and quotient-skipped items never reach them.
+    if opts.strategy == SweepStrategy::DecodeOracle {
+        assert_eq!(
+            get("verdict_refreshes") + get("verdict_readbacks"),
+            0,
+            "{what}: the oracle path has no channel traffic"
+        );
+    } else {
+        assert_eq!(
+            get("verdict_refreshes") + get("verdict_readbacks"),
+            get("items_inspected"),
+            "{what}: every inspected member-evaluation refreshes or reads back"
+        );
+    }
+}
+
+/// Re-runs the soundness and strong differentials with a recorder
+/// attached: same oracle verdicts at every mode × strategy, plus the
+/// counter invariants on each run.
+#[test]
+fn recorded_soundness_and_strong_match_oracle_with_invariants() {
+    let language = KCol::new(2);
+    for instance in small_instances() {
+        let universe = Universe::all_labelings_of(instance.clone(), bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let sound_expected = match oracle::soundness(&LocalDiff, &instance, &bits()) {
+            Ok(_) => Ok(universe.len()),
+            Err(v) => Err(v),
+        };
+        let strong_expected = match oracle::strong(&YesMan, 2, &instance, &bits()) {
+            Ok(_) => Ok(universe.len()),
+            Err(v) => Err(v),
+        };
+        for mode in modes() {
+            for opts in strategies() {
+                let recorder = MetricsRecorder::new();
+                let check = SoundnessCheck {
+                    decoder: &LocalDiff,
+                };
+                let report = sweep_recorded(&check, &universe, mode, opts, &recorder);
+                assert_eq!(report.verdict, sound_expected, "recorded soundness");
+                assert_counter_invariants(
+                    &recorder,
+                    &universe,
+                    opts,
+                    report.short_circuited,
+                    1,
+                    "recorded soundness",
+                );
+
+                let recorder = MetricsRecorder::new();
+                let check = StrongCheck {
+                    decoder: &YesMan,
+                    language: &language,
+                };
+                let report = sweep_recorded(&check, &universe, mode, opts, &recorder);
+                assert_eq!(report.verdict, strong_expected, "recorded strong");
+                assert_counter_invariants(
+                    &recorder,
+                    &universe,
+                    opts,
+                    report.short_circuited,
+                    1,
+                    "recorded strong",
+                );
+            }
+        }
+    }
+}
+
+/// A probe declaring full symmetry (port automorphisms plus one
+/// interchangeable certificate class), so the quotient really engages.
+struct OrbitProbe {
+    k: usize,
+}
+
+impl PropertyCheck for OrbitProbe {
+    type Partial = u64;
+    type Verdict = u64;
+
+    fn inspect(&self, _item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<u64> {
+        Some(ctx.multiplicity())
+    }
+
+    fn symmetry_class(&self, _alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+        Some(SymmetrySpec {
+            automorphisms: true,
+            alphabet_classes: Some(vec![0; self.k]),
+        })
+    }
+
+    fn reduce(
+        &self,
+        _universe: &Universe,
+        partials: Vec<(usize, u64)>,
+        _outcome: &SweepOutcome,
+    ) -> u64 {
+        partials.into_iter().map(|(_, m)| m).sum()
+    }
+}
+
+/// The recorded quotient walk over a rotation-symmetric cycle pins the
+/// partition exactly: `items_walked == |Sigma|^n`, the skipped items are
+/// the non-canonical representatives, and the surviving orbits re-weight
+/// to the full space — at both execution modes.
+#[test]
+fn recorded_quotient_walk_partitions_the_labeling_space() {
+    for n in 4usize..=6 {
+        let g = generators::cycle(n);
+        let ports = hiding_lcp_graph::ports::cycle_symmetric(&g);
+        let instance = Instance::new(g, ports, IdAssignment::canonical(n))
+            .expect("symmetric cycle ports are valid");
+        let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let check = OrbitProbe { k: 2 };
+        for mode in modes() {
+            let recorder = MetricsRecorder::new();
+            let report = sweep_recorded(&check, &universe, mode, SweepOpts::quotient(), &recorder);
+            let snap = recorder.snapshot();
+            let get = |name: &str| snap.get(name).unwrap_or(0);
+            assert_eq!(get("items_walked"), 1 << n, "C{n}: walk covers |Sigma|^n");
+            assert!(get("items_orbit_skipped") > 0, "C{n}: the quotient engaged");
+            assert_eq!(
+                get("items_inspected") + get("items_orbit_skipped"),
+                get("items_walked"),
+                "C{n}: partition tiles"
+            );
+            assert_eq!(
+                get("orbit_multiplicity"),
+                1 << n,
+                "C{n}: multiplicities re-weight to the space"
+            );
+            assert_eq!(get("quotient_blocks"), 1, "C{n}: one active block");
+            assert_eq!(report.verdict, 1 << n, "C{n}: reduction agrees");
+        }
+    }
+}
+
+/// The two-channel panel differential with a recorder attached: member
+/// verdicts still match the plain panel, and the channel accounting
+/// (memo, refresh/readback) holds member-summed.
+#[test]
+fn recorded_panel_matches_plain_panel_with_invariants() {
+    let d1 = PortObliviousCycleDecoder::from_code(0);
+    let d2 = PortObliviousCycleDecoder::from_code(63);
+    let two_col = KCol::new(2);
+    let universe = panel_universe();
+    let members = two_channel_panel(&d1, &d2, &two_col);
+    for mode in modes() {
+        for opts in strategies() {
+            let plain = sweep_panel_with_opts(&members, &universe, mode, opts);
+            let recorder = MetricsRecorder::new();
+            let recorded = sweep_panel_recorded(&members, &universe, mode, opts, &recorder);
+            for (a, b) in plain.members.iter().zip(&recorded.members) {
+                assert_eq!(a.checked, b.checked, "{}", a.label);
+                assert_eq!(a.short_circuited, b.short_circuited, "{}", a.label);
+                assert_eq!(a.verdict.passed, b.verdict.passed, "{}", a.label);
+                assert_eq!(a.verdict.detail, b.verdict.detail, "{}", a.label);
+            }
+            // The complete-walk pin only applies when every member rode
+            // the walk to the end.
+            let any_stopped = recorded.members.iter().any(|m| m.short_circuited);
+            assert_counter_invariants(
+                &recorder,
+                &universe,
+                opts,
+                any_stopped,
+                members.len(),
+                "recorded panel",
+            );
+        }
+    }
+}
+
 /// Builds the standard two-channel panel: soundness and strong share
 /// `d1`'s verdict channel, a second soundness member rides `d2`'s. Both
 /// decoders are non-ZST (`PortObliviousCycleDecoder` stores its code), so

@@ -50,6 +50,11 @@
 //!   nontrivial orbit by one member.
 //! * `orbit_reject_inverted` — the canonical-representative test keeps
 //!   the non-minimal orbit members and skips the minimum.
+//! * `telemetry_counter_drop` — the metrics recorder silently drops
+//!   `items_orbit_skipped` increments, breaking the quotient partition
+//!   identity inspected + skipped = walked.
+//! * `span_unbalanced_exit` — the trace recorder suppresses span exits,
+//!   so every entered span stays open and the trace never balances.
 
 use std::sync::RwLock;
 

@@ -80,6 +80,7 @@ use super::budget::{ResumeToken, SweepBudget, SweepError};
 use super::check::{ExecEvidence, PropertyCheck, SweepOutcome, VerificationReport};
 use super::interner::digit_key;
 use super::symmetry::QuotientPlan;
+use super::telemetry::{MetricsRecorder, SweepCounter, SweepPhase, SweepRecorder, WorkerTally};
 use super::universe::{Block, Coverage, LabelSource, Universe, UniverseItem};
 use crate::decoder::{Decoder, Verdict};
 use crate::instance::{Instance, LabeledInstance};
@@ -410,6 +411,38 @@ pub fn sweep_with_opts<C: PropertyCheck>(
         &SweepBudget::unlimited(),
         ResumeToken::start(),
         opts,
+        None,
+        |_, _, _| None,
+    )
+    .report
+}
+
+/// [`sweep_with_opts`] with a telemetry recorder attached: the engine
+/// streams counters, phase timings and spans into `recorder` as it runs
+/// (see [`super::telemetry`]). Without the `telemetry` feature the
+/// recorder is inert and this is exactly [`sweep_with_opts`].
+pub fn sweep_recorded<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    mode: ExecMode,
+    opts: SweepOpts,
+    recorder: &MetricsRecorder,
+) -> VerificationReport<C::Verdict> {
+    #[cfg(feature = "telemetry")]
+    let attached: Option<&dyn SweepRecorder> = Some(recorder);
+    #[cfg(not(feature = "telemetry"))]
+    let attached: Option<&dyn SweepRecorder> = {
+        let _ = recorder;
+        None
+    };
+    run_resumable(
+        check,
+        universe,
+        mode,
+        &SweepBudget::unlimited(),
+        ResumeToken::start(),
+        opts,
+        attached,
         |_, _, _| None,
     )
     .report
@@ -449,6 +482,7 @@ where
         budget,
         ResumeToken::start(),
         opts,
+        None,
         tokenize,
     )
 }
@@ -482,7 +516,7 @@ pub fn resume_sweep_with_opts<C: PropertyCheck>(
 where
     C::Partial: Clone,
 {
-    run_resumable(check, universe, mode, budget, token, opts, tokenize)
+    run_resumable(check, universe, mode, budget, token, opts, None, tokenize)
 }
 
 /// The cloning tokenizer the budgeted entry points pass to
@@ -503,7 +537,10 @@ fn tokenize<P: Clone>(
 
 /// The shared engine behind [`sweep_with`], [`sweep_budgeted`] and
 /// [`resume_sweep`]. `make_token` builds the continuation when the sweep
-/// is interrupted; see [`tokenize`].
+/// is interrupted; see [`tokenize`]. When a recorder is attached, phase
+/// timings are measured by the *recorder's* clock (never ambient time)
+/// and the engine additionally emits sweep/block/chunk spans.
+#[allow(clippy::too_many_arguments)] // the args are the sweep's state, not a config
 fn run_resumable<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
@@ -511,6 +548,7 @@ fn run_resumable<C: PropertyCheck>(
     budget: &SweepBudget,
     token: ResumeToken<C::Partial>,
     opts: SweepOpts,
+    recorder: Option<&dyn SweepRecorder>,
     make_token: impl Fn(&[(usize, C::Partial)], &[SweepError], usize) -> Option<ResumeToken<C::Partial>>,
 ) -> BudgetedSweep<C::Verdict, C::Partial> {
     let start = Instant::now();
@@ -528,7 +566,14 @@ fn run_resumable<C: PropertyCheck>(
         // list it.
         configs.push((d.radius(), d.id_mode()));
     }
+    if let Some(r) = recorder {
+        r.span_enter("sweep");
+    }
+    let phase_start = recorder.map(|r| r.now_micros());
     let cache = SkeletonCache::build(universe, configs);
+    if let (Some(r), Some(t0)) = (recorder, phase_start) {
+        r.record_phase(SweepPhase::CacheBuild, r.now_micros().saturating_sub(t0));
+    }
     let hits = AtomicUsize::new(0);
     let misses = AtomicUsize::new(cache.populated);
     let memo_hits = AtomicUsize::new(0);
@@ -550,6 +595,7 @@ fn run_resumable<C: PropertyCheck>(
         memo_misses: &memo_misses,
         memo_on: opts.memo,
         oracle,
+        recorder,
     };
     let n = universe.len();
     let begin = token.next_index.min(n);
@@ -561,11 +607,34 @@ fn run_resumable<C: PropertyCheck>(
     };
     let threads = resolve_threads(mode, end.saturating_sub(begin));
 
+    let walk_start = recorder.map(|r| r.now_micros());
     let outcome = if threads > 1 {
         run_parallel(&engine, threads, begin, end, deadline)
     } else {
         run_sequential(&engine, begin, end, deadline)
     };
+    if let (Some(r), Some(t0)) = (recorder, walk_start) {
+        r.record_phase(SweepPhase::Walk, r.now_micros().saturating_sub(t0));
+    }
+    if let Some(r) = recorder {
+        r.add(SweepCounter::PanicsCaught, outcome.errors.len() as u64);
+        r.add(SweepCounter::CacheHits, hits.load(Ordering::Relaxed) as u64);
+        r.add(
+            SweepCounter::CacheMisses,
+            misses.load(Ordering::Relaxed) as u64,
+        );
+        r.add(
+            SweepCounter::MemoHits,
+            memo_hits.load(Ordering::Relaxed) as u64,
+        );
+        r.add(
+            SweepCounter::MemoMisses,
+            memo_misses.load(Ordering::Relaxed) as u64,
+        );
+        if let Some(plan) = &engine.quotient {
+            r.add(SweepCounter::QuotientBlocks, plan.active_blocks());
+        }
+    }
 
     let mut partials = token.partials;
     partials.extend(outcome.partials);
@@ -607,12 +676,26 @@ fn run_resumable<C: PropertyCheck>(
         universe.coverage()
     };
 
+    if interrupted {
+        budget.note_interruption(recorder);
+    }
     let sweep_outcome = SweepOutcome {
         checked,
         universe_size: n,
         short_circuited,
     };
+    let reduce_start = recorder.map(|r| r.now_micros());
     let verdict = check.reduce(universe, partials, &sweep_outcome);
+    if let (Some(r), Some(t0)) = (recorder, reduce_start) {
+        r.record_phase(SweepPhase::Reduce, r.now_micros().saturating_sub(t0));
+    }
+    let interner = check.interner_report();
+    if let (Some(r), Some(report)) = (recorder, &interner) {
+        report.record_into(r);
+    }
+    if let Some(r) = recorder {
+        r.span_exit("sweep");
+    }
     BudgetedSweep {
         report: VerificationReport {
             verdict,
@@ -629,7 +712,7 @@ fn run_resumable<C: PropertyCheck>(
                 memo_misses: memo_misses.load(Ordering::Relaxed),
                 elapsed: start.elapsed(),
                 threads,
-                interner: check.interner_report(),
+                interner,
             },
         },
         resume,
@@ -907,6 +990,7 @@ struct Engine<'e, C: PropertyCheck> {
     memo_misses: &'e AtomicUsize,
     memo_on: bool,
     oracle: bool,
+    recorder: Option<&'e dyn SweepRecorder>,
 }
 
 /// The delta-evaluation plan for a check with a
@@ -1072,6 +1156,7 @@ struct WorkerState {
     walker: Walker,
     scratch: VerdictScratch,
     memo: VerdictMemo,
+    tally: WorkerTally,
 }
 
 impl WorkerState {
@@ -1080,6 +1165,7 @@ impl WorkerState {
             walker: Walker::default(),
             scratch: VerdictScratch::default(),
             memo: VerdictMemo::new(memo_on),
+            tally: WorkerTally::default(),
         }
     }
 }
@@ -1137,12 +1223,15 @@ pub(super) fn refresh_verdicts(
     walker: &Walker,
     scratch: &mut VerdictScratch,
     memo: &mut VerdictMemo,
+    tally: &mut WorkerTally,
     stepped: bool,
 ) {
     if scratch.pos == Some((block, offset)) {
         // Already current: a second panel member on the same channel.
+        tally.readback();
         return;
     }
+    tally.refresh();
     let can_patch = stepped && offset > 0 && scratch.pos == Some((block, offset - 1));
     #[cfg(conformance_mutants)]
     let can_patch = can_patch
@@ -1164,13 +1253,16 @@ pub(super) fn refresh_verdicts(
         ..
     } = *scratch;
     if !can_patch {
+        tally.decisions(n as u64);
         verdicts.clear();
         verdicts
             .extend((0..n).map(|u| node_verdict(driver, cache, block, u, labeling, digits, memo)));
     } else if changed.len() == 1 {
         // The common case (probability (k-1)/k): one digit stepped, only
         // its ball re-decides.
-        for &u in &driver.balls[block][changed[0]] {
+        let ball = &driver.balls[block][changed[0]];
+        tally.decisions(ball.len() as u64);
+        for &u in ball {
             verdicts[u] = node_verdict(driver, cache, block, u, labeling, digits, memo);
         }
     } else {
@@ -1185,6 +1277,7 @@ pub(super) fn refresh_verdicts(
                 }
             }
         }
+        tally.decisions(pending.len() as u64);
         for &u in pending.iter() {
             touched[u] = false;
             verdicts[u] = node_verdict(driver, cache, block, u, labeling, digits, memo);
@@ -1207,7 +1300,9 @@ impl<C: PropertyCheck> Engine<'_, C> {
         state: &mut WorkerState,
         i: usize,
     ) -> Result<Option<C::Partial>, SweepError> {
+        state.tally.walk();
         if self.oracle {
+            state.tally.inspect(1);
             return self.inspect_decoded(i);
         }
         let (block, offset) = self.universe.locate(i);
@@ -1221,9 +1316,13 @@ impl<C: PropertyCheck> Engine<'_, C> {
             // representative repairs with a full recompute.
             match plan.classify(block, &state.walker.digits) {
                 Some(m) => multiplicity = m,
-                None => return Ok(None),
+                None => {
+                    state.tally.orbit_skip();
+                    return Ok(None);
+                }
             }
         }
+        state.tally.inspect(multiplicity);
         let instance = self.universe.blocks()[block].instance();
         let ctx = ItemCtx {
             block,
@@ -1242,11 +1341,12 @@ impl<C: PropertyCheck> Engine<'_, C> {
                 walker,
                 scratch,
                 memo,
+                tally,
             } = state;
             if use_verdicts {
                 let driver = self.driver.as_ref().expect("checked above");
                 refresh_verdicts(
-                    driver, self.cache, block, offset, walker, scratch, memo, stepped,
+                    driver, self.cache, block, offset, walker, scratch, memo, tally, stepped,
                 );
                 let item = UniverseItem {
                     index: i,
@@ -1289,11 +1389,13 @@ impl<C: PropertyCheck> Engine<'_, C> {
         .map_err(|payload| SweepError::from_panic(i, payload))
     }
 
-    /// Folds a worker's local memo counters into the sweep totals.
+    /// Folds a worker's local memo counters into the sweep totals and
+    /// its telemetry tally into the attached recorder (if any).
     fn flush_memo(&self, state: &WorkerState) {
         self.memo_hits.fetch_add(state.memo.hits, Ordering::Relaxed);
         self.memo_misses
             .fetch_add(state.memo.misses, Ordering::Relaxed);
+        state.tally.flush(self.recorder);
     }
 }
 
@@ -1308,10 +1410,24 @@ fn run_sequential<C: PropertyCheck>(
     let mut errors = Vec::new();
     let mut stop_at = usize::MAX;
     let mut next = end;
+    // Span bookkeeping (recorder-only): the sequential walk visits
+    // blocks in order, so one `locate` per item — paid only when a
+    // recorder is attached — detects every block transition.
+    let mut span_block: Option<usize> = None;
     for i in begin..end {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             next = i;
             break;
+        }
+        if let Some(r) = engine.recorder {
+            let (block, _) = engine.universe.locate(i);
+            if span_block != Some(block) {
+                if let Some(b) = span_block {
+                    r.span_exit(&format!("block:{b}"));
+                }
+                r.span_enter(&format!("block:{block}"));
+                span_block = Some(block);
+            }
         }
         match engine.run_item(&mut state, i) {
             Ok(Some(partial)) => {
@@ -1326,6 +1442,9 @@ fn run_sequential<C: PropertyCheck>(
             Ok(None) => {}
             Err(err) => errors.push(err),
         }
+    }
+    if let (Some(r), Some(b)) = (engine.recorder, span_block) {
+        r.span_exit(&format!("block:{b}"));
     }
     engine.flush_memo(&state);
     PassOutcome {
@@ -1387,6 +1506,9 @@ fn run_parallel<C: PropertyCheck>(
                         if start >= end || start > stop_at.load(Ordering::Relaxed) {
                             break;
                         }
+                        if let Some(r) = engine.recorder {
+                            r.span_enter(&format!("chunk:{start}"));
+                        }
                         for i in start..(start + chunk).min(end) {
                             if i > stop_at.load(Ordering::Relaxed) {
                                 break;
@@ -1403,6 +1525,9 @@ fn run_parallel<C: PropertyCheck>(
                                 Ok(None) => {}
                                 Err(err) => local_errors.push(err),
                             }
+                        }
+                        if let Some(r) = engine.recorder {
+                            r.span_exit(&format!("chunk:{start}"));
                         }
                     }
                     engine.flush_memo(&state);

@@ -97,6 +97,17 @@ pub struct InternerReport {
     pub contention: usize,
 }
 
+impl InternerReport {
+    /// Folds the report's traffic counters into a telemetry recorder —
+    /// the executor calls this once per recorded sweep, after `reduce`.
+    pub fn record_into(&self, recorder: &dyn super::SweepRecorder) {
+        use super::SweepCounter;
+        recorder.add(SweepCounter::InternerFrontHits, self.front_hits as u64);
+        recorder.add(SweepCounter::InternerFrontMisses, self.front_misses as u64);
+        recorder.add(SweepCounter::InternerContention, self.contention as u64);
+    }
+}
+
 /// A concurrent hash-consing table from [`View`] to dense [`ViewId`],
 /// with an integer-keyed front cache for digit-packed identities.
 ///

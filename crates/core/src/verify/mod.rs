@@ -53,6 +53,7 @@ pub mod interner;
 mod panel;
 pub mod plan;
 mod symmetry;
+pub mod telemetry;
 pub mod universe;
 
 pub use budget::{MemberFrontier, PanelResumeToken, ResumeToken, SweepBudget, SweepError};
@@ -60,20 +61,22 @@ pub use check::{ExecEvidence, PropertyCheck, SweepOutcome, VerificationReport};
 pub use erased::{DynPropertyCheck, ErasedPartial, ErasedVerdict, PanelVerdict, PropertyTag};
 pub use executor::{
     resume_sweep, resume_sweep_with_opts, sweep, sweep_budgeted, sweep_budgeted_with_opts,
-    sweep_lazy, sweep_lazy_budgeted, sweep_lazy_labeled, sweep_with, sweep_with_opts,
-    BudgetedSweep, ExecMode, ItemCtx, SweepOpts, SweepStrategy, PARALLEL_THRESHOLD,
+    sweep_lazy, sweep_lazy_budgeted, sweep_lazy_labeled, sweep_recorded, sweep_with,
+    sweep_with_opts, BudgetedSweep, ExecMode, ItemCtx, SweepOpts, SweepStrategy,
+    PARALLEL_THRESHOLD,
 };
 pub use interner::{digit_key, InternerReport, ViewId, ViewInterner};
 pub use panel::{
     resume_panel, resume_panel_with_opts, sweep_panel, sweep_panel_budgeted,
-    sweep_panel_budgeted_with_opts, sweep_panel_with, sweep_panel_with_opts, BudgetedPanel,
-    PanelMemberReport, PanelReport,
+    sweep_panel_budgeted_with_opts, sweep_panel_recorded, sweep_panel_with, sweep_panel_with_opts,
+    BudgetedPanel, PanelMemberReport, PanelReport,
 };
 pub use plan::{
     AuditMemberReport, AuditPanelReport, AuditPlan, AuditReport, BlockGated, FaultSpec,
-    InstanceSet, ALL_PROPERTIES,
+    InstanceSet, PanelTelemetry, ALL_PROPERTIES,
 };
 pub use symmetry::SymmetrySpec;
+pub use telemetry::{MetricsRecorder, MetricsSnapshot, SweepCounter, SweepPhase, SweepRecorder};
 pub use universe::{
     Block, Coverage, LabelSource, OwnedItem, Universe, UniverseItem, UniverseOverflow,
 };

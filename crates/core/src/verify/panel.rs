@@ -59,6 +59,7 @@ use super::executor::{
     SweepStrategy, VerdictMemo, VerdictScratch, Walker,
 };
 use super::symmetry::QuotientPlan;
+use super::telemetry::{MetricsRecorder, SweepCounter, SweepPhase, SweepRecorder, WorkerTally};
 use super::universe::{Coverage, Universe, UniverseItem};
 use crate::decoder::Decoder;
 use crate::view::IdMode;
@@ -173,6 +174,38 @@ pub fn sweep_panel_with_opts(
         &SweepBudget::unlimited(),
         PanelResumeToken::start(checks.len()),
         opts,
+        None,
+    )
+    .report
+}
+
+/// [`sweep_panel_with_opts`] with a telemetry recorder attached: the
+/// fused walk streams counters, phase timings and panel/block/chunk
+/// spans into `recorder` (see [`super::telemetry`]). Without the
+/// `telemetry` feature the recorder is inert and this is exactly
+/// [`sweep_panel_with_opts`].
+pub fn sweep_panel_recorded(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    mode: ExecMode,
+    opts: SweepOpts,
+    recorder: &MetricsRecorder,
+) -> PanelReport {
+    #[cfg(feature = "telemetry")]
+    let attached: Option<&dyn SweepRecorder> = Some(recorder);
+    #[cfg(not(feature = "telemetry"))]
+    let attached: Option<&dyn SweepRecorder> = {
+        let _ = recorder;
+        None
+    };
+    run_panel(
+        checks,
+        universe,
+        mode,
+        &SweepBudget::unlimited(),
+        PanelResumeToken::start(checks.len()),
+        opts,
+        attached,
     )
     .report
 }
@@ -203,6 +236,7 @@ pub fn sweep_panel_budgeted_with_opts(
         budget,
         PanelResumeToken::start(checks.len()),
         opts,
+        None,
     )
 }
 
@@ -228,7 +262,7 @@ pub fn resume_panel_with_opts(
     token: PanelResumeToken,
     opts: SweepOpts,
 ) -> BudgetedPanel {
-    run_panel(checks, universe, mode, budget, token, opts)
+    run_panel(checks, universe, mode, budget, token, opts, None)
 }
 
 /// The member's recorded stop index for a short-circuit at item `i`.
@@ -258,13 +292,20 @@ struct PanelEngine<'e> {
     /// Member index -> its symmetry-quotient plan, when the panel runs
     /// under [`SweepStrategy::Quotient`] and the member opted in.
     quotients: Vec<Option<QuotientPlan>>,
+    recorder: Option<&'e dyn SweepRecorder>,
 }
 
 /// A worker thread's mutable state: one odometer walker feeding one
-/// verdict scratch + memo per channel.
+/// verdict scratch + memo per channel, plus the thread's telemetry
+/// tally. Panel tallies count *member evaluations*: each (item, active
+/// member) pair is one walk, resolving to one inspect or one orbit
+/// skip — so `items_inspected + items_orbit_skipped == items_walked`
+/// holds member-summed, and a one-member panel tallies exactly like the
+/// single-check executor.
 struct PanelWorker {
     walker: Walker,
     channels: Vec<(VerdictScratch, VerdictMemo)>,
+    tally: WorkerTally,
 }
 
 impl PanelWorker {
@@ -274,14 +315,16 @@ impl PanelWorker {
             channels: (0..channels)
                 .map(|_| (VerdictScratch::default(), VerdictMemo::new(memo_on)))
                 .collect(),
+            tally: WorkerTally::default(),
         }
     }
 
-    fn flush(&self, memo_hits: &AtomicUsize, memo_misses: &AtomicUsize) {
+    fn flush(&self, engine: &PanelEngine<'_>) {
         for (_, memo) in &self.channels {
-            memo_hits.fetch_add(memo.hits, Ordering::Relaxed);
-            memo_misses.fetch_add(memo.misses, Ordering::Relaxed);
+            engine.memo_hits.fetch_add(memo.hits, Ordering::Relaxed);
+            engine.memo_misses.fetch_add(memo.misses, Ordering::Relaxed);
         }
+        self.tally.flush(engine.recorder);
     }
 }
 
@@ -311,6 +354,8 @@ impl PanelEngine<'_> {
                 if !active(m) {
                     continue;
                 }
+                worker.tally.walk();
+                worker.tally.inspect(1);
                 let r = catch_unwind(AssertUnwindSafe(|| {
                     self.checks[m].inspect(&buf.as_item(), &ctx)
                 }))
@@ -320,13 +365,18 @@ impl PanelEngine<'_> {
             return;
         }
         let (block, offset) = self.universe.locate(i);
-        let PanelWorker { walker, channels } = worker;
+        let PanelWorker {
+            walker,
+            channels,
+            tally,
+        } = worker;
         let stepped = walker.advance_to(self.universe, block, offset);
         let instance = self.universe.blocks()[block].instance();
         for m in 0..self.checks.len() {
             if !active(m) {
                 continue;
             }
+            tally.walk();
             // Quotient strategy: a member whose plan rejects this item as a
             // non-canonical orbit member skips it entirely -- its verdict
             // channel refreshes lazily at its next canonical item.
@@ -334,9 +384,13 @@ impl PanelEngine<'_> {
             if let Some(plan) = &self.quotients[m] {
                 match plan.classify(block, &walker.digits) {
                     Some(mult) => multiplicity = mult,
-                    None => continue,
+                    None => {
+                        tally.orbit_skip();
+                        continue;
+                    }
                 }
             }
+            tally.inspect(multiplicity);
             let ctx = ItemCtx::new(
                 block,
                 self.cache,
@@ -371,6 +425,7 @@ impl PanelEngine<'_> {
                         walker,
                         scratch,
                         memo,
+                        tally,
                         stepped,
                     );
                     let item = UniverseItem {
@@ -411,14 +466,17 @@ struct PanelPass {
     next: usize,
 }
 
-/// The shared engine behind every panel entry point.
-fn run_panel(
+/// The shared engine behind every panel entry point. `recorder` attaches
+/// telemetry (the audit plan passes one through here to keep budgets and
+/// recording composable); phase timings use the recorder's clock.
+pub(super) fn run_panel(
     checks: &[DynPropertyCheck<'_>],
     universe: &Universe,
     mode: ExecMode,
     budget: &SweepBudget,
     token: PanelResumeToken,
     opts: SweepOpts,
+    recorder: Option<&dyn SweepRecorder>,
 ) -> BudgetedPanel {
     let start = Instant::now();
     let n = universe.len();
@@ -453,6 +511,10 @@ fn run_panel(
     );
     let deadline = budget.deadline.map(|d| start + d);
     let oracle = opts.strategy == SweepStrategy::DecodeOracle;
+    if let Some(r) = recorder {
+        r.span_enter("panel");
+    }
+    let cache_start = recorder.map(|r| r.now_micros());
 
     // Verdict channels: members with equal channel keys share a slot;
     // members with a decoder but no key get a private slot; the decode
@@ -490,6 +552,9 @@ fn run_panel(
         }
     }
     let cache = SkeletonCache::build(universe, configs);
+    if let (Some(r), Some(t0)) = (recorder, cache_start) {
+        r.record_phase(SweepPhase::CacheBuild, r.now_micros().saturating_sub(t0));
+    }
     let drivers: Vec<DeltaDriver<'_>> = decoders
         .iter()
         .enumerate()
@@ -527,6 +592,7 @@ fn run_panel(
         memo_on: opts.memo,
         oracle,
         quotients,
+        recorder,
     };
 
     let begin = token.next_index.min(n);
@@ -541,11 +607,41 @@ fn run_panel(
         .map(|f| f.stop_at.unwrap_or(usize::MAX))
         .collect();
 
+    let walk_start = recorder.map(|r| r.now_micros());
     let pass = if threads > 1 {
         run_panel_parallel(&engine, threads, begin, end, deadline, init_stop)
     } else {
         run_panel_sequential(&engine, begin, end, deadline, init_stop)
     };
+    if let (Some(r), Some(t0)) = (recorder, walk_start) {
+        r.record_phase(SweepPhase::Walk, r.now_micros().saturating_sub(t0));
+    }
+    if let Some(r) = recorder {
+        let new_errors: usize = pass.errors.iter().map(|e| e.len()).sum();
+        r.add(SweepCounter::PanicsCaught, new_errors as u64);
+        r.add(SweepCounter::CacheHits, hits.load(Ordering::Relaxed) as u64);
+        r.add(
+            SweepCounter::CacheMisses,
+            misses.load(Ordering::Relaxed) as u64,
+        );
+        r.add(
+            SweepCounter::MemoHits,
+            memo_hits.load(Ordering::Relaxed) as u64,
+        );
+        r.add(
+            SweepCounter::MemoMisses,
+            memo_misses.load(Ordering::Relaxed) as u64,
+        );
+        let quotient_blocks: u64 = engine
+            .quotients
+            .iter()
+            .flatten()
+            .map(|plan| plan.active_blocks())
+            .sum();
+        if quotient_blocks > 0 {
+            r.add(SweepCounter::QuotientBlocks, quotient_blocks);
+        }
+    }
 
     // Merge token state in front of this pass's records, then restore
     // the per-member sequential invariants: index order, nothing past
@@ -607,6 +703,10 @@ fn run_panel(
         next
     };
 
+    if interrupted {
+        budget.note_interruption(recorder);
+    }
+    let reduce_start = recorder.map(|r| r.now_micros());
     let mut members = Vec::with_capacity(nmem);
     for (m, (partials_m, errors_m)) in member_partials.into_iter().zip(member_errors).enumerate() {
         let check = &checks[m];
@@ -643,6 +743,17 @@ fn run_panel(
         });
     }
 
+    if let (Some(r), Some(t0)) = (recorder, reduce_start) {
+        r.record_phase(SweepPhase::Reduce, r.now_micros().saturating_sub(t0));
+    }
+    let interner = checks.iter().find_map(|check| check.interner_report());
+    if let (Some(r), Some(report)) = (recorder, &interner) {
+        report.record_into(r);
+    }
+    if let Some(r) = recorder {
+        r.span_exit("panel");
+    }
+
     BudgetedPanel {
         report: PanelReport {
             members,
@@ -659,7 +770,7 @@ fn run_panel(
                 memo_misses: memo_misses.load(Ordering::Relaxed),
                 elapsed: start.elapsed(),
                 threads,
-                interner: checks.iter().find_map(|check| check.interner_report()),
+                interner,
             },
         },
         resume,
@@ -679,6 +790,9 @@ fn run_panel_sequential(
     let mut errors: Vec<Vec<SweepError>> = (0..nmem).map(|_| Vec::new()).collect();
     let mut next = end;
     let mut newly_stopped: Vec<usize> = Vec::new();
+    // Span bookkeeping (recorder-only), as in the single-check executor:
+    // one extra `locate` per item detects block transitions.
+    let mut span_block: Option<usize> = None;
     for i in begin..end {
         if stop_at.iter().all(|&s| s != usize::MAX) {
             break;
@@ -686,6 +800,16 @@ fn run_panel_sequential(
         if deadline.is_some_and(|d| Instant::now() >= d) {
             next = i;
             break;
+        }
+        if let Some(r) = engine.recorder {
+            let (block, _) = engine.universe.locate(i);
+            if span_block != Some(block) {
+                if let Some(b) = span_block {
+                    r.span_exit(&format!("block:{b}"));
+                }
+                r.span_enter(&format!("block:{block}"));
+                span_block = Some(block);
+            }
         }
         newly_stopped.clear();
         {
@@ -712,7 +836,10 @@ fn run_panel_sequential(
             stop_at[m] = stop_index(i);
         }
     }
-    worker.flush(engine.memo_hits, engine.memo_misses);
+    if let (Some(r), Some(b)) = (engine.recorder, span_block) {
+        r.span_exit(&format!("block:{b}"));
+    }
+    worker.flush(engine);
     PanelPass {
         partials,
         errors,
@@ -772,6 +899,9 @@ fn run_panel_parallel(
                         if start >= end || start > horizon(&stop_at) {
                             break;
                         }
+                        if let Some(r) = engine.recorder {
+                            r.span_enter(&format!("chunk:{start}"));
+                        }
                         for i in start..(start + chunk).min(end) {
                             if i > horizon(&stop_at) {
                                 break;
@@ -792,8 +922,11 @@ fn run_panel_parallel(
                                 };
                             engine.run_item(&mut worker, i, &mut active, &mut record);
                         }
+                        if let Some(r) = engine.recorder {
+                            r.span_exit(&format!("chunk:{start}"));
+                        }
                     }
-                    worker.flush(engine.memo_hits, engine.memo_misses);
+                    worker.flush(engine);
                     (local, local_errors)
                 })
             })

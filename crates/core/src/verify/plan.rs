@@ -39,11 +39,17 @@ use crate::properties::quantified::{quantified_member, ExtractabilityMap};
 use crate::properties::soundness::{SoundnessCheck, SoundnessViolation};
 use crate::properties::strong::strong_member;
 use crate::prover::Prover;
+#[cfg(feature = "telemetry")]
+use crate::verify::SweepStrategy;
 use crate::verify::{
-    sweep_panel_budgeted_with_opts, sweep_panel_with_opts, Block, Coverage, DynPropertyCheck,
-    ExecMode, InternerReport, ItemCtx, LabelSource, PanelReport, PropertyCheck, PropertyTag,
-    SweepBudget, SweepOpts, SweepOutcome, SymmetrySpec, Universe, UniverseItem,
+    Block, Coverage, DynPropertyCheck, ExecMode, InternerReport, ItemCtx, LabelSource,
+    MetricsRecorder, MetricsSnapshot, PanelReport, PanelResumeToken, PropertyCheck, PropertyTag,
+    SweepBudget, SweepOpts, SweepOutcome, SweepRecorder, SymmetrySpec, Universe, UniverseItem,
 };
+
+use super::panel::run_panel;
+#[cfg(feature = "telemetry")]
+use super::telemetry::diff;
 use crate::view::IdMode;
 use hiding_lcp_graph::Graph;
 use rand::rngs::StdRng;
@@ -253,6 +259,7 @@ pub struct AuditPlan<'a> {
     mode: ExecMode,
     opts: SweepOpts,
     budget: Option<SweepBudget>,
+    telemetry: Option<&'a MetricsRecorder>,
     fault_plan: Option<FaultSpec>,
     erasure_f: usize,
     erasure_trials: usize,
@@ -291,6 +298,7 @@ impl<'a> AuditPlan<'a> {
             mode: ExecMode::Auto,
             opts: SweepOpts::default(),
             budget: None,
+            telemetry: None,
             fault_plan: None,
             erasure_f: 1,
             erasure_trials: 8,
@@ -331,6 +339,16 @@ impl<'a> AuditPlan<'a> {
         self
     }
 
+    /// Attaches a metrics recorder: every panel streams counters, phase
+    /// timings and spans into it, and the report gains a `telemetry`
+    /// section with per-panel counter deltas. In `--no-default-features`
+    /// builds the recorder is inert and nothing is attached, so the
+    /// engine keeps its recorder-free hot path.
+    pub fn telemetry(mut self, recorder: &'a MetricsRecorder) -> Self {
+        self.telemetry = Some(recorder);
+        self
+    }
+
     /// Appends a degradation sweep under communication faults.
     pub fn fault_plan(mut self, spec: FaultSpec) -> Self {
         self.fault_plan = Some(spec);
@@ -361,6 +379,72 @@ impl<'a> AuditPlan<'a> {
         self.properties.contains(&tag)
     }
 
+    /// The attached recorder as the engine-facing trait object. Disabled
+    /// builds attach nothing: the inert recorder would record nothing
+    /// anyway, and skipping it keeps the engine's recorder-free paths.
+    fn attached(&self) -> Option<&dyn SweepRecorder> {
+        #[cfg(feature = "telemetry")]
+        {
+            self.telemetry.map(|r| r as &dyn SweepRecorder)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            None
+        }
+    }
+
+    /// Snapshot taken just before a panel runs, when a recorder is live.
+    fn snapshot_before(&self) -> Option<MetricsSnapshot> {
+        #[cfg(feature = "telemetry")]
+        {
+            self.telemetry.map(|r| r.snapshot())
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            None
+        }
+    }
+
+    /// Diffs the recorder against `before` and appends the panel's
+    /// counter movement to the report's telemetry section.
+    fn push_panel_telemetry(
+        &self,
+        shape: &str,
+        before: Option<MetricsSnapshot>,
+        report: &mut AuditReport,
+    ) {
+        #[cfg(feature = "telemetry")]
+        if let (Some(recorder), Some(before)) = (self.telemetry, before) {
+            let delta = diff::diff(&before, &recorder.snapshot());
+            report.telemetry.push(PanelTelemetry {
+                shape: shape.into(),
+                strategy: strategy_name(self.opts.strategy).into(),
+                counters: delta
+                    .changed()
+                    .map(|row| (row.name.clone(), row.delta().max(0) as u64, row.stable))
+                    .collect(),
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = (shape, before, report);
+        }
+    }
+
+    /// Runs one unbudgeted panel with the plan's recorder attached.
+    fn exec_panel(&self, members: &[DynPropertyCheck<'_>], universe: &Universe) -> PanelReport {
+        run_panel(
+            members,
+            universe,
+            self.mode,
+            &SweepBudget::unlimited(),
+            PanelResumeToken::start(members.len()),
+            self.opts,
+            self.attached(),
+        )
+        .report
+    }
+
     /// Compiles the plan into panels grouped by universe shape and
     /// executes them as a batch.
     pub fn run(&self) -> AuditReport {
@@ -369,9 +453,13 @@ impl<'a> AuditPlan<'a> {
             k: self.language.k(),
             seed: self.seed,
             panels: Vec::new(),
+            telemetry: Vec::new(),
             degradation: None,
             notes: Vec::new(),
         };
+        if let Some(r) = self.attached() {
+            r.span_enter("plan");
+        }
 
         let labelings = self.labelings_universe();
         let is_yes: Vec<bool> = labelings
@@ -411,6 +499,9 @@ impl<'a> AuditPlan<'a> {
                 .push("degradation skipped: no certified yes-instance".into());
         }
 
+        if let Some(r) = self.attached() {
+            r.span_exit("plan");
+        }
         report
     }
 
@@ -504,10 +595,17 @@ impl<'a> AuditPlan<'a> {
         if members.is_empty() {
             return;
         }
+        let before = self.snapshot_before();
         let panel = match self.budget {
             Some(budget) => {
-                let run = sweep_panel_budgeted_with_opts(
-                    &members, universe, self.mode, &budget, self.opts,
+                let run = run_panel(
+                    &members,
+                    universe,
+                    self.mode,
+                    &budget,
+                    PanelResumeToken::start(members.len()),
+                    self.opts,
+                    self.attached(),
                 );
                 if run.report.evidence.interrupted {
                     report.notes.push(
@@ -517,13 +615,14 @@ impl<'a> AuditPlan<'a> {
                 }
                 run.report
             }
-            None => sweep_panel_with_opts(&members, universe, self.mode, self.opts),
+            None => self.exec_panel(&members, universe),
         };
         let mut summary = summarize_panel("labelings", &panel);
         if let Some(index) = shared_nbhd {
             split_nbhd_member(&mut summary, &panel, index);
         }
         report.panels.push(summary);
+        self.push_panel_telemetry("labelings", before, report);
     }
 
     fn run_completeness_panel(
@@ -574,13 +673,10 @@ impl<'a> AuditPlan<'a> {
         let universe = Universe::instances_only(yes_instances, Coverage::Sampled)
             .expect("one item per instance fits");
         let member = completeness_member(self.decoder, prover);
-        let panel = sweep_panel_with_opts(
-            std::slice::from_ref(&member),
-            &universe,
-            self.mode,
-            self.opts,
-        );
+        let before = self.snapshot_before();
+        let panel = self.exec_panel(std::slice::from_ref(&member), &universe);
         report.panels.push(summarize_panel("instances", &panel));
+        self.push_panel_telemetry("instances", before, report);
     }
 
     /// The first yes-instance the prover certifies — the honest fixture
@@ -644,13 +740,10 @@ impl<'a> AuditPlan<'a> {
             Universe::labelings_of(honest.instance().clone(), labelings, Coverage::Sampled)
                 .expect("materialized labelings fit");
         let member = erasure_member(self.decoder, erased_counts);
-        let panel = sweep_panel_with_opts(
-            std::slice::from_ref(&member),
-            &universe,
-            self.mode,
-            self.opts,
-        );
+        let before = self.snapshot_before();
+        let panel = self.exec_panel(std::slice::from_ref(&member), &universe);
         report.panels.push(summarize_panel("erasure", &panel));
+        self.push_panel_telemetry("erasure", before, report);
     }
 
     fn run_invariance_panel(&self, honest: &LabeledInstance, report: &mut AuditReport) {
@@ -665,13 +758,10 @@ impl<'a> AuditPlan<'a> {
             &mut rng,
         );
         let member = invariance_member(self.decoder, honest.instance(), honest.labeling());
-        let panel = sweep_panel_with_opts(
-            std::slice::from_ref(&member),
-            &universe,
-            self.mode,
-            self.opts,
-        );
+        let before = self.snapshot_before();
+        let panel = self.exec_panel(std::slice::from_ref(&member), &universe);
         report.panels.push(summarize_panel("invariance", &panel));
+        self.push_panel_telemetry("invariance", before, report);
     }
 }
 
@@ -726,6 +816,20 @@ pub struct AuditPanelReport {
     pub members: Vec<AuditMemberReport>,
 }
 
+/// One panel's counter movement under the plan's attached recorder:
+/// the before/after snapshot diff taken around that panel's walk.
+#[derive(Debug, Clone)]
+pub struct PanelTelemetry {
+    /// The panel's shape (matches the [`AuditPanelReport`] shape).
+    pub shape: String,
+    /// The sweep strategy the panel ran under.
+    pub strategy: String,
+    /// Counters the panel moved: `(wire name, delta, stable)`. Stable
+    /// counters are deterministic for a fixed plan; the rest depend on
+    /// scheduling (memo timing, interner contention).
+    pub counters: Vec<(String, u64, bool)>,
+}
+
 /// The batch result of an [`AuditPlan`].
 #[derive(Debug, Clone)]
 pub struct AuditReport {
@@ -737,10 +841,23 @@ pub struct AuditReport {
     pub seed: u64,
     /// Executed panels, in shape order.
     pub panels: Vec<AuditPanelReport>,
+    /// Per-panel telemetry breakdowns; empty unless the plan carried
+    /// [`AuditPlan::telemetry`] and the `telemetry` feature is on.
+    pub telemetry: Vec<PanelTelemetry>,
     /// The fault-degradation sweep, when a fault plan was given.
     pub degradation: Option<DegradationReport>,
     /// Panels skipped or degraded, with reasons.
     pub notes: Vec<String>,
+}
+
+/// The wire name of a sweep strategy, as rendered in telemetry sections.
+#[cfg(feature = "telemetry")]
+fn strategy_name(strategy: SweepStrategy) -> &'static str {
+    match strategy {
+        SweepStrategy::DeltaStepping => "delta-stepping",
+        SweepStrategy::DecodeOracle => "decode-oracle",
+        SweepStrategy::Quotient => "quotient",
+    }
 }
 
 impl AuditReport {
@@ -822,6 +939,32 @@ impl AuditReport {
             out.push_str("]\n    }");
         }
         if !self.panels.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"telemetry\": [");
+        for (i, t) in self.telemetry.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"shape\": {},\n", json_str(&t.shape)));
+            out.push_str(&format!("      \"strategy\": {},\n", json_str(&t.strategy)));
+            for (section, stable) in [("stable", true), ("observed", false)] {
+                out.push_str(&format!("      \"{section}\": {{"));
+                let mut first = true;
+                for (name, delta, _) in t.counters.iter().filter(|(_, _, s)| *s == stable) {
+                    if !first {
+                        out.push_str(", ");
+                    }
+                    first = false;
+                    out.push_str(&format!("{}: {delta}", json_str(name)));
+                }
+                out.push_str(if stable { "},\n" } else { "}\n" });
+            }
+            out.push_str("    }");
+        }
+        if !self.telemetry.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("],\n");
@@ -1085,6 +1228,45 @@ mod tests {
         assert_eq!(labelings.members[0].passed, Some(true));
         assert_eq!(labelings.members[1].passed, Some(true));
         assert_eq!(labelings.checked, labelings.universe_size);
+    }
+
+    /// A plan with a recorder attached reports one telemetry section per
+    /// executed panel, every panel walks, and the plan span closes.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_section_breaks_down_per_panel() {
+        let recorder = MetricsRecorder::new();
+        let report = AuditPlan::new(&LocalDiff, 2, family(), bits())
+            .prover(&BipartiteProver)
+            .telemetry(&recorder)
+            .run();
+        let shapes: Vec<&str> = report.telemetry.iter().map(|t| t.shape.as_str()).collect();
+        assert_eq!(shapes, ["labelings", "instances", "erasure", "invariance"]);
+        for t in &report.telemetry {
+            assert_eq!(t.strategy, "delta-stepping");
+            assert!(
+                t.counters
+                    .iter()
+                    .any(|(name, delta, _)| name == "items_walked" && *delta > 0),
+                "{} panel walked nothing: {:?}",
+                t.shape,
+                t.counters
+            );
+        }
+        assert!(recorder.trace_balanced(), "plan/panel spans all close");
+        let json = report.to_json();
+        assert!(json.contains("\"telemetry\": ["));
+        assert!(json.contains("\"strategy\": \"delta-stepping\""));
+        // The section reflects the recorder the caller owns: the summed
+        // per-panel walked counts equal the recorder's grand total.
+        let walked: u64 = report
+            .telemetry
+            .iter()
+            .flat_map(|t| &t.counters)
+            .filter(|(name, _, _)| name == "items_walked")
+            .map(|(_, delta, _)| delta)
+            .sum();
+        assert_eq!(recorder.snapshot().get("items_walked"), Some(walked));
     }
 
     #[test]

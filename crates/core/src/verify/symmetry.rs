@@ -103,9 +103,16 @@ impl QuotientPlan {
     }
 
     /// Whether `block` is actually quotiented.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(super) fn is_active(&self, block: usize) -> bool {
         self.blocks[block].is_some()
+    }
+
+    /// How many blocks carry a materialized group — the telemetry
+    /// layer's `quotient_blocks` counter.
+    pub(super) fn active_blocks(&self) -> u64 {
+        (0..self.blocks.len())
+            .filter(|&b| self.is_active(b))
+            .count() as u64
     }
 }
 

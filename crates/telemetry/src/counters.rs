@@ -1,0 +1,97 @@
+//! Lock-free sharded counter families.
+//!
+//! A counter family is a fixed set of named slots (the engine names them
+//! with an enum) backed by `shards × slots` atomics. Writers pick a
+//! shard from their thread identity so concurrent workers touch disjoint
+//! cache lines; readers fold the shards with addition. Addition is
+//! commutative and associative, so the merged totals are independent of
+//! which thread incremented what — the order-insensitivity the
+//! telemetry determinism suite byte-compares across thread counts.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shard count: enough to keep a handful of workers off each other's
+/// cache lines without bloating the merge. Fixed (not
+/// parallelism-scaled) so the memory footprint of a recorder is a
+/// compile-time constant.
+const SHARDS: usize = 16;
+
+/// A fixed family of `u64` counters, sharded for contention-free
+/// concurrent increment.
+#[derive(Debug)]
+pub struct ShardedCounters {
+    /// `shards[s][c]` = shard `s`'s contribution to counter `c`.
+    shards: Vec<Vec<AtomicU64>>,
+}
+
+impl ShardedCounters {
+    /// A family of `slots` counters, all zero.
+    pub fn new(slots: usize) -> ShardedCounters {
+        ShardedCounters {
+            shards: (0..SHARDS)
+                .map(|_| (0..slots).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of counter slots in the family.
+    pub fn slots(&self) -> usize {
+        self.shards[0].len()
+    }
+
+    /// The calling thread's shard index (stable for the thread's
+    /// lifetime; distinct threads usually map to distinct shards).
+    fn shard_index() -> usize {
+        let mut h = DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    /// Adds `delta` to counter `slot` on the calling thread's shard.
+    pub fn add(&self, slot: usize, delta: u64) {
+        self.shards[Self::shard_index()][slot].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Folds every shard into per-slot totals. Addition commutes, so
+    /// the result is independent of which shard (thread) held what.
+    pub fn merged(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.slots()];
+        for shard in &self.shards {
+            for (slot, counter) in shard.iter().enumerate() {
+                out[slot] += counter.load(Ordering::Relaxed);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_sums_across_shards_and_threads() {
+        let counters = ShardedCounters::new(3);
+        counters.add(0, 2);
+        counters.add(2, 5);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        counters.add(1, 1);
+                        counters.add(2, 2);
+                    }
+                });
+            }
+        });
+        assert_eq!(counters.merged(), vec![2, 400, 805]);
+    }
+
+    #[test]
+    fn slots_reports_the_family_size() {
+        assert_eq!(ShardedCounters::new(7).slots(), 7);
+        assert_eq!(ShardedCounters::new(7).merged(), vec![0; 7]);
+    }
+}

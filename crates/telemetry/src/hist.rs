@@ -1,0 +1,132 @@
+//! Log2-bucketed histograms for phase durations.
+//!
+//! 64 power-of-two buckets cover every `u64` value exactly (value `v`
+//! lands in bucket `bit_width(v)`, so bucket `b > 0` holds values in
+//! `[2^(b-1), 2^b)` and bucket 0 holds zero). Recording is one atomic
+//! increment plus one atomic add — cheap enough for chunk-granularity
+//! timing, though still never called per item.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible `u64` bit width (0..=64 collapses
+/// to 0..64 because bucket 64 would need values ≥ 2^63·2).
+const BUCKETS: usize = 65;
+
+/// A concurrent log2 histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index of `value`: its bit width, so buckets are
+    /// `{0}, [1,2), [2,4), [4,8), …`.
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen [`Histogram`]: per-bucket counts plus sample count and sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `buckets[b]` = samples whose bit width is `b`.
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Renders the non-empty buckets as a JSON object:
+    /// `{"count": …, "sum": …, "buckets": {"<lower bound>": n, …}}`.
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::new();
+        for (b, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !buckets.is_empty() {
+                buckets.push_str(", ");
+            }
+            let lower: u64 = if b == 0 { 0 } else { 1u64 << (b - 1) };
+            buckets.push_str(&format!("\"{lower}\": {n}"));
+        }
+        format!(
+            "{{\"count\": {}, \"sum\": {}, \"buckets\": {{{buckets}}}}}",
+            self.count, self.sum
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_bit_widths() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 9);
+        assert_eq!(snap.buckets[0], 1, "zero");
+        assert_eq!(snap.buckets[1], 1, "one");
+        assert_eq!(snap.buckets[2], 2, "2 and 3");
+        assert_eq!(snap.buckets[3], 2, "4 and 7");
+        assert_eq!(snap.buckets[4], 1, "8");
+        assert_eq!(snap.buckets[11], 1, "1024");
+        assert_eq!(snap.buckets[64], 1, "u64::MAX");
+    }
+
+    #[test]
+    fn json_lists_only_populated_buckets() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(6);
+        h.record(100);
+        let json = h.snapshot().to_json();
+        assert_eq!(
+            json,
+            "{\"count\": 3, \"sum\": 111, \"buckets\": {\"4\": 2, \"64\": 1}}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Ordered, diffable counter snapshots.
+//!
+//! A snapshot is two sorted name → value sections:
+//!
+//! * **stable** — counters whose totals are a pure function of the
+//!   sweep's inputs for complete (non-short-circuited) walks: items
+//!   walked, orbit census, verdict refreshes, panics, interruptions.
+//!   The determinism suite byte-compares this section across runs and
+//!   thread counts.
+//! * **observed** — counters that legitimately depend on scheduling:
+//!   memo hit/miss splits, interner front-cache traffic, lock
+//!   contention, phase timings. Real data, no determinism promise.
+//!
+//! The split is the telemetry determinism *policy*, encoded in the data
+//! model rather than in test comments.
+
+use crate::json_escape;
+
+/// A frozen pair of sorted counter sections. Construct via
+/// [`MetricsSnapshot::new`]; names are sorted on entry so rendering and
+/// diffing never depend on insertion order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Deterministic counters, sorted by name.
+    pub stable: Vec<(String, u64)>,
+    /// Scheduling-dependent counters, sorted by name.
+    pub observed: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Builds a snapshot, sorting both sections by counter name.
+    pub fn new(
+        mut stable: Vec<(String, u64)>,
+        mut observed: Vec<(String, u64)>,
+    ) -> MetricsSnapshot {
+        stable.sort_by(|a, b| a.0.cmp(&b.0));
+        observed.sort_by(|a, b| a.0.cmp(&b.0));
+        MetricsSnapshot { stable, observed }
+    }
+
+    /// Looks a counter up by name in either section.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.stable
+            .iter()
+            .chain(&self.observed)
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// All counters of both sections, stable first, each sorted.
+    pub fn all(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.stable
+            .iter()
+            .chain(&self.observed)
+            .map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// The canonical byte rendering of the stable section — what the
+    /// determinism suite compares across runs and thread counts.
+    pub fn stable_bytes(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.stable {
+            out.push_str(&format!("{name}={value}\n"));
+        }
+        out
+    }
+
+    /// Renders both sections as one JSON object:
+    /// `{"stable": {…}, "observed": {…}}`.
+    pub fn to_json(&self) -> String {
+        fn section(pairs: &[(String, u64)]) -> String {
+            let mut out = String::new();
+            for (name, value) in pairs {
+                if !out.is_empty() {
+                    out.push_str(",\n    ");
+                }
+                out.push_str(&format!("\"{}\": {value}", json_escape(name)));
+            }
+            out
+        }
+        format!(
+            "{{\n  \"stable\": {{\n    {}\n  }},\n  \"observed\": {{\n    {}\n  }}\n}}\n",
+            section(&self.stable),
+            section(&self.observed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> MetricsSnapshot {
+        MetricsSnapshot::new(
+            vec![
+                ("items_walked".into(), 32),
+                ("budget_interruptions".into(), 0),
+            ],
+            vec![("memo_hits".into(), 7)],
+        )
+    }
+
+    #[test]
+    fn sections_sort_and_lookup() {
+        let s = snap();
+        assert_eq!(s.stable[0].0, "budget_interruptions", "sorted on entry");
+        assert_eq!(s.get("items_walked"), Some(32));
+        assert_eq!(s.get("memo_hits"), Some(7));
+        assert_eq!(s.get("nonexistent"), None);
+    }
+
+    #[test]
+    fn stable_bytes_ignore_insertion_order() {
+        let a = MetricsSnapshot::new(vec![("a".into(), 1), ("b".into(), 2)], vec![]);
+        let b = MetricsSnapshot::new(vec![("b".into(), 2), ("a".into(), 1)], vec![]);
+        assert_eq!(a.stable_bytes(), b.stable_bytes());
+        assert_eq!(a.stable_bytes(), "a=1\nb=2\n");
+    }
+
+    #[test]
+    fn json_is_balanced_and_complete() {
+        let json = snap().to_json();
+        for key in ["stable", "observed", "items_walked", "memo_hits"] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -18,8 +18,8 @@ use hiding_lcp_core::decoder::Decoder;
 use hiding_lcp_core::label::Certificate;
 use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::verify::{
-    AuditPlan, ExecMode, FaultSpec, InstanceSet, PropertyTag, SweepBudget, SweepOpts,
-    ALL_PROPERTIES,
+    AuditPlan, ExecMode, FaultSpec, InstanceSet, MetricsRecorder, PropertyTag, SweepBudget,
+    SweepOpts, ALL_PROPERTIES,
 };
 use std::time::Duration;
 
@@ -34,6 +34,8 @@ struct Args {
     fault_trials: usize,
     seed: u64,
     out: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -42,11 +44,14 @@ fn usage() -> ! {
          \x20            [--properties p1,p2,...] [--threads T] [--budget-ms MS]\n\
          \x20            [--budget-items N] [--fault-rates r1,r2,...] [--fault-trials T]\n\
          \x20            [--strategy delta|oracle|quotient] [--seed S] [--out FILE]\n\
+         \x20            [--trace-out FILE] [--metrics-out FILE]\n\
          \n\
          Audits one of the paper's LCPs over the Lemma 3.1 family up to N nodes\n\
          (default: even-cycle, N=4, all seven properties) and prints the fused-panel\n\
          report as JSON. --strategy quotient sweeps only canonical orbit\n\
-         representatives (same verdicts, less wall-clock). Exit code 1 = some\n\
+         representatives (same verdicts, less wall-clock). --trace-out writes a\n\
+         Chrome trace_event file (open in chrome://tracing or Perfetto);\n\
+         --metrics-out writes the counter/phase snapshot. Exit code 1 = some\n\
          property was violated."
     );
     std::process::exit(2)
@@ -70,6 +75,8 @@ fn parse_args() -> Args {
         fault_trials: 16,
         seed: 0xA0D1_7E57,
         out: None,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut budget = SweepBudget::unlimited();
     let mut it = std::env::args().skip(1);
@@ -107,6 +114,8 @@ fn parse_args() -> Args {
             "--fault-trials" => args.fault_trials = parse_or_usage(&value("--fault-trials")),
             "--seed" => args.seed = parse_or_usage(&value("--seed")),
             "--out" => args.out = Some(value("--out")),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("audit: unknown flag {other}");
@@ -184,6 +193,10 @@ fn main() -> ExitCode {
             trials: args.fault_trials,
         });
     }
+    let recorder = MetricsRecorder::new();
+    if args.trace_out.is_some() || args.metrics_out.is_some() {
+        plan = plan.telemetry(&recorder);
+    }
 
     let report = plan.run();
     let json = report.to_json();
@@ -196,6 +209,20 @@ fn main() -> ExitCode {
             eprintln!("audit: report written to {path}");
         }
         None => print!("{json}"),
+    }
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::write(path, recorder.trace_json()) {
+            eprintln!("audit: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("audit: trace written to {path}");
+    }
+    if let Some(path) = &args.metrics_out {
+        if let Err(e) = std::fs::write(path, recorder.metrics_json()) {
+            eprintln!("audit: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("audit: metrics written to {path}");
     }
 
     let failures = report.failures();
