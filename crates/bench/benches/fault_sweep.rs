@@ -40,7 +40,7 @@ use hiding_lcp_core::network::{
     run_distributed, run_distributed_faulty, FaultPlan, FaultRates, FaultStats,
 };
 use hiding_lcp_core::verify::{
-    sweep_with_opts, Coverage, ExecMode, ItemCtx, PropertyCheck, SweepOpts, SweepOutcome,
+    Coverage, ExecMode, ItemCtx, PropertyCheck, SweepOpts, SweepOutcome, SweepSession,
     SymmetrySpec, Universe, UniverseItem,
 };
 use hiding_lcp_graph::generators;
@@ -168,18 +168,14 @@ fn fault_sweep(c: &mut Criterion, telemetry: &mut Vec<WorkloadStats>) {
     let universe = sweep_universe();
     let decoder = RevealingDecoder::new(2);
     let check = FaultFreeRejectScan { decoder: &decoder };
-    let delta = sweep_with_opts(
-        &check,
-        &universe,
-        ExecMode::Sequential,
-        SweepOpts::default(),
-    );
-    let quotient = sweep_with_opts(
-        &check,
-        &universe,
-        ExecMode::Sequential,
-        SweepOpts::quotient(),
-    );
+    let delta = SweepSession::over(&universe)
+        .mode(ExecMode::Sequential)
+        .opts(SweepOpts::default())
+        .run(&check);
+    let quotient = SweepSession::over(&universe)
+        .mode(ExecMode::Sequential)
+        .opts(SweepOpts::quotient())
+        .run(&check);
     assert_eq!(
         delta.verdict, quotient.verdict,
         "quotient changes the weighted reject count"
@@ -193,22 +189,22 @@ fn fault_sweep(c: &mut Criterion, telemetry: &mut Vec<WorkloadStats>) {
     g.sample_size(10);
     g.bench_function("reject-scan-delta", |b| {
         b.iter(|| {
-            black_box(sweep_with_opts(
-                &check,
-                black_box(&universe),
-                ExecMode::Sequential,
-                SweepOpts::default(),
-            ))
+            black_box(
+                SweepSession::over(black_box(&universe))
+                    .mode(ExecMode::Sequential)
+                    .opts(SweepOpts::default())
+                    .run(&check),
+            )
         })
     });
     g.bench_function("reject-scan-quotient", |b| {
         b.iter(|| {
-            black_box(sweep_with_opts(
-                &check,
-                black_box(&universe),
-                ExecMode::Sequential,
-                SweepOpts::quotient(),
-            ))
+            black_box(
+                SweepSession::over(black_box(&universe))
+                    .mode(ExecMode::Sequential)
+                    .opts(SweepOpts::quotient())
+                    .run(&check),
+            )
         })
     });
     g.finish();

@@ -46,8 +46,8 @@ use hiding_lcp_core::properties::soundness::soundness_member;
 use hiding_lcp_core::properties::strong::strong_member;
 use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::verify::{
-    sweep_panel_with, AuditReport, Block, Coverage, DynPropertyCheck, ExecMode, InstanceSet,
-    LabelSource, PanelReport, SweepOpts, Universe,
+    AuditReport, Block, Coverage, DynPropertyCheck, ExecMode, InstanceSet, LabelSource,
+    PanelReport, SweepOpts, SweepSession, Universe,
 };
 use hiding_lcp_graph::generators;
 use rand::rngs::StdRng;
@@ -297,11 +297,9 @@ impl Fixture {
             ),
             other => unreachable!("unknown solo property {other}"),
         };
-        sweep_panel_with(
-            std::slice::from_ref(&member),
-            universe,
-            ExecMode::Sequential,
-        )
+        SweepSession::over(universe)
+            .mode(ExecMode::Sequential)
+            .run_panel(std::slice::from_ref(&member))
     }
 }
 

@@ -197,6 +197,18 @@ pub const MUTANTS: &[Mutant] = &[
         site: "MetricsRecorder::span_exit returns before closing the span",
         expected_killers: &["telemetry_span_balance"],
     },
+    Mutant {
+        name: "shard_range_overlap",
+        host: "hiding-lcp-core",
+        site: "non-final shard ranges annex the successor's first item",
+        expected_killers: &["shard_merge_byte_identical"],
+    },
+    Mutant {
+        name: "shard_merge_drop_counters",
+        host: "hiding-lcp-core",
+        site: "counter merge folds only the first shard's stable counters",
+        expected_killers: &["shard_counter_sums"],
+    },
 ];
 
 /// The catalog must agree with the probe battery: every expected killer

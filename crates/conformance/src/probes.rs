@@ -31,10 +31,10 @@ use hiding_lcp_core::properties::soundness::{SoundnessCheck, SoundnessViolation}
 use hiding_lcp_core::properties::strong::check_strong_exhaustive;
 use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::verify::{
-    resume_sweep_with_opts, sweep, sweep_budgeted_with_opts, sweep_lazy_labeled, sweep_panel_with,
-    sweep_recorded, sweep_with, sweep_with_opts, Block, Coverage, DynPropertyCheck, ExecMode,
-    ItemCtx, LabelSource, MetricsRecorder, PropertyCheck, PropertyTag, SweepBudget, SweepOpts,
-    SweepOutcome, SymmetrySpec, Universe, UniverseItem, ViewInterner,
+    sum_stable_counters, AuditPlan, Block, Coverage, DynPropertyCheck, ExecMode, InstanceSet,
+    ItemCtx, LabelSource, LazySweep, MetricsRecorder, PropertyCheck, PropertyTag, ShardSpec,
+    SweepBudget, SweepOpts, SweepOutcome, SweepSession, SymmetrySpec, Universe, UniverseItem,
+    ViewInterner,
 };
 use hiding_lcp_core::view::{IdMode, View};
 use hiding_lcp_graph::algo::{bipartite, coloring};
@@ -67,6 +67,8 @@ pub const ALL: &[(&str, fn())] = &[
     ("degradation_matches_oracle", degradation_matches_oracle),
     ("panel_channel_isolation", panel_channel_isolation),
     ("panel_member_frontiers", panel_member_frontiers),
+    ("shard_merge_byte_identical", shard_merge_byte_identical),
+    ("shard_counter_sums", shard_counter_sums),
     ("orbit_partition_weighted", orbit_partition_weighted),
     ("telemetry_quotient_partition", telemetry_quotient_partition),
     ("telemetry_span_balance", telemetry_span_balance),
@@ -279,8 +281,12 @@ fn assert_tally_parity<D: Decoder + ?Sized>(
     expected: &[(usize, Vec<bool>)],
 ) {
     let tally = VerdictTally { decoder };
-    let delta = sweep_with_opts(&tally, universe, ExecMode::Sequential, SweepOpts::default());
-    let decode = sweep_with_opts(&tally, universe, ExecMode::Sequential, SweepOpts::oracle());
+    let session = SweepSession::over(universe).mode(ExecMode::Sequential);
+    let delta = session.opts(SweepOpts::default()).run(&tally);
+    let decode = SweepSession::over(universe)
+        .mode(ExecMode::Sequential)
+        .opts(SweepOpts::oracle())
+        .run(&tally);
     assert_eq!(
         delta.verdict, decode.verdict,
         "delta-stepping and decode-oracle strategies disagree"
@@ -380,23 +386,14 @@ pub fn delta_budget_resume_parity() {
         decoder: &LocalDiff,
     };
     let budget = SweepBudget::unlimited().with_max_items(10);
-    let mut state = sweep_budgeted_with_opts(
-        &tally,
-        &universe,
-        ExecMode::Sequential,
-        &budget,
-        SweepOpts::default(),
-    );
+    let session = SweepSession::over(&universe)
+        .mode(ExecMode::Sequential)
+        .budget(budget)
+        .opts(SweepOpts::default());
+    let mut state = session.run_budgeted(&tally);
     let mut slices = 1;
     while let Some(token) = state.resume.take() {
-        state = resume_sweep_with_opts(
-            &tally,
-            &universe,
-            ExecMode::Sequential,
-            &budget,
-            token,
-            SweepOpts::default(),
-        );
+        state = session.resume(&tally, token);
         slices += 1;
         assert!(slices <= universe.len() + 2, "resume chain must terminate");
     }
@@ -423,7 +420,7 @@ pub fn short_circuit_count() {
     let c3 = Instance::canonical(generators::cycle(3));
     let universe =
         Universe::all_labelings_of(c3, bits(), Coverage::Exhaustive).expect("8 labelings fit");
-    let report = sweep(&SoundnessCheck { decoder: &YesMan }, &universe);
+    let report = SweepSession::over(&universe).run(&SoundnessCheck { decoder: &YesMan });
     assert!(report.short_circuited);
     assert_eq!(
         report.checked, 1,
@@ -447,12 +444,12 @@ pub fn parallel_chunk_census() {
     let tally = VerdictTally {
         decoder: &LocalDiff,
     };
-    let seq = sweep_with(&tally, &universe, ExecMode::Sequential);
-    let par = sweep_with(
-        &tally,
-        &universe,
-        ExecMode::Parallel(crate::parity_threads().max(2)),
-    );
+    let seq = SweepSession::over(&universe)
+        .mode(ExecMode::Sequential)
+        .run(&tally);
+    let par = SweepSession::over(&universe)
+        .mode(ExecMode::Parallel(crate::parity_threads().max(2)))
+        .run(&tally);
     assert_eq!(par.verdict.len(), universe.len(), "each item tallied once");
     assert_eq!(seq.verdict, par.verdict);
     assert_eq!(seq.checked, par.checked);
@@ -551,8 +548,9 @@ pub fn invariance_checks_node0() {
         instance.replace_ids(variant.clone()).expect("ids fit"),
         labeling.clone(),
     );
-    let verdict =
-        sweep_lazy_labeled(&check, std::iter::once(variant_li), Coverage::Sampled).verdict;
+    let verdict = LazySweep::labeled(Coverage::Sampled)
+        .run_labeled(&check, std::iter::once(variant_li))
+        .verdict;
     let violation = verdict.expect_err("node 0's verdict changed");
     assert_eq!(violation.node, 0);
     let oracle_violation = oracle::invariance(&OddId, &instance, &labeling, &[variant])
@@ -745,7 +743,7 @@ pub fn panel_channel_isolation() {
         .with_channel(&reject),
     ];
     for mode in [ExecMode::Sequential, ExecMode::Parallel(2)] {
-        let panel = sweep_panel_with(&members, &universe, mode);
+        let panel = SweepSession::over(&universe).mode(mode).run_panel(&members);
         let v0 = panel.members[0]
             .verdict
             .get::<Result<usize, SoundnessViolation>>()
@@ -785,14 +783,12 @@ pub fn panel_member_frontiers() {
         )
         .with_channel(&reject),
     ];
-    let solo = sweep_with(
-        &SoundnessCheck { decoder: &accept },
-        &universe,
-        ExecMode::Sequential,
-    );
+    let solo = SweepSession::over(&universe)
+        .mode(ExecMode::Sequential)
+        .run(&SoundnessCheck { decoder: &accept });
     assert_eq!(solo.checked, 1, "item 0 (all-zero) is unanimously accepted");
     for mode in [ExecMode::Sequential, ExecMode::Parallel(2)] {
-        let panel = sweep_panel_with(&members, &universe, mode);
+        let panel = SweepSession::over(&universe).mode(mode).run_panel(&members);
         assert!(
             panel.members[0].short_circuited,
             "accepting member must stop at its witness under {mode:?}"
@@ -808,6 +804,67 @@ pub fn panel_member_frontiers() {
         );
         assert_eq!(panel.evidence.checked, universe.len());
     }
+}
+
+/// Sharded audits compose exactly: splitting the labelings walk into 2
+/// or 3 contiguous ranges, running each range as its own shard report
+/// and merging must reproduce the single-process audit's stable JSON
+/// byte for byte. A shard partition that overlaps (or gaps) the index
+/// space is rejected by the merge, so this probe dies on any drift in
+/// the range arithmetic.
+pub fn shard_merge_byte_identical() {
+    let family = || InstanceSet::Explicit {
+        instances: vec![
+            Instance::canonical(generators::cycle(4)),
+            Instance::canonical(generators::path(3)),
+        ],
+        coverage: Coverage::Sampled,
+    };
+    let plan = || AuditPlan::new(&LocalDiff, 2, family(), bits()).seed(11);
+    let single = plan().run().to_stable_json();
+    for shards in [2usize, 3] {
+        let reports: Vec<String> = ShardSpec::partition(shards)
+            .into_iter()
+            .map(|s| plan().run_shard(s))
+            .collect();
+        let merged = plan()
+            .run_with_shards(&reports)
+            .expect("clean shard reports tile the universe");
+        assert_eq!(single, merged.to_stable_json(), "{shards}-way split");
+    }
+}
+
+/// The shard counter merge folds *every* shard's stable counters:
+/// additive counters sum across shards, while `quotient_blocks` (a
+/// universe-level census each shard recounts) takes the maximum, and the
+/// result is name-sorted. Dropping any shard's contribution skews the
+/// totals.
+pub fn shard_counter_sums() {
+    let per_shard = vec![
+        vec![
+            ("items_walked".to_string(), 40u64),
+            ("quotient_blocks".to_string(), 2),
+        ],
+        vec![
+            ("items_walked".to_string(), 24),
+            ("quotient_blocks".to_string(), 3),
+            ("verdict_refreshes".to_string(), 7),
+        ],
+        vec![
+            ("items_walked".to_string(), 0),
+            ("verdict_refreshes".to_string(), 5),
+        ],
+    ];
+    let merged = sum_stable_counters(&per_shard);
+    assert_eq!(
+        merged,
+        vec![
+            ("items_walked".to_string(), 64),
+            ("quotient_blocks".to_string(), 3),
+            ("verdict_refreshes".to_string(), 12),
+        ],
+        "additive counters sum; quotient_blocks is a max; names sort"
+    );
 }
 
 /// DSATUR's verdicts must equal brute-force colorability over every
@@ -852,12 +909,10 @@ fn orbit_partition_weighted() {
     let universe =
         Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive).expect("2^5 fits");
 
-    let report = sweep_with_opts(
-        &Recorder,
-        &universe,
-        ExecMode::Sequential,
-        SweepOpts::quotient(),
-    );
+    let report = SweepSession::over(&universe)
+        .mode(ExecMode::Sequential)
+        .opts(SweepOpts::quotient())
+        .run(&Recorder);
     assert_eq!(
         report.checked,
         universe.len(),
@@ -925,18 +980,14 @@ fn orbit_partition_weighted() {
     let check = SoundnessCheck {
         decoder: &LocalDiff,
     };
-    let full = sweep_with_opts(
-        &check,
-        &universe,
-        ExecMode::Sequential,
-        SweepOpts::default(),
-    );
-    let quot = sweep_with_opts(
-        &check,
-        &universe,
-        ExecMode::Sequential,
-        SweepOpts::quotient(),
-    );
+    let full = SweepSession::over(&universe)
+        .mode(ExecMode::Sequential)
+        .opts(SweepOpts::default())
+        .run(&check);
+    let quot = SweepSession::over(&universe)
+        .mode(ExecMode::Sequential)
+        .opts(SweepOpts::quotient())
+        .run(&check);
     assert_eq!(
         full.verdict, quot.verdict,
         "quotient changed the soundness verdict"
@@ -984,13 +1035,11 @@ fn telemetry_quotient_partition() {
         Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive).expect("2^5 fits");
 
     let recorder = MetricsRecorder::new();
-    let report = sweep_recorded(
-        &OrbitProbe,
-        &universe,
-        ExecMode::Sequential,
-        SweepOpts::quotient(),
-        &recorder,
-    );
+    let report = SweepSession::over(&universe)
+        .mode(ExecMode::Sequential)
+        .opts(SweepOpts::quotient())
+        .metrics(&recorder)
+        .run(&OrbitProbe);
     assert_eq!(report.verdict, 1 << N, "multiplicities must sum to 2^n");
 
     let snap = recorder.snapshot();
@@ -1031,13 +1080,10 @@ fn telemetry_span_balance() {
     let check = SoundnessCheck {
         decoder: &LocalDiff,
     };
-    sweep_recorded(
-        &check,
-        &universe,
-        ExecMode::Sequential,
-        SweepOpts::default(),
-        &recorder,
-    );
+    SweepSession::over(&universe)
+        .mode(ExecMode::Sequential)
+        .metrics(&recorder)
+        .run(&check);
     assert!(
         recorder.trace_balanced(),
         "a finished sweep must close every span it opened"

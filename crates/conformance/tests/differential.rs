@@ -22,9 +22,8 @@ use hiding_lcp_core::properties::soundness::{SoundnessCheck, SoundnessViolation}
 use hiding_lcp_core::properties::strong::{StrongCheck, StrongViolation};
 use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::verify::{
-    resume_panel_with_opts, sweep_lazy_labeled, sweep_panel_budgeted_with_opts,
-    sweep_panel_with_opts, sweep_with_opts, Coverage, DynPropertyCheck, ExecMode, PropertyTag,
-    SweepBudget, SweepOpts, Universe, VerificationReport,
+    Coverage, DynPropertyCheck, ExecMode, LazySweep, PropertyTag, SweepBudget, SweepOpts,
+    SweepSession, Universe, VerificationReport,
 };
 use hiding_lcp_graph::algo::bipartite;
 use hiding_lcp_graph::{generators, IdAssignment};
@@ -53,7 +52,10 @@ where
 {
     for mode in modes() {
         for opts in strategies() {
-            let report: VerificationReport<V> = sweep_with_opts(check, universe, mode, opts);
+            let report: VerificationReport<V> = SweepSession::over(universe)
+                .mode(mode)
+                .opts(opts)
+                .run(check);
             assert!(
                 report.errors.is_empty(),
                 "{what}: sweep caught panics under {mode:?}"
@@ -214,7 +216,10 @@ fn hiding_matches_oracle() {
             for mode in modes() {
                 for opts in strategies() {
                     let check = HidingCheck::new(decoder, &universe, 2, bipartite::is_bipartite);
-                    let report = sweep_with_opts(&check, &universe, mode, opts);
+                    let report = SweepSession::over(&universe)
+                        .mode(mode)
+                        .opts(opts)
+                        .run(&check);
                     let (nbhd, verdict) = report.verdict;
                     assert_eq!(
                         nbhd.view_count(),
@@ -260,7 +265,10 @@ fn quantified_matches_oracle() {
         for mode in modes() {
             for opts in strategies() {
                 let check = QuantifiedCheck::new(decoder, &universe, 2, bipartite::is_bipartite);
-                let report = sweep_with_opts(&check, &universe, mode, opts);
+                let report = SweepSession::over(&universe)
+                    .mode(mode)
+                    .opts(opts)
+                    .run(&check);
                 let (nbhd, map) = report.verdict;
                 assert_eq!(
                     map.unextractable_views(),
@@ -347,7 +355,9 @@ fn invariance_matches_oracle() {
                 )
             })
             .collect();
-        let verdict = sweep_lazy_labeled(&check, items, Coverage::Sampled).verdict;
+        let verdict = LazySweep::labeled(Coverage::Sampled)
+            .run_labeled(&check, items)
+            .verdict;
         assert_eq!(verdict, expected, "{what}");
         if run == 0 {
             assert_eq!(verdict, Ok(()), "anonymous decoders are invariant");
@@ -377,7 +387,7 @@ proptest! {
             let check = SoundnessCheck { decoder: &decoder };
             for mode in modes() {
                 for opts in strategies() {
-                    let report = sweep_with_opts(&check, &universe, mode, opts);
+                    let report = SweepSession::over(&universe).mode(mode).opts(opts).run(&check);
                     prop_assert_eq!(&report.verdict, &expected, "code {} on C{}", code, n);
                 }
             }
@@ -409,8 +419,8 @@ proptest! {
 // ---------------------------------------------------------------------------
 
 use hiding_lcp_core::verify::{
-    sweep_panel_recorded, sweep_recorded, ItemCtx, MetricsRecorder, PropertyCheck, SweepOutcome,
-    SweepStrategy, SymmetrySpec, UniverseItem,
+    ItemCtx, MetricsRecorder, PropertyCheck, SweepOutcome, SweepStrategy, SymmetrySpec,
+    UniverseItem,
 };
 
 /// Asserts the walk/orbit/memo accounting of one recorded run. Holds for
@@ -497,7 +507,11 @@ fn recorded_soundness_and_strong_match_oracle_with_invariants() {
                 let check = SoundnessCheck {
                     decoder: &LocalDiff,
                 };
-                let report = sweep_recorded(&check, &universe, mode, opts, &recorder);
+                let report = SweepSession::over(&universe)
+                    .mode(mode)
+                    .opts(opts)
+                    .metrics(&recorder)
+                    .run(&check);
                 assert_eq!(report.verdict, sound_expected, "recorded soundness");
                 assert_counter_invariants(
                     &recorder,
@@ -513,7 +527,11 @@ fn recorded_soundness_and_strong_match_oracle_with_invariants() {
                     decoder: &YesMan,
                     language: &language,
                 };
-                let report = sweep_recorded(&check, &universe, mode, opts, &recorder);
+                let report = SweepSession::over(&universe)
+                    .mode(mode)
+                    .opts(opts)
+                    .metrics(&recorder)
+                    .run(&check);
                 assert_eq!(report.verdict, strong_expected, "recorded strong");
                 assert_counter_invariants(
                     &recorder,
@@ -575,7 +593,11 @@ fn recorded_quotient_walk_partitions_the_labeling_space() {
         let check = OrbitProbe { k: 2 };
         for mode in modes() {
             let recorder = MetricsRecorder::new();
-            let report = sweep_recorded(&check, &universe, mode, SweepOpts::quotient(), &recorder);
+            let report = SweepSession::over(&universe)
+                .mode(mode)
+                .opts(SweepOpts::quotient())
+                .metrics(&recorder)
+                .run(&check);
             let snap = recorder.snapshot();
             let get = |name: &str| snap.get(name).unwrap_or(0);
             assert_eq!(get("items_walked"), 1 << n, "C{n}: walk covers |Sigma|^n");
@@ -608,9 +630,16 @@ fn recorded_panel_matches_plain_panel_with_invariants() {
     let members = two_channel_panel(&d1, &d2, &two_col);
     for mode in modes() {
         for opts in strategies() {
-            let plain = sweep_panel_with_opts(&members, &universe, mode, opts);
+            let plain = SweepSession::over(&universe)
+                .mode(mode)
+                .opts(opts)
+                .run_panel(&members);
             let recorder = MetricsRecorder::new();
-            let recorded = sweep_panel_recorded(&members, &universe, mode, opts, &recorder);
+            let recorded = SweepSession::over(&universe)
+                .mode(mode)
+                .opts(opts)
+                .metrics(&recorder)
+                .run_panel(&members);
             for (a, b) in plain.members.iter().zip(&recorded.members) {
                 assert_eq!(a.checked, b.checked, "{}", a.label);
                 assert_eq!(a.short_circuited, b.short_circuited, "{}", a.label);
@@ -702,10 +731,16 @@ proptest! {
         let sound2 = SoundnessCheck { decoder: &d2 };
         for mode in modes() {
             for opts in strategies() {
-                let panel = sweep_panel_with_opts(&members, &universe, mode, opts);
-                let solo_sound1 = sweep_with_opts(&sound1, &universe, ExecMode::Sequential, opts);
-                let solo_strong1 = sweep_with_opts(&strong1, &universe, ExecMode::Sequential, opts);
-                let solo_sound2 = sweep_with_opts(&sound2, &universe, ExecMode::Sequential, opts);
+                let panel = SweepSession::over(&universe)
+                    .mode(mode)
+                    .opts(opts)
+                    .run_panel(&members);
+                let solo = SweepSession::over(&universe)
+                    .mode(ExecMode::Sequential)
+                    .opts(opts);
+                let solo_sound1 = solo.run(&sound1);
+                let solo_strong1 = solo.run(&strong1);
+                let solo_sound2 = solo.run(&sound2);
                 prop_assert_eq!(
                     panel.members[0].verdict.get::<Result<usize, SoundnessViolation>>().unwrap(),
                     &solo_sound1.verdict,
@@ -747,13 +782,19 @@ proptest! {
         let members = two_channel_panel(&d1, &d2, &two_col);
         for mode in modes() {
             for opts in strategies() {
-                let whole = sweep_panel_with_opts(&members, &universe, mode, opts);
+                let whole = SweepSession::over(&universe)
+                    .mode(mode)
+                    .opts(opts)
+                    .run_panel(&members);
                 let budget = SweepBudget::unlimited().with_max_items(step);
-                let mut state =
-                    sweep_panel_budgeted_with_opts(&members, &universe, mode, &budget, opts);
+                let session = SweepSession::over(&universe)
+                    .mode(mode)
+                    .budget(budget)
+                    .opts(opts);
+                let mut state = session.run_panel_budgeted(&members);
                 let mut slices = 1usize;
                 while let Some(token) = state.resume.take() {
-                    state = resume_panel_with_opts(&members, &universe, mode, &budget, token, opts);
+                    state = session.resume_panel(&members, token);
                     slices += 1;
                     prop_assert!(slices <= universe.len() + 2, "resume chain must terminate");
                 }

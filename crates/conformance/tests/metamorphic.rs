@@ -15,7 +15,7 @@ use hiding_lcp_core::language::KCol;
 use hiding_lcp_core::lower::PortObliviousCycleDecoder;
 use hiding_lcp_core::properties::soundness::SoundnessCheck;
 use hiding_lcp_core::properties::strong::check_strong_exhaustive;
-use hiding_lcp_core::verify::{sweep_with_opts, Coverage, ExecMode, SweepOpts, Universe};
+use hiding_lcp_core::verify::{Coverage, ExecMode, SweepOpts, SweepSession, Universe};
 use hiding_lcp_graph::canon::are_isomorphic;
 use hiding_lcp_graph::generators;
 use proptest::prelude::*;
@@ -92,7 +92,10 @@ fn renaming_preserves_unanimous_counts() {
         };
         for mode in modes() {
             for opts in strategies() {
-                let report = sweep_with_opts(&check, &universe, mode, opts);
+                let report = SweepSession::over(&universe)
+                    .mode(mode)
+                    .opts(opts)
+                    .run(&check);
                 assert_eq!(
                     report.verdict.is_err(),
                     baseline > 0,

@@ -82,7 +82,8 @@ pub mod prelude {
     pub use crate::nbhd::NbhdGraph;
     pub use crate::prover::Prover;
     pub use crate::verify::{
-        sweep, sweep_with, Coverage, ExecMode, PropertyCheck, Universe, VerificationReport,
+        AuditPlan, Coverage, ExecMode, LazySweep, MetricsRecorder, PropertyCheck, SweepBudget,
+        SweepOpts, SweepRecorder, SweepSession, SweepStrategy, Universe, VerificationReport,
     };
     pub use crate::view::{IdMode, View};
 }

@@ -55,6 +55,10 @@
 //!   identity inspected + skipped = walked.
 //! * `span_unbalanced_exit` — the trace recorder suppresses span exits,
 //!   so every entered span stays open and the trace never balances.
+//! * `shard_range_overlap` — every non-final shard's range annexes its
+//!   successor's first item, so adjacent shard ranges overlap by one.
+//! * `shard_merge_drop_counters` — the shard-report merge folds only the
+//!   first shard's stable counters, dropping every other shard's work.
 
 use std::sync::RwLock;
 

@@ -18,8 +18,8 @@ pub mod sources;
 use crate::decoder::{run, Decoder, Verdict};
 use crate::instance::LabeledInstance;
 use crate::verify::{
-    self, digit_key, Coverage, InternerReport, ItemCtx, PropertyCheck, SweepOutcome, SymmetrySpec,
-    Universe, UniverseItem, VerificationReport, ViewId, ViewInterner,
+    digit_key, Coverage, InternerReport, ItemCtx, PropertyCheck, SweepOutcome, SweepSession,
+    SymmetrySpec, Universe, UniverseItem, VerificationReport, ViewId, ViewInterner,
 };
 use crate::view::{IdMode, View};
 use hiding_lcp_graph::algo::{bipartite, coloring};
@@ -35,6 +35,16 @@ use std::collections::{BTreeSet, HashMap};
 pub struct NbhdScan {
     view_ids: Vec<ViewId>,
     accepts: Vec<bool>,
+}
+
+impl NbhdScan {
+    /// Per-node acceptance flags, in node order. This is the portable half
+    /// of a scan: view ids are run-local interner handles, so a scan
+    /// crossing a process boundary ships only its accepts and the merging
+    /// side re-interns views via [`NbhdSweep::reconstruct_scan`].
+    pub(crate) fn accepts(&self) -> &[bool] {
+        &self.accepts
+    }
 }
 
 /// The Lemma 3.1 construction as a [`PropertyCheck`]: inspection scans one
@@ -85,6 +95,26 @@ impl<'a, D: Decoder + ?Sized> NbhdSweep<'a, D> {
     /// the view.
     pub fn interner_stats(&self) -> (usize, usize) {
         self.interner.stats()
+    }
+
+    /// Rebuilds a [`NbhdScan`] from a serialized shard report: `accepts`
+    /// crossed the process boundary verbatim, while the view ids (run-local
+    /// interner handles) are re-derived by stamping every node's view of
+    /// `li` and interning it into *this* sweep's table. Reduce only ever
+    /// orders on item order, so re-interned ids are fully equivalent to the
+    /// originals.
+    pub(crate) fn reconstruct_scan(&self, li: &LabeledInstance, accepts: Vec<bool>) -> NbhdScan {
+        let radius = self.decoder.radius();
+        let n = li.graph().node_count();
+        assert_eq!(
+            accepts.len(),
+            n,
+            "shard scan acceptance flags must cover every node"
+        );
+        let view_ids = (0..n)
+            .map(|v| self.interner.intern(li.view(v, radius, self.id_mode)))
+            .collect();
+        NbhdScan { view_ids, accepts }
     }
 
     /// The id of node `v`'s view in the graph's id mode: digit-key front
@@ -335,7 +365,7 @@ impl NbhdGraph {
         F: Fn(&Graph) -> bool,
     {
         let check = NbhdSweep::new(decoder, id_mode, universe, is_yes);
-        verify::sweep(&check, universe)
+        SweepSession::over(universe).run(&check)
     }
 
     /// An empty neighborhood graph, ready for [`NbhdGraph::extend`].

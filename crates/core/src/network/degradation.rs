@@ -31,7 +31,7 @@ use crate::instance::LabeledInstance;
 use crate::label::Labeling;
 use crate::language::KCol;
 use crate::verify::{
-    sweep_panel, Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome,
+    Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome, SweepSession,
     Universe, UniverseItem,
 };
 use crate::view::IdMode;
@@ -366,7 +366,7 @@ pub fn degradation_sweep_slice<D: Decoder + ?Sized>(
                     },
                 ));
             }
-            let report = sweep_panel(&members, &universe);
+            let report = SweepSession::over(&universe).run_panel(&members);
             let honest_agg = report.members[0]
                 .verdict
                 .get::<HonestAggregate>()

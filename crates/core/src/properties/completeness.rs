@@ -9,7 +9,7 @@ use crate::decoder::Decoder;
 use crate::instance::Instance;
 use crate::prover::Prover;
 use crate::verify::{
-    sweep_panel, Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome,
+    Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome, SweepSession,
     Universe, UniverseItem,
 };
 use crate::view::IdMode;
@@ -181,7 +181,8 @@ where
         .expect("one item per materialized instance fits usize");
     let check = CompletenessCheck { decoder, prover };
     let member = DynPropertyCheck::new(PropertyTag::Completeness, "completeness", check);
-    sweep_panel(std::slice::from_ref(&member), &universe)
+    SweepSession::over(&universe)
+        .run_panel(std::slice::from_ref(&member))
         .into_member_report::<CompletenessReport>(0)
         .verdict
 }

@@ -21,7 +21,7 @@ use crate::instance::LabeledInstance;
 use crate::label::{Certificate, Labeling};
 use crate::network::{run_distributed_faulty, FaultPlan, FaultRates, FaultStats};
 use crate::verify::{
-    sweep_panel, Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome,
+    Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome, SweepSession,
     Universe, UniverseItem,
 };
 use crate::view::IdMode;
@@ -155,7 +155,8 @@ pub fn random_erasure_trials<D: Decoder + ?Sized, R: Rng + ?Sized>(
         erased_counts,
     };
     let member = DynPropertyCheck::new(PropertyTag::Erasure, "erasure", check);
-    sweep_panel(std::slice::from_ref(&member), &universe)
+    SweepSession::over(&universe)
+        .run_panel(std::slice::from_ref(&member))
         .into_member_report::<Vec<ErasureOutcome>>(0)
         .verdict
 }

@@ -13,7 +13,7 @@
 use crate::decoder::{Decoder, Verdict};
 use crate::nbhd::{NbhdGraph, NbhdScan, NbhdSweep};
 use crate::verify::{
-    sweep_panel, Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome,
+    Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome, SweepSession,
     Universe, UniverseItem, VerificationReport,
 };
 use crate::view::IdMode;
@@ -126,6 +126,12 @@ impl<'a, D: Decoder + ?Sized> HidingCheck<'a, D> {
             k,
         }
     }
+
+    /// The underlying Lemma 3.1 sweep, for shard-report reconstruction
+    /// (see [`NbhdSweep::reconstruct_scan`]).
+    pub(crate) fn sweep(&self) -> &NbhdSweep<'a, D> {
+        &self.sweep
+    }
 }
 
 impl<D: Decoder + ?Sized> PropertyCheck for HidingCheck<'_, D> {
@@ -233,7 +239,9 @@ where
 {
     let check = HidingCheck::new(decoder, universe, k, is_yes);
     let member = DynPropertyCheck::new(PropertyTag::Hiding, "hiding", check);
-    sweep_panel(std::slice::from_ref(&member), universe).into_member_report(0)
+    SweepSession::over(universe)
+        .run_panel(std::slice::from_ref(&member))
+        .into_member_report(0)
 }
 
 #[cfg(test)]

@@ -12,8 +12,8 @@ use crate::decoder::{run, Decoder, Verdict};
 use crate::instance::{Instance, LabeledInstance};
 use crate::label::Labeling;
 use crate::verify::{
-    sweep_lazy_labeled, Coverage, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag,
-    SweepOutcome, Universe, UniverseItem,
+    Coverage, DynPropertyCheck, ItemCtx, LazySweep, PropertyCheck, PropertyTag, SweepOutcome,
+    Universe, UniverseItem,
 };
 use crate::view::IdMode;
 use hiding_lcp_graph::IdAssignment;
@@ -172,7 +172,9 @@ pub fn check_anonymous<D: Decoder + ?Sized, R: Rng + ?Sized>(
             .expect("permutation stays injective and bounded");
         id_variant(instance, labeling, ids)
     });
-    sweep_lazy_labeled(&check, variants, Coverage::Sampled).verdict
+    LazySweep::labeled(Coverage::Sampled)
+        .run_labeled(&check, variants)
+        .verdict
 }
 
 /// Checks that `decoder`'s verdicts are unchanged under up to `samples`
@@ -211,7 +213,9 @@ pub fn check_order_invariant<D: Decoder + ?Sized, R: Rng + ?Sized>(
             instance.ids().remap_order_preserving(remap),
         )
     });
-    sweep_lazy_labeled(&check, variants, Coverage::Sampled).verdict
+    LazySweep::labeled(Coverage::Sampled)
+        .run_labeled(&check, variants)
+        .verdict
 }
 
 #[cfg(test)]

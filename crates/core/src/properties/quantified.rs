@@ -22,7 +22,7 @@ use crate::decoder::{Decoder, Verdict};
 use crate::instance::LabeledInstance;
 use crate::nbhd::{NbhdGraph, NbhdScan, NbhdSweep};
 use crate::verify::{
-    sweep_panel, DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome, Universe,
+    DynPropertyCheck, ItemCtx, PropertyCheck, PropertyTag, SweepOutcome, SweepSession, Universe,
     UniverseItem, VerificationReport,
 };
 use crate::view::IdMode;
@@ -121,6 +121,12 @@ impl<'a, D: Decoder + ?Sized> QuantifiedCheck<'a, D> {
             sweep: NbhdSweep::new(decoder, IdMode::Anonymous, universe, is_yes),
             k,
         }
+    }
+
+    /// The underlying Lemma 3.1 sweep, for shard-report reconstruction
+    /// (see [`NbhdSweep::reconstruct_scan`]).
+    pub(crate) fn sweep(&self) -> &NbhdSweep<'a, D> {
+        &self.sweep
     }
 }
 
@@ -225,7 +231,9 @@ where
 {
     let check = QuantifiedCheck::new(decoder, universe, k, is_yes);
     let member = DynPropertyCheck::new(PropertyTag::Quantified, "quantified", check);
-    sweep_panel(std::slice::from_ref(&member), universe).into_member_report(0)
+    SweepSession::over(universe)
+        .run_panel(std::slice::from_ref(&member))
+        .into_member_report(0)
 }
 
 #[cfg(test)]

@@ -11,9 +11,9 @@ use crate::instance::Instance;
 use crate::label::{Certificate, Labeling};
 use crate::prover::{all_labelings, random_labeling};
 use crate::verify::{
-    sweep, sweep_lazy, sweep_lazy_budgeted, sweep_panel_budgeted, Coverage, DynPropertyCheck,
-    ExecMode, ItemCtx, PropertyCheck, PropertyTag, SweepBudget, SweepOutcome, SymmetrySpec,
-    Universe, UniverseItem, VerificationReport,
+    Coverage, DynPropertyCheck, ExecMode, ItemCtx, LazySweep, PropertyCheck, PropertyTag,
+    SweepBudget, SweepOutcome, SweepSession, SymmetrySpec, Universe, UniverseItem,
+    VerificationReport,
 };
 use crate::view::IdMode;
 use rand::Rng;
@@ -124,17 +124,16 @@ pub fn check_soundness_exhaustive<D: Decoder + ?Sized>(
 ) -> Result<usize, SoundnessViolation> {
     let check = SoundnessCheck { decoder };
     match Universe::all_labelings_of(instance.clone(), alphabet.to_vec(), Coverage::Exhaustive) {
-        Ok(universe) => sweep(&check, &universe).verdict,
+        Ok(universe) => SweepSession::over(&universe).run(&check).verdict,
         // |alphabet|^n overflows the flat index space; iterate lazily
         // instead, which a violation can still end early.
         Err(_) => {
-            sweep_lazy(
-                &check,
-                instance,
-                all_labelings(instance.graph().node_count(), alphabet),
-                Coverage::Exhaustive,
-            )
-            .verdict
+            LazySweep::of(instance, Coverage::Exhaustive)
+                .run(
+                    &check,
+                    all_labelings(instance.graph().node_count(), alphabet),
+                )
+                .verdict
         }
     }
 }
@@ -160,19 +159,20 @@ pub fn check_soundness_exhaustive_with<D: Decoder + ?Sized>(
         Ok(universe) => {
             let check = SoundnessCheck { decoder };
             let member = DynPropertyCheck::new(PropertyTag::Soundness, "soundness", check);
-            sweep_panel_budgeted(std::slice::from_ref(&member), &universe, mode, budget)
-                .report
+            SweepSession::over(&universe)
+                .mode(mode)
+                .budget(*budget)
+                .run_panel(std::slice::from_ref(&member))
                 .into_member_report(0)
         }
         // |alphabet|^n overflows the flat index space; iterate lazily
         // instead (necessarily sequential, still budgeted).
-        Err(_) => sweep_lazy_budgeted(
-            &SoundnessCheck { decoder },
-            instance,
-            all_labelings(instance.graph().node_count(), alphabet),
-            Coverage::Exhaustive,
-            budget,
-        ),
+        Err(_) => LazySweep::of(instance, Coverage::Exhaustive)
+            .budget(*budget)
+            .run(
+                &SoundnessCheck { decoder },
+                all_labelings(instance.graph().node_count(), alphabet),
+            ),
     }
 }
 
@@ -194,13 +194,12 @@ pub fn check_soundness_random<D: Decoder + ?Sized, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<usize, SoundnessViolation> {
     let n = instance.graph().node_count();
-    sweep_lazy(
-        &SoundnessCheck { decoder },
-        instance,
-        (0..samples).map(|_| random_labeling(n, alphabet, rng)),
-        Coverage::Sampled,
-    )
-    .verdict
+    LazySweep::of(instance, Coverage::Sampled)
+        .run(
+            &SoundnessCheck { decoder },
+            (0..samples).map(|_| random_labeling(n, alphabet, rng)),
+        )
+        .verdict
 }
 
 /// Checks a batch of explicit labelings (e.g. structured adversaries from
@@ -213,7 +212,9 @@ pub fn check_soundness_labelings<'a, D: Decoder + ?Sized>(
     let labelings: Vec<Labeling> = labelings.into_iter().cloned().collect();
     let universe = Universe::labelings_of(instance.clone(), labelings, Coverage::Sampled)
         .expect("materialized labelings fit usize");
-    sweep(&SoundnessCheck { decoder }, &universe).verdict
+    SweepSession::over(&universe)
+        .run(&SoundnessCheck { decoder })
+        .verdict
 }
 
 #[cfg(test)]

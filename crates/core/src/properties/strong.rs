@@ -11,9 +11,9 @@ use crate::label::{Certificate, Labeling};
 use crate::language::KCol;
 use crate::prover::{all_labelings, random_labeling};
 use crate::verify::{
-    sweep, sweep_lazy, sweep_lazy_budgeted, sweep_panel_budgeted, Coverage, DynPropertyCheck,
-    ExecMode, ItemCtx, PropertyCheck, PropertyTag, SweepBudget, SweepOutcome, SymmetrySpec,
-    Universe, UniverseItem, VerificationReport,
+    Coverage, DynPropertyCheck, ExecMode, ItemCtx, LazySweep, PropertyCheck, PropertyTag,
+    SweepBudget, SweepOutcome, SweepSession, SymmetrySpec, Universe, UniverseItem,
+    VerificationReport,
 };
 use crate::view::IdMode;
 use rand::Rng;
@@ -188,17 +188,16 @@ pub fn check_strong_exhaustive<D: Decoder + ?Sized>(
 ) -> Result<usize, StrongViolation> {
     let check = StrongCheck { decoder, language };
     match Universe::all_labelings_of(instance.clone(), alphabet.to_vec(), Coverage::Exhaustive) {
-        Ok(universe) => sweep(&check, &universe).verdict,
+        Ok(universe) => SweepSession::over(&universe).run(&check).verdict,
         // |alphabet|^n overflows the flat index space; iterate lazily
         // instead, which a violation can still end early.
         Err(_) => {
-            sweep_lazy(
-                &check,
-                instance,
-                all_labelings(instance.graph().node_count(), alphabet),
-                Coverage::Exhaustive,
-            )
-            .verdict
+            LazySweep::of(instance, Coverage::Exhaustive)
+                .run(
+                    &check,
+                    all_labelings(instance.graph().node_count(), alphabet),
+                )
+                .verdict
         }
     }
 }
@@ -225,19 +224,20 @@ pub fn check_strong_exhaustive_with<D: Decoder + ?Sized>(
         Ok(universe) => {
             let check = StrongCheck { decoder, language };
             let member = DynPropertyCheck::new(PropertyTag::Strong, "strong", check);
-            sweep_panel_budgeted(std::slice::from_ref(&member), &universe, mode, budget)
-                .report
+            SweepSession::over(&universe)
+                .mode(mode)
+                .budget(*budget)
+                .run_panel(std::slice::from_ref(&member))
                 .into_member_report(0)
         }
         // |alphabet|^n overflows the flat index space; iterate lazily
         // instead (necessarily sequential, still budgeted).
-        Err(_) => sweep_lazy_budgeted(
-            &StrongCheck { decoder, language },
-            instance,
-            all_labelings(instance.graph().node_count(), alphabet),
-            Coverage::Exhaustive,
-            budget,
-        ),
+        Err(_) => LazySweep::of(instance, Coverage::Exhaustive)
+            .budget(*budget)
+            .run(
+                &StrongCheck { decoder, language },
+                all_labelings(instance.graph().node_count(), alphabet),
+            ),
     }
 }
 
@@ -260,13 +260,12 @@ pub fn check_strong_random<D: Decoder + ?Sized, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<usize, StrongViolation> {
     let n = instance.graph().node_count();
-    sweep_lazy(
-        &StrongCheck { decoder, language },
-        instance,
-        (0..samples).map(|_| random_labeling(n, alphabet, rng)),
-        Coverage::Sampled,
-    )
-    .verdict
+    LazySweep::of(instance, Coverage::Sampled)
+        .run(
+            &StrongCheck { decoder, language },
+            (0..samples).map(|_| random_labeling(n, alphabet, rng)),
+        )
+        .verdict
 }
 
 /// Checks a batch of explicit labelings.
@@ -279,7 +278,9 @@ pub fn check_strong_labelings<'a, D: Decoder + ?Sized>(
     let labelings: Vec<Labeling> = labelings.into_iter().cloned().collect();
     let universe = Universe::labelings_of(instance.clone(), labelings, Coverage::Sampled)
         .expect("materialized labelings fit usize");
-    sweep(&StrongCheck { decoder, language }, &universe).verdict
+    SweepSession::over(&universe)
+        .run(&StrongCheck { decoder, language })
+        .verdict
 }
 
 #[cfg(test)]

@@ -63,7 +63,27 @@ impl SweepError {
 ///
 /// Both limits are per-call: a resumed sweep gets a fresh deadline and a
 /// fresh item allowance. [`SweepBudget::unlimited`] (the default) imposes
-/// neither, which is what the plain [`super::sweep_with`] path uses.
+/// neither, which is what [`super::SweepSession::run`] uses.
+///
+/// # Per-shard semantics
+///
+/// A budget attached to a sharded session
+/// ([`super::SweepSession::shard`], or the `audit --shards N`
+/// coordinator) governs *each shard's calls independently* — there is no
+/// cross-shard accounting:
+///
+/// * `max_items` caps the items visited by one call **within one
+///   shard's range**; `N` shards budgeted at `max_items = m` may visit
+///   up to `N * m` items in total per pass.
+/// * `deadline` is wall-clock **per call, per process**. Shards running
+///   concurrently each get the full allowance; a stalled shard times out
+///   on its own clock without charging its siblings.
+/// * Merging ([`super::merge_fragments`] /
+///   [`super::merge_panel_fragments`]) never consults the budget: a
+///   shard interrupted mid-range must be resumed (or re-dispatched) to
+///   the end of its range before its fragment can merge. The
+///   `engine_parity` suite pins that an interrupted-then-resumed shard
+///   chain merges into the exact uninterrupted report.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepBudget {
     /// Wall-clock limit for this call. Checked between items (sequential)

@@ -131,6 +131,62 @@ pub trait PropertyCheck: Sync {
     ) -> Self::Verdict;
 }
 
+/// A shared reference runs as the check it points to. This is what lets
+/// one owned check back several executor calls — e.g. the shard merge
+/// path, which replays per-shard fragments through panel members built
+/// over `&check` while keeping the checks (and their interners) alive
+/// outside the member list.
+impl<C: PropertyCheck> PropertyCheck for &C {
+    type Partial = C::Partial;
+    type Verdict = C::Verdict;
+
+    fn view_configs(&self) -> Vec<(usize, IdMode)> {
+        (**self).view_configs()
+    }
+
+    fn inspect(&self, item: &UniverseItem<'_>, ctx: &ItemCtx<'_>) -> Option<Self::Partial> {
+        (**self).inspect(item, ctx)
+    }
+
+    fn verdict_decoder(&self) -> Option<&dyn Decoder> {
+        (**self).verdict_decoder()
+    }
+
+    fn uses_verdicts(&self, block: usize) -> bool {
+        (**self).uses_verdicts(block)
+    }
+
+    fn inspect_with_verdicts(
+        &self,
+        item: &UniverseItem<'_>,
+        verdicts: &[Verdict],
+        ctx: &ItemCtx<'_>,
+    ) -> Option<Self::Partial> {
+        (**self).inspect_with_verdicts(item, verdicts, ctx)
+    }
+
+    fn short_circuits(&self, partial: &Self::Partial) -> bool {
+        (**self).short_circuits(partial)
+    }
+
+    fn symmetry_class(&self, alphabet: &[Certificate]) -> Option<SymmetrySpec> {
+        (**self).symmetry_class(alphabet)
+    }
+
+    fn interner_report(&self) -> Option<InternerReport> {
+        (**self).interner_report()
+    }
+
+    fn reduce(
+        &self,
+        universe: &Universe,
+        partials: Vec<(usize, Self::Partial)>,
+        outcome: &SweepOutcome,
+    ) -> Self::Verdict {
+        (**self).reduce(universe, partials, outcome)
+    }
+}
+
 /// What the executor observed, available to [`PropertyCheck::reduce`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepOutcome {

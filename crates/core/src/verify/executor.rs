@@ -79,6 +79,7 @@
 use super::budget::{ResumeToken, SweepBudget, SweepError};
 use super::check::{ExecEvidence, PropertyCheck, SweepOutcome, VerificationReport};
 use super::interner::digit_key;
+use super::session::{LazySweep, SweepSession};
 use super::symmetry::QuotientPlan;
 use super::telemetry::{MetricsRecorder, SweepCounter, SweepPhase, SweepRecorder, WorkerTally};
 use super::universe::{Block, Coverage, LabelSource, Universe, UniverseItem};
@@ -380,47 +381,44 @@ pub struct BudgetedSweep<V, P> {
 }
 
 /// Sweeps `check` over `universe` in [`ExecMode::Auto`].
+#[deprecated(note = "use `SweepSession::over(universe).run(check)`")]
 pub fn sweep<C: PropertyCheck>(check: &C, universe: &Universe) -> VerificationReport<C::Verdict> {
-    sweep_with(check, universe, ExecMode::Auto)
+    SweepSession::over(universe).run(check)
 }
 
 /// Sweeps `check` over `universe` in the given mode. See the module docs
 /// for the determinism contract.
+#[deprecated(note = "use `SweepSession::over(universe).mode(mode).run(check)`")]
 pub fn sweep_with<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
     mode: ExecMode,
 ) -> VerificationReport<C::Verdict> {
-    sweep_with_opts(check, universe, mode, SweepOpts::default())
+    SweepSession::over(universe).mode(mode).run(check)
 }
 
 /// [`sweep_with`] under explicit engine options — for parity testing and
 /// benchmarking the enumeration strategies against each other. Every
 /// option combination produces the same report fields except the cache and
 /// memo counters.
+#[deprecated(note = "use `SweepSession::over(universe).mode(mode).opts(opts).run(check)`")]
 pub fn sweep_with_opts<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
     mode: ExecMode,
     opts: SweepOpts,
 ) -> VerificationReport<C::Verdict> {
-    run_resumable(
-        check,
-        universe,
-        mode,
-        &SweepBudget::unlimited(),
-        ResumeToken::start(),
-        opts,
-        None,
-        |_, _, _| None,
-    )
-    .report
+    SweepSession::over(universe)
+        .mode(mode)
+        .opts(opts)
+        .run(check)
 }
 
 /// [`sweep_with_opts`] with a telemetry recorder attached: the engine
 /// streams counters, phase timings and spans into `recorder` as it runs
 /// (see [`super::telemetry`]). Without the `telemetry` feature the
 /// recorder is inert and this is exactly [`sweep_with_opts`].
+#[deprecated(note = "use `SweepSession::over(universe).metrics(recorder).run(check)`")]
 pub fn sweep_recorded<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
@@ -428,30 +426,18 @@ pub fn sweep_recorded<C: PropertyCheck>(
     opts: SweepOpts,
     recorder: &MetricsRecorder,
 ) -> VerificationReport<C::Verdict> {
-    #[cfg(feature = "telemetry")]
-    let attached: Option<&dyn SweepRecorder> = Some(recorder);
-    #[cfg(not(feature = "telemetry"))]
-    let attached: Option<&dyn SweepRecorder> = {
-        let _ = recorder;
-        None
-    };
-    run_resumable(
-        check,
-        universe,
-        mode,
-        &SweepBudget::unlimited(),
-        ResumeToken::start(),
-        opts,
-        attached,
-        |_, _, _| None,
-    )
-    .report
+    SweepSession::over(universe)
+        .mode(mode)
+        .opts(opts)
+        .metrics(recorder)
+        .run(check)
 }
 
 /// Sweeps `check` over `universe` under an execution budget. An expired
 /// budget ends the call early: the report is flagged `interrupted`, its
 /// coverage is downgraded to [`Coverage::Sampled`], and
 /// [`BudgetedSweep::resume`] carries the continuation.
+#[deprecated(note = "use `SweepSession::over(universe).budget(budget).run_budgeted(check)`")]
 pub fn sweep_budgeted<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
@@ -461,10 +447,16 @@ pub fn sweep_budgeted<C: PropertyCheck>(
 where
     C::Partial: Clone,
 {
-    sweep_budgeted_with_opts(check, universe, mode, budget, SweepOpts::default())
+    SweepSession::over(universe)
+        .mode(mode)
+        .budget(*budget)
+        .run_budgeted(check)
 }
 
 /// [`sweep_budgeted`] under explicit engine options.
+#[deprecated(
+    note = "use `SweepSession::over(universe).budget(budget).opts(opts).run_budgeted(check)`"
+)]
 pub fn sweep_budgeted_with_opts<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
@@ -475,22 +467,18 @@ pub fn sweep_budgeted_with_opts<C: PropertyCheck>(
 where
     C::Partial: Clone,
 {
-    run_resumable(
-        check,
-        universe,
-        mode,
-        budget,
-        ResumeToken::start(),
-        opts,
-        None,
-        tokenize,
-    )
+    SweepSession::over(universe)
+        .mode(mode)
+        .budget(*budget)
+        .opts(opts)
+        .run_budgeted(check)
 }
 
 /// Continues an interrupted sweep from its [`ResumeToken`], under a fresh
 /// budget. The chain of budgeted calls visits exactly the indices an
 /// uninterrupted sweep would and reproduces its verdict, partials and
 /// `checked` count.
+#[deprecated(note = "use `SweepSession::over(universe).budget(budget).resume(check, token)`")]
 pub fn resume_sweep<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
@@ -501,10 +489,16 @@ pub fn resume_sweep<C: PropertyCheck>(
 where
     C::Partial: Clone,
 {
-    resume_sweep_with_opts(check, universe, mode, budget, token, SweepOpts::default())
+    SweepSession::over(universe)
+        .mode(mode)
+        .budget(*budget)
+        .resume(check, token)
 }
 
 /// [`resume_sweep`] under explicit engine options.
+#[deprecated(
+    note = "use `SweepSession::over(universe).budget(budget).opts(opts).resume(check, token)`"
+)]
 pub fn resume_sweep_with_opts<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
@@ -516,14 +510,18 @@ pub fn resume_sweep_with_opts<C: PropertyCheck>(
 where
     C::Partial: Clone,
 {
-    run_resumable(check, universe, mode, budget, token, opts, None, tokenize)
+    SweepSession::over(universe)
+        .mode(mode)
+        .budget(*budget)
+        .opts(opts)
+        .resume(check, token)
 }
 
 /// The cloning tokenizer the budgeted entry points pass to
 /// [`run_resumable`] (they carry the `C::Partial: Clone` bound; the
-/// unbudgeted [`sweep_with`] passes a `None`-returning closure and
+/// unbudgeted [`SweepSession::run`] passes a `None`-returning closure and
 /// imposes no bound).
-fn tokenize<P: Clone>(
+pub(super) fn tokenize<P: Clone>(
     partials: &[(usize, P)],
     errors: &[SweepError],
     next_index: usize,
@@ -535,13 +533,35 @@ fn tokenize<P: Clone>(
     })
 }
 
-/// The shared engine behind [`sweep_with`], [`sweep_budgeted`] and
-/// [`resume_sweep`]. `make_token` builds the continuation when the sweep
-/// is interrupted; see [`tokenize`]. When a recorder is attached, phase
-/// timings are measured by the *recorder's* clock (never ambient time)
-/// and the engine additionally emits sweep/block/chunk spans.
+/// What one capped executor pass over the universe produced: the merged,
+/// sorted, retention-filtered walk state plus the walk's counters. This is
+/// the shared middle of [`run_resumable`] (which reduces it into a report)
+/// and [`run_fragment`] (which hands it to the shard merge un-reduced).
+struct SweepPassState<P> {
+    /// Recorded partials (token-merged, sorted by index, nothing past the
+    /// short-circuit).
+    partials: Vec<(usize, P)>,
+    /// Caught inspection errors, sorted by index.
+    errors: Vec<SweepError>,
+    /// Lowest short-circuiting index (`usize::MAX` = none).
+    stop_at: usize,
+    /// First index not visited by the walk.
+    next: usize,
+    threads: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    memo_hits: usize,
+    memo_misses: usize,
+}
+
+/// One capped pass: cache build, engine assembly, the walk over
+/// `[token.next_index, min(next_index + max_items, limit))`, counter
+/// flushing, and the token merge + retention. `limit` is the exclusive
+/// end cap — the universe size for a whole sweep, the shard's `hi` for a
+/// fragment. Emits every recorder event of a sweep except the enclosing
+/// span and the reduce phase, which the callers own.
 #[allow(clippy::too_many_arguments)] // the args are the sweep's state, not a config
-fn run_resumable<C: PropertyCheck>(
+fn run_pass<C: PropertyCheck>(
     check: &C,
     universe: &Universe,
     mode: ExecMode,
@@ -549,9 +569,9 @@ fn run_resumable<C: PropertyCheck>(
     token: ResumeToken<C::Partial>,
     opts: SweepOpts,
     recorder: Option<&dyn SweepRecorder>,
-    make_token: impl Fn(&[(usize, C::Partial)], &[SweepError], usize) -> Option<ResumeToken<C::Partial>>,
-) -> BudgetedSweep<C::Verdict, C::Partial> {
-    let start = Instant::now();
+    limit: usize,
+    start: Instant,
+) -> SweepPassState<C::Partial> {
     let deadline = budget.deadline.map(|d| start + d);
     let oracle = opts.strategy == SweepStrategy::DecodeOracle;
     let decoder = if oracle {
@@ -565,9 +585,6 @@ fn run_resumable<C: PropertyCheck>(
         // sure its configuration is cached even if the check forgot to
         // list it.
         configs.push((d.radius(), d.id_mode()));
-    }
-    if let Some(r) = recorder {
-        r.span_enter("sweep");
     }
     let phase_start = recorder.map(|r| r.now_micros());
     let cache = SkeletonCache::build(universe, configs);
@@ -597,13 +614,12 @@ fn run_resumable<C: PropertyCheck>(
         oracle,
         recorder,
     };
-    let n = universe.len();
-    let begin = token.next_index.min(n);
+    let begin = token.next_index.min(limit);
     // `max_items` is enforced by clamping the sweep's end index, which
     // makes it exact — and identical — in every execution mode.
     let end = match budget.max_items {
-        Some(m) => begin.saturating_add(m).min(n),
-        None => n,
+        Some(m) => begin.saturating_add(m).min(limit),
+        None => limit,
     };
     let threads = resolve_threads(mode, end.saturating_sub(begin));
 
@@ -648,12 +664,51 @@ fn run_resumable<C: PropertyCheck>(
         partials.retain(|&(i, _)| i <= outcome.stop_at);
         errors.retain(|e| e.item_index <= outcome.stop_at);
     }
+    SweepPassState {
+        partials,
+        errors,
+        stop_at: outcome.stop_at,
+        next: outcome.next,
+        threads,
+        cache_hits: hits.load(Ordering::Relaxed),
+        cache_misses: misses.load(Ordering::Relaxed),
+        memo_hits: memo_hits.load(Ordering::Relaxed),
+        memo_misses: memo_misses.load(Ordering::Relaxed),
+    }
+}
+
+/// The shared engine behind every whole-universe entry point (today that
+/// means [`SweepSession`]; the deprecated free functions shim onto it).
+/// `make_token` builds the continuation when the sweep is interrupted; see
+/// [`tokenize`]. When a recorder is attached, phase timings are measured
+/// by the *recorder's* clock (never ambient time) and the engine
+/// additionally emits sweep/block/chunk spans.
+#[allow(clippy::too_many_arguments)] // the args are the sweep's state, not a config
+pub(super) fn run_resumable<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    token: ResumeToken<C::Partial>,
+    opts: SweepOpts,
+    recorder: Option<&dyn SweepRecorder>,
+    make_token: impl Fn(&[(usize, C::Partial)], &[SweepError], usize) -> Option<ResumeToken<C::Partial>>,
+) -> BudgetedSweep<C::Verdict, C::Partial> {
+    let start = Instant::now();
+    if let Some(r) = recorder {
+        r.span_enter("sweep");
+    }
+    let n = universe.len();
+    let pass = run_pass(
+        check, universe, mode, budget, token, opts, recorder, n, start,
+    );
+    let short_circuited = pass.stop_at != usize::MAX;
     // `checked` keeps sequential semantics: the visited set is the prefix
     // [0, next), so this is simply how far the prefix reaches.
     let checked = if short_circuited {
-        outcome.stop_at + 1
+        pass.stop_at + 1
     } else {
-        outcome.next
+        pass.next
     };
     #[cfg(conformance_mutants)]
     let checked = if crate::mutants::active("checked_off_by_one") && short_circuited {
@@ -661,16 +716,16 @@ fn run_resumable<C: PropertyCheck>(
     } else {
         checked
     };
-    let interrupted = !short_circuited && outcome.next < n;
+    let interrupted = !short_circuited && pass.next < n;
     let resume = if interrupted {
-        make_token(&partials, &errors, outcome.next)
+        make_token(&pass.partials, &pass.errors, pass.next)
     } else {
         None
     };
     // An interrupted or error-bearing sweep visited (or verified) only
     // part of the universe: whatever it concludes is evidence from a
     // sample, never a universal statement.
-    let coverage = if interrupted || !errors.is_empty() {
+    let coverage = if interrupted || !pass.errors.is_empty() {
         Coverage::Sampled
     } else {
         universe.coverage()
@@ -685,7 +740,7 @@ fn run_resumable<C: PropertyCheck>(
         short_circuited,
     };
     let reduce_start = recorder.map(|r| r.now_micros());
-    let verdict = check.reduce(universe, partials, &sweep_outcome);
+    let verdict = check.reduce(universe, pass.partials, &sweep_outcome);
     if let (Some(r), Some(t0)) = (recorder, reduce_start) {
         r.record_phase(SweepPhase::Reduce, r.now_micros().saturating_sub(t0));
     }
@@ -705,17 +760,106 @@ fn run_resumable<C: PropertyCheck>(
                 short_circuited,
                 interrupted,
                 coverage,
-                errors,
-                cache_hits: hits.load(Ordering::Relaxed),
-                cache_misses: misses.load(Ordering::Relaxed),
-                memo_hits: memo_hits.load(Ordering::Relaxed),
-                memo_misses: memo_misses.load(Ordering::Relaxed),
+                errors: pass.errors,
+                cache_hits: pass.cache_hits,
+                cache_misses: pass.cache_misses,
+                memo_hits: pass.memo_hits,
+                memo_misses: pass.memo_misses,
                 elapsed: start.elapsed(),
-                threads,
+                threads: pass.threads,
                 interner,
             },
         },
         resume,
+    }
+}
+
+/// One shard's slice of a sweep: the un-reduced walk state over the
+/// contiguous index range `[lo, hi)`. Produced by
+/// [`SweepSession::run_fragment`](super::SweepSession::run_fragment) and
+/// consumed by [`merge_fragments`](super::shard::merge_fragments), which
+/// validates that a set of fragments tiles the universe exactly and then
+/// runs the one reduce a single-process sweep would have run.
+#[derive(Debug)]
+pub struct SweepFragment<P> {
+    /// Range start (inclusive flat index).
+    pub lo: usize,
+    /// Range end (exclusive flat index).
+    pub hi: usize,
+    /// First index in `[lo, hi)` not visited; `hi` when the walk covered
+    /// the whole range.
+    pub next: usize,
+    /// Lowest short-circuiting index, when one fired inside the range.
+    pub stop_at: Option<usize>,
+    /// Recorded partials, sorted by index, nothing past `stop_at`.
+    pub partials: Vec<(usize, P)>,
+    /// Caught inspection errors, sorted by index.
+    pub errors: Vec<SweepError>,
+}
+
+impl<P> SweepFragment<P> {
+    /// Whether the fragment's range is fully decided: the walk reached
+    /// `hi`, or a short-circuit decided the remainder of the range.
+    pub fn is_complete(&self) -> bool {
+        self.stop_at.is_some() || self.next >= self.hi
+    }
+
+    /// The continuation of an incomplete (budget-interrupted) fragment.
+    /// Feed it to
+    /// [`SweepSession::resume_fragment`](super::SweepSession::resume_fragment)
+    /// on a session with the same shard to finish the range; the chained
+    /// fragment equals the uninterrupted one exactly.
+    pub fn into_resume_token(self) -> ResumeToken<P> {
+        ResumeToken {
+            next_index: self.next,
+            partials: self.partials,
+            errors: self.errors,
+        }
+    }
+}
+
+/// Runs one shard's pass over `[lo, hi)` without reducing: the fragment
+/// carries everything the merge needs. A budget applies to this call
+/// alone (`max_items` caps this shard's items; `deadline` is wall-clock
+/// from this call), and a budget stop inside the range marks a budget
+/// interruption exactly as a whole-universe sweep would.
+#[allow(clippy::too_many_arguments)] // the args are the sweep's state, not a config
+pub(super) fn run_fragment<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    token: ResumeToken<C::Partial>,
+    opts: SweepOpts,
+    recorder: Option<&dyn SweepRecorder>,
+    lo: usize,
+    hi: usize,
+) -> SweepFragment<C::Partial> {
+    let start = Instant::now();
+    if let Some(r) = recorder {
+        r.span_enter("sweep");
+    }
+    let hi = hi.min(universe.len());
+    let mut token = token;
+    if token.next_index < lo {
+        token.next_index = lo;
+    }
+    let pass = run_pass(
+        check, universe, mode, budget, token, opts, recorder, hi, start,
+    );
+    if pass.stop_at == usize::MAX && pass.next < hi {
+        budget.note_interruption(recorder);
+    }
+    if let Some(r) = recorder {
+        r.span_exit("sweep");
+    }
+    SweepFragment {
+        lo,
+        hi,
+        next: pass.next,
+        stop_at: (pass.stop_at != usize::MAX).then_some(pass.stop_at),
+        partials: pass.partials,
+        errors: pass.errors,
     }
 }
 
@@ -736,19 +880,14 @@ fn run_resumable<C: PropertyCheck>(
 /// one-block universe describing the bare `instance` — lazy sweeps suit
 /// checks whose `reduce` depends only on the partials and the
 /// [`SweepOutcome`], which is every check in this crate.
+#[deprecated(note = "use `LazySweep::of(instance, coverage).run(check, labelings)`")]
 pub fn sweep_lazy<C: PropertyCheck>(
     check: &C,
     instance: &Instance,
     labelings: impl IntoIterator<Item = Labeling>,
     coverage: Coverage,
 ) -> VerificationReport<C::Verdict> {
-    sweep_lazy_budgeted(
-        check,
-        instance,
-        labelings,
-        coverage,
-        &SweepBudget::unlimited(),
-    )
+    LazySweep::of(instance, coverage).run(check, labelings)
 }
 
 /// [`sweep_lazy`] under a [`SweepBudget`]. An expired budget stops
@@ -756,7 +895,22 @@ pub fn sweep_lazy<C: PropertyCheck>(
 /// report is flagged `interrupted` with [`Coverage::Sampled`], and
 /// `checked` says how many items were drawn — a caller can resume by
 /// skipping that many items of a replayed source.
+#[deprecated(note = "use `LazySweep::of(instance, coverage).budget(budget).run(check, labelings)`")]
 pub fn sweep_lazy_budgeted<C: PropertyCheck>(
+    check: &C,
+    instance: &Instance,
+    labelings: impl IntoIterator<Item = Labeling>,
+    coverage: Coverage,
+    budget: &SweepBudget,
+) -> VerificationReport<C::Verdict> {
+    LazySweep::of(instance, coverage)
+        .budget(*budget)
+        .run(check, labelings)
+}
+
+/// The engine behind [`LazySweep::run`]: draws labelings one at a time,
+/// stops pulling at the first short-circuit or budget expiry.
+pub(super) fn run_lazy<C: PropertyCheck>(
     check: &C,
     instance: &Instance,
     labelings: impl IntoIterator<Item = Labeling>,
@@ -842,12 +996,26 @@ pub fn sweep_lazy_budgeted<C: PropertyCheck>(
 /// report's `universe_size` equals the number of items drawn and
 /// [`PropertyCheck::reduce`] receives a synthetic universe (here an empty
 /// one, as there is no single shared instance).
+#[deprecated(note = "use `LazySweep::labeled(coverage).run_labeled(check, items)`")]
 pub fn sweep_lazy_labeled<C: PropertyCheck>(
     check: &C,
     items: impl IntoIterator<Item = LabeledInstance>,
     coverage: Coverage,
 ) -> VerificationReport<C::Verdict> {
+    LazySweep::labeled(coverage).run_labeled(check, items)
+}
+
+/// The engine behind [`LazySweep::run_labeled`]: draws labeled instances
+/// one at a time, each with its own one-item skeleton cache. An expired
+/// budget stops *drawing*, exactly as [`run_lazy`] does.
+pub(super) fn run_lazy_labeled<C: PropertyCheck>(
+    check: &C,
+    items: impl IntoIterator<Item = LabeledInstance>,
+    coverage: Coverage,
+    budget: &SweepBudget,
+) -> VerificationReport<C::Verdict> {
     let start = Instant::now();
+    let deadline = budget.deadline.map(|d| start + d);
     let configs = check.view_configs();
     // invariant: zero blocks sum to zero items — overflow is impossible.
     let reduce_universe =
@@ -858,7 +1026,14 @@ pub fn sweep_lazy_labeled<C: PropertyCheck>(
     let mut errors = Vec::new();
     let mut checked = 0usize;
     let mut short_circuited = false;
+    let mut interrupted = false;
     for li in items {
+        if budget.max_items.is_some_and(|m| checked >= m)
+            || deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            interrupted = true;
+            break;
+        }
         let (instance, labeling) = li.into_parts();
         // invariant: one `Unlabeled` block contributes exactly one item,
         // far from overflowing the flat index space.
@@ -902,7 +1077,7 @@ pub fn sweep_lazy_labeled<C: PropertyCheck>(
         errors,
         checked,
         short_circuited,
-        false,
+        interrupted,
         &hits,
         &misses,
         start,

@@ -14,21 +14,34 @@
 //!   conclusions from mere refutations;
 //! * [`PropertyCheck`] is the property: a per-item [`PropertyCheck::inspect`]
 //!   plus a [`PropertyCheck::reduce`] fold, with optional short-circuiting;
-//! * [`sweep`] / [`sweep_with`] execute the check — sequentially, or on
-//!   worker threads when the default-on `parallel` feature is enabled —
-//!   with bit-identical verdicts, witnesses and counts in either mode, and
-//!   a shared [`crate::view::ViewSkeleton`] cache so each node's view is
-//!   canonicalized once per block instead of once per labeling;
+//! * [`SweepSession`] is the single construction site for every run: one
+//!   builder carrying execution mode, strategy options ([`SweepOpts`]),
+//!   budget, telemetry recorder and shard, fired with
+//!   [`run`](SweepSession::run) / [`run_panel`](SweepSession::run_panel)
+//!   and friends — sequentially, or on worker threads when the default-on
+//!   `parallel` feature is enabled — with bit-identical verdicts,
+//!   witnesses and counts in either mode, and a shared
+//!   [`crate::view::ViewSkeleton`] cache so each node's view is
+//!   canonicalized once per block instead of once per labeling
+//!   ([`LazySweep`] is the streaming counterpart for iterator sources);
 //! * every sweep returns a [`VerificationReport`]: the verdict plus how
 //!   many instances were checked, cache hits/misses, wall-clock time and
 //!   thread count;
 //! * execution is resilient ([`budget`]): a panicking check surfaces as a
 //!   structured [`SweepError`] naming the item instead of poisoning the
-//!   sweep, [`sweep_budgeted`] bounds a call by wall-clock deadline
+//!   sweep, a [`SweepBudget`] bounds a call by wall-clock deadline
 //!   and/or item count (degrading the report to an explicit
-//!   [`Coverage::Sampled`] partial verdict), and [`resume_sweep`]
-//!   continues from a deterministic [`ResumeToken`] such that the chain
-//!   reproduces the uninterrupted report bit-for-bit;
+//!   [`Coverage::Sampled`] partial verdict), and
+//!   [`resume`](SweepSession::resume) continues from a deterministic
+//!   [`ResumeToken`] such that the chain reproduces the uninterrupted
+//!   report bit-for-bit;
+//! * work shards across processes ([`shard`]): a [`ShardSpec`] restricts a
+//!   session to one of `N` contiguous ranges of the index space, fragments
+//!   ([`SweepSession::run_fragment`] /
+//!   [`run_panel_fragment`](SweepSession::run_panel_fragment)) carry the
+//!   un-reduced walk state, and [`merge_fragments`] /
+//!   [`merge_panel_fragments`] recombine them into the exact
+//!   single-process report, with [`run_shards`] owning dispatch and retry;
 //! * the hot path is allocation-free: within a chunk, labelings are
 //!   enumerated by *odometer stepping* (one digit of the mixed-radix
 //!   counter per item, into reused per-thread scratch) rather than per-item
@@ -39,6 +52,10 @@
 //!   repeated local configurations. The decode-from-index oracle survives
 //!   as [`SweepStrategy::DecodeOracle`] and the `engine_parity` suite
 //!   proves the two paths observationally identical.
+//!
+//! The pre-builder free functions (`sweep`, `sweep_with`, the
+//! `sweep_panel*` set, …) survive as `#[deprecated]` shims over
+//! [`SweepSession`] and [`LazySweep`].
 //!
 //! The concrete properties live where they always did (in
 //! [`crate::properties`] and [`crate::nbhd`]); what moved here is the
@@ -52,6 +69,8 @@ mod executor;
 pub mod interner;
 mod panel;
 pub mod plan;
+mod session;
+pub mod shard;
 mod symmetry;
 pub mod telemetry;
 pub mod universe;
@@ -59,21 +78,30 @@ pub mod universe;
 pub use budget::{MemberFrontier, PanelResumeToken, ResumeToken, SweepBudget, SweepError};
 pub use check::{ExecEvidence, PropertyCheck, SweepOutcome, VerificationReport};
 pub use erased::{DynPropertyCheck, ErasedPartial, ErasedVerdict, PanelVerdict, PropertyTag};
+#[allow(deprecated)]
 pub use executor::{
     resume_sweep, resume_sweep_with_opts, sweep, sweep_budgeted, sweep_budgeted_with_opts,
     sweep_lazy, sweep_lazy_budgeted, sweep_lazy_labeled, sweep_recorded, sweep_with,
-    sweep_with_opts, BudgetedSweep, ExecMode, ItemCtx, SweepOpts, SweepStrategy,
-    PARALLEL_THRESHOLD,
+    sweep_with_opts,
+};
+pub use executor::{
+    BudgetedSweep, ExecMode, ItemCtx, SweepFragment, SweepOpts, SweepStrategy, PARALLEL_THRESHOLD,
 };
 pub use interner::{digit_key, InternerReport, ViewId, ViewInterner};
+#[allow(deprecated)]
 pub use panel::{
     resume_panel, resume_panel_with_opts, sweep_panel, sweep_panel_budgeted,
     sweep_panel_budgeted_with_opts, sweep_panel_recorded, sweep_panel_with, sweep_panel_with_opts,
-    BudgetedPanel, PanelMemberReport, PanelReport,
 };
+pub use panel::{BudgetedPanel, PanelFragment, PanelMemberReport, PanelReport};
 pub use plan::{
     AuditMemberReport, AuditPanelReport, AuditPlan, AuditReport, BlockGated, FaultSpec,
     InstanceSet, PanelTelemetry, ALL_PROPERTIES,
+};
+pub use session::{LazySweep, SweepSession};
+pub use shard::{
+    merge_fragments, merge_panel_fragments, run_shards, sum_stable_counters, ShardRunReport,
+    ShardSpec,
 };
 pub use symmetry::SymmetrySpec;
 pub use telemetry::{MetricsRecorder, MetricsSnapshot, SweepCounter, SweepPhase, SweepRecorder};
@@ -145,8 +173,12 @@ mod tests {
                 stop_on_all_ones: true,
             },
         ] {
-            let seq = sweep_with(&check, &universe, ExecMode::Sequential);
-            let par = sweep_with(&check, &universe, ExecMode::Parallel(4));
+            let seq = SweepSession::over(&universe)
+                .mode(ExecMode::Sequential)
+                .run(&check);
+            let par = SweepSession::over(&universe)
+                .mode(ExecMode::Parallel(4))
+                .run(&check);
             assert_eq!(seq.verdict, par.verdict);
             assert_eq!(seq.checked, par.checked);
             assert_eq!(seq.short_circuited, par.short_circuited);
@@ -160,7 +192,9 @@ mod tests {
         let check = CountConstant {
             stop_on_all_ones: true,
         };
-        let report = sweep_with(&check, &universe, ExecMode::Parallel(3));
+        let report = SweepSession::over(&universe)
+            .mode(ExecMode::Parallel(3))
+            .run(&check);
         // All-ones is labeling index 31 (odometer: every digit = 1).
         assert_eq!(report.verdict.1, Some(31));
         assert_eq!(report.checked, 32);
@@ -200,7 +234,7 @@ mod tests {
     #[test]
     fn cached_views_equal_direct_extraction() {
         let universe = small_universe();
-        let report = sweep(&ViewsMatchDirect, &universe);
+        let report = SweepSession::over(&universe).run(&ViewsMatchDirect);
         assert_eq!(report.verdict, 32);
         // 5 nodes * 32 labelings stamped from 5 skeletons.
         assert_eq!(report.cache_hits, 160);
@@ -213,7 +247,9 @@ mod tests {
         let check = CountConstant {
             stop_on_all_ones: false,
         };
-        let report = sweep_with(&check, &universe, ExecMode::Sequential);
+        let report = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .run(&check);
         assert!(!report.interrupted);
         assert!(report.errors.is_empty());
         assert_eq!(report.coverage, Coverage::Exhaustive);
@@ -225,8 +261,10 @@ mod tests {
         let check = CountConstant {
             stop_on_all_ones: false,
         };
-        let budget = SweepBudget::unlimited().with_max_items(10);
-        let first = sweep_budgeted(&check, &universe, ExecMode::Sequential, &budget);
+        let session = SweepSession::over(&universe).mode(ExecMode::Sequential);
+        let first = session
+            .budget(SweepBudget::unlimited().with_max_items(10))
+            .run_budgeted(&check);
         assert!(first.report.interrupted);
         assert_eq!(first.report.checked, 10);
         assert_eq!(first.report.coverage, Coverage::Sampled);
@@ -234,17 +272,11 @@ mod tests {
         assert_eq!(token.next_index, 10);
         // Finish with no budget: the chained result matches one
         // uninterrupted sweep exactly.
-        let rest = resume_sweep(
-            &check,
-            &universe,
-            ExecMode::Sequential,
-            &SweepBudget::unlimited(),
-            token,
-        );
+        let rest = session.resume(&check, token);
         assert!(rest.resume.is_none());
         assert!(!rest.report.interrupted);
         assert_eq!(rest.report.coverage, Coverage::Exhaustive);
-        let full = sweep_with(&check, &universe, ExecMode::Sequential);
+        let full = session.run(&check);
         assert_eq!(rest.report.verdict, full.verdict);
         assert_eq!(rest.report.checked, full.checked);
     }
@@ -255,12 +287,13 @@ mod tests {
         let check = CountConstant {
             stop_on_all_ones: true,
         };
-        let full = sweep_with(&check, &universe, ExecMode::Sequential);
+        let session = SweepSession::over(&universe).mode(ExecMode::Sequential);
+        let full = session.run(&check);
         for step in [1usize, 3, 7, 32] {
-            let budget = SweepBudget::unlimited().with_max_items(step);
-            let mut state = sweep_budgeted(&check, &universe, ExecMode::Sequential, &budget);
+            let stepped = session.budget(SweepBudget::unlimited().with_max_items(step));
+            let mut state = stepped.run_budgeted(&check);
             while let Some(token) = state.resume.take() {
-                state = resume_sweep(&check, &universe, ExecMode::Sequential, &budget, token);
+                state = stepped.resume(&check, token);
             }
             assert_eq!(state.report.verdict, full.verdict, "step {step}");
             assert_eq!(state.report.checked, full.checked, "step {step}");
@@ -303,8 +336,12 @@ mod tests {
         let check = PanicsAt { index: 13 };
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
-        let seq = sweep_with(&check, &universe, ExecMode::Sequential);
-        let par = sweep_with(&check, &universe, ExecMode::Parallel(4));
+        let seq = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .run(&check);
+        let par = SweepSession::over(&universe)
+            .mode(ExecMode::Parallel(4))
+            .run(&check);
         std::panic::set_hook(prev);
         for report in [&seq, &par] {
             assert_eq!(report.verdict, 31, "other items still inspected");
@@ -326,12 +363,193 @@ mod tests {
         let check = CountConstant {
             stop_on_all_ones: false,
         };
-        let budget = SweepBudget::unlimited().with_deadline(std::time::Duration::ZERO);
-        let out = sweep_budgeted(&check, &universe, ExecMode::Sequential, &budget);
+        let out = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .budget(SweepBudget::unlimited().with_deadline(std::time::Duration::ZERO))
+            .run_budgeted(&check);
         assert!(out.report.interrupted);
         assert_eq!(out.report.checked, 0);
         let token = out.resume.expect("token");
         assert_eq!(token.next_index, 0);
         assert!(token.partials.is_empty());
+    }
+
+    /// Records exactly one partial, at a fixed index, and stops there.
+    struct StopAtIndex(usize);
+
+    impl PropertyCheck for StopAtIndex {
+        type Partial = ();
+        type Verdict = Option<usize>;
+
+        fn inspect(&self, item: &UniverseItem<'_>, _ctx: &ItemCtx<'_>) -> Option<()> {
+            (item.index == self.0).then_some(())
+        }
+
+        fn short_circuits(&self, _partial: &()) -> bool {
+            true
+        }
+
+        fn reduce(
+            &self,
+            _universe: &Universe,
+            partials: Vec<(usize, ())>,
+            _outcome: &SweepOutcome,
+        ) -> Option<usize> {
+            partials.first().map(|&(i, _)| i)
+        }
+    }
+
+    #[test]
+    fn merged_fragments_equal_the_single_process_sweep() {
+        let universe = small_universe();
+        let check = CountConstant {
+            stop_on_all_ones: false,
+        };
+        let full = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .run(&check);
+        for of in [1usize, 2, 4] {
+            let fragments: Vec<_> = ShardSpec::partition(of)
+                .into_iter()
+                .map(|spec| {
+                    SweepSession::over(&universe)
+                        .mode(ExecMode::Sequential)
+                        .shard(spec)
+                        .run_fragment(&check)
+                })
+                .collect();
+            let merged = merge_fragments(&check, &universe, ExecMode::Sequential, fragments, None)
+                .expect("fragments tile the universe");
+            assert_eq!(merged.verdict, full.verdict, "{of} shards");
+            assert_eq!(merged.checked, full.checked, "{of} shards");
+            assert_eq!(merged.short_circuited, full.short_circuited);
+            assert_eq!(merged.coverage, full.coverage);
+        }
+    }
+
+    #[test]
+    fn short_circuit_frontier_composes_across_shards() {
+        let universe = small_universe();
+        // Stops inside shard 0; later shards walk their whole ranges and
+        // find nothing, and the merge must still report the global stop.
+        let check = StopAtIndex(7);
+        let full = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .run(&check);
+        assert_eq!(full.verdict, Some(7));
+        assert_eq!(full.checked, 8);
+        let fragments: Vec<_> = ShardSpec::partition(4)
+            .into_iter()
+            .map(|spec| {
+                SweepSession::over(&universe)
+                    .mode(ExecMode::Sequential)
+                    .shard(spec)
+                    .run_fragment(&check)
+            })
+            .collect();
+        assert_eq!(fragments[0].stop_at, Some(7));
+        assert!(fragments[1..].iter().all(|f| f.stop_at.is_none()));
+        let merged = merge_fragments(&check, &universe, ExecMode::Sequential, fragments, None)
+            .expect("fragments tile the universe");
+        assert_eq!(merged.verdict, full.verdict);
+        assert_eq!(merged.checked, full.checked);
+        assert!(merged.short_circuited);
+    }
+
+    #[test]
+    fn interrupted_shard_resumes_to_the_uninterrupted_fragment() {
+        let universe = small_universe();
+        let check = CountConstant {
+            stop_on_all_ones: false,
+        };
+        let spec = ShardSpec::new(0, 2);
+        let session = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .shard(spec);
+        let whole = session.run_fragment(&check);
+        assert!(whole.is_complete());
+        // Walk the same range 3 items at a time; the chained fragment
+        // must equal the uninterrupted one exactly.
+        let stepped = session.budget(SweepBudget::unlimited().with_max_items(3));
+        let mut frag = stepped.run_fragment(&check);
+        while !frag.is_complete() {
+            frag = stepped.resume_fragment(&check, frag.into_resume_token());
+        }
+        assert_eq!(frag.lo, whole.lo);
+        assert_eq!(frag.hi, whole.hi);
+        assert_eq!(frag.next, whole.next);
+        assert_eq!(frag.stop_at, whole.stop_at);
+        assert_eq!(frag.partials, whole.partials);
+    }
+
+    #[test]
+    fn merge_rejects_gaps_overlaps_and_torn_fragments() {
+        let universe = small_universe();
+        let check = CountConstant {
+            stop_on_all_ones: false,
+        };
+        let frag_of = |spec: ShardSpec| {
+            SweepSession::over(&universe)
+                .mode(ExecMode::Sequential)
+                .shard(spec)
+                .run_fragment(&check)
+        };
+        // Gap: shard 1 of 4 missing.
+        let gappy: Vec<_> = [0usize, 2, 3]
+            .into_iter()
+            .map(|i| frag_of(ShardSpec::new(i, 4)))
+            .collect();
+        let err = merge_fragments(&check, &universe, ExecMode::Sequential, gappy, None)
+            .expect_err("a gap must be rejected");
+        assert!(err.contains("gap"), "{err}");
+        // Overlap: shard 0 of 2 twice plus shard 1 of 2.
+        let doubled = vec![
+            frag_of(ShardSpec::new(0, 2)),
+            frag_of(ShardSpec::new(0, 2)),
+            frag_of(ShardSpec::new(1, 2)),
+        ];
+        let err = merge_fragments(&check, &universe, ExecMode::Sequential, doubled, None)
+            .expect_err("an overlap must be rejected");
+        assert!(err.contains("overlap"), "{err}");
+        // Torn: shard 0 of 2 interrupted mid-range by a budget.
+        let torn = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .shard(ShardSpec::new(0, 2))
+            .budget(SweepBudget::unlimited().with_max_items(3))
+            .run_fragment(&check);
+        assert!(!torn.is_complete());
+        let err = merge_fragments(
+            &check,
+            &universe,
+            ExecMode::Sequential,
+            vec![torn, frag_of(ShardSpec::new(1, 2))],
+            None,
+        )
+        .expect_err("a torn fragment must be rejected");
+        assert!(err.contains("torn"), "{err}");
+    }
+
+    #[test]
+    fn sharded_session_run_reports_a_sample_of_the_universe() {
+        let universe = small_universe();
+        let check = CountConstant {
+            stop_on_all_ones: false,
+        };
+        let report = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .shard(ShardSpec::new(0, 2))
+            .run(&check);
+        // One shard alone is a sample: 16 of 32 items, flagged as such.
+        assert_eq!(report.checked, 16);
+        assert_eq!(report.universe_size, 32);
+        assert!(report.interrupted);
+        assert_eq!(report.coverage, Coverage::Sampled);
+        // And a budgeted run's resume chain ends at the shard boundary.
+        let out = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .shard(ShardSpec::new(0, 2))
+            .budget(SweepBudget::unlimited().with_max_items(16))
+            .run_budgeted(&check);
+        assert!(out.resume.is_none(), "spent shard token must be dropped");
     }
 }

@@ -58,6 +58,7 @@ use super::executor::{
     refresh_verdicts, resolve_threads, DeltaDriver, ExecMode, ItemCtx, SkeletonCache, SweepOpts,
     SweepStrategy, VerdictMemo, VerdictScratch, Walker,
 };
+use super::session::SweepSession;
 use super::symmetry::QuotientPlan;
 use super::telemetry::{MetricsRecorder, SweepCounter, SweepPhase, SweepRecorder, WorkerTally};
 use super::universe::{Coverage, Universe, UniverseItem};
@@ -147,36 +148,33 @@ pub struct BudgetedPanel {
 }
 
 /// Fuses `checks` into one walk over `universe` in [`ExecMode::Auto`].
+#[deprecated(note = "use `SweepSession::over(universe).run_panel(checks)`")]
 pub fn sweep_panel(checks: &[DynPropertyCheck<'_>], universe: &Universe) -> PanelReport {
-    sweep_panel_with(checks, universe, ExecMode::Auto)
+    SweepSession::over(universe).run_panel(checks)
 }
 
 /// [`sweep_panel`] in an explicit execution mode.
+#[deprecated(note = "use `SweepSession::over(universe).mode(mode).run_panel(checks)`")]
 pub fn sweep_panel_with(
     checks: &[DynPropertyCheck<'_>],
     universe: &Universe,
     mode: ExecMode,
 ) -> PanelReport {
-    sweep_panel_with_opts(checks, universe, mode, SweepOpts::default())
+    SweepSession::over(universe).mode(mode).run_panel(checks)
 }
 
 /// [`sweep_panel_with`] under explicit engine options.
+#[deprecated(note = "use `SweepSession::over(universe).mode(mode).opts(opts).run_panel(checks)`")]
 pub fn sweep_panel_with_opts(
     checks: &[DynPropertyCheck<'_>],
     universe: &Universe,
     mode: ExecMode,
     opts: SweepOpts,
 ) -> PanelReport {
-    run_panel(
-        checks,
-        universe,
-        mode,
-        &SweepBudget::unlimited(),
-        PanelResumeToken::start(checks.len()),
-        opts,
-        None,
-    )
-    .report
+    SweepSession::over(universe)
+        .mode(mode)
+        .opts(opts)
+        .run_panel(checks)
 }
 
 /// [`sweep_panel_with_opts`] with a telemetry recorder attached: the
@@ -184,6 +182,7 @@ pub fn sweep_panel_with_opts(
 /// spans into `recorder` (see [`super::telemetry`]). Without the
 /// `telemetry` feature the recorder is inert and this is exactly
 /// [`sweep_panel_with_opts`].
+#[deprecated(note = "use `SweepSession::over(universe).metrics(recorder).run_panel(checks)`")]
 pub fn sweep_panel_recorded(
     checks: &[DynPropertyCheck<'_>],
     universe: &Universe,
@@ -191,37 +190,32 @@ pub fn sweep_panel_recorded(
     opts: SweepOpts,
     recorder: &MetricsRecorder,
 ) -> PanelReport {
-    #[cfg(feature = "telemetry")]
-    let attached: Option<&dyn SweepRecorder> = Some(recorder);
-    #[cfg(not(feature = "telemetry"))]
-    let attached: Option<&dyn SweepRecorder> = {
-        let _ = recorder;
-        None
-    };
-    run_panel(
-        checks,
-        universe,
-        mode,
-        &SweepBudget::unlimited(),
-        PanelResumeToken::start(checks.len()),
-        opts,
-        attached,
-    )
-    .report
+    SweepSession::over(universe)
+        .mode(mode)
+        .opts(opts)
+        .metrics(recorder)
+        .run_panel(checks)
 }
 
 /// [`sweep_panel_with`] under an execution budget; an expired budget ends
 /// the walk with an `interrupted` report and a [`PanelResumeToken`].
+#[deprecated(note = "use `SweepSession::over(universe).budget(budget).run_panel_budgeted(checks)`")]
 pub fn sweep_panel_budgeted(
     checks: &[DynPropertyCheck<'_>],
     universe: &Universe,
     mode: ExecMode,
     budget: &SweepBudget,
 ) -> BudgetedPanel {
-    sweep_panel_budgeted_with_opts(checks, universe, mode, budget, SweepOpts::default())
+    SweepSession::over(universe)
+        .mode(mode)
+        .budget(*budget)
+        .run_panel_budgeted(checks)
 }
 
 /// [`sweep_panel_budgeted`] under explicit engine options.
+#[deprecated(
+    note = "use `SweepSession::over(universe).budget(budget).opts(opts).run_panel_budgeted(checks)`"
+)]
 pub fn sweep_panel_budgeted_with_opts(
     checks: &[DynPropertyCheck<'_>],
     universe: &Universe,
@@ -229,20 +223,19 @@ pub fn sweep_panel_budgeted_with_opts(
     budget: &SweepBudget,
     opts: SweepOpts,
 ) -> BudgetedPanel {
-    run_panel(
-        checks,
-        universe,
-        mode,
-        budget,
-        PanelResumeToken::start(checks.len()),
-        opts,
-        None,
-    )
+    SweepSession::over(universe)
+        .mode(mode)
+        .budget(*budget)
+        .opts(opts)
+        .run_panel_budgeted(checks)
 }
 
 /// Continues an interrupted panel from its token under a fresh budget.
 /// The chain of budgeted calls reproduces an uninterrupted panel's
 /// per-member reports exactly.
+#[deprecated(
+    note = "use `SweepSession::over(universe).budget(budget).resume_panel(checks, token)`"
+)]
 pub fn resume_panel(
     checks: &[DynPropertyCheck<'_>],
     universe: &Universe,
@@ -250,10 +243,16 @@ pub fn resume_panel(
     budget: &SweepBudget,
     token: PanelResumeToken,
 ) -> BudgetedPanel {
-    resume_panel_with_opts(checks, universe, mode, budget, token, SweepOpts::default())
+    SweepSession::over(universe)
+        .mode(mode)
+        .budget(*budget)
+        .resume_panel(checks, token)
 }
 
 /// [`resume_panel`] under explicit engine options.
+#[deprecated(
+    note = "use `SweepSession::over(universe).budget(budget).opts(opts).resume_panel(checks, token)`"
+)]
 pub fn resume_panel_with_opts(
     checks: &[DynPropertyCheck<'_>],
     universe: &Universe,
@@ -262,7 +261,11 @@ pub fn resume_panel_with_opts(
     token: PanelResumeToken,
     opts: SweepOpts,
 ) -> BudgetedPanel {
-    run_panel(checks, universe, mode, budget, token, opts, None)
+    SweepSession::over(universe)
+        .mode(mode)
+        .budget(*budget)
+        .opts(opts)
+        .resume_panel(checks, token)
 }
 
 /// The member's recorded stop index for a short-circuit at item `i`.
@@ -466,9 +469,11 @@ struct PanelPass {
     next: usize,
 }
 
-/// The shared engine behind every panel entry point. `recorder` attaches
-/// telemetry (the audit plan passes one through here to keep budgets and
-/// recording composable); phase timings use the recorder's clock.
+/// The shared engine behind every whole-universe panel entry point (today
+/// that means [`SweepSession`]; the deprecated free functions shim onto
+/// it). `recorder` attaches telemetry (the audit plan passes one through
+/// here to keep budgets and recording composable); phase timings use the
+/// recorder's clock.
 pub(super) fn run_panel(
     checks: &[DynPropertyCheck<'_>],
     universe: &Universe,
@@ -504,6 +509,198 @@ pub(super) fn run_panel(
             resume: None,
         };
     }
+    if let Some(r) = recorder {
+        r.span_enter("panel");
+    }
+    let pass = run_panel_pass(
+        checks, universe, mode, budget, token, opts, recorder, n, start,
+    );
+    let all_stopped = pass.stop_at.iter().all(|&s| s != usize::MAX);
+    let next = pass.next;
+    let interrupted = !all_stopped && next < n;
+    let resume = if interrupted {
+        Some(PanelResumeToken {
+            next_index: next,
+            members: (0..nmem)
+                .map(|m| MemberFrontier {
+                    stop_at: (pass.stop_at[m] != usize::MAX).then_some(pass.stop_at[m]),
+                    partials: pass.partials[m]
+                        .iter()
+                        .map(|(i, p)| (*i, checks[m].clone_partial(p)))
+                        .collect(),
+                    errors: pass.errors[m].clone(),
+                })
+                .collect(),
+        })
+    } else {
+        None
+    };
+    if interrupted {
+        budget.note_interruption(recorder);
+    }
+    let stats = PanelWalkStats {
+        threads: pass.threads,
+        cache_hits: pass.cache_hits,
+        cache_misses: pass.cache_misses,
+        memo_hits: pass.memo_hits,
+        memo_misses: pass.memo_misses,
+    };
+    let report = reduce_panel(
+        checks,
+        universe,
+        pass.partials,
+        pass.errors,
+        &pass.stop_at,
+        next,
+        interrupted,
+        stats,
+        recorder,
+        start,
+    );
+    if let Some(r) = recorder {
+        r.span_exit("panel");
+    }
+    BudgetedPanel { report, resume }
+}
+
+/// One shard's slice of a fused panel: the un-reduced per-member walk
+/// state over the contiguous index range `[lo, hi)`. Produced by
+/// [`SweepSession::run_panel_fragment`](super::SweepSession::run_panel_fragment),
+/// consumed by
+/// [`merge_panel_fragments`](super::shard::merge_panel_fragments).
+#[derive(Debug)]
+pub struct PanelFragment {
+    /// Range start (inclusive flat index).
+    pub lo: usize,
+    /// Range end (exclusive flat index).
+    pub hi: usize,
+    /// First index in `[lo, hi)` not visited; `hi` when the walk covered
+    /// the whole range (or every member stopped inside it).
+    pub next: usize,
+    /// Per-member frontiers, in member order: each member's local stop
+    /// index, partials and errors.
+    pub members: Vec<MemberFrontier>,
+}
+
+impl PanelFragment {
+    /// Whether the fragment's range is fully decided: the walk reached
+    /// `hi`, or every member short-circuited inside the range.
+    pub fn is_complete(&self) -> bool {
+        self.next >= self.hi || self.members.iter().all(|m| m.stop_at.is_some())
+    }
+
+    /// The continuation of an incomplete (budget-interrupted) fragment.
+    /// Feed it to
+    /// [`SweepSession::resume_panel_fragment`](super::SweepSession::resume_panel_fragment)
+    /// on a session with the same shard to finish the range.
+    pub fn into_resume_token(self) -> PanelResumeToken {
+        PanelResumeToken {
+            next_index: self.next,
+            members: self.members,
+        }
+    }
+}
+
+/// Runs one shard's panel pass over `[lo, hi)` without reducing. Budget
+/// semantics match [`run_fragment`](super::executor): `max_items` caps
+/// this shard's items, `deadline` is wall-clock from this call, and a
+/// budget stop inside the range counts as a budget interruption.
+#[allow(clippy::too_many_arguments)] // the args are the walk's state, not a config
+pub(super) fn run_panel_fragment(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    token: PanelResumeToken,
+    opts: SweepOpts,
+    recorder: Option<&dyn SweepRecorder>,
+    lo: usize,
+    hi: usize,
+) -> PanelFragment {
+    let hi = hi.min(universe.len());
+    let nmem = checks.len();
+    if nmem == 0 {
+        return PanelFragment {
+            lo,
+            hi,
+            next: hi,
+            members: Vec::new(),
+        };
+    }
+    let start = Instant::now();
+    if let Some(r) = recorder {
+        r.span_enter("panel");
+    }
+    let mut token = token;
+    if token.next_index < lo {
+        token.next_index = lo;
+    }
+    let pass = run_panel_pass(
+        checks, universe, mode, budget, token, opts, recorder, hi, start,
+    );
+    let all_stopped = pass.stop_at.iter().all(|&s| s != usize::MAX);
+    if !all_stopped && pass.next < hi {
+        budget.note_interruption(recorder);
+    }
+    if let Some(r) = recorder {
+        r.span_exit("panel");
+    }
+    let members = pass
+        .stop_at
+        .iter()
+        .zip(pass.partials.into_iter().zip(pass.errors))
+        .map(|(&stop, (partials, errors))| MemberFrontier {
+            stop_at: (stop != usize::MAX).then_some(stop),
+            partials,
+            errors,
+        })
+        .collect();
+    PanelFragment {
+        lo,
+        hi,
+        next: pass.next,
+        members,
+    }
+}
+
+/// The merged, retention-filtered state of one panel pass plus the walk's
+/// counters: the shared middle of [`run_panel`] and
+/// [`run_panel_fragment`].
+struct PanelPassState {
+    /// Per-member partials (token-merged, sorted, nothing past the
+    /// member's stop).
+    partials: Vec<Vec<(usize, ErasedPartial)>>,
+    /// Per-member errors, sorted by item index.
+    errors: Vec<Vec<SweepError>>,
+    /// Per-member lowest short-circuiting index (`usize::MAX` = none).
+    stop_at: Vec<usize>,
+    /// First index not visited by the walk.
+    next: usize,
+    threads: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    memo_hits: usize,
+    memo_misses: usize,
+}
+
+/// One capped panel pass: channel setup, cache build, the walk over
+/// `[token.next_index, min(next_index + max_items, limit))`, counter
+/// flushing, and the token merge + per-member retention. Emits every
+/// recorder event of a panel except the enclosing span and the reduce
+/// phase, which the callers own.
+#[allow(clippy::too_many_arguments)] // the args are the walk's state, not a config
+fn run_panel_pass(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    mode: ExecMode,
+    budget: &SweepBudget,
+    token: PanelResumeToken,
+    opts: SweepOpts,
+    recorder: Option<&dyn SweepRecorder>,
+    limit: usize,
+    start: Instant,
+) -> PanelPassState {
+    let nmem = checks.len();
     assert_eq!(
         token.members.len(),
         nmem,
@@ -511,9 +708,6 @@ pub(super) fn run_panel(
     );
     let deadline = budget.deadline.map(|d| start + d);
     let oracle = opts.strategy == SweepStrategy::DecodeOracle;
-    if let Some(r) = recorder {
-        r.span_enter("panel");
-    }
     let cache_start = recorder.map(|r| r.now_micros());
 
     // Verdict channels: members with equal channel keys share a slot;
@@ -595,10 +789,10 @@ pub(super) fn run_panel(
         recorder,
     };
 
-    let begin = token.next_index.min(n);
+    let begin = token.next_index.min(limit);
     let end = match budget.max_items {
-        Some(m) => begin.saturating_add(m).min(n),
-        None => n,
+        Some(m) => begin.saturating_add(m).min(limit),
+        None => limit,
     };
     let threads = resolve_threads(mode, end.saturating_sub(begin));
     let init_stop: Vec<usize> = token
@@ -666,27 +860,53 @@ pub(super) fn run_panel(
         }
     }
 
-    let all_stopped = pass.stop_at.iter().all(|&s| s != usize::MAX);
-    let next = pass.next;
-    let interrupted = !all_stopped && next < n;
-    let resume = if interrupted {
-        Some(PanelResumeToken {
-            next_index: next,
-            members: (0..nmem)
-                .map(|m| MemberFrontier {
-                    stop_at: (pass.stop_at[m] != usize::MAX).then_some(pass.stop_at[m]),
-                    partials: member_partials[m]
-                        .iter()
-                        .map(|(i, p)| (*i, checks[m].clone_partial(p)))
-                        .collect(),
-                    errors: member_errors[m].clone(),
-                })
-                .collect(),
-        })
-    } else {
-        None
-    };
+    PanelPassState {
+        partials: member_partials,
+        errors: member_errors,
+        stop_at: pass.stop_at,
+        next: pass.next,
+        threads,
+        cache_hits: hits.load(Ordering::Relaxed),
+        cache_misses: misses.load(Ordering::Relaxed),
+        memo_hits: memo_hits.load(Ordering::Relaxed),
+        memo_misses: memo_misses.load(Ordering::Relaxed),
+    }
+}
 
+/// The walk counters [`reduce_panel`] copies into the panel evidence. A
+/// live walk loads them from its atomics; the shard merge has no walk of
+/// its own and passes zeros (those counters are observed, not stable, so
+/// the stable report rendering never reads them).
+pub(super) struct PanelWalkStats {
+    pub(super) threads: usize,
+    pub(super) cache_hits: usize,
+    pub(super) cache_misses: usize,
+    pub(super) memo_hits: usize,
+    pub(super) memo_misses: usize,
+}
+
+/// The per-member reduce + evidence assembly shared by [`run_panel`] and
+/// the shard merge: folds each member's partials (already sorted and
+/// retention-filtered, with `stop_at` the member's global stop) into its
+/// verdict and assembles the [`PanelReport`]. The member lists and stop
+/// semantics are exactly those of the single-process panel, which is what
+/// makes a merged report structurally identical to an unsharded one.
+#[allow(clippy::too_many_arguments)] // the args are the walk's state, not a config
+pub(super) fn reduce_panel(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    member_partials: Vec<Vec<(usize, ErasedPartial)>>,
+    member_errors: Vec<Vec<SweepError>>,
+    stop_at: &[usize],
+    next: usize,
+    interrupted: bool,
+    stats: PanelWalkStats,
+    recorder: Option<&dyn SweepRecorder>,
+    start: Instant,
+) -> PanelReport {
+    let n = universe.len();
+    let nmem = checks.len();
+    let all_stopped = stop_at.iter().all(|&s| s != usize::MAX);
     let mut panel_errors: Vec<SweepError> = member_errors
         .iter()
         .flat_map(|errs| errs.iter().cloned())
@@ -698,20 +918,17 @@ pub(super) fn run_panel(
         universe.coverage()
     };
     let panel_checked = if all_stopped {
-        pass.stop_at.iter().copied().max().unwrap_or(0) + 1
+        stop_at.iter().copied().max().unwrap_or(0) + 1
     } else {
         next
     };
 
-    if interrupted {
-        budget.note_interruption(recorder);
-    }
     let reduce_start = recorder.map(|r| r.now_micros());
     let mut members = Vec::with_capacity(nmem);
     for (m, (partials_m, errors_m)) in member_partials.into_iter().zip(member_errors).enumerate() {
         let check = &checks[m];
-        let stopped = pass.stop_at[m] != usize::MAX;
-        let checked = if stopped { pass.stop_at[m] + 1 } else { next };
+        let stopped = stop_at[m] != usize::MAX;
+        let checked = if stopped { stop_at[m] + 1 } else { next };
         let member_interrupted = interrupted && !stopped;
         let member_coverage = if member_interrupted || !errors_m.is_empty() {
             Coverage::Sampled
@@ -750,30 +967,24 @@ pub(super) fn run_panel(
     if let (Some(r), Some(report)) = (recorder, &interner) {
         report.record_into(r);
     }
-    if let Some(r) = recorder {
-        r.span_exit("panel");
-    }
 
-    BudgetedPanel {
-        report: PanelReport {
-            members,
-            evidence: ExecEvidence {
-                checked: panel_checked,
-                universe_size: n,
-                short_circuited: all_stopped,
-                interrupted,
-                coverage,
-                errors: panel_errors,
-                cache_hits: hits.load(Ordering::Relaxed),
-                cache_misses: misses.load(Ordering::Relaxed),
-                memo_hits: memo_hits.load(Ordering::Relaxed),
-                memo_misses: memo_misses.load(Ordering::Relaxed),
-                elapsed: start.elapsed(),
-                threads,
-                interner,
-            },
+    PanelReport {
+        members,
+        evidence: ExecEvidence {
+            checked: panel_checked,
+            universe_size: n,
+            short_circuited: all_stopped,
+            interrupted,
+            coverage,
+            errors: panel_errors,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            memo_hits: stats.memo_hits,
+            memo_misses: stats.memo_misses,
+            elapsed: start.elapsed(),
+            threads: stats.threads,
+            interner,
         },
-        resume,
     }
 }
 

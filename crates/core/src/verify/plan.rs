@@ -33,11 +33,11 @@ use crate::nbhd::{NbhdGraph, NbhdScan, NbhdSweep};
 use crate::network::{degradation_sweep, DegradationReport};
 use crate::properties::completeness::completeness_member;
 use crate::properties::erasure::{erased_labeling, erasure_member};
-use crate::properties::hiding::{check_hiding, hiding_member, HidingVerdict};
+use crate::properties::hiding::{check_hiding, HidingCheck, HidingVerdict};
 use crate::properties::invariance::{anonymity_universe, invariance_member};
-use crate::properties::quantified::{quantified_member, ExtractabilityMap};
+use crate::properties::quantified::{ExtractabilityMap, QuantifiedCheck};
 use crate::properties::soundness::{SoundnessCheck, SoundnessViolation};
-use crate::properties::strong::strong_member;
+use crate::properties::strong::{StrongCheck, StrongViolation};
 use crate::prover::Prover;
 #[cfg(feature = "telemetry")]
 use crate::verify::SweepStrategy;
@@ -47,7 +47,11 @@ use crate::verify::{
     SweepBudget, SweepOpts, SweepOutcome, SweepRecorder, SymmetrySpec, Universe, UniverseItem,
 };
 
-use super::panel::run_panel;
+use super::budget::{MemberFrontier, SweepError};
+use super::erased::ErasedPartial;
+use super::panel::{run_panel, PanelFragment};
+use super::session::SweepSession;
+use super::shard::{merge_panel_fragments, ShardSpec};
 #[cfg(feature = "telemetry")]
 use super::telemetry::diff;
 use crate::view::IdMode;
@@ -215,6 +219,364 @@ fn nbhd_analyses_lines(
             ),
         ),
     ]
+}
+
+/// The wire shape of one labelings-panel member's partials in a shard
+/// report. Partials are reconstructed, not shipped whole: every concrete
+/// partial is derivable from its item index plus a small payload, so a
+/// report stays a few text lines even when the universe is huge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemberKind {
+    /// [`SoundnessViolation`] — the item index alone (the labeling is
+    /// re-decoded from the universe).
+    Sound,
+    /// [`StrongViolation`] — item index plus the accepting node list.
+    Strong,
+    /// [`NbhdScan`] — item index plus per-node acceptance bits. View ids
+    /// are run-local interner handles and never cross the process
+    /// boundary; the merging side re-interns
+    /// ([`NbhdSweep::reconstruct_scan`]).
+    Scan,
+}
+
+impl MemberKind {
+    fn wire(self) -> &'static str {
+        match self {
+            MemberKind::Sound => "sound",
+            MemberKind::Strong => "strong",
+            MemberKind::Scan => "scan",
+        }
+    }
+
+    fn parse(s: &str) -> Result<MemberKind, String> {
+        match s {
+            "sound" => Ok(MemberKind::Sound),
+            "strong" => Ok(MemberKind::Strong),
+            "scan" => Ok(MemberKind::Scan),
+            other => Err(format!("unknown shard member kind `{other}`")),
+        }
+    }
+}
+
+/// Which Lemma 3.1 member the plan's labelings panel carries.
+enum NbhdMember<'p> {
+    /// Hiding and quantified both wanted: one shared scan.
+    Both(NbhdAnalyses<'p>),
+    Hiding(HidingCheck<'p, dyn Decoder + 'p>),
+    Quantified(QuantifiedCheck<'p, dyn Decoder + 'p>),
+}
+
+/// The labelings panel's concrete checks, owned separately from the
+/// erased member list. [`LabelingsMembers::members`] borrows them (via
+/// the blanket `&C: PropertyCheck` impl), so the shard-merge path can
+/// keep the checks around after the fragments come back and reconstruct
+/// typed partials for the very instances whose `reduce` will run. The
+/// ordinary [`AuditPlan::run`] path builds its panel through the same
+/// constructor, so a merged report cannot drift from a live one.
+struct LabelingsMembers<'p> {
+    decoder: &'p dyn Decoder,
+    soundness: Option<BlockGated<SoundnessCheck<'p, dyn Decoder + 'p>>>,
+    strong: Option<StrongCheck<'p, dyn Decoder + 'p>>,
+    nbhd: Option<NbhdMember<'p>>,
+    /// Member index of the fused hiding+quantified pair, when both were
+    /// wanted (the audit summary splits its line back in two).
+    shared_nbhd: Option<usize>,
+}
+
+impl<'p> LabelingsMembers<'p> {
+    fn build(
+        plan: &'p AuditPlan<'_>,
+        universe: &Universe,
+        is_yes: &[bool],
+    ) -> LabelingsMembers<'p> {
+        let k = plan.language.k();
+        let soundness = plan.wants(PropertyTag::Soundness).then(|| BlockGated {
+            check: SoundnessCheck {
+                decoder: plan.decoder,
+            },
+            active: is_yes.iter().map(|yes| !yes).collect(),
+        });
+        let strong = plan.wants(PropertyTag::Strong).then_some(StrongCheck {
+            decoder: plan.decoder,
+            language: &plan.language,
+        });
+        let prior = usize::from(soundness.is_some()) + usize::from(strong.is_some());
+        let mut shared_nbhd = None;
+        let is_yes_graph = |g: &Graph| plan.language.is_yes_graph(g);
+        let nbhd = if plan.wants(PropertyTag::Hiding) && plan.wants(PropertyTag::Quantified) {
+            // Both properties reduce the same neighborhood graph: run the
+            // scan once as a combined member and split its line later.
+            shared_nbhd = Some(prior);
+            Some(NbhdMember::Both(NbhdAnalyses {
+                sweep: NbhdSweep::new(plan.decoder, IdMode::Anonymous, universe, is_yes_graph),
+                k,
+            }))
+        } else if plan.wants(PropertyTag::Hiding) {
+            Some(NbhdMember::Hiding(HidingCheck::new(
+                plan.decoder,
+                universe,
+                k,
+                is_yes_graph,
+            )))
+        } else if plan.wants(PropertyTag::Quantified) {
+            Some(NbhdMember::Quantified(QuantifiedCheck::new(
+                plan.decoder,
+                universe,
+                k,
+                is_yes_graph,
+            )))
+        } else {
+            None
+        };
+        LabelingsMembers {
+            decoder: plan.decoder,
+            soundness,
+            strong,
+            nbhd,
+            shared_nbhd,
+        }
+    }
+
+    /// Wire kinds, in member order.
+    fn kinds(&self) -> Vec<MemberKind> {
+        let mut kinds = Vec::new();
+        if self.soundness.is_some() {
+            kinds.push(MemberKind::Sound);
+        }
+        if self.strong.is_some() {
+            kinds.push(MemberKind::Strong);
+        }
+        if self.nbhd.is_some() {
+            kinds.push(MemberKind::Scan);
+        }
+        kinds
+    }
+
+    /// The erased panel members, borrowing the owned checks. Labels,
+    /// summaries and verdict channels match the standalone member
+    /// constructors (`strong_member` & co.) exactly — the audit lines
+    /// must not depend on which path built the panel.
+    fn members(&self) -> Vec<DynPropertyCheck<'_>> {
+        let mut members: Vec<DynPropertyCheck<'_>> = Vec::new();
+        if let Some(check) = &self.soundness {
+            members.push(
+                DynPropertyCheck::with_summary(
+                    PropertyTag::Soundness,
+                    "soundness",
+                    check,
+                    |v: &Result<usize, SoundnessViolation>| match v {
+                        Ok(_) => (Some(true), "no unanimous accept on a no-instance".into()),
+                        Err(_) => (Some(false), "unanimously accepted labeling found".into()),
+                    },
+                )
+                .with_channel(self.decoder),
+            );
+        }
+        if let Some(check) = &self.strong {
+            members.push(
+                DynPropertyCheck::with_summary(
+                    PropertyTag::Strong,
+                    "strong",
+                    check,
+                    |v: &Result<usize, StrongViolation>| match v {
+                        Ok(n) => (
+                            Some(true),
+                            format!("every accepting set in {n} labelings induces G(L)"),
+                        ),
+                        Err(_) => (
+                            Some(false),
+                            "accepting set induces a non-member of G(L)".into(),
+                        ),
+                    },
+                )
+                .with_channel(self.decoder),
+            );
+        }
+        match &self.nbhd {
+            Some(NbhdMember::Both(check)) => members.push(
+                DynPropertyCheck::with_summary(
+                    PropertyTag::Hiding,
+                    "hiding+quantified",
+                    check,
+                    |v: &(NbhdGraph, HidingVerdict, ExtractabilityMap)| {
+                        let [(_, _, passed, detail), _] = nbhd_analyses_lines(v);
+                        (passed, detail)
+                    },
+                )
+                .with_channel(self.decoder),
+            ),
+            Some(NbhdMember::Hiding(check)) => members.push(
+                DynPropertyCheck::with_summary(
+                    PropertyTag::Hiding,
+                    "hiding",
+                    check,
+                    |(_, v): &(NbhdGraph, HidingVerdict)| match v {
+                        HidingVerdict::Hiding { .. } => {
+                            (Some(true), "V(D, .) is not k-colorable".into())
+                        }
+                        HidingVerdict::NotHiding { .. } => (
+                            Some(false),
+                            "V(D, .) is k-colorable over an exhaustive universe".into(),
+                        ),
+                        HidingVerdict::Inconclusive => (
+                            None,
+                            "V(D, .) k-colorable but the universe was partial".into(),
+                        ),
+                    },
+                )
+                .with_channel(self.decoder),
+            ),
+            Some(NbhdMember::Quantified(check)) => members.push(
+                DynPropertyCheck::with_summary(
+                    PropertyTag::Quantified,
+                    "quantified",
+                    check,
+                    |(nbhd, map): &(NbhdGraph, ExtractabilityMap)| {
+                        (
+                            None,
+                            format!(
+                                "{} of {} views unextractable",
+                                map.unextractable_views(),
+                                nbhd.view_count()
+                            ),
+                        )
+                    },
+                )
+                .with_channel(self.decoder),
+            ),
+            None => {}
+        }
+        members
+    }
+
+    /// The neighborhood sweep behind whichever scan member the plan
+    /// carries, for re-interning shipped scans.
+    fn nbhd_sweep(&self) -> Option<&NbhdSweep<'p, dyn Decoder + 'p>> {
+        match self.nbhd.as_ref()? {
+            NbhdMember::Both(a) => Some(&a.sweep),
+            NbhdMember::Hiding(h) => Some(h.sweep()),
+            NbhdMember::Quantified(q) => Some(q.sweep()),
+        }
+    }
+
+    /// Rebuilds one typed partial from its wire payload.
+    fn reconstruct_partial(
+        &self,
+        kind: MemberKind,
+        universe: &Universe,
+        item: usize,
+        payload: Option<&str>,
+    ) -> Result<ErasedPartial, String> {
+        match kind {
+            MemberKind::Sound => Ok(Box::new(SoundnessViolation {
+                labeling: universe.labeled_instance(item).into_parts().1,
+            })),
+            MemberKind::Strong => {
+                let payload = payload.ok_or_else(|| {
+                    format!("strong partial at item {item} lacks its accepting list")
+                })?;
+                let accepting = if payload == "-" {
+                    Vec::new()
+                } else {
+                    payload
+                        .split(',')
+                        .map(|t| {
+                            t.parse::<usize>()
+                                .map_err(|_| format!("bad accepting node `{t}` at item {item}"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                };
+                Ok(Box::new(StrongViolation {
+                    labeling: universe.labeled_instance(item).into_parts().1,
+                    accepting,
+                }))
+            }
+            MemberKind::Scan => {
+                let payload = payload.ok_or_else(|| {
+                    format!("scan partial at item {item} lacks its acceptance bits")
+                })?;
+                let accepts = payload
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(false),
+                        '1' => Ok(true),
+                        other => Err(format!("bad acceptance bit `{other}` at item {item}")),
+                    })
+                    .collect::<Result<Vec<bool>, _>>()?;
+                let li = universe.labeled_instance(item);
+                if accepts.len() != li.graph().node_count() {
+                    return Err(format!(
+                        "scan at item {item} carries {} bits, instance has {} nodes",
+                        accepts.len(),
+                        li.graph().node_count()
+                    ));
+                }
+                let sweep = self.nbhd_sweep().ok_or_else(|| {
+                    "scan partial but the plan wants no neighborhood member".to_string()
+                })?;
+                Ok(Box::new(sweep.reconstruct_scan(&li, accepts)))
+            }
+        }
+    }
+}
+
+/// Renders one typed partial as its wire payload line.
+fn serialize_partial(kind: MemberKind, item: usize, partial: &ErasedPartial) -> String {
+    match kind {
+        MemberKind::Sound => format!("p {item}\n"),
+        MemberKind::Strong => {
+            let v = partial
+                .downcast_ref::<StrongViolation>()
+                .expect("strong member partial is a StrongViolation");
+            if v.accepting.is_empty() {
+                format!("p {item} -\n")
+            } else {
+                let list: Vec<String> = v.accepting.iter().map(ToString::to_string).collect();
+                format!("p {item} {}\n", list.join(","))
+            }
+        }
+        MemberKind::Scan => {
+            let scan = partial
+                .downcast_ref::<NbhdScan>()
+                .expect("scan member partial is an NbhdScan");
+            let bits: String = scan
+                .accepts()
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect();
+            format!("p {item} {bits}\n")
+        }
+    }
+}
+
+/// Escapes a free-form string onto one wire line.
+fn wire_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+/// Inverse of [`wire_escape`]; unknown escapes pass through verbatim.
+fn wire_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
 }
 
 /// The instance family an [`AuditPlan`] quantifies over.
@@ -448,7 +810,20 @@ impl<'a> AuditPlan<'a> {
     /// Compiles the plan into panels grouped by universe shape and
     /// executes them as a batch.
     pub fn run(&self) -> AuditReport {
-        let mut report = AuditReport {
+        let mut report = self.fresh_report();
+        if let Some(r) = self.attached() {
+            r.span_enter("plan");
+        }
+        let labelings = self.labelings_universe();
+        let is_yes = self.yes_mask(&labelings);
+        self.run_labelings_panel(&labelings, &is_yes, &mut report);
+        self.finish_run(&labelings, &is_yes, &mut report);
+        report
+    }
+
+    /// The report header every execution path starts from.
+    fn fresh_report(&self) -> AuditReport {
+        AuditReport {
             decoder: self.decoder.name(),
             k: self.language.k(),
             seed: self.seed,
@@ -456,25 +831,28 @@ impl<'a> AuditPlan<'a> {
             telemetry: Vec::new(),
             degradation: None,
             notes: Vec::new(),
-        };
-        if let Some(r) = self.attached() {
-            r.span_enter("plan");
         }
+    }
 
-        let labelings = self.labelings_universe();
-        let is_yes: Vec<bool> = labelings
+    /// Which blocks of the labelings universe are yes-instances.
+    fn yes_mask(&self, labelings: &Universe) -> Vec<bool> {
+        labelings
             .blocks()
             .iter()
             .map(|b| self.language.is_yes_graph(b.instance().graph()))
-            .collect();
+            .collect()
+    }
 
-        self.run_labelings_panel(&labelings, &is_yes, &mut report);
-        self.run_completeness_panel(&labelings, &is_yes, &mut report);
+    /// The panels that follow the labelings walk — linear, prover-backed
+    /// shapes a merging process recomputes locally rather than shipping.
+    /// Closes the plan span.
+    fn finish_run(&self, labelings: &Universe, is_yes: &[bool], report: &mut AuditReport) {
+        self.run_completeness_panel(labelings, is_yes, report);
 
-        let honest = self.honest_fixture(&labelings, &is_yes, &mut report);
+        let honest = self.honest_fixture(labelings, is_yes, report);
         if let Some(honest) = &honest {
-            self.run_erasure_panel(honest, &mut report);
-            self.run_invariance_panel(honest, &mut report);
+            self.run_erasure_panel(honest, report);
+            self.run_invariance_panel(honest, report);
             if let Some(spec) = &self.fault_plan {
                 // Single-node erasures of the honest labeling are the
                 // adversarial battery: the fault-free verifier rejects
@@ -502,7 +880,6 @@ impl<'a> AuditPlan<'a> {
         if let Some(r) = self.attached() {
             r.span_exit("plan");
         }
-        report
     }
 
     /// The labelings-shape universe: every instance crossed with every
@@ -532,66 +909,8 @@ impl<'a> AuditPlan<'a> {
     }
 
     fn run_labelings_panel(&self, universe: &Universe, is_yes: &[bool], report: &mut AuditReport) {
-        let soundness_gate;
-        let k = self.language.k();
-        let mut members: Vec<DynPropertyCheck<'_>> = Vec::new();
-        if self.wants(PropertyTag::Soundness) {
-            soundness_gate = BlockGated {
-                check: SoundnessCheck {
-                    decoder: self.decoder,
-                },
-                active: is_yes.iter().map(|yes| !yes).collect(),
-            };
-            members.push(
-                DynPropertyCheck::with_summary(
-                    PropertyTag::Soundness,
-                    "soundness",
-                    soundness_gate,
-                    |v: &Result<usize, SoundnessViolation>| match v {
-                        Ok(_) => (Some(true), "no unanimous accept on a no-instance".into()),
-                        Err(_) => (Some(false), "unanimously accepted labeling found".into()),
-                    },
-                )
-                .with_channel(self.decoder),
-            );
-        }
-        if self.wants(PropertyTag::Strong) {
-            members.push(strong_member(self.decoder, &self.language));
-        }
-        let mut shared_nbhd = None;
-        if self.wants(PropertyTag::Hiding) && self.wants(PropertyTag::Quantified) {
-            // Both properties reduce the same neighborhood graph: run the
-            // scan once as a combined member and split its line below.
-            shared_nbhd = Some(members.len());
-            members.push(
-                DynPropertyCheck::with_summary(
-                    PropertyTag::Hiding,
-                    "hiding+quantified",
-                    NbhdAnalyses {
-                        sweep: NbhdSweep::new(
-                            self.decoder,
-                            IdMode::Anonymous,
-                            universe,
-                            |g: &Graph| self.language.is_yes_graph(g),
-                        ),
-                        k,
-                    },
-                    |v: &(NbhdGraph, HidingVerdict, ExtractabilityMap)| {
-                        let [(_, _, passed, detail), _] = nbhd_analyses_lines(v);
-                        (passed, detail)
-                    },
-                )
-                .with_channel(self.decoder),
-            );
-        } else if self.wants(PropertyTag::Hiding) {
-            members.push(hiding_member(self.decoder, universe, k, |g: &Graph| {
-                self.language.is_yes_graph(g)
-            }));
-        } else if self.wants(PropertyTag::Quantified) {
-            members.push(quantified_member(self.decoder, universe, k, |g: &Graph| {
-                self.language.is_yes_graph(g)
-            }));
-        }
+        let checks = LabelingsMembers::build(self, universe, is_yes);
+        let members = checks.members();
         if members.is_empty() {
             return;
         }
@@ -618,7 +937,7 @@ impl<'a> AuditPlan<'a> {
             None => self.exec_panel(&members, universe),
         };
         let mut summary = summarize_panel("labelings", &panel);
-        if let Some(index) = shared_nbhd {
+        if let Some(index) = checks.shared_nbhd {
             split_nbhd_member(&mut summary, &panel, index);
         }
         report.panels.push(summary);
@@ -763,6 +1082,334 @@ impl<'a> AuditPlan<'a> {
         report.panels.push(summarize_panel("invariance", &panel));
         self.push_panel_telemetry("invariance", before, report);
     }
+
+    /// Runs this plan's labelings panel over one shard's index range and
+    /// renders the resulting fragment as a portable text shard report.
+    ///
+    /// Only the labelings walk is sharded — it is the combinatorial
+    /// shape; the remaining panels are linear in the family and the
+    /// merging process recomputes them locally. A budgeted plan resumes
+    /// itself until the shard's range completes, so one report always
+    /// describes the whole range (`max_items` bounds each pass, the
+    /// deadline each process's passes individually).
+    ///
+    /// The report ships reconstruction *payloads*, not verdicts:
+    /// recorded partials are reduced only after
+    /// [`AuditPlan::run_with_shards`] reassembles the fragments, so a
+    /// merged report is the same reduction over the same partials as a
+    /// single-process run — byte-identical stable JSON.
+    pub fn run_shard(&self, shard: ShardSpec) -> String {
+        let universe = self.labelings_universe();
+        let is_yes = self.yes_mask(&universe);
+        let checks = LabelingsMembers::build(self, &universe, &is_yes);
+        let members = checks.members();
+        let kinds = checks.kinds();
+        #[cfg(feature = "telemetry")]
+        let recorder = MetricsRecorder::new();
+        #[cfg(feature = "telemetry")]
+        let before = recorder.snapshot();
+        #[allow(unused_mut)]
+        let mut session = SweepSession::over(&universe)
+            .mode(self.mode)
+            .opts(self.opts)
+            .shard(shard);
+        if let Some(budget) = self.budget {
+            session = session.budget(budget);
+        }
+        #[cfg(feature = "telemetry")]
+        {
+            session = session.metrics(&recorder);
+        }
+        let mut fragment = session.run_panel_fragment(&members);
+        while !fragment.is_complete() {
+            let stalled = fragment.next;
+            fragment = session.resume_panel_fragment(&members, fragment.into_resume_token());
+            if fragment.next == stalled {
+                break; // deadline too tight to advance; ship the torn range
+            }
+        }
+        let mut out = String::new();
+        out.push_str("shardreport v1\n");
+        out.push_str(&format!("decoder {}\n", wire_escape(&self.decoder.name())));
+        out.push_str(&format!("k {}\n", self.language.k()));
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("universe {}\n", universe.len()));
+        out.push_str(&format!("shard {}\n", shard.label()));
+        out.push_str(&format!("range {} {}\n", fragment.lo, fragment.hi));
+        out.push_str(&format!("next {}\n", fragment.next));
+        for (m, frontier) in fragment.members.iter().enumerate() {
+            let stop = frontier
+                .stop_at
+                .map_or_else(|| "-".to_string(), |s| s.to_string());
+            out.push_str(&format!("member {m} {} {stop}\n", kinds[m].wire()));
+            for (item, partial) in &frontier.partials {
+                out.push_str(&serialize_partial(kinds[m], *item, partial));
+            }
+            for e in &frontier.errors {
+                out.push_str(&format!("e {} {}\n", e.item_index, wire_escape(&e.payload)));
+            }
+        }
+        #[cfg(feature = "telemetry")]
+        for row in diff::diff(&before, &recorder.snapshot()).changed() {
+            if row.stable {
+                out.push_str(&format!("counter {} {}\n", row.name, row.delta().max(0)));
+            }
+        }
+        out.push_str("end shardreport\n");
+        out
+    }
+
+    /// Merges shard reports (from [`AuditPlan::run_shard`], any order)
+    /// into the full audit: the labelings panel is reassembled from the
+    /// shipped fragments and reduced once, then the remaining panels run
+    /// locally exactly as [`AuditPlan::run`] would. Fails — rather than
+    /// guessing — on fingerprint mismatches (different decoder, k, seed
+    /// or universe size), torn reports, and ranges that don't tile the
+    /// universe.
+    ///
+    /// With a recorder attached, the labelings telemetry section carries
+    /// the *sum* of the shards' stable counters
+    /// ([`super::shard::sum_stable_counters`]): stable counters are
+    /// per-item, so their shard sums equal a single process's counts.
+    pub fn run_with_shards(&self, shard_reports: &[String]) -> Result<AuditReport, String> {
+        let mut report = self.fresh_report();
+        if let Some(r) = self.attached() {
+            r.span_enter("plan");
+        }
+        let labelings = self.labelings_universe();
+        let is_yes = self.yes_mask(&labelings);
+        if let Err(e) = self.merge_labelings_shards(&labelings, &is_yes, shard_reports, &mut report)
+        {
+            if let Some(r) = self.attached() {
+                r.span_exit("plan");
+            }
+            return Err(e);
+        }
+        self.finish_run(&labelings, &is_yes, &mut report);
+        Ok(report)
+    }
+
+    /// The sharded replacement for the labelings leg of [`AuditPlan::run`].
+    fn merge_labelings_shards(
+        &self,
+        universe: &Universe,
+        is_yes: &[bool],
+        shard_reports: &[String],
+        report: &mut AuditReport,
+    ) -> Result<(), String> {
+        let checks = LabelingsMembers::build(self, universe, is_yes);
+        let members = checks.members();
+        if members.is_empty() {
+            return Ok(());
+        }
+        let kinds = checks.kinds();
+        let mut fragments = Vec::with_capacity(shard_reports.len());
+        let mut per_shard_counters = Vec::with_capacity(shard_reports.len());
+        for text in shard_reports {
+            let (fragment, counters) = self.parse_shard_report(text, universe, &checks, &kinds)?;
+            fragments.push(fragment);
+            per_shard_counters.push(counters);
+        }
+        let panel =
+            merge_panel_fragments(&members, universe, self.mode, fragments, self.attached())?;
+        let mut summary = summarize_panel("labelings", &panel);
+        if let Some(index) = checks.shared_nbhd {
+            split_nbhd_member(&mut summary, &panel, index);
+        }
+        report.panels.push(summary);
+        #[cfg(feature = "telemetry")]
+        if self.telemetry.is_some() {
+            report.telemetry.push(PanelTelemetry {
+                shape: "labelings".into(),
+                strategy: strategy_name(self.opts.strategy).into(),
+                counters: super::shard::sum_stable_counters(&per_shard_counters)
+                    .into_iter()
+                    .map(|(name, delta)| (name, delta, true))
+                    .collect(),
+            });
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            let _ = per_shard_counters;
+        }
+        Ok(())
+    }
+
+    /// Parses one shard report against this plan's fingerprint and
+    /// reconstructs its typed partials.
+    fn parse_shard_report(
+        &self,
+        text: &str,
+        universe: &Universe,
+        checks: &LabelingsMembers<'_>,
+        kinds: &[MemberKind],
+    ) -> Result<(PanelFragment, Vec<(String, u64)>), String> {
+        let parse_usize = |what: &str, s: &str| {
+            s.parse::<usize>()
+                .map_err(|_| format!("bad {what} `{s}` in shard report"))
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some("shardreport v1") {
+            return Err("shard report lacks the `shardreport v1` header".to_string());
+        }
+        let mut range = None;
+        let mut next = None;
+        let mut members: Vec<MemberFrontier> = Vec::new();
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        let mut ended = false;
+        for line in lines {
+            if ended {
+                return Err("shard report continues past `end shardreport`".to_string());
+            }
+            let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match tag {
+                "decoder" => {
+                    let name = wire_unescape(rest);
+                    if name != self.decoder.name() {
+                        return Err(format!(
+                            "shard report audits decoder `{name}`, this plan audits `{}`",
+                            self.decoder.name()
+                        ));
+                    }
+                }
+                "k" => {
+                    if parse_usize("k", rest)? != self.language.k() {
+                        return Err(format!(
+                            "shard report has k={rest}, this plan has k={}",
+                            self.language.k()
+                        ));
+                    }
+                }
+                "seed" => {
+                    let seed = rest
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad seed `{rest}` in shard report"))?;
+                    if seed != self.seed {
+                        return Err(format!(
+                            "shard report has seed {seed}, this plan has seed {}",
+                            self.seed
+                        ));
+                    }
+                }
+                "universe" => {
+                    if parse_usize("universe size", rest)? != universe.len() {
+                        return Err(format!(
+                            "shard report walked a universe of {rest} items, this plan's has {}",
+                            universe.len()
+                        ));
+                    }
+                }
+                "shard" => {} // informational; the range line is authoritative
+                "range" => {
+                    let (lo, hi) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| format!("bad range line `{line}`"))?;
+                    range = Some((parse_usize("range lo", lo)?, parse_usize("range hi", hi)?));
+                }
+                "next" => next = Some(parse_usize("next", rest)?),
+                "member" => {
+                    let mut parts = rest.splitn(3, ' ');
+                    let (index, kind, stop) = match (parts.next(), parts.next(), parts.next()) {
+                        (Some(i), Some(k), Some(s)) => (i, k, s),
+                        _ => return Err(format!("bad member line `{line}`")),
+                    };
+                    if parse_usize("member index", index)? != members.len() {
+                        return Err(format!(
+                            "shard report member `{index}` out of order (expected {})",
+                            members.len()
+                        ));
+                    }
+                    if members.len() >= kinds.len() {
+                        return Err(format!(
+                            "shard report describes more members than this plan's panel ({})",
+                            kinds.len()
+                        ));
+                    }
+                    let kind = MemberKind::parse(kind)?;
+                    let want = kinds[members.len()];
+                    if want != kind {
+                        return Err(format!(
+                            "shard report member {index} is `{}`, this plan expects `{}`",
+                            kind.wire(),
+                            want.wire()
+                        ));
+                    }
+                    let stop_at = if stop == "-" {
+                        None
+                    } else {
+                        Some(parse_usize("stop index", stop)?)
+                    };
+                    members.push(MemberFrontier {
+                        stop_at,
+                        partials: Vec::new(),
+                        errors: Vec::new(),
+                    });
+                }
+                "p" => {
+                    if members.is_empty() {
+                        return Err("shard report partial before any member line".to_string());
+                    }
+                    let kind = kinds[members.len() - 1];
+                    let (item, payload) = match rest.split_once(' ') {
+                        Some((item, payload)) => (item, Some(payload)),
+                        None => (rest, None),
+                    };
+                    let item = parse_usize("item index", item)?;
+                    let partial = checks.reconstruct_partial(kind, universe, item, payload)?;
+                    members
+                        .last_mut()
+                        .expect("member line precedes partials")
+                        .partials
+                        .push((item, partial));
+                }
+                "e" => {
+                    let Some(frontier) = members.last_mut() else {
+                        return Err("shard report error before any member line".to_string());
+                    };
+                    let (item, payload) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| format!("bad error line `{line}`"))?;
+                    frontier.errors.push(SweepError {
+                        item_index: parse_usize("item index", item)?,
+                        payload: wire_unescape(payload),
+                    });
+                }
+                "counter" => {
+                    let (name, value) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| format!("bad counter line `{line}`"))?;
+                    let value = value
+                        .parse::<u64>()
+                        .map_err(|_| format!("bad counter value `{value}` in shard report"))?;
+                    counters.push((name.to_string(), value));
+                }
+                "end" => ended = true,
+                "" => {}
+                _ => return Err(format!("unknown shard report line `{line}`")),
+            }
+        }
+        if !ended {
+            return Err("shard report is torn: no `end shardreport` trailer".to_string());
+        }
+        let (lo, hi) = range.ok_or_else(|| "shard report lacks a range line".to_string())?;
+        let next = next.ok_or_else(|| "shard report lacks a next line".to_string())?;
+        if members.len() != kinds.len() {
+            return Err(format!(
+                "shard report describes {} members, this plan's panel has {}",
+                members.len(),
+                kinds.len()
+            ));
+        }
+        Ok((
+            PanelFragment {
+                lo,
+                hi,
+                next,
+                members,
+            },
+            counters,
+        ))
+    }
 }
 
 /// One member's line in an [`AuditPanelReport`].
@@ -850,6 +1497,23 @@ pub struct AuditReport {
     pub notes: Vec<String>,
 }
 
+/// The stable counters that compose across shard boundaries — the only
+/// counters [`AuditReport::to_stable_json`] prints. `cache_hits` and
+/// `cache_misses` are deterministic for a fixed single-process plan but
+/// not shard-composable (each process warms its own skeleton cache), so
+/// they are deliberately absent.
+pub const STABLE_COUNTER_ALLOWLIST: &[&str] = &[
+    "budget_interruptions",
+    "items_inspected",
+    "items_orbit_skipped",
+    "items_walked",
+    "orbit_multiplicity",
+    "panics_caught",
+    "quotient_blocks",
+    "verdict_readbacks",
+    "verdict_refreshes",
+];
+
 /// The wire name of a sweep strategy, as rendered in telemetry sections.
 #[cfg(feature = "telemetry")]
 fn strategy_name(strategy: SweepStrategy) -> &'static str {
@@ -879,6 +1543,23 @@ impl AuditReport {
     /// Renders the report as a JSON object (hand-rolled: the workspace
     /// carries no serializer dependency).
     pub fn to_json(&self) -> String {
+        self.render_json(false)
+    }
+
+    /// The deterministic projection of [`AuditReport::to_json`]: the same
+    /// structure with every scheduling- and process-dependent field
+    /// pinned. Wall-clock renders as `0.000`, per-process cache/memo
+    /// counters as zero, and telemetry sections keep only the
+    /// shard-composable counters ([`STABLE_COUNTER_ALLOWLIST`], sorted by
+    /// name) with `observed` left empty. Two runs of the same plan —
+    /// sharded across any number of processes or not — render
+    /// byte-identical stable JSON; the CI shard smoke job diffs exactly
+    /// this.
+    pub fn to_stable_json(&self) -> String {
+        self.render_json(true)
+    }
+
+    fn render_json(&self, stable: bool) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
         out.push_str(&format!("  \"decoder\": {},\n", json_str(&self.decoder)));
@@ -895,13 +1576,24 @@ impl AuditReport {
                 "      \"universe_size\": {},\n      \"checked\": {},\n      \"threads\": {},\n",
                 panel.universe_size, panel.checked, panel.threads
             ));
-            out.push_str(&format!(
-                "      \"elapsed_ms\": {:.3},\n",
+            let elapsed_ms = if stable {
+                0.0
+            } else {
                 panel.elapsed.as_secs_f64() * 1e3
-            ));
+            };
+            out.push_str(&format!("      \"elapsed_ms\": {elapsed_ms:.3},\n"));
+            let (cache_hits, cache_misses, memo_hits, memo_misses) = if stable {
+                (0, 0, 0, 0)
+            } else {
+                (
+                    panel.cache_hits,
+                    panel.cache_misses,
+                    panel.memo_hits,
+                    panel.memo_misses,
+                )
+            };
             out.push_str(&format!(
-                "      \"cache_hits\": {},\n      \"cache_misses\": {},\n      \"memo_hits\": {},\n      \"memo_misses\": {},\n",
-                panel.cache_hits, panel.cache_misses, panel.memo_hits, panel.memo_misses
+                "      \"cache_hits\": {cache_hits},\n      \"cache_misses\": {cache_misses},\n      \"memo_hits\": {memo_hits},\n      \"memo_misses\": {memo_misses},\n",
             ));
             out.push_str(&format!("      \"interrupted\": {},\n", panel.interrupted));
             out.push_str("      \"members\": [");
@@ -950,17 +1642,34 @@ impl AuditReport {
             out.push_str("\n    {\n");
             out.push_str(&format!("      \"shape\": {},\n", json_str(&t.shape)));
             out.push_str(&format!("      \"strategy\": {},\n", json_str(&t.strategy)));
-            for (section, stable) in [("stable", true), ("observed", false)] {
+            for (section, want_stable) in [("stable", true), ("observed", false)] {
                 out.push_str(&format!("      \"{section}\": {{"));
+                // The stable rendering prints only the shard-composable
+                // allowlist, name-sorted so live and merged sections
+                // agree byte for byte; observed counters are per-process
+                // and render empty there.
+                let mut rows: Vec<(&str, u64)> = t
+                    .counters
+                    .iter()
+                    .filter(|(_, _, s)| *s == want_stable)
+                    .filter(|(name, _, _)| {
+                        !stable
+                            || (want_stable && STABLE_COUNTER_ALLOWLIST.contains(&name.as_str()))
+                    })
+                    .map(|(name, delta, _)| (name.as_str(), *delta))
+                    .collect();
+                if stable {
+                    rows.sort_by(|a, b| a.0.cmp(b.0));
+                }
                 let mut first = true;
-                for (name, delta, _) in t.counters.iter().filter(|(_, _, s)| *s == stable) {
+                for (name, delta) in rows {
                     if !first {
                         out.push_str(", ");
                     }
                     first = false;
                     out.push_str(&format!("{}: {delta}", json_str(name)));
                 }
-                out.push_str(if stable { "},\n" } else { "}\n" });
+                out.push_str(if want_stable { "},\n" } else { "}\n" });
             }
             out.push_str("    }");
         }
@@ -1267,6 +1976,114 @@ mod tests {
             .map(|(_, delta, _)| delta)
             .sum();
         assert_eq!(recorder.snapshot().get("items_walked"), Some(walked));
+    }
+
+    /// The tentpole invariant at plan level: a 2- or 4-way sharded audit
+    /// merges into stable JSON byte-identical to one process's.
+    #[test]
+    fn sharded_audit_merges_byte_identical() {
+        let plan = || {
+            AuditPlan::new(&LocalDiff, 2, family(), bits())
+                .prover(&BipartiteProver)
+                .seed(7)
+        };
+        let single = plan().run().to_stable_json();
+        for shards in [2usize, 4] {
+            let reports: Vec<String> = ShardSpec::partition(shards)
+                .into_iter()
+                .map(|s| plan().run_shard(s))
+                .collect();
+            let merged = plan()
+                .run_with_shards(&reports)
+                .expect("clean shard reports merge");
+            assert_eq!(single, merged.to_stable_json(), "{shards} shards");
+        }
+    }
+
+    /// Tampered or mismatched shard reports fail the merge loudly
+    /// instead of producing a silently wrong audit.
+    #[test]
+    fn shard_merge_rejects_fingerprint_and_torn_reports() {
+        let plan = || AuditPlan::new(&LocalDiff, 2, family(), bits()).seed(7);
+        let reports: Vec<String> = ShardSpec::partition(2)
+            .into_iter()
+            .map(|s| plan().run_shard(s))
+            .collect();
+        let torn = vec![
+            reports[0].clone(),
+            reports[1].replace("end shardreport\n", ""),
+        ];
+        let err = plan().run_with_shards(&torn).unwrap_err();
+        assert!(err.contains("torn"), "{err}");
+        let err = plan().seed(8).run_with_shards(&reports).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+        // The same shard twice leaves a gap and an overlap in the tiling.
+        let twice = vec![reports[0].clone(), reports[0].clone()];
+        plan().run_with_shards(&twice).unwrap_err();
+        // Missing a shard leaves the tail of the universe uncovered.
+        let half = vec![reports[0].clone()];
+        plan().run_with_shards(&half).unwrap_err();
+    }
+
+    /// Stable JSON pins wall-clock and per-process counters, so repeated
+    /// runs agree byte for byte.
+    #[test]
+    fn stable_json_pins_scheduling_fields() {
+        let audit = || {
+            AuditPlan::new(&LocalDiff, 2, family(), bits())
+                .prover(&BipartiteProver)
+                .seed(7)
+                .run()
+        };
+        let json = audit().to_stable_json();
+        assert!(json.contains("\"elapsed_ms\": 0.000"), "{json}");
+        assert!(json.contains("\"cache_hits\": 0"), "{json}");
+        assert_eq!(json, audit().to_stable_json());
+    }
+
+    /// A merged report's labelings telemetry is the sum of the shards'
+    /// stable counters, and agrees with a single process's section on
+    /// the stable-JSON allowlist.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn sharded_telemetry_sums_match_single_process() {
+        let recorder = MetricsRecorder::new();
+        let single = AuditPlan::new(&LocalDiff, 2, family(), bits())
+            .telemetry(&recorder)
+            .seed(7)
+            .run();
+        let reports: Vec<String> = ShardSpec::partition(2)
+            .into_iter()
+            .map(|s| {
+                AuditPlan::new(&LocalDiff, 2, family(), bits())
+                    .seed(7)
+                    .run_shard(s)
+            })
+            .collect();
+        let shard_recorder = MetricsRecorder::new();
+        let merged = AuditPlan::new(&LocalDiff, 2, family(), bits())
+            .telemetry(&shard_recorder)
+            .seed(7)
+            .run_with_shards(&reports)
+            .expect("shards merge");
+        assert_eq!(single.to_stable_json(), merged.to_stable_json());
+        let allowlisted = |r: &AuditReport| {
+            let mut rows: Vec<(String, u64)> = r.telemetry[0]
+                .counters
+                .iter()
+                .filter(|(name, _, s)| *s && STABLE_COUNTER_ALLOWLIST.contains(&name.as_str()))
+                .map(|(name, delta, _)| (name.clone(), *delta))
+                .collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(allowlisted(&single), allowlisted(&merged));
+        assert!(
+            allowlisted(&single)
+                .iter()
+                .any(|(name, delta)| name == "items_walked" && *delta > 0),
+            "labelings section records the walk"
+        );
     }
 
     #[test]

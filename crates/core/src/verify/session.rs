@@ -1,0 +1,446 @@
+//! [`SweepSession`]: the single construction site for every sweep.
+//!
+//! The executor grew ~19 parallel entry points (`sweep`, `sweep_with`,
+//! `sweep_budgeted_with_opts`, the `sweep_panel*` mirror set, …) before
+//! this module existed; adding the shard dimension would have doubled the
+//! count again. `SweepSession` folds every axis — execution mode, strategy
+//! options, budget, telemetry recorder, shard — into one builder:
+//!
+//! ```ignore
+//! let report = SweepSession::over(&universe)
+//!     .mode(ExecMode::Parallel(4))
+//!     .opts(SweepOpts::quotient())
+//!     .budget(SweepBudget::with_deadline(limit))
+//!     .metrics(&recorder)
+//!     .run(&check);
+//! ```
+//!
+//! The old free functions survive as `#[deprecated]` shims over this
+//! builder, so the two surfaces cannot drift.
+//!
+//! # Sharding
+//!
+//! [`SweepSession::shard`] restricts the walk to the shard's contiguous
+//! odometer range `[lo, hi)` of the flat index space (see
+//! [`ShardSpec::range`]). Two run shapes exist on a sharded session:
+//!
+//! * [`run`](SweepSession::run) / [`run_panel`](SweepSession::run_panel)
+//!   treat the shard range as the whole job and produce a normal report.
+//!   When `hi < universe.len()` the report is flagged `interrupted` with
+//!   [`Coverage::Sampled`] — correct, since one shard *is* a sample of
+//!   the universe. Resume tokens never walk past the shard's `hi`.
+//! * [`run_fragment`](SweepSession::run_fragment) /
+//!   [`run_panel_fragment`](SweepSession::run_panel_fragment) produce the
+//!   raw [`SweepFragment`] / [`PanelFragment`] — partials, errors and
+//!   short-circuit frontier over `[lo, hi)` — which
+//!   [`super::shard::merge_fragments`] and
+//!   [`super::shard::merge_panel_fragments`] recombine into a report
+//!   bit-identical to the unsharded run. This is the path the `audit`
+//!   shard coordinator uses.
+//!
+//! # Budget semantics under shards
+//!
+//! [`SweepBudget::max_items`] is a per-*call* cap: on a sharded session it
+//! caps items walked within this shard's range (and is additionally
+//! clamped so the walk never leaves the range). [`SweepBudget::deadline`]
+//! is wall-clock from the start of the call — per process, not split
+//! across shards. Both are pinned by `budget` doc-tests and the
+//! `engine_parity` interrupted-shard property.
+
+use super::budget::{PanelResumeToken, ResumeToken, SweepBudget};
+use super::check::{PropertyCheck, VerificationReport};
+use super::erased::DynPropertyCheck;
+use super::executor::{self, BudgetedSweep, ExecMode, SweepFragment, SweepOpts};
+use super::panel::{self, BudgetedPanel, PanelFragment, PanelReport};
+use super::shard::ShardSpec;
+use super::telemetry::{MetricsRecorder, SweepRecorder};
+use super::universe::{Coverage, Universe};
+use crate::instance::{Instance, LabeledInstance};
+use crate::label::Labeling;
+
+/// A configured sweep over one universe: mode, strategy options, budget,
+/// recorder and shard, assembled by chaining and fired by a `run_*`
+/// method. Copy, so one session can fire several runs.
+#[derive(Clone, Copy)]
+pub struct SweepSession<'a> {
+    universe: &'a Universe,
+    mode: ExecMode,
+    opts: SweepOpts,
+    budget: SweepBudget,
+    recorder: Option<&'a dyn SweepRecorder>,
+    shard: Option<ShardSpec>,
+}
+
+impl<'a> SweepSession<'a> {
+    /// Starts a session over `universe` with the defaults every shim
+    /// historically used: [`ExecMode::Auto`], default [`SweepOpts`],
+    /// unlimited budget, no recorder, no shard.
+    pub fn over(universe: &'a Universe) -> SweepSession<'a> {
+        SweepSession {
+            universe,
+            mode: ExecMode::Auto,
+            opts: SweepOpts::default(),
+            budget: SweepBudget::unlimited(),
+            recorder: None,
+            shard: None,
+        }
+    }
+
+    /// Sets the execution mode (default [`ExecMode::Auto`]).
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the strategy options (default [`SweepOpts::default`]).
+    pub fn opts(mut self, opts: SweepOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the execution budget (default unlimited). See the module docs
+    /// for how `max_items` and `deadline` behave on a sharded session.
+    pub fn budget(mut self, budget: SweepBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches any [`SweepRecorder`] implementation.
+    pub fn recorder(mut self, recorder: &'a dyn SweepRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches the concrete [`MetricsRecorder`]. Without the `telemetry`
+    /// feature the recorder is inert and this is a no-op in effect.
+    pub fn metrics(self, recorder: &'a MetricsRecorder) -> Self {
+        self.recorder(recorder)
+    }
+
+    /// Restricts the walk to `shard`'s contiguous range of the flat index
+    /// space. See the module docs for the two sharded run shapes.
+    pub fn shard(mut self, shard: ShardSpec) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The index range this session walks: the shard's range, or the whole
+    /// universe.
+    pub fn range(&self) -> (usize, usize) {
+        let n = self.universe.len();
+        match self.shard {
+            Some(s) => s.range(n),
+            None => (0, n),
+        }
+    }
+
+    /// The budget actually handed to the engine for a walk starting at
+    /// `from`: unchanged when unsharded; on a sharded session `max_items`
+    /// is clamped so the walk cannot leave `[from, hi)`.
+    fn clamped_budget(&self, from: usize, hi: usize) -> SweepBudget {
+        if self.shard.is_none() {
+            return self.budget;
+        }
+        let span = hi.saturating_sub(from);
+        SweepBudget {
+            deadline: self.budget.deadline,
+            max_items: Some(match self.budget.max_items {
+                Some(m) => m.min(span),
+                None => span,
+            }),
+        }
+    }
+
+    /// A fresh token starting at this session's range start.
+    fn start_token<P>(&self, lo: usize) -> ResumeToken<P> {
+        ResumeToken {
+            next_index: lo,
+            partials: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    /// On a sharded session, a resume token that has reached the shard's
+    /// `hi` is spent — drop it so resume chains terminate at the shard
+    /// boundary instead of spinning on an empty range.
+    fn clip_resume<V, P>(&self, out: &mut BudgetedSweep<V, P>, hi: usize) {
+        if self.shard.is_some() && out.resume.as_ref().is_some_and(|t| t.next_index >= hi) {
+            out.resume = None;
+        }
+    }
+
+    /// Sweeps `check` over the session's range, ignoring interruption
+    /// bookkeeping (no resume token is built). With an unlimited budget
+    /// and no shard this is the classic exhaustive sweep.
+    pub fn run<C: PropertyCheck>(&self, check: &C) -> VerificationReport<C::Verdict> {
+        let (lo, hi) = self.range();
+        let budget = self.clamped_budget(lo, hi);
+        executor::run_resumable(
+            check,
+            self.universe,
+            self.mode,
+            &budget,
+            self.start_token(lo),
+            self.opts,
+            self.recorder,
+            |_, _, _| None,
+        )
+        .report
+    }
+
+    /// Sweeps `check` and keeps the resume token when the budget (or the
+    /// shard boundary) interrupts the walk. Requires `Clone` partials —
+    /// the token carries a copy of the frontier.
+    pub fn run_budgeted<C: PropertyCheck>(&self, check: &C) -> BudgetedSweep<C::Verdict, C::Partial>
+    where
+        C::Partial: Clone,
+    {
+        let (lo, hi) = self.range();
+        let budget = self.clamped_budget(lo, hi);
+        let mut out = executor::run_resumable(
+            check,
+            self.universe,
+            self.mode,
+            &budget,
+            self.start_token(lo),
+            self.opts,
+            self.recorder,
+            executor::tokenize,
+        );
+        self.clip_resume(&mut out, hi);
+        out
+    }
+
+    /// Continues an interrupted sweep from `token`. The combined chain of
+    /// runs reproduces the uninterrupted report bit-for-bit.
+    pub fn resume<C: PropertyCheck>(
+        &self,
+        check: &C,
+        token: ResumeToken<C::Partial>,
+    ) -> BudgetedSweep<C::Verdict, C::Partial>
+    where
+        C::Partial: Clone,
+    {
+        let (_, hi) = self.range();
+        let budget = self.clamped_budget(token.next_index, hi);
+        let mut out = executor::run_resumable(
+            check,
+            self.universe,
+            self.mode,
+            &budget,
+            token,
+            self.opts,
+            self.recorder,
+            executor::tokenize,
+        );
+        self.clip_resume(&mut out, hi);
+        out
+    }
+
+    /// Walks the session's range and returns the raw [`SweepFragment`] —
+    /// the shard-merge input — instead of reducing to a verdict.
+    pub fn run_fragment<C: PropertyCheck>(&self, check: &C) -> SweepFragment<C::Partial> {
+        let (lo, hi) = self.range();
+        executor::run_fragment(
+            check,
+            self.universe,
+            self.mode,
+            &self.budget,
+            self.start_token(lo),
+            self.opts,
+            self.recorder,
+            lo,
+            hi,
+        )
+    }
+
+    /// Continues an interrupted fragment walk from `token` (built with
+    /// [`SweepFragment::into_resume_token`]). A fragment chain over
+    /// `[lo, hi)` is bit-identical to one uninterrupted fragment walk.
+    pub fn resume_fragment<C: PropertyCheck>(
+        &self,
+        check: &C,
+        token: ResumeToken<C::Partial>,
+    ) -> SweepFragment<C::Partial> {
+        let (lo, hi) = self.range();
+        executor::run_fragment(
+            check,
+            self.universe,
+            self.mode,
+            &self.budget,
+            token,
+            self.opts,
+            self.recorder,
+            lo,
+            hi,
+        )
+    }
+
+    /// Fuses `checks` into one walk over the session's range.
+    pub fn run_panel(&self, checks: &[DynPropertyCheck<'_>]) -> PanelReport {
+        self.run_panel_budgeted(checks).report
+    }
+
+    /// [`run_panel`](SweepSession::run_panel) keeping the panel resume
+    /// token when the walk is interrupted.
+    pub fn run_panel_budgeted(&self, checks: &[DynPropertyCheck<'_>]) -> BudgetedPanel {
+        let (lo, hi) = self.range();
+        let budget = self.clamped_budget(lo, hi);
+        let mut token = PanelResumeToken::start(checks.len());
+        token.next_index = lo;
+        let mut out = panel::run_panel(
+            checks,
+            self.universe,
+            self.mode,
+            &budget,
+            token,
+            self.opts,
+            self.recorder,
+        );
+        if self.shard.is_some() && out.resume.as_ref().is_some_and(|t| t.next_index >= hi) {
+            out.resume = None;
+        }
+        out
+    }
+
+    /// Continues an interrupted panel from `token`.
+    pub fn resume_panel(
+        &self,
+        checks: &[DynPropertyCheck<'_>],
+        token: PanelResumeToken,
+    ) -> BudgetedPanel {
+        let (_, hi) = self.range();
+        let budget = self.clamped_budget(token.next_index, hi);
+        let mut out = panel::run_panel(
+            checks,
+            self.universe,
+            self.mode,
+            &budget,
+            token,
+            self.opts,
+            self.recorder,
+        );
+        if self.shard.is_some() && out.resume.as_ref().is_some_and(|t| t.next_index >= hi) {
+            out.resume = None;
+        }
+        out
+    }
+
+    /// Walks the session's range and returns the raw [`PanelFragment`] —
+    /// the panel shard-merge input — instead of reducing members.
+    pub fn run_panel_fragment(&self, checks: &[DynPropertyCheck<'_>]) -> PanelFragment {
+        let (lo, hi) = self.range();
+        let mut token = PanelResumeToken::start(checks.len());
+        token.next_index = lo;
+        panel::run_panel_fragment(
+            checks,
+            self.universe,
+            self.mode,
+            &self.budget,
+            token,
+            self.opts,
+            self.recorder,
+            lo,
+            hi,
+        )
+    }
+
+    /// Continues an interrupted panel fragment walk from `token` (built
+    /// with [`PanelFragment::into_resume_token`]).
+    pub fn resume_panel_fragment(
+        &self,
+        checks: &[DynPropertyCheck<'_>],
+        token: PanelResumeToken,
+    ) -> PanelFragment {
+        let (lo, hi) = self.range();
+        panel::run_panel_fragment(
+            checks,
+            self.universe,
+            self.mode,
+            &self.budget,
+            token,
+            self.opts,
+            self.recorder,
+            lo,
+            hi,
+        )
+    }
+}
+
+/// The streaming counterpart of [`SweepSession`]: sweeps a check over
+/// items pulled lazily from an iterator instead of an indexed universe.
+///
+/// Two sources exist:
+///
+/// * [`LazySweep::of`] fixes one instance and pulls *labelings* — the
+///   memory-bounded way to walk `|alphabet|^n` assignments, stopping the
+///   pull at the first short-circuit or budget expiry;
+/// * [`LazySweep::labeled`] pulls whole [`LabeledInstance`]s (one
+///   instance per item, e.g. identifier variants), each with its own
+///   one-item skeleton cache; fire with
+///   [`run_labeled`](LazySweep::run_labeled).
+///
+/// Lazy sweeps are always sequential and unsharded: the source is
+/// stateful, so there is no index space to partition.
+#[derive(Clone, Copy)]
+pub struct LazySweep<'a> {
+    instance: Option<&'a Instance>,
+    coverage: Coverage,
+    budget: SweepBudget,
+}
+
+impl<'a> LazySweep<'a> {
+    /// A lazy sweep drawing labelings of `instance`.
+    pub fn of(instance: &'a Instance, coverage: Coverage) -> LazySweep<'a> {
+        LazySweep {
+            instance: Some(instance),
+            coverage,
+            budget: SweepBudget::unlimited(),
+        }
+    }
+
+    /// A lazy sweep drawing whole labeled instances; fire with
+    /// [`run_labeled`](LazySweep::run_labeled).
+    pub fn labeled(coverage: Coverage) -> LazySweep<'static> {
+        LazySweep {
+            instance: None,
+            coverage,
+            budget: SweepBudget::unlimited(),
+        }
+    }
+
+    /// Sets the execution budget (default unlimited). An expired budget
+    /// stops *drawing* — a stateful source is never advanced past the
+    /// limit — and the report says how many items were drawn.
+    pub fn budget(mut self, budget: SweepBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sweeps `check` over `labelings` of the fixed instance.
+    ///
+    /// # Panics
+    ///
+    /// When the sweep was built with [`LazySweep::labeled`] — that source
+    /// has no fixed instance; use [`run_labeled`](LazySweep::run_labeled).
+    pub fn run<C: PropertyCheck>(
+        &self,
+        check: &C,
+        labelings: impl IntoIterator<Item = Labeling>,
+    ) -> VerificationReport<C::Verdict> {
+        let instance = self.instance.expect(
+            "LazySweep::run needs a fixed instance; build with LazySweep::of \
+             (LazySweep::labeled sources fire with run_labeled)",
+        );
+        executor::run_lazy(check, instance, labelings, self.coverage, &self.budget)
+    }
+
+    /// Sweeps `check` over labeled instances pulled from `items`.
+    pub fn run_labeled<C: PropertyCheck>(
+        &self,
+        check: &C,
+        items: impl IntoIterator<Item = LabeledInstance>,
+    ) -> VerificationReport<C::Verdict> {
+        executor::run_lazy_labeled(check, items, self.coverage, &self.budget)
+    }
+}

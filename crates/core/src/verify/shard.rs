@@ -1,0 +1,560 @@
+//! Sharded sweep orchestration: deterministic universe partitioning,
+//! a retrying dispatch coordinator, and the fragment merge that makes a
+//! sharded run reproduce the single-process report bit-for-bit.
+//!
+//! # Partitioning
+//!
+//! [`ShardSpec`] names one of `N` contiguous ranges of the flat odometer
+//! index space. Because the executor's visited set is always a contiguous
+//! prefix of its range and every [`SweepStrategy`] is a pure function of
+//! the item index, shard `i`'s walk over `[lo, hi)` records exactly the
+//! partials a single-process walk records while passing through that
+//! range — the whole sharding story rides the existing resume-token
+//! machinery, no new walk semantics.
+//!
+//! # Merge
+//!
+//! [`merge_fragments`] / [`merge_panel_fragments`] validate that the
+//! fragments *tile* the universe exactly (no gap, no overlap, nothing
+//! torn), compose the short-circuit frontier (the global stop is the
+//! minimum over shards — exactly the `fetch_min` rule worker threads
+//! already obey within one process), apply the same retention rule the
+//! sequential walk applies, and then run the one reduce a single-process
+//! sweep would have run. Orbit multiplicities under
+//! [`SweepStrategy::Quotient`] need no special handling: a representative's
+//! multiplicity is a function of the item alone, so weighted partials
+//! compose by concatenation.
+//!
+//! # Coordinator
+//!
+//! [`run_shards`] owns dispatch and retry: each shard is handed to a
+//! caller-supplied closure (in-process for tests, a child `audit --shard`
+//! process for the CLI) and re-dispatched on failure up to a retry cap,
+//! with dispatch/retry counters and per-shard spans flowing into the
+//! attached [`SweepRecorder`].
+//!
+//! [`SweepStrategy`]: super::SweepStrategy
+//! [`SweepStrategy::Quotient`]: super::SweepStrategy::Quotient
+
+use super::budget::SweepError;
+use super::check::{ExecEvidence, PropertyCheck, SweepOutcome, VerificationReport};
+use super::erased::DynPropertyCheck;
+use super::executor::{resolve_threads, ExecMode, SweepFragment};
+use super::panel::{reduce_panel, PanelFragment, PanelReport, PanelWalkStats};
+use super::telemetry::{SweepCounter, SweepPhase, SweepRecorder};
+use super::universe::{Coverage, Universe};
+use std::time::Instant;
+
+/// One of `of` contiguous shards of a universe's flat index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's position, `0 ≤ index < of`.
+    pub index: usize,
+    /// Total number of shards.
+    pub of: usize,
+}
+
+impl ShardSpec {
+    /// Builds a spec.
+    ///
+    /// # Panics
+    ///
+    /// When `of` is zero or `index` is out of range.
+    pub fn new(index: usize, of: usize) -> ShardSpec {
+        assert!(of >= 1, "shard count must be at least 1");
+        assert!(
+            index < of,
+            "shard index {index} out of range for {of} shards"
+        );
+        ShardSpec { index, of }
+    }
+
+    /// Parses the CLI form `i/N` (e.g. `0/4`).
+    pub fn parse(s: &str) -> Result<ShardSpec, String> {
+        let (i, of) = s
+            .split_once('/')
+            .ok_or_else(|| format!("bad shard spec `{s}`: expected the form i/N, e.g. 0/4"))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard index `{i}` in `{s}`"))?;
+        let of: usize = of
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count `{of}` in `{s}`"))?;
+        if of == 0 {
+            return Err(format!(
+                "bad shard spec `{s}`: shard count must be at least 1"
+            ));
+        }
+        if index >= of {
+            return Err(format!(
+                "bad shard spec `{s}`: index {index} out of range for {of} shards"
+            ));
+        }
+        Ok(ShardSpec { index, of })
+    }
+
+    /// The CLI form `i/N`.
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.index, self.of)
+    }
+
+    /// This shard's contiguous index range `[lo, hi)` of a universe with
+    /// `n` items. The first `n mod of` shards get one extra item, so the
+    /// ranges tile `[0, n)` exactly and every shard's size differs by at
+    /// most one — deterministic, no rounding holes.
+    pub fn range(&self, n: usize) -> (usize, usize) {
+        let base = n / self.of;
+        let rem = n % self.of;
+        let lo = self.index * base + self.index.min(rem);
+        let hi = lo + base + usize::from(self.index < rem);
+        #[cfg(conformance_mutants)]
+        let hi = if crate::mutants::active("shard_range_overlap") && self.index + 1 < self.of {
+            // Seeded fault: every non-final shard annexes its successor's
+            // first item, so adjacent ranges overlap by one.
+            (hi + 1).min(n)
+        } else {
+            hi
+        };
+        (lo, hi)
+    }
+
+    /// All `of` shards, in index order.
+    pub fn partition(of: usize) -> Vec<ShardSpec> {
+        assert!(of >= 1, "shard count must be at least 1");
+        (0..of).map(|index| ShardSpec { index, of }).collect()
+    }
+}
+
+/// What the coordinator produced: the per-shard results (in shard order)
+/// plus the dispatch accounting, mirrored into the recorder's
+/// `shard_dispatches` / `shard_retries` counters.
+#[derive(Debug)]
+pub struct ShardRunReport<T> {
+    /// One result per shard, in shard-index order.
+    pub results: Vec<T>,
+    /// Total dispatch attempts (successes + retries).
+    pub dispatches: u64,
+    /// Re-dispatches after a failed attempt.
+    pub retries: u64,
+}
+
+/// Dispatches every shard of an `of`-way partition through `dispatch`,
+/// re-dispatching failures up to `retry_cap` extra attempts per shard.
+///
+/// `dispatch` receives the shard spec and the attempt number (0 = first
+/// try) and returns the shard's result or a failure description — a
+/// crashed child process, a torn report, a timeout; the coordinator does
+/// not care which. Each attempt bumps [`SweepCounter::ShardDispatches`]
+/// and runs under a `shard:i/N` span; each retry additionally bumps
+/// [`SweepCounter::ShardRetries`]. A shard that fails `retry_cap + 1`
+/// times fails the whole run with the last error.
+pub fn run_shards<T>(
+    of: usize,
+    retry_cap: usize,
+    recorder: Option<&dyn SweepRecorder>,
+    mut dispatch: impl FnMut(ShardSpec, usize) -> Result<T, String>,
+) -> Result<ShardRunReport<T>, String> {
+    let mut results = Vec::with_capacity(of);
+    let mut dispatches = 0u64;
+    let mut retries = 0u64;
+    for spec in ShardSpec::partition(of) {
+        let label = spec.label();
+        let mut last_err = String::new();
+        let mut done = false;
+        for attempt in 0..=retry_cap {
+            dispatches += 1;
+            if let Some(r) = recorder {
+                r.add(SweepCounter::ShardDispatches, 1);
+                if attempt > 0 {
+                    r.add(SweepCounter::ShardRetries, 1);
+                }
+                r.span_enter(&format!("shard:{label}"));
+            }
+            if attempt > 0 {
+                retries += 1;
+            }
+            let outcome = dispatch(spec, attempt);
+            if let Some(r) = recorder {
+                r.span_exit(&format!("shard:{label}"));
+            }
+            match outcome {
+                Ok(value) => {
+                    results.push(value);
+                    done = true;
+                    break;
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        if !done {
+            return Err(format!(
+                "shard {label} failed after {} attempts: {last_err}",
+                retry_cap + 1
+            ));
+        }
+    }
+    Ok(ShardRunReport {
+        results,
+        dispatches,
+        retries,
+    })
+}
+
+/// Checks that `fragments` (any order) tile `[0, n)` exactly and are all
+/// complete; returns them sorted by range start. `what` names the
+/// fragment kind in error messages.
+fn validate_tiling<F>(
+    mut fragments: Vec<F>,
+    n: usize,
+    what: &str,
+    range_of: impl Fn(&F) -> (usize, usize),
+    complete: impl Fn(&F) -> bool,
+) -> Result<Vec<F>, String> {
+    if fragments.is_empty() {
+        return Err(format!("no {what}s to merge"));
+    }
+    fragments.sort_by_key(|f| range_of(f).0);
+    let mut expect = 0usize;
+    for f in &fragments {
+        let (lo, hi) = range_of(f);
+        if lo != expect {
+            return Err(if lo > expect {
+                format!("{what}s leave a gap: [{expect}, {lo}) is uncovered")
+            } else {
+                format!("{what}s overlap: [{lo}, {expect}) is covered twice")
+            });
+        }
+        if hi < lo {
+            return Err(format!("{what} range [{lo}, {hi}) is inverted"));
+        }
+        if !complete(f) {
+            return Err(format!(
+                "{what} over [{lo}, {hi}) is torn: its walk did not finish the range"
+            ));
+        }
+        expect = hi;
+    }
+    if expect != n {
+        return Err(format!(
+            "{what}s cover [0, {expect}) but the universe has {n} items"
+        ));
+    }
+    Ok(fragments)
+}
+
+/// Merges single-check shard fragments into the report a single-process
+/// sweep over the whole universe would produce.
+///
+/// The fragments must tile `[0, universe.len())` exactly and be complete
+/// (use the coordinator's retry to replace torn ones). The global
+/// short-circuit frontier is the minimum `stop_at` over fragments, and
+/// partials/errors past it are discarded — the same rule the in-process
+/// parallel walk applies across threads. `mode` is only consulted for the
+/// report's `threads` field, which mirrors what the equivalent unsharded
+/// run would have used.
+pub fn merge_fragments<C: PropertyCheck>(
+    check: &C,
+    universe: &Universe,
+    mode: ExecMode,
+    fragments: Vec<SweepFragment<C::Partial>>,
+    recorder: Option<&dyn SweepRecorder>,
+) -> Result<VerificationReport<C::Verdict>, String> {
+    let start = Instant::now();
+    let n = universe.len();
+    let fragments = validate_tiling(
+        fragments,
+        n,
+        "fragment",
+        |f| (f.lo, f.hi),
+        SweepFragment::is_complete,
+    )?;
+    if let Some(r) = recorder {
+        r.add(SweepCounter::ShardMerges, 1);
+        r.span_enter("merge");
+    }
+    let stop = fragments.iter().filter_map(|f| f.stop_at).min();
+    let mut partials: Vec<(usize, C::Partial)> = Vec::new();
+    let mut errors: Vec<SweepError> = Vec::new();
+    // Fragments are sorted by disjoint ranges and internally sorted, so
+    // concatenation preserves index order.
+    for f in fragments {
+        partials.extend(f.partials);
+        errors.extend(f.errors);
+    }
+    if let Some(s) = stop {
+        partials.retain(|&(i, _)| i <= s);
+        errors.retain(|e| e.item_index <= s);
+    }
+    let short_circuited = stop.is_some();
+    let checked = match stop {
+        Some(s) => s + 1,
+        None => n,
+    };
+    let coverage = if errors.is_empty() {
+        universe.coverage()
+    } else {
+        Coverage::Sampled
+    };
+    let outcome = SweepOutcome {
+        checked,
+        universe_size: n,
+        short_circuited,
+    };
+    let reduce_start = recorder.map(|r| r.now_micros());
+    let verdict = check.reduce(universe, partials, &outcome);
+    if let (Some(r), Some(t0)) = (recorder, reduce_start) {
+        r.record_phase(SweepPhase::Reduce, r.now_micros().saturating_sub(t0));
+    }
+    let interner = check.interner_report();
+    if let (Some(r), Some(report)) = (recorder, &interner) {
+        report.record_into(r);
+    }
+    if let Some(r) = recorder {
+        r.span_exit("merge");
+    }
+    Ok(VerificationReport {
+        verdict,
+        evidence: ExecEvidence {
+            checked,
+            universe_size: n,
+            short_circuited,
+            interrupted: false,
+            coverage,
+            errors,
+            cache_hits: 0,
+            cache_misses: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+            elapsed: start.elapsed(),
+            threads: resolve_threads(mode, n),
+            interner,
+        },
+    })
+}
+
+/// Merges panel shard fragments into the report a single-process fused
+/// panel over the whole universe would produce. Validation, frontier
+/// composition and retention follow [`merge_fragments`], applied per
+/// member; the reduce is the very [`reduce_panel`] the live panel runs,
+/// so member verdicts, `checked` counts and coverage are structurally
+/// identical to the unsharded report. The walk counters (cache/memo hits)
+/// are reported as zero — they are observed, not stable, and the stable
+/// rendering never reads them.
+pub fn merge_panel_fragments(
+    checks: &[DynPropertyCheck<'_>],
+    universe: &Universe,
+    mode: ExecMode,
+    fragments: Vec<PanelFragment>,
+    recorder: Option<&dyn SweepRecorder>,
+) -> Result<PanelReport, String> {
+    let start = Instant::now();
+    let n = universe.len();
+    let nmem = checks.len();
+    let fragments = validate_tiling(
+        fragments,
+        n,
+        "panel fragment",
+        |f| (f.lo, f.hi),
+        PanelFragment::is_complete,
+    )?;
+    for f in &fragments {
+        if f.members.len() != nmem {
+            return Err(format!(
+                "panel fragment over [{}, {}) describes {} members, expected {nmem}",
+                f.lo,
+                f.hi,
+                f.members.len()
+            ));
+        }
+    }
+    if let Some(r) = recorder {
+        r.add(SweepCounter::ShardMerges, 1);
+        r.span_enter("merge");
+    }
+    let mut member_partials: Vec<Vec<(usize, super::erased::ErasedPartial)>> =
+        (0..nmem).map(|_| Vec::new()).collect();
+    let mut member_errors: Vec<Vec<SweepError>> = (0..nmem).map(|_| Vec::new()).collect();
+    let mut stop_at = vec![usize::MAX; nmem];
+    for f in fragments {
+        for (m, frontier) in f.members.into_iter().enumerate() {
+            if let Some(s) = frontier.stop_at {
+                stop_at[m] = stop_at[m].min(s);
+            }
+            member_partials[m].extend(frontier.partials);
+            member_errors[m].extend(frontier.errors);
+        }
+    }
+    for m in 0..nmem {
+        if stop_at[m] != usize::MAX {
+            let s = stop_at[m];
+            member_partials[m].retain(|&(i, _)| i <= s);
+            member_errors[m].retain(|e| e.item_index <= s);
+        }
+    }
+    let stats = PanelWalkStats {
+        threads: resolve_threads(mode, n),
+        cache_hits: 0,
+        cache_misses: 0,
+        memo_hits: 0,
+        memo_misses: 0,
+    };
+    let report = reduce_panel(
+        checks,
+        universe,
+        member_partials,
+        member_errors,
+        &stop_at,
+        n,
+        false,
+        stats,
+        recorder,
+        start,
+    );
+    if let Some(r) = recorder {
+        r.span_exit("merge");
+    }
+    Ok(report)
+}
+
+/// Sums per-shard stable-counter lists (name → value, any order) into one
+/// merged list, sorted by name — the rule the `audit` merge applies to
+/// the counter sections of its shard reports.
+///
+/// Every stable counter is additive per item walked, so shard counts sum
+/// — except `quotient_blocks`, which every shard reports identically
+/// (the quotient plan is a function of the universe, not the range), so
+/// the merge takes it once.
+pub fn sum_stable_counters(per_shard: &[Vec<(String, u64)>]) -> Vec<(String, u64)> {
+    let mut merged: Vec<(String, u64)> = Vec::new();
+    for (shard, counters) in per_shard.iter().enumerate() {
+        #[cfg(not(conformance_mutants))]
+        let _ = shard;
+        #[cfg(conformance_mutants)]
+        if crate::mutants::active("shard_merge_drop_counters") && shard > 0 {
+            // Seeded fault: the merge folds only the first shard's
+            // counters, silently dropping every other shard's work.
+            continue;
+        }
+        for (name, value) in counters {
+            match merged.iter_mut().find(|(n, _)| n == name) {
+                Some((_, total)) => {
+                    if name == "quotient_blocks" {
+                        *total = (*total).max(*value);
+                    } else {
+                        *total += *value;
+                    }
+                }
+                None => merged.push((name.clone(), *value)),
+            }
+        }
+    }
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_the_index_space_exactly() {
+        for n in [0usize, 1, 2, 5, 31, 32, 64, 100] {
+            for of in [1usize, 2, 3, 4, 7, 16] {
+                let mut expect = 0;
+                for spec in ShardSpec::partition(of) {
+                    let (lo, hi) = spec.range(n);
+                    assert_eq!(lo, expect, "shard {} of {of} over {n}", spec.index);
+                    assert!(hi >= lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, n, "{of} shards over {n} items");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sizes_differ_by_at_most_one() {
+        for n in [1usize, 31, 32, 100] {
+            for of in [2usize, 3, 4, 7] {
+                let sizes: Vec<usize> = ShardSpec::partition(of)
+                    .iter()
+                    .map(|s| {
+                        let (lo, hi) = s.range(n);
+                        hi - lo
+                    })
+                    .collect();
+                let min = *sizes.iter().min().unwrap();
+                let max = *sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "{sizes:?} for {of} shards over {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let spec = ShardSpec::parse("2/4").unwrap();
+        assert_eq!(spec, ShardSpec::new(2, 4));
+        assert_eq!(spec.label(), "2/4");
+        assert!(ShardSpec::parse("4/4").is_err());
+        assert!(ShardSpec::parse("0/0").is_err());
+        assert!(ShardSpec::parse("nope").is_err());
+        assert!(ShardSpec::parse("1:2").is_err());
+        assert!(ShardSpec::parse("-1/2").is_err());
+    }
+
+    #[test]
+    fn coordinator_retries_up_to_the_cap() {
+        // Shard 1 fails twice then succeeds; cap 2 admits it.
+        let mut failures_left = 2;
+        let out = run_shards(3, 2, None, |spec, attempt| {
+            if spec.index == 1 && failures_left > 0 {
+                failures_left -= 1;
+                Err(format!("boom on attempt {attempt}"))
+            } else {
+                Ok(spec.index * 10 + attempt)
+            }
+        })
+        .unwrap();
+        assert_eq!(out.results, vec![0, 12, 20]);
+        assert_eq!(out.dispatches, 5);
+        assert_eq!(out.retries, 2);
+    }
+
+    #[test]
+    fn coordinator_fails_past_the_cap() {
+        let err = run_shards(2, 1, None, |spec, _| {
+            if spec.index == 0 {
+                Err("always".to_string())
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert!(err.contains("shard 0/2 failed after 2 attempts"), "{err}");
+    }
+
+    #[test]
+    fn counter_sums_are_additive_except_quotient_blocks() {
+        let merged = sum_stable_counters(&[
+            vec![
+                ("items_walked".to_string(), 16),
+                ("quotient_blocks".to_string(), 3),
+            ],
+            vec![
+                ("items_walked".to_string(), 16),
+                ("quotient_blocks".to_string(), 3),
+                ("panics_caught".to_string(), 1),
+            ],
+        ]);
+        assert_eq!(
+            merged,
+            vec![
+                ("items_walked".to_string(), 32),
+                ("panics_caught".to_string(), 1),
+                ("quotient_blocks".to_string(), 3),
+            ]
+        );
+    }
+}

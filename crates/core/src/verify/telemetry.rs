@@ -82,10 +82,17 @@ pub enum SweepCounter {
     /// Universe blocks with an active symmetry group under the quotient
     /// strategy.
     QuotientBlocks = 16,
+    /// Shard executions handed to a dispatcher by the shard coordinator
+    /// (first attempts and retries alike).
+    ShardDispatches = 17,
+    /// Shard dispatches re-issued after a crash, timeout or torn report.
+    ShardRetries = 18,
+    /// Shard-report merges performed (one per coordinated merge step).
+    ShardMerges = 19,
 }
 
 /// How many counters [`SweepCounter`] defines.
-pub const COUNTER_SLOTS: usize = 17;
+pub const COUNTER_SLOTS: usize = 20;
 
 impl SweepCounter {
     /// All counters, in slot order.
@@ -107,6 +114,9 @@ impl SweepCounter {
         SweepCounter::InternerFrontMisses,
         SweepCounter::InternerContention,
         SweepCounter::QuotientBlocks,
+        SweepCounter::ShardDispatches,
+        SweepCounter::ShardRetries,
+        SweepCounter::ShardMerges,
     ];
 
     /// The counter's wire name — the key in snapshots, diffs and JSON.
@@ -129,6 +139,9 @@ impl SweepCounter {
             SweepCounter::InternerFrontMisses => "interner_front_misses",
             SweepCounter::InternerContention => "interner_contention",
             SweepCounter::QuotientBlocks => "quotient_blocks",
+            SweepCounter::ShardDispatches => "shard_dispatches",
+            SweepCounter::ShardRetries => "shard_retries",
+            SweepCounter::ShardMerges => "shard_merges",
         }
     }
 
@@ -136,7 +149,8 @@ impl SweepCounter {
     /// inputs for complete (non-short-circuited, uninterrupted) walks —
     /// i.e. byte-identical across runs and thread counts. Per-worker
     /// artifacts (memo splits, interner traffic) are not: chunk
-    /// boundaries move resyncs around.
+    /// boundaries move resyncs around. Shard-coordinator counters are
+    /// observed too: retries depend on which dispatch attempts failed.
     pub fn is_stable(self) -> bool {
         !matches!(
             self,
@@ -146,6 +160,9 @@ impl SweepCounter {
                 | SweepCounter::InternerFrontHits
                 | SweepCounter::InternerFrontMisses
                 | SweepCounter::InternerContention
+                | SweepCounter::ShardDispatches
+                | SweepCounter::ShardRetries
+                | SweepCounter::ShardMerges
         )
     }
 }

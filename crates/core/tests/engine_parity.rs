@@ -35,10 +35,9 @@ use hiding_lcp_core::properties::soundness::{SoundnessCheck, SoundnessViolation}
 use hiding_lcp_core::properties::strong::{StrongCheck, StrongViolation};
 use hiding_lcp_core::prover::all_labelings;
 use hiding_lcp_core::verify::{
-    resume_sweep, resume_sweep_with_opts, sweep_budgeted, sweep_budgeted_with_opts, sweep_lazy,
-    sweep_panel_with, sweep_with, sweep_with_opts, Block, Coverage, DynPropertyCheck, ExecMode,
-    ItemCtx, LabelSource, PropertyCheck, PropertyTag, SweepBudget, SweepOpts, SweepOutcome,
-    Universe, UniverseItem,
+    merge_panel_fragments, Block, Coverage, DynPropertyCheck, ExecMode, ItemCtx, LabelSource,
+    LazySweep, PropertyCheck, PropertyTag, ShardSpec, SweepBudget, SweepOpts, SweepOutcome,
+    SweepSession, Universe, UniverseItem,
 };
 use hiding_lcp_core::view::IdMode;
 use hiding_lcp_graph::algo::bipartite;
@@ -72,8 +71,12 @@ where
     C: PropertyCheck,
     C::Verdict: PartialEq + std::fmt::Debug,
 {
-    let seq = sweep_with(check, universe, ExecMode::Sequential);
-    let par = sweep_with(check, universe, ExecMode::Parallel(parity_threads()));
+    let seq = SweepSession::over(universe)
+        .mode(ExecMode::Sequential)
+        .run(check);
+    let par = SweepSession::over(universe)
+        .mode(ExecMode::Parallel(parity_threads()))
+        .run(check);
     prop_assert_eq!(&seq.verdict, &par.verdict);
     prop_assert_eq!(seq.checked, par.checked);
     prop_assert_eq!(seq.universe_size, par.universe_size);
@@ -95,13 +98,19 @@ where
     C: PropertyCheck,
     C::Verdict: PartialEq + std::fmt::Debug,
 {
-    let reference = sweep_with_opts(check, universe, ExecMode::Sequential, a);
+    let reference = SweepSession::over(universe)
+        .mode(ExecMode::Sequential)
+        .opts(a)
+        .run(check);
     for (mode, opts) in [
         (ExecMode::Sequential, b),
         (ExecMode::Parallel(parity_threads()), a),
         (ExecMode::Parallel(parity_threads()), b),
     ] {
-        let other = sweep_with_opts(check, universe, mode, opts);
+        let other = SweepSession::over(universe)
+            .mode(mode)
+            .opts(opts)
+            .run(check);
         prop_assert_eq!(&reference.verdict, &other.verdict);
         prop_assert_eq!(reference.checked, other.checked);
         prop_assert_eq!(reference.universe_size, other.universe_size);
@@ -256,21 +265,21 @@ proptest! {
 
     #[test]
     fn lazy_and_flat_sweeps_agree(code in 0u8..64, shape in 0u8..2, n in 3usize..7) {
-        // `sweep_lazy` over the mixed-radix enumeration must match
-        // `sweep_with` on the flat universe: same verdict, same witness,
+        // `LazySweep` over the mixed-radix enumeration must match a
+        // session sweep of the flat universe: same verdict, same witness,
         // same checked count, same short-circuit flag.
         let decoder = PortObliviousCycleDecoder::from_code(code);
         let instance = cycle_or_path(shape, n);
         let universe = Universe::all_labelings_of(instance.clone(), bits(), Coverage::Exhaustive)
             .expect("small universe fits");
         let check = SoundnessCheck { decoder: &decoder };
-        let flat = sweep_with(&check, &universe, ExecMode::Sequential);
+        let flat = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .run(&check);
         let alphabet = bits();
-        let lazy = sweep_lazy(
+        let lazy = LazySweep::of(&instance, Coverage::Exhaustive).run(
             &check,
-            &instance,
             all_labelings(instance.graph().node_count(), &alphabet),
-            Coverage::Exhaustive,
         );
         prop_assert_eq!(&flat.verdict, &lazy.verdict);
         prop_assert_eq!(flat.checked, lazy.checked);
@@ -291,14 +300,17 @@ proptest! {
         let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
             .expect("small universe fits");
         let check = SoundnessCheck { decoder: &decoder };
-        let full = sweep_with(&check, &universe, ExecMode::Sequential);
+        let full = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .run(&check);
 
         let mode = ExecMode::Parallel(parity_threads());
         let budget = SweepBudget::unlimited().with_max_items(step);
-        let mut state = sweep_budgeted(&check, &universe, mode, &budget);
+        let session = SweepSession::over(&universe).mode(mode).budget(budget);
+        let mut state = session.run_budgeted(&check);
         let mut slices = 1usize;
         while let Some(token) = state.resume.take() {
-            state = resume_sweep(&check, &universe, mode, &budget, token);
+            state = session.resume(&check, token);
             slices += 1;
             prop_assert!(slices <= universe.len() + 2, "resume chain must terminate");
         }
@@ -331,8 +343,12 @@ proptest! {
 
         let (seq, par) = quietly(|| {
             (
-                sweep_with(&check, &universe, ExecMode::Sequential),
-                sweep_with(&check, &universe, ExecMode::Parallel(threads)),
+                SweepSession::over(&universe)
+                    .mode(ExecMode::Sequential)
+                    .run(&check),
+                SweepSession::over(&universe)
+                    .mode(ExecMode::Parallel(threads))
+                    .run(&check),
             )
         });
         for report in [&seq, &par] {
@@ -400,7 +416,7 @@ proptest! {
         let universe = cycle_blocks_universe(n);
         let run = |mode: ExecMode, opts: SweepOpts| {
             let check = HidingCheck::new(&decoder, &universe, 2, bipartite::is_bipartite);
-            sweep_with_opts(&check, &universe, mode, opts)
+            SweepSession::over(&universe).mode(mode).opts(opts).run(&check)
         };
         let reference = run(ExecMode::Sequential, SweepOpts::oracle());
         let (ref_nbhd, ref_verdict) = &reference.verdict;
@@ -430,22 +446,21 @@ proptest! {
         let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
             .expect("small universe fits");
         let check = SoundnessCheck { decoder: &decoder };
-        let oracle = sweep_with_opts(&check, &universe, ExecMode::Sequential, SweepOpts::oracle());
+        let oracle = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .opts(SweepOpts::oracle())
+            .run(&check);
 
         let mode = ExecMode::Parallel(parity_threads());
         let budget = SweepBudget::unlimited().with_max_items(step);
-        let mut state =
-            sweep_budgeted_with_opts(&check, &universe, mode, &budget, SweepOpts::default());
+        let session = SweepSession::over(&universe)
+            .mode(mode)
+            .budget(budget)
+            .opts(SweepOpts::default());
+        let mut state = session.run_budgeted(&check);
         let mut slices = 1usize;
         while let Some(token) = state.resume.take() {
-            state = resume_sweep_with_opts(
-                &check,
-                &universe,
-                mode,
-                &budget,
-                token,
-                SweepOpts::default(),
-            );
+            state = session.resume(&check, token);
             slices += 1;
             prop_assert!(slices <= universe.len() + 2, "resume chain must terminate");
         }
@@ -483,8 +498,12 @@ proptest! {
             })
             .with_channel(&decoder),
         ];
-        let seq = sweep_panel_with(&members, &universe, ExecMode::Sequential);
-        let par = sweep_panel_with(&members, &universe, ExecMode::Parallel(parity_threads()));
+        let seq = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .run_panel(&members);
+        let par = SweepSession::over(&universe)
+            .mode(ExecMode::Parallel(parity_threads()))
+            .run_panel(&members);
         prop_assert_eq!(seq.evidence.checked, par.evidence.checked);
         prop_assert_eq!(seq.evidence.short_circuited, par.evidence.short_circuited);
         for (a, b) in seq.members.iter().zip(&par.members) {
@@ -494,8 +513,9 @@ proptest! {
             prop_assert_eq!(&a.verdict.detail, &b.verdict.detail);
         }
 
-        let solo_soundness = sweep_with(&soundness, &universe, ExecMode::Sequential);
-        let solo_strong = sweep_with(&strong, &universe, ExecMode::Sequential);
+        let solo = SweepSession::over(&universe).mode(ExecMode::Sequential);
+        let solo_soundness = solo.run(&soundness);
+        let solo_strong = solo.run(&strong);
         prop_assert_eq!(seq.members[0].checked, solo_soundness.checked);
         prop_assert_eq!(seq.members[0].short_circuited, solo_soundness.short_circuited);
         prop_assert_eq!(
@@ -514,6 +534,65 @@ proptest! {
             solo_soundness.checked.max(solo_strong.checked)
         );
     }
+
+    #[test]
+    fn interrupted_shard_resume_matches_uninterrupted(
+        code in 0u8..64, shape in 0u8..2, n in 3usize..6, step in 1usize..9, shards in 2usize..5,
+    ) {
+        // Shard the universe, run every shard as a budget-sliced resume
+        // chain (each slice capped at `step` items), and merge: the panel
+        // report must match an uninterrupted single-session run member for
+        // member. Interruption points and shard boundaries are both
+        // invisible in the merged output.
+        let decoder = PortObliviousCycleDecoder::from_code(code);
+        let two_col = KCol::new(2);
+        let instance = cycle_or_path(shape, n);
+        let universe = Universe::all_labelings_of(instance, bits(), Coverage::Exhaustive)
+            .expect("small universe fits");
+        let members = [
+            DynPropertyCheck::new(PropertyTag::Soundness, "soundness", SoundnessCheck {
+                decoder: &decoder,
+            })
+            .with_channel(&decoder),
+            DynPropertyCheck::new(PropertyTag::Strong, "strong", StrongCheck {
+                decoder: &decoder,
+                language: &two_col,
+            })
+            .with_channel(&decoder),
+        ];
+        let full = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .run_panel(&members);
+
+        let budget = SweepBudget::unlimited().with_max_items(step);
+        let mut fragments = Vec::new();
+        for spec in ShardSpec::partition(shards) {
+            let session = SweepSession::over(&universe)
+                .mode(ExecMode::Sequential)
+                .budget(budget)
+                .shard(spec);
+            let mut frag = session.run_panel_fragment(&members);
+            let mut slices = 1usize;
+            while !frag.is_complete() {
+                frag = session.resume_panel_fragment(&members, frag.into_resume_token());
+                slices += 1;
+                prop_assert!(slices <= universe.len() + 2, "resume chain must terminate");
+            }
+            fragments.push(frag);
+        }
+        let merged =
+            merge_panel_fragments(&members, &universe, ExecMode::Sequential, fragments, None)
+                .expect("complete shard fragments tile the universe");
+
+        prop_assert_eq!(full.evidence.checked, merged.evidence.checked);
+        prop_assert_eq!(full.evidence.short_circuited, merged.evidence.short_circuited);
+        for (a, b) in full.members.iter().zip(&merged.members) {
+            prop_assert_eq!(a.checked, b.checked);
+            prop_assert_eq!(a.short_circuited, b.short_circuited);
+            prop_assert_eq!(a.verdict.passed, b.verdict.passed);
+            prop_assert_eq!(&a.verdict.detail, &b.verdict.detail);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -521,7 +600,7 @@ proptest! {
 // verdicts must be observationally identical to the full walk.
 // ---------------------------------------------------------------------------
 
-use hiding_lcp_core::verify::{sweep_panel_with_opts, SymmetrySpec};
+use hiding_lcp_core::verify::SymmetrySpec;
 
 /// A cycle instance under the rotation-symmetric port assignment, where
 /// the quotient actually bites (canonical ports leave only the identity).
@@ -620,7 +699,10 @@ proptest! {
         let universe = Universe::all_labelings_of(instance, alphabet, Coverage::Exhaustive)
             .expect("small universe fits");
         let check = MultiplicityRecorder { classes: Some(vec![0; k]) };
-        let report = sweep_with_opts(&check, &universe, ExecMode::Sequential, SweepOpts::quotient());
+        let report = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .opts(SweepOpts::quotient())
+            .run(&check);
         prop_assert_eq!(report.checked, universe.len());
         let reps = report.verdict;
 
@@ -702,7 +784,10 @@ proptest! {
         let universe = Universe::new(blocks, Coverage::Sampled).expect("small universe fits");
         let run = |opts: SweepOpts| {
             let check = HidingCheck::new(&decoder, &universe, 2, bipartite::is_bipartite);
-            sweep_with_opts(&check, &universe, ExecMode::Sequential, opts)
+            SweepSession::over(&universe)
+                .mode(ExecMode::Sequential)
+                .opts(opts)
+                .run(&check)
         };
         let full = run(SweepOpts::default());
         let quot = run(SweepOpts::quotient());
@@ -741,10 +826,15 @@ proptest! {
             })
             .with_channel(&decoder),
         ];
-        let reference =
-            sweep_panel_with_opts(&members, &universe, ExecMode::Sequential, SweepOpts::default());
+        let reference = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .opts(SweepOpts::default())
+            .run_panel(&members);
         for mode in [ExecMode::Sequential, ExecMode::Parallel(parity_threads())] {
-            let quotient = sweep_panel_with_opts(&members, &universe, mode, SweepOpts::quotient());
+            let quotient = SweepSession::over(&universe)
+                .mode(mode)
+                .opts(SweepOpts::quotient())
+                .run_panel(&members);
             prop_assert_eq!(reference.evidence.checked, quotient.evidence.checked);
             prop_assert_eq!(
                 reference.evidence.short_circuited,
@@ -764,4 +854,86 @@ proptest! {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard budget semantics: each shard's calls draw on their own
+// allowance (documented on `SweepBudget`).
+// ---------------------------------------------------------------------------
+
+/// Counts visited items and never short-circuits — the per-shard budget
+/// test needs a walk whose length is exactly the budget's allowance.
+struct CountItems;
+
+impl PropertyCheck for CountItems {
+    type Partial = usize;
+    type Verdict = usize;
+
+    fn inspect(&self, _item: &UniverseItem<'_>, _ctx: &ItemCtx<'_>) -> Option<usize> {
+        Some(1)
+    }
+
+    fn reduce(
+        &self,
+        _universe: &Universe,
+        partials: Vec<(usize, usize)>,
+        _outcome: &SweepOutcome,
+    ) -> usize {
+        partials.len()
+    }
+}
+
+#[test]
+fn budget_max_items_is_per_shard() {
+    // With `max_items = m` and `N` shards, one budgeted pass over every
+    // shard visits `N * m` items — there is no cross-shard accounting —
+    // and a shard's resume chain stays strictly inside `[lo, hi)` until
+    // it completes the shard's full span.
+    let universe = Universe::all_labelings_of(cycle_or_path(0, 4), bits(), Coverage::Exhaustive)
+        .expect("small universe fits");
+    let m = 3usize;
+    let shards = 2usize;
+    let budget = SweepBudget::unlimited().with_max_items(m);
+    let mut first_pass_total = 0usize;
+    for spec in ShardSpec::partition(shards) {
+        let session = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .budget(budget)
+            .shard(spec);
+        let (lo, hi) = session.range();
+        assert!(hi - lo > m, "shard span must exceed the allowance");
+        let mut state = session.run_budgeted(&CountItems);
+        // `checked` is the walk frontier (it includes the shard's skipped
+        // prefix `[0, lo)`); the CountItems verdict counts actual visits.
+        assert_eq!(
+            state.report.verdict, m,
+            "first slice visits exactly m items"
+        );
+        assert_eq!(
+            state.report.checked,
+            lo + m,
+            "frontier advances by m from lo"
+        );
+        first_pass_total += state.report.verdict;
+        let mut slices = 1usize;
+        while let Some(token) = state.resume.take() {
+            assert!(
+                token.next_index > lo && token.next_index < hi,
+                "resume frontier stays inside the shard range"
+            );
+            state = session.resume(&CountItems, token);
+            slices += 1;
+            assert!(slices <= universe.len() + 2, "resume chain must terminate");
+        }
+        assert_eq!(
+            state.report.verdict,
+            hi - lo,
+            "the drained chain covers the shard span exactly"
+        );
+        assert_eq!(
+            state.report.checked, hi,
+            "the frontier ends at the shard's hi"
+        );
+    }
+    assert_eq!(first_pass_total, shards * m, "allowances are independent");
 }

@@ -20,9 +20,8 @@ use hiding_lcp_core::lower::PortObliviousCycleDecoder;
 use hiding_lcp_core::properties::soundness::SoundnessCheck;
 use hiding_lcp_core::properties::strong::StrongCheck;
 use hiding_lcp_core::verify::{
-    sweep_panel_recorded, sweep_panel_with_opts, sweep_recorded, sweep_with_opts, Coverage,
-    DynPropertyCheck, ExecMode, ItemCtx, MetricsRecorder, PropertyCheck, PropertyTag, SweepOpts,
-    SweepOutcome, SymmetrySpec, Universe, UniverseItem,
+    Coverage, DynPropertyCheck, ExecMode, ItemCtx, MetricsRecorder, PropertyCheck, PropertyTag,
+    SweepOpts, SweepOutcome, SweepSession, SymmetrySpec, Universe, UniverseItem,
 };
 
 fn bits() -> Vec<Certificate> {
@@ -128,9 +127,16 @@ fn recorded_sweeps_match_plain_sweeps() {
             SweepOpts::oracle(),
             SweepOpts::quotient(),
         ] {
-            let plain = sweep_with_opts(&check, &universe, mode, opts);
+            let plain = SweepSession::over(&universe)
+                .mode(mode)
+                .opts(opts)
+                .run(&check);
             let recorder = MetricsRecorder::new();
-            let recorded = sweep_recorded(&check, &universe, mode, opts, &recorder);
+            let recorded = SweepSession::over(&universe)
+                .mode(mode)
+                .opts(opts)
+                .metrics(&recorder)
+                .run(&check);
             assert_eq!(plain.verdict, recorded.verdict);
             assert_eq!(plain.checked, recorded.checked);
             assert_eq!(plain.universe_size, recorded.universe_size);
@@ -149,10 +155,16 @@ fn recorded_panels_match_plain_panels() {
     let universe = big_universe();
     let members = panel_members(&decoder, &two_col);
     for mode in [ExecMode::Sequential, ExecMode::Parallel(parity_threads())] {
-        let plain = sweep_panel_with_opts(&members, &universe, mode, SweepOpts::default());
+        let plain = SweepSession::over(&universe)
+            .mode(mode)
+            .opts(SweepOpts::default())
+            .run_panel(&members);
         let recorder = MetricsRecorder::new();
-        let recorded =
-            sweep_panel_recorded(&members, &universe, mode, SweepOpts::default(), &recorder);
+        let recorded = SweepSession::over(&universe)
+            .mode(mode)
+            .opts(SweepOpts::default())
+            .metrics(&recorder)
+            .run_panel(&members);
         assert_eq!(plain.evidence.checked, recorded.evidence.checked);
         assert_eq!(
             plain.evidence.short_circuited,
@@ -181,7 +193,10 @@ mod enabled {
         let check = SoundnessCheck { decoder: &decoder };
         let run = |mode: ExecMode| {
             let recorder = MetricsRecorder::new();
-            sweep_recorded(&check, &universe, mode, SweepOpts::default(), &recorder);
+            SweepSession::over(&universe)
+                .mode(mode)
+                .metrics(&recorder)
+                .run(&check);
             recorder.snapshot().stable_bytes()
         };
         let reference = run(ExecMode::Sequential);
@@ -207,7 +222,10 @@ mod enabled {
         let members = panel_members(&decoder, &two_col);
         let run = |mode: ExecMode| {
             let recorder = MetricsRecorder::new();
-            sweep_panel_recorded(&members, &universe, mode, SweepOpts::default(), &recorder);
+            SweepSession::over(&universe)
+                .mode(mode)
+                .metrics(&recorder)
+                .run_panel(&members);
             recorder.snapshot().stable_bytes()
         };
         let reference = run(ExecMode::Sequential);
@@ -225,13 +243,11 @@ mod enabled {
         let universe = big_universe();
         let check = OrbitProbe { k: 2 };
         let recorder = MetricsRecorder::new();
-        let report = sweep_recorded(
-            &check,
-            &universe,
-            ExecMode::Sequential,
-            SweepOpts::quotient(),
-            &recorder,
-        );
+        let report = SweepSession::over(&universe)
+            .mode(ExecMode::Sequential)
+            .opts(SweepOpts::quotient())
+            .metrics(&recorder)
+            .run(&check);
         let snap = recorder.snapshot();
         let get = |name: &str| snap.get(name).unwrap_or_else(|| panic!("no {name}"));
         let total = universe.len() as u64;
@@ -263,7 +279,10 @@ mod enabled {
         let members = panel_members(&decoder, &two_col);
         for mode in [ExecMode::Sequential, ExecMode::Parallel(parity_threads())] {
             let recorder = MetricsRecorder::new();
-            sweep_panel_recorded(&members, &universe, mode, SweepOpts::default(), &recorder);
+            SweepSession::over(&universe)
+                .mode(mode)
+                .metrics(&recorder)
+                .run_panel(&members);
             let snap = recorder.snapshot();
             let get = |name: &str| snap.get(name).unwrap_or_else(|| panic!("no {name}"));
             assert_eq!(
@@ -289,13 +308,10 @@ mod enabled {
         let check = SoundnessCheck { decoder: &decoder };
         let run = || {
             let recorder = MetricsRecorder::with_clock(Arc::new(ManualClock::default()));
-            sweep_recorded(
-                &check,
-                &universe,
-                ExecMode::Sequential,
-                SweepOpts::default(),
-                &recorder,
-            );
+            SweepSession::over(&universe)
+                .mode(ExecMode::Sequential)
+                .metrics(&recorder)
+                .run(&check);
             (recorder.metrics_json(), recorder.trace_json())
         };
         let (metrics_a, trace_a) = run();
@@ -313,13 +329,10 @@ mod enabled {
         let universe = big_universe();
         let members = panel_members(&decoder, &two_col);
         let recorder = MetricsRecorder::new();
-        sweep_panel_recorded(
-            &members,
-            &universe,
-            ExecMode::Parallel(parity_threads()),
-            SweepOpts::default(),
-            &recorder,
-        );
+        SweepSession::over(&universe)
+            .mode(ExecMode::Parallel(parity_threads()))
+            .metrics(&recorder)
+            .run_panel(&members);
         assert!(recorder.trace_balanced(), "all spans closed");
         assert_eq!(recorder.trace_dropped(), 0);
         let json = recorder.trace_json();

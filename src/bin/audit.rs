@@ -10,6 +10,14 @@
 //! cargo run --release --bin audit -- --decoder revealing:3 --max-n 3 \
 //!     --properties soundness,strong,hiding --threads 4 --out audit.json
 //! ```
+//!
+//! The combinatorial labelings walk also shards across processes. A
+//! coordinator (`--shards N`) partitions the universe into N contiguous
+//! ranges, re-invokes itself once per range (`--shard i/N --shard-out
+//! FILE`), retries crashed shards up to `--shard-retries`, and merges the
+//! reports — byte-identical stable JSON (`--stable`) to a single-process
+//! run. `--shards-from DIR` merges reports someone else produced (e.g. on
+//! other machines).
 
 use std::process::ExitCode;
 
@@ -18,8 +26,8 @@ use hiding_lcp_core::decoder::Decoder;
 use hiding_lcp_core::label::Certificate;
 use hiding_lcp_core::prover::Prover;
 use hiding_lcp_core::verify::{
-    AuditPlan, ExecMode, FaultSpec, InstanceSet, MetricsRecorder, PropertyTag, SweepBudget,
-    SweepOpts, ALL_PROPERTIES,
+    run_shards, AuditPlan, AuditReport, ExecMode, FaultSpec, InstanceSet, MetricsRecorder,
+    PropertyTag, ShardSpec, SweepBudget, SweepOpts, SweepRecorder, ALL_PROPERTIES,
 };
 use std::time::Duration;
 
@@ -29,6 +37,8 @@ struct Args {
     properties: Vec<PropertyTag>,
     mode: ExecMode,
     opts: SweepOpts,
+    /// `--strategy` as given, for re-invoking shard children.
+    strategy_flag: String,
     budget: Option<SweepBudget>,
     fault_rates: Vec<f64>,
     fault_trials: usize,
@@ -36,6 +46,18 @@ struct Args {
     out: Option<String>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    /// Child mode: walk one shard (`i/N`) of the labelings universe.
+    shard: Option<String>,
+    /// Where the child writes its shard report (stdout otherwise).
+    shard_out: Option<String>,
+    /// Coordinator mode: dispatch N shard children and merge.
+    shards: Option<usize>,
+    /// Retries per shard before the coordinator gives up.
+    shard_retries: usize,
+    /// Merge mode: read shard reports from a directory.
+    shards_from: Option<String>,
+    /// Emit the deterministic stable-JSON projection.
+    stable: bool,
 }
 
 fn usage() -> ! {
@@ -44,15 +66,25 @@ fn usage() -> ! {
          \x20            [--properties p1,p2,...] [--threads T] [--budget-ms MS]\n\
          \x20            [--budget-items N] [--fault-rates r1,r2,...] [--fault-trials T]\n\
          \x20            [--strategy delta|oracle|quotient] [--seed S] [--out FILE]\n\
-         \x20            [--trace-out FILE] [--metrics-out FILE]\n\
+         \x20            [--trace-out FILE] [--metrics-out FILE] [--stable]\n\
+         \x20            [--shards N] [--shard-retries R]\n\
+         \x20            [--shard i/N] [--shard-out FILE] [--shards-from DIR]\n\
          \n\
          Audits one of the paper's LCPs over the Lemma 3.1 family up to N nodes\n\
          (default: even-cycle, N=4, all seven properties) and prints the fused-panel\n\
          report as JSON. --strategy quotient sweeps only canonical orbit\n\
          representatives (same verdicts, less wall-clock). --trace-out writes a\n\
          Chrome trace_event file (open in chrome://tracing or Perfetto);\n\
-         --metrics-out writes the counter/phase snapshot. Exit code 1 = some\n\
-         property was violated."
+         --metrics-out writes the counter/phase snapshot. --stable zeroes\n\
+         scheduling-dependent fields so reports byte-compare across runs.\n\
+         \n\
+         Sharding: --shards N re-invokes this binary once per contiguous\n\
+         range of the labelings universe, retries crashed children up to R\n\
+         times (default 2), and merges — the merged --stable report is\n\
+         byte-identical to an unsharded run. --shard i/N runs one child and\n\
+         writes its shard report to --shard-out; --shards-from DIR merges\n\
+         previously written reports. Exit code 1 = some property was\n\
+         violated."
     );
     std::process::exit(2)
 }
@@ -70,6 +102,7 @@ fn parse_args() -> Args {
         properties: ALL_PROPERTIES.to_vec(),
         mode: ExecMode::Auto,
         opts: SweepOpts::default(),
+        strategy_flag: "delta".into(),
         budget: None,
         fault_rates: Vec::new(),
         fault_trials: 16,
@@ -77,6 +110,12 @@ fn parse_args() -> Args {
         out: None,
         trace_out: None,
         metrics_out: None,
+        shard: None,
+        shard_out: None,
+        shards: None,
+        shard_retries: 2,
+        shards_from: None,
+        stable: false,
     };
     let mut budget = SweepBudget::unlimited();
     let mut it = std::env::args().skip(1);
@@ -94,12 +133,14 @@ fn parse_args() -> Args {
             "--threads" => args.mode = ExecMode::Parallel(parse_or_usage(&value("--threads"))),
             "--sequential" => args.mode = ExecMode::Sequential,
             "--strategy" => {
-                args.opts = match value("--strategy").as_str() {
+                let name = value("--strategy");
+                args.opts = match name.as_str() {
                     "delta" => SweepOpts::default(),
                     "oracle" => SweepOpts::oracle(),
                     "quotient" => SweepOpts::quotient(),
                     other => usage_missing(other),
-                }
+                };
+                args.strategy_flag = name;
             }
             "--budget-ms" => {
                 budget.deadline = Some(Duration::from_millis(parse_or_usage(&value("--budget-ms"))))
@@ -116,6 +157,12 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(value("--out")),
             "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--metrics-out" => args.metrics_out = Some(value("--metrics-out")),
+            "--shard" => args.shard = Some(value("--shard")),
+            "--shard-out" => args.shard_out = Some(value("--shard-out")),
+            "--shards" => args.shards = Some(parse_or_usage(&value("--shards"))),
+            "--shard-retries" => args.shard_retries = parse_or_usage(&value("--shard-retries")),
+            "--shards-from" => args.shards_from = Some(value("--shards-from")),
+            "--stable" => args.stable = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("audit: unknown flag {other}");
@@ -194,12 +241,54 @@ fn main() -> ExitCode {
         });
     }
     let recorder = MetricsRecorder::new();
-    if args.trace_out.is_some() || args.metrics_out.is_some() {
+    let recording = args.trace_out.is_some() || args.metrics_out.is_some();
+    if recording {
         plan = plan.telemetry(&recorder);
     }
 
-    let report = plan.run();
-    let json = report.to_json();
+    if [
+        args.shard.is_some(),
+        args.shards.is_some(),
+        args.shards_from.is_some(),
+    ]
+    .iter()
+    .filter(|set| **set)
+    .count()
+        > 1
+    {
+        eprintln!("audit: --shard, --shards and --shards-from are mutually exclusive");
+        return ExitCode::from(2);
+    }
+
+    if let Some(spec) = &args.shard {
+        return run_shard_child(&plan, spec, args.shard_out.as_deref());
+    }
+
+    let report = if let Some(dir) = &args.shards_from {
+        match read_shard_reports(dir).and_then(|r| plan.run_with_shards(&r)) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("audit: shard merge failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if let Some(n) = args.shards {
+        let attached = recording.then_some(&recorder as &dyn SweepRecorder);
+        match run_sharded(&plan, &args, n, attached) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("audit: sharded run failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        plan.run()
+    };
+    let json = if args.stable {
+        report.to_stable_json()
+    } else {
+        report.to_json()
+    };
     match &args.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &json) {
@@ -237,4 +326,152 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Child mode: walk one shard of the labelings universe and ship the
+/// serialized shard report to `--shard-out` (or stdout).
+///
+/// When `AUDIT_SHARD_CRASH` names a token file that does not exist yet,
+/// the first child to get here creates it, writes a deliberately torn
+/// report, and dies with exit code 17 — a crash-once hook so CI can
+/// prove the coordinator's retry path re-dispatches and still merges
+/// byte-identically. Subsequent children see the token and proceed.
+fn run_shard_child(plan: &AuditPlan<'_>, spec: &str, out: Option<&str>) -> ExitCode {
+    let shard = match ShardSpec::parse(spec) {
+        Ok(shard) => shard,
+        Err(e) => {
+            eprintln!("audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = plan.run_shard(shard);
+    if let Ok(token) = std::env::var("AUDIT_SHARD_CRASH") {
+        if !token.is_empty() && !std::path::Path::new(&token).exists() {
+            let _ = std::fs::write(&token, b"crashed once\n");
+            if let Some(path) = out {
+                let torn = &report[..report.len() / 2];
+                let _ = std::fs::write(path, torn);
+            }
+            eprintln!("audit: simulated shard crash (AUDIT_SHARD_CRASH)");
+            std::process::exit(17);
+        }
+    }
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                eprintln!("audit: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+            eprintln!("audit: shard {spec} report written to {path}");
+        }
+        None => print!("{report}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Coordinator mode: re-invoke this binary once per shard, retry crashed
+/// children, and merge the collected reports in-process.
+fn run_sharded(
+    plan: &AuditPlan<'_>,
+    args: &Args,
+    shards: usize,
+    recorder: Option<&dyn SweepRecorder>,
+) -> Result<AuditReport, String> {
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let dir = std::env::temp_dir().join(format!("audit-shards-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let base = child_args(args);
+    let run = run_shards(shards, args.shard_retries, recorder, |spec, attempt| {
+        let out = dir.join(format!("shard-{}-of-{}.txt", spec.index, spec.of));
+        let _ = std::fs::remove_file(&out);
+        let status = std::process::Command::new(&exe)
+            .args(&base)
+            .arg("--shard")
+            .arg(spec.label())
+            .arg("--shard-out")
+            .arg(&out)
+            .status()
+            .map_err(|e| format!("cannot spawn shard {}: {e}", spec.label()))?;
+        if !status.success() {
+            return Err(format!(
+                "shard {} (attempt {attempt}) exited with {status}",
+                spec.label()
+            ));
+        }
+        std::fs::read_to_string(&out)
+            .map_err(|e| format!("shard {} left no report: {e}", spec.label()))
+    })?;
+    eprintln!(
+        "audit: {} shards merged ({} dispatches, {} retries)",
+        shards, run.dispatches, run.retries
+    );
+    let report = plan.run_with_shards(&run.results)?;
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report)
+}
+
+/// The flags a shard child needs to rebuild the coordinator's plan with
+/// an identical fingerprint (decoder, k, seed, universe, strategy, mode,
+/// budget). Output/fault/shard flags are deliberately not forwarded:
+/// faults and degradation run only on the merge side.
+fn child_args(args: &Args) -> Vec<String> {
+    let mut v = vec![
+        "--decoder".to_string(),
+        args.decoder.clone(),
+        "--max-n".to_string(),
+        args.max_n.to_string(),
+        "--seed".to_string(),
+        args.seed.to_string(),
+        "--strategy".to_string(),
+        args.strategy_flag.clone(),
+        "--properties".to_string(),
+        args.properties
+            .iter()
+            .map(|t| t.as_str())
+            .collect::<Vec<_>>()
+            .join(","),
+    ];
+    match args.mode {
+        ExecMode::Sequential => v.push("--sequential".to_string()),
+        ExecMode::Parallel(t) => {
+            v.push("--threads".to_string());
+            v.push(t.to_string());
+        }
+        ExecMode::Auto => {}
+    }
+    if let Some(budget) = args.budget {
+        if let Some(deadline) = budget.deadline {
+            v.push("--budget-ms".to_string());
+            v.push(deadline.as_millis().to_string());
+        }
+        if let Some(max_items) = budget.max_items {
+            v.push("--budget-items".to_string());
+            v.push(max_items.to_string());
+        }
+    }
+    v
+}
+
+/// Merge mode input: every regular file in `dir`, sorted by name.
+fn read_shard_reports(dir: &str) -> Result<Vec<String>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|path| path.is_file())
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no shard reports in {dir}"));
+    }
+    paths
+        .iter()
+        .map(|path| {
+            std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))
+        })
+        .collect()
 }

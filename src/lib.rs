@@ -21,9 +21,8 @@
 //! ```
 //! use hiding_lcp::certs::degree_one::{DegreeOneDecoder, DegreeOneProver};
 //! use hiding_lcp::core::decoder::accepts_all;
-//! use hiding_lcp::core::instance::Instance;
-//! use hiding_lcp::core::prover::Prover;
 //! use hiding_lcp::graph::generators;
+//! use hiding_lcp::prelude::*;
 //!
 //! // Certify 2-colorability of a tree while hiding the coloring at a leaf.
 //! let instance = Instance::canonical(generators::balanced_tree(2, 3));
@@ -43,3 +42,16 @@
 pub use hiding_lcp_certs as certs;
 pub use hiding_lcp_core as core;
 pub use hiding_lcp_graph as graph;
+
+/// The blessed surface in one import: instances, decoders, provers, the
+/// [`SweepSession`](crate::core::verify::SweepSession) builder with its
+/// options/budget/recorder types, and the [`AuditPlan`] front door. New
+/// code should need nothing outside this module for everyday sweeps;
+/// anything else is reachable through the [`core`]/[`graph`]/[`certs`]
+/// re-exports.
+///
+/// [`AuditPlan`]: crate::core::verify::AuditPlan
+pub mod prelude {
+    pub use hiding_lcp_core::prelude::*;
+    pub use hiding_lcp_core::verify::{AuditReport, MetricsSnapshot, ShardSpec, SweepError};
+}
